@@ -1,0 +1,102 @@
+// bench/ablation_absorption — design-choice ablation: how much CE noise do
+// synchronization granularity and load imbalance absorb?
+//
+// A fixed CE rate and cost are applied to a synthetic bulk-synchronous loop
+// while (a) the compute block between allreduces sweeps from 1 ms to 1 s,
+// and (b) persistent load imbalance sweeps from 0 to 20%. This quantifies
+// the two mechanisms behind the paper's workload sensitivity spread: apps
+// that synchronize less often — or that already wait on stragglers — absorb
+// detours in slack instead of surfacing them as slowdown.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "collectives/collectives.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace celog;
+
+goal::TaskGraph bsp_loop(goal::Rank ranks, TimeNs block, TimeNs total,
+                         double imbalance, std::uint64_t seed) {
+  goal::TaskGraph g(ranks);
+  std::vector<goal::SequentialBuilder> b;
+  b.reserve(static_cast<std::size_t>(ranks));
+  for (goal::Rank r = 0; r < ranks; ++r) b.emplace_back(g, r);
+  std::vector<double> factors(static_cast<std::size_t>(ranks), 1.0);
+  Xoshiro256 rng(seed);
+  for (auto& f : factors) f = 1.0 + imbalance * (rng.uniform01() * 2.0 - 1.0);
+  collectives::TagAllocator tags;
+  const auto iters = static_cast<int>(total / block);
+  for (int it = 0; it < iters; ++it) {
+    for (goal::Rank r = 0; r < ranks; ++r) {
+      b[static_cast<std::size_t>(r)].calc(static_cast<TimeNs>(
+          static_cast<double>(block) * factors[static_cast<std::size_t>(r)]));
+    }
+    collectives::allreduce({b.data(), b.size()}, 8, tags);
+  }
+  g.finalize();
+  return g;
+}
+
+double measure(const goal::TaskGraph& g, TimeNs mtbce, int seeds,
+               std::uint64_t base_seed) {
+  const sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
+  const sim::SimResult base = sim.run_baseline();
+  RunningStats pct;
+  for (int i = 0; i < seeds; ++i) {
+    const noise::UniformCeNoiseModel noise(
+        mtbce, std::make_shared<noise::FlatLoggingCost>(
+                   noise::costs::kFirmwareEmca));
+    pct.add(sim::slowdown_percent(
+        base, sim.run(noise, base_seed + static_cast<std::uint64_t>(i))));
+  }
+  return pct.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("ablation_absorption: sync granularity & imbalance vs absorption");
+  bench::add_standard_options(cli);
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+  const bench::Options options = bench::read_standard_options(cli);
+  bench::print_banner("Ablation: noise absorption mechanisms", options);
+
+  // Machine-wide CE rate equal to the exascale x10 system, reduced
+  // rate-preservingly onto max_ranks.
+  const auto sys = core::systems::exascale_cielo(10.0);
+  const auto scale = core::scale_system(sys.simulated_nodes, options.max_ranks);
+  const TimeNs mtbce = core::scaled_mtbce(sys, scale);
+
+  std::printf("-- sweep A: compute block between allreduces (imbalance 0) --\n");
+  TextTable ta({"sync period", "slowdown % (firmware)"});
+  for (const TimeNs block : {milliseconds(1), milliseconds(10),
+                             milliseconds(100), seconds(1)}) {
+    const goal::TaskGraph g =
+        bsp_loop(scale.ranks, block, options.sim_target, 0.0, 1);
+    ta.add_row({format_duration(block),
+                format_percent(measure(g, mtbce, options.seeds,
+                                       options.base_seed))});
+  }
+  std::fputs(ta.render().c_str(), stdout);
+
+  std::printf("\n-- sweep B: persistent imbalance (sync period 10 ms) --\n");
+  TextTable tb({"imbalance", "slowdown % (firmware)"});
+  for (const double imb : {0.0, 0.05, 0.10, 0.20}) {
+    const goal::TaskGraph g = bsp_loop(scale.ranks, milliseconds(10),
+                                       options.sim_target, imb, 1);
+    tb.add_row({format_fixed(imb * 100, 0) + "%",
+                format_percent(measure(g, mtbce, options.seeds,
+                                       options.base_seed))});
+  }
+  std::fputs(tb.render().c_str(), stdout);
+
+  std::printf(
+      "\nreading: longer sync periods coalesce and absorb detours (multiple\n"
+      "CEs per epoch count once); imbalance pre-pays wait time that hides\n"
+      "detours on the faster ranks — both shrink effective CE overhead.\n");
+  return 0;
+}

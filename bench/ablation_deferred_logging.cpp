@@ -1,0 +1,71 @@
+// bench/ablation_deferred_logging — an extension the paper's conclusions
+// motivate (§IV-E: "keeping per-event CE overheads lower is key"): defer
+// CE decode+log into periodic batches instead of paying the full firmware
+// path on every error, and optionally synchronize the batch flushes across
+// nodes (coordinated noise does not propagate).
+//
+// Compares, at exascale CE rates where synchronous firmware logging is
+// catastrophic:
+//   (a) synchronous firmware logging (133 ms per CE),
+//   (b) deferred logging, random flush phase per node,
+//   (c) deferred logging, machine-synchronized flushes.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "noise/deferred.hpp"
+#include "noise/noise_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace celog;
+  Cli cli("ablation_deferred_logging: batched/coordinated CE logging");
+  bench::add_standard_options(cli);
+  cli.add_option("flush-s", "10", "seconds between log flushes");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+  const bench::Options options = bench::read_standard_options(cli);
+  bench::print_banner("Ablation: deferred / coordinated CE logging",
+                      options);
+  const TimeNs flush_period = from_seconds(cli.get_double("flush-s"));
+
+  const std::vector<core::SystemConfig> systems = {
+      core::systems::exascale_cielo(100.0),
+      core::systems::exascale_facebook_median()};
+
+  bench::RunnerCache cache(options);
+  for (const auto& sys : systems) {
+    const auto scale = core::scale_system(sys.simulated_nodes,
+                                          options.max_ranks);
+    const TimeNs mtbce = core::scaled_mtbce(sys, scale);
+    std::printf("\n-- %s --\n", sys.name.c_str());
+    TextTable table({"workload", "synchronous 133ms", "deferred",
+                     "deferred+synced"});
+    for (const auto& w : workloads::all_workloads()) {
+      const auto& runner =
+          cache.get(*w, scale.ranks, core::scaled_trace_block(*w, scale));
+      std::vector<std::string> row = {w->name()};
+
+      const noise::UniformCeNoiseModel synchronous(
+          mtbce, core::cost_model(core::LoggingMode::kFirmware));
+      row.push_back(bench::cell_text(
+          runner.measure(synchronous, options.seeds, options.base_seed)));
+
+      for (const bool synced : {false, true}) {
+        noise::DeferredLoggingConfig config;
+        config.mtbce = mtbce;
+        config.flush_period = flush_period;
+        config.synchronized = synced;
+        const noise::DeferredLoggingNoiseModel deferred(config);
+        row.push_back(bench::cell_text(
+            runner.measure(deferred, options.seeds, options.base_seed)));
+      }
+      table.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
+  std::printf(
+      "\nreading: batching amortizes the decode cost (7 ms + 1 ms/record\n"
+      "per flush vs 133 ms per CE), and synchronizing the flushes removes\n"
+      "even that residual from the critical path — supporting the paper's\n"
+      "conclusion that reducing per-event logging time matters more than\n"
+      "reducing the error rate.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// bench/ablation_threshold_model — design-choice ablation: the paper's
+// figures use a FLAT 133 ms per-event firmware cost, but §IV-A measured a
+// richer structure on Blake: a ~7 ms SMI on every CE plus a ~500 ms decode
+// on every 10th. This bench compares the two cost models at the same CE
+// rates to check whether the flat approximation distorts the conclusions.
+//
+// Expected: the threshold model's amortized cost (7 + 500/10 = 57 ms/event)
+// is lower than 133 ms, so slowdowns are proportionally lower, but the
+// SHAPE (which workloads suffer, where the knee sits) is unchanged — the
+// flat model is a conservative simplification.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "noise/noise_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace celog;
+  Cli cli("ablation_threshold_model: flat vs SMI+decode firmware cost");
+  bench::add_standard_options(cli);
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+  const bench::Options options = bench::read_standard_options(cli);
+  bench::print_banner("Ablation: firmware cost structure", options);
+
+  struct Model {
+    const char* name;
+    std::shared_ptr<const noise::LoggingCostModel> cost;
+  };
+  const std::vector<Model> models = {
+      {"flat 133ms", std::make_shared<noise::FlatLoggingCost>(
+                         noise::costs::kFirmwareEmca)},
+      {"7ms + 500ms/10th",
+       std::make_shared<noise::ThresholdLoggingCost>(
+           noise::costs::kMeasuredSmi, noise::costs::kMeasuredFirmwareDecode,
+           noise::costs::kMeasuredFirmwareThreshold)},
+      {"flat 57ms (same mean)",
+       std::make_shared<noise::FlatLoggingCost>(milliseconds(57))},
+  };
+  // Exascale at Cielo x10 and x100 (the knee region of Fig. 5).
+  const std::vector<core::SystemConfig> systems = {
+      core::systems::exascale_cielo(10.0),
+      core::systems::exascale_cielo(100.0)};
+
+  bench::RunnerCache cache(options);
+  for (const auto& sys : systems) {
+    const core::ScaledSystem scale =
+        core::scale_system(sys.simulated_nodes, options.max_ranks);
+    std::printf("\n-- %s (scaled MTBCE %s) --\n", sys.name.c_str(),
+                format_duration(core::scaled_mtbce(sys, scale)).c_str());
+    std::vector<std::string> headers = {"workload"};
+    for (const auto& m : models) headers.emplace_back(m.name);
+    TextTable table(headers);
+    for (const auto& w : workloads::all_workloads()) {
+      const auto& runner =
+          cache.get(*w, scale.ranks, core::scaled_trace_block(*w, scale));
+      std::vector<std::string> row = {w->name()};
+      for (const auto& m : models) {
+        const noise::UniformCeNoiseModel noise(core::scaled_mtbce(sys, scale),
+                                               m.cost);
+        row.push_back(bench::cell_text(
+            runner.measure(noise, options.seeds, options.base_seed)));
+      }
+      table.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// bench/analytic_validation — cross-validates the discrete-event simulator
+// against the closed-form regime model (core/analytic.hpp): for each
+// workload at the exascale x10 and x100 firmware points, prints the
+// simulated slowdown next to the analytic prediction
+// min(additive, island-coalescing). Agreement within a small factor — and
+// identical orderings — is the simulator's analytic sanity check, the same
+// role measurement-based validation plays for LogGOPSim in the paper.
+#include <cmath>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/analytic.hpp"
+#include "noise/noise_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace celog;
+  Cli cli("analytic_validation: simulation vs closed-form regime model");
+  bench::add_standard_options(cli);
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+  const bench::Options options = bench::read_standard_options(cli);
+  bench::print_banner("Analytic cross-validation (firmware logging)",
+                      options);
+
+  bench::RunnerCache cache(options);
+  for (const double mult : {10.0, 100.0}) {
+    const auto sys = core::systems::exascale_cielo(mult);
+    const auto scale = core::scale_system(sys.simulated_nodes,
+                                          options.max_ranks);
+    std::printf("\n-- %s --\n", sys.name.c_str());
+    TextTable table({"workload", "simulated %", "analytic %",
+                     "ratio sim/analytic", "regime"});
+    for (const auto& w : workloads::all_workloads()) {
+      const auto& runner =
+          cache.get(*w, scale.ranks, core::scaled_trace_block(*w, scale));
+      const noise::UniformCeNoiseModel noise(
+          core::scaled_mtbce(sys, scale),
+          core::cost_model(core::LoggingMode::kFirmware));
+      const auto measured =
+          runner.measure(noise, options.seeds, options.base_seed);
+
+      core::AnalyticScenario s;
+      s.nodes = static_cast<goal::Rank>(sys.simulated_nodes);
+      s.mtbce = sys.mtbce_node();
+      s.cost = noise::costs::kFirmwareEmca;
+      s.sync_period = w->sync_period();
+      s.island = w->trace_ranks();
+      const double predicted = core::predicted_slowdown_percent(s);
+      const bool island_regime =
+          core::island_slowdown(s) < core::additive_slowdown(s);
+
+      std::string ratio = "-";
+      if (!measured.no_progress && predicted > 0.01) {
+        ratio = format_fixed(measured.mean_pct / predicted, 2);
+      }
+      table.add_row({w->name(), bench::cell_text(measured),
+                     std::isinf(predicted) ? "no-progress"
+                                           : format_percent(predicted),
+                     ratio,
+                     island_regime ? "island-coalescing" : "additive"});
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
+  std::printf(
+      "\nanalytic model: additive = p*lambda*c/(1-rho); island = E[max over\n"
+      "islands of Poisson(island_rate*sync_period)] * c/(1-rho) /\n"
+      "sync_period; prediction = min of the two (see core/analytic.hpp).\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// bench/bench_common.hpp
+//
+// Shared plumbing for the figure/table benches: standard CLI knobs, the
+// rate-preserving scale policy, and a cache of built task graphs so one
+// workload graph serves every (system, logging-mode) cell of a figure.
+//
+// Every bench accepts:
+//   --ranks N     cap on simulated ranks (default 128). Systems larger than
+//                 N are reduced rate-preservingly: MTBCE is divided by
+//                 (paper_nodes / N) so the machine-wide CE rate — the
+//                 quantity that drives slowdown — matches the full system.
+//   --sim-s S     target simulated application time per run (default 4 s);
+//                 iteration counts are derived per workload.
+//   --seeds K     noisy runs averaged per cell (default 2; the paper used
+//                 at least 8 — raise this when you have the time budget).
+//   --full        paper scale: ranks=16384, sim-s=30, seeds=8. Expect hours.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/logging_mode.hpp"
+#include "core/system_config.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workloads/workload.hpp"
+
+namespace celog::bench {
+
+struct Options {
+  goal::Rank max_ranks = 128;
+  TimeNs sim_target = 4 * kSecond;
+  int seeds = 2;
+  std::uint64_t base_seed = 1000;
+};
+
+inline void add_standard_options(Cli& cli) {
+  cli.add_option("ranks", "128", "cap on simulated ranks (rate-preserving)");
+  cli.add_option("sim-s", "4", "target simulated seconds per run");
+  cli.add_option("seeds", "2", "noisy runs averaged per cell");
+  cli.add_option("seed", "1000", "base RNG seed for noisy runs");
+  cli.add_flag("full", "paper scale: ranks=16384, sim-s=30, seeds=8");
+}
+
+inline Options read_standard_options(const Cli& cli) {
+  Options o;
+  if (cli.get_flag("full")) {
+    o.max_ranks = 16384;
+    o.sim_target = 30 * kSecond;
+    o.seeds = 8;
+  } else {
+    o.max_ranks = static_cast<goal::Rank>(cli.get_int("ranks"));
+    o.sim_target = from_seconds(cli.get_double("sim-s"));
+    o.seeds = static_cast<int>(cli.get_int("seeds"));
+  }
+  o.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  return o;
+}
+
+/// Builds (and caches) one ExperimentRunner per (workload, ranks, block):
+/// graph construction and the baseline run are the expensive parts, and
+/// every logging mode / CE rate cell of a figure can share them.
+class RunnerCache {
+ public:
+  explicit RunnerCache(const Options& options) : options_(options) {}
+
+  /// `trace_block` follows WorkloadConfig::trace_block semantics (0 = whole
+  /// machine; systems figures pass core::scaled_trace_block(...)).
+  const core::ExperimentRunner& get(const workloads::Workload& workload,
+                                    goal::Rank ranks,
+                                    goal::Rank trace_block) {
+    const std::string key = workload.name() + "@" + std::to_string(ranks) +
+                            "/" + std::to_string(trace_block);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      workloads::WorkloadConfig config;
+      config.ranks = ranks;
+      config.trace_block = trace_block;
+      // Cover the target simulated time, but always include enough
+      // iterations to span several global synchronizations (workloads with
+      // rare collectives, like LAMMPS thermo output every 100 steps, would
+      // otherwise never synchronize inside the window).
+      const auto syncs_per_iter = std::max<TimeNs>(
+          1, workload.sync_period() / workload.iteration_time());
+      const int min_iters =
+          std::max(20, static_cast<int>(2 * syncs_per_iter));
+      config.iterations =
+          workload.iterations_for(options_.sim_target, min_iters);
+      config.seed = 1;
+      std::fprintf(stderr,
+                   "[bench] building %s: %d ranks (p2p block %d), %d "
+                   "iterations (~%s simulated)...\n",
+                   workload.name().c_str(), ranks, trace_block,
+                   config.iterations,
+                   format_duration(config.iterations *
+                                   workload.iteration_time())
+                       .c_str());
+      it = cache_
+               .emplace(key, std::make_unique<core::ExperimentRunner>(
+                                 workload, config))
+               .first;
+    }
+    return *it->second;
+  }
+
+ private:
+  Options options_;
+  std::map<std::string, std::unique_ptr<core::ExperimentRunner>> cache_;
+};
+
+/// Formats a SlowdownResult cell: percentage, "no-progress" marker, or
+/// "<0.01" below resolution.
+inline std::string cell_text(const core::SlowdownResult& r) {
+  if (r.no_progress) return "no-progress";
+  return format_percent(r.mean_pct);
+}
+
+/// Header block every bench prints: what is being regenerated and at what
+/// scale, so recorded outputs are self-describing.
+inline void print_banner(const char* what, const Options& o) {
+  std::printf("== %s ==\n", what);
+  std::printf(
+      "scale: up to %d simulated ranks (rate-preserving reduction), ~%s "
+      "simulated per run, %d seeds per cell\n\n",
+      o.max_ranks, format_duration(o.sim_target).c_str(), o.seeds);
+}
+
+/// Shared driver for Figs. 4 and 5: every application process experiences
+/// CEs at the system's (rate-preservingly scaled) MTBCE; cells are mean %
+/// slowdown per (workload, system, logging mode).
+inline void run_systems_figure(
+    const std::vector<core::SystemConfig>& systems, const Options& options,
+    RunnerCache& cache) {
+  for (const auto mode : core::all_logging_modes()) {
+    std::printf("\n-- %s logging (%s per event) --\n", core::to_string(mode),
+                format_duration(core::cost_of(mode)).c_str());
+    std::vector<std::string> headers = {"workload"};
+    for (const auto& sys : systems) headers.push_back(sys.name);
+    TextTable table(headers);
+    for (const auto& w : workloads::all_workloads()) {
+      std::vector<std::string> row = {w->name()};
+      for (const auto& sys : systems) {
+        const core::ScaledSystem scale =
+            core::scale_system(sys.simulated_nodes, options.max_ranks);
+        const auto& runner =
+            cache.get(*w, scale.ranks, core::scaled_trace_block(*w, scale));
+        const noise::UniformCeNoiseModel noise(
+            core::scaled_mtbce(sys, scale), core::cost_model(mode));
+        const auto result =
+            runner.measure(noise, options.seeds, options.base_seed);
+        row.push_back(cell_text(result));
+      }
+      table.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
+}
+
+}  // namespace celog::bench

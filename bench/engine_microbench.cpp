@@ -1,0 +1,112 @@
+// bench/engine_microbench — google-benchmark micro-benchmarks of the
+// simulation substrate itself: event throughput of the LogGOPS engine,
+// task-graph construction, collective expansion, and the noise busy-period
+// arithmetic. These are the knobs that decide how large a machine the tool
+// can simulate per wall-second.
+#include <benchmark/benchmark.h>
+
+#include "collectives/collectives.hpp"
+#include "goal/task_graph.hpp"
+#include "noise/noise_model.hpp"
+#include "noise/rank_noise.hpp"
+#include "sim/engine.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace celog;
+
+goal::TaskGraph ring_graph(goal::Rank ranks, int iters) {
+  goal::TaskGraph g(ranks);
+  std::vector<goal::SequentialBuilder> b;
+  b.reserve(static_cast<std::size_t>(ranks));
+  for (goal::Rank r = 0; r < ranks; ++r) b.emplace_back(g, r);
+  for (int it = 0; it < iters; ++it) {
+    for (goal::Rank r = 0; r < ranks; ++r) {
+      b[static_cast<std::size_t>(r)].calc(1000);
+      b[static_cast<std::size_t>(r)].begin_phase();
+      b[static_cast<std::size_t>(r)].send((r + 1) % ranks, 1024, it);
+      b[static_cast<std::size_t>(r)].recv((r - 1 + ranks) % ranks, 1024, it);
+      b[static_cast<std::size_t>(r)].end_phase();
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+void BM_EngineRingThroughput(benchmark::State& state) {
+  const auto ranks = static_cast<goal::Rank>(state.range(0));
+  const goal::TaskGraph g = ring_graph(ranks, 50);
+  const sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto r = sim.run_baseline();
+    events += r.events_processed;
+    benchmark::DoNotOptimize(r.makespan);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["ops"] = static_cast<double>(g.total_ops());
+}
+BENCHMARK(BM_EngineRingThroughput)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_EngineWithNoise(benchmark::State& state) {
+  const goal::TaskGraph g = ring_graph(256, 50);
+  const sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
+  const noise::UniformCeNoiseModel noise(
+      microseconds(500),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(1)));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(noise, ++seed).makespan);
+  }
+}
+BENCHMARK(BM_EngineWithNoise);
+
+void BM_GraphBuildLulesh(benchmark::State& state) {
+  const auto workload = workloads::find_workload("lulesh");
+  workloads::WorkloadConfig config;
+  config.ranks = static_cast<goal::Rank>(state.range(0));
+  config.iterations = 10;
+  for (auto _ : state) {
+    const goal::TaskGraph g = workload->build(config);
+    benchmark::DoNotOptimize(g.total_ops());
+  }
+}
+BENCHMARK(BM_GraphBuildLulesh)->Arg(64)->Arg(512);
+
+void BM_CollectiveExpansionAllreduce(benchmark::State& state) {
+  const auto ranks = static_cast<goal::Rank>(state.range(0));
+  for (auto _ : state) {
+    goal::TaskGraph g(ranks);
+    std::vector<goal::SequentialBuilder> b;
+    b.reserve(static_cast<std::size_t>(ranks));
+    for (goal::Rank r = 0; r < ranks; ++r) b.emplace_back(g, r);
+    collectives::TagAllocator tags;
+    collectives::allreduce({b.data(), b.size()}, 8, tags);
+    g.finalize();
+    benchmark::DoNotOptimize(g.total_ops());
+  }
+}
+BENCHMARK(BM_CollectiveExpansionAllreduce)->Arg(256)->Arg(4096);
+
+void BM_RankNoiseBusyPeriod(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    const noise::FlatLoggingCost cost(microseconds(1));
+    noise::RankNoise rn(std::make_unique<noise::PoissonDetourSource>(
+        microseconds(100), cost, Xoshiro256(1)));
+    state.ResumeTiming();
+    TimeNs t = 0;
+    for (int i = 0; i < 10000; ++i) {
+      t = rn.next_free(t);
+      t = rn.occupy(t, 50000);
+    }
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_RankNoiseBusyPeriod);
+
+}  // namespace
+
+BENCHMARK_MAIN();

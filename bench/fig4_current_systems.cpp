@@ -1,0 +1,26 @@
+// bench/fig4_current_systems — regenerates Fig. 4: "Performance impacts of
+// correctable errors for existing systems Cielo, Trinity, and Summit."
+//
+// Every node experiences CEs at the system's MTBCE (Table II, Cielo per-GiB
+// density); three logging-cost scenarios. Expected shape (paper §IV-C):
+// negligible slowdowns — significantly less than 10% in all cases —
+// confirming CEs are not a problem on current systems.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace celog;
+  Cli cli("fig4_current_systems: CE slowdown on Cielo, Trinity, Summit");
+  bench::add_standard_options(cli);
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+  const bench::Options options = bench::read_standard_options(cli);
+  bench::print_banner("Fig. 4: current/recent systems", options);
+
+  bench::RunnerCache cache(options);
+  bench::run_systems_figure(core::systems::current_systems(), options, cache);
+
+  std::printf(
+      "\nexpected shape (paper Fig. 4): every cell well under 10%% — CE\n"
+      "rates on current chipkill-protected systems are harmless even with\n"
+      "firmware-first logging.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// bench/table1_workloads — regenerates Table I: "Descriptions of the
+// workloads used in evaluation", augmented with the model parameters that
+// drive CE-noise sensitivity in this reproduction: nominal iteration time
+// and the period between global synchronizations (§IV-C attributes the
+// sensitivity spread to collective frequency).
+#include <cstdio>
+
+#include "goal/task_graph.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workloads/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace celog;
+  Cli cli("table1_workloads: the nine workload models");
+  cli.add_option("ranks", "64", "ranks for the structure statistics");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+  const auto ranks = static_cast<goal::Rank>(cli.get_int("ranks"));
+
+  std::printf("== Table I: workload models (structure at %d ranks) ==\n\n",
+              ranks);
+  TextTable table({"workload", "iteration", "sync period", "ops/rank/iter",
+                   "bytes sent/rank/iter"});
+  for (const auto& w : workloads::all_workloads()) {
+    workloads::WorkloadConfig config;
+    config.ranks = ranks;
+    config.iterations = 4;
+    const goal::TaskGraph g = w->build(config);
+    const double per_rank_iter =
+        static_cast<double>(g.total_ops()) /
+        static_cast<double>(ranks) / config.iterations;
+    const double bytes = static_cast<double>(g.total_bytes_sent()) /
+                         static_cast<double>(ranks) / config.iterations;
+    table.add_row({
+        w->name(),
+        format_duration(w->iteration_time()),
+        format_duration(w->sync_period()),
+        format_fixed(per_rank_iter, 1),
+        format_count(static_cast<std::int64_t>(bytes)),
+    });
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\ndescriptions:\n");
+  for (const auto& w : workloads::all_workloads()) {
+    std::printf("  %-12s %s\n", w->name().c_str(), w->description().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// examples/custom_mpi_trace.cpp
+//
+// The "bring your own application" workflow, end to end — the same pipeline
+// the paper runs on its Mutrino traces:
+//   1. describe the application as per-rank MPI call sequences (here: a
+//      small stencil solver with nonblocking halo exchange and a residual
+//      allreduce — in practice you would convert a DUMPI/OTF trace);
+//   2. save/reload it in the celog-mpi text format;
+//   3. compile it to a GOAL task graph (nonblocking semantics, collective
+//      expansion);
+//   4. simulate it under CE logging noise and report slowdowns.
+#include <cstdio>
+
+#include "core/logging_mode.hpp"
+#include "mpi/compile.hpp"
+#include "mpi/trace_format.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/engine.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace celog;
+
+/// A 1-D ring Jacobi sweep: irecv/isend both neighbors, compute, waitall,
+/// then a residual allreduce every few sweeps.
+mpi::MpiProgram make_solver(goal::Rank ranks, int sweeps) {
+  mpi::MpiProgram p(ranks);
+  for (goal::Rank r = 0; r < ranks; ++r) {
+    const goal::Rank left = (r - 1 + ranks) % ranks;
+    const goal::Rank right = (r + 1) % ranks;
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      const goal::Tag tag = sweep % 1024;
+      p.add(r, mpi::Call::irecv(left, 8192, tag, 0));
+      p.add(r, mpi::Call::irecv(right, 8192, tag, 1));
+      p.add(r, mpi::Call::isend(left, 8192, tag, 2));
+      p.add(r, mpi::Call::isend(right, 8192, tag, 3));
+      p.add(r, mpi::Call::comp(milliseconds(8)));
+      p.add(r, mpi::Call::waitall());
+      if (sweep % 4 == 3) p.add(r, mpi::Call::allreduce(8));
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("custom_mpi_trace: simulate your own MPI trace under CE noise");
+  cli.add_option("ranks", "32", "ranks in the trace");
+  cli.add_option("sweeps", "40", "solver sweeps");
+  cli.add_option("mtbce-s", "2", "per-node mean time between CEs, seconds");
+  cli.add_option("out", "/tmp/celog_solver.mpitrace", "trace file path");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+
+  const auto ranks = static_cast<goal::Rank>(cli.get_int("ranks"));
+  const mpi::MpiProgram program =
+      make_solver(ranks, static_cast<int>(cli.get_int("sweeps")));
+  std::printf("1. built MPI trace: %d ranks, %zu calls\n", ranks,
+              program.total_calls());
+
+  const std::string path = cli.get("out");
+  mpi::save_trace(path, program);
+  const mpi::MpiProgram loaded = mpi::load_trace(path);
+  std::printf("2. round-tripped through %s (%zu calls)\n", path.c_str(),
+              loaded.total_calls());
+
+  const goal::TaskGraph graph = mpi::compile(loaded);
+  std::printf("3. compiled to a task graph: %zu ops, %zu edges\n",
+              graph.total_ops(), graph.total_edges());
+
+  const sim::Simulator sim(graph, sim::NetworkParams::cray_xc40());
+  const sim::SimResult base = sim.run_baseline();
+  std::printf("4. baseline runtime: %s\n",
+              format_duration(base.makespan).c_str());
+
+  const TimeNs mtbce = from_seconds(cli.get_double("mtbce-s"));
+  for (const auto mode : core::all_logging_modes()) {
+    const noise::UniformCeNoiseModel noise(mtbce, core::cost_model(mode));
+    const auto noisy = sim.run(noise, 42);
+    std::printf("   %-14s -> %s (%.2f%% slower, %llu detours charged)\n",
+                core::to_string(mode),
+                format_duration(noisy.makespan).c_str(),
+                sim::slowdown_percent(base, noisy),
+                static_cast<unsigned long long>(noisy.detours_charged));
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// examples/dimm_triage.cpp
+//
+// The system-administrator scenario from the paper's §IV-B: one node has a
+// DIMM that started producing correctable errors in bursts. Should you
+// drain the node and replace the DIMM, or can the machine keep running the
+// job? (A recent study found CEs are NOT predictive of future uncorrectable
+// errors [Levy et al., SC'18], so replacement is a pure performance call.)
+//
+// This example sweeps the failing node's CE rate for a chosen workload and
+// reporting mode and prints the job-level slowdown, ending with the highest
+// rate that stays under a user-chosen acceptability threshold.
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/logging_mode.hpp"
+#include "noise/noise_model.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workloads/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace celog;
+  Cli cli("dimm_triage: can one flaky DIMM stay in service?");
+  cli.add_option("workload", "hpcg", "workload the machine is running");
+  cli.add_option("ranks", "128", "job size in ranks (one per node)");
+  cli.add_option("threshold-pct", "5",
+                 "acceptable job slowdown in percent");
+  cli.add_option("seeds", "3", "noisy runs to average per point");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+
+  const auto workload = workloads::find_workload(cli.get("workload"));
+  workloads::WorkloadConfig config;
+  config.ranks = static_cast<goal::Rank>(cli.get_int("ranks"));
+  config.iterations = workload->iterations_for(4 * kSecond);
+  const double threshold = cli.get_double("threshold-pct");
+  const auto seeds = static_cast<int>(cli.get_int("seeds"));
+
+  std::printf("workload %s on %d nodes, %d iterations; acceptable slowdown "
+              "%.1f%%\n\n",
+              workload->name().c_str(), config.ranks, config.iterations,
+              threshold);
+  const core::ExperimentRunner runner(*workload, config);
+
+  // Burst rates a failing DIMM produces, from "replace it yesterday" to
+  // "barely noticeable" (§IV-B sweeps the same axis).
+  const std::vector<double> mtbce_s = {0.01, 0.1, 1.0, 10.0, 60.0};
+
+  for (const auto mode : core::all_logging_modes()) {
+    std::printf("-- %s reporting (%s/event) --\n", core::to_string(mode),
+                format_duration(core::cost_of(mode)).c_str());
+    TextTable table({"CE every", "job slowdown %", "verdict"});
+    double best_ok = -1.0;
+    for (const double s : mtbce_s) {
+      const noise::SingleRankCeNoiseModel noise(0, from_seconds(s),
+                                                core::cost_model(mode));
+      const auto result = runner.measure(noise, seeds);
+      std::string verdict;
+      if (result.no_progress) {
+        verdict = "replace immediately";
+      } else if (result.mean_pct > threshold) {
+        verdict = "replace";
+      } else {
+        verdict = "keep in service";
+        if (best_ok < 0) best_ok = s;
+      }
+      table.add_row({format_duration(from_seconds(s)),
+                     result.no_progress ? "no-progress"
+                                        : format_percent(result.mean_pct),
+                     verdict});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    if (best_ok > 0) {
+      std::printf("=> tolerate up to one CE every %s under %s reporting\n\n",
+                  format_duration(from_seconds(best_ok)).c_str(),
+                  core::to_string(mode));
+    } else {
+      std::printf("=> no swept rate is acceptable under %s reporting\n\n",
+                  core::to_string(mode));
+    }
+  }
+  std::printf(
+      "paper's conclusion (§VI): with software logging a node can emit a CE\n"
+      "every 10 ms without real impact; with firmware logging more than one\n"
+      "CE per second already hurts.\n");
+  return 0;
+}

@@ -1,0 +1,248 @@
+#include "collectives/collectives.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace celog::collectives {
+
+using goal::Rank;
+using goal::SequentialBuilder;
+using goal::Tag;
+
+goal::Tag TagAllocator::allocate(goal::Tag count) {
+  CELOG_ASSERT_MSG(count > 0, "tag range must be non-empty");
+  const goal::Tag base = next_;
+  CELOG_ASSERT_MSG(next_ <= std::numeric_limits<goal::Tag>::max() - count,
+                   "tag space exhausted");
+  next_ += count;
+  return base;
+}
+
+int dissemination_rounds(Rank p) {
+  CELOG_ASSERT(p >= 1);
+  int rounds = 0;
+  Rank span = 1;
+  while (span < p) {
+    span *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+namespace {
+
+Rank size_of(std::span<SequentialBuilder> ranks) {
+  CELOG_ASSERT_MSG(!ranks.empty(), "collective over zero ranks");
+  return static_cast<Rank>(ranks.size());
+}
+
+/// Largest power of two <= p.
+Rank pof2_below(Rank p) {
+  Rank pof2 = 1;
+  while (pof2 * 2 <= p) pof2 *= 2;
+  return pof2;
+}
+
+}  // namespace
+
+void barrier(std::span<SequentialBuilder> ranks, TagAllocator& tags) {
+  const Rank p = size_of(ranks);
+  if (p == 1) return;
+  const int rounds = dissemination_rounds(p);
+  const Tag base = tags.allocate(rounds);
+  Rank dist = 1;
+  for (int round = 0; round < rounds; ++round, dist *= 2) {
+    const Tag tag = base + round;
+    for (Rank i = 0; i < p; ++i) {
+      SequentialBuilder& b = ranks[static_cast<std::size_t>(i)];
+      b.begin_phase();
+      b.send((i + dist) % p, 0, tag);
+      b.recv((i - dist + p) % p, 0, tag);
+      b.end_phase();
+    }
+  }
+}
+
+namespace {
+
+void allreduce_recursive_doubling(std::span<SequentialBuilder> ranks,
+                                  std::int64_t bytes, TagAllocator& tags) {
+  const Rank p = size_of(ranks);
+  if (p == 1) return;
+  const Rank pof2 = pof2_below(p);
+  const Rank rem = p - pof2;
+  const int rounds = dissemination_rounds(pof2);
+  // rounds exchange tags + fold-in tag + result-return tag.
+  const Tag base = tags.allocate(rounds + 2);
+  const Tag fold_tag = base + rounds;
+  const Tag return_tag = base + rounds + 1;
+
+  // Fold-in: the first 2*rem ranks pair up (odd sends to even) so exactly
+  // pof2 ranks enter the butterfly. newrank: even i < 2*rem -> i/2;
+  // i >= 2*rem -> i - rem; odd i < 2*rem -> spectator.
+  auto real_of = [&](Rank newrank) {
+    return newrank < rem ? newrank * 2 : newrank + rem;
+  };
+
+  for (Rank i = 0; i < 2 * rem; i += 2) {
+    ranks[static_cast<std::size_t>(i + 1)].send(i, bytes, fold_tag);
+    ranks[static_cast<std::size_t>(i)].recv(i + 1, bytes, fold_tag);
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    const Rank mask = Rank{1} << round;
+    const Tag tag = base + round;
+    for (Rank nr = 0; nr < pof2; ++nr) {
+      const Rank partner = real_of(nr ^ mask);
+      SequentialBuilder& b = ranks[static_cast<std::size_t>(real_of(nr))];
+      b.begin_phase();
+      b.send(partner, bytes, tag);
+      b.recv(partner, bytes, tag);
+      b.end_phase();
+    }
+  }
+
+  for (Rank i = 0; i < 2 * rem; i += 2) {
+    ranks[static_cast<std::size_t>(i)].send(i + 1, bytes, return_tag);
+    ranks[static_cast<std::size_t>(i + 1)].recv(i, bytes, return_tag);
+  }
+}
+
+/// Ring exchange shared by reduce_scatter, allgather, and the ring
+/// allreduce: `rounds` rounds of (send right, recv left) of `block_bytes`.
+void ring_rounds(std::span<SequentialBuilder> ranks, std::int64_t block_bytes,
+                 int rounds, Tag base) {
+  const Rank p = size_of(ranks);
+  for (int round = 0; round < rounds; ++round) {
+    const Tag tag = base + round;
+    for (Rank i = 0; i < p; ++i) {
+      SequentialBuilder& b = ranks[static_cast<std::size_t>(i)];
+      b.begin_phase();
+      b.send((i + 1) % p, block_bytes, tag);
+      b.recv((i - 1 + p) % p, block_bytes, tag);
+      b.end_phase();
+    }
+  }
+}
+
+void allreduce_ring(std::span<SequentialBuilder> ranks, std::int64_t bytes,
+                    TagAllocator& tags) {
+  const Rank p = size_of(ranks);
+  if (p == 1) return;
+  // Reduce-scatter then allgather, each p-1 rounds of bytes/p blocks.
+  const std::int64_t block = std::max<std::int64_t>(1, bytes / p);
+  const Tag base = tags.allocate(2 * (p - 1));
+  ring_rounds(ranks, block, static_cast<int>(p - 1), base);
+  ring_rounds(ranks, block, static_cast<int>(p - 1), base + (p - 1));
+}
+
+}  // namespace
+
+void allreduce(std::span<SequentialBuilder> ranks, std::int64_t bytes,
+               TagAllocator& tags, AllreduceAlgorithm algorithm) {
+  CELOG_ASSERT_MSG(bytes >= 0, "allreduce payload must be non-negative");
+  switch (algorithm) {
+    case AllreduceAlgorithm::kRecursiveDoubling:
+      allreduce_recursive_doubling(ranks, bytes, tags);
+      break;
+    case AllreduceAlgorithm::kRing:
+      allreduce_ring(ranks, bytes, tags);
+      break;
+  }
+}
+
+void broadcast(std::span<SequentialBuilder> ranks, Rank root,
+               std::int64_t bytes, TagAllocator& tags) {
+  const Rank p = size_of(ranks);
+  CELOG_ASSERT(root >= 0 && root < p);
+  if (p == 1) return;
+  const Tag tag = tags.allocate(1);
+
+  for (Rank i = 0; i < p; ++i) {
+    const Rank rel = (i - root + p) % p;
+    SequentialBuilder& b = ranks[static_cast<std::size_t>(i)];
+    // Find the bit at which this rank receives from its parent.
+    Rank mask = 1;
+    while (mask < p) {
+      if (rel & mask) {
+        const Rank parent = ((rel ^ mask) + root) % p;
+        b.recv(parent, bytes, tag);
+        break;
+      }
+      mask *= 2;
+    }
+    // Forward to children at decreasing bit positions.
+    mask /= 2;
+    while (mask > 0) {
+      if (rel + mask < p) {
+        const Rank child = (rel + mask + root) % p;
+        b.send(child, bytes, tag);
+      }
+      mask /= 2;
+    }
+  }
+}
+
+void reduce(std::span<SequentialBuilder> ranks, Rank root, std::int64_t bytes,
+            TagAllocator& tags) {
+  const Rank p = size_of(ranks);
+  CELOG_ASSERT(root >= 0 && root < p);
+  if (p == 1) return;
+  const Tag tag = tags.allocate(1);
+
+  // Mirror image of the binomial broadcast: gather from children at
+  // increasing bit positions, then send to the parent.
+  for (Rank i = 0; i < p; ++i) {
+    const Rank rel = (i - root + p) % p;
+    SequentialBuilder& b = ranks[static_cast<std::size_t>(i)];
+    Rank mask = 1;
+    while (mask < p) {
+      if ((rel & mask) == 0) {
+        const Rank child_rel = rel | mask;
+        if (child_rel < p) {
+          b.recv((child_rel + root) % p, bytes, tag);
+        }
+      } else {
+        b.send(((rel ^ mask) + root) % p, bytes, tag);
+        break;
+      }
+      mask *= 2;
+    }
+  }
+}
+
+void allgather(std::span<SequentialBuilder> ranks, std::int64_t block_bytes,
+               TagAllocator& tags) {
+  const Rank p = size_of(ranks);
+  if (p == 1) return;
+  const Tag base = tags.allocate(p - 1);
+  ring_rounds(ranks, block_bytes, static_cast<int>(p - 1), base);
+}
+
+void reduce_scatter(std::span<SequentialBuilder> ranks,
+                    std::int64_t block_bytes, TagAllocator& tags) {
+  const Rank p = size_of(ranks);
+  if (p == 1) return;
+  const Tag base = tags.allocate(p - 1);
+  ring_rounds(ranks, block_bytes, static_cast<int>(p - 1), base);
+}
+
+void alltoall(std::span<SequentialBuilder> ranks, std::int64_t block_bytes,
+              TagAllocator& tags) {
+  const Rank p = size_of(ranks);
+  if (p == 1) return;
+  const Tag base = tags.allocate(p - 1);
+  for (Rank i = 0; i < p; ++i) {
+    SequentialBuilder& b = ranks[static_cast<std::size_t>(i)];
+    b.begin_phase();
+    for (Rank k = 1; k < p; ++k) {
+      b.send((i + k) % p, block_bytes, base + k - 1);
+      b.recv((i - k + p) % p, block_bytes, base + k - 1);
+    }
+    b.end_phase();
+  }
+}
+
+}  // namespace celog::collectives

@@ -1,0 +1,87 @@
+// celog/collectives/collectives.hpp
+//
+// Collective-operation expansion: lowers MPI collectives onto point-to-point
+// send/recv ops in a goal::TaskGraph, the same role LogGOPSim's collective
+// conversion plays for extrapolated traces (exact communication patterns for
+// collectives, §III-C of the paper).
+//
+// Algorithms follow the classic implementations (MPICH/OpenMPI defaults for
+// the relevant size ranges):
+//   * barrier          — dissemination, ceil(log2 p) rounds, any p;
+//   * allreduce        — recursive doubling with a power-of-two fold-in for
+//                        non-power-of-two p; optional ring variant
+//                        (reduce-scatter + allgather) for the ablation;
+//   * broadcast        — binomial tree, any p, any root;
+//   * reduce           — binomial tree (reverse), any p, any root;
+//   * allgather        — ring, p-1 rounds, any p;
+//   * alltoall         — linear shifted exchange, p-1 rounds;
+//   * reduce_scatter   — ring reduce-scatter, equal block sizes.
+//
+// All functions append ops for EVERY rank through the per-rank
+// SequentialBuilder array, so collectives compose with computation phases:
+// the ops of round k+1 depend on round k's completion on each rank, and the
+// caller's next op depends on the rank's final collective op.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "goal/task_graph.hpp"
+
+namespace celog::collectives {
+
+/// Hands out non-overlapping tag ranges so concurrent collectives (and app
+/// point-to-point traffic) never match each other's messages. Application
+/// tags must stay below kCollectiveTagBase.
+class TagAllocator {
+ public:
+  static constexpr goal::Tag kCollectiveTagBase = 1 << 20;
+
+  TagAllocator() = default;
+
+  /// Reserves `count` consecutive tags and returns the first.
+  goal::Tag allocate(goal::Tag count);
+
+ private:
+  goal::Tag next_ = kCollectiveTagBase;
+};
+
+enum class AllreduceAlgorithm { kRecursiveDoubling, kRing };
+
+/// Dissemination barrier: in round k every rank i sends a zero-payload
+/// token to (i + 2^k) mod p and waits for one from (i - 2^k) mod p.
+void barrier(std::span<goal::SequentialBuilder> ranks, TagAllocator& tags);
+
+/// Allreduce of `bytes` payload on every rank.
+void allreduce(std::span<goal::SequentialBuilder> ranks, std::int64_t bytes,
+               TagAllocator& tags,
+               AllreduceAlgorithm algorithm =
+                   AllreduceAlgorithm::kRecursiveDoubling);
+
+/// Binomial-tree broadcast of `bytes` from `root`.
+void broadcast(std::span<goal::SequentialBuilder> ranks, goal::Rank root,
+               std::int64_t bytes, TagAllocator& tags);
+
+/// Binomial-tree reduce of `bytes` to `root`.
+void reduce(std::span<goal::SequentialBuilder> ranks, goal::Rank root,
+            std::int64_t bytes, TagAllocator& tags);
+
+/// Ring allgather: every rank contributes `block_bytes`; p-1 rounds, each
+/// forwarding one block to the right neighbor.
+void allgather(std::span<goal::SequentialBuilder> ranks,
+               std::int64_t block_bytes, TagAllocator& tags);
+
+/// Linear shifted alltoall: every rank sends `block_bytes` to every other.
+void alltoall(std::span<goal::SequentialBuilder> ranks,
+              std::int64_t block_bytes, TagAllocator& tags);
+
+/// Ring reduce-scatter: every rank starts with p blocks of `block_bytes`
+/// and ends with one fully reduced block.
+void reduce_scatter(std::span<goal::SequentialBuilder> ranks,
+                    std::int64_t block_bytes, TagAllocator& tags);
+
+/// Number of communication rounds a dissemination barrier over p ranks
+/// performs: ceil(log2 p). Exposed for tests and analytic checks.
+int dissemination_rounds(goal::Rank p);
+
+}  // namespace celog::collectives

@@ -1,0 +1,75 @@
+#include "core/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace celog::core {
+
+double utilization(const AnalyticScenario& s) {
+  CELOG_ASSERT_MSG(s.mtbce > 0, "MTBCE must be positive");
+  return static_cast<double>(s.cost) / static_cast<double>(s.mtbce);
+}
+
+bool no_progress(const AnalyticScenario& s) { return utilization(s) >= 1.0; }
+
+double expected_max_poisson(double mu, std::int64_t m) {
+  CELOG_ASSERT_MSG(mu >= 0.0, "Poisson mean must be non-negative");
+  CELOG_ASSERT_MSG(m >= 1, "need at least one variable");
+  if (mu == 0.0) return 0.0;
+  // E[max] = sum_{k>=0} P(max > k) = sum_{k>=0} (1 - F(k)^m).
+  double pmf = std::exp(-mu);  // P(X = 0)
+  double cdf = pmf;
+  double expectation = 0.0;
+  // The tail decays super-exponentially past mu + ~12*sqrt(mu); cap
+  // generously and stop once the term underflows.
+  const int limit = static_cast<int>(mu + 15.0 * std::sqrt(mu) + 40.0);
+  for (int k = 0; k < limit; ++k) {
+    const double term = 1.0 - std::pow(cdf, static_cast<double>(m));
+    expectation += term;
+    if (term < 1e-12 && k > mu) break;
+    pmf *= mu / static_cast<double>(k + 1);
+    cdf = std::min(1.0, cdf + pmf);
+  }
+  return expectation;
+}
+
+namespace {
+
+/// Busy-period amplification: each detour of cost c at utilization rho
+/// effectively stalls the application for c / (1 - rho).
+double effective_cost_s(const AnalyticScenario& s) {
+  const double rho = utilization(s);
+  CELOG_ASSERT(rho < 1.0);
+  return to_seconds(s.cost) / (1.0 - rho);
+}
+
+}  // namespace
+
+double additive_slowdown(const AnalyticScenario& s) {
+  CELOG_ASSERT_MSG(s.nodes > 0, "need a machine size");
+  const double lambda = 1.0 / to_seconds(s.mtbce);  // per node per second
+  return static_cast<double>(s.nodes) * lambda * effective_cost_s(s);
+}
+
+double island_slowdown(const AnalyticScenario& s) {
+  CELOG_ASSERT_MSG(s.sync_period > 0, "need a sync period");
+  const goal::Rank island = std::clamp<goal::Rank>(
+      s.island > 0 ? s.island : s.nodes, 1, s.nodes);
+  const std::int64_t islands = std::max<std::int64_t>(1, s.nodes / island);
+  const double epoch_s = to_seconds(s.sync_period);
+  // Expected CEs per island per epoch.
+  const double mu =
+      static_cast<double>(island) * epoch_s / to_seconds(s.mtbce);
+  const double worst = expected_max_poisson(mu, islands);
+  return worst * effective_cost_s(s) / epoch_s;
+}
+
+double predicted_slowdown_percent(const AnalyticScenario& s) {
+  if (no_progress(s)) return std::numeric_limits<double>::infinity();
+  return 100.0 * std::min(additive_slowdown(s), island_slowdown(s));
+}
+
+}  // namespace celog::core

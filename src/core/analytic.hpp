@@ -1,0 +1,61 @@
+// celog/core/analytic.hpp
+//
+// Closed-form slowdown predictions for CE noise, used to sanity-check the
+// simulator and to explain its regimes (see DESIGN.md):
+//
+//   * per-node utilization rho = cost / MTBCE; rho >= 1 means the node
+//     cannot make forward progress (the paper's omitted cells), and the
+//     M/D/1 busy-period factor 1/(1-rho) amplifies each detour below that;
+//   * ADDITIVE regime (fine-grained synchronization, sparse events): every
+//     event lands on the machine's critical path, slowdown ~ p*lambda*cost;
+//   * ISLAND-COALESCING regime (coarse synchronization or island-structured
+//     p2p): per sync epoch only the worst island's accumulated detours
+//     extend the makespan, slowdown ~ E[max over islands of
+//     Poisson(island_rate*epoch)] * effective_cost / epoch.
+//
+// The prediction is the smaller of the two regime estimates — noise can
+// never do better than full propagation and never worse (in expectation)
+// than the coalesced bound at this level of modeling.
+#pragma once
+
+#include <cstdint>
+
+#include "goal/task_graph.hpp"
+#include "util/time.hpp"
+
+namespace celog::core {
+
+struct AnalyticScenario {
+  /// Machine size in nodes (one rank per node).
+  goal::Rank nodes = 0;
+  /// Mean time between CEs per node.
+  TimeNs mtbce = 0;
+  /// Per-event handling cost.
+  TimeNs cost = 0;
+  /// Compute time between global synchronizations (workload sync period).
+  TimeNs sync_period = 0;
+  /// p2p island size (trace block); nodes means fully coupled.
+  goal::Rank island = 0;
+};
+
+/// rho = cost / MTBCE for one node.
+double utilization(const AnalyticScenario& s);
+
+/// True when CE handling outpaces the CPU (rho >= 1): no forward progress.
+bool no_progress(const AnalyticScenario& s);
+
+/// Expected value of the maximum of `m` iid Poisson(mu) variables.
+/// Exact summation E[max] = sum_{k>=0} (1 - F(k)^m); exposed for tests.
+double expected_max_poisson(double mu, std::int64_t m);
+
+/// Additive-regime slowdown fraction: p * lambda * cost * 1/(1-rho).
+double additive_slowdown(const AnalyticScenario& s);
+
+/// Island-coalescing slowdown fraction.
+double island_slowdown(const AnalyticScenario& s);
+
+/// The model's prediction: min(additive, island), as a PERCENT to match
+/// SlowdownResult::mean_pct. Returns +inf when no_progress(s).
+double predicted_slowdown_percent(const AnalyticScenario& s);
+
+}  // namespace celog::core

@@ -1,0 +1,87 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace celog::core {
+
+ScaledSystem scale_system(std::int64_t paper_nodes, goal::Rank max_ranks) {
+  CELOG_ASSERT_MSG(paper_nodes > 0, "system must have nodes");
+  CELOG_ASSERT_MSG(max_ranks > 0, "must simulate at least one rank");
+  ScaledSystem s;
+  if (paper_nodes <= max_ranks) {
+    s.ranks = static_cast<goal::Rank>(paper_nodes);
+    s.mtbce_divisor = 1.0;
+  } else {
+    s.ranks = max_ranks;
+    s.mtbce_divisor =
+        static_cast<double>(paper_nodes) / static_cast<double>(max_ranks);
+  }
+  return s;
+}
+
+TimeNs scaled_mtbce(const SystemConfig& system, const ScaledSystem& scale) {
+  const double s = system.mtbce_node_seconds() / scale.mtbce_divisor;
+  return from_seconds(s);
+}
+
+goal::Rank scaled_trace_block(const workloads::Workload& workload,
+                              const ScaledSystem& scale) {
+  const double shrunk =
+      static_cast<double>(workload.trace_ranks()) / scale.mtbce_divisor;
+  const auto block = static_cast<goal::Rank>(std::llround(shrunk));
+  return std::clamp<goal::Rank>(block, 1, scale.ranks);
+}
+
+ExperimentRunner::ExperimentRunner(const workloads::Workload& workload,
+                                   const workloads::WorkloadConfig& config,
+                                   sim::NetworkParams net)
+    : graph_(workload.build(config)),
+      simulator_(graph_, net),
+      baseline_(simulator_.run_baseline()) {}
+
+sim::SimResult ExperimentRunner::run_once(const noise::NoiseModel& noise,
+                                          std::uint64_t seed) const {
+  return simulator_.run(noise, seed);
+}
+
+SlowdownResult ExperimentRunner::measure(const noise::NoiseModel& noise,
+                                         int seeds, std::uint64_t base_seed,
+                                         double horizon_factor) const {
+  CELOG_ASSERT_MSG(seeds >= 1, "need at least one seed");
+  CELOG_ASSERT_MSG(horizon_factor > 1.0, "horizon must exceed the baseline");
+  const auto horizon = static_cast<TimeNs>(
+      std::min(static_cast<double>(noise::RankNoise::kNoHorizon),
+               static_cast<double>(baseline_.makespan) * horizon_factor));
+  RunningStats pct;
+  RunningStats detours;
+  RunningStats stolen;
+  SlowdownResult out;
+  for (int i = 0; i < seeds; ++i) {
+    try {
+      const sim::SimResult r = simulator_.run(
+          noise, base_seed + static_cast<std::uint64_t>(i), horizon);
+      pct.add(sim::slowdown_percent(baseline_, r));
+      detours.add(static_cast<double>(r.detours_charged));
+      stolen.add(to_seconds(r.noise_stolen));
+    } catch (const NoProgressError&) {
+      out.no_progress = true;
+      out.seeds = i;
+      out.baseline_makespan = baseline_.makespan;
+      return out;
+    }
+  }
+  out.mean_pct = pct.mean();
+  out.stderr_pct = pct.stderr_mean();
+  out.min_pct = pct.min();
+  out.max_pct = pct.max();
+  out.seeds = seeds;
+  out.baseline_makespan = baseline_.makespan;
+  out.mean_detours = detours.mean();
+  out.mean_stolen_s = stolen.mean();
+  return out;
+}
+
+}  // namespace celog::core

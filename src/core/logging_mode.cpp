@@ -1,0 +1,35 @@
+#include "core/logging_mode.hpp"
+
+#include "util/error.hpp"
+
+namespace celog::core {
+
+const char* to_string(LoggingMode mode) {
+  switch (mode) {
+    case LoggingMode::kHardwareOnly: return "hardware-only";
+    case LoggingMode::kSoftware: return "software";
+    case LoggingMode::kFirmware: return "firmware";
+  }
+  return "?";
+}
+
+TimeNs cost_of(LoggingMode mode) {
+  switch (mode) {
+    case LoggingMode::kHardwareOnly: return noise::costs::kHardwareOnly;
+    case LoggingMode::kSoftware: return noise::costs::kSoftwareCmci;
+    case LoggingMode::kFirmware: return noise::costs::kFirmwareEmca;
+  }
+  CELOG_ASSERT_MSG(false, "unreachable");
+  return 0;
+}
+
+std::shared_ptr<const noise::LoggingCostModel> cost_model(LoggingMode mode) {
+  return std::make_shared<noise::FlatLoggingCost>(cost_of(mode));
+}
+
+std::vector<LoggingMode> all_logging_modes() {
+  return {LoggingMode::kHardwareOnly, LoggingMode::kSoftware,
+          LoggingMode::kFirmware};
+}
+
+}  // namespace celog::core

@@ -1,0 +1,31 @@
+// celog/core/logging_mode.hpp
+//
+// The three CE reporting scenarios every figure in the paper compares,
+// with their per-event costs from the figure captions (measured in §IV-A):
+//   hardware-only correction: 150 ns/event,
+//   software logging (CMCI):  775 us/event,
+//   firmware logging (EMCA):  133 ms/event.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noise/detour.hpp"
+
+namespace celog::core {
+
+enum class LoggingMode { kHardwareOnly, kSoftware, kFirmware };
+
+const char* to_string(LoggingMode mode);
+
+/// Per-event cost used in the paper's figures for `mode`.
+TimeNs cost_of(LoggingMode mode);
+
+/// Flat cost model for `mode` (the model behind Figs. 3-7).
+std::shared_ptr<const noise::LoggingCostModel> cost_model(LoggingMode mode);
+
+/// The three modes in figure order.
+std::vector<LoggingMode> all_logging_modes();
+
+}  // namespace celog::core

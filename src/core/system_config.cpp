@@ -1,0 +1,81 @@
+#include "core/system_config.hpp"
+
+#include "util/error.hpp"
+
+namespace celog::core {
+
+TimeNs SystemConfig::mtbce_node() const {
+  CELOG_ASSERT_MSG(ces_per_node_year > 0.0,
+                   "MTBCE undefined for a zero CE rate");
+  const double year_s = to_seconds(kYear);
+  return from_seconds(year_s / ces_per_node_year);
+}
+
+namespace systems {
+
+SystemConfig google() {
+  // Schroeder et al., CACM 2011: 22,696 CEs/node/yr over 1-4 GiB nodes;
+  // Table II lists 11,384 CEs/GiB/yr (i.e. ~2 GiB average).
+  return SystemConfig{"Google", 11384.0, 2.0, 22696.0, 0, 0};
+}
+
+SystemConfig facebook() {
+  // Meza et al., DSN 2015: 5,964 CEs/node/yr, 460 CEs/GiB/yr mean
+  // (median 108) over 2-24 GiB nodes.
+  return SystemConfig{"Facebook", 460.0, 5964.0 / 460.0, 5964.0, 0, 0};
+}
+
+SystemConfig cielo() {
+  // Levy et al., SC 2018 (lifetime of Cielo): 26.35 CEs/node/yr over
+  // 32 GiB/node = 0.82 CEs/GiB/yr with chipkill-correct ECC.
+  return SystemConfig{"Cielo", 0.82, 32.0, 26.35, 8894, 8192};
+}
+
+SystemConfig trinity() {
+  // Table II states 89.6 CEs/node/yr for 128 GiB at the Cielo density; the
+  // density columns imply 105 — we keep the paper's stated value for the
+  // simulations and surface both in bench/table2_systems.
+  return SystemConfig{"Trinity (w/ CE_Cielo)", 0.82, 128.0, 89.6, 19420,
+                      16384};
+}
+
+SystemConfig summit() {
+  // Same situation as Trinity: stated 425.6 vs derived 498.6.
+  return SystemConfig{"Summit (w/ CE_Cielo)", 0.82, 608.0, 425.6, 4608, 4096};
+}
+
+SystemConfig exascale_cielo(double rate_multiplier) {
+  CELOG_ASSERT_MSG(rate_multiplier > 0.0, "rate multiplier must be positive");
+  const double density = 0.82 * rate_multiplier;
+  std::string name = "Exascale (CE_Cielo";
+  if (rate_multiplier != 1.0) {
+    name += " x" + std::to_string(static_cast<int>(rate_multiplier));
+  }
+  name += ")";
+  return SystemConfig{name, density, 700.0, density * 700.0, 16384, 16384};
+}
+
+SystemConfig exascale_facebook_median() {
+  // Median of Meza et al.: 108 CEs/GiB/yr, ~120x the Cielo density.
+  return SystemConfig{"Exascale (CE_median(Facebook))", 108.0, 700.0,
+                      108.0 * 700.0, 16384, 16384};
+}
+
+std::vector<SystemConfig> current_systems() {
+  return {cielo(), trinity(), summit()};
+}
+
+std::vector<SystemConfig> exascale_systems() {
+  return {exascale_cielo(1.0), exascale_cielo(10.0), exascale_cielo(20.0),
+          exascale_cielo(100.0), exascale_facebook_median()};
+}
+
+std::vector<SystemConfig> table2() {
+  std::vector<SystemConfig> rows = {google(), facebook()};
+  for (auto& s : current_systems()) rows.push_back(s);
+  for (auto& s : exascale_systems()) rows.push_back(s);
+  return rows;
+}
+
+}  // namespace systems
+}  // namespace celog::core

@@ -1,0 +1,79 @@
+// celog/core/system_config.hpp
+//
+// The systems of Table II: measured CE rates from published field studies
+// (Google, Facebook, Cielo), chipkill-rate projections for Trinity and
+// Summit, and the hypothetical exascale configurations whose MTBCE floors
+// the paper derives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace celog::core {
+
+/// One row of Table II.
+struct SystemConfig {
+  std::string name;
+  /// CE rate density (CEs per GiB of DRAM per year), the quantity the paper
+  /// holds constant when projecting across systems.
+  double ces_per_gib_year = 0.0;
+  /// DRAM per node in GiB.
+  double gib_per_node = 0.0;
+  /// CEs per node per year as stated in Table II. For most rows this equals
+  /// ces_per_gib_year * gib_per_node; where the paper's stated value
+  /// differs (Trinity, Summit) we keep the stated value, and
+  /// bench/table2_systems prints both (see DESIGN.md, "Known paper-internal
+  /// inconsistencies").
+  double ces_per_node_year = 0.0;
+  /// Physical system size; 0 for the data-center studies.
+  std::int64_t nodes = 0;
+  /// Node count the paper simulates for this system; 0 if not simulated.
+  std::int64_t simulated_nodes = 0;
+
+  /// CEs/node/year recomputed from the density columns.
+  double derived_ces_per_node_year() const {
+    return ces_per_gib_year * gib_per_node;
+  }
+
+  /// Mean time between CEs on one node, from the stated CEs/node/year using
+  /// a 365-day year.
+  TimeNs mtbce_node() const;
+
+  /// MTBCE in seconds (reporting convenience).
+  double mtbce_node_seconds() const { return to_seconds(mtbce_node()); }
+};
+
+namespace systems {
+
+/// Data-center field studies (first two rows of Table II; context only,
+/// never simulated).
+SystemConfig google();
+SystemConfig facebook();
+
+/// Measured: Cielo over its lifetime (Levy et al., SC'18): 0.82 CEs/GiB/yr
+/// with chipkill ECC — the most reliable rate in the literature and the
+/// paper's baseline.
+SystemConfig cielo();
+/// Trinity and Summit with the Cielo per-GiB rate applied to their larger
+/// per-node memory.
+SystemConfig trinity();
+SystemConfig summit();
+
+/// The strawman exascale system: 16,384 nodes with 700 GiB/node, at
+/// `rate_multiplier` times the Cielo CE density (paper uses 1, 10, 20, 100).
+SystemConfig exascale_cielo(double rate_multiplier);
+/// Exascale at the Facebook-median density (108 CEs/GiB/yr, ~120x Cielo).
+SystemConfig exascale_facebook_median();
+
+/// The three current/recent systems of Fig. 4, in paper order.
+std::vector<SystemConfig> current_systems();
+/// The five exascale configurations of Fig. 5, in paper order.
+std::vector<SystemConfig> exascale_systems();
+/// Every Table II row, in paper order (for bench/table2_systems).
+std::vector<SystemConfig> table2();
+
+}  // namespace systems
+}  // namespace celog::core

@@ -1,0 +1,207 @@
+#include "goal/task_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace celog::goal {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCalc: return "calc";
+    case OpKind::kSend: return "send";
+    case OpKind::kRecv: return "recv";
+  }
+  return "?";
+}
+
+TaskGraph::TaskGraph(Rank ranks) {
+  CELOG_ASSERT_MSG(ranks > 0, "task graph needs at least one rank");
+  programs_.resize(static_cast<std::size_t>(ranks));
+}
+
+OpId TaskGraph::add_op(Rank rank, const Op& op) {
+  CELOG_ASSERT_MSG(!finalized_, "cannot add ops after finalize()");
+  CELOG_ASSERT(rank >= 0 && rank < ranks());
+  if (op.kind != OpKind::kCalc) {
+    CELOG_ASSERT_MSG(op.peer >= 0 && op.peer < ranks(),
+                     "send/recv peer out of range");
+    CELOG_ASSERT_MSG(op.peer != rank, "self-messages are not supported");
+  }
+  auto& prog = programs_[static_cast<std::size_t>(rank)];
+  const auto index = static_cast<OpIndex>(prog.ops_.size());
+  prog.ops_.push_back(op);
+  return OpId{rank, index};
+}
+
+void TaskGraph::add_dependency(OpId before, OpId after) {
+  CELOG_ASSERT_MSG(!finalized_, "cannot add edges after finalize()");
+  CELOG_ASSERT_MSG(before.rank == after.rank,
+                   "dependency edges must stay within one rank");
+  CELOG_ASSERT(before.rank >= 0 && before.rank < ranks());
+  const auto& prog = programs_[static_cast<std::size_t>(before.rank)];
+  CELOG_ASSERT(before.index < prog.ops_.size());
+  CELOG_ASSERT(after.index < prog.ops_.size());
+  CELOG_ASSERT_MSG(before.index != after.index, "op cannot depend on itself");
+  edges_.push_back(Edge{before.rank, before.index, after.index});
+}
+
+void TaskGraph::finalize() {
+  CELOG_ASSERT_MSG(!finalized_, "finalize() called twice");
+
+  // Group edges by rank, then build CSR per rank.
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    if (a.before != b.before) return a.before < b.before;
+    return a.after < b.after;
+  });
+  // Drop exact duplicate edges so in-degrees stay correct if a generator
+  // declares the same dependency twice.
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.rank == b.rank && a.before == b.before &&
+                                    a.after == b.after;
+                           }),
+               edges_.end());
+
+  std::size_t edge_pos = 0;
+  for (Rank r = 0; r < ranks(); ++r) {
+    auto& prog = programs_[static_cast<std::size_t>(r)];
+    const std::size_t n = prog.ops_.size();
+    prog.succ_offsets_.assign(n + 1, 0);
+    prog.in_degree_.assign(n, 0);
+
+    const std::size_t rank_begin = edge_pos;
+    while (edge_pos < edges_.size() && edges_[edge_pos].rank == r) {
+      const Edge& e = edges_[edge_pos];
+      ++prog.succ_offsets_[e.before + 1];
+      ++prog.in_degree_[e.after];
+      ++edge_pos;
+    }
+    std::partial_sum(prog.succ_offsets_.begin(), prog.succ_offsets_.end(),
+                     prog.succ_offsets_.begin());
+    prog.succ_.resize(edge_pos - rank_begin);
+    std::vector<std::size_t> cursor(prog.succ_offsets_.begin(),
+                                    prog.succ_offsets_.end() - 1);
+    for (std::size_t i = rank_begin; i < edge_pos; ++i) {
+      prog.succ_[cursor[edges_[i].before]++] = edges_[i].after;
+    }
+
+    // Kahn's algorithm: a cycle exists iff some op is never released.
+    std::vector<std::uint32_t> indeg = prog.in_degree_;
+    std::deque<OpIndex> ready;
+    for (OpIndex i = 0; i < n; ++i) {
+      if (indeg[i] == 0) ready.push_back(i);
+    }
+    std::size_t released = 0;
+    while (!ready.empty()) {
+      const OpIndex i = ready.front();
+      ready.pop_front();
+      ++released;
+      for (std::size_t s = prog.succ_offsets_[i]; s < prog.succ_offsets_[i + 1];
+           ++s) {
+        if (--indeg[prog.succ_[s]] == 0) ready.push_back(prog.succ_[s]);
+      }
+    }
+    if (released != n) {
+      throw InvalidInputError("dependency cycle in program of rank " +
+                              std::to_string(r));
+    }
+  }
+  finalized_ = true;
+}
+
+std::size_t TaskGraph::total_ops() const {
+  std::size_t total = 0;
+  for (const auto& prog : programs_) total += prog.ops_.size();
+  return total;
+}
+
+std::int64_t TaskGraph::total_bytes_sent() const {
+  std::int64_t total = 0;
+  for (const auto& prog : programs_) {
+    for (const auto& op : prog.ops_) {
+      if (op.kind == OpKind::kSend) total += op.size_or_duration;
+    }
+  }
+  return total;
+}
+
+std::size_t TaskGraph::count_ops(OpKind kind) const {
+  std::size_t total = 0;
+  for (const auto& prog : programs_) {
+    for (const auto& op : prog.ops_) {
+      if (op.kind == kind) ++total;
+    }
+  }
+  return total;
+}
+
+SequentialBuilder::SequentialBuilder(TaskGraph& graph, Rank rank)
+    : graph_(graph), rank_(rank) {
+  CELOG_ASSERT(rank >= 0 && rank < graph.ranks());
+}
+
+OpId SequentialBuilder::append(const Op& op) {
+  const OpId id = graph_.add_op(rank_, op);
+  for (const OpId& dep : frontier_) graph_.add_dependency(dep, id);
+  if (in_phase_) {
+    phase_ops_.push_back(id);
+  } else {
+    frontier_.clear();
+    frontier_.push_back(id);
+  }
+  return id;
+}
+
+OpId SequentialBuilder::calc(TimeNs duration) {
+  return append(Op::calc(duration));
+}
+
+OpId SequentialBuilder::send(Rank dest, std::int64_t bytes, Tag tag) {
+  return append(Op::send(dest, bytes, tag));
+}
+
+OpId SequentialBuilder::recv(Rank src, std::int64_t bytes, Tag tag) {
+  return append(Op::recv(src, bytes, tag));
+}
+
+OpId SequentialBuilder::detached_send(Rank dest, std::int64_t bytes,
+                                      Tag tag) {
+  CELOG_ASSERT_MSG(!in_phase_, "detached ops are not allowed inside a phase");
+  const OpId id = graph_.add_op(rank_, Op::send(dest, bytes, tag));
+  for (const OpId& dep : frontier_) graph_.add_dependency(dep, id);
+  return id;
+}
+
+OpId SequentialBuilder::detached_recv(Rank src, std::int64_t bytes, Tag tag) {
+  CELOG_ASSERT_MSG(!in_phase_, "detached ops are not allowed inside a phase");
+  const OpId id = graph_.add_op(rank_, Op::recv(src, bytes, tag));
+  for (const OpId& dep : frontier_) graph_.add_dependency(dep, id);
+  return id;
+}
+
+void SequentialBuilder::join(OpId id) {
+  CELOG_ASSERT_MSG(!in_phase_, "join() is not allowed inside a phase");
+  CELOG_ASSERT_MSG(id.rank == rank_, "can only join ops of this rank");
+  frontier_.push_back(id);
+}
+
+void SequentialBuilder::begin_phase() {
+  CELOG_ASSERT_MSG(!in_phase_, "begin_phase() while already in a phase");
+  in_phase_ = true;
+  phase_ops_.clear();
+}
+
+void SequentialBuilder::end_phase() {
+  CELOG_ASSERT_MSG(in_phase_, "end_phase() without begin_phase()");
+  in_phase_ = false;
+  if (!phase_ops_.empty()) {
+    // Everything after the phase depends on all ops inside it (waitall);
+    // an empty phase leaves the frontier unchanged.
+    frontier_ = std::move(phase_ops_);
+    phase_ops_ = {};
+  }
+}
+
+}  // namespace celog::goal

@@ -1,0 +1,204 @@
+// celog/goal/task_graph.hpp
+//
+// GOAL-style task graphs: the intermediate representation between workload
+// models (or parsed traces) and the LogGOPS simulator.
+//
+// A task graph holds, for every simulated rank, a program of operations:
+//   * calc  — local computation for a fixed duration,
+//   * send  — transmit `size` bytes to a peer rank with a tag,
+//   * recv  — receive `size` bytes from a peer rank with a tag.
+// plus intra-rank dependency edges ("op B may not start before op A has
+// completed"). Cross-rank ordering is never encoded as an edge: it emerges
+// from message matching in the simulator, exactly as in LogGOPSim's GOAL
+// format (Hoefler et al., HPDC'10). This is what lets a delay on one rank
+// propagate transitively to ranks it never talks to (paper Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace celog::goal {
+
+using Rank = std::int32_t;
+using Tag = std::int32_t;
+/// Index of an op within one rank's program.
+using OpIndex = std::uint32_t;
+
+enum class OpKind : std::uint8_t { kCalc, kSend, kRecv };
+
+const char* to_string(OpKind kind);
+
+/// One operation in a rank's program. `peer`/`tag` are meaningful for
+/// send/recv; `size_or_duration` is bytes for send/recv and nanoseconds of
+/// computation for calc.
+struct Op {
+  OpKind kind = OpKind::kCalc;
+  Rank peer = -1;
+  Tag tag = 0;
+  std::int64_t size_or_duration = 0;
+
+  static Op calc(TimeNs duration) {
+    CELOG_ASSERT_MSG(duration >= 0, "calc duration must be non-negative");
+    return Op{OpKind::kCalc, -1, 0, duration};
+  }
+  static Op send(Rank dest, std::int64_t bytes, Tag tag) {
+    CELOG_ASSERT_MSG(bytes >= 0, "message size must be non-negative");
+    return Op{OpKind::kSend, dest, tag, bytes};
+  }
+  static Op recv(Rank src, std::int64_t bytes, Tag tag) {
+    CELOG_ASSERT_MSG(bytes >= 0, "message size must be non-negative");
+    return Op{OpKind::kRecv, src, tag, bytes};
+  }
+
+  bool operator==(const Op&) const = default;
+};
+
+/// Identifies an op globally: (rank, index within that rank's program).
+struct OpId {
+  Rank rank = -1;
+  OpIndex index = 0;
+
+  bool operator==(const OpId&) const = default;
+};
+
+/// One rank's program: ops plus dependency edges in compressed (CSR) form.
+/// Built through TaskGraph; immutable afterwards from the simulator's view.
+class RankProgram {
+ public:
+  std::size_t size() const { return ops_.size(); }
+  const Op& op(OpIndex i) const {
+    CELOG_ASSERT(i < ops_.size());
+    return ops_[i];
+  }
+
+  /// Successors of op `i`: ops that list `i` as a prerequisite.
+  std::span<const OpIndex> successors(OpIndex i) const {
+    CELOG_ASSERT(i < ops_.size());
+    return {succ_.data() + succ_offsets_[i],
+            succ_offsets_[i + 1] - succ_offsets_[i]};
+  }
+
+  /// Number of prerequisite edges into op `i`.
+  std::uint32_t in_degree(OpIndex i) const {
+    CELOG_ASSERT(i < ops_.size());
+    return in_degree_[i];
+  }
+
+ private:
+  friend class TaskGraph;
+
+  std::vector<Op> ops_;
+  // CSR successor lists; succ_offsets_ has ops_.size()+1 entries.
+  std::vector<std::size_t> succ_offsets_;
+  std::vector<OpIndex> succ_;
+  std::vector<std::uint32_t> in_degree_;
+};
+
+/// A complete multi-rank task graph.
+///
+/// Construction protocol: add ops and edges freely, then call finalize()
+/// exactly once. finalize() builds CSR adjacency and validates that every
+/// rank's dependence graph is acyclic. Accessors that the simulator uses
+/// require a finalized graph.
+class TaskGraph {
+ public:
+  explicit TaskGraph(Rank ranks);
+
+  Rank ranks() const { return static_cast<Rank>(programs_.size()); }
+
+  /// Appends `op` to `rank`'s program with no dependencies; returns its id.
+  OpId add_op(Rank rank, const Op& op);
+
+  /// Declares that `before` must complete before `after` starts.
+  /// Both ops must be on the same rank (cross-rank order is a message
+  /// concern, not a graph edge).
+  void add_dependency(OpId before, OpId after);
+
+  /// Builds adjacency, validates acyclicity. Throws InvalidInputError on a
+  /// dependency cycle.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  const RankProgram& program(Rank rank) const {
+    CELOG_ASSERT_MSG(finalized_, "graph must be finalized first");
+    CELOG_ASSERT(rank >= 0 && rank < ranks());
+    return programs_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Total number of ops across all ranks.
+  std::size_t total_ops() const;
+  /// Total number of dependency edges across all ranks.
+  std::size_t total_edges() const { return edges_.size(); }
+
+  /// Sum of all send sizes (bytes) — used by reports and sanity tests.
+  std::int64_t total_bytes_sent() const;
+
+  /// Counts ops of a given kind across all ranks.
+  std::size_t count_ops(OpKind kind) const;
+
+ private:
+  struct Edge {
+    Rank rank;
+    OpIndex before;
+    OpIndex after;
+  };
+
+  std::vector<RankProgram> programs_;
+  std::vector<Edge> edges_;
+  bool finalized_ = false;
+};
+
+/// Fluent per-rank builder used by workload generators and collective
+/// expansion. Provides "phase" semantics matching typical MPI usage:
+///
+///   SequentialBuilder b(graph, rank);
+///   b.calc(dt);                 // depends on everything before it
+///   b.begin_phase();
+///   b.send(left, n, tag);       // phase ops are mutually independent...
+///   b.recv(right, n, tag);
+///   b.end_phase();              // ...and everything after depends on all
+///   b.calc(dt);                 // of them (waitall semantics)
+class SequentialBuilder {
+ public:
+  SequentialBuilder(TaskGraph& graph, Rank rank);
+
+  OpId calc(TimeNs duration);
+  OpId send(Rank dest, std::int64_t bytes, Tag tag);
+  OpId recv(Rank src, std::int64_t bytes, Tag tag);
+
+  /// Starts a group of mutually independent ops (nonblocking region).
+  void begin_phase();
+  /// Ends the group; subsequent ops depend on every op in the group.
+  void end_phase();
+
+  /// Nonblocking (MPI_Isend/Irecv-style) ops: initiated in program order
+  /// (they depend on the current frontier) but they do NOT join it — later
+  /// ops proceed without waiting for them until join() is called with the
+  /// returned id (MPI_Wait semantics). Not allowed inside a phase.
+  OpId detached_send(Rank dest, std::int64_t bytes, Tag tag);
+  OpId detached_recv(Rank src, std::int64_t bytes, Tag tag);
+
+  /// Makes every subsequently appended op depend on `id` as well
+  /// (MPI_Wait on a previously detached op).
+  void join(OpId id);
+
+  Rank rank() const { return rank_; }
+
+ private:
+  OpId append(const Op& op);
+
+  TaskGraph& graph_;
+  Rank rank_;
+  // Ops that the next appended op must depend on.
+  std::vector<OpId> frontier_;
+  // When in a phase: ops appended since begin_phase().
+  std::vector<OpId> phase_ops_;
+  bool in_phase_ = false;
+};
+
+}  // namespace celog::goal

@@ -1,0 +1,224 @@
+#include "mpi/compile.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace celog::mpi {
+namespace {
+
+using goal::OpId;
+using goal::Rank;
+using goal::SequentialBuilder;
+using goal::TaskGraph;
+
+/// Splits one rank's call list into segments separated by collectives:
+/// segments[i] precedes collective i; the last segment has no collective.
+struct Segments {
+  std::vector<std::vector<Call>> segments;
+  std::vector<Call> collectives;
+};
+
+Segments split_by_collectives(const std::vector<Call>& calls) {
+  Segments out;
+  out.segments.emplace_back();
+  for (const Call& call : calls) {
+    if (is_collective(call.type)) {
+      out.collectives.push_back(call);
+      out.segments.emplace_back();
+    } else {
+      out.segments.back().push_back(call);
+    }
+  }
+  return out;
+}
+
+/// Validates that every rank issues the same collective sequence.
+void validate_collectives(const std::vector<Segments>& per_rank) {
+  const auto& reference = per_rank.front().collectives;
+  for (std::size_t r = 1; r < per_rank.size(); ++r) {
+    const auto& other = per_rank[r].collectives;
+    if (other.size() != reference.size()) {
+      throw InvalidInputError(
+          "collective call count mismatch: rank 0 issues " +
+          std::to_string(reference.size()) + ", rank " + std::to_string(r) +
+          " issues " + std::to_string(other.size()));
+    }
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      const Call& a = reference[i];
+      const Call& b = other[i];
+      if (a.type != b.type || a.bytes != b.bytes || a.peer != b.peer) {
+        throw InvalidInputError(
+            "collective #" + std::to_string(i) + " mismatch between rank 0 (" +
+            to_string(a.type) + ") and rank " + std::to_string(r) + " (" +
+            to_string(b.type) + ")");
+      }
+    }
+  }
+}
+
+/// Per-rank compile state: a reference to the rank's builder (owned by the
+/// contiguous vector the collectives expand over) plus outstanding request
+/// handles.
+class RankCompiler {
+ public:
+  explicit RankCompiler(SequentialBuilder& builder) : builder_(builder) {}
+
+  void run_segment(const std::vector<Call>& segment) {
+    for (const Call& call : segment) apply(call);
+  }
+
+  void finish() const {
+    // Outstanding requests at program end are legal MPI (requests leak) but
+    // almost always a trace bug; surface them.
+    if (!outstanding_.empty()) {
+      throw InvalidInputError(
+          "rank " + std::to_string(builder_.rank()) + " ends with " +
+          std::to_string(outstanding_.size()) + " unwaited request(s)");
+    }
+  }
+
+ private:
+  void apply(const Call& call) {
+    switch (call.type) {
+      case CallType::kComp:
+        builder_.calc(call.duration);
+        break;
+      case CallType::kSend:
+        check_tag(call);
+        builder_.send(call.peer, call.bytes, call.tag);
+        break;
+      case CallType::kRecv:
+        check_tag(call);
+        builder_.recv(call.peer, call.bytes, call.tag);
+        break;
+      case CallType::kIsend: {
+        check_tag(call);
+        const OpId id =
+            builder_.detached_send(call.peer, call.bytes, call.tag);
+        remember(call.request, id);
+        break;
+      }
+      case CallType::kIrecv: {
+        check_tag(call);
+        const OpId id =
+            builder_.detached_recv(call.peer, call.bytes, call.tag);
+        remember(call.request, id);
+        break;
+      }
+      case CallType::kWait: {
+        auto it = outstanding_.find(call.request);
+        if (it == outstanding_.end()) {
+          throw InvalidInputError("rank " +
+                                  std::to_string(builder_.rank()) +
+                                  " waits on unknown request " +
+                                  std::to_string(call.request));
+        }
+        builder_.join(it->second);
+        outstanding_.erase(it);
+        break;
+      }
+      case CallType::kWaitall:
+        for (const auto& [req, id] : outstanding_) builder_.join(id);
+        outstanding_.clear();
+        break;
+      default:
+        CELOG_ASSERT_MSG(false, "collective inside a segment");
+    }
+  }
+
+  void remember(Request request, OpId id) {
+    if (outstanding_.contains(request)) {
+      throw InvalidInputError("rank " + std::to_string(builder_.rank()) +
+                              " reuses live request " +
+                              std::to_string(request));
+    }
+    outstanding_.emplace(request, id);
+  }
+
+  static void check_tag(const Call& call) {
+    if (call.tag >= collectives::TagAllocator::kCollectiveTagBase ||
+        call.tag < 0) {
+      throw InvalidInputError(
+          "point-to-point tag " + std::to_string(call.tag) +
+          " collides with the collective tag range");
+    }
+  }
+
+  SequentialBuilder& builder_;
+  std::map<Request, OpId> outstanding_;
+};
+
+void expand_collective(const Call& call,
+                       std::span<SequentialBuilder> builders,
+                       collectives::TagAllocator& tags,
+                       const CompileOptions& options) {
+  switch (call.type) {
+    case CallType::kBarrier:
+      collectives::barrier(builders, tags);
+      break;
+    case CallType::kAllreduce:
+      collectives::allreduce(builders, call.bytes, tags,
+                             options.allreduce_algorithm);
+      break;
+    case CallType::kBcast:
+      collectives::broadcast(builders, call.peer, call.bytes, tags);
+      break;
+    case CallType::kReduce:
+      collectives::reduce(builders, call.peer, call.bytes, tags);
+      break;
+    case CallType::kAllgather:
+      collectives::allgather(builders, call.bytes, tags);
+      break;
+    case CallType::kAlltoall:
+      collectives::alltoall(builders, call.bytes, tags);
+      break;
+    case CallType::kReduceScatter:
+      collectives::reduce_scatter(builders, call.bytes, tags);
+      break;
+    default:
+      CELOG_ASSERT_MSG(false, "not a collective");
+  }
+}
+
+}  // namespace
+
+TaskGraph compile(const MpiProgram& program, const CompileOptions& options) {
+  const Rank p = program.ranks();
+  std::vector<Segments> per_rank;
+  per_rank.reserve(static_cast<std::size_t>(p));
+  for (Rank r = 0; r < p; ++r) {
+    per_rank.push_back(split_by_collectives(program.calls(r)));
+  }
+  validate_collectives(per_rank);
+
+  TaskGraph graph(p);
+  std::vector<SequentialBuilder> builders;
+  builders.reserve(static_cast<std::size_t>(p));
+  std::vector<RankCompiler> compilers;
+  compilers.reserve(static_cast<std::size_t>(p));
+  for (Rank r = 0; r < p; ++r) {
+    builders.emplace_back(graph, r);
+    compilers.emplace_back(builders.back());
+  }
+  collectives::TagAllocator tags;
+
+  const std::size_t num_collectives = per_rank.front().collectives.size();
+  for (std::size_t j = 0; j <= num_collectives; ++j) {
+    for (Rank r = 0; r < p; ++r) {
+      compilers[static_cast<std::size_t>(r)].run_segment(
+          per_rank[static_cast<std::size_t>(r)].segments[j]);
+    }
+    if (j < num_collectives) {
+      expand_collective(per_rank.front().collectives[j],
+                        {builders.data(), builders.size()}, tags, options);
+    }
+  }
+  for (const RankCompiler& c : compilers) c.finish();
+  graph.finalize();
+  return graph;
+}
+
+}  // namespace celog::mpi

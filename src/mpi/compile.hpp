@@ -1,0 +1,38 @@
+// celog/mpi/compile.hpp
+//
+// Lowers an MpiProgram onto a goal::TaskGraph:
+//   * kComp        -> calc op chained on the rank's frontier;
+//   * kSend/kRecv  -> send/recv op chained on the frontier (a blocking call
+//                     completes before the next call starts);
+//   * kIsend/kIrecv-> detached send/recv op: initiated in program order but
+//                     later calls do not wait for it;
+//   * kWait        -> joins the named request's op into the frontier;
+//   * kWaitall     -> joins every outstanding request;
+//   * collectives  -> expanded over ALL ranks with the algorithms of
+//                     celog::collectives, matched by order (the k-th
+//                     collective call on every rank belongs to the same
+//                     instance, as MPI's communicator semantics require).
+//
+// Validation performed here (throws InvalidInputError):
+//   * collective sequences must agree across ranks in type, payload, root;
+//   * requests must be fresh when created and outstanding when waited on;
+//   * point-to-point tags must stay below the collective tag range.
+#pragma once
+
+#include "collectives/collectives.hpp"
+#include "goal/task_graph.hpp"
+#include "mpi/program.hpp"
+
+namespace celog::mpi {
+
+struct CompileOptions {
+  collectives::AllreduceAlgorithm allreduce_algorithm =
+      collectives::AllreduceAlgorithm::kRecursiveDoubling;
+};
+
+/// Compiles and finalizes. The resulting graph simulates under
+/// sim::Simulator like any workload-generated graph.
+goal::TaskGraph compile(const MpiProgram& program,
+                        const CompileOptions& options = {});
+
+}  // namespace celog::mpi

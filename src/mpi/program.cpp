@@ -1,0 +1,182 @@
+#include "mpi/program.hpp"
+
+#include "util/error.hpp"
+
+namespace celog::mpi {
+
+const char* to_string(CallType type) {
+  switch (type) {
+    case CallType::kComp: return "comp";
+    case CallType::kSend: return "send";
+    case CallType::kRecv: return "recv";
+    case CallType::kIsend: return "isend";
+    case CallType::kIrecv: return "irecv";
+    case CallType::kWait: return "wait";
+    case CallType::kWaitall: return "waitall";
+    case CallType::kBarrier: return "barrier";
+    case CallType::kAllreduce: return "allreduce";
+    case CallType::kBcast: return "bcast";
+    case CallType::kReduce: return "reduce";
+    case CallType::kAllgather: return "allgather";
+    case CallType::kAlltoall: return "alltoall";
+    case CallType::kReduceScatter: return "reduce_scatter";
+  }
+  return "?";
+}
+
+bool is_collective(CallType type) {
+  switch (type) {
+    case CallType::kBarrier:
+    case CallType::kAllreduce:
+    case CallType::kBcast:
+    case CallType::kReduce:
+    case CallType::kAllgather:
+    case CallType::kAlltoall:
+    case CallType::kReduceScatter:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Call Call::comp(TimeNs duration) {
+  CELOG_ASSERT_MSG(duration >= 0, "compute duration must be non-negative");
+  Call c;
+  c.type = CallType::kComp;
+  c.duration = duration;
+  return c;
+}
+
+Call Call::send(goal::Rank peer, std::int64_t bytes, goal::Tag tag) {
+  Call c;
+  c.type = CallType::kSend;
+  c.peer = peer;
+  c.bytes = bytes;
+  c.tag = tag;
+  return c;
+}
+
+Call Call::recv(goal::Rank peer, std::int64_t bytes, goal::Tag tag) {
+  Call c = send(peer, bytes, tag);
+  c.type = CallType::kRecv;
+  return c;
+}
+
+Call Call::isend(goal::Rank peer, std::int64_t bytes, goal::Tag tag,
+                 Request request) {
+  Call c = send(peer, bytes, tag);
+  c.type = CallType::kIsend;
+  c.request = request;
+  return c;
+}
+
+Call Call::irecv(goal::Rank peer, std::int64_t bytes, goal::Tag tag,
+                 Request request) {
+  Call c = send(peer, bytes, tag);
+  c.type = CallType::kIrecv;
+  c.request = request;
+  return c;
+}
+
+Call Call::wait(Request request) {
+  Call c;
+  c.type = CallType::kWait;
+  c.request = request;
+  return c;
+}
+
+Call Call::waitall() {
+  Call c;
+  c.type = CallType::kWaitall;
+  return c;
+}
+
+Call Call::barrier() {
+  Call c;
+  c.type = CallType::kBarrier;
+  return c;
+}
+
+Call Call::allreduce(std::int64_t bytes) {
+  Call c;
+  c.type = CallType::kAllreduce;
+  c.bytes = bytes;
+  return c;
+}
+
+Call Call::bcast(goal::Rank root, std::int64_t bytes) {
+  Call c;
+  c.type = CallType::kBcast;
+  c.peer = root;
+  c.bytes = bytes;
+  return c;
+}
+
+Call Call::reduce(goal::Rank root, std::int64_t bytes) {
+  Call c = bcast(root, bytes);
+  c.type = CallType::kReduce;
+  return c;
+}
+
+Call Call::allgather(std::int64_t bytes) {
+  Call c = allreduce(bytes);
+  c.type = CallType::kAllgather;
+  return c;
+}
+
+Call Call::alltoall(std::int64_t bytes) {
+  Call c = allreduce(bytes);
+  c.type = CallType::kAlltoall;
+  return c;
+}
+
+Call Call::reduce_scatter(std::int64_t bytes) {
+  Call c = allreduce(bytes);
+  c.type = CallType::kReduceScatter;
+  return c;
+}
+
+MpiProgram::MpiProgram(goal::Rank ranks) {
+  CELOG_ASSERT_MSG(ranks > 0, "MPI program needs at least one rank");
+  calls_.resize(static_cast<std::size_t>(ranks));
+}
+
+void MpiProgram::add(goal::Rank rank, const Call& call) {
+  CELOG_ASSERT(rank >= 0 && rank < ranks());
+  switch (call.type) {
+    case CallType::kSend:
+    case CallType::kRecv:
+    case CallType::kIsend:
+    case CallType::kIrecv:
+      CELOG_ASSERT_MSG(call.peer >= 0 && call.peer < ranks(),
+                       "peer out of range");
+      CELOG_ASSERT_MSG(call.peer != rank, "self-messages are not supported");
+      CELOG_ASSERT_MSG(call.bytes >= 0, "negative message size");
+      break;
+    case CallType::kBcast:
+    case CallType::kReduce:
+      CELOG_ASSERT_MSG(call.peer >= 0 && call.peer < ranks(),
+                       "root out of range");
+      CELOG_ASSERT_MSG(call.bytes >= 0, "negative payload");
+      break;
+    default:
+      break;
+  }
+  if (call.type == CallType::kIsend || call.type == CallType::kIrecv) {
+    CELOG_ASSERT_MSG(call.request >= 0, "nonblocking call needs a request id");
+  }
+  calls_[static_cast<std::size_t>(rank)].push_back(call);
+}
+
+const std::vector<Call>& MpiProgram::calls(goal::Rank rank) const {
+  CELOG_ASSERT(rank >= 0 && rank < ranks());
+  return calls_[static_cast<std::size_t>(rank)];
+}
+
+std::size_t MpiProgram::total_calls() const {
+  std::size_t total = 0;
+  for (const auto& per_rank : calls_) total += per_rank.size();
+  return total;
+}
+
+}  // namespace celog::mpi

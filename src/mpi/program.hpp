@@ -1,0 +1,105 @@
+// celog/mpi/program.hpp
+//
+// MPI-level traces: per-rank sequences of MPI calls, the representation the
+// paper's toolchain starts from ("traces contain the sequence of MPI
+// operations invoked by each application process", §III-C). An MpiProgram
+// is compiled (mpi/compile.hpp) into a goal::TaskGraph by lowering blocking
+// and nonblocking point-to-point semantics onto dependency edges and
+// expanding collectives with the algorithms in celog::collectives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "goal/task_graph.hpp"
+#include "util/time.hpp"
+
+namespace celog::mpi {
+
+/// A local request handle for nonblocking operations, scoped per rank.
+using Request = std::int32_t;
+inline constexpr Request kNoRequest = -1;
+
+enum class CallType : std::uint8_t {
+  kComp,       // local computation
+  kSend,       // blocking send (initiate + complete immediately)
+  kRecv,       // blocking receive
+  kIsend,      // nonblocking send -> request
+  kIrecv,      // nonblocking receive -> request
+  kWait,       // wait on one request
+  kWaitall,    // wait on every outstanding request
+  kBarrier,
+  kAllreduce,
+  kBcast,
+  kReduce,
+  kAllgather,
+  kAlltoall,
+  kReduceScatter,
+};
+
+const char* to_string(CallType type);
+
+/// True for the collective call types (everything from kBarrier on).
+bool is_collective(CallType type);
+
+/// One MPI call. Field meaning depends on the type:
+///   kComp              duration
+///   kSend/kRecv        peer, bytes, tag
+///   kIsend/kIrecv      peer, bytes, tag, request (must be fresh)
+///   kWait              request
+///   kWaitall           (none)
+///   kBarrier           (none)
+///   kAllreduce/kAllgather/kAlltoall/kReduceScatter   bytes
+///   kBcast/kReduce     root (in `peer`), bytes
+struct Call {
+  CallType type = CallType::kComp;
+  TimeNs duration = 0;
+  goal::Rank peer = -1;
+  std::int64_t bytes = 0;
+  goal::Tag tag = 0;
+  Request request = kNoRequest;
+
+  bool operator==(const Call&) const = default;
+
+  static Call comp(TimeNs duration);
+  static Call send(goal::Rank peer, std::int64_t bytes, goal::Tag tag);
+  static Call recv(goal::Rank peer, std::int64_t bytes, goal::Tag tag);
+  static Call isend(goal::Rank peer, std::int64_t bytes, goal::Tag tag,
+                    Request request);
+  static Call irecv(goal::Rank peer, std::int64_t bytes, goal::Tag tag,
+                    Request request);
+  static Call wait(Request request);
+  static Call waitall();
+  static Call barrier();
+  static Call allreduce(std::int64_t bytes);
+  static Call bcast(goal::Rank root, std::int64_t bytes);
+  static Call reduce(goal::Rank root, std::int64_t bytes);
+  static Call allgather(std::int64_t bytes);
+  static Call alltoall(std::int64_t bytes);
+  static Call reduce_scatter(std::int64_t bytes);
+};
+
+/// Per-rank MPI call sequences.
+class MpiProgram {
+ public:
+  explicit MpiProgram(goal::Rank ranks);
+
+  goal::Rank ranks() const {
+    return static_cast<goal::Rank>(calls_.size());
+  }
+
+  /// Appends a call to `rank`'s sequence. Structural validity (peer in
+  /// range, fresh request ids, matching collectives) is checked here where
+  /// possible and at compile time otherwise.
+  void add(goal::Rank rank, const Call& call);
+
+  const std::vector<Call>& calls(goal::Rank rank) const;
+
+  std::size_t total_calls() const;
+
+ private:
+  std::vector<std::vector<Call>> calls_;
+};
+
+}  // namespace celog::mpi

@@ -1,0 +1,172 @@
+#include "mpi/trace_format.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace celog::mpi {
+namespace {
+
+void write_call(std::ostream& os, const Call& call) {
+  os << to_string(call.type);
+  switch (call.type) {
+    case CallType::kComp:
+      os << ' ' << call.duration;
+      break;
+    case CallType::kSend:
+    case CallType::kRecv:
+      os << ' ' << call.peer << ' ' << call.bytes << ' ' << call.tag;
+      break;
+    case CallType::kIsend:
+    case CallType::kIrecv:
+      os << ' ' << call.peer << ' ' << call.bytes << ' ' << call.tag << ' '
+         << call.request;
+      break;
+    case CallType::kWait:
+      os << ' ' << call.request;
+      break;
+    case CallType::kWaitall:
+    case CallType::kBarrier:
+      break;
+    case CallType::kAllreduce:
+    case CallType::kAllgather:
+    case CallType::kAlltoall:
+    case CallType::kReduceScatter:
+      os << ' ' << call.bytes;
+      break;
+    case CallType::kBcast:
+    case CallType::kReduce:
+      os << ' ' << call.peer << ' ' << call.bytes;
+      break;
+  }
+  os << '\n';
+}
+
+bool next_line(std::istream& is, std::string& line, std::size_t& lineno) {
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+[[noreturn]] void fail(std::size_t lineno, const std::string& what) {
+  throw ParseError("mpi trace line " + std::to_string(lineno) + ": " + what);
+}
+
+Call parse_call(const std::string& line, std::size_t lineno) {
+  std::istringstream ss(line);
+  std::string kind;
+  ss >> kind;
+  Call c;
+  if (kind == "comp") {
+    ss >> c.duration;
+    c.type = CallType::kComp;
+    if (ss.fail() || c.duration < 0) fail(lineno, "bad comp");
+  } else if (kind == "send" || kind == "recv") {
+    ss >> c.peer >> c.bytes >> c.tag;
+    c.type = kind == "send" ? CallType::kSend : CallType::kRecv;
+    if (ss.fail()) fail(lineno, "bad " + kind);
+  } else if (kind == "isend" || kind == "irecv") {
+    ss >> c.peer >> c.bytes >> c.tag >> c.request;
+    c.type = kind == "isend" ? CallType::kIsend : CallType::kIrecv;
+    if (ss.fail() || c.request < 0) fail(lineno, "bad " + kind);
+  } else if (kind == "wait") {
+    ss >> c.request;
+    c.type = CallType::kWait;
+    if (ss.fail() || c.request < 0) fail(lineno, "bad wait");
+  } else if (kind == "waitall") {
+    c.type = CallType::kWaitall;
+  } else if (kind == "barrier") {
+    c.type = CallType::kBarrier;
+  } else if (kind == "allreduce" || kind == "allgather" ||
+             kind == "alltoall" || kind == "reduce_scatter") {
+    ss >> c.bytes;
+    if (ss.fail() || c.bytes < 0) fail(lineno, "bad " + kind);
+    c.type = kind == "allreduce"   ? CallType::kAllreduce
+             : kind == "allgather" ? CallType::kAllgather
+             : kind == "alltoall"  ? CallType::kAlltoall
+                                   : CallType::kReduceScatter;
+  } else if (kind == "bcast" || kind == "reduce") {
+    ss >> c.peer >> c.bytes;
+    if (ss.fail() || c.bytes < 0) fail(lineno, "bad " + kind);
+    c.type = kind == "bcast" ? CallType::kBcast : CallType::kReduce;
+  } else {
+    fail(lineno, "unknown call '" + kind + "'");
+  }
+  return c;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const MpiProgram& program) {
+  os << "celog-mpi 1\n";
+  os << "ranks " << program.ranks() << '\n';
+  for (goal::Rank r = 0; r < program.ranks(); ++r) {
+    const auto& calls = program.calls(r);
+    os << "rank " << r << " calls " << calls.size() << '\n';
+    for (const Call& call : calls) write_call(os, call);
+  }
+}
+
+MpiProgram read_trace(std::istream& is) {
+  std::string line;
+  std::size_t lineno = 0;
+
+  if (!next_line(is, line, lineno)) fail(lineno, "empty input");
+  {
+    std::istringstream ss(line);
+    std::string magic;
+    int version = 0;
+    ss >> magic >> version;
+    if (magic != "celog-mpi" || version != 1) {
+      fail(lineno, "expected header 'celog-mpi 1'");
+    }
+  }
+  if (!next_line(is, line, lineno)) fail(lineno, "missing ranks line");
+  goal::Rank ranks = 0;
+  {
+    std::istringstream ss(line);
+    std::string kw;
+    ss >> kw >> ranks;
+    if (kw != "ranks" || ss.fail() || ranks <= 0) fail(lineno, "bad ranks");
+  }
+  MpiProgram program(ranks);
+  for (goal::Rank r = 0; r < ranks; ++r) {
+    if (!next_line(is, line, lineno)) fail(lineno, "missing rank header");
+    std::size_t count = 0;
+    {
+      std::istringstream ss(line);
+      std::string kw1, kw2;
+      goal::Rank stated = -1;
+      ss >> kw1 >> stated >> kw2 >> count;
+      if (kw1 != "rank" || kw2 != "calls" || ss.fail() || stated != r) {
+        fail(lineno, "expected 'rank " + std::to_string(r) + " calls <n>'");
+      }
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!next_line(is, line, lineno)) fail(lineno, "missing call line");
+      program.add(r, parse_call(line, lineno));
+    }
+  }
+  return program;
+}
+
+void save_trace(const std::string& path, const MpiProgram& program) {
+  std::ofstream os(path);
+  if (!os) throw ParseError("cannot open for writing: " + path);
+  write_trace(os, program);
+  if (!os) throw ParseError("write failed: " + path);
+}
+
+MpiProgram load_trace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw ParseError("cannot open: " + path);
+  return read_trace(is);
+}
+
+}  // namespace celog::mpi

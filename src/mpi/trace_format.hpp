@@ -1,0 +1,34 @@
+// celog/mpi/trace_format.hpp
+//
+// Text serialization for MPI traces — the on-disk analogue of the traces
+// the paper collects on Mutrino. Line-oriented, '#' comments:
+//
+//   celog-mpi 1
+//   ranks <p>
+//   rank <r> calls <n>
+//   comp <duration_ns>
+//   send <peer> <bytes> <tag>
+//   recv <peer> <bytes> <tag>
+//   isend <peer> <bytes> <tag> <request>
+//   irecv <peer> <bytes> <tag> <request>
+//   wait <request>
+//   waitall
+//   barrier
+//   allreduce <bytes>          (also allgather / alltoall / reduce_scatter)
+//   bcast <root> <bytes>       (also reduce)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mpi/program.hpp"
+
+namespace celog::mpi {
+
+void write_trace(std::ostream& os, const MpiProgram& program);
+MpiProgram read_trace(std::istream& is);
+
+void save_trace(const std::string& path, const MpiProgram& program);
+MpiProgram load_trace(const std::string& path);
+
+}  // namespace celog::mpi

@@ -1,0 +1,68 @@
+#include "noise/deferred.hpp"
+
+#include "util/error.hpp"
+
+namespace celog::noise {
+
+DeferredLoggingSource::DeferredLoggingSource(
+    const DeferredLoggingConfig& config, TimeNs flush_phase, Xoshiro256 rng)
+    : config_(config), rng_(rng) {
+  CELOG_ASSERT_MSG(config.mtbce > 0, "MTBCE must be positive");
+  CELOG_ASSERT_MSG(config.flush_period > 0, "flush period must be positive");
+  CELOG_ASSERT_MSG(config.correction_cost >= 0 && config.flush_base >= 0 &&
+                       config.per_record >= 0,
+                   "costs must be non-negative");
+  CELOG_ASSERT_MSG(flush_phase >= 0 && flush_phase < config.flush_period,
+                   "flush phase must fall inside one period");
+  next_ce_ = sample_exponential(rng_, config_.mtbce);
+  next_flush_ = flush_phase > 0 ? flush_phase : config_.flush_period;
+}
+
+TimeNs DeferredLoggingSource::peek_arrival() const {
+  return std::min(next_ce_, next_flush_);
+}
+
+Detour DeferredLoggingSource::pop() {
+  if (next_ce_ < next_flush_) {
+    const Detour d{next_ce_, config_.correction_cost};
+    ++pending_;
+    next_ce_ += sample_exponential(rng_, config_.mtbce);
+    return d;
+  }
+  const TimeNs cost =
+      config_.flush_base +
+      static_cast<TimeNs>(pending_) * config_.per_record;
+  const Detour d{next_flush_, cost};
+  pending_ = 0;
+  next_flush_ += config_.flush_period;
+  return d;
+}
+
+DeferredLoggingNoiseModel::DeferredLoggingNoiseModel(
+    DeferredLoggingConfig config)
+    : config_(config) {}
+
+std::unique_ptr<DetourSource> DeferredLoggingNoiseModel::make_source(
+    RankId rank, std::uint64_t run_seed) const {
+  auto rng = Xoshiro256::for_stream(run_seed, static_cast<std::uint64_t>(rank));
+  TimeNs phase = 0;
+  if (!config_.synchronized) {
+    phase = static_cast<TimeNs>(rng.uniform_below(
+        static_cast<std::uint64_t>(config_.flush_period)));
+  }
+  return std::make_unique<DeferredLoggingSource>(config_, phase, rng);
+}
+
+double DeferredLoggingNoiseModel::mean_overhead_fraction() const {
+  const double ce_rate = 1.0 / to_seconds(config_.mtbce);  // CEs per second
+  const double corrections =
+      ce_rate * to_seconds(config_.correction_cost);
+  const double flushes =
+      (to_seconds(config_.flush_base) +
+       ce_rate * to_seconds(config_.flush_period) *
+           to_seconds(config_.per_record)) /
+      to_seconds(config_.flush_period);
+  return corrections + flushes;
+}
+
+}  // namespace celog::noise

@@ -1,0 +1,82 @@
+// celog/noise/deferred.hpp
+//
+// Deferred (batched) CE logging — the mitigation the paper's conclusions
+// point at: per-event decode+log cost is what hurts (§IV-E), so instead of
+// decoding every CE synchronously (775 us software / 133 ms firmware), let
+// hardware count and correct CEs at negligible cost and flush the
+// accumulated log periodically in one batch. The flush pays a fixed entry
+// cost plus a small amortized per-record cost, and — because flushes are
+// scheduled rather than error-driven — they can additionally be
+// SYNCHRONIZED across nodes so the whole machine takes the detour at once
+// (the classic noise-coordination result: coscheduled noise does not
+// propagate).
+//
+// DeferredLoggingSource emits:
+//   * one `correction_cost` detour per CE (the 150 ns hardware path), and
+//   * one flush detour every `flush_period`, costing
+//     flush_base + pending_events * per_record.
+#pragma once
+
+#include <memory>
+
+#include "noise/detour.hpp"
+#include "noise/noise_model.hpp"
+
+namespace celog::noise {
+
+struct DeferredLoggingConfig {
+  /// Mean time between CEs on a node.
+  TimeNs mtbce = kSecond;
+  /// Hardware correction cost per CE (paper: 150 ns).
+  TimeNs correction_cost = costs::kHardwareOnly;
+  /// Time between log flushes.
+  TimeNs flush_period = 10 * kSecond;
+  /// Fixed cost of entering the flush path (e.g. one SMI: ~7 ms).
+  TimeNs flush_base = costs::kMeasuredSmi;
+  /// Amortized decode+log cost per buffered CE record.
+  TimeNs per_record = kMillisecond;
+  /// When true, every node flushes at the same instants (coordinated
+  /// logging); when false, each node's flush phase is a per-(rank, seed)
+  /// random offset.
+  bool synchronized = false;
+};
+
+/// Detour stream for one rank under deferred logging.
+class DeferredLoggingSource final : public DetourSource {
+ public:
+  /// `flush_phase` shifts the first flush into [0, flush_period).
+  DeferredLoggingSource(const DeferredLoggingConfig& config,
+                        TimeNs flush_phase, Xoshiro256 rng);
+
+  TimeNs peek_arrival() const override;
+  Detour pop() override;
+
+  std::uint64_t pending_records() const { return pending_; }
+
+ private:
+  DeferredLoggingConfig config_;
+  Xoshiro256 rng_;
+  TimeNs next_ce_;
+  TimeNs next_flush_;
+  std::uint64_t pending_ = 0;
+};
+
+/// Machine-wide deferred-logging noise model.
+class DeferredLoggingNoiseModel final : public NoiseModel {
+ public:
+  explicit DeferredLoggingNoiseModel(DeferredLoggingConfig config);
+
+  std::unique_ptr<DetourSource> make_source(RankId rank,
+                                            std::uint64_t run_seed) const override;
+
+  const DeferredLoggingConfig& config() const { return config_; }
+
+  /// Mean CPU fraction consumed by deferred logging (corrections +
+  /// amortized flushes) — the analytic lower bound on slowdown.
+  double mean_overhead_fraction() const;
+
+ private:
+  DeferredLoggingConfig config_;
+};
+
+}  // namespace celog::noise

@@ -1,0 +1,77 @@
+#include "noise/detour.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace celog::noise {
+
+FlatLoggingCost::FlatLoggingCost(TimeNs per_event) : per_event_(per_event) {
+  CELOG_ASSERT_MSG(per_event >= 0, "per-event cost must be non-negative");
+}
+
+ThresholdLoggingCost::ThresholdLoggingCost(TimeNs per_event,
+                                           TimeNs per_threshold,
+                                           std::uint64_t threshold)
+    : per_event_(per_event), per_threshold_(per_threshold),
+      threshold_(threshold) {
+  CELOG_ASSERT_MSG(per_event >= 0 && per_threshold >= 0,
+                   "costs must be non-negative");
+  CELOG_ASSERT_MSG(threshold >= 1, "threshold must be at least 1");
+}
+
+TimeNs ThresholdLoggingCost::cost_of_event(std::uint64_t event_index) const {
+  // Events are 0-based; the threshold-th, 2*threshold-th, ... events carry
+  // the firmware decode on top of the per-event SMI.
+  const bool decodes = (event_index + 1) % threshold_ == 0;
+  return per_event_ + (decodes ? per_threshold_ : 0);
+}
+
+double ThresholdLoggingCost::mean_cost_ns() const {
+  return static_cast<double>(per_event_) +
+         static_cast<double>(per_threshold_) / static_cast<double>(threshold_);
+}
+
+Detour NullDetourSource::pop() {
+  CELOG_ASSERT_MSG(false, "pop() on an empty detour source");
+  return {};
+}
+
+PoissonDetourSource::PoissonDetourSource(TimeNs mtbce,
+                                         const LoggingCostModel& cost,
+                                         Xoshiro256 rng)
+    : mtbce_(mtbce), cost_(cost), rng_(rng) {
+  CELOG_ASSERT_MSG(mtbce > 0, "MTBCE must be positive");
+  next_arrival_ = sample_exponential(rng_, mtbce_);
+}
+
+Detour PoissonDetourSource::pop() {
+  const Detour d{next_arrival_, cost_.cost_of_event(event_index_)};
+  ++event_index_;
+  next_arrival_ += sample_exponential(rng_, mtbce_);
+  return d;
+}
+
+TraceDetourSource::TraceDetourSource(std::vector<Detour> detours)
+    : detours_(std::move(detours)) {
+  CELOG_ASSERT_MSG(
+      std::is_sorted(detours_.begin(), detours_.end(),
+                     [](const Detour& a, const Detour& b) {
+                       return a.arrival < b.arrival;
+                     }),
+      "trace detours must be sorted by arrival time");
+  for (const Detour& d : detours_) {
+    CELOG_ASSERT_MSG(d.duration >= 0, "detour duration must be non-negative");
+  }
+}
+
+TimeNs TraceDetourSource::peek_arrival() const {
+  return next_ < detours_.size() ? detours_[next_].arrival : kTimeNever;
+}
+
+Detour TraceDetourSource::pop() {
+  CELOG_ASSERT(next_ < detours_.size());
+  return detours_[next_++];
+}
+
+}  // namespace celog::noise

@@ -1,0 +1,151 @@
+// celog/noise/detour.hpp
+//
+// Detour sources: streams of (arrival time, duration) CPU steals.
+//
+// The paper models CE handling as "CPU detours: periods of time during which
+// application progress is blocked by CE handling" (§III-C), measured with
+// the `selfish` microbenchmark. A DetourSource produces those events for one
+// simulated rank in nondecreasing arrival order; the simulator-side adapter
+// (RankNoise, noise/rank_noise.hpp) folds them into CPU busy periods.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace celog::noise {
+
+/// One CPU steal: handling begins at `arrival` (wall-clock; DRAM errors do
+/// not care whether the application is computing) and nominally costs
+/// `duration` of CPU time.
+struct Detour {
+  TimeNs arrival = 0;
+  TimeNs duration = 0;
+
+  bool operator==(const Detour&) const = default;
+};
+
+/// Per-event logging-cost model: maps the index of a CE event on a node to
+/// the CPU time required to correct/decode/log it. Event indices start at 0
+/// and increase by arrival order.
+class LoggingCostModel {
+ public:
+  virtual ~LoggingCostModel() = default;
+  virtual TimeNs cost_of_event(std::uint64_t event_index) const = 0;
+  /// Mean per-event cost (exact for flat models, amortized for threshold
+  /// models); used by analytic sanity checks.
+  virtual double mean_cost_ns() const = 0;
+};
+
+/// Every event costs the same. This is the model behind all of the paper's
+/// figures: 150 ns (hardware-only), 775 us (software/CMCI), 133 ms
+/// (firmware/EMCA) per event.
+class FlatLoggingCost final : public LoggingCostModel {
+ public:
+  explicit FlatLoggingCost(TimeNs per_event);
+  TimeNs cost_of_event(std::uint64_t) const override { return per_event_; }
+  double mean_cost_ns() const override {
+    return static_cast<double>(per_event_);
+  }
+
+ private:
+  TimeNs per_event_;
+};
+
+/// Firmware-first cost structure as measured in §IV-A: every CE triggers an
+/// SMI (~7 ms on Blake), and every `threshold`-th CE additionally pays the
+/// firmware decode+log (~500 ms). Used by the threshold-model ablation.
+class ThresholdLoggingCost final : public LoggingCostModel {
+ public:
+  ThresholdLoggingCost(TimeNs per_event, TimeNs per_threshold,
+                       std::uint64_t threshold);
+  TimeNs cost_of_event(std::uint64_t event_index) const override;
+  double mean_cost_ns() const override;
+
+  std::uint64_t threshold() const { return threshold_; }
+
+ private:
+  TimeNs per_event_;
+  TimeNs per_threshold_;
+  std::uint64_t threshold_;
+};
+
+/// Paper cost constants (figure captions of Figs. 3-7 and §IV-A).
+namespace costs {
+/// Hardware ECC correction only, nothing logged (the selfish detection
+/// threshold used in §III-B; correction itself is below measurement noise).
+inline constexpr TimeNs kHardwareOnly = 150;
+/// Software/OS decode+log via CMCI as used in the figures.
+inline constexpr TimeNs kSoftwareCmci = 775 * kMicrosecond;
+/// Firmware decode+log via EMCA as used in the figures.
+inline constexpr TimeNs kFirmwareEmca = 133 * kMillisecond;
+/// Software cost as actually measured on Blake (§IV-A, Fig. 2c).
+inline constexpr TimeNs kMeasuredCmci = 700 * kMicrosecond;
+/// SMI cost per CE under firmware-first reporting (§IV-A, Fig. 2d).
+inline constexpr TimeNs kMeasuredSmi = 7 * kMillisecond;
+/// Firmware decode cost per threshold-th CE (§IV-A, Fig. 2d).
+inline constexpr TimeNs kMeasuredFirmwareDecode = 500 * kMillisecond;
+/// Firmware logging threshold configured in §IV-A.
+inline constexpr std::uint64_t kMeasuredFirmwareThreshold = 10;
+}  // namespace costs
+
+/// Abstract stream of detours for one rank, in nondecreasing arrival order.
+class DetourSource {
+ public:
+  virtual ~DetourSource() = default;
+
+  /// Arrival time of the next detour, or kTimeNever if the stream is done.
+  virtual TimeNs peek_arrival() const = 0;
+
+  /// Consumes and returns the next detour. Must not be called when
+  /// peek_arrival() == kTimeNever.
+  virtual Detour pop() = 0;
+};
+
+/// No detours at all (baseline runs).
+class NullDetourSource final : public DetourSource {
+ public:
+  TimeNs peek_arrival() const override { return kTimeNever; }
+  Detour pop() override;
+};
+
+/// Poisson CE arrivals: inter-arrival gaps are exponential with mean
+/// MTBCE_node (§III-D), durations come from a LoggingCostModel. Arrivals are
+/// generated lazily, so a stream can span arbitrarily long simulations.
+class PoissonDetourSource final : public DetourSource {
+ public:
+  /// `mtbce` is the mean time between CEs on this rank's node. The cost
+  /// model is shared (not owned); it must outlive the source.
+  PoissonDetourSource(TimeNs mtbce, const LoggingCostModel& cost,
+                      Xoshiro256 rng);
+
+  TimeNs peek_arrival() const override { return next_arrival_; }
+  Detour pop() override;
+
+  std::uint64_t events_emitted() const { return event_index_; }
+
+ private:
+  TimeNs mtbce_;
+  const LoggingCostModel& cost_;
+  Xoshiro256 rng_;
+  TimeNs next_arrival_;
+  std::uint64_t event_index_ = 0;
+};
+
+/// Replays a fixed detour list (e.g. a measured selfish trace). Detours must
+/// be supplied in nondecreasing arrival order.
+class TraceDetourSource final : public DetourSource {
+ public:
+  explicit TraceDetourSource(std::vector<Detour> detours);
+
+  TimeNs peek_arrival() const override;
+  Detour pop() override;
+
+ private:
+  std::vector<Detour> detours_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace celog::noise

@@ -1,0 +1,89 @@
+#include "noise/noise_model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace celog::noise {
+
+std::unique_ptr<DetourSource> NoNoiseModel::make_source(RankId,
+                                                        std::uint64_t) const {
+  return std::make_unique<NullDetourSource>();
+}
+
+UniformCeNoiseModel::UniformCeNoiseModel(
+    TimeNs mtbce, std::shared_ptr<const LoggingCostModel> cost)
+    : mtbce_(mtbce), cost_(std::move(cost)) {
+  CELOG_ASSERT_MSG(mtbce_ > 0, "MTBCE must be positive");
+  CELOG_ASSERT_MSG(cost_ != nullptr, "cost model required");
+}
+
+std::unique_ptr<DetourSource> UniformCeNoiseModel::make_source(
+    RankId rank, std::uint64_t run_seed) const {
+  return std::make_unique<PoissonDetourSource>(
+      mtbce_, *cost_,
+      Xoshiro256::for_stream(run_seed, static_cast<std::uint64_t>(rank)));
+}
+
+SingleRankCeNoiseModel::SingleRankCeNoiseModel(
+    RankId noisy_rank, TimeNs mtbce,
+    std::shared_ptr<const LoggingCostModel> cost)
+    : noisy_rank_(noisy_rank), mtbce_(mtbce), cost_(std::move(cost)) {
+  CELOG_ASSERT_MSG(noisy_rank_ >= 0, "noisy rank must be a valid rank");
+  CELOG_ASSERT_MSG(mtbce_ > 0, "MTBCE must be positive");
+  CELOG_ASSERT_MSG(cost_ != nullptr, "cost model required");
+}
+
+std::unique_ptr<DetourSource> SingleRankCeNoiseModel::make_source(
+    RankId rank, std::uint64_t run_seed) const {
+  if (rank != noisy_rank_) return std::make_unique<NullDetourSource>();
+  return std::make_unique<PoissonDetourSource>(
+      mtbce_, *cost_,
+      Xoshiro256::for_stream(run_seed, static_cast<std::uint64_t>(rank)));
+}
+
+TraceReplayNoiseModel::TraceReplayNoiseModel(std::vector<Detour> trace,
+                                             TimeNs window,
+                                             bool rotate_per_rank)
+    : trace_(std::move(trace)), window_(window), rotate_(rotate_per_rank) {
+  CELOG_ASSERT_MSG(window_ > 0, "trace window must be positive");
+  CELOG_ASSERT_MSG(
+      std::is_sorted(trace_.begin(), trace_.end(),
+                     [](const Detour& a, const Detour& b) {
+                       return a.arrival < b.arrival;
+                     }),
+      "trace must be sorted by arrival");
+  for (const Detour& d : trace_) {
+    CELOG_ASSERT_MSG(d.arrival >= 0 && d.arrival < window_,
+                     "trace detours must fall inside the window");
+  }
+}
+
+std::unique_ptr<DetourSource> TraceReplayNoiseModel::make_source(
+    RankId rank, std::uint64_t run_seed) const {
+  // Rotate the trace by a per-(rank, seed) offset inside the window so the
+  // machine does not execute detours in lockstep, then shift everything to
+  // start at 0. The replayed trace covers one window only; callers simulate
+  // runs shorter than the window or accept a quiet tail (documented).
+  TimeNs offset = 0;
+  if (rotate_ && !trace_.empty()) {
+    auto rng = Xoshiro256::for_stream(run_seed,
+                                      static_cast<std::uint64_t>(rank));
+    offset = static_cast<TimeNs>(
+        rng.uniform_below(static_cast<std::uint64_t>(window_)));
+  }
+  std::vector<Detour> rotated;
+  rotated.reserve(trace_.size());
+  for (const Detour& d : trace_) {
+    const TimeNs shifted = (d.arrival + offset) % window_;
+    rotated.push_back(Detour{shifted, d.duration});
+  }
+  std::sort(rotated.begin(), rotated.end(),
+            [](const Detour& a, const Detour& b) {
+              return a.arrival < b.arrival;
+            });
+  return std::make_unique<TraceDetourSource>(std::move(rotated));
+}
+
+}  // namespace celog::noise

@@ -1,0 +1,91 @@
+// celog/noise/noise_model.hpp
+//
+// Machine-wide noise models: factories that assign a detour stream to every
+// simulated rank. A model is immutable and reusable across runs; per-run
+// randomness enters through the run seed so the same model replayed with the
+// same seed is bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "noise/detour.hpp"
+
+namespace celog::noise {
+
+using RankId = std::int32_t;
+
+/// Factory for per-rank detour sources.
+class NoiseModel {
+ public:
+  virtual ~NoiseModel() = default;
+
+  /// Creates the detour stream for `rank` under run seed `run_seed`.
+  virtual std::unique_ptr<DetourSource> make_source(
+      RankId rank, std::uint64_t run_seed) const = 0;
+};
+
+/// Noise-free machine (baseline runs).
+class NoNoiseModel final : public NoiseModel {
+ public:
+  std::unique_ptr<DetourSource> make_source(RankId,
+                                            std::uint64_t) const override;
+};
+
+/// Every rank's node experiences CEs as an independent Poisson process with
+/// the same MTBCE_node — the model behind the paper's whole-machine
+/// experiments (Figs. 4-7). One MPI process per node (as configured in
+/// §III-D), so rank noise == node noise.
+class UniformCeNoiseModel final : public NoiseModel {
+ public:
+  UniformCeNoiseModel(TimeNs mtbce,
+                      std::shared_ptr<const LoggingCostModel> cost);
+
+  std::unique_ptr<DetourSource> make_source(RankId rank,
+                                            std::uint64_t run_seed) const override;
+
+  TimeNs mtbce() const { return mtbce_; }
+  const LoggingCostModel& cost() const { return *cost_; }
+
+ private:
+  TimeNs mtbce_;
+  std::shared_ptr<const LoggingCostModel> cost_;
+};
+
+/// Exactly one rank experiences CEs (paper §IV-B, Fig. 3: "Single Process
+/// CEs" — e.g. one failing DIMM on one node); every other rank is clean.
+class SingleRankCeNoiseModel final : public NoiseModel {
+ public:
+  SingleRankCeNoiseModel(RankId noisy_rank, TimeNs mtbce,
+                         std::shared_ptr<const LoggingCostModel> cost);
+
+  std::unique_ptr<DetourSource> make_source(RankId rank,
+                                            std::uint64_t run_seed) const override;
+
+  RankId noisy_rank() const { return noisy_rank_; }
+
+ private:
+  RankId noisy_rank_;
+  TimeNs mtbce_;
+  std::shared_ptr<const LoggingCostModel> cost_;
+};
+
+/// Replays one measured detour trace (e.g. a selfish trace captured with
+/// error injection) on every rank. `rotate` shifts the trace start per rank
+/// so detours are not artificially synchronized across the machine.
+class TraceReplayNoiseModel final : public NoiseModel {
+ public:
+  TraceReplayNoiseModel(std::vector<Detour> trace, TimeNs window,
+                        bool rotate_per_rank);
+
+  std::unique_ptr<DetourSource> make_source(RankId rank,
+                                            std::uint64_t run_seed) const override;
+
+ private:
+  std::vector<Detour> trace_;
+  TimeNs window_;
+  bool rotate_;
+};
+
+}  // namespace celog::noise

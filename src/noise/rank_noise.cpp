@@ -1,0 +1,76 @@
+#include "noise/rank_noise.hpp"
+
+#include <algorithm>
+
+namespace celog::noise {
+
+RankNoise::RankNoise(std::unique_ptr<DetourSource> source, TimeNs horizon)
+    : source_(std::move(source)), horizon_(horizon) {
+  CELOG_ASSERT_MSG(source_ != nullptr, "RankNoise needs a detour source");
+  CELOG_ASSERT_MSG(horizon > 0, "horizon must be positive");
+}
+
+void RankNoise::consume() {
+  const Detour d = source_->pop();
+  // If a detour is already being handled, the new one queues behind it;
+  // otherwise handling starts at its arrival time.
+  busy_until_ = std::max(busy_until_, d.arrival) + d.duration;
+  if (busy_until_ > horizon_) {
+    throw NoProgressError(
+        "CE handling pushed simulated time past the horizon (" +
+        format_duration(horizon_) +
+        "): the node cannot make forward progress at this CE rate/cost");
+  }
+}
+
+TimeNs RankNoise::next_free(TimeNs t) {
+  for (;;) {
+    const TimeNs arrival = source_->peek_arrival();
+    if (busy_until_ > t) {
+      // A detour (or queue of detours) is in progress at t. Arrivals that
+      // land before it drains join the queue and push the end out further.
+      if (arrival != kTimeNever && arrival < busy_until_) {
+        consume();
+        continue;
+      }
+      stolen_ += busy_until_ - t;
+      ++charged_;
+      return busy_until_;
+    }
+    // CPU free at t; fold in any arrival at or before t (it may start a
+    // busy period covering t).
+    if (arrival != kTimeNever && arrival <= t) {
+      consume();
+      continue;
+    }
+    return t;
+  }
+}
+
+TimeNs RankNoise::occupy(TimeNs start, TimeNs len) {
+  CELOG_ASSERT_MSG(len >= 0, "cannot occupy a negative interval");
+  CELOG_ASSERT_MSG(start >= busy_until_,
+                   "occupy() start must come from next_free()");
+  TimeNs end = start + len;
+  // Every detour arriving strictly inside the (growing) interval interrupts
+  // the application and extends the interval by its full duration. Arrivals
+  // exactly at `end` belong to the next activity.
+  for (;;) {
+    const TimeNs arrival = source_->peek_arrival();
+    if (arrival == kTimeNever || arrival >= end) break;
+    const Detour d = source_->pop();
+    end += d.duration;
+    stolen_ += d.duration;
+    ++charged_;
+    if (end > horizon_) {
+      throw NoProgressError(
+          "CE handling pushed simulated time past the horizon (" +
+          format_duration(horizon_) +
+          "): the node cannot make forward progress at this CE rate/cost");
+    }
+  }
+  busy_until_ = end;
+  return end;
+}
+
+}  // namespace celog::noise

@@ -1,0 +1,75 @@
+// celog/noise/rank_noise.hpp
+//
+// RankNoise folds a DetourSource into the CPU timeline of one simulated
+// rank. The simulator asks two questions, always with nondecreasing times
+// (a rank's CPU cursor only moves forward):
+//
+//   next_free(t)     — the rank wants to start CPU work at time t; if a
+//                      detour (or a queue of them) is being handled at t,
+//                      work is pushed to the end of that busy period.
+//   occupy(start, n) — the rank computes for n ns starting at `start`; every
+//                      detour arriving inside the (growing) interval
+//                      interrupts and extends it. Returns the actual end.
+//
+// This reproduces the semantics of LogGOPSim's noise injection: detours that
+// arrive while the application is blocked (waiting for a message) are
+// absorbed up to the available slack, while detours during computation or
+// send/recv overhead extend it — which is exactly why noisy ranks delay
+// their communication partners (paper Fig. 1).
+#pragma once
+
+#include <limits>
+#include <memory>
+
+#include "noise/detour.hpp"
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace celog::noise {
+
+class RankNoise {
+ public:
+  /// Takes ownership of the detour stream for this rank. `horizon` bounds
+  /// simulated time: if detour handling pushes activity past it, a
+  /// NoProgressError is thrown. This is essential when the CE service rate
+  /// exceeds CPU capacity (MTBCE < per-event cost): the busy period then
+  /// grows without bound — the regime the paper reports as "unable to make
+  /// any reasonable forward progress" (§IV-E) and omits from its figures.
+  explicit RankNoise(std::unique_ptr<DetourSource> source,
+                     TimeNs horizon = kNoHorizon);
+
+  /// Effectively unbounded simulated time.
+  static constexpr TimeNs kNoHorizon =
+      std::numeric_limits<TimeNs>::max() / 4;
+
+  /// Earliest time >= t at which application work may start. Consumes every
+  /// detour whose handling overlaps t. Monotonicity contract: calls must use
+  /// nondecreasing t.
+  TimeNs next_free(TimeNs t);
+
+  /// Charges a CPU interval of nominal length `len` beginning at `start`
+  /// (the caller must have obtained `start` from next_free, so no detour is
+  /// in progress at `start`). Returns the interval's actual end after all
+  /// interrupting detours. `len == 0` intervals return `start` unchanged but
+  /// still advance past zero-length bookkeeping.
+  TimeNs occupy(TimeNs start, TimeNs len);
+
+  /// Total detour time charged to this rank so far (for reports).
+  TimeNs stolen_time() const { return stolen_; }
+  /// Number of detours that actually extended application activity.
+  std::uint64_t charged_detours() const { return charged_; }
+
+ private:
+  /// Consumes the next detour and accumulates its service into busy_until_.
+  void consume();
+
+  std::unique_ptr<DetourSource> source_;
+  TimeNs horizon_;
+  /// End of the detour busy period currently known; no detour is in
+  /// progress at times >= busy_until_ unless a future arrival begins one.
+  TimeNs busy_until_ = 0;
+  TimeNs stolen_ = 0;
+  std::uint64_t charged_ = 0;
+};
+
+}  // namespace celog::noise

@@ -1,0 +1,86 @@
+// celog/noise/selfish.hpp
+//
+// A node-level model of the `selfish` noise-measurement experiment the paper
+// runs on Blake (§III-B, §IV-A, Fig. 2). `selfish` spins reading the TSC and
+// records a "detour" whenever the gap between consecutive reads exceeds a
+// threshold (150 ns in the paper).
+//
+// The real experiment needs APEI/EINJ error injection on Skylake hardware;
+// we cannot run that here, so this module synthesizes the same measurement:
+// a background OS-noise signature (periodic kernel activity) overlaid with
+// periodic CE injections whose handling cost depends on the reporting mode.
+// The constants reproduce the paper's measured signature: ~700 us software
+// (CMCI) spikes every injection, and for firmware (EMCA, threshold 10) a
+// ~7 ms SMI per injection plus a ~500 ms decode every 10th injection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "noise/detour.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace celog::noise {
+
+/// One periodic background-noise source (timer tick, scheduler, etc.).
+/// Events fire every `period` starting at `phase`, each stealing `duration`
+/// +- uniform jitter of at most `jitter`.
+struct PeriodicSource {
+  TimeNs period = 0;
+  TimeNs duration = 0;
+  TimeNs phase = 0;
+  TimeNs jitter = 0;
+};
+
+/// CE reporting mode for the injected errors, matching Fig. 2's four panels
+/// plus the "all logging turned off" case mentioned in the text.
+enum class ReportingMode {
+  kNative,          // no injection at all (Fig. 2a)
+  kDryRun,          // EINJ configured via sysfs but never triggered (Fig. 2b)
+  kCorrectionOnly,  // injection with all logging off (mentioned in §IV-A)
+  kSoftwareCmci,    // OS decode+log via CMCI (Fig. 2c)
+  kFirmwareEmca,    // firmware decode+log via EMCA, threshold 10 (Fig. 2d)
+};
+
+const char* to_string(ReportingMode mode);
+
+struct SelfishConfig {
+  /// Measurement window length.
+  TimeNs window = 60 * kSecond;
+  /// Minimum detour duration that selfish records (paper: 150 ns).
+  TimeNs detection_threshold = 150;
+  /// Background OS-noise sources. Defaults (see default_background()) model
+  /// a tickful Linux server node like Blake.
+  std::vector<PeriodicSource> background;
+  /// One CE is injected every injection_period (paper: 10 s).
+  TimeNs injection_period = 10 * kSecond;
+  ReportingMode mode = ReportingMode::kNative;
+  /// Firmware logging threshold (paper: every 10th CE pays the decode).
+  std::uint64_t firmware_threshold = costs::kMeasuredFirmwareThreshold;
+};
+
+/// The background signature used when SelfishConfig::background is empty:
+/// 1 ms timer tick (~1.5 us), 10 ms scheduler pass (~4 us), and a ~40 us
+/// housekeeping event every second.
+std::vector<PeriodicSource> default_background();
+
+/// Summary of a recorded signature, as reported under each Fig. 2 panel.
+struct SignatureSummary {
+  std::size_t detours = 0;
+  TimeNs total_stolen = 0;
+  TimeNs max_detour = 0;
+  double noise_fraction = 0.0;  // total_stolen / window
+  /// Detours at or above 100 us — the "tall bars" the paper calls out.
+  std::size_t tall_detours = 0;
+};
+
+SignatureSummary summarize(const std::vector<Detour>& trace, TimeNs window);
+
+/// Runs the synthetic selfish measurement and returns the recorded detour
+/// trace (sorted by arrival, filtered by the detection threshold).
+std::vector<Detour> run_selfish(const SelfishConfig& config,
+                                std::uint64_t seed);
+
+}  // namespace celog::noise

@@ -1,0 +1,401 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace celog::sim {
+namespace {
+
+using goal::Op;
+using goal::OpIndex;
+using goal::OpKind;
+using goal::Rank;
+using goal::RankProgram;
+using goal::Tag;
+
+enum class EventKind : std::uint8_t { kOpReady, kMsgArrive };
+
+/// Wire-message categories. Eager data completes a recv directly; RTS/CTS
+/// implement the rendezvous handshake for messages above the S threshold.
+enum class MsgKind : std::uint8_t { kEagerData, kRts, kCts, kRndvData };
+
+struct Event {
+  TimeNs time = 0;
+  std::uint64_t seq = 0;  // tie-breaker: keeps runs deterministic
+  EventKind kind = EventKind::kOpReady;
+  Rank rank = -1;  // where the event happens (dest rank for messages)
+
+  // kOpReady payload.
+  OpIndex op = 0;
+
+  // kMsgArrive payload.
+  MsgKind msg_kind = MsgKind::kEagerData;
+  Rank src = -1;  // application-level sender of the message
+  Tag tag = 0;
+  std::int64_t size = 0;
+  OpIndex sender_op = 0;  // send op on `src` (RTS/CTS bookkeeping)
+  OpIndex recv_op = 0;    // matched recv on the receiver (CTS/RndvData)
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// Min-heap over a plain vector (std::priority_queue cannot reserve, and
+/// reallocation during multi-million-event runs shows up in profiles).
+class EventQueue {
+ public:
+  void reserve(std::size_t n) { events_.reserve(n); }
+  bool empty() const { return events_.empty(); }
+
+  void push(const Event& ev) {
+    events_.push_back(ev);
+    std::push_heap(events_.begin(), events_.end(), EventLater{});
+  }
+
+  Event pop() {
+    std::pop_heap(events_.begin(), events_.end(), EventLater{});
+    Event ev = events_.back();
+    events_.pop_back();
+    return ev;
+  }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// A recv that has been posted but not yet matched.
+struct PostedRecv {
+  OpIndex op;
+  Rank src;
+  Tag tag;
+  std::int64_t size;
+  TimeNs post_time;
+};
+
+/// A message (eager data or RTS) that arrived before its recv was posted.
+struct UnexpectedMsg {
+  MsgKind kind;
+  Rank src;
+  Tag tag;
+  std::int64_t size;
+  TimeNs arrival;
+  OpIndex sender_op;
+};
+
+struct RankState {
+  RankState(std::unique_ptr<noise::DetourSource> source, TimeNs horizon)
+      : noise(std::move(source), horizon) {}
+
+  noise::RankNoise noise;
+  TimeNs cpu_free = 0;
+  TimeNs nic_free = 0;
+  TimeNs finish = 0;
+  std::deque<PostedRecv> posted;
+  std::deque<UnexpectedMsg> unexpected;
+  // Remaining prerequisite count and latest-prerequisite-finish per op.
+  std::vector<std::uint32_t> pending;
+  std::vector<TimeNs> ready_time;
+};
+
+class Run {
+ public:
+  Run(const goal::TaskGraph& graph, const NetworkParams& params,
+      const noise::NoiseModel& noise, std::uint64_t run_seed, TimeNs horizon,
+      const OpCompletionCallback& on_complete)
+      : graph_(graph), params_(params), on_complete_(on_complete) {
+    const Rank ranks = graph_.ranks();
+    states_.reserve(static_cast<std::size_t>(ranks));
+    for (Rank r = 0; r < ranks; ++r) {
+      states_.emplace_back(noise.make_source(r, run_seed), horizon);
+      const RankProgram& prog = graph_.program(r);
+      RankState& rs = states_.back();
+      rs.pending.resize(prog.size());
+      rs.ready_time.assign(prog.size(), 0);
+      for (OpIndex i = 0; i < prog.size(); ++i) {
+        rs.pending[i] = prog.in_degree(i);
+        if (rs.pending[i] == 0) push_ready(r, i, 0);
+      }
+      total_ops_ += prog.size();
+    }
+    // A loose upper bound on simultaneously outstanding events: a few per
+    // rank (CPU chain head, in-flight messages). Avoids heap reallocation.
+    queue_.reserve(static_cast<std::size_t>(ranks) * 8);
+  }
+
+  SimResult execute() {
+    while (!queue_.empty()) {
+      const Event ev = queue_.pop();
+      ++result_.events_processed;
+      switch (ev.kind) {
+        case EventKind::kOpReady: handle_ready(ev); break;
+        case EventKind::kMsgArrive: handle_message(ev); break;
+      }
+    }
+    if (completed_ops_ != total_ops_) throw_deadlock();
+
+    result_.rank_finish.reserve(states_.size());
+    for (const RankState& rs : states_) {
+      result_.rank_finish.push_back(rs.finish);
+      result_.makespan = std::max(result_.makespan, rs.finish);
+      result_.noise_stolen += rs.noise.stolen_time();
+      result_.detours_charged += rs.noise.charged_detours();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  RankState& state(Rank r) { return states_[static_cast<std::size_t>(r)]; }
+
+  void push_ready(Rank rank, OpIndex op, TimeNs time) {
+    Event ev;
+    ev.time = time;
+    ev.seq = seq_++;
+    ev.kind = EventKind::kOpReady;
+    ev.rank = rank;
+    ev.op = op;
+    queue_.push(ev);
+  }
+
+  void push_message(TimeNs time, Rank dest, MsgKind kind, Rank src, Tag tag,
+                    std::int64_t size, OpIndex sender_op, OpIndex recv_op) {
+    Event ev;
+    ev.time = time;
+    ev.seq = seq_++;
+    ev.kind = EventKind::kMsgArrive;
+    ev.rank = dest;
+    ev.msg_kind = kind;
+    ev.src = src;
+    ev.tag = tag;
+    ev.size = size;
+    ev.sender_op = sender_op;
+    ev.recv_op = recv_op;
+    queue_.push(ev);
+  }
+
+  /// Charges `len` ns of CPU on `rank`, starting no earlier than `earliest`
+  /// and no earlier than the CPU becomes free; detours stretch the interval.
+  TimeNs charge_cpu(Rank rank, TimeNs earliest, TimeNs len) {
+    RankState& rs = state(rank);
+    const TimeNs start = rs.noise.next_free(std::max(earliest, rs.cpu_free));
+    const TimeNs end = rs.noise.occupy(start, len);
+    rs.cpu_free = end;
+    return end;
+  }
+
+  /// Injects a wire message: respects the NIC gap g (+ G per byte for the
+  /// payload) and returns the arrival time at the destination.
+  TimeNs inject(Rank rank, TimeNs earliest, std::int64_t payload_bytes) {
+    RankState& rs = state(rank);
+    const TimeNs wire = params_.wire_time(payload_bytes);
+    const TimeNs start = std::max(earliest, rs.nic_free);
+    rs.nic_free = start + params_.g + wire;
+    return start + params_.L + wire;
+  }
+
+  /// Marks op (rank, index) complete at `time`: records the rank finish time
+  /// and releases dependent ops.
+  void complete_op(Rank rank, OpIndex op, TimeNs time) {
+    RankState& rs = state(rank);
+    rs.finish = std::max(rs.finish, time);
+    ++completed_ops_;
+    if (on_complete_) on_complete_(rank, op, time);
+    const RankProgram& prog = graph_.program(rank);
+    for (const OpIndex succ : prog.successors(op)) {
+      rs.ready_time[succ] = std::max(rs.ready_time[succ], time);
+      CELOG_ASSERT(rs.pending[succ] > 0);
+      if (--rs.pending[succ] == 0) push_ready(rank, succ, rs.ready_time[succ]);
+    }
+  }
+
+  void handle_ready(const Event& ev) {
+    const Op& op = graph_.program(ev.rank).op(ev.op);
+    switch (op.kind) {
+      case OpKind::kCalc: {
+        const TimeNs end = charge_cpu(ev.rank, ev.time, op.size_or_duration);
+        complete_op(ev.rank, ev.op, end);
+        break;
+      }
+      case OpKind::kSend: start_send(ev, op); break;
+      case OpKind::kRecv: post_recv(ev, op); break;
+    }
+  }
+
+  void start_send(const Event& ev, const Op& op) {
+    const std::int64_t size = op.size_or_duration;
+    if (params_.eager(size)) {
+      const TimeNs cpu_end = charge_cpu(
+          ev.rank, ev.time, params_.o + params_.cpu_byte_time(size));
+      const TimeNs arrival = inject(ev.rank, cpu_end, size);
+      push_message(arrival, op.peer, MsgKind::kEagerData, ev.rank, op.tag,
+                   size, ev.op, 0);
+      // Eager sends are fire-and-forget: local completion once the CPU has
+      // handed the message to the NIC.
+      complete_op(ev.rank, ev.op, cpu_end);
+    } else {
+      // Rendezvous: ship a ready-to-send control message; the send op stays
+      // open until the CTS returns and the data leaves (see handle_cts).
+      const TimeNs cpu_end = charge_cpu(ev.rank, ev.time, params_.o);
+      const TimeNs arrival = inject(ev.rank, cpu_end, 0);
+      push_message(arrival, op.peer, MsgKind::kRts, ev.rank, op.tag, size,
+                   ev.op, 0);
+      ++result_.control_messages;
+    }
+  }
+
+  void post_recv(const Event& ev, const Op& op) {
+    RankState& rs = state(ev.rank);
+    // Look for an already-arrived message matching (src, tag), FIFO.
+    auto it = std::find_if(rs.unexpected.begin(), rs.unexpected.end(),
+                           [&](const UnexpectedMsg& m) {
+                             return m.src == op.peer && m.tag == op.tag;
+                           });
+    if (it == rs.unexpected.end()) {
+      rs.posted.push_back(
+          PostedRecv{ev.op, op.peer, op.tag, op.size_or_duration, ev.time});
+      return;
+    }
+    const UnexpectedMsg msg = *it;
+    rs.unexpected.erase(it);
+    CELOG_ASSERT_MSG(msg.size == op.size_or_duration,
+                     "matched message size differs from recv size");
+    if (msg.kind == MsgKind::kEagerData) {
+      finish_recv(ev.rank, ev.op, std::max(ev.time, msg.arrival), msg.size);
+    } else {
+      send_cts(ev.rank, std::max(ev.time, msg.arrival), msg, ev.op);
+    }
+  }
+
+  /// Charges the receive overhead and completes the recv op.
+  void finish_recv(Rank rank, OpIndex recv_op, TimeNs earliest,
+                   std::int64_t size) {
+    const TimeNs end =
+        charge_cpu(rank, earliest, params_.o + params_.cpu_byte_time(size));
+    complete_op(rank, recv_op, end);
+    ++result_.data_messages;
+  }
+
+  /// Receiver side of the rendezvous handshake: clear-to-send back to the
+  /// sender, carrying which send/recv pair matched.
+  void send_cts(Rank rank, TimeNs earliest, const UnexpectedMsg& rts,
+                OpIndex recv_op) {
+    const TimeNs cpu_end = charge_cpu(rank, earliest, params_.o);
+    const TimeNs arrival = inject(rank, cpu_end, 0);
+    push_message(arrival, rts.src, MsgKind::kCts, rank, rts.tag, rts.size,
+                 rts.sender_op, recv_op);
+    ++result_.control_messages;
+  }
+
+  void handle_message(const Event& ev) {
+    switch (ev.msg_kind) {
+      case MsgKind::kEagerData:
+      case MsgKind::kRts: {
+        RankState& rs = state(ev.rank);
+        auto it = std::find_if(rs.posted.begin(), rs.posted.end(),
+                               [&](const PostedRecv& p) {
+                                 return p.src == ev.src && p.tag == ev.tag;
+                               });
+        if (it == rs.posted.end()) {
+          rs.unexpected.push_back(UnexpectedMsg{ev.msg_kind, ev.src, ev.tag,
+                                                ev.size, ev.time,
+                                                ev.sender_op});
+          return;
+        }
+        const PostedRecv recv = *it;
+        rs.posted.erase(it);
+        CELOG_ASSERT_MSG(recv.size == ev.size,
+                         "matched message size differs from recv size");
+        if (ev.msg_kind == MsgKind::kEagerData) {
+          finish_recv(ev.rank, recv.op, ev.time, ev.size);
+        } else {
+          send_cts(ev.rank,
+                   std::max(ev.time, recv.post_time),
+                   UnexpectedMsg{MsgKind::kRts, ev.src, ev.tag, ev.size,
+                                 ev.time, ev.sender_op},
+                   recv.op);
+        }
+        break;
+      }
+      case MsgKind::kCts: {
+        // Back at the sender: push the payload and complete the send op.
+        const Op& send_op = graph_.program(ev.rank).op(ev.sender_op);
+        const std::int64_t size = send_op.size_or_duration;
+        const TimeNs cpu_end = charge_cpu(
+            ev.rank, ev.time, params_.o + params_.cpu_byte_time(size));
+        const TimeNs arrival = inject(ev.rank, cpu_end, size);
+        // ev.src is the receiver that issued the CTS.
+        push_message(arrival, ev.src, MsgKind::kRndvData, ev.rank, ev.tag,
+                     size, ev.sender_op, ev.recv_op);
+        complete_op(ev.rank, ev.sender_op, cpu_end);
+        break;
+      }
+      case MsgKind::kRndvData: {
+        finish_recv(ev.rank, ev.recv_op, ev.time, ev.size);
+        break;
+      }
+    }
+  }
+
+  [[noreturn]] void throw_deadlock() {
+    std::ostringstream msg;
+    msg << "simulation deadlock: " << (total_ops_ - completed_ops_) << " of "
+        << total_ops_ << " ops never completed;";
+    int listed = 0;
+    for (Rank r = 0; r < graph_.ranks() && listed < 5; ++r) {
+      const RankState& rs = state(r);
+      for (const PostedRecv& p : rs.posted) {
+        msg << " [rank " << r << " recv op " << p.op << " from " << p.src
+            << " tag " << p.tag << " unmatched]";
+        if (++listed >= 5) break;
+      }
+    }
+    throw DeadlockError(msg.str());
+  }
+
+  const goal::TaskGraph& graph_;
+  const NetworkParams& params_;
+  const OpCompletionCallback& on_complete_;
+  std::vector<RankState> states_;
+  EventQueue queue_;
+  std::uint64_t seq_ = 0;
+  std::size_t total_ops_ = 0;
+  std::size_t completed_ops_ = 0;
+  SimResult result_;
+};
+
+}  // namespace
+
+double slowdown_percent(const SimResult& baseline, const SimResult& noisy) {
+  CELOG_ASSERT_MSG(baseline.makespan > 0, "baseline makespan must be > 0");
+  const double base = static_cast<double>(baseline.makespan);
+  const double with = static_cast<double>(noisy.makespan);
+  return (with - base) / base * 100.0;
+}
+
+Simulator::Simulator(const goal::TaskGraph& graph, NetworkParams params)
+    : graph_(graph), params_(params) {
+  CELOG_ASSERT_MSG(graph.finalized(),
+                   "task graph must be finalized before simulation");
+  params_.validate();
+}
+
+SimResult Simulator::run(const noise::NoiseModel& noise,
+                         std::uint64_t run_seed, TimeNs horizon,
+                         const OpCompletionCallback& on_complete) const {
+  Run run(graph_, params_, noise, run_seed, horizon, on_complete);
+  return run.execute();
+}
+
+SimResult Simulator::run_baseline() const {
+  return run(noise::NoNoiseModel{}, 0);
+}
+
+}  // namespace celog::sim

@@ -1,0 +1,97 @@
+// celog/sim/engine.hpp
+//
+// The LogGOPS discrete-event simulator.
+//
+// Given a finalized goal::TaskGraph, NetworkParams, and a noise::NoiseModel,
+// the engine computes when every op completes and hence the application's
+// makespan. It reproduces the LogGOPSim execution model:
+//
+//   * calc ops occupy the rank's CPU for their duration;
+//   * eager sends (size <= S) charge o + O*size on the sender CPU, occupy
+//     the NIC for g + G*size, and arrive L + G*size after injection;
+//   * rendezvous sends (size > S) first exchange RTS/CTS control messages
+//     (each charged like a zero-byte message) and move data only once the
+//     matching recv is posted — so a large send cannot complete before its
+//     receiver arrives, exactly like MPI's rendezvous protocol;
+//   * recvs match messages by (source, tag) with FIFO ordering among equal
+//     keys; early messages wait in an unexpected queue; matching charges
+//     o + O*size on the receiver CPU;
+//   * every CPU interval is routed through the rank's RankNoise, so CE
+//     detours stretch computation and messaging overhead, and the resulting
+//     delays propagate along message dependencies (paper Fig. 1).
+//
+// Determinism: identical (graph, params, noise model, run seed) inputs
+// produce bit-identical results; event-queue ties break on a monotonic
+// sequence number.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "goal/task_graph.hpp"
+#include "noise/noise_model.hpp"
+#include "noise/rank_noise.hpp"
+#include "sim/network_params.hpp"
+#include "util/time.hpp"
+
+namespace celog::sim {
+
+/// Outcome of one simulation run.
+struct SimResult {
+  /// Time at which the last rank finished its last op.
+  TimeNs makespan = 0;
+  /// Per-rank completion time of the rank's final op.
+  std::vector<TimeNs> rank_finish;
+  /// Number of application (data) messages delivered.
+  std::uint64_t data_messages = 0;
+  /// Number of control (RTS/CTS) messages exchanged by rendezvous sends.
+  std::uint64_t control_messages = 0;
+  /// Total CPU time stolen by detours across all ranks.
+  TimeNs noise_stolen = 0;
+  /// Number of detours that extended application activity.
+  std::uint64_t detours_charged = 0;
+  /// Discrete events processed (throughput metric for the micro-bench).
+  std::uint64_t events_processed = 0;
+};
+
+/// Computes the percent slowdown of `noisy` relative to `baseline`.
+double slowdown_percent(const SimResult& baseline, const SimResult& noisy);
+
+/// Observer invoked as each op completes: (rank, op index within the
+/// rank's program, completion time). Completion order follows event
+/// processing, so times are nondecreasing per rank but interleave across
+/// ranks. Used for timeline extraction and schedule debugging; adds no
+/// cost when empty.
+using OpCompletionCallback =
+    std::function<void(goal::Rank, goal::OpIndex, TimeNs)>;
+
+/// The simulation engine. The task graph is borrowed and may be shared by
+/// many engines/runs (it is immutable after finalize()); run() is stateless
+/// across calls, so one Simulator can evaluate many seeds and noise models.
+class Simulator {
+ public:
+  Simulator(const goal::TaskGraph& graph, NetworkParams params);
+
+  /// Runs the simulation under `noise` with the given seed.
+  /// Throws DeadlockError if communication cannot complete (e.g. a recv
+  /// whose matching send never executes). Throws NoProgressError if CE
+  /// handling pushes any rank past `horizon` of simulated time — the
+  /// "unable to make forward progress" regime the paper omits from its
+  /// figures (it occurs whenever cost/MTBCE approaches or exceeds 1).
+  SimResult run(const noise::NoiseModel& noise, std::uint64_t run_seed,
+                TimeNs horizon = noise::RankNoise::kNoHorizon,
+                const OpCompletionCallback& on_complete = {}) const;
+
+  /// Convenience: noise-free baseline run.
+  SimResult run_baseline() const;
+
+  const NetworkParams& params() const { return params_; }
+
+ private:
+  const goal::TaskGraph& graph_;
+  NetworkParams params_;
+};
+
+}  // namespace celog::sim

@@ -1,0 +1,67 @@
+// celog/sim/network_params.hpp
+//
+// LogGOPS network parameters (Culler et al.'s LogP, extended with G, O, and
+// S as in LogGOPSim, Hoefler et al. HPDC'10):
+//
+//   L — wire latency between any two ranks,
+//   o — CPU overhead charged per message on the sender and on the receiver,
+//   g — gap between consecutive message injections on one NIC,
+//   G — gap per byte on the wire (inverse bandwidth),
+//   O — CPU overhead per byte,
+//   S — eager/rendezvous threshold: messages larger than S bytes use a
+//       rendezvous handshake (RTS/CTS) before data moves.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace celog::sim {
+
+struct NetworkParams {
+  TimeNs L = 0;       // latency
+  TimeNs o = 0;       // per-message CPU overhead
+  TimeNs g = 0;       // per-message NIC gap
+  double G = 0.0;     // ns per byte on the wire
+  double O = 0.0;     // ns per byte on the CPU
+  std::int64_t S = 0; // eager threshold in bytes
+
+  /// Parameters representative of the Cray XC40 (Aries) interconnect the
+  /// paper simulates (network parameters of [25], Ferreira et al., ParCo
+  /// 2018): ~1.3 us latency, sub-microsecond overhead, ~10 GB/s per-NIC
+  /// bandwidth, 8 KiB eager threshold.
+  static NetworkParams cray_xc40() {
+    return NetworkParams{/*L=*/1300, /*o=*/800, /*g=*/1200,
+                         /*G=*/0.1, /*O=*/0.02, /*S=*/8192};
+  }
+
+  /// A zero-cost network: analytic unit tests use it so expected times can
+  /// be computed by hand.
+  static NetworkParams ideal() {
+    return NetworkParams{0, 0, 0, 0.0, 0.0, /*S=*/1 << 30};
+  }
+
+  /// Wire time for `bytes` payload bytes (G * bytes, rounded).
+  TimeNs wire_time(std::int64_t bytes) const {
+    CELOG_ASSERT(bytes >= 0);
+    return static_cast<TimeNs>(G * static_cast<double>(bytes) + 0.5);
+  }
+
+  /// CPU per-byte time for `bytes` payload bytes (O * bytes, rounded).
+  TimeNs cpu_byte_time(std::int64_t bytes) const {
+    CELOG_ASSERT(bytes >= 0);
+    return static_cast<TimeNs>(O * static_cast<double>(bytes) + 0.5);
+  }
+
+  /// True if a message of `bytes` is sent eagerly (no handshake).
+  bool eager(std::int64_t bytes) const { return bytes <= S; }
+
+  void validate() const {
+    CELOG_ASSERT_MSG(L >= 0 && o >= 0 && g >= 0, "LogGOPS times must be >= 0");
+    CELOG_ASSERT_MSG(G >= 0.0 && O >= 0.0, "per-byte costs must be >= 0");
+    CELOG_ASSERT_MSG(S >= 0, "eager threshold must be >= 0");
+  }
+};
+
+}  // namespace celog::sim

@@ -1,0 +1,193 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace celog::trace {
+
+using goal::Op;
+using goal::OpIndex;
+using goal::OpKind;
+using goal::Rank;
+using goal::TaskGraph;
+
+void write_goal(std::ostream& os, const TaskGraph& graph) {
+  CELOG_ASSERT_MSG(graph.finalized(), "can only serialize finalized graphs");
+  os << "celog-goal 1\n";
+  os << "ranks " << graph.ranks() << '\n';
+  for (Rank r = 0; r < graph.ranks(); ++r) {
+    const auto& prog = graph.program(r);
+    // Count edges first so the reader can preallocate and verify.
+    std::size_t edges = 0;
+    for (OpIndex i = 0; i < prog.size(); ++i) edges += prog.successors(i).size();
+    os << "rank " << r << " ops " << prog.size() << " deps " << edges << '\n';
+    for (OpIndex i = 0; i < prog.size(); ++i) {
+      const Op& op = prog.op(i);
+      switch (op.kind) {
+        case OpKind::kCalc:
+          os << "calc " << op.size_or_duration << '\n';
+          break;
+        case OpKind::kSend:
+          os << "send " << op.peer << ' ' << op.size_or_duration << ' '
+             << op.tag << '\n';
+          break;
+        case OpKind::kRecv:
+          os << "recv " << op.peer << ' ' << op.size_or_duration << ' '
+             << op.tag << '\n';
+          break;
+      }
+    }
+    for (OpIndex i = 0; i < prog.size(); ++i) {
+      for (const OpIndex succ : prog.successors(i)) {
+        os << "dep " << i << ' ' << succ << '\n';
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Reads the next non-comment, non-blank line; returns false at EOF.
+bool next_line(std::istream& is, std::string& line, std::size_t& lineno) {
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+[[noreturn]] void fail(std::size_t lineno, const std::string& what) {
+  throw ParseError("goal trace line " + std::to_string(lineno) + ": " + what);
+}
+
+}  // namespace
+
+TaskGraph read_goal(std::istream& is) {
+  std::string line;
+  std::size_t lineno = 0;
+
+  if (!next_line(is, line, lineno)) fail(lineno, "empty input");
+  {
+    std::istringstream ss(line);
+    std::string magic;
+    int version = 0;
+    ss >> magic >> version;
+    if (magic != "celog-goal" || version != 1) {
+      fail(lineno, "expected header 'celog-goal 1'");
+    }
+  }
+
+  if (!next_line(is, line, lineno)) fail(lineno, "missing 'ranks' line");
+  Rank ranks = 0;
+  {
+    std::istringstream ss(line);
+    std::string kw;
+    ss >> kw >> ranks;
+    if (kw != "ranks" || ss.fail() || ranks <= 0) {
+      fail(lineno, "expected 'ranks <p>' with p > 0");
+    }
+  }
+
+  TaskGraph graph(ranks);
+  for (Rank r = 0; r < ranks; ++r) {
+    if (!next_line(is, line, lineno)) fail(lineno, "missing rank header");
+    std::size_t ops = 0;
+    std::size_t deps = 0;
+    {
+      std::istringstream ss(line);
+      std::string kw1, kw2, kw3;
+      Rank stated = -1;
+      ss >> kw1 >> stated >> kw2 >> ops >> kw3 >> deps;
+      if (kw1 != "rank" || kw2 != "ops" || kw3 != "deps" || ss.fail() ||
+          stated != r) {
+        fail(lineno, "expected 'rank " + std::to_string(r) +
+                         " ops <n> deps <m>'");
+      }
+    }
+    for (std::size_t i = 0; i < ops; ++i) {
+      if (!next_line(is, line, lineno)) fail(lineno, "missing op line");
+      std::istringstream ss(line);
+      std::string kind;
+      ss >> kind;
+      if (kind == "calc") {
+        std::int64_t duration = -1;
+        ss >> duration;
+        if (ss.fail() || duration < 0) fail(lineno, "bad calc duration");
+        graph.add_op(r, Op::calc(duration));
+      } else if (kind == "send" || kind == "recv") {
+        Rank peer = -1;
+        std::int64_t bytes = -1;
+        goal::Tag tag = 0;
+        ss >> peer >> bytes >> tag;
+        if (ss.fail() || peer < 0 || peer >= ranks || peer == r || bytes < 0) {
+          fail(lineno, "bad " + kind + " operands");
+        }
+        graph.add_op(r, kind == "send" ? Op::send(peer, bytes, tag)
+                                       : Op::recv(peer, bytes, tag));
+      } else {
+        fail(lineno, "unknown op kind '" + kind + "'");
+      }
+    }
+    for (std::size_t i = 0; i < deps; ++i) {
+      if (!next_line(is, line, lineno)) fail(lineno, "missing dep line");
+      std::istringstream ss(line);
+      std::string kw;
+      OpIndex before = 0;
+      OpIndex after = 0;
+      ss >> kw >> before >> after;
+      if (kw != "dep" || ss.fail() || before >= ops || after >= ops) {
+        fail(lineno, "bad dep line");
+      }
+      graph.add_dependency(goal::OpId{r, before}, goal::OpId{r, after});
+    }
+  }
+  graph.finalize();
+  return graph;
+}
+
+void save_goal(const std::string& path, const TaskGraph& graph) {
+  std::ofstream os(path);
+  if (!os) throw ParseError("cannot open for writing: " + path);
+  write_goal(os, graph);
+  if (!os) throw ParseError("write failed: " + path);
+}
+
+TaskGraph load_goal(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw ParseError("cannot open: " + path);
+  return read_goal(is);
+}
+
+TaskGraph extrapolate(const TaskGraph& graph, int factor) {
+  CELOG_ASSERT_MSG(graph.finalized(), "extrapolate needs a finalized graph");
+  CELOG_ASSERT_MSG(factor >= 1, "extrapolation factor must be >= 1");
+  const Rank p = graph.ranks();
+  TaskGraph out(p * factor);
+  for (int block = 0; block < factor; ++block) {
+    const Rank offset = static_cast<Rank>(block) * p;
+    for (Rank r = 0; r < p; ++r) {
+      const auto& prog = graph.program(r);
+      for (OpIndex i = 0; i < prog.size(); ++i) {
+        Op op = prog.op(i);
+        if (op.kind != OpKind::kCalc) op.peer += offset;
+        out.add_op(r + offset, op);
+      }
+      for (OpIndex i = 0; i < prog.size(); ++i) {
+        for (const OpIndex succ : prog.successors(i)) {
+          out.add_dependency(goal::OpId{r + offset, i},
+                             goal::OpId{r + offset, succ});
+        }
+      }
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace celog::trace

@@ -1,0 +1,51 @@
+// celog/trace/trace_io.hpp
+//
+// Text serialization of task graphs in a GOAL-like format, plus the
+// trace-extrapolation feature of LogGOPSim (§III-C: "a trace collected by
+// running the application with p processes can be extrapolated to simulate
+// performance of the application running with k*p processes").
+//
+// Format (line oriented, '#' comments):
+//
+//   celog-goal 1
+//   ranks <p>
+//   rank <r> ops <n> deps <m>
+//   calc <duration_ns>
+//   send <peer> <bytes> <tag>
+//   recv <peer> <bytes> <tag>
+//   ...                              (n op lines, index order)
+//   dep <before_index> <after_index> (m dependency lines)
+//   ...                              (next rank)
+//
+// Round-trip guarantee: write(read(s)) == s up to comments/whitespace, and
+// read(write(g)) produces a graph with identical ops and edges.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "goal/task_graph.hpp"
+
+namespace celog::trace {
+
+/// Writes a finalized graph to `os`.
+void write_goal(std::ostream& os, const goal::TaskGraph& graph);
+
+/// Parses a graph from `is` and finalizes it.
+/// Throws ParseError on malformed input, InvalidInputError on cyclic deps.
+goal::TaskGraph read_goal(std::istream& is);
+
+/// Convenience file wrappers. Throw ParseError when the file cannot be
+/// opened.
+void save_goal(const std::string& path, const goal::TaskGraph& graph);
+goal::TaskGraph load_goal(const std::string& path);
+
+/// Extrapolates a p-rank graph to factor*p ranks by block replication:
+/// clone i (ranks [i*p, (i+1)*p)) repeats the original program with every
+/// peer shifted into its own block. This reproduces LogGOPSim's
+/// point-to-point approximation; collective patterns should be regenerated
+/// at full scale (our workload models do exactly that) when exactness
+/// matters — see DESIGN.md.
+goal::TaskGraph extrapolate(const goal::TaskGraph& graph, int factor);
+
+}  // namespace celog::trace

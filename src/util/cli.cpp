@@ -1,0 +1,121 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace celog {
+
+Cli::Cli(std::string program_summary) : summary_(std::move(program_summary)) {}
+
+void Cli::add_option(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  CELOG_ASSERT_MSG(!options_.contains(name), "duplicate option");
+  options_[name] = Option{default_value, help, /*is_flag=*/false};
+  order_.push_back(name);
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help) {
+  CELOG_ASSERT_MSG(!options_.contains(name), "duplicate option");
+  options_[name] = Option{"", help, /*is_flag=*/true};
+  order_.push_back(name);
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  values_.clear();
+  error_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      error_ = "unexpected positional argument: " + arg;
+      std::fputs(usage().c_str(), stderr);
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    if (it == options_.end()) {
+      error_ = "unknown option: --" + arg;
+      std::fputs(usage().c_str(), stderr);
+      return false;
+    }
+    if (it->second.is_flag) {
+      if (has_value) {
+        error_ = "flag --" + arg + " does not take a value";
+        return false;
+      }
+      values_[arg] = "1";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          error_ = "option --" + arg + " requires a value";
+          return false;
+        }
+        value = argv[++i];
+      }
+      values_[arg] = value;
+    }
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+  auto opt = options_.find(name);
+  CELOG_ASSERT_MSG(opt != options_.end(), "get() of unregistered option");
+  auto it = values_.find(name);
+  return it != values_.end() ? it->second : opt->second.default_value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    throw ParseError("option --" + name + ": not an integer: " + v);
+  }
+  return parsed;
+}
+
+double Cli::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    throw ParseError("option --" + name + ": not a number: " + v);
+  }
+  return parsed;
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  auto opt = options_.find(name);
+  CELOG_ASSERT_MSG(opt != options_.end() && opt->second.is_flag,
+                   "get_flag() of unregistered flag");
+  return values_.contains(name);
+}
+
+std::string Cli::usage() const {
+  std::ostringstream out;
+  out << summary_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Option& o = options_.at(name);
+    out << "  --" << name;
+    if (!o.is_flag) out << " <value> (default: " << o.default_value << ")";
+    out << "\n      " << o.help << '\n';
+  }
+  out << "  --help\n      print this message\n";
+  return out.str();
+}
+
+}  // namespace celog

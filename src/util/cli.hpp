@@ -1,0 +1,60 @@
+// celog/util/cli.hpp
+//
+// Minimal command-line option parser shared by bench and example binaries.
+// Supports --flag, --key value, and --key=value forms plus an automatically
+// generated --help. Deliberately tiny: benches have a handful of numeric
+// knobs (node count, seeds, iterations) and nothing more.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace celog {
+
+/// Declarative CLI: register options with defaults, then parse(argc, argv).
+class Cli {
+ public:
+  /// `program_summary` is printed at the top of --help output.
+  explicit Cli(std::string program_summary);
+
+  /// Registers an option taking a value, e.g. add_option("nodes", "1024",
+  /// "number of simulated nodes").
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Registers a boolean flag (present/absent), e.g. add_flag("full", ...).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) if --help was given
+  /// or an unknown/ill-formed option was found. On failure, `error()` holds
+  /// a diagnostic (empty for --help).
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Set after a failed parse() when the failure was an error (not --help).
+  const std::string& error() const { return error_; }
+
+  std::string usage() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::string summary_;
+  std::vector<std::string> order_;  // registration order for --help
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+}  // namespace celog

@@ -1,0 +1,72 @@
+// celog/util/error.hpp
+//
+// Error handling for the celog library.
+//
+// The library distinguishes two kinds of failure:
+//   * contract violations (programmer error) -> CELOG_ASSERT, aborts in all
+//     build types so simulations never silently continue from corrupt state;
+//   * recoverable input errors (bad trace file, bad CLI value) -> exceptions
+//     derived from celog::Error.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace celog {
+
+/// Base class for all recoverable celog errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when parsing a trace, schedule, or configuration file fails.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a simulation input is structurally invalid (e.g. a task graph
+/// with a dependency cycle, a recv with no matching send).
+class InvalidInputError : public Error {
+ public:
+  explicit InvalidInputError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a simulation cannot make progress (communication deadlock).
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when simulated time exceeds the configured horizon — the regime
+/// the paper describes as "the application is essentially unable to make any
+/// reasonable forward progress" (CE handling outpaces the CPU).
+class NoProgressError : public Error {
+ public:
+  explicit NoProgressError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "celog: assertion failed: %s at %s:%d%s%s\n", expr,
+               file, line, msg && *msg ? ": " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace celog
+
+/// Contract check that is active in every build type. Simulation state is
+/// cheap to check and expensive to debug after corruption, so these stay on.
+#define CELOG_ASSERT(expr)                                              \
+  ((expr) ? static_cast<void>(0)                                        \
+          : ::celog::detail::assert_fail(#expr, __FILE__, __LINE__, ""))
+
+#define CELOG_ASSERT_MSG(expr, msg)                                      \
+  ((expr) ? static_cast<void>(0)                                         \
+          : ::celog::detail::assert_fail(#expr, __FILE__, __LINE__, msg))

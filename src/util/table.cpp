@@ -1,0 +1,103 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace celog {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  CELOG_ASSERT_MSG(!headers_.empty(), "table needs at least one column");
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;  // label column by default
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  CELOG_ASSERT_MSG(cells.size() == headers_.size(),
+                   "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::set_align(std::size_t col, Align align) {
+  CELOG_ASSERT(col < aligns_.size());
+  aligns_[col] = align;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  auto emit_cell = [&](const std::string& text, std::size_t c) {
+    const auto pad = widths[c] - text.size();
+    if (aligns_[c] == Align::kRight) out << std::string(pad, ' ') << text;
+    else out << text << std::string(pad, ' ');
+  };
+
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out << " | ";
+    emit_cell(headers_[c], c);
+  }
+  out << '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out << "-+-";
+    out << std::string(widths[c], '-');
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << " | ";
+      emit_cell(row[c], c);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << render(); }
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string format_sci(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", digits, value);
+  return buf;
+}
+
+std::string format_percent(double pct) {
+  if (pct < 0.01 && pct > -0.01) return "<0.01";
+  if (pct >= 100.0) return format_fixed(pct, 1);
+  return format_fixed(pct, 2);
+}
+
+std::string format_count(std::int64_t value) {
+  const bool neg = value < 0;
+  std::uint64_t v = neg ? static_cast<std::uint64_t>(-(value + 1)) + 1
+                        : static_cast<std::uint64_t>(value);
+  std::string digits = std::to_string(v);
+  std::string out;
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      out.push_back(',');
+      since_sep = 0;
+    }
+    out.push_back(*it);
+    ++since_sep;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace celog

@@ -1,0 +1,60 @@
+// celog/util/table.hpp
+//
+// ASCII table rendering for bench output. Every bench binary prints the rows
+// of the paper table/figure it regenerates; this keeps that output aligned
+// and diff-friendly.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace celog {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: set headers, append rows of strings, render.
+/// Cells render verbatim; numeric formatting is the caller's concern
+/// (see format helpers below).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Sets the alignment of column `col` (default: right for all columns).
+  void set_align(std::size_t col, Align align);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   system      | mode     | slowdown %
+  ///   ------------+----------+-----------
+  ///   Cielo       | software |      0.012
+  std::string render() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> aligns_;
+};
+
+/// Formats a double with `digits` fractional digits ("%.*f").
+std::string format_fixed(double value, int digits);
+
+/// Formats a double in scientific notation with `digits` fractional digits.
+std::string format_sci(double value, int digits);
+
+/// Formats a slowdown percentage the way the paper's figures bucket values:
+/// "<0.01" below resolution, fixed-point elsewhere.
+std::string format_percent(double pct);
+
+/// Formats an integer with thousands separators ("16,384").
+std::string format_count(std::int64_t value);
+
+}  // namespace celog

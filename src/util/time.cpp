@@ -1,0 +1,34 @@
+#include "util/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace celog {
+
+std::string format_duration(TimeNs t) {
+  char buf[64];
+  const bool neg = t < 0;
+  const TimeNs a = neg ? -t : t;
+  const char* sign = neg ? "-" : "";
+  if (a < kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%s%" PRId64 " ns", sign, a);
+  } else if (a < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3f us", sign,
+                  static_cast<double>(a) / static_cast<double>(kMicrosecond));
+  } else if (a < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3f ms", sign,
+                  static_cast<double>(a) / static_cast<double>(kMillisecond));
+  } else if (a < kMinute) {
+    std::snprintf(buf, sizeof(buf), "%s%.3f s", sign,
+                  static_cast<double>(a) / static_cast<double>(kSecond));
+  } else if (a < kHour) {
+    std::snprintf(buf, sizeof(buf), "%s%.2f min", sign,
+                  static_cast<double>(a) / static_cast<double>(kMinute));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.2f h", sign,
+                  static_cast<double>(a) / static_cast<double>(kHour));
+  }
+  return buf;
+}
+
+}  // namespace celog

@@ -1,0 +1,63 @@
+// celog/util/time.hpp
+//
+// Simulated-time representation.
+//
+// All simulator time is kept in integer nanoseconds (TimeNs). Integer time
+// keeps event ordering exact and reproducible across platforms; an int64
+// nanosecond clock covers ~292 years of simulated time, far beyond any run.
+// Durations and points share the representation; helpers below build values
+// from human units and format them back for reports.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace celog {
+
+/// Simulated time (point or duration) in nanoseconds.
+using TimeNs = std::int64_t;
+
+/// Sentinel for "no time" / unset.
+inline constexpr TimeNs kTimeNever = -1;
+
+inline constexpr TimeNs kNanosecond = 1;
+inline constexpr TimeNs kMicrosecond = 1000 * kNanosecond;
+inline constexpr TimeNs kMillisecond = 1000 * kMicrosecond;
+inline constexpr TimeNs kSecond = 1000 * kMillisecond;
+inline constexpr TimeNs kMinute = 60 * kSecond;
+inline constexpr TimeNs kHour = 60 * kMinute;
+inline constexpr TimeNs kDay = 24 * kHour;
+inline constexpr TimeNs kYear = 365 * kDay;  // calendar convention used in the paper
+
+constexpr TimeNs nanoseconds(std::int64_t n) { return n; }
+constexpr TimeNs microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr TimeNs milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr TimeNs seconds(std::int64_t n) { return n * kSecond; }
+
+/// Converts a floating-point second count (e.g. an MTBCE from Table II) to
+/// integer nanoseconds, rounding to nearest.
+inline TimeNs from_seconds(double s) {
+  CELOG_ASSERT_MSG(std::isfinite(s), "time must be finite");
+  return static_cast<TimeNs>(std::llround(s * static_cast<double>(kSecond)));
+}
+
+inline double to_seconds(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+inline double to_milliseconds(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+inline double to_microseconds(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/// Formats a duration with an auto-selected unit ("1.234 ms", "56.7 s").
+/// Intended for reports and logs, not for machine-readable output.
+std::string format_duration(TimeNs t);
+
+}  // namespace celog

@@ -1,0 +1,79 @@
+// CTH workload model (Table I).
+//
+// CTH is Sandia's Eulerian shock-physics code. A cycle of the conical-charge
+// problem (CTH-st) used in the paper consists of directional sweeps over a
+// structured 3-D mesh:
+//   * three sweeps (x, y, z), each preceded by a face-neighbor ghost
+//     exchange of full mesh planes — CTH ships many field variables per
+//     cell, so faces are large (hundreds of KB -> rendezvous protocol);
+//   * an equation-of-state / material-interface compute block;
+//   * one scalar allreduce(MIN) for the next stable timestep.
+// One global sync every ~400 ms of compute puts CTH in the paper's middle
+// sensitivity band.
+#include "collectives/collectives.hpp"
+#include "workloads/models.hpp"
+#include "workloads/patterns.hpp"
+#include "workloads/topology.hpp"
+
+namespace celog::workloads {
+namespace {
+
+class CthWorkload final : public Workload {
+ public:
+  std::string name() const override { return "cth"; }
+  std::string description() const override {
+    return "CTH shock physics (three directional sweeps with large plane "
+           "exchanges, one dt reduction per cycle)";
+  }
+
+  TimeNs sync_period() const override {
+    return 3 * kSweepCompute + kEosCompute;
+  }
+
+  TimeNs iteration_time() const override { return sync_period(); }
+
+  goal::TaskGraph build(const WorkloadConfig& config) const override {
+    goal::TaskGraph graph(config.ranks);
+    BuildContext ctx(graph, config.seed);
+    // Full mesh planes with ~20 field variables per cell: 384 KB faces.
+    const NeighborLists sweep_halo =
+        tile_blocks(config.ranks, effective_block(config), [&](goal::Rank b) {
+          return face_neighbors(CartGrid(b, 3, /*periodic=*/false),
+                                /*face_bytes=*/384 * 1024);
+        });
+    // The explosive charge is localized: material compute is noticeably
+    // imbalanced across the domain.
+    const std::vector<double> imbalance = ctx.persistent_imbalance(0.08);
+
+    const auto scaled = [&](TimeNs t) {
+      return static_cast<TimeNs>(static_cast<double>(t) *
+                                 config.compute_scale);
+    };
+
+    for (int cycle = 0; cycle < config.iterations; ++cycle) {
+      for (int sweep = 0; sweep < 3; ++sweep) {
+        halo_exchange(ctx, sweep_halo);
+        compute_phase(ctx, scaled(kSweepCompute), imbalance, kJitter);
+      }
+      compute_phase(ctx, scaled(kEosCompute), imbalance, kJitter);
+      collectives::allreduce(ctx.builders(), 8, ctx.tags());
+    }
+    graph.finalize();
+    return graph;
+  }
+
+ private:
+  // A cycle over a large per-node Eulerian mesh (three sweeps + EOS) runs
+  // ~1.2 s; the dt reduction is the only global sync per cycle.
+  static constexpr TimeNs kSweepCompute = milliseconds(330);
+  static constexpr TimeNs kEosCompute = milliseconds(210);
+  static constexpr double kJitter = 0.04;
+};
+
+}  // namespace
+
+std::shared_ptr<const Workload> make_cth() {
+  return std::make_shared<CthWorkload>();
+}
+
+}  // namespace celog::workloads

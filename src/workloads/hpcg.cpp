@@ -1,0 +1,103 @@
+// HPCG workload model (Table I).
+//
+// HPCG solves a 27-point-stencil Poisson system with CG preconditioned by a
+// symmetric Gauss-Seidel multigrid V-cycle. Per CG iteration:
+//   * SpMV with a 27-point stencil -> 26-neighbor halo exchange + compute;
+//   * dot product (r, z) -> 8-byte allreduce;
+//   * the MG V-cycle: three coarser levels, each with its own (smaller)
+//     halo exchange and smoother compute;
+//   * dot product (p, Ap) -> second 8-byte allreduce;
+//   * vector updates (axpy).
+// Two global synchronizations per iteration, ~70 ms apart at our weak-scaled
+// per-rank problem (104^3 rows is the reference local size; a Haswell-class
+// node sustains an iteration in the low hundreds of ms). HPCG lands in the
+// paper's middle sensitivity band (10-15% at CE_Cielo x10 with firmware
+// logging).
+#include "collectives/collectives.hpp"
+#include "workloads/models.hpp"
+#include "workloads/patterns.hpp"
+#include "workloads/topology.hpp"
+
+namespace celog::workloads {
+namespace {
+
+class HpcgWorkload final : public Workload {
+ public:
+  std::string name() const override { return "hpcg"; }
+  std::string description() const override {
+    return "HPCG benchmark (27-point stencil CG with multigrid "
+           "preconditioner, two dot-product allreduces per iteration)";
+  }
+
+  TimeNs sync_period() const override {
+    // Two allreduces split each iteration roughly in half.
+    return (kSpmvCompute + kMgCompute + kAxpyCompute) / 2;
+  }
+
+  TimeNs iteration_time() const override {
+    return kSpmvCompute + kMgCompute + kAxpyCompute;
+  }
+
+  goal::TaskGraph build(const WorkloadConfig& config) const override {
+    goal::TaskGraph graph(config.ranks);
+    BuildContext ctx(graph, config.seed);
+    const goal::Rank block = effective_block(config);
+    const auto full3d = [&](std::int64_t face, std::int64_t edge,
+                            std::int64_t corner) {
+      return tile_blocks(config.ranks, block, [&](goal::Rank b) {
+        return full_neighbors_3d(CartGrid(b, 3, /*periodic=*/false), face,
+                                 edge, corner);
+      });
+    };
+    // Fine-level halo: 104^2 plane of doubles per face (~86 KB) trimmed to
+    // the exchanged boundary rows; edges/corners are tiny.
+    const NeighborLists fine_halo = full3d(32 * 1024, 832, 8);
+    // Each MG level halves the local dimension: payload shrinks ~4x per
+    // level on faces.
+    const NeighborLists mg_halos[3] = {
+        full3d(8 * 1024, 208, 8),
+        full3d(2 * 1024, 56, 8),
+        full3d(512, 16, 8),
+    };
+    const std::vector<double> imbalance = ctx.persistent_imbalance(0.02);
+
+    const auto scaled = [&](TimeNs t) {
+      return static_cast<TimeNs>(static_cast<double>(t) *
+                                 config.compute_scale);
+    };
+
+    for (int iter = 0; iter < config.iterations; ++iter) {
+      // SpMV.
+      halo_exchange(ctx, fine_halo);
+      compute_phase(ctx, scaled(kSpmvCompute), imbalance, kJitter);
+      // rtz dot product.
+      collectives::allreduce(ctx.builders(), 8, ctx.tags());
+      // MG V-cycle: smoother at each level needs its own halo.
+      for (const NeighborLists& level : mg_halos) {
+        halo_exchange(ctx, level);
+        compute_phase(ctx, scaled(kMgCompute / 3), imbalance, kJitter);
+      }
+      // pAp dot product.
+      collectives::allreduce(ctx.builders(), 8, ctx.tags());
+      compute_phase(ctx, scaled(kAxpyCompute), imbalance, kJitter);
+    }
+    graph.finalize();
+    return graph;
+  }
+
+ private:
+  // A full 104^3-rows-per-rank CG+MG iteration is memory-bound and takes
+  // ~2 s on a Haswell-class node; the two dot products split it in half.
+  static constexpr TimeNs kSpmvCompute = milliseconds(900);
+  static constexpr TimeNs kMgCompute = milliseconds(960);
+  static constexpr TimeNs kAxpyCompute = milliseconds(140);
+  static constexpr double kJitter = 0.02;
+};
+
+}  // namespace
+
+std::shared_ptr<const Workload> make_hpcg() {
+  return std::make_shared<HpcgWorkload>();
+}
+
+}  // namespace celog::workloads

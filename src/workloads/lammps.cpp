@@ -1,0 +1,179 @@
+// LAMMPS workload models (Table I: LAMMPS-lj, LAMMPS-snap, LAMMPS-crack).
+//
+// Structure of a LAMMPS timestep, mirrored here:
+//   * forward communication — ghost-atom halo exchange with the spatial
+//     neighbors (6 in 3-D, 4 in the 2-D crack problem);
+//   * force computation — the dominant compute;
+//   * reverse communication — ghost-force accumulation (half-size halo);
+//   * every `neighbor_every` steps, a neighbor-list rebuild: atoms migrate
+//     (border exchange, larger messages) plus extra compute;
+//   * every `thermo_every` steps, thermodynamic output: a small allreduce.
+//
+// Variant parameters (why these values):
+//   lj    — classic weak-scaled LJ liquid; ~20 ms/step of force compute per
+//           rank, thermo every 100 steps. Collectives are ~2 s apart, so CE
+//           detours are almost entirely absorbed locally -> the paper sees
+//           at most a few percent slowdown at any CE rate.
+//   snap  — the SNAP ML potential costs ~6x LJ per step with the same halo
+//           structure; collectives every 100 steps are ~2 min of simulated
+//           time apart. Least sensitive workload in the paper.
+//   crack — the LAMMPS 2-D crack example: a tiny problem (8100 atoms in the
+//           distribution input) with sub-millisecond steps and thermo every
+//           10 steps -> global synchronization every few ms. Most sensitive
+//           workload in the paper, together with LULESH.
+#include <utility>
+
+#include "collectives/collectives.hpp"
+#include "workloads/models.hpp"
+#include "workloads/patterns.hpp"
+#include "workloads/topology.hpp"
+
+namespace celog::workloads {
+namespace {
+
+struct LammpsParams {
+  std::string name;
+  std::string description;
+  int dims;                    // 3 for lj/snap, 2 for crack
+  std::int64_t halo_bytes;     // forward-comm ghost atoms per face
+  TimeNs force_compute;        // per-step force evaluation
+  TimeNs integrate_compute;    // per-step time integration
+  int neighbor_every;          // steps between neighbor-list rebuilds
+  double neighbor_extra;       // rebuild compute as a fraction of a step
+  int thermo_every;            // steps between thermo allreduces
+  double jitter;               // per-step compute variation
+  double imbalance;            // persistent per-rank load imbalance
+  goal::Rank trace_ranks;      // paper's traced process count (§III-D)
+};
+
+class LammpsWorkload final : public Workload {
+ public:
+  explicit LammpsWorkload(LammpsParams params) : p_(std::move(params)) {}
+
+  std::string name() const override { return p_.name; }
+  std::string description() const override { return p_.description; }
+
+  TimeNs sync_period() const override {
+    return (p_.force_compute + p_.integrate_compute) * p_.thermo_every;
+  }
+
+  TimeNs iteration_time() const override {
+    // One MD step plus the amortized neighbor-rebuild compute.
+    return p_.force_compute + p_.integrate_compute +
+           static_cast<TimeNs>(static_cast<double>(p_.force_compute) *
+                               p_.neighbor_extra) /
+               p_.neighbor_every;
+  }
+
+  goal::Rank trace_ranks() const override { return p_.trace_ranks; }
+
+  goal::TaskGraph build(const WorkloadConfig& config) const override {
+    goal::TaskGraph graph(config.ranks);
+    BuildContext ctx(graph, config.seed);
+    const goal::Rank block = effective_block(config);
+    const auto faces = [&](std::int64_t bytes) {
+      return tile_blocks(config.ranks, block, [&](goal::Rank b) {
+        return face_neighbors(CartGrid(b, p_.dims, /*periodic=*/true), bytes);
+      });
+    };
+    const NeighborLists halo = faces(p_.halo_bytes);
+    // Reverse communication carries accumulated ghost forces: half payload.
+    const NeighborLists reverse = faces(p_.halo_bytes / 2);
+    // Border exchange during a rebuild ships whole migrating atoms.
+    const NeighborLists borders =
+        faces(p_.halo_bytes + p_.halo_bytes / 2);
+    const std::vector<double> imbalance =
+        ctx.persistent_imbalance(p_.imbalance);
+
+    const auto scaled = [&](TimeNs t) {
+      return static_cast<TimeNs>(static_cast<double>(t) *
+                                 config.compute_scale);
+    };
+
+    for (int step = 0; step < config.iterations; ++step) {
+      const bool rebuild = step % p_.neighbor_every == 0;
+      if (rebuild) {
+        halo_exchange(ctx, borders);
+        compute_phase(ctx,
+                      scaled(static_cast<TimeNs>(
+                          static_cast<double>(p_.force_compute) *
+                          p_.neighbor_extra)),
+                      imbalance, p_.jitter);
+      }
+      halo_exchange(ctx, halo);
+      compute_phase(ctx, scaled(p_.force_compute), imbalance, p_.jitter);
+      halo_exchange(ctx, reverse);
+      compute_phase(ctx, scaled(p_.integrate_compute), imbalance, p_.jitter);
+      if ((step + 1) % p_.thermo_every == 0) {
+        // Thermo output: kinetic energy, temperature, pressure — a handful
+        // of doubles reduced across all ranks.
+        collectives::allreduce(ctx.builders(), 64, ctx.tags());
+      }
+    }
+    graph.finalize();
+    return graph;
+  }
+
+ private:
+  LammpsParams p_;
+};
+
+}  // namespace
+
+std::shared_ptr<const Workload> make_lammps_lj() {
+  return std::make_shared<LammpsWorkload>(LammpsParams{
+      "lammps-lj",
+      "LAMMPS molecular dynamics, Lennard-Jones potential (weak-scaled "
+      "liquid; thermo every 100 steps)",
+      /*dims=*/3,
+      /*halo_bytes=*/48 * 1024,
+      // Weak-scaled LJ liquid, ~1M atoms per rank: ~0.1 s per MD step.
+      /*force_compute=*/milliseconds(95),
+      /*integrate_compute=*/milliseconds(5),
+      /*neighbor_every=*/20,
+      /*neighbor_extra=*/0.25,
+      /*thermo_every=*/100,
+      /*jitter=*/0.02,
+      /*imbalance=*/0.03,
+      /*trace_ranks=*/128,
+  });
+}
+
+std::shared_ptr<const Workload> make_lammps_snap() {
+  return std::make_shared<LammpsWorkload>(LammpsParams{
+      "lammps-snap",
+      "LAMMPS with the SNAP machine-learned potential (compute-dominated; "
+      "thermo every 100 steps)",
+      /*dims=*/3,
+      /*halo_bytes=*/24 * 1024,
+      // SNAP costs ~4x LJ per atom-step at a smaller atom count.
+      /*force_compute=*/milliseconds(380),
+      /*integrate_compute=*/milliseconds(20),
+      /*neighbor_every=*/20,
+      /*neighbor_extra=*/0.05,
+      /*thermo_every=*/100,
+      /*jitter=*/0.02,
+      /*imbalance=*/0.03,
+      /*trace_ranks=*/128,
+  });
+}
+
+std::shared_ptr<const Workload> make_lammps_crack() {
+  return std::make_shared<LammpsWorkload>(LammpsParams{
+      "lammps-crack",
+      "LAMMPS 2-D crack propagation example (tiny problem, sub-ms steps, "
+      "thermo every 10 steps)",
+      /*dims=*/2,
+      /*halo_bytes=*/2 * 1024,
+      /*force_compute=*/microseconds(350),
+      /*integrate_compute=*/microseconds(50),
+      /*neighbor_every=*/10,
+      /*neighbor_extra=*/0.3,
+      /*thermo_every=*/10,
+      /*jitter=*/0.05,
+      /*imbalance=*/0.05,
+      /*trace_ranks=*/64,  // §III-D: 64-process traces for LAMMPS-crack
+  });
+}
+
+}  // namespace celog::workloads

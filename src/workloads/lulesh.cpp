@@ -1,0 +1,99 @@
+// LULESH workload model (Table I).
+//
+// LULESH (Livermore Unstructured Lagrangian Explicit Shock Hydrodynamics)
+// partitions a 3-D mesh into one cube per rank. A timestep is:
+//   * force calculation over local elements (the dominant compute),
+//   * 26-neighbor ghost exchange of nodal forces (faces carry planes, edges
+//     carry lines, corners carry single nodes — hence very different sizes),
+//   * position/velocity update compute,
+//   * a second, smaller nodal-position ghost exchange,
+//   * element-quantity update,
+//   * TWO scalar MPI_Allreduce(MIN) calls for the next timestep size
+//     (dtcourant and dthydro).
+// Global synchronization thus happens every step, ~15 ms apart — the reason
+// the paper finds LULESH among the most CE-noise-sensitive workloads.
+//
+// Rank counts: real LULESH requires a perfect cube. The paper runs 125-rank
+// traces extrapolated to 16,000 processes; our generator accepts any rank
+// count by factoring it into a near-cubic 3-D grid (exact cubes give the
+// canonical decomposition). DESIGN.md records this substitution.
+#include "collectives/collectives.hpp"
+#include "workloads/models.hpp"
+#include "workloads/patterns.hpp"
+#include "workloads/topology.hpp"
+
+namespace celog::workloads {
+namespace {
+
+class LuleshWorkload final : public Workload {
+ public:
+  std::string name() const override { return "lulesh"; }
+  std::string description() const override {
+    return "LULESH shock-hydrodynamics proxy (26-neighbor ghost exchange, "
+           "two dt allreduces per step)";
+  }
+
+  // One global sync per step: force + update + element compute.
+  TimeNs sync_period() const override {
+    return kForceCompute + kUpdateCompute + kElementCompute;
+  }
+
+  TimeNs iteration_time() const override { return sync_period(); }
+
+  // §III-D: 125-process traces, extrapolated to 16,000 (not 16,384).
+  goal::Rank trace_ranks() const override { return 125; }
+
+  goal::TaskGraph build(const WorkloadConfig& config) const override {
+    goal::TaskGraph graph(config.ranks);
+    BuildContext ctx(graph, config.seed);
+    const goal::Rank block = effective_block(config);
+    // Nodal-force halo: 45^2 plane of 8-byte values per face (~24 KB per
+    // face at the paper's 45^3-per-rank trace problem).
+    const NeighborLists force_halo =
+        tile_blocks(config.ranks, block, [&](goal::Rank b) {
+          return full_neighbors_3d(CartGrid(b, 3, /*periodic=*/false),
+                                   /*face=*/24 * 1024, /*edge=*/1536,
+                                   /*corner=*/64);
+        });
+    // Positions move fewer fields: half the payload.
+    const NeighborLists position_halo =
+        tile_blocks(config.ranks, block, [&](goal::Rank b) {
+          return full_neighbors_3d(CartGrid(b, 3, /*periodic=*/false),
+                                   /*face=*/12 * 1024, /*edge=*/768,
+                                   /*corner=*/32);
+        });
+    const std::vector<double> imbalance = ctx.persistent_imbalance(0.04);
+
+    const auto scaled = [&](TimeNs t) {
+      return static_cast<TimeNs>(static_cast<double>(t) *
+                                 config.compute_scale);
+    };
+
+    for (int step = 0; step < config.iterations; ++step) {
+      compute_phase(ctx, scaled(kForceCompute), imbalance, kJitter);
+      halo_exchange(ctx, force_halo);
+      compute_phase(ctx, scaled(kUpdateCompute), imbalance, kJitter);
+      halo_exchange(ctx, position_halo);
+      compute_phase(ctx, scaled(kElementCompute), imbalance, kJitter);
+      // dtcourant and dthydro: two back-to-back 8-byte MIN reductions.
+      collectives::allreduce(ctx.builders(), 8, ctx.tags());
+      collectives::allreduce(ctx.builders(), 8, ctx.tags());
+    }
+    graph.finalize();
+    return graph;
+  }
+
+ private:
+  static constexpr TimeNs kForceCompute = milliseconds(9);
+  static constexpr TimeNs kUpdateCompute = milliseconds(4);
+  static constexpr TimeNs kElementCompute = milliseconds(2);
+  static constexpr double kJitter = 0.03;
+};
+
+}  // namespace
+
+std::shared_ptr<const Workload> make_lulesh() {
+  return std::make_shared<LuleshWorkload>();
+}
+
+}  // namespace celog::workloads

@@ -1,0 +1,92 @@
+// MILC workload model (Table I).
+//
+// MILC (su3_rmd-style lattice QCD) alternates two very different phases:
+//   * gauge-force / molecular-dynamics evolution: long pure-compute blocks
+//     over the local 4-D lattice with nearest-neighbor exchanges in all
+//     four dimensions (8 neighbors);
+//   * conjugate-gradient inversions of the Dirac operator: bursts of short
+//     iterations, each a 4-D halo exchange plus a global dot product.
+// The CG bursts synchronize every ~20 ms; the gauge phase stretches the
+// average distance between collectives to ~150 ms. That mixture puts MILC
+// in the paper's middle sensitivity band at CE_Cielo x10 but in the
+// 100-1000% group at x100 rates.
+//
+// One config.iterations unit = one MD step (gauge phase + one CG burst).
+#include "collectives/collectives.hpp"
+#include "workloads/models.hpp"
+#include "workloads/patterns.hpp"
+#include "workloads/topology.hpp"
+
+namespace celog::workloads {
+namespace {
+
+class MilcWorkload final : public Workload {
+ public:
+  std::string name() const override { return "milc"; }
+  std::string description() const override {
+    return "MILC lattice QCD (4-D halo; CG bursts with per-iteration dot "
+           "products between gauge-force compute)";
+  }
+
+  TimeNs sync_period() const override {
+    return (kGaugeCompute + kCgIterations * kCgCompute) /
+           (kCgIterations + 1);
+  }
+
+  TimeNs iteration_time() const override {
+    return kGaugeCompute + kCgIterations * kCgCompute;
+  }
+
+  goal::TaskGraph build(const WorkloadConfig& config) const override {
+    goal::TaskGraph graph(config.ranks);
+    BuildContext ctx(graph, config.seed);
+    const goal::Rank block = effective_block(config);
+    // 4-D nearest-neighbor: SU(3) matrices on boundary sites; ~16 KB per
+    // direction for the gauge links, less for the CG vectors.
+    const auto faces4d = [&](std::int64_t bytes) {
+      return tile_blocks(config.ranks, block, [&](goal::Rank b) {
+        return face_neighbors(CartGrid(b, 4, /*periodic=*/true), bytes);
+      });
+    };
+    const NeighborLists gauge_halo = faces4d(16 * 1024);
+    const NeighborLists cg_halo = faces4d(6 * 1024);
+    const std::vector<double> imbalance = ctx.persistent_imbalance(0.01);
+
+    const auto scaled = [&](TimeNs t) {
+      return static_cast<TimeNs>(static_cast<double>(t) *
+                                 config.compute_scale);
+    };
+
+    for (int step = 0; step < config.iterations; ++step) {
+      // Gauge-force phase: two halo exchanges bracketing the main compute.
+      halo_exchange(ctx, gauge_halo);
+      compute_phase(ctx, scaled(kGaugeCompute / 2), imbalance, kJitter);
+      halo_exchange(ctx, gauge_halo);
+      compute_phase(ctx, scaled(kGaugeCompute / 2), imbalance, kJitter);
+      // CG burst: dslash + dot product per iteration.
+      for (int it = 0; it < kCgIterations; ++it) {
+        halo_exchange(ctx, cg_halo);
+        compute_phase(ctx, scaled(kCgCompute), imbalance, kJitter);
+        collectives::allreduce(ctx.builders(), 16, ctx.tags());
+      }
+    }
+    graph.finalize();
+    return graph;
+  }
+
+ private:
+  // Gauge-force evolution dominates an MD step (~2.5 s of dense SU(3)
+  // algebra per rank); each CG iteration in the burst is ~60 ms.
+  static constexpr TimeNs kGaugeCompute = milliseconds(2500);
+  static constexpr TimeNs kCgCompute = milliseconds(60);
+  static constexpr int kCgIterations = 8;
+  static constexpr double kJitter = 0.015;
+};
+
+}  // namespace
+
+std::shared_ptr<const Workload> make_milc() {
+  return std::make_shared<MilcWorkload>();
+}
+
+}  // namespace celog::workloads

@@ -1,0 +1,88 @@
+// miniFE workload model (Table I).
+//
+// miniFE captures the key phases of an implicit unstructured finite-element
+// code: a one-time assembly (matrix structure + boundary exchange), then a
+// CG solve. Per CG iteration:
+//   * SpMV halo exchange with the 6 face neighbors of the brick-shaped
+//     partition (miniFE's matrix couples only across faces);
+//   * SpMV + smoother compute;
+//   * dot product -> 8-byte allreduce;
+//   * axpy compute;
+//   * second dot product -> 8-byte allreduce.
+// Two syncs per ~120 ms iteration -> middle sensitivity band, close to HPCG
+// (the codes solve the same class of problem).
+#include "collectives/collectives.hpp"
+#include "workloads/models.hpp"
+#include "workloads/patterns.hpp"
+#include "workloads/topology.hpp"
+
+namespace celog::workloads {
+namespace {
+
+class MinifeWorkload final : public Workload {
+ public:
+  std::string name() const override { return "minife"; }
+  std::string description() const override {
+    return "miniFE implicit finite-element proxy (assembly, then CG with "
+           "two dot-product allreduces per iteration)";
+  }
+
+  TimeNs sync_period() const override {
+    return (kSpmvCompute + kAxpyCompute) / 2;
+  }
+
+  TimeNs iteration_time() const override {
+    return kSpmvCompute + kAxpyCompute;
+  }
+
+  goal::TaskGraph build(const WorkloadConfig& config) const override {
+    goal::TaskGraph graph(config.ranks);
+    BuildContext ctx(graph, config.seed);
+    const goal::Rank block = effective_block(config);
+    const auto faces = [&](std::int64_t bytes) {
+      return tile_blocks(config.ranks, block, [&](goal::Rank b) {
+        return face_neighbors(CartGrid(b, 3, /*periodic=*/false), bytes);
+      });
+    };
+    const NeighborLists spmv_halo = faces(14 * 1024);
+    // Assembly exchanges shared-node contributions: larger, one-off.
+    const NeighborLists assembly_halo = faces(48 * 1024);
+    const std::vector<double> imbalance = ctx.persistent_imbalance(0.03);
+
+    const auto scaled = [&](TimeNs t) {
+      return static_cast<TimeNs>(static_cast<double>(t) *
+                                 config.compute_scale);
+    };
+
+    // One-time assembly: generate + assemble the local stiffness matrix.
+    compute_phase(ctx, scaled(kAssemblyCompute), imbalance, kJitter);
+    halo_exchange(ctx, assembly_halo);
+    compute_phase(ctx, scaled(kAssemblyCompute / 4), imbalance, kJitter);
+
+    for (int iter = 0; iter < config.iterations; ++iter) {
+      halo_exchange(ctx, spmv_halo);
+      compute_phase(ctx, scaled(kSpmvCompute), imbalance, kJitter);
+      collectives::allreduce(ctx.builders(), 8, ctx.tags());
+      compute_phase(ctx, scaled(kAxpyCompute), imbalance, kJitter);
+      collectives::allreduce(ctx.builders(), 8, ctx.tags());
+    }
+    graph.finalize();
+    return graph;
+  }
+
+ private:
+  // Weak-scaled implicit FE: a CG iteration over the per-rank brick is
+  // ~1.6 s (memory-bound SpMV dominates), two dots split it.
+  static constexpr TimeNs kAssemblyCompute = milliseconds(3000);
+  static constexpr TimeNs kSpmvCompute = milliseconds(1100);
+  static constexpr TimeNs kAxpyCompute = milliseconds(500);
+  static constexpr double kJitter = 0.02;
+};
+
+}  // namespace
+
+std::shared_ptr<const Workload> make_minife() {
+  return std::make_shared<MinifeWorkload>();
+}
+
+}  // namespace celog::workloads

@@ -1,0 +1,52 @@
+// celog/workloads/models.hpp
+//
+// Factories for the nine workload models of Table I. Each returns a
+// shared, immutable Workload; all_workloads() (workload.hpp) registers them
+// in Table I order. Model parameters — topology, message sizes, compute
+// granularity, collective cadence — are documented in each implementation
+// file together with the rationale for how they represent the real code.
+#pragma once
+
+#include <memory>
+
+#include "workloads/workload.hpp"
+
+namespace celog::workloads {
+
+/// LAMMPS molecular dynamics, Lennard-Jones potential (3-D halo, thermo
+/// output every 100 steps — communication-light, collective-light).
+std::shared_ptr<const Workload> make_lammps_lj();
+
+/// LAMMPS with the SNAP machine-learned potential (compute-dominated; the
+/// least noise-sensitive workload in the paper).
+std::shared_ptr<const Workload> make_lammps_snap();
+
+/// LAMMPS 2-D crack-propagation example (tiny, fast timesteps, frequent
+/// thermo collectives — one of the two most noise-sensitive workloads).
+std::shared_ptr<const Workload> make_lammps_crack();
+
+/// LULESH shock hydrodynamics proxy (26-neighbor ghost exchange + per-step
+/// dt allreduces — the other highly sensitive workload).
+std::shared_ptr<const Workload> make_lulesh();
+
+/// HPCG preconditioned CG benchmark (27-point stencil halo, multigrid
+/// V-cycle, two dot-product allreduces per iteration).
+std::shared_ptr<const Workload> make_hpcg();
+
+/// CTH shock physics (large directional-sweep halos, one dt reduction per
+/// cycle).
+std::shared_ptr<const Workload> make_cth();
+
+/// MILC lattice QCD (4-D nearest-neighbor halo; CG bursts with per-iteration
+/// dot products separated by long gauge-force computation).
+std::shared_ptr<const Workload> make_milc();
+
+/// miniFE implicit finite-element proxy (assembly phase, then CG with two
+/// allreduces per iteration).
+std::shared_ptr<const Workload> make_minife();
+
+/// SPARC compressible CFD (irregular unstructured-mesh neighbors, residual
+/// collectives, periodic linear-solver bursts).
+std::shared_ptr<const Workload> make_sparc();
+
+}  // namespace celog::workloads

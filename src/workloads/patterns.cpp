@@ -1,0 +1,75 @@
+#include "workloads/patterns.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace celog::workloads {
+
+using goal::Rank;
+
+Rank effective_block(const WorkloadConfig& config) {
+  if (config.trace_block <= 0) return config.ranks;
+  return std::min(config.trace_block, config.ranks);
+}
+
+BuildContext::BuildContext(goal::TaskGraph& graph, std::uint64_t seed) {
+  const Rank p = graph.ranks();
+  builders_.reserve(static_cast<std::size_t>(p));
+  rngs_.reserve(static_cast<std::size_t>(p));
+  for (Rank r = 0; r < p; ++r) {
+    builders_.emplace_back(graph, r);
+    rngs_.push_back(Xoshiro256::for_stream(seed, static_cast<std::uint64_t>(r)));
+  }
+}
+
+std::vector<double> BuildContext::persistent_imbalance(double imbalance) {
+  CELOG_ASSERT_MSG(imbalance >= 0.0 && imbalance < 1.0,
+                   "imbalance must be in [0, 1)");
+  std::vector<double> factors(static_cast<std::size_t>(ranks()));
+  for (Rank r = 0; r < ranks(); ++r) {
+    const double u = rng(r).uniform01() * 2.0 - 1.0;  // [-1, 1)
+    factors[static_cast<std::size_t>(r)] = 1.0 + imbalance * u;
+  }
+  return factors;
+}
+
+TimeNs jittered_compute(Xoshiro256& rng, TimeNs nominal, double factor,
+                        double jitter) {
+  CELOG_ASSERT_MSG(nominal >= 0, "compute time must be non-negative");
+  CELOG_ASSERT_MSG(jitter >= 0.0 && jitter < 1.0, "jitter must be in [0, 1)");
+  const double u = rng.uniform01() * 2.0 - 1.0;  // [-1, 1)
+  const double scaled =
+      static_cast<double>(nominal) * factor * (1.0 + jitter * u);
+  return std::max<TimeNs>(1, static_cast<TimeNs>(scaled));
+}
+
+void compute_phase(BuildContext& ctx, TimeNs nominal,
+                   std::span<const double> imbalance, double jitter) {
+  CELOG_ASSERT_MSG(imbalance.size() ==
+                       static_cast<std::size_t>(ctx.ranks()),
+                   "need one imbalance factor per rank");
+  for (Rank r = 0; r < ctx.ranks(); ++r) {
+    const double factor = imbalance[static_cast<std::size_t>(r)];
+    ctx.builder(r).calc(jittered_compute(ctx.rng(r), nominal, factor, jitter));
+  }
+}
+
+void halo_exchange(BuildContext& ctx, const NeighborLists& neighbors) {
+  CELOG_ASSERT_MSG(neighbors.ranks() == ctx.ranks(),
+                   "neighbor lists must cover every rank");
+  const goal::Tag tag = ctx.tags().allocate(1);
+  for (Rank r = 0; r < ctx.ranks(); ++r) {
+    const auto& links = neighbors.links[static_cast<std::size_t>(r)];
+    if (links.empty()) continue;
+    auto& b = ctx.builder(r);
+    b.begin_phase();
+    for (const auto& [peer, bytes] : links) {
+      b.send(peer, bytes, tag);
+      b.recv(peer, bytes, tag);
+    }
+    b.end_phase();
+  }
+}
+
+}  // namespace celog::workloads

@@ -1,0 +1,71 @@
+// celog/workloads/patterns.hpp
+//
+// Building blocks shared by the workload models: jittered compute phases,
+// halo exchanges over neighbor lists, and the per-build context (builders,
+// tag allocator, per-rank RNG-derived imbalance) every generator threads
+// through its timestep loop.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "collectives/collectives.hpp"
+#include "goal/task_graph.hpp"
+#include "util/rng.hpp"
+#include "workloads/topology.hpp"
+#include "workloads/workload.hpp"
+
+namespace celog::workloads {
+
+/// The point-to-point block size a generator should build its pattern in:
+/// config.trace_block clamped to the machine, or the whole machine when
+/// trace_block is 0 (see WorkloadConfig::trace_block).
+goal::Rank effective_block(const WorkloadConfig& config);
+
+/// Per-build context handed through a workload generator's timestep loop.
+/// Owns one SequentialBuilder per rank plus the tag allocator and the RNG
+/// streams that make compute jitter deterministic per (seed, rank).
+class BuildContext {
+ public:
+  BuildContext(goal::TaskGraph& graph, std::uint64_t seed);
+
+  goal::Rank ranks() const {
+    return static_cast<goal::Rank>(builders_.size());
+  }
+  std::span<goal::SequentialBuilder> builders() {
+    return {builders_.data(), builders_.size()};
+  }
+  goal::SequentialBuilder& builder(goal::Rank r) {
+    return builders_[static_cast<std::size_t>(r)];
+  }
+  collectives::TagAllocator& tags() { return tags_; }
+
+  /// Per-rank RNG stream (stable across builds with the same seed).
+  Xoshiro256& rng(goal::Rank r) { return rngs_[static_cast<std::size_t>(r)]; }
+
+  /// Samples a persistent multiplicative imbalance factor per rank in
+  /// [1 - imbalance, 1 + imbalance]; models spatial load imbalance that
+  /// stays fixed over timesteps (e.g. uneven element counts).
+  std::vector<double> persistent_imbalance(double imbalance);
+
+ private:
+  std::vector<goal::SequentialBuilder> builders_;
+  std::vector<Xoshiro256> rngs_;
+  collectives::TagAllocator tags_;
+};
+
+/// `nominal * factor`, jittered by +-`jitter` (uniform), floored at 1 ns.
+/// Models per-step compute-time variation (cache effects, data-dependent
+/// work) that prevents artificial lock-step across ranks.
+TimeNs jittered_compute(Xoshiro256& rng, TimeNs nominal, double factor,
+                        double jitter);
+
+/// Appends a jittered calc op on every rank.
+void compute_phase(BuildContext& ctx, TimeNs nominal,
+                   std::span<const double> imbalance, double jitter);
+
+/// Appends one halo exchange: every rank posts all its sends and recvs as a
+/// nonblocking phase (isend/irecv + waitall), one fresh tag per exchange.
+void halo_exchange(BuildContext& ctx, const NeighborLists& neighbors);
+
+}  // namespace celog::workloads

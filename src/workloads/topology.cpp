@@ -1,0 +1,230 @@
+#include "workloads/topology.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace celog::workloads {
+
+using goal::Rank;
+
+std::array<Rank, kMaxDims> dims_create(Rank p, int ndims) {
+  CELOG_ASSERT_MSG(p >= 1, "need at least one rank");
+  CELOG_ASSERT_MSG(ndims >= 1 && ndims <= kMaxDims, "1-4 dimensions");
+
+  // Collect the prime factorization of p, largest factors first.
+  std::vector<Rank> factors;
+  Rank rest = p;
+  for (Rank f = 2; f * f <= rest; ++f) {
+    while (rest % f == 0) {
+      factors.push_back(f);
+      rest /= f;
+    }
+  }
+  if (rest > 1) factors.push_back(rest);
+  std::sort(factors.rbegin(), factors.rend());
+
+  std::array<Rank, kMaxDims> dims{};
+  dims.fill(1);
+  for (const Rank f : factors) {
+    // Multiply the currently smallest dimension by the next-largest factor:
+    // keeps the dimensions as balanced as the factorization allows.
+    auto smallest = std::min_element(dims.begin(), dims.begin() + ndims);
+    *smallest *= f;
+  }
+  std::sort(dims.begin(), dims.begin() + ndims, std::greater<>{});
+  return dims;
+}
+
+CartGrid::CartGrid(Rank p, int ndims, bool periodic)
+    : CartGrid(dims_create(p, ndims), ndims, periodic) {}
+
+CartGrid::CartGrid(std::array<Rank, kMaxDims> dims, int ndims, bool periodic)
+    : dims_(dims), ndims_(ndims), periodic_(periodic) {
+  CELOG_ASSERT_MSG(ndims >= 1 && ndims <= kMaxDims, "1-4 dimensions");
+  size_ = 1;
+  for (int i = 0; i < ndims_; ++i) {
+    CELOG_ASSERT_MSG(dims_[static_cast<std::size_t>(i)] >= 1,
+                     "grid dimensions must be positive");
+    size_ *= dims_[static_cast<std::size_t>(i)];
+  }
+  for (int i = ndims_; i < kMaxDims; ++i) {
+    dims_[static_cast<std::size_t>(i)] = 1;
+  }
+}
+
+Rank CartGrid::dim(int i) const {
+  CELOG_ASSERT(i >= 0 && i < ndims_);
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+std::array<Rank, kMaxDims> CartGrid::coords(Rank rank) const {
+  CELOG_ASSERT(rank >= 0 && rank < size_);
+  std::array<Rank, kMaxDims> c{};
+  Rank rest = rank;
+  for (int i = ndims_ - 1; i >= 0; --i) {
+    const Rank d = dims_[static_cast<std::size_t>(i)];
+    c[static_cast<std::size_t>(i)] = rest % d;
+    rest /= d;
+  }
+  return c;
+}
+
+Rank CartGrid::rank_of(const std::array<Rank, kMaxDims>& coords) const {
+  Rank rank = 0;
+  for (int i = 0; i < ndims_; ++i) {
+    const Rank d = dims_[static_cast<std::size_t>(i)];
+    const Rank c = coords[static_cast<std::size_t>(i)];
+    CELOG_ASSERT(c >= 0 && c < d);
+    rank = rank * d + c;
+  }
+  return rank;
+}
+
+std::optional<Rank> CartGrid::neighbor(Rank rank, int dim, int dir) const {
+  CELOG_ASSERT(dim >= 0 && dim < ndims_);
+  CELOG_ASSERT(dir == 1 || dir == -1);
+  std::array<int, kMaxDims> offset{};
+  offset[static_cast<std::size_t>(dim)] = dir;
+  return neighbor_at(rank, offset);
+}
+
+std::optional<Rank> CartGrid::neighbor_at(
+    Rank rank, const std::array<int, kMaxDims>& offset) const {
+  auto c = coords(rank);
+  bool any = false;
+  for (int i = 0; i < ndims_; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (offset[idx] == 0) continue;
+    CELOG_ASSERT_MSG(offset[idx] == 1 || offset[idx] == -1,
+                     "neighbor offsets must be -1, 0, or +1");
+    const Rank d = dims_[idx];
+    // A step along a size-1 dimension wraps back onto the rank itself; such
+    // offsets are not real neighbors (and must not be misclassified as
+    // edge/corner links of an effectively lower-dimensional grid).
+    if (d == 1) return std::nullopt;
+    any = true;
+    Rank v = c[idx] + offset[idx];
+    if (periodic_) {
+      v = (v + d) % d;
+    } else if (v < 0 || v >= d) {
+      return std::nullopt;
+    }
+    c[idx] = v;
+  }
+  if (!any) return std::nullopt;
+  const Rank n = rank_of(c);
+  // A wrapped periodic dimension of size 1 or 2 can map back onto the rank
+  // itself; self-links are not real communication.
+  if (n == rank) return std::nullopt;
+  return n;
+}
+
+void NeighborLists::validate_symmetry() const {
+  for (Rank r = 0; r < ranks(); ++r) {
+    for (const auto& [peer, bytes] : links[static_cast<std::size_t>(r)]) {
+      const auto& back = links[static_cast<std::size_t>(peer)];
+      const bool ok = std::any_of(back.begin(), back.end(), [&](const auto& l) {
+        return l.first == r && l.second == bytes;
+      });
+      if (!ok) {
+        throw InvalidInputError("asymmetric neighbor link " +
+                                std::to_string(r) + " -> " +
+                                std::to_string(peer));
+      }
+    }
+  }
+}
+
+namespace {
+
+void add_link_once(NeighborLists& lists, Rank a, Rank b, std::int64_t bytes) {
+  auto& v = lists.links[static_cast<std::size_t>(a)];
+  const bool present = std::any_of(v.begin(), v.end(), [&](const auto& l) {
+    return l.first == b;
+  });
+  if (!present) v.emplace_back(b, bytes);
+}
+
+}  // namespace
+
+NeighborLists face_neighbors(const CartGrid& grid, std::int64_t face_bytes) {
+  NeighborLists lists;
+  lists.links.resize(static_cast<std::size_t>(grid.size()));
+  for (Rank r = 0; r < grid.size(); ++r) {
+    for (int d = 0; d < grid.ndims(); ++d) {
+      for (const int dir : {-1, 1}) {
+        if (const auto n = grid.neighbor(r, d, dir)) {
+          add_link_once(lists, r, *n, face_bytes);
+        }
+      }
+    }
+  }
+  return lists;
+}
+
+NeighborLists tile_blocks(
+    goal::Rank total, goal::Rank block,
+    const std::function<NeighborLists(goal::Rank)>& build_block) {
+  CELOG_ASSERT_MSG(total >= 1, "need at least one rank");
+  CELOG_ASSERT_MSG(block >= 1, "block size must be positive");
+  block = std::min(block, total);
+
+  NeighborLists out;
+  out.links.resize(static_cast<std::size_t>(total));
+  const NeighborLists prototype = build_block(block);
+  CELOG_ASSERT_MSG(prototype.ranks() == block,
+                   "build_block must return lists for exactly `block` ranks");
+
+  const Rank full_blocks = total / block;
+  for (Rank k = 0; k < full_blocks; ++k) {
+    const Rank offset = k * block;
+    for (Rank r = 0; r < block; ++r) {
+      auto& dst = out.links[static_cast<std::size_t>(offset + r)];
+      for (const auto& [peer, bytes] :
+           prototype.links[static_cast<std::size_t>(r)]) {
+        dst.emplace_back(peer + offset, bytes);
+      }
+    }
+  }
+  const Rank tail = total % block;
+  if (tail > 0) {
+    const Rank offset = full_blocks * block;
+    const NeighborLists tail_lists = build_block(tail);
+    for (Rank r = 0; r < tail; ++r) {
+      auto& dst = out.links[static_cast<std::size_t>(offset + r)];
+      for (const auto& [peer, bytes] :
+           tail_lists.links[static_cast<std::size_t>(r)]) {
+        dst.emplace_back(peer + offset, bytes);
+      }
+    }
+  }
+  return out;
+}
+
+NeighborLists full_neighbors_3d(const CartGrid& grid, std::int64_t face_bytes,
+                                std::int64_t edge_bytes,
+                                std::int64_t corner_bytes) {
+  CELOG_ASSERT_MSG(grid.ndims() == 3, "26-neighbor halo needs a 3-D grid");
+  NeighborLists lists;
+  lists.links.resize(static_cast<std::size_t>(grid.size()));
+  for (Rank r = 0; r < grid.size(); ++r) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          const int nonzero = (dx != 0) + (dy != 0) + (dz != 0);
+          if (nonzero == 0) continue;
+          const std::int64_t bytes = nonzero == 1   ? face_bytes
+                                     : nonzero == 2 ? edge_bytes
+                                                    : corner_bytes;
+          if (const auto n = grid.neighbor_at(r, {dx, dy, dz, 0})) {
+            add_link_once(lists, r, *n, bytes);
+          }
+        }
+      }
+    }
+  }
+  return lists;
+}
+
+}  // namespace celog::workloads

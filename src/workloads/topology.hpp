@@ -1,0 +1,104 @@
+// celog/workloads/topology.hpp
+//
+// Cartesian process-grid utilities used by the stencil workload models:
+// balanced factorization of a rank count into 2-4 dimensions (the same job
+// MPI_Dims_create does) and neighbor lookups with periodic or open
+// boundaries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "goal/task_graph.hpp"
+
+namespace celog::workloads {
+
+inline constexpr int kMaxDims = 4;
+
+/// Factors `p` into `ndims` balanced dimensions (largest prime factors are
+/// assigned to the currently smallest dimension, then dims are sorted in
+/// decreasing order — mirroring MPI_Dims_create). The product always equals
+/// p exactly.
+std::array<goal::Rank, kMaxDims> dims_create(goal::Rank p, int ndims);
+
+/// A Cartesian process grid over ranks [0, p).
+class CartGrid {
+ public:
+  /// Builds a grid of `ndims` balanced dimensions over `p` ranks.
+  CartGrid(goal::Rank p, int ndims, bool periodic);
+
+  /// Builds a grid with explicit dimensions (product must equal p).
+  CartGrid(std::array<goal::Rank, kMaxDims> dims, int ndims, bool periodic);
+
+  int ndims() const { return ndims_; }
+  goal::Rank size() const { return size_; }
+  goal::Rank dim(int i) const;
+  bool periodic() const { return periodic_; }
+
+  /// Coordinates of `rank` (row-major: last dimension varies fastest).
+  std::array<goal::Rank, kMaxDims> coords(goal::Rank rank) const;
+
+  /// Rank at `coords` (each coordinate must be in range).
+  goal::Rank rank_of(const std::array<goal::Rank, kMaxDims>& coords) const;
+
+  /// Neighbor of `rank` one step along `dim` in direction `dir` (+1/-1).
+  /// Open boundaries return nullopt at the edges; periodic grids wrap.
+  std::optional<goal::Rank> neighbor(goal::Rank rank, int dim, int dir) const;
+
+  /// Neighbor at an arbitrary coordinate offset (each component in
+  /// {-1, 0, +1}); used for 26-neighbor (faces+edges+corners) stencils.
+  /// The zero offset returns nullopt (a rank is not its own neighbor).
+  std::optional<goal::Rank> neighbor_at(
+      goal::Rank rank, const std::array<int, kMaxDims>& offset) const;
+
+ private:
+  std::array<goal::Rank, kMaxDims> dims_{};
+  int ndims_;
+  bool periodic_;
+  goal::Rank size_;
+};
+
+/// Per-rank neighbor lists with per-link payload sizes: the unit the halo
+/// exchange pattern consumes. Symmetric by construction of the builders
+/// below (if a links to b with n bytes, b links to a with n bytes).
+struct NeighborLists {
+  /// neighbors[rank] = vector of (peer, bytes).
+  std::vector<std::vector<std::pair<goal::Rank, std::int64_t>>> links;
+
+  goal::Rank ranks() const { return static_cast<goal::Rank>(links.size()); }
+
+  /// Verifies symmetry; throws InvalidInputError when violated.
+  void validate_symmetry() const;
+};
+
+/// Face-neighbor (2*ndims) halo over a Cartesian grid: every adjacent pair
+/// exchanges `face_bytes`.
+NeighborLists face_neighbors(const CartGrid& grid, std::int64_t face_bytes);
+
+/// Tiles block-local neighbor lists over `total` ranks: ranks
+/// [k*block, (k+1)*block) get `build_block(block)`'s links shifted by
+/// k*block; a final partial block of size total % block is built with
+/// `build_block(tail)`. No link ever crosses a block boundary.
+///
+/// This reproduces the structure of LogGOPSim trace extrapolation (paper
+/// §III-C): point-to-point communication is replicated per traced block
+/// ("approximates point-to-point communications") while collectives are
+/// regenerated exactly over the whole machine. Between collectives, delays
+/// can only propagate within a block — which is why workloads with rare
+/// collectives (LAMMPS-lj/-snap) are nearly immune to CE noise in the
+/// paper's results.
+NeighborLists tile_blocks(
+    goal::Rank total, goal::Rank block,
+    const std::function<NeighborLists(goal::Rank)>& build_block);
+
+/// Full 26-neighbor halo on a 3-D grid: faces, edges, and corners exchange
+/// different payload sizes (a face carries a 2-D plane, an edge a 1-D line,
+/// a corner a single element — LULESH-style ghost exchange).
+NeighborLists full_neighbors_3d(const CartGrid& grid, std::int64_t face_bytes,
+                                std::int64_t edge_bytes,
+                                std::int64_t corner_bytes);
+
+}  // namespace celog::workloads

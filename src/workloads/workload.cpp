@@ -1,0 +1,38 @@
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "workloads/models.hpp"
+
+namespace celog::workloads {
+
+int Workload::iterations_for(TimeNs target, int min_iters,
+                             int max_iters) const {
+  CELOG_ASSERT_MSG(target > 0, "target duration must be positive");
+  CELOG_ASSERT_MSG(min_iters >= 1 && max_iters >= min_iters,
+                   "iteration bounds must be ordered");
+  const TimeNs step = iteration_time();
+  CELOG_ASSERT_MSG(step > 0, "iteration_time() must be positive");
+  const auto wanted = static_cast<std::int64_t>(target / step);
+  return static_cast<int>(std::clamp<std::int64_t>(wanted, min_iters,
+                                                   max_iters));
+}
+
+const std::vector<std::shared_ptr<const Workload>>& all_workloads() {
+  static const std::vector<std::shared_ptr<const Workload>> registry = {
+      make_lammps_lj(), make_lammps_snap(), make_lammps_crack(),
+      make_lulesh(),    make_hpcg(),        make_cth(),
+      make_milc(),      make_minife(),      make_sparc(),
+  };
+  return registry;
+}
+
+std::shared_ptr<const Workload> find_workload(std::string_view name) {
+  for (const auto& w : all_workloads()) {
+    if (w->name() == name) return w;
+  }
+  throw InvalidInputError("unknown workload: " + std::string(name));
+}
+
+}  // namespace celog::workloads

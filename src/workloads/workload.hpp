@@ -1,0 +1,90 @@
+// celog/workloads/workload.hpp
+//
+// The workload-model interface and registry.
+//
+// The paper drives its simulations with MPI traces of nine workloads
+// collected on Mutrino (Table I) and extrapolated by LogGOPSim. Those traces
+// are not available here, so each model synthesizes the workload's
+// communication structure directly: the same stencil topologies, collective
+// cadences, message sizes, and compute granularities, parameterized per
+// workload and documented in each generator. The noise-propagation behaviour
+// the paper measures depends exactly on that structure (see DESIGN.md,
+// "Substitutions").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "goal/task_graph.hpp"
+#include "util/time.hpp"
+
+namespace celog::workloads {
+
+/// Knobs every workload model accepts. Iterations and ranks scale the run;
+/// the model's internal parameters (message sizes, compute per step) stay
+/// true to the workload it represents.
+struct WorkloadConfig {
+  /// Simulated ranks (one MPI process per node, as in the paper §III-D).
+  goal::Rank ranks = 512;
+  /// Timesteps / solver iterations to generate.
+  int iterations = 100;
+  /// Seed for compute jitter and load imbalance (NOT the CE noise seed).
+  std::uint64_t seed = 1;
+  /// Multiplies every compute duration; 1.0 = the model's native scale.
+  double compute_scale = 1.0;
+  /// Point-to-point block structure. 0 = build the communication pattern
+  /// over the whole machine. N = replicate the pattern in independent
+  /// blocks of N ranks, the structure LogGOPSim trace extrapolation
+  /// produces (paper §III-C: collectives are regenerated exactly at full
+  /// scale, point-to-point traffic is replicated per traced block). The
+  /// paper's traces were collected at 128 ranks (125 for LULESH, 64 for
+  /// LAMMPS-crack) — see Workload::trace_ranks().
+  goal::Rank trace_block = 0;
+};
+
+/// A workload model: builds the finalized task graph for a configuration.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Short identifier used on bench rows ("lammps-lj", "lulesh", ...).
+  virtual std::string name() const = 0;
+  /// One-line description (Table I analogue).
+  virtual std::string description() const = 0;
+
+  /// Builds and finalizes the task graph.
+  virtual goal::TaskGraph build(const WorkloadConfig& config) const = 0;
+
+  /// Nominal compute time between consecutive global synchronizations at
+  /// compute_scale = 1 — the workload's "sync period", the quantity that
+  /// determines CE-noise sensitivity (paper §IV-C). Used by reports.
+  virtual TimeNs sync_period() const = 0;
+
+  /// Nominal compute time of one config.iterations unit at
+  /// compute_scale = 1. Benches use it to choose iteration counts that
+  /// yield a target simulated duration across very differently grained
+  /// workloads.
+  virtual TimeNs iteration_time() const = 0;
+
+  /// Iterations needed to simulate roughly `target` of application time,
+  /// clamped to [min_iters, max_iters].
+  int iterations_for(TimeNs target, int min_iters = 4,
+                     int max_iters = 4000) const;
+
+  /// The process count at which the paper collected this workload's trace
+  /// (§III-D: 128 ranks, 125 for LULESH, 64 for LAMMPS-crack) — the natural
+  /// WorkloadConfig::trace_block for paper-faithful extrapolated runs.
+  virtual goal::Rank trace_ranks() const { return 128; }
+};
+
+/// All nine paper workloads, in Table I order:
+/// lammps-lj, lammps-snap, lammps-crack, lulesh, hpcg, cth, milc, minife,
+/// sparc.
+const std::vector<std::shared_ptr<const Workload>>& all_workloads();
+
+/// Looks a workload up by name(); throws InvalidInputError if unknown.
+std::shared_ptr<const Workload> find_workload(std::string_view name);
+
+}  // namespace celog::workloads

@@ -1,0 +1,270 @@
+// Collective-expansion tests: structural checks (op counts, matched
+// send/recv pairs) plus analytic timing checks against the LogGOPS model.
+#include "collectives/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "goal/task_graph.hpp"
+#include "sim/engine.hpp"
+
+namespace celog::collectives {
+namespace {
+
+using goal::Rank;
+using goal::SequentialBuilder;
+using goal::TaskGraph;
+
+sim::NetworkParams simple_params() {
+  return sim::NetworkParams{/*L=*/1000, /*o=*/100, /*g=*/50,
+                            /*G=*/0.0, /*O=*/0.0, /*S=*/1 << 30};
+}
+
+struct Harness {
+  explicit Harness(Rank p) : graph(p) {
+    builders.reserve(static_cast<std::size_t>(p));
+    for (Rank r = 0; r < p; ++r) builders.emplace_back(graph, r);
+  }
+
+  std::span<SequentialBuilder> span() {
+    return {builders.data(), builders.size()};
+  }
+
+  /// Finalizes and simulates; returns the makespan.
+  TimeNs simulate() {
+    graph.finalize();
+    sim::Simulator s(graph, simple_params());
+    return s.run_baseline().makespan;
+  }
+
+  TaskGraph graph;
+  std::vector<SequentialBuilder> builders;
+  TagAllocator tags;
+};
+
+TEST(TagAllocatorTest, RangesDoNotOverlap) {
+  TagAllocator tags;
+  const goal::Tag a = tags.allocate(10);
+  const goal::Tag b = tags.allocate(5);
+  EXPECT_GE(a, TagAllocator::kCollectiveTagBase);
+  EXPECT_GE(b, a + 10);
+}
+
+TEST(DisseminationRounds, CeilLog2) {
+  EXPECT_EQ(dissemination_rounds(1), 0);
+  EXPECT_EQ(dissemination_rounds(2), 1);
+  EXPECT_EQ(dissemination_rounds(3), 2);
+  EXPECT_EQ(dissemination_rounds(4), 2);
+  EXPECT_EQ(dissemination_rounds(5), 3);
+  EXPECT_EQ(dissemination_rounds(8), 3);
+  EXPECT_EQ(dissemination_rounds(1024), 10);
+  EXPECT_EQ(dissemination_rounds(16384), 14);
+}
+
+TEST(BarrierTest, SingleRankIsNoop) {
+  Harness h(1);
+  barrier(h.span(), h.tags);
+  EXPECT_EQ(h.graph.total_ops(), 0u);
+}
+
+TEST(BarrierTest, OpCountIsTwoPerRoundPerRank) {
+  for (const Rank p : {2, 3, 5, 8}) {
+    Harness h(p);
+    barrier(h.span(), h.tags);
+    const auto rounds = static_cast<std::size_t>(dissemination_rounds(p));
+    EXPECT_EQ(h.graph.total_ops(),
+              2 * rounds * static_cast<std::size_t>(p))
+        << "p=" << p;
+  }
+}
+
+TEST(BarrierTest, AnalyticCostPowerOfTwo) {
+  // Each dissemination round costs 2o + L when rounds are lock-stepped.
+  for (const Rank p : {2, 4, 8, 16}) {
+    Harness h(p);
+    barrier(h.span(), h.tags);
+    const TimeNs expected = dissemination_rounds(p) * (2 * 100 + 1000);
+    EXPECT_EQ(h.simulate(), expected) << "p=" << p;
+  }
+}
+
+TEST(BarrierTest, CompletesForAwkwardSizes) {
+  for (const Rank p : {3, 5, 6, 7, 12, 17, 31}) {
+    Harness h(p);
+    barrier(h.span(), h.tags);
+    EXPECT_GT(h.simulate(), 0) << "p=" << p;
+  }
+}
+
+class AllreduceSweep : public ::testing::TestWithParam<Rank> {};
+
+TEST_P(AllreduceSweep, RecursiveDoublingCompletes) {
+  const Rank p = GetParam();
+  Harness h(p);
+  allreduce(h.span(), 1024, h.tags, AllreduceAlgorithm::kRecursiveDoubling);
+  if (p == 1) {
+    EXPECT_EQ(h.graph.total_ops(), 0u);
+    return;
+  }
+  EXPECT_GT(h.simulate(), 0);
+  // Sends and recvs pair up exactly.
+  EXPECT_EQ(h.graph.count_ops(goal::OpKind::kSend),
+            h.graph.count_ops(goal::OpKind::kRecv));
+}
+
+TEST_P(AllreduceSweep, RingCompletes) {
+  const Rank p = GetParam();
+  Harness h(p);
+  allreduce(h.span(), 4096, h.tags, AllreduceAlgorithm::kRing);
+  if (p == 1) {
+    EXPECT_EQ(h.graph.total_ops(), 0u);
+    return;
+  }
+  EXPECT_GT(h.simulate(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AllreduceSweep,
+                         ::testing::Values<Rank>(1, 2, 3, 4, 5, 7, 8, 12, 16,
+                                                 25, 31, 32, 100, 125, 128));
+
+TEST(AllreduceTest, PowerOfTwoAnalyticCost) {
+  // Recursive doubling over pof2 ranks: log2(p) rounds of (2o + L) with
+  // zero-byte-cost parameters.
+  for (const Rank p : {2, 4, 8}) {
+    Harness h(p);
+    allreduce(h.span(), 8, h.tags);
+    const TimeNs expected = dissemination_rounds(p) * (2 * 100 + 1000);
+    EXPECT_EQ(h.simulate(), expected) << "p=" << p;
+  }
+}
+
+TEST(AllreduceTest, NonPowerOfTwoPaysFoldIn) {
+  // p=3: fold-in + 1 butterfly round + return: strictly more than the
+  // 2-rank butterfly, less than 3 full rounds plus slack.
+  Harness h2(2);
+  allreduce(h2.span(), 8, h2.tags);
+  const TimeNs t2 = h2.simulate();
+
+  Harness h3(3);
+  allreduce(h3.span(), 8, h3.tags);
+  const TimeNs t3 = h3.simulate();
+  EXPECT_GT(t3, t2);
+}
+
+TEST(AllreduceTest, OpCountRecursiveDoublingPowerOfTwo) {
+  const Rank p = 8;
+  Harness h(p);
+  allreduce(h.span(), 64, h.tags);
+  // 3 rounds x (send + recv) x 8 ranks.
+  EXPECT_EQ(h.graph.total_ops(), 48u);
+}
+
+TEST(BroadcastTest, AllRanksReceiveOnce) {
+  for (const Rank p : {2, 3, 4, 7, 8, 15}) {
+    Harness h(p);
+    broadcast(h.span(), 0, 4096, h.tags);
+    EXPECT_EQ(h.graph.count_ops(goal::OpKind::kRecv),
+              static_cast<std::size_t>(p - 1))
+        << "p=" << p;
+    EXPECT_EQ(h.graph.count_ops(goal::OpKind::kSend),
+              static_cast<std::size_t>(p - 1));
+    EXPECT_GT(h.simulate(), 0);
+  }
+}
+
+TEST(BroadcastTest, NonZeroRootWorks) {
+  for (const Rank root : {0, 1, 2, 3}) {
+    Harness h(4);
+    broadcast(h.span(), root, 64, h.tags);
+    EXPECT_GT(h.simulate(), 0) << "root=" << root;
+  }
+}
+
+TEST(BroadcastTest, BinomialDepthTiming) {
+  // p=2: one hop: o + L + o = 1200.
+  Harness h2(2);
+  broadcast(h2.span(), 0, 8, h2.tags);
+  EXPECT_EQ(h2.simulate(), 1200);
+
+  // p=4: root sends serially; the relayed leaf finishes last at
+  // 2*(2o+L) = 2400.
+  Harness h4(4);
+  broadcast(h4.span(), 0, 8, h4.tags);
+  EXPECT_EQ(h4.simulate(), 2400);
+}
+
+TEST(ReduceTest, MirrorsBroadcastStructure) {
+  for (const Rank p : {2, 3, 4, 7, 8, 15}) {
+    Harness h(p);
+    reduce(h.span(), 0, 4096, h.tags);
+    EXPECT_EQ(h.graph.count_ops(goal::OpKind::kSend),
+              static_cast<std::size_t>(p - 1))
+        << "p=" << p;
+    EXPECT_GT(h.simulate(), 0);
+  }
+}
+
+TEST(ReduceTest, NonZeroRootWorks) {
+  for (const Rank root : {0, 1, 2}) {
+    Harness h(3);
+    reduce(h.span(), root, 64, h.tags);
+    EXPECT_GT(h.simulate(), 0) << "root=" << root;
+  }
+}
+
+TEST(AllgatherTest, RingRoundsAndCompletion) {
+  for (const Rank p : {2, 3, 5, 8}) {
+    Harness h(p);
+    allgather(h.span(), 1000, h.tags);
+    // p-1 rounds x (send+recv) x p ranks.
+    EXPECT_EQ(h.graph.total_ops(),
+              static_cast<std::size_t>(2 * (p - 1) * p))
+        << "p=" << p;
+    EXPECT_GT(h.simulate(), 0);
+  }
+}
+
+TEST(ReduceScatterTest, Completes) {
+  for (const Rank p : {2, 4, 6}) {
+    Harness h(p);
+    reduce_scatter(h.span(), 512, h.tags);
+    EXPECT_GT(h.simulate(), 0) << "p=" << p;
+  }
+}
+
+TEST(AlltoallTest, EveryPairCommunicates) {
+  const Rank p = 5;
+  Harness h(p);
+  alltoall(h.span(), 100, h.tags);
+  EXPECT_EQ(h.graph.count_ops(goal::OpKind::kSend),
+            static_cast<std::size_t>(p * (p - 1)));
+  EXPECT_EQ(h.graph.count_ops(goal::OpKind::kRecv),
+            static_cast<std::size_t>(p * (p - 1)));
+  EXPECT_GT(h.simulate(), 0);
+}
+
+TEST(CollectiveComposition, BackToBackCollectivesDoNotCrosstalk) {
+  // Two barriers then an allreduce on the same builders: fresh tags per
+  // collective keep the matching separate; the result must simulate cleanly
+  // and cost roughly the sum of its parts.
+  Harness h(8);
+  barrier(h.span(), h.tags);
+  barrier(h.span(), h.tags);
+  allreduce(h.span(), 8, h.tags);
+  const TimeNs total = h.simulate();
+  const TimeNs one_phase = 3 * (2 * 100 + 1000);  // 3 rounds at p=8
+  EXPECT_EQ(total, 3 * one_phase);
+}
+
+TEST(CollectiveComposition, InterleavedWithCompute) {
+  Harness h(4);
+  for (auto& b : h.builders) b.calc(5000);
+  barrier(h.span(), h.tags);
+  for (auto& b : h.builders) b.calc(7000);
+  const TimeNs total = h.simulate();
+  EXPECT_EQ(total, 5000 + 2 * (2 * 100 + 1000) + 7000);
+}
+
+}  // namespace
+}  // namespace celog::collectives

@@ -1,0 +1,155 @@
+#include "core/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "core/logging_mode.hpp"
+#include "noise/noise_model.hpp"
+#include "workloads/workload.hpp"
+
+namespace celog::core {
+namespace {
+
+AnalyticScenario exascale_x10() {
+  AnalyticScenario s;
+  s.nodes = 16384;
+  s.mtbce = from_seconds(5494.0);
+  s.cost = noise::costs::kFirmwareEmca;
+  s.sync_period = milliseconds(15);  // LULESH-like
+  s.island = 125;
+  return s;
+}
+
+TEST(Utilization, MatchesRatio) {
+  AnalyticScenario s = exascale_x10();
+  EXPECT_NEAR(utilization(s), 0.133 / 5494.0, 1e-9);
+  EXPECT_FALSE(no_progress(s));
+  s.mtbce = milliseconds(100);
+  EXPECT_TRUE(no_progress(s));
+}
+
+TEST(ExpectedMaxPoisson, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(expected_max_poisson(0.0, 10), 0.0);
+  // One variable: E[max] = E[X] = mu.
+  EXPECT_NEAR(expected_max_poisson(3.0, 1), 3.0, 1e-6);
+  EXPECT_NEAR(expected_max_poisson(0.5, 1), 0.5, 1e-6);
+}
+
+TEST(ExpectedMaxPoisson, GrowsWithCount) {
+  const double m1 = expected_max_poisson(1.0, 1);
+  const double m10 = expected_max_poisson(1.0, 10);
+  const double m100 = expected_max_poisson(1.0, 100);
+  EXPECT_LT(m1, m10);
+  EXPECT_LT(m10, m100);
+  // Max of 100 Poisson(1) is ~4-5.
+  EXPECT_GT(m100, 3.5);
+  EXPECT_LT(m100, 6.0);
+}
+
+TEST(ExpectedMaxPoisson, GrowsWithMean) {
+  EXPECT_LT(expected_max_poisson(0.1, 128), expected_max_poisson(1.0, 128));
+  EXPECT_LT(expected_max_poisson(1.0, 128), expected_max_poisson(10.0, 128));
+}
+
+TEST(AdditiveSlowdown, MatchesClosedForm) {
+  const AnalyticScenario s = exascale_x10();
+  // p * lambda * c = 16384 * 0.133 / 5494 ~ 0.3966 (rho negligible).
+  EXPECT_NEAR(additive_slowdown(s), 16384.0 * 0.133 / 5494.0, 1e-4);
+}
+
+TEST(AdditiveSlowdown, BusyPeriodAmplification) {
+  AnalyticScenario s = exascale_x10();
+  s.nodes = 1;
+  s.mtbce = milliseconds(200);  // rho = 0.665
+  const double expected = (0.133 / 0.2) / (1.0 - 0.665);
+  EXPECT_NEAR(additive_slowdown(s), expected, 0.01);
+  // ~200%: the paper's "hundreds of percent slower" at MTBCE 200 ms.
+  EXPECT_GT(100.0 * additive_slowdown(s), 150.0);
+}
+
+TEST(IslandSlowdown, CoarseSyncCoalesces) {
+  // lj-like: 10 s sync period. Island model must predict far less than
+  // additive.
+  AnalyticScenario s = exascale_x10();
+  s.sync_period = seconds(10);
+  s.island = 128;
+  EXPECT_LT(island_slowdown(s), additive_slowdown(s) / 3.0);
+}
+
+TEST(IslandSlowdown, FineSyncApproachesAdditive) {
+  // At very fine sync, events never coalesce: min(additive, island) is
+  // additive.
+  const AnalyticScenario s = exascale_x10();
+  EXPECT_GE(island_slowdown(s) * 1.05, additive_slowdown(s) * 0.5);
+}
+
+TEST(PredictedSlowdown, InfiniteWhenNoProgress) {
+  AnalyticScenario s = exascale_x10();
+  s.mtbce = milliseconds(10);
+  EXPECT_TRUE(std::isinf(predicted_slowdown_percent(s)));
+}
+
+TEST(PredictedSlowdown, MatchesPaperBandsAtExascaleX10) {
+  // LULESH-like fine sync: additive ~ 40%.
+  AnalyticScenario lulesh = exascale_x10();
+  const double p_lulesh = predicted_slowdown_percent(lulesh);
+  EXPECT_GT(p_lulesh, 20.0);
+  EXPECT_LT(p_lulesh, 60.0);
+
+  // HPCG-like 1 s sync: the paper's 10-15% band.
+  AnalyticScenario hpcg = exascale_x10();
+  hpcg.sync_period = seconds(1);
+  hpcg.island = 128;
+  const double p_hpcg = predicted_slowdown_percent(hpcg);
+  EXPECT_GT(p_hpcg, 5.0);
+  EXPECT_LT(p_hpcg, 25.0);
+
+  // lj-like 10 s sync: a few percent.
+  AnalyticScenario lj = exascale_x10();
+  lj.sync_period = seconds(10);
+  lj.island = 128;
+  EXPECT_LT(predicted_slowdown_percent(lj), 8.0);
+}
+
+TEST(PredictedSlowdown, TracksSimulationOrder) {
+  // The analytic model must reproduce the simulated sensitivity ordering
+  // on a real workload pair at the exascale x10 point.
+  const auto scale = scale_system(16384, 64);
+  const auto sys = systems::exascale_cielo(10.0);
+
+  auto run = [&](const char* name) {
+    const auto w = workloads::find_workload(name);
+    workloads::WorkloadConfig config;
+    config.ranks = scale.ranks;
+    config.trace_block = scaled_trace_block(*w, scale);
+    config.iterations = w->iterations_for(2 * kSecond, 20);
+    const ExperimentRunner runner(*w, config);
+    const noise::UniformCeNoiseModel noise(scaled_mtbce(sys, scale),
+                                           cost_model(LoggingMode::kFirmware));
+    return runner.measure(noise, 3).mean_pct;
+  };
+  auto predict = [&](const char* name) {
+    const auto w = workloads::find_workload(name);
+    AnalyticScenario s;
+    s.nodes = 16384;
+    s.mtbce = sys.mtbce_node();
+    s.cost = noise::costs::kFirmwareEmca;
+    s.sync_period = w->sync_period();
+    s.island = w->trace_ranks();
+    return predicted_slowdown_percent(s);
+  };
+
+  const double sim_lulesh = run("lulesh");
+  const double sim_lj = run("lammps-lj");
+  EXPECT_GT(sim_lulesh, sim_lj);
+  EXPECT_GT(predict("lulesh"), predict("lammps-lj"));
+  // Analytic and simulated values agree within a factor ~3 for the
+  // sensitive workload.
+  EXPECT_GT(sim_lulesh, predict("lulesh") / 3.0);
+  EXPECT_LT(sim_lulesh, predict("lulesh") * 3.0);
+}
+
+}  // namespace
+}  // namespace celog::core

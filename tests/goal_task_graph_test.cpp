@@ -1,0 +1,199 @@
+#include "goal/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace celog::goal {
+namespace {
+
+TEST(OpTest, FactoriesSetFields) {
+  const Op c = Op::calc(1000);
+  EXPECT_EQ(c.kind, OpKind::kCalc);
+  EXPECT_EQ(c.size_or_duration, 1000);
+
+  const Op s = Op::send(3, 4096, 7);
+  EXPECT_EQ(s.kind, OpKind::kSend);
+  EXPECT_EQ(s.peer, 3);
+  EXPECT_EQ(s.tag, 7);
+  EXPECT_EQ(s.size_or_duration, 4096);
+
+  const Op r = Op::recv(2, 64, 9);
+  EXPECT_EQ(r.kind, OpKind::kRecv);
+  EXPECT_EQ(r.peer, 2);
+}
+
+TEST(OpTest, ToStringNames) {
+  EXPECT_STREQ(to_string(OpKind::kCalc), "calc");
+  EXPECT_STREQ(to_string(OpKind::kSend), "send");
+  EXPECT_STREQ(to_string(OpKind::kRecv), "recv");
+}
+
+TEST(TaskGraphTest, AddOpsAndCounts) {
+  TaskGraph g(2);
+  g.add_op(0, Op::calc(10));
+  g.add_op(0, Op::send(1, 100, 0));
+  g.add_op(1, Op::recv(0, 100, 0));
+  g.finalize();
+  EXPECT_EQ(g.total_ops(), 3u);
+  EXPECT_EQ(g.count_ops(OpKind::kCalc), 1u);
+  EXPECT_EQ(g.count_ops(OpKind::kSend), 1u);
+  EXPECT_EQ(g.count_ops(OpKind::kRecv), 1u);
+  EXPECT_EQ(g.total_bytes_sent(), 100);
+}
+
+TEST(TaskGraphTest, DependencyEdgesBuildCsr) {
+  TaskGraph g(1);
+  const OpId a = g.add_op(0, Op::calc(1));
+  const OpId b = g.add_op(0, Op::calc(2));
+  const OpId c = g.add_op(0, Op::calc(3));
+  g.add_dependency(a, b);
+  g.add_dependency(a, c);
+  g.add_dependency(b, c);
+  g.finalize();
+
+  const RankProgram& prog = g.program(0);
+  EXPECT_EQ(prog.in_degree(a.index), 0u);
+  EXPECT_EQ(prog.in_degree(b.index), 1u);
+  EXPECT_EQ(prog.in_degree(c.index), 2u);
+  ASSERT_EQ(prog.successors(a.index).size(), 2u);
+  EXPECT_EQ(prog.successors(b.index).size(), 1u);
+  EXPECT_EQ(prog.successors(b.index)[0], c.index);
+  EXPECT_EQ(g.total_edges(), 3u);
+}
+
+TEST(TaskGraphTest, DuplicateEdgesCollapse) {
+  TaskGraph g(1);
+  const OpId a = g.add_op(0, Op::calc(1));
+  const OpId b = g.add_op(0, Op::calc(2));
+  g.add_dependency(a, b);
+  g.add_dependency(a, b);
+  g.finalize();
+  EXPECT_EQ(g.total_edges(), 1u);
+  EXPECT_EQ(g.program(0).in_degree(b.index), 1u);
+}
+
+TEST(TaskGraphTest, CycleDetected) {
+  TaskGraph g(1);
+  const OpId a = g.add_op(0, Op::calc(1));
+  const OpId b = g.add_op(0, Op::calc(2));
+  g.add_dependency(a, b);
+  g.add_dependency(b, a);
+  EXPECT_THROW(g.finalize(), InvalidInputError);
+}
+
+TEST(TaskGraphTest, SelfCycleDetected) {
+  TaskGraph g(1);
+  const OpId a = g.add_op(0, Op::calc(1));
+  const OpId b = g.add_op(0, Op::calc(1));
+  const OpId c = g.add_op(0, Op::calc(1));
+  g.add_dependency(a, b);
+  g.add_dependency(b, c);
+  g.add_dependency(c, b);
+  EXPECT_THROW(g.finalize(), InvalidInputError);
+}
+
+TEST(TaskGraphTest, EmptyRanksAllowed) {
+  TaskGraph g(3);
+  g.add_op(0, Op::calc(1));
+  g.finalize();  // ranks 1 and 2 have empty programs
+  EXPECT_EQ(g.program(1).size(), 0u);
+  EXPECT_EQ(g.program(2).size(), 0u);
+}
+
+TEST(TaskGraphDeath, PeerOutOfRange) {
+  TaskGraph g(2);
+  EXPECT_DEATH(g.add_op(0, Op::send(5, 10, 0)), "peer out of range");
+}
+
+TEST(TaskGraphDeath, SelfMessageRejected) {
+  TaskGraph g(2);
+  EXPECT_DEATH(g.add_op(0, Op::send(0, 10, 0)), "self-message");
+}
+
+TEST(TaskGraphDeath, CrossRankEdgeRejected) {
+  TaskGraph g(2);
+  const OpId a = g.add_op(0, Op::calc(1));
+  const OpId b = g.add_op(1, Op::calc(1));
+  EXPECT_DEATH(g.add_dependency(a, b), "within one rank");
+}
+
+TEST(TaskGraphDeath, ModifyAfterFinalize) {
+  TaskGraph g(1);
+  g.add_op(0, Op::calc(1));
+  g.finalize();
+  EXPECT_DEATH(g.add_op(0, Op::calc(1)), "after finalize");
+}
+
+TEST(SequentialBuilderTest, ChainsSequentially) {
+  TaskGraph g(1);
+  SequentialBuilder b(g, 0);
+  const OpId a = b.calc(1);
+  const OpId c = b.calc(2);
+  const OpId d = b.calc(3);
+  g.finalize();
+  const RankProgram& prog = g.program(0);
+  EXPECT_EQ(prog.in_degree(a.index), 0u);
+  EXPECT_EQ(prog.in_degree(c.index), 1u);
+  EXPECT_EQ(prog.in_degree(d.index), 1u);
+}
+
+TEST(SequentialBuilderTest, PhaseOpsAreIndependent) {
+  TaskGraph g(2);
+  SequentialBuilder b(g, 0);
+  b.calc(1);
+  b.begin_phase();
+  const OpId s = b.send(1, 10, 0);
+  const OpId r = b.recv(1, 10, 0);
+  b.end_phase();
+  const OpId after = b.calc(2);
+
+  SequentialBuilder peer(g, 1);
+  peer.begin_phase();
+  peer.send(0, 10, 0);
+  peer.recv(0, 10, 0);
+  peer.end_phase();
+  g.finalize();
+
+  const RankProgram& prog = g.program(0);
+  // Phase ops depend only on the preceding calc.
+  EXPECT_EQ(prog.in_degree(s.index), 1u);
+  EXPECT_EQ(prog.in_degree(r.index), 1u);
+  // The op after the phase depends on both phase ops (waitall).
+  EXPECT_EQ(prog.in_degree(after.index), 2u);
+}
+
+TEST(SequentialBuilderTest, EmptyPhaseKeepsFrontier) {
+  TaskGraph g(1);
+  SequentialBuilder b(g, 0);
+  b.calc(1);
+  b.begin_phase();
+  b.end_phase();
+  const OpId after = b.calc(2);
+  g.finalize();
+  EXPECT_EQ(g.program(0).in_degree(after.index), 1u);
+}
+
+TEST(SequentialBuilderTest, FirstOpHasNoDeps) {
+  TaskGraph g(1);
+  SequentialBuilder b(g, 0);
+  const OpId first = b.calc(1);
+  g.finalize();
+  EXPECT_EQ(g.program(0).in_degree(first.index), 0u);
+}
+
+TEST(SequentialBuilderDeath, NestedPhaseRejected) {
+  TaskGraph g(1);
+  SequentialBuilder b(g, 0);
+  b.begin_phase();
+  EXPECT_DEATH(b.begin_phase(), "already in a phase");
+}
+
+TEST(SequentialBuilderDeath, EndWithoutBeginRejected) {
+  TaskGraph g(1);
+  SequentialBuilder b(g, 0);
+  EXPECT_DEATH(b.end_phase(), "without begin_phase");
+}
+
+}  // namespace
+}  // namespace celog::goal

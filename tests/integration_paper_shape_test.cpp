@@ -1,0 +1,104 @@
+// End-to-end integration checks: small-scale versions of the paper's
+// headline findings must hold across the whole stack (workload models ->
+// island blocks -> engine -> experiment runner). These are the acceptance
+// criteria of DESIGN.md in executable form.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/experiment.hpp"
+#include "core/logging_mode.hpp"
+#include "noise/noise_model.hpp"
+#include "workloads/workload.hpp"
+
+namespace celog::core {
+namespace {
+
+/// Shared small-scale exascale x20 setup: 64 ranks, island- and
+/// rate-preserving reduction, ~2 s simulated.
+class PaperShape : public ::testing::Test {
+ protected:
+  static SlowdownResult run(const char* workload_name, LoggingMode mode,
+                            double rate_multiplier) {
+    const auto w = workloads::find_workload(workload_name);
+    const auto sys = systems::exascale_cielo(rate_multiplier);
+    const auto scale = scale_system(sys.simulated_nodes, 64);
+    workloads::WorkloadConfig config;
+    config.ranks = scale.ranks;
+    config.trace_block = scaled_trace_block(*w, scale);
+    // Cover ~2 s of simulated time AND at least two global sync periods
+    // (rare-collective workloads like lammps-lj need the latter).
+    const auto syncs_per_iter =
+        std::max<TimeNs>(1, w->sync_period() / w->iteration_time());
+    config.iterations = w->iterations_for(
+        2 * kSecond, std::max(20, static_cast<int>(2 * syncs_per_iter)));
+    const ExperimentRunner runner(*w, config);
+    const noise::UniformCeNoiseModel noise(scaled_mtbce(sys, scale),
+                                           cost_model(mode));
+    return runner.measure(noise, 3);
+  }
+};
+
+TEST_F(PaperShape, HardwareOnlyIsNegligible) {
+  // §IV: correction without logging never matters.
+  for (const char* name : {"lulesh", "lammps-crack", "hpcg"}) {
+    const auto r = run(name, LoggingMode::kHardwareOnly, 100.0);
+    ASSERT_FALSE(r.no_progress);
+    EXPECT_LT(r.mean_pct, 1.0) << name;
+  }
+}
+
+TEST_F(PaperShape, SoftwareStaysModestAtExtremeRates) {
+  // §IV-C/D: software logging is below 10% even at x100 Cielo.
+  for (const char* name : {"lulesh", "hpcg", "lammps-lj"}) {
+    const auto r = run(name, LoggingMode::kSoftware, 100.0);
+    ASSERT_FALSE(r.no_progress);
+    EXPECT_LT(r.mean_pct, 10.0) << name;
+  }
+}
+
+TEST_F(PaperShape, FirmwareHurtsSensitiveWorkloadsAtX20) {
+  // §IV-C: at x10-x20 the fine-sync workloads already pay tens of percent.
+  const auto lulesh = run("lulesh", LoggingMode::kFirmware, 20.0);
+  ASSERT_FALSE(lulesh.no_progress);
+  EXPECT_GT(lulesh.mean_pct, 15.0);
+}
+
+TEST_F(PaperShape, LammpsLjIsNearlyImmune) {
+  // §IV-C: "LAMMPS-lj and LAMMPS-snap never see overheads greater than a
+  // few percent in all five cases."
+  const auto lj = run("lammps-lj", LoggingMode::kFirmware, 20.0);
+  ASSERT_FALSE(lj.no_progress);
+  EXPECT_LT(lj.mean_pct, 10.0);
+}
+
+TEST_F(PaperShape, SensitivityOrderingHolds) {
+  // crack/lulesh > middle band > lj, under firmware at x20.
+  const double crack = run("lammps-crack", LoggingMode::kFirmware, 20.0).mean_pct;
+  const double lulesh = run("lulesh", LoggingMode::kFirmware, 20.0).mean_pct;
+  const double hpcg = run("hpcg", LoggingMode::kFirmware, 20.0).mean_pct;
+  const double lj = run("lammps-lj", LoggingMode::kFirmware, 20.0).mean_pct;
+  EXPECT_GT(crack, hpcg);
+  EXPECT_GT(lulesh, hpcg);
+  EXPECT_GT(hpcg, lj);
+}
+
+TEST_F(PaperShape, OverheadGrowsWithCeRate) {
+  // Fig. 5's x-axis: more CEs, more slowdown, monotonically.
+  const double x1 = run("lulesh", LoggingMode::kFirmware, 1.0).mean_pct;
+  const double x20 = run("lulesh", LoggingMode::kFirmware, 20.0).mean_pct;
+  const double x100 = run("lulesh", LoggingMode::kFirmware, 100.0).mean_pct;
+  EXPECT_LT(x1, x20);
+  EXPECT_LT(x20, x100);
+}
+
+TEST_F(PaperShape, FirmwareWorseThanSoftwareWorseThanHardware) {
+  const double hw = run("minife", LoggingMode::kHardwareOnly, 100.0).mean_pct;
+  const double sw = run("minife", LoggingMode::kSoftware, 100.0).mean_pct;
+  const double fw = run("minife", LoggingMode::kFirmware, 100.0).mean_pct;
+  EXPECT_LE(hw, sw);
+  EXPECT_LT(sw, fw);
+}
+
+}  // namespace
+}  // namespace celog::core

@@ -1,0 +1,229 @@
+// Tests for the MPI -> GOAL compiler: blocking/nonblocking semantics,
+// collective matching, validation, and end-to-end simulation timing.
+#include "mpi/compile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace celog::mpi {
+namespace {
+
+using goal::OpKind;
+using goal::TaskGraph;
+
+sim::NetworkParams simple_params() {
+  return sim::NetworkParams{/*L=*/1000, /*o=*/100, /*g=*/200,
+                            /*G=*/0.0, /*O=*/0.0, /*S=*/1 << 30};
+}
+
+TimeNs simulate(const TaskGraph& g) {
+  sim::Simulator sim(g, simple_params());
+  return sim.run_baseline().makespan;
+}
+
+TEST(MpiCompile, CompChain) {
+  MpiProgram p(1);
+  p.add(0, Call::comp(100));
+  p.add(0, Call::comp(200));
+  const TaskGraph g = compile(p);
+  EXPECT_EQ(g.total_ops(), 2u);
+  EXPECT_EQ(simulate(g), 300);
+}
+
+TEST(MpiCompile, BlockingSendRecvTiming) {
+  // Same analytic case as the engine test: o + L + o = 1200.
+  MpiProgram p(2);
+  p.add(0, Call::send(1, 64, 1));
+  p.add(1, Call::recv(0, 64, 1));
+  const TaskGraph g = compile(p);
+  EXPECT_EQ(simulate(g), 1200);
+}
+
+TEST(MpiCompile, BlockingSendSerializesNextCall) {
+  // comp after a blocking send starts only after the send's local part.
+  MpiProgram p(2);
+  p.add(0, Call::send(1, 64, 1));
+  p.add(0, Call::comp(50));
+  p.add(1, Call::recv(0, 64, 1));
+  const TaskGraph g = compile(p);
+  // Rank 0: send CPU [0,100) then comp [100,150).
+  sim::Simulator sim(g, simple_params());
+  EXPECT_EQ(sim.run_baseline().rank_finish[0], 150);
+}
+
+TEST(MpiCompile, NonblockingOverlapsCompute) {
+  // irecv posted up front; 5000 of compute overlaps the wire; wait then
+  // finds the message already arrived.
+  MpiProgram p(2);
+  p.add(0, Call::comp(100));
+  p.add(0, Call::send(1, 64, 1));
+  p.add(1, Call::irecv(0, 64, 1, /*req=*/0));
+  p.add(1, Call::comp(5000));
+  p.add(1, Call::wait(0));
+  p.add(1, Call::comp(10));
+  const TaskGraph g = compile(p);
+  // Rank 1: the message arrives at 1200 while the CPU is inside the 5000
+  // compute; the receive overhead o is charged right after it ([5000,5100)),
+  // and the final comp follows ([5100,5110)) — the wait itself is free.
+  sim::Simulator sim(g, simple_params());
+  EXPECT_EQ(sim.run_baseline().rank_finish[1], 5110);
+}
+
+TEST(MpiCompile, WithoutWaitComputeDoesNotStall) {
+  // Compare: blocking recv stalls the 5000 compute until the message comes;
+  // irecv+late-wait overlaps. The nonblocking version must be faster.
+  MpiProgram blocking(2);
+  blocking.add(0, Call::comp(100000));
+  blocking.add(0, Call::send(1, 64, 1));
+  blocking.add(1, Call::recv(0, 64, 1));
+  blocking.add(1, Call::comp(50000));
+
+  MpiProgram overlapped(2);
+  overlapped.add(0, Call::comp(100000));
+  overlapped.add(0, Call::send(1, 64, 1));
+  overlapped.add(1, Call::irecv(0, 64, 1, 0));
+  overlapped.add(1, Call::comp(50000));
+  overlapped.add(1, Call::wait(0));
+
+  EXPECT_GT(simulate(compile(blocking)), simulate(compile(overlapped)));
+}
+
+TEST(MpiCompile, WaitallJoinsEverything) {
+  MpiProgram p(3);
+  p.add(0, Call::isend(1, 64, 1, 0));
+  p.add(0, Call::isend(2, 64, 2, 1));
+  p.add(0, Call::waitall());
+  p.add(0, Call::comp(10));
+  p.add(1, Call::recv(0, 64, 1));
+  p.add(2, Call::recv(0, 64, 2));
+  const TaskGraph g = compile(p);
+  // waitall emits no op of its own; rank 0's ops are isend(0), isend(1),
+  // comp(2), and the comp depends on both isends.
+  const auto& prog = g.program(0);
+  ASSERT_EQ(prog.size(), 3u);
+  EXPECT_EQ(prog.in_degree(2), 2u);
+  EXPECT_GT(simulate(g), 0);
+}
+
+TEST(MpiCompile, BarrierMatchesAcrossRanks) {
+  MpiProgram p(4);
+  for (goal::Rank r = 0; r < 4; ++r) {
+    p.add(r, Call::comp(1000 * (r + 1)));
+    p.add(r, Call::barrier());
+    p.add(r, Call::comp(500));
+  }
+  const TaskGraph g = compile(p);
+  // Everyone leaves the barrier together: makespan = slowest pre-compute +
+  // barrier (2 rounds x 1200) + 500.
+  EXPECT_EQ(simulate(g), 4000 + 2 * 1200 + 500);
+}
+
+TEST(MpiCompile, AllreduceExpandsOverAllRanks) {
+  MpiProgram p(8);
+  for (goal::Rank r = 0; r < 8; ++r) p.add(r, Call::allreduce(8));
+  const TaskGraph g = compile(p);
+  // Recursive doubling at p=8: 3 rounds x (send+recv) x 8 ranks.
+  EXPECT_EQ(g.total_ops(), 48u);
+  EXPECT_EQ(simulate(g), 3 * 1200);
+}
+
+TEST(MpiCompile, RingAllreduceOption) {
+  MpiProgram p(4);
+  for (goal::Rank r = 0; r < 4; ++r) p.add(r, Call::allreduce(4096));
+  CompileOptions options;
+  options.allreduce_algorithm = collectives::AllreduceAlgorithm::kRing;
+  const TaskGraph g = compile(p, options);
+  // Ring: 2*(p-1) rounds x (send+recv) x p.
+  EXPECT_EQ(g.total_ops(), 2u * 3 * 2 * 4);
+  EXPECT_GT(simulate(g), 0);
+}
+
+TEST(MpiCompile, MixedCollectivesAndP2p) {
+  MpiProgram p(4);
+  for (goal::Rank r = 0; r < 4; ++r) {
+    p.add(r, Call::comp(100));
+    p.add(r, Call::barrier());
+    if (r == 0) p.add(r, Call::send(1, 256, 3));
+    if (r == 1) p.add(r, Call::recv(0, 256, 3));
+    p.add(r, Call::allreduce(8));
+    p.add(r, Call::bcast(2, 1024));
+  }
+  const TaskGraph g = compile(p);
+  EXPECT_GT(simulate(g), 0);
+  EXPECT_EQ(g.count_ops(OpKind::kSend), g.count_ops(OpKind::kRecv));
+}
+
+TEST(MpiCompile, CollectiveCountMismatchThrows) {
+  MpiProgram p(2);
+  p.add(0, Call::barrier());
+  EXPECT_THROW(compile(p), InvalidInputError);
+}
+
+TEST(MpiCompile, CollectiveTypeMismatchThrows) {
+  MpiProgram p(2);
+  p.add(0, Call::barrier());
+  p.add(1, Call::allreduce(8));
+  EXPECT_THROW(compile(p), InvalidInputError);
+}
+
+TEST(MpiCompile, CollectivePayloadMismatchThrows) {
+  MpiProgram p(2);
+  p.add(0, Call::allreduce(8));
+  p.add(1, Call::allreduce(16));
+  EXPECT_THROW(compile(p), InvalidInputError);
+}
+
+TEST(MpiCompile, WaitOnUnknownRequestThrows) {
+  MpiProgram p(1);
+  p.add(0, Call::wait(7));
+  EXPECT_THROW(compile(p), InvalidInputError);
+}
+
+TEST(MpiCompile, ReusedLiveRequestThrows) {
+  MpiProgram p(2);
+  p.add(0, Call::isend(1, 8, 0, 3));
+  p.add(0, Call::isend(1, 8, 1, 3));
+  p.add(1, Call::recv(0, 8, 0));
+  p.add(1, Call::recv(0, 8, 1));
+  EXPECT_THROW(compile(p), InvalidInputError);
+}
+
+TEST(MpiCompile, RequestIdReusableAfterWait) {
+  MpiProgram p(2);
+  p.add(0, Call::isend(1, 8, 0, 3));
+  p.add(0, Call::wait(3));
+  p.add(0, Call::isend(1, 8, 1, 3));
+  p.add(0, Call::wait(3));
+  p.add(1, Call::recv(0, 8, 0));
+  p.add(1, Call::recv(0, 8, 1));
+  EXPECT_GT(simulate(compile(p)), 0);
+}
+
+TEST(MpiCompile, LeakedRequestThrows) {
+  MpiProgram p(2);
+  p.add(0, Call::isend(1, 8, 0, 3));
+  p.add(1, Call::recv(0, 8, 0));
+  EXPECT_THROW(compile(p), InvalidInputError);
+}
+
+TEST(MpiCompile, TagInCollectiveRangeThrows) {
+  MpiProgram p(2);
+  p.add(0, Call::send(1, 8, collectives::TagAllocator::kCollectiveTagBase));
+  p.add(1, Call::recv(0, 8, collectives::TagAllocator::kCollectiveTagBase));
+  EXPECT_THROW(compile(p), InvalidInputError);
+}
+
+TEST(MpiCompile, CompiledGraphDeadlocksLikeMpi) {
+  // A recv with no matching send: valid to compile, deadlocks in the
+  // simulator — exactly what the real program would do.
+  MpiProgram p(2);
+  p.add(1, Call::recv(0, 8, 1));
+  const TaskGraph g = compile(p);
+  sim::Simulator sim(g, simple_params());
+  EXPECT_THROW(sim.run_baseline(), DeadlockError);
+}
+
+}  // namespace
+}  // namespace celog::mpi

@@ -1,0 +1,95 @@
+#include "mpi/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace celog::mpi {
+namespace {
+
+TEST(CallFactories, FieldsSet) {
+  const Call c = Call::comp(1000);
+  EXPECT_EQ(c.type, CallType::kComp);
+  EXPECT_EQ(c.duration, 1000);
+
+  const Call s = Call::send(3, 4096, 9);
+  EXPECT_EQ(s.type, CallType::kSend);
+  EXPECT_EQ(s.peer, 3);
+  EXPECT_EQ(s.bytes, 4096);
+  EXPECT_EQ(s.tag, 9);
+
+  const Call is = Call::isend(2, 64, 1, 5);
+  EXPECT_EQ(is.type, CallType::kIsend);
+  EXPECT_EQ(is.request, 5);
+
+  const Call w = Call::wait(5);
+  EXPECT_EQ(w.type, CallType::kWait);
+  EXPECT_EQ(w.request, 5);
+
+  const Call b = Call::bcast(0, 1024);
+  EXPECT_EQ(b.type, CallType::kBcast);
+  EXPECT_EQ(b.peer, 0);
+
+  EXPECT_EQ(Call::barrier().type, CallType::kBarrier);
+  EXPECT_EQ(Call::allreduce(8).bytes, 8);
+  EXPECT_EQ(Call::allgather(16).type, CallType::kAllgather);
+  EXPECT_EQ(Call::alltoall(32).type, CallType::kAlltoall);
+  EXPECT_EQ(Call::reduce_scatter(64).type, CallType::kReduceScatter);
+  EXPECT_EQ(Call::reduce(1, 8).type, CallType::kReduce);
+  EXPECT_EQ(Call::waitall().type, CallType::kWaitall);
+}
+
+TEST(CallClassification, CollectivesIdentified) {
+  EXPECT_TRUE(is_collective(CallType::kBarrier));
+  EXPECT_TRUE(is_collective(CallType::kAllreduce));
+  EXPECT_TRUE(is_collective(CallType::kBcast));
+  EXPECT_TRUE(is_collective(CallType::kReduce));
+  EXPECT_TRUE(is_collective(CallType::kAllgather));
+  EXPECT_TRUE(is_collective(CallType::kAlltoall));
+  EXPECT_TRUE(is_collective(CallType::kReduceScatter));
+  EXPECT_FALSE(is_collective(CallType::kComp));
+  EXPECT_FALSE(is_collective(CallType::kSend));
+  EXPECT_FALSE(is_collective(CallType::kIrecv));
+  EXPECT_FALSE(is_collective(CallType::kWait));
+}
+
+TEST(CallNames, RoundTrippable) {
+  EXPECT_STREQ(to_string(CallType::kComp), "comp");
+  EXPECT_STREQ(to_string(CallType::kIsend), "isend");
+  EXPECT_STREQ(to_string(CallType::kReduceScatter), "reduce_scatter");
+}
+
+TEST(MpiProgramTest, AddAndQuery) {
+  MpiProgram p(2);
+  p.add(0, Call::comp(10));
+  p.add(0, Call::send(1, 100, 0));
+  p.add(1, Call::recv(0, 100, 0));
+  EXPECT_EQ(p.ranks(), 2);
+  EXPECT_EQ(p.total_calls(), 3u);
+  EXPECT_EQ(p.calls(0).size(), 2u);
+  EXPECT_EQ(p.calls(1).size(), 1u);
+  EXPECT_EQ(p.calls(0)[1].type, CallType::kSend);
+}
+
+TEST(MpiProgramDeath, PeerOutOfRange) {
+  MpiProgram p(2);
+  EXPECT_DEATH(p.add(0, Call::send(7, 1, 0)), "peer out of range");
+}
+
+TEST(MpiProgramDeath, SelfMessage) {
+  MpiProgram p(2);
+  EXPECT_DEATH(p.add(1, Call::recv(1, 1, 0)), "self-message");
+}
+
+TEST(MpiProgramDeath, RootOutOfRange) {
+  MpiProgram p(2);
+  EXPECT_DEATH(p.add(0, Call::bcast(9, 8)), "root out of range");
+}
+
+TEST(MpiProgramDeath, NonblockingNeedsRequest) {
+  MpiProgram p(2);
+  Call c = Call::isend(1, 8, 0, 3);
+  c.request = kNoRequest;
+  EXPECT_DEATH(p.add(0, c), "request");
+}
+
+}  // namespace
+}  // namespace celog::mpi

@@ -1,0 +1,130 @@
+#include "mpi/trace_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mpi/compile.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace celog::mpi {
+namespace {
+
+MpiProgram sample_program() {
+  MpiProgram p(3);
+  p.add(0, Call::comp(1000));
+  p.add(0, Call::isend(1, 4096, 7, 0));
+  p.add(0, Call::wait(0));
+  p.add(0, Call::barrier());
+  p.add(0, Call::allreduce(8));
+  p.add(1, Call::irecv(0, 4096, 7, 2));
+  p.add(1, Call::comp(500));
+  p.add(1, Call::waitall());
+  p.add(1, Call::barrier());
+  p.add(1, Call::allreduce(8));
+  p.add(2, Call::comp(250));
+  p.add(2, Call::barrier());
+  p.add(2, Call::allreduce(8));
+  return p;
+}
+
+TEST(MpiTraceFormat, RoundTripPreservesCalls) {
+  const MpiProgram original = sample_program();
+  std::ostringstream out;
+  write_trace(out, original);
+  std::istringstream in(out.str());
+  const MpiProgram parsed = read_trace(in);
+  ASSERT_EQ(parsed.ranks(), original.ranks());
+  for (goal::Rank r = 0; r < original.ranks(); ++r) {
+    EXPECT_EQ(parsed.calls(r), original.calls(r)) << "rank " << r;
+  }
+}
+
+TEST(MpiTraceFormat, RoundTripCompilesIdentically) {
+  const MpiProgram original = sample_program();
+  std::ostringstream out;
+  write_trace(out, original);
+  std::istringstream in(out.str());
+  const MpiProgram parsed = read_trace(in);
+
+  sim::Simulator a(compile(original), sim::NetworkParams::cray_xc40());
+  // Recompile freshly to keep graph lifetimes clear.
+  const goal::TaskGraph gb = compile(parsed);
+  sim::Simulator b(gb, sim::NetworkParams::cray_xc40());
+  const goal::TaskGraph ga = compile(original);
+  sim::Simulator a2(ga, sim::NetworkParams::cray_xc40());
+  EXPECT_EQ(a2.run_baseline().makespan, b.run_baseline().makespan);
+}
+
+TEST(MpiTraceFormat, AllCallTypesRoundTrip) {
+  MpiProgram p(2);
+  p.add(0, Call::comp(7));
+  p.add(0, Call::send(1, 1, 2));
+  p.add(0, Call::recv(1, 3, 4));
+  p.add(0, Call::isend(1, 5, 6, 0));
+  p.add(0, Call::wait(0));
+  p.add(0, Call::irecv(1, 7, 8, 1));
+  p.add(0, Call::waitall());
+  p.add(0, Call::barrier());
+  p.add(0, Call::allreduce(9));
+  p.add(0, Call::bcast(1, 10));
+  p.add(0, Call::reduce(0, 11));
+  p.add(0, Call::allgather(12));
+  p.add(0, Call::alltoall(13));
+  p.add(0, Call::reduce_scatter(14));
+  std::ostringstream out;
+  write_trace(out, p);
+  std::istringstream in(out.str());
+  const MpiProgram parsed = read_trace(in);
+  EXPECT_EQ(parsed.calls(0), p.calls(0));
+}
+
+TEST(MpiTraceFormat, CommentsIgnored) {
+  std::istringstream in(
+      "# trace of a tiny run\n"
+      "celog-mpi 1\n"
+      "ranks 1\n"
+      "rank 0 calls 2\n"
+      "comp 42\n"
+      "# midway comment\n"
+      "barrier\n");
+  const MpiProgram p = read_trace(in);
+  EXPECT_EQ(p.calls(0).size(), 2u);
+  EXPECT_EQ(p.calls(0)[0].duration, 42);
+}
+
+TEST(MpiTraceFormat, RejectsBadHeader) {
+  std::istringstream in("bogus 1\n");
+  EXPECT_THROW(read_trace(in), ParseError);
+}
+
+TEST(MpiTraceFormat, RejectsUnknownCall) {
+  std::istringstream in(
+      "celog-mpi 1\nranks 1\nrank 0 calls 1\nfrobnicate 3\n");
+  EXPECT_THROW(read_trace(in), ParseError);
+}
+
+TEST(MpiTraceFormat, RejectsTruncated) {
+  std::istringstream in("celog-mpi 1\nranks 1\nrank 0 calls 3\ncomp 1\n");
+  EXPECT_THROW(read_trace(in), ParseError);
+}
+
+TEST(MpiTraceFormat, RejectsNegativeComp) {
+  std::istringstream in("celog-mpi 1\nranks 1\nrank 0 calls 1\ncomp -5\n");
+  EXPECT_THROW(read_trace(in), ParseError);
+}
+
+TEST(MpiTraceFormat, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/celog_mpi_test.trace";
+  save_trace(path, sample_program());
+  const MpiProgram loaded = load_trace(path);
+  EXPECT_EQ(loaded.total_calls(), sample_program().total_calls());
+}
+
+TEST(MpiTraceFormat, MissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/file.trace"), ParseError);
+}
+
+}  // namespace
+}  // namespace celog::mpi

@@ -1,0 +1,133 @@
+#include "noise/deferred.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "collectives/collectives.hpp"
+#include "goal/task_graph.hpp"
+#include "sim/engine.hpp"
+
+namespace celog::noise {
+namespace {
+
+DeferredLoggingConfig test_config() {
+  DeferredLoggingConfig c;
+  c.mtbce = milliseconds(100);
+  c.correction_cost = 150;
+  c.flush_period = seconds(1);
+  c.flush_base = milliseconds(7);
+  c.per_record = milliseconds(1);
+  return c;
+}
+
+TEST(DeferredLoggingSource, ArrivalsAreNondecreasing) {
+  DeferredLoggingSource source(test_config(), 0, Xoshiro256(1));
+  TimeNs prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const TimeNs next = source.peek_arrival();
+    EXPECT_GE(next, prev);
+    source.pop();
+    prev = next;
+  }
+}
+
+TEST(DeferredLoggingSource, FlushCostCountsPendingRecords) {
+  // Deterministic check: make CEs essentially never arrive so the flush is
+  // pure base cost.
+  DeferredLoggingConfig config = test_config();
+  config.mtbce = kYear;
+  DeferredLoggingSource source(config, 0, Xoshiro256(1));
+  const Detour flush = source.pop();
+  EXPECT_EQ(flush.arrival, seconds(1));
+  EXPECT_EQ(flush.duration, milliseconds(7));  // zero records
+}
+
+TEST(DeferredLoggingSource, RecordsAccumulateBetweenFlushes) {
+  DeferredLoggingSource source(test_config(), 0, Xoshiro256(2));
+  std::uint64_t corrections = 0;
+  for (;;) {
+    const TimeNs arrival = source.peek_arrival();
+    const Detour d = source.pop();
+    if (arrival == seconds(1)) {
+      // First flush: cost must equal base + corrections seen so far.
+      EXPECT_EQ(d.duration,
+                milliseconds(7) +
+                    static_cast<TimeNs>(corrections) * milliseconds(1));
+      EXPECT_GT(corrections, 0u);  // ~10 expected at MTBCE 100 ms
+      break;
+    }
+    EXPECT_EQ(d.duration, 150);
+    ++corrections;
+  }
+  EXPECT_EQ(source.pending_records(), 0u);
+}
+
+TEST(DeferredLoggingSource, PhaseShiftsFirstFlush) {
+  DeferredLoggingConfig config = test_config();
+  config.mtbce = kYear;
+  DeferredLoggingSource source(config, milliseconds(250), Xoshiro256(1));
+  EXPECT_EQ(source.pop().arrival, milliseconds(250));
+  EXPECT_EQ(source.pop().arrival, milliseconds(250) + seconds(1));
+}
+
+TEST(DeferredLoggingModel, SynchronizedRanksFlushTogether) {
+  DeferredLoggingConfig config = test_config();
+  config.mtbce = kYear;
+  config.synchronized = true;
+  const DeferredLoggingNoiseModel model(config);
+  auto a = model.make_source(0, 7);
+  auto b = model.make_source(5, 7);
+  EXPECT_EQ(a->pop().arrival, b->pop().arrival);
+}
+
+TEST(DeferredLoggingModel, UnsynchronizedRanksDiffer) {
+  DeferredLoggingConfig config = test_config();
+  config.mtbce = kYear;
+  config.synchronized = false;
+  const DeferredLoggingNoiseModel model(config);
+  auto a = model.make_source(0, 7);
+  auto b = model.make_source(5, 7);
+  EXPECT_NE(a->pop().arrival, b->pop().arrival);
+}
+
+TEST(DeferredLoggingModel, MeanOverheadFraction) {
+  // 10 CEs/s: corrections 10*150ns = 1.5e-6; flushes (7ms + 10*1ms)/1s =
+  // 1.7e-2.
+  const DeferredLoggingNoiseModel model(test_config());
+  EXPECT_NEAR(model.mean_overhead_fraction(), 0.017, 0.0005);
+}
+
+TEST(DeferredLoggingModel, BeatsSynchronousLoggingUnderLoad) {
+  // A fully synchronized BSP loop under (a) synchronous firmware logging
+  // and (b) deferred logging at the same CE rate: deferring must win big.
+  goal::TaskGraph g(16);
+  collectives::TagAllocator tags;
+  std::vector<goal::SequentialBuilder> b;
+  b.reserve(16);
+  for (goal::Rank r = 0; r < 16; ++r) b.emplace_back(g, r);
+  for (int it = 0; it < 100; ++it) {
+    for (auto& builder : b) builder.calc(milliseconds(10));
+    collectives::barrier({b.data(), b.size()}, tags);
+  }
+  g.finalize();
+  sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
+  const auto base = sim.run_baseline();
+
+  const TimeNs mtbce = milliseconds(500);
+  const UniformCeNoiseModel synchronous(
+      mtbce, std::make_shared<FlatLoggingCost>(costs::kFirmwareEmca));
+  DeferredLoggingConfig config = test_config();
+  config.mtbce = mtbce;
+  const DeferredLoggingNoiseModel deferred(config);
+
+  const double sync_pct =
+      sim::slowdown_percent(base, sim.run(synchronous, 3));
+  const double deferred_pct =
+      sim::slowdown_percent(base, sim.run(deferred, 3));
+  EXPECT_GT(sync_pct, 10.0 * std::max(deferred_pct, 0.1));
+}
+
+}  // namespace
+}  // namespace celog::noise

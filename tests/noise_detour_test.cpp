@@ -1,0 +1,127 @@
+#include "noise/detour.hpp"
+
+#include <gtest/gtest.h>
+
+namespace celog::noise {
+namespace {
+
+TEST(FlatLoggingCostTest, ConstantCost) {
+  const FlatLoggingCost cost(milliseconds(133));
+  EXPECT_EQ(cost.cost_of_event(0), milliseconds(133));
+  EXPECT_EQ(cost.cost_of_event(999), milliseconds(133));
+  EXPECT_DOUBLE_EQ(cost.mean_cost_ns(),
+                   static_cast<double>(milliseconds(133)));
+}
+
+TEST(ThresholdLoggingCostTest, EveryNthEventPaysDecode) {
+  // Paper §IV-A: 7 ms SMI per CE + 500 ms decode for every 10th.
+  const ThresholdLoggingCost cost(costs::kMeasuredSmi,
+                                  costs::kMeasuredFirmwareDecode, 10);
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(cost.cost_of_event(i), costs::kMeasuredSmi) << i;
+  }
+  EXPECT_EQ(cost.cost_of_event(9),
+            costs::kMeasuredSmi + costs::kMeasuredFirmwareDecode);
+  EXPECT_EQ(cost.cost_of_event(10), costs::kMeasuredSmi);
+  EXPECT_EQ(cost.cost_of_event(19),
+            costs::kMeasuredSmi + costs::kMeasuredFirmwareDecode);
+}
+
+TEST(ThresholdLoggingCostTest, MeanAmortizesDecode) {
+  const ThresholdLoggingCost cost(milliseconds(7), milliseconds(500), 10);
+  EXPECT_DOUBLE_EQ(cost.mean_cost_ns(),
+                   static_cast<double>(milliseconds(7)) +
+                       static_cast<double>(milliseconds(500)) / 10.0);
+}
+
+TEST(ThresholdLoggingCostTest, ThresholdOneAlwaysDecodes) {
+  const ThresholdLoggingCost cost(100, 900, 1);
+  EXPECT_EQ(cost.cost_of_event(0), 1000);
+  EXPECT_EQ(cost.cost_of_event(1), 1000);
+  EXPECT_DOUBLE_EQ(cost.mean_cost_ns(), 1000.0);
+}
+
+TEST(PaperCostConstants, MatchFigureCaptions) {
+  EXPECT_EQ(costs::kHardwareOnly, 150);
+  EXPECT_EQ(costs::kSoftwareCmci, microseconds(775));
+  EXPECT_EQ(costs::kFirmwareEmca, milliseconds(133));
+  EXPECT_EQ(costs::kMeasuredCmci, microseconds(700));
+  EXPECT_EQ(costs::kMeasuredSmi, milliseconds(7));
+  EXPECT_EQ(costs::kMeasuredFirmwareDecode, milliseconds(500));
+  EXPECT_EQ(costs::kMeasuredFirmwareThreshold, 10u);
+}
+
+TEST(NullDetourSourceTest, AlwaysEmpty) {
+  NullDetourSource source;
+  EXPECT_EQ(source.peek_arrival(), kTimeNever);
+}
+
+TEST(PoissonDetourSourceTest, ArrivalsAreStrictlyIncreasing) {
+  const FlatLoggingCost cost(100);
+  PoissonDetourSource source(milliseconds(10), cost, Xoshiro256(1));
+  TimeNs prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const TimeNs next = source.peek_arrival();
+    EXPECT_GT(next, prev);
+    const Detour d = source.pop();
+    EXPECT_EQ(d.arrival, next);
+    EXPECT_EQ(d.duration, 100);
+    prev = next;
+  }
+  EXPECT_EQ(source.events_emitted(), 1000u);
+}
+
+TEST(PoissonDetourSourceTest, MeanGapMatchesMtbce) {
+  const FlatLoggingCost cost(1);
+  const TimeNs mtbce = milliseconds(5);
+  PoissonDetourSource source(mtbce, cost, Xoshiro256(7));
+  const int n = 20000;
+  TimeNs last = 0;
+  for (int i = 0; i < n; ++i) last = source.pop().arrival;
+  const double mean_gap = static_cast<double>(last) / n;
+  EXPECT_NEAR(mean_gap / static_cast<double>(mtbce), 1.0, 0.03);
+}
+
+TEST(PoissonDetourSourceTest, DeterministicForSeed) {
+  const FlatLoggingCost cost(1);
+  PoissonDetourSource a(kSecond, cost, Xoshiro256(42));
+  PoissonDetourSource b(kSecond, cost, Xoshiro256(42));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.pop().arrival, b.pop().arrival);
+  }
+}
+
+TEST(PoissonDetourSourceTest, UsesCostModelSequence) {
+  const ThresholdLoggingCost cost(10, 100, 3);
+  PoissonDetourSource source(kSecond, cost, Xoshiro256(3));
+  EXPECT_EQ(source.pop().duration, 10);
+  EXPECT_EQ(source.pop().duration, 10);
+  EXPECT_EQ(source.pop().duration, 110);  // 3rd event decodes
+  EXPECT_EQ(source.pop().duration, 10);
+}
+
+TEST(TraceDetourSourceTest, ReplaysInOrder) {
+  TraceDetourSource source({{10, 1}, {20, 2}, {30, 3}});
+  EXPECT_EQ(source.peek_arrival(), 10);
+  EXPECT_EQ(source.pop(), (Detour{10, 1}));
+  EXPECT_EQ(source.pop(), (Detour{20, 2}));
+  EXPECT_EQ(source.peek_arrival(), 30);
+  EXPECT_EQ(source.pop(), (Detour{30, 3}));
+  EXPECT_EQ(source.peek_arrival(), kTimeNever);
+}
+
+TEST(TraceDetourSourceTest, EmptyTrace) {
+  TraceDetourSource source({});
+  EXPECT_EQ(source.peek_arrival(), kTimeNever);
+}
+
+TEST(TraceDetourSourceDeath, UnsortedRejected) {
+  EXPECT_DEATH(TraceDetourSource({{20, 1}, {10, 1}}), "sorted");
+}
+
+TEST(TraceDetourSourceDeath, NegativeDurationRejected) {
+  EXPECT_DEATH(TraceDetourSource({{10, -5}}), "non-negative");
+}
+
+}  // namespace
+}  // namespace celog::noise

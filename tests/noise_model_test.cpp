@@ -1,0 +1,108 @@
+#include "noise/noise_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace celog::noise {
+namespace {
+
+std::shared_ptr<const LoggingCostModel> flat(TimeNs cost) {
+  return std::make_shared<FlatLoggingCost>(cost);
+}
+
+TEST(NoNoiseModelTest, EveryRankIsSilent) {
+  NoNoiseModel model;
+  for (RankId r = 0; r < 8; ++r) {
+    EXPECT_EQ(model.make_source(r, 1)->peek_arrival(), kTimeNever);
+  }
+}
+
+TEST(UniformCeNoiseModelTest, EveryRankGetsArrivals) {
+  UniformCeNoiseModel model(kSecond, flat(100));
+  for (RankId r = 0; r < 8; ++r) {
+    EXPECT_NE(model.make_source(r, 1)->peek_arrival(), kTimeNever);
+  }
+}
+
+TEST(UniformCeNoiseModelTest, RanksHaveIndependentStreams) {
+  UniformCeNoiseModel model(kSecond, flat(100));
+  auto a = model.make_source(0, 1);
+  auto b = model.make_source(1, 1);
+  EXPECT_NE(a->peek_arrival(), b->peek_arrival());
+}
+
+TEST(UniformCeNoiseModelTest, SeedChangesStreams) {
+  UniformCeNoiseModel model(kSecond, flat(100));
+  auto a = model.make_source(0, 1);
+  auto b = model.make_source(0, 2);
+  EXPECT_NE(a->peek_arrival(), b->peek_arrival());
+}
+
+TEST(UniformCeNoiseModelTest, ReproducibleForSameSeed) {
+  UniformCeNoiseModel model(kSecond, flat(100));
+  auto a = model.make_source(3, 9);
+  auto b = model.make_source(3, 9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a->pop().arrival, b->pop().arrival);
+  }
+}
+
+TEST(UniformCeNoiseModelTest, AccessorsExposeParameters) {
+  auto cost = flat(250);
+  UniformCeNoiseModel model(milliseconds(20), cost);
+  EXPECT_EQ(model.mtbce(), milliseconds(20));
+  EXPECT_EQ(model.cost().cost_of_event(0), 250);
+}
+
+TEST(SingleRankCeNoiseModelTest, OnlyTargetRankIsNoisy) {
+  SingleRankCeNoiseModel model(5, kSecond, flat(100));
+  EXPECT_EQ(model.noisy_rank(), 5);
+  for (RankId r = 0; r < 10; ++r) {
+    auto source = model.make_source(r, 1);
+    if (r == 5) {
+      EXPECT_NE(source->peek_arrival(), kTimeNever);
+    } else {
+      EXPECT_EQ(source->peek_arrival(), kTimeNever);
+    }
+  }
+}
+
+TEST(TraceReplayNoiseModelTest, NoRotationReplaysVerbatim) {
+  const std::vector<Detour> trace = {{100, 5}, {200, 6}};
+  TraceReplayNoiseModel model(trace, 1000, /*rotate_per_rank=*/false);
+  auto source = model.make_source(0, 1);
+  EXPECT_EQ(source->pop(), (Detour{100, 5}));
+  EXPECT_EQ(source->pop(), (Detour{200, 6}));
+  EXPECT_EQ(source->peek_arrival(), kTimeNever);
+}
+
+TEST(TraceReplayNoiseModelTest, RotationKeepsDetoursInWindow) {
+  const std::vector<Detour> trace = {{100, 5}, {900, 6}};
+  TraceReplayNoiseModel model(trace, 1000, /*rotate_per_rank=*/true);
+  for (RankId r = 0; r < 16; ++r) {
+    auto source = model.make_source(r, 7);
+    TimeNs prev = -1;
+    while (source->peek_arrival() != kTimeNever) {
+      const Detour d = source->pop();
+      EXPECT_GE(d.arrival, 0);
+      EXPECT_LT(d.arrival, 1000);
+      EXPECT_GE(d.arrival, prev);
+      prev = d.arrival;
+    }
+  }
+}
+
+TEST(TraceReplayNoiseModelTest, RotationDiffersAcrossRanks) {
+  const std::vector<Detour> trace = {{100, 5}};
+  TraceReplayNoiseModel model(trace, 1000000, /*rotate_per_rank=*/true);
+  auto a = model.make_source(0, 1);
+  auto b = model.make_source(1, 1);
+  EXPECT_NE(a->pop().arrival, b->pop().arrival);
+}
+
+TEST(TraceReplayNoiseModelDeath, DetourOutsideWindowRejected) {
+  EXPECT_DEATH(TraceReplayNoiseModel({{1500, 5}}, 1000, false),
+               "inside the window");
+}
+
+}  // namespace
+}  // namespace celog::noise

@@ -1,0 +1,122 @@
+// Tests for the busy-period semantics of RankNoise: how CE detours stretch
+// CPU activity and when they are absorbed by idle time. These semantics are
+// the heart of the paper's noise model (Fig. 1).
+#include "noise/rank_noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace celog::noise {
+namespace {
+
+std::unique_ptr<TraceDetourSource> trace(std::vector<Detour> d) {
+  return std::make_unique<TraceDetourSource>(std::move(d));
+}
+
+TEST(RankNoiseTest, NoDetoursPassThrough) {
+  RankNoise noise(std::make_unique<NullDetourSource>());
+  EXPECT_EQ(noise.next_free(100), 100);
+  EXPECT_EQ(noise.occupy(100, 50), 150);
+  EXPECT_EQ(noise.stolen_time(), 0);
+  EXPECT_EQ(noise.charged_detours(), 0u);
+}
+
+TEST(RankNoiseTest, DetourInsideBusyIntervalExtendsIt) {
+  // Work [0, 100); detour arrives at 40 costing 30 -> end pushed to 130.
+  RankNoise noise(trace({{40, 30}}));
+  EXPECT_EQ(noise.occupy(0, 100), 130);
+  EXPECT_EQ(noise.stolen_time(), 30);
+  EXPECT_EQ(noise.charged_detours(), 1u);
+}
+
+TEST(RankNoiseTest, DetourInExtensionAlsoCharges) {
+  // Work [0, 100); first detour at 40 (+30) pushes the end to 130; a second
+  // detour at 120 lands inside the extension and also charges.
+  RankNoise noise(trace({{40, 30}, {120, 10}}));
+  EXPECT_EQ(noise.occupy(0, 100), 140);
+  EXPECT_EQ(noise.stolen_time(), 40);
+  EXPECT_EQ(noise.charged_detours(), 2u);
+}
+
+TEST(RankNoiseTest, DetourAtExactEndDoesNotCharge) {
+  RankNoise noise(trace({{100, 50}}));
+  EXPECT_EQ(noise.occupy(0, 100), 100);
+  EXPECT_EQ(noise.stolen_time(), 0);
+}
+
+TEST(RankNoiseTest, DetourDuringIdleIsAbsorbed) {
+  // Detour handled [10, 20); the application only wants the CPU at 50.
+  RankNoise noise(trace({{10, 10}}));
+  EXPECT_EQ(noise.next_free(50), 50);
+  EXPECT_EQ(noise.occupy(50, 10), 60);
+  EXPECT_EQ(noise.stolen_time(), 0);
+}
+
+TEST(RankNoiseTest, InProgressDetourDelaysStart) {
+  // Detour handled [10, 40); work requested at 20 must wait until 40.
+  RankNoise noise(trace({{10, 30}}));
+  EXPECT_EQ(noise.next_free(20), 40);
+  EXPECT_EQ(noise.stolen_time(), 20);  // only the overlap is charged
+  EXPECT_EQ(noise.charged_detours(), 1u);
+}
+
+TEST(RankNoiseTest, QueuedDetoursServeBackToBack) {
+  // Two detours arrive at 10 and 15, each costing 20: handling occupies
+  // [10, 30) then [30, 50). Work requested at 12 starts at 50.
+  RankNoise noise(trace({{10, 20}, {15, 20}}));
+  EXPECT_EQ(noise.next_free(12), 50);
+}
+
+TEST(RankNoiseTest, ZeroLengthOccupy) {
+  RankNoise noise(trace({{10, 5}}));
+  const TimeNs start = noise.next_free(0);
+  EXPECT_EQ(start, 0);
+  EXPECT_EQ(noise.occupy(start, 0), 0);
+}
+
+TEST(RankNoiseTest, ZeroDurationDetourIsFree) {
+  RankNoise noise(trace({{50, 0}}));
+  EXPECT_EQ(noise.occupy(0, 100), 100);
+  EXPECT_EQ(noise.stolen_time(), 0);
+}
+
+TEST(RankNoiseTest, SnowballRegime) {
+  // MTBCE shorter than the detour cost: a 100-long work interval with
+  // detours every 50 costing 80 each keeps getting extended — the "unable
+  // to make meaningful progress" regime of paper §IV-B.
+  std::vector<Detour> detours;
+  for (TimeNs t = 50; t < 2000; t += 50) detours.push_back({t, 80});
+  RankNoise noise(trace(std::move(detours)));
+  const TimeNs end = noise.occupy(0, 100);
+  // 39 detours arrive before t=2000; all are consumed because the interval
+  // never drains before the next arrival.
+  EXPECT_EQ(noise.charged_detours(), 39u);
+  EXPECT_EQ(end, 100 + 39 * 80);
+}
+
+TEST(RankNoiseTest, SequentialIntervalsSeeDisjointDetours) {
+  RankNoise noise(trace({{10, 5}, {110, 7}}));
+  EXPECT_EQ(noise.occupy(0, 50), 55);      // first detour charged
+  const TimeNs start = noise.next_free(100);
+  EXPECT_EQ(start, 100);
+  EXPECT_EQ(noise.occupy(start, 50), 157);  // second detour charged
+  EXPECT_EQ(noise.stolen_time(), 12);
+  EXPECT_EQ(noise.charged_detours(), 2u);
+}
+
+TEST(RankNoiseTest, NextFreeConsumesArrivalExactlyAtQueryTime) {
+  // Arrival exactly at t: handling starts at t, so the CPU is not free.
+  RankNoise noise(trace({{100, 25}}));
+  EXPECT_EQ(noise.next_free(100), 125);
+}
+
+TEST(RankNoiseDeath, OccupyBeforeNextFree) {
+  RankNoise noise(trace({{10, 100}}));
+  EXPECT_EQ(noise.next_free(20), 110);
+  // Starting work inside the detour busy period violates the contract.
+  EXPECT_DEATH(noise.occupy(50, 10), "next_free");
+}
+
+}  // namespace
+}  // namespace celog::noise

@@ -1,0 +1,138 @@
+// Tests for the synthetic selfish measurement (Fig. 2 reproduction):
+// the native/dry-run/software/firmware signatures must show the same
+// qualitative features the paper reports.
+#include "noise/selfish.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace celog::noise {
+namespace {
+
+SelfishConfig config_for(ReportingMode mode) {
+  SelfishConfig c;
+  c.window = 60 * kSecond;
+  c.injection_period = 10 * kSecond;
+  c.mode = mode;
+  return c;
+}
+
+/// Counts recorded detours with duration in [lo, hi).
+std::size_t count_in(const std::vector<Detour>& trace, TimeNs lo, TimeNs hi) {
+  return static_cast<std::size_t>(
+      std::count_if(trace.begin(), trace.end(), [&](const Detour& d) {
+        return d.duration >= lo && d.duration < hi;
+      }));
+}
+
+TEST(SelfishTest, TraceIsSortedAndAboveThreshold) {
+  const auto trace = run_selfish(config_for(ReportingMode::kSoftwareCmci), 1);
+  ASSERT_FALSE(trace.empty());
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+  }
+  for (const Detour& d : trace) EXPECT_GT(d.duration, 150);
+}
+
+TEST(SelfishTest, NativeHasNoTallBars) {
+  // Fig. 2a: background noise only; nothing near the 700 us CMCI spikes.
+  const auto trace = run_selfish(config_for(ReportingMode::kNative), 1);
+  const auto summary = summarize(trace, 60 * kSecond);
+  EXPECT_EQ(summary.tall_detours, 0u);
+  EXPECT_LT(summary.max_detour, 100 * kMicrosecond);
+  EXPECT_GT(summary.detours, 1000u);  // 1 kHz tick over 60 s dominates
+}
+
+TEST(SelfishTest, DryRunIndistinguishableFromNative) {
+  // Fig. 2b: configuring EINJ without triggering adds only ~2 us blips.
+  const auto native = run_selfish(config_for(ReportingMode::kNative), 1);
+  const auto dry = run_selfish(config_for(ReportingMode::kDryRun), 1);
+  const auto sn = summarize(native, 60 * kSecond);
+  const auto sd = summarize(dry, 60 * kSecond);
+  EXPECT_EQ(sd.tall_detours, 0u);
+  // Noise fraction within 1% of native.
+  EXPECT_NEAR(sd.noise_fraction, sn.noise_fraction,
+              sn.noise_fraction * 0.01 + 1e-9);
+}
+
+TEST(SelfishTest, CorrectionOnlyLooksLikeNative) {
+  // §IV-A: "All logging turned off" was indistinguishable from native —
+  // 150 ns corrections sit below the selfish detection threshold.
+  const auto native = run_selfish(config_for(ReportingMode::kNative), 1);
+  const auto corr = run_selfish(config_for(ReportingMode::kCorrectionOnly), 1);
+  EXPECT_EQ(native.size(), corr.size());
+}
+
+TEST(SelfishTest, SoftwareShowsOneSpikePerInjection) {
+  // Fig. 2c: ~700 us spikes every 10 s -> 6 in a 60 s window.
+  const auto trace = run_selfish(config_for(ReportingMode::kSoftwareCmci), 1);
+  EXPECT_EQ(count_in(trace, 600 * kMicrosecond, 800 * kMicrosecond), 6u);
+  const auto summary = summarize(trace, 60 * kSecond);
+  EXPECT_EQ(summary.tall_detours, 6u);
+}
+
+TEST(SelfishTest, FirmwareShowsSmiAndDecodeGroups) {
+  // Fig. 2d: every injection costs a ~7 ms SMI; every 10th additionally
+  // pays the ~500 ms firmware decode. Use a 120 s window so one decode
+  // fires (injections 1..12, decode at the 10th).
+  auto config = config_for(ReportingMode::kFirmwareEmca);
+  config.window = 120 * kSecond;
+  const auto trace = run_selfish(config, 1);
+  EXPECT_EQ(count_in(trace, 6 * kMillisecond, 8 * kMillisecond), 11u);
+  EXPECT_EQ(count_in(trace, 400 * kMillisecond, 600 * kMillisecond), 1u);
+}
+
+TEST(SelfishTest, FirmwareThresholdConfigurable) {
+  auto config = config_for(ReportingMode::kFirmwareEmca);
+  config.firmware_threshold = 2;  // every 2nd CE decodes
+  config.window = 60 * kSecond;
+  const auto trace = run_selfish(config, 1);
+  EXPECT_EQ(count_in(trace, 400 * kMillisecond, 600 * kMillisecond), 3u);
+}
+
+TEST(SelfishTest, DetectionThresholdFilters) {
+  auto config = config_for(ReportingMode::kNative);
+  config.detection_threshold = 10 * kMillisecond;  // hide everything
+  const auto trace = run_selfish(config, 1);
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(SelfishTest, CustomBackgroundSources) {
+  SelfishConfig config;
+  config.window = kSecond;
+  config.mode = ReportingMode::kNative;
+  config.background = {PeriodicSource{100 * kMillisecond, 10 * kMicrosecond,
+                                      0, 0}};
+  const auto trace = run_selfish(config, 1);
+  EXPECT_EQ(trace.size(), 10u);
+  for (const Detour& d : trace) EXPECT_EQ(d.duration, 10 * kMicrosecond);
+}
+
+TEST(SelfishTest, DeterministicForSeed) {
+  const auto a = run_selfish(config_for(ReportingMode::kSoftwareCmci), 9);
+  const auto b = run_selfish(config_for(ReportingMode::kSoftwareCmci), 9);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SelfishTest, SummaryFields) {
+  const std::vector<Detour> trace = {{0, 50 * kMicrosecond},
+                                     {100, 200 * kMicrosecond}};
+  const auto s = summarize(trace, kSecond);
+  EXPECT_EQ(s.detours, 2u);
+  EXPECT_EQ(s.total_stolen, 250 * kMicrosecond);
+  EXPECT_EQ(s.max_detour, 200 * kMicrosecond);
+  EXPECT_EQ(s.tall_detours, 1u);
+  EXPECT_NEAR(s.noise_fraction, 2.5e-4, 1e-9);
+}
+
+TEST(SelfishTest, ModeNames) {
+  EXPECT_STREQ(to_string(ReportingMode::kNative), "native");
+  EXPECT_STREQ(to_string(ReportingMode::kDryRun), "dry-run");
+  EXPECT_STREQ(to_string(ReportingMode::kCorrectionOnly), "correction-only");
+  EXPECT_STREQ(to_string(ReportingMode::kSoftwareCmci), "software-cmci");
+  EXPECT_STREQ(to_string(ReportingMode::kFirmwareEmca), "firmware-emca");
+}
+
+}  // namespace
+}  // namespace celog::noise

@@ -1,0 +1,114 @@
+#include "workloads/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace celog::workloads {
+namespace {
+
+using goal::Rank;
+using goal::TaskGraph;
+
+TEST(JitteredCompute, WithinBounds) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const TimeNs t = jittered_compute(rng, 1000, 1.0, 0.1);
+    EXPECT_GE(t, 900);
+    EXPECT_LE(t, 1100);
+  }
+}
+
+TEST(JitteredCompute, FactorScales) {
+  Xoshiro256 rng(1);
+  const TimeNs t = jittered_compute(rng, 1000, 2.0, 0.0);
+  EXPECT_EQ(t, 2000);
+}
+
+TEST(JitteredCompute, NeverBelowOneNanosecond) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(jittered_compute(rng, 0, 1.0, 0.0), 1);
+}
+
+TEST(BuildContextTest, RngStreamsStablePerRank) {
+  TaskGraph g1(4);
+  BuildContext a(g1, 7);
+  TaskGraph g2(4);
+  BuildContext b(g2, 7);
+  for (Rank r = 0; r < 4; ++r) {
+    EXPECT_EQ(a.rng(r).next(), b.rng(r).next());
+  }
+}
+
+TEST(BuildContextTest, PersistentImbalanceInRange) {
+  TaskGraph g(64);
+  BuildContext ctx(g, 3);
+  const auto factors = ctx.persistent_imbalance(0.1);
+  ASSERT_EQ(factors.size(), 64u);
+  for (const double f : factors) {
+    EXPECT_GE(f, 0.9);
+    EXPECT_LE(f, 1.1);
+  }
+  // Not all identical.
+  EXPECT_NE(factors.front(), factors.back());
+}
+
+TEST(BuildContextTest, ZeroImbalanceIsUniform) {
+  TaskGraph g(8);
+  BuildContext ctx(g, 3);
+  for (const double f : ctx.persistent_imbalance(0.0)) {
+    EXPECT_DOUBLE_EQ(f, 1.0);
+  }
+}
+
+TEST(ComputePhaseTest, OneCalcPerRank) {
+  TaskGraph g(6);
+  BuildContext ctx(g, 1);
+  const std::vector<double> imbalance(6, 1.0);
+  compute_phase(ctx, 1000, imbalance, 0.0);
+  g.finalize();
+  EXPECT_EQ(g.total_ops(), 6u);
+  EXPECT_EQ(g.count_ops(goal::OpKind::kCalc), 6u);
+}
+
+TEST(HaloExchangeTest, SimulatesCleanly) {
+  TaskGraph g(27);
+  BuildContext ctx(g, 1);
+  const CartGrid grid(27, 3, false);
+  const NeighborLists halo = face_neighbors(grid, 4096);
+  halo_exchange(ctx, halo);
+  g.finalize();
+  EXPECT_EQ(g.count_ops(goal::OpKind::kSend),
+            g.count_ops(goal::OpKind::kRecv));
+  sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
+  EXPECT_GT(sim.run_baseline().makespan, 0);
+}
+
+TEST(HaloExchangeTest, BackToBackExchangesGetFreshTags) {
+  TaskGraph g(8);
+  BuildContext ctx(g, 1);
+  const CartGrid grid(8, 3, true);
+  const NeighborLists halo = face_neighbors(grid, 100);
+  halo_exchange(ctx, halo);
+  halo_exchange(ctx, halo);
+  g.finalize();
+  sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
+  EXPECT_GT(sim.run_baseline().makespan, 0);
+}
+
+TEST(HaloExchangeTest, RendezvousSizesDoNotDeadlock) {
+  TaskGraph g(8);
+  BuildContext ctx(g, 1);
+  const CartGrid grid(8, 3, true);
+  // 384 KB faces: well above the XC40 eager threshold.
+  const NeighborLists halo = face_neighbors(grid, 384 * 1024);
+  halo_exchange(ctx, halo);
+  g.finalize();
+  sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
+  const auto r = sim.run_baseline();
+  EXPECT_GT(r.control_messages, 0u);
+  EXPECT_EQ(r.data_messages, g.count_ops(goal::OpKind::kSend));
+}
+
+}  // namespace
+}  // namespace celog::workloads

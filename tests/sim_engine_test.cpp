@@ -1,0 +1,279 @@
+// Analytic validation of the LogGOPS engine: small graphs whose completion
+// times can be computed by hand from the model definition (the same style of
+// validation the original LogGOPSim used).
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "goal/task_graph.hpp"
+#include "noise/noise_model.hpp"
+
+namespace celog::sim {
+namespace {
+
+using goal::Op;
+using goal::SequentialBuilder;
+using goal::TaskGraph;
+
+/// Round numbers so expected times are easy to derive:
+/// o=100, L=1000, g=200, no per-byte costs, everything eager.
+NetworkParams simple_params() {
+  return NetworkParams{/*L=*/1000, /*o=*/100, /*g=*/200,
+                       /*G=*/0.0, /*O=*/0.0, /*S=*/1 << 30};
+}
+
+TEST(EngineBasics, EmptyGraphFinishesAtZero) {
+  TaskGraph g(4);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  const SimResult r = sim.run_baseline();
+  EXPECT_EQ(r.makespan, 0);
+  EXPECT_EQ(r.data_messages, 0u);
+}
+
+TEST(EngineBasics, SingleCalc) {
+  TaskGraph g(1);
+  SequentialBuilder b(g, 0);
+  b.calc(12345);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  EXPECT_EQ(sim.run_baseline().makespan, 12345);
+}
+
+TEST(EngineBasics, SequentialCalcsAccumulate) {
+  TaskGraph g(1);
+  SequentialBuilder b(g, 0);
+  b.calc(100);
+  b.calc(200);
+  b.calc(300);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  EXPECT_EQ(sim.run_baseline().makespan, 600);
+}
+
+TEST(EngineBasics, IndependentCalcsSerializeOnCpu) {
+  // Two root calcs on one rank: both ready at t=0, but one CPU.
+  TaskGraph g(1);
+  g.add_op(0, Op::calc(100));
+  g.add_op(0, Op::calc(200));
+  g.finalize();
+  Simulator sim(g, simple_params());
+  EXPECT_EQ(sim.run_baseline().makespan, 300);
+}
+
+TEST(EngineBasics, EagerMessageLatency) {
+  // send: CPU [0,100); injection at 100; arrival 100+L=1100; recv overhead
+  // [1100,1200).
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.send(1, 64, 1);
+  SequentialBuilder r(g, 1);
+  r.recv(0, 64, 1);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  const SimResult result = sim.run_baseline();
+  EXPECT_EQ(result.makespan, 1200);
+  EXPECT_EQ(result.rank_finish[0], 100);  // eager send completes locally
+  EXPECT_EQ(result.rank_finish[1], 1200);
+  EXPECT_EQ(result.data_messages, 1u);
+  EXPECT_EQ(result.control_messages, 0u);
+}
+
+TEST(EngineBasics, PingPongRoundTrip) {
+  // 2 * (o + L + o) = 2400 with these parameters.
+  TaskGraph g(2);
+  SequentialBuilder a(g, 0);
+  a.send(1, 8, 1);
+  a.recv(1, 8, 2);
+  SequentialBuilder b(g, 1);
+  b.recv(0, 8, 1);
+  b.send(0, 8, 2);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  EXPECT_EQ(sim.run_baseline().makespan, 2400);
+}
+
+TEST(EngineBasics, PerByteWireCost) {
+  // G = 1 ns/B, 1000 B: arrival = o + L + G*s = 2100; recv o -> 2200.
+  NetworkParams p = simple_params();
+  p.G = 1.0;
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.send(1, 1000, 1);
+  SequentialBuilder r(g, 1);
+  r.recv(0, 1000, 1);
+  g.finalize();
+  Simulator sim(g, p);
+  EXPECT_EQ(sim.run_baseline().makespan, 2200);
+}
+
+TEST(EngineBasics, PerByteCpuCost) {
+  // O = 0.5 ns/B, 1000 B: sender CPU o + 500; receiver the same.
+  NetworkParams p = simple_params();
+  p.O = 0.5;
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.send(1, 1000, 1);
+  SequentialBuilder r(g, 1);
+  r.recv(0, 1000, 1);
+  g.finalize();
+  Simulator sim(g, p);
+  // send CPU [0,600); arrival 600+1000=1600; recv CPU [1600,2200).
+  EXPECT_EQ(sim.run_baseline().makespan, 2200);
+}
+
+TEST(EngineBasics, NicGapSerializesInjections) {
+  // Two sends: CPU [0,100) and [100,200). First injects at 100
+  // (nic_free=300); second waits for the NIC until 300.
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.send(1, 8, 1);
+  s.send(1, 8, 2);
+  SequentialBuilder r(g, 1);
+  r.recv(0, 8, 1);
+  r.recv(0, 8, 2);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  const SimResult result = sim.run_baseline();
+  // Second arrival: 300 + 1000 = 1300; recv CPU [1300,1400) (first recv
+  // finished at 1200).
+  EXPECT_EQ(result.makespan, 1400);
+}
+
+TEST(EngineBasics, UnexpectedMessageWaitsForPost) {
+  // The message arrives at 1100 but the recv is only posted after a 5000
+  // calc: the receive overhead is charged at post time.
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.send(1, 8, 1);
+  SequentialBuilder r(g, 1);
+  r.calc(5000);
+  r.recv(0, 8, 1);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  EXPECT_EQ(sim.run_baseline().makespan, 5100);
+}
+
+TEST(EngineBasics, PostedRecvWaitsForMessage) {
+  // recv posted at 0; sender computes 5000 first: arrival 5000+100+1000.
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.calc(5000);
+  s.send(1, 8, 1);
+  SequentialBuilder r(g, 1);
+  r.recv(0, 8, 1);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  EXPECT_EQ(sim.run_baseline().makespan, 6200);
+}
+
+TEST(EngineBasics, TagMatchingSelectsCorrectMessage) {
+  // Two messages with different tags posted in the opposite order: each
+  // recv must match its own tag regardless of arrival order.
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.send(1, 100, 1);
+  s.send(1, 200, 2);
+  SequentialBuilder r(g, 1);
+  r.recv(0, 200, 2);  // posted first, matches the *second* message
+  r.recv(0, 100, 1);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  const SimResult result = sim.run_baseline();
+  EXPECT_EQ(result.data_messages, 2u);
+  EXPECT_GT(result.makespan, 0);
+}
+
+TEST(EngineBasics, FifoMatchingForEqualTags) {
+  // Same (src, tag): messages match posted recvs in order. Sizes must line
+  // up (asserted inside the engine) — this passes only if FIFO holds.
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.send(1, 100, 5);
+  s.send(1, 100, 5);
+  SequentialBuilder r(g, 1);
+  r.recv(0, 100, 5);
+  r.recv(0, 100, 5);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  EXPECT_EQ(sim.run_baseline().data_messages, 2u);
+}
+
+TEST(EngineBasics, UnmatchedRecvDeadlocks) {
+  TaskGraph g(2);
+  SequentialBuilder r(g, 1);
+  r.recv(0, 8, 1);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  EXPECT_THROW(sim.run_baseline(), DeadlockError);
+}
+
+TEST(EngineBasics, UnmatchedEagerSendCompletes) {
+  // Fire-and-forget: an eager send with no receiver completes locally
+  // (the payload just sits in the unexpected queue).
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.send(1, 8, 1);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  EXPECT_EQ(sim.run_baseline().makespan, 100);
+}
+
+TEST(EngineBasics, WrongTagDeadlocksNotMatches) {
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.send(1, 8, 1);
+  SequentialBuilder r(g, 1);
+  r.recv(0, 8, 99);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  EXPECT_THROW(sim.run_baseline(), DeadlockError);
+}
+
+TEST(EngineBasics, MakespanIsMaxRankFinish) {
+  TaskGraph g(3);
+  SequentialBuilder a(g, 0);
+  a.calc(100);
+  SequentialBuilder b(g, 1);
+  b.calc(5000);
+  SequentialBuilder c(g, 2);
+  c.calc(300);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  const SimResult r = sim.run_baseline();
+  EXPECT_EQ(r.makespan, 5000);
+  EXPECT_EQ(r.rank_finish[0], 100);
+  EXPECT_EQ(r.rank_finish[1], 5000);
+  EXPECT_EQ(r.rank_finish[2], 300);
+}
+
+TEST(EngineBasics, SlowdownPercent) {
+  SimResult base;
+  base.makespan = 1000;
+  SimResult noisy;
+  noisy.makespan = 1500;
+  EXPECT_DOUBLE_EQ(slowdown_percent(base, noisy), 50.0);
+  noisy.makespan = 1000;
+  EXPECT_DOUBLE_EQ(slowdown_percent(base, noisy), 0.0);
+}
+
+TEST(EngineBasics, IdealNetworkOnlyCountsCompute) {
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.calc(700);
+  s.send(1, 8, 1);
+  SequentialBuilder r(g, 1);
+  r.recv(0, 8, 1);
+  g.finalize();
+  Simulator sim(g, NetworkParams::ideal());
+  EXPECT_EQ(sim.run_baseline().makespan, 700);
+}
+
+TEST(EngineDeath, UnfinalizedGraphRejected) {
+  TaskGraph g(1);
+  g.add_op(0, Op::calc(1));
+  EXPECT_DEATH(Simulator(g, simple_params()), "finalized");
+}
+
+}  // namespace
+}  // namespace celog::sim

@@ -1,0 +1,233 @@
+// Noise-injection tests: CE detours stretch CPU activity, propagate along
+// communication dependencies (paper Fig. 1), and are absorbed by idle time.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "goal/task_graph.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/engine.hpp"
+
+namespace celog::sim {
+namespace {
+
+using goal::SequentialBuilder;
+using goal::TaskGraph;
+using noise::Detour;
+
+NetworkParams simple_params() {
+  return NetworkParams{/*L=*/1000, /*o=*/100, /*g=*/200,
+                       /*G=*/0.0, /*O=*/0.0, /*S=*/1 << 30};
+}
+
+/// Noise model injecting a fixed detour list on exactly one rank.
+class FixedDetourModel final : public noise::NoiseModel {
+ public:
+  FixedDetourModel(noise::RankId rank, std::vector<Detour> detours)
+      : rank_(rank), detours_(std::move(detours)) {}
+
+  std::unique_ptr<noise::DetourSource> make_source(
+      noise::RankId rank, std::uint64_t) const override {
+    if (rank != rank_) return std::make_unique<noise::NullDetourSource>();
+    return std::make_unique<noise::TraceDetourSource>(detours_);
+  }
+
+ private:
+  noise::RankId rank_;
+  std::vector<Detour> detours_;
+};
+
+TEST(SimNoise, DetourDuringCalcExtendsIt) {
+  TaskGraph g(1);
+  SequentialBuilder b(g, 0);
+  b.calc(1000);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  const FixedDetourModel noise(0, {{500, 250}});
+  const SimResult r = sim.run(noise, 1);
+  EXPECT_EQ(r.makespan, 1250);
+  EXPECT_EQ(r.noise_stolen, 250);
+  EXPECT_EQ(r.detours_charged, 1u);
+}
+
+TEST(SimNoise, DetourAfterWorkIsFree) {
+  TaskGraph g(1);
+  SequentialBuilder b(g, 0);
+  b.calc(1000);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  const FixedDetourModel noise(0, {{5000, 9999}});
+  EXPECT_EQ(sim.run(noise, 1).makespan, 1000);
+}
+
+TEST(SimNoise, Figure1DelayPropagatesAlongMessages) {
+  // Paper Fig. 1: p0 --m1--> p1 --m2--> p2. A detour on p0 just before m1
+  // delays p1, whose later m2 delays p2 — although p2 never talks to p0.
+  TaskGraph g(3);
+  SequentialBuilder p0(g, 0);
+  p0.calc(1000);
+  p0.send(1, 8, 1);
+  SequentialBuilder p1(g, 1);
+  p1.recv(0, 8, 1);
+  p1.calc(500);
+  p1.send(2, 8, 2);
+  SequentialBuilder p2(g, 2);
+  p2.recv(1, 8, 2);
+  g.finalize();
+  Simulator sim(g, simple_params());
+
+  const SimResult base = sim.run_baseline();
+  // Detour on p0 inside its calc, long before the send.
+  const FixedDetourModel noise(0, {{200, 40000}});
+  const SimResult noisy = sim.run(noise, 1);
+
+  EXPECT_EQ(noisy.rank_finish[0] - base.rank_finish[0], 40000);
+  EXPECT_EQ(noisy.rank_finish[1] - base.rank_finish[1], 40000);
+  EXPECT_EQ(noisy.rank_finish[2] - base.rank_finish[2], 40000);
+}
+
+TEST(SimNoise, SlackAbsorbsDownstreamDelay) {
+  // p1 computes 50000 before posting its recv: p0's 40000 detour is fully
+  // hidden behind p1's own compute.
+  TaskGraph g(2);
+  SequentialBuilder p0(g, 0);
+  p0.calc(1000);
+  p0.send(1, 8, 1);
+  SequentialBuilder p1(g, 1);
+  p1.calc(50000);
+  p1.recv(0, 8, 1);
+  g.finalize();
+  Simulator sim(g, simple_params());
+
+  const SimResult base = sim.run_baseline();
+  const FixedDetourModel noise(0, {{200, 40000}});
+  const SimResult noisy = sim.run(noise, 1);
+  EXPECT_EQ(base.makespan, noisy.makespan);
+}
+
+TEST(SimNoise, DetourDuringWaitIsAbsorbed) {
+  // The receiver idles from 0 until the message arrives at 31100; a detour
+  // handled entirely inside that window costs nothing.
+  TaskGraph g(2);
+  SequentialBuilder p0(g, 0);
+  p0.calc(30000);
+  p0.send(1, 8, 1);
+  SequentialBuilder p1(g, 1);
+  p1.recv(0, 8, 1);
+  g.finalize();
+  Simulator sim(g, simple_params());
+
+  const SimResult base = sim.run_baseline();
+  const FixedDetourModel noise(1, {{1000, 5000}});
+  const SimResult noisy = sim.run(noise, 1);
+  EXPECT_EQ(base.makespan, noisy.makespan);
+  EXPECT_EQ(noisy.noise_stolen, 0);
+}
+
+TEST(SimNoise, DetourOverlappingWaitEndDelaysRecvOverhead) {
+  // Message arrives at 31100; a detour [31000, 41000) is in progress: the
+  // receive overhead waits until 41000 -> completes 41100 (baseline 31200).
+  TaskGraph g(2);
+  SequentialBuilder p0(g, 0);
+  p0.calc(30000);
+  p0.send(1, 8, 1);
+  SequentialBuilder p1(g, 1);
+  p1.recv(0, 8, 1);
+  g.finalize();
+  Simulator sim(g, simple_params());
+
+  const SimResult base = sim.run_baseline();
+  EXPECT_EQ(base.makespan, 31200);
+  const FixedDetourModel noise(1, {{31000, 10000}});
+  const SimResult noisy = sim.run(noise, 1);
+  EXPECT_EQ(noisy.makespan, 41100);
+}
+
+TEST(SimNoise, UniformNoiseSlowsEveryRank) {
+  TaskGraph g(4);
+  for (goal::Rank r = 0; r < 4; ++r) {
+    SequentialBuilder b(g, r);
+    b.calc(seconds(1));
+  }
+  g.finalize();
+  Simulator sim(g, simple_params());
+  const noise::UniformCeNoiseModel noise(
+      milliseconds(10), std::make_shared<noise::FlatLoggingCost>(
+                            milliseconds(1)));
+  const SimResult base = sim.run_baseline();
+  const SimResult noisy = sim.run(noise, 1);
+  // Utilization rho = 1ms/10ms = 0.1 -> expected inflation 1/(1-rho) ~ 11%.
+  const double slowdown = slowdown_percent(base, noisy);
+  EXPECT_GT(slowdown, 7.0);
+  EXPECT_LT(slowdown, 16.0);
+  EXPECT_GT(noisy.detours_charged, 300u);  // ~100 per rank
+}
+
+TEST(SimNoise, SingleRankNoiseGatesCollectiveChain) {
+  // A dependency chain through rank 0: everyone's finish shifts by rank 0's
+  // stolen time when there is no slack.
+  TaskGraph g(2);
+  SequentialBuilder p0(g, 0);
+  p0.calc(10000);
+  p0.send(1, 8, 1);
+  SequentialBuilder p1(g, 1);
+  p1.recv(0, 8, 1);
+  p1.calc(10);
+  g.finalize();
+  Simulator sim(g, simple_params());
+  const noise::SingleRankCeNoiseModel noise(
+      0, milliseconds(1),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(100)));
+  const SimResult base = sim.run_baseline();
+  const SimResult noisy = sim.run(noise, 1);
+  EXPECT_EQ(noisy.makespan - base.makespan, noisy.noise_stolen);
+}
+
+TEST(SimNoise, OverloadedRankHitsHorizon) {
+  // MTBCE 1 ms with 5 ms per event: CE service outpaces the CPU, the busy
+  // period diverges. With a horizon set, the run must throw NoProgressError
+  // (instead of looping forever) — the paper's "unable to make any
+  // reasonable forward progress" regime.
+  TaskGraph g(1);
+  SequentialBuilder b(g, 0);
+  b.calc(seconds(1));
+  g.finalize();
+  Simulator sim(g, simple_params());
+  const noise::UniformCeNoiseModel noise(
+      milliseconds(1),
+      std::make_shared<noise::FlatLoggingCost>(milliseconds(5)));
+  EXPECT_THROW(sim.run(noise, 1, /*horizon=*/seconds(100)), NoProgressError);
+}
+
+TEST(SimNoise, HorizonGenerousEnoughPasses) {
+  // A stable configuration under a roomy horizon completes normally.
+  TaskGraph g(1);
+  SequentialBuilder b(g, 0);
+  b.calc(seconds(1));
+  g.finalize();
+  Simulator sim(g, simple_params());
+  const noise::UniformCeNoiseModel noise(
+      milliseconds(10),
+      std::make_shared<noise::FlatLoggingCost>(milliseconds(1)));
+  const SimResult r = sim.run(noise, 1, /*horizon=*/seconds(100));
+  EXPECT_GT(r.makespan, seconds(1));
+  EXPECT_LT(r.makespan, seconds(2));
+}
+
+TEST(SimNoise, StolenTimeMatchesChargedDetours) {
+  TaskGraph g(1);
+  SequentialBuilder b(g, 0);
+  b.calc(seconds(1));
+  g.finalize();
+  Simulator sim(g, simple_params());
+  const noise::UniformCeNoiseModel noise(
+      milliseconds(5),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(50)));
+  const SimResult r = sim.run(noise, 1);
+  EXPECT_EQ(r.noise_stolen,
+            static_cast<TimeNs>(r.detours_charged) * microseconds(50));
+  EXPECT_EQ(r.makespan, seconds(1) + r.noise_stolen);
+}
+
+}  // namespace
+}  // namespace celog::sim

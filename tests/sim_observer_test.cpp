@@ -1,0 +1,109 @@
+// Tests for the op-completion observer (timeline extraction hook).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "goal/task_graph.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/engine.hpp"
+
+namespace celog::sim {
+namespace {
+
+using goal::SequentialBuilder;
+using goal::TaskGraph;
+
+NetworkParams simple_params() {
+  return NetworkParams{/*L=*/1000, /*o=*/100, /*g=*/200,
+                       /*G=*/0.0, /*O=*/0.0, /*S=*/1 << 30};
+}
+
+struct Record {
+  goal::Rank rank;
+  goal::OpIndex op;
+  TimeNs time;
+};
+
+TaskGraph chain_graph() {
+  TaskGraph g(2);
+  SequentialBuilder a(g, 0);
+  a.calc(1000);
+  a.send(1, 8, 1);
+  SequentialBuilder b(g, 1);
+  b.recv(0, 8, 1);
+  b.calc(500);
+  g.finalize();
+  return g;
+}
+
+TEST(SimObserver, SeesEveryOpExactlyOnce) {
+  const TaskGraph g = chain_graph();
+  Simulator sim(g, simple_params());
+  std::vector<Record> records;
+  sim.run(noise::NoNoiseModel{}, 0, noise::RankNoise::kNoHorizon,
+          [&](goal::Rank r, goal::OpIndex op, TimeNs t) {
+            records.push_back({r, op, t});
+          });
+  ASSERT_EQ(records.size(), g.total_ops());
+  std::map<std::pair<goal::Rank, goal::OpIndex>, int> seen;
+  for (const Record& rec : records) ++seen[{rec.rank, rec.op}];
+  for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(SimObserver, CompletionTimesMatchAnalyticSchedule) {
+  const TaskGraph g = chain_graph();
+  Simulator sim(g, simple_params());
+  std::map<std::pair<goal::Rank, goal::OpIndex>, TimeNs> times;
+  const SimResult result =
+      sim.run(noise::NoNoiseModel{}, 0, noise::RankNoise::kNoHorizon,
+              [&](goal::Rank r, goal::OpIndex op, TimeNs t) {
+                times[{r, op}] = t;
+              });
+  EXPECT_EQ((times[{0, 0}]), 1000);               // calc
+  EXPECT_EQ((times[{0, 1}]), 1100);               // send local completion
+  EXPECT_EQ((times[{1, 0}]), 1100 + 1000 + 100);  // recv: arrival + o
+  EXPECT_EQ((times[{1, 1}]), 2200 + 500);         // trailing calc
+  EXPECT_EQ(result.makespan, 2700);
+}
+
+TEST(SimObserver, PerRankTimesAreNondecreasing) {
+  const TaskGraph g = chain_graph();
+  Simulator sim(g, simple_params());
+  std::map<goal::Rank, TimeNs> last;
+  sim.run(noise::NoNoiseModel{}, 0, noise::RankNoise::kNoHorizon,
+          [&](goal::Rank r, goal::OpIndex, TimeNs t) {
+            auto it = last.find(r);
+            if (it != last.end()) {
+              EXPECT_GE(t, it->second);
+            }
+            last[r] = t;
+          });
+}
+
+TEST(SimObserver, MaxObservedEqualsMakespan) {
+  const TaskGraph g = chain_graph();
+  Simulator sim(g, simple_params());
+  TimeNs max_seen = 0;
+  const noise::UniformCeNoiseModel noise(
+      milliseconds(1),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(50)));
+  const SimResult result =
+      sim.run(noise, 7, noise::RankNoise::kNoHorizon,
+              [&](goal::Rank, goal::OpIndex, TimeNs t) {
+                max_seen = std::max(max_seen, t);
+              });
+  EXPECT_EQ(max_seen, result.makespan);
+}
+
+TEST(SimObserver, EmptyCallbackIsFree) {
+  const TaskGraph g = chain_graph();
+  Simulator sim(g, simple_params());
+  const SimResult with_default = sim.run_baseline();
+  const SimResult with_empty =
+      sim.run(noise::NoNoiseModel{}, 0, noise::RankNoise::kNoHorizon, {});
+  EXPECT_EQ(with_default.makespan, with_empty.makespan);
+}
+
+}  // namespace
+}  // namespace celog::sim

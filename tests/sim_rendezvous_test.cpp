@@ -1,0 +1,144 @@
+// Rendezvous-protocol tests: messages above the eager threshold S must
+// handshake (RTS/CTS) before data moves, so large sends synchronize with the
+// receiver — and CE detours on either side delay both.
+#include <gtest/gtest.h>
+
+#include "goal/task_graph.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/engine.hpp"
+
+namespace celog::sim {
+namespace {
+
+using goal::SequentialBuilder;
+using goal::TaskGraph;
+
+NetworkParams rndv_params() {
+  // S = 64: anything bigger handshakes. o=100, L=1000, no byte costs.
+  return NetworkParams{/*L=*/1000, /*o=*/100, /*g=*/200,
+                       /*G=*/0.0, /*O=*/0.0, /*S=*/64};
+}
+
+TEST(Rendezvous, HandshakeRoundTripTiming) {
+  // RTS: CPU [0,100), arrives 1100. CTS: CPU [1100,1200), arrives 2200.
+  // Data: CPU [2200,2300), arrives 3300. Recv overhead -> 3400.
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.send(1, 1024, 1);
+  SequentialBuilder r(g, 1);
+  r.recv(0, 1024, 1);
+  g.finalize();
+  Simulator sim(g, rndv_params());
+  const SimResult result = sim.run_baseline();
+  EXPECT_EQ(result.makespan, 3400);
+  // The send op completes when the data leaves the CPU, not at the RTS.
+  EXPECT_EQ(result.rank_finish[0], 2300);
+  EXPECT_EQ(result.data_messages, 1u);
+  EXPECT_EQ(result.control_messages, 2u);  // RTS + CTS
+}
+
+TEST(Rendezvous, SenderBlocksUntilReceiverPosts) {
+  // The receiver computes 10000 before posting: CTS goes out at
+  // max(RTS arrival=1100, post=10000) -> CPU [10000,10100), arrives 11100;
+  // data CPU [11100,11200), arrives 12200; recv -> 12300.
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.send(1, 1024, 1);
+  s.calc(50);  // work after the send: delayed by the whole handshake
+  SequentialBuilder r(g, 1);
+  r.calc(10000);
+  r.recv(0, 1024, 1);
+  g.finalize();
+  Simulator sim(g, rndv_params());
+  const SimResult result = sim.run_baseline();
+  EXPECT_EQ(result.makespan, 12300);
+  EXPECT_EQ(result.rank_finish[0], 11250);  // data CPU end + calc 50
+}
+
+TEST(Rendezvous, EagerBelowThresholdUnaffected) {
+  // 64 bytes == S: still eager.
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.send(1, 64, 1);
+  SequentialBuilder r(g, 1);
+  r.recv(0, 64, 1);
+  g.finalize();
+  Simulator sim(g, rndv_params());
+  const SimResult result = sim.run_baseline();
+  EXPECT_EQ(result.makespan, 1200);
+  EXPECT_EQ(result.control_messages, 0u);
+}
+
+TEST(Rendezvous, ByteCostsChargedOnDataOnly) {
+  NetworkParams p = rndv_params();
+  p.G = 1.0;  // 1 ns per byte on the wire
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.send(1, 1000, 1);
+  SequentialBuilder r(g, 1);
+  r.recv(0, 1000, 1);
+  g.finalize();
+  Simulator sim(g, p);
+  // RTS/CTS carry no payload: 1100 + 1100; data wire time +1000:
+  // data CPU [2200,2300), arrival 2300+1000+1000=4300, recv -> 4400.
+  EXPECT_EQ(sim.run_baseline().makespan, 4400);
+}
+
+TEST(Rendezvous, UnmatchedRendezvousSendDeadlocks) {
+  // Unlike eager sends, a rendezvous send cannot complete without its
+  // receiver (no CTS ever arrives).
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.send(1, 1024, 1);
+  g.finalize();
+  Simulator sim(g, rndv_params());
+  EXPECT_THROW(sim.run_baseline(), DeadlockError);
+}
+
+TEST(Rendezvous, MixedEagerAndRendezvousOnOneLink) {
+  TaskGraph g(2);
+  SequentialBuilder s(g, 0);
+  s.begin_phase();
+  s.send(1, 8, 1);      // eager
+  s.send(1, 4096, 2);   // rendezvous
+  s.end_phase();
+  SequentialBuilder r(g, 1);
+  r.begin_phase();
+  r.recv(0, 8, 1);
+  r.recv(0, 4096, 2);
+  r.end_phase();
+  g.finalize();
+  Simulator sim(g, rndv_params());
+  const SimResult result = sim.run_baseline();
+  EXPECT_EQ(result.data_messages, 2u);
+  EXPECT_EQ(result.control_messages, 2u);
+}
+
+TEST(Rendezvous, ExchangeBothDirectionsNoDeadlock) {
+  // Symmetric large-message exchange posted as a nonblocking phase: the
+  // handshake must not deadlock (both RTS fly, both CTS return).
+  TaskGraph g(2);
+  for (goal::Rank rank = 0; rank < 2; ++rank) {
+    SequentialBuilder b(g, rank);
+    b.begin_phase();
+    b.send(1 - rank, 100000, 1);
+    b.recv(1 - rank, 100000, 1);
+    b.end_phase();
+    b.calc(10);
+  }
+  g.finalize();
+  Simulator sim(g, rndv_params());
+  const SimResult result = sim.run_baseline();
+  EXPECT_EQ(result.data_messages, 2u);
+  EXPECT_EQ(result.control_messages, 4u);
+  EXPECT_EQ(result.rank_finish[0], result.rank_finish[1]);
+}
+
+TEST(Rendezvous, ThresholdBoundaryExact) {
+  NetworkParams p = rndv_params();
+  EXPECT_TRUE(p.eager(64));
+  EXPECT_FALSE(p.eager(65));
+}
+
+}  // namespace
+}  // namespace celog::sim

@@ -1,0 +1,262 @@
+#include "workloads/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace celog::workloads {
+namespace {
+
+using goal::Rank;
+
+TEST(DimsCreate, ProductAlwaysEqualsP) {
+  for (const Rank p : {1, 2, 3, 4, 6, 12, 64, 100, 125, 128, 512, 16000}) {
+    for (int nd = 1; nd <= 4; ++nd) {
+      const auto dims = dims_create(p, nd);
+      Rank product = 1;
+      for (int i = 0; i < nd; ++i) product *= dims[static_cast<std::size_t>(i)];
+      EXPECT_EQ(product, p) << "p=" << p << " nd=" << nd;
+      for (int i = nd; i < kMaxDims; ++i) {
+        EXPECT_EQ(dims[static_cast<std::size_t>(i)], 1);
+      }
+    }
+  }
+}
+
+TEST(DimsCreate, BalancedCubes) {
+  const auto d64 = dims_create(64, 3);
+  EXPECT_EQ(d64[0], 4);
+  EXPECT_EQ(d64[1], 4);
+  EXPECT_EQ(d64[2], 4);
+
+  const auto d512 = dims_create(512, 3);
+  EXPECT_EQ(d512[0], 8);
+  EXPECT_EQ(d512[1], 8);
+  EXPECT_EQ(d512[2], 8);
+
+  const auto d125 = dims_create(125, 3);
+  EXPECT_EQ(d125[0], 5);
+  EXPECT_EQ(d125[1], 5);
+  EXPECT_EQ(d125[2], 5);
+}
+
+TEST(DimsCreate, SortedDescending) {
+  const auto dims = dims_create(12, 3);
+  EXPECT_GE(dims[0], dims[1]);
+  EXPECT_GE(dims[1], dims[2]);
+}
+
+TEST(DimsCreate, TwoDim) {
+  const auto dims = dims_create(6, 2);
+  EXPECT_EQ(dims[0], 3);
+  EXPECT_EQ(dims[1], 2);
+}
+
+TEST(DimsCreate, PrimeGoesToOneDim) {
+  const auto dims = dims_create(17, 3);
+  EXPECT_EQ(dims[0], 17);
+  EXPECT_EQ(dims[1], 1);
+  EXPECT_EQ(dims[2], 1);
+}
+
+TEST(CartGridTest, CoordsRoundTrip) {
+  const CartGrid grid(24, 3, false);
+  for (Rank r = 0; r < grid.size(); ++r) {
+    EXPECT_EQ(grid.rank_of(grid.coords(r)), r);
+  }
+}
+
+TEST(CartGridTest, CoordsInRange) {
+  const CartGrid grid(30, 3, false);
+  for (Rank r = 0; r < grid.size(); ++r) {
+    const auto c = grid.coords(r);
+    for (int d = 0; d < grid.ndims(); ++d) {
+      EXPECT_GE(c[static_cast<std::size_t>(d)], 0);
+      EXPECT_LT(c[static_cast<std::size_t>(d)], grid.dim(d));
+    }
+  }
+}
+
+TEST(CartGridTest, OpenBoundariesReturnNullopt) {
+  const CartGrid grid({std::array<Rank, kMaxDims>{4, 1, 1, 1}}, 1, false);
+  EXPECT_FALSE(grid.neighbor(0, 0, -1).has_value());
+  EXPECT_EQ(grid.neighbor(0, 0, 1), 1);
+  EXPECT_EQ(grid.neighbor(3, 0, -1), 2);
+  EXPECT_FALSE(grid.neighbor(3, 0, 1).has_value());
+}
+
+TEST(CartGridTest, PeriodicWrap) {
+  const CartGrid grid({std::array<Rank, kMaxDims>{4, 1, 1, 1}}, 1, true);
+  EXPECT_EQ(grid.neighbor(0, 0, -1), 3);
+  EXPECT_EQ(grid.neighbor(3, 0, 1), 0);
+}
+
+TEST(CartGridTest, SizeOneDimHasNoNeighbors) {
+  const CartGrid grid({std::array<Rank, kMaxDims>{5, 1, 1, 1}}, 2, true);
+  EXPECT_FALSE(grid.neighbor(0, 1, 1).has_value());
+  EXPECT_FALSE(grid.neighbor(0, 1, -1).has_value());
+}
+
+TEST(CartGridTest, SizeTwoPeriodicCollapsesDirections) {
+  // In a periodic dimension of size 2, +1 and -1 reach the same rank.
+  const CartGrid grid({std::array<Rank, kMaxDims>{2, 1, 1, 1}}, 1, true);
+  EXPECT_EQ(grid.neighbor(0, 0, 1), 1);
+  EXPECT_EQ(grid.neighbor(0, 0, -1), 1);
+}
+
+TEST(CartGridTest, NeighborAtZeroOffsetIsNull) {
+  const CartGrid grid(8, 3, true);
+  EXPECT_FALSE(grid.neighbor_at(3, {0, 0, 0, 0}).has_value());
+}
+
+TEST(CartGridTest, DiagonalNeighbor) {
+  const CartGrid grid({std::array<Rank, kMaxDims>{3, 3, 1, 1}}, 2, false);
+  // rank 0 = (0,0); diagonal (1,1) = rank 4.
+  EXPECT_EQ(grid.neighbor_at(0, {1, 1, 0, 0}), 4);
+  EXPECT_FALSE(grid.neighbor_at(0, {-1, -1, 0, 0}).has_value());
+}
+
+TEST(FaceNeighborsTest, CountsAndSymmetry) {
+  const CartGrid grid(27, 3, false);  // 3x3x3
+  const NeighborLists lists = face_neighbors(grid, 1000);
+  lists.validate_symmetry();
+  // The center rank (1,1,1) = 13 has all 6 face neighbors.
+  EXPECT_EQ(lists.links[13].size(), 6u);
+  // A corner has 3.
+  EXPECT_EQ(lists.links[0].size(), 3u);
+  for (const auto& [peer, bytes] : lists.links[13]) {
+    EXPECT_EQ(bytes, 1000);
+  }
+}
+
+TEST(FaceNeighborsTest, PeriodicGivesEveryoneFullDegree) {
+  const CartGrid grid(64, 3, true);  // 4x4x4 periodic
+  const NeighborLists lists = face_neighbors(grid, 8);
+  lists.validate_symmetry();
+  for (const auto& links : lists.links) {
+    EXPECT_EQ(links.size(), 6u);
+  }
+}
+
+TEST(FaceNeighborsTest, FourDimPeriodicDegreeEight) {
+  const CartGrid grid(81, 4, true);  // 3x3x3x3
+  const NeighborLists lists = face_neighbors(grid, 8);
+  lists.validate_symmetry();
+  for (const auto& links : lists.links) {
+    EXPECT_EQ(links.size(), 8u);
+  }
+}
+
+TEST(FullNeighbors3dTest, CenterHas26WithClassSizes) {
+  const CartGrid grid(27, 3, false);
+  const NeighborLists lists = full_neighbors_3d(grid, 1000, 100, 10);
+  lists.validate_symmetry();
+  ASSERT_EQ(lists.links[13].size(), 26u);
+  int faces = 0;
+  int edges = 0;
+  int corners = 0;
+  for (const auto& [peer, bytes] : lists.links[13]) {
+    if (bytes == 1000) ++faces;
+    else if (bytes == 100) ++edges;
+    else if (bytes == 10) ++corners;
+  }
+  EXPECT_EQ(faces, 6);
+  EXPECT_EQ(edges, 12);
+  EXPECT_EQ(corners, 8);
+}
+
+TEST(FullNeighbors3dTest, CornerRankHasSeven) {
+  const CartGrid grid(27, 3, false);
+  const NeighborLists lists = full_neighbors_3d(grid, 1000, 100, 10);
+  // Corner (0,0,0): 3 faces + 3 edges + 1 corner.
+  EXPECT_EQ(lists.links[0].size(), 7u);
+}
+
+TEST(FullNeighbors3dTest, FlatGridClassifiesAsFaces) {
+  // An 8x1x1 "3-D" grid must not invent edge/corner links through the
+  // size-1 dimensions.
+  const CartGrid grid({std::array<Rank, kMaxDims>{8, 1, 1, 1}}, 3, false);
+  const NeighborLists lists = full_neighbors_3d(grid, 1000, 100, 10);
+  lists.validate_symmetry();
+  for (Rank r = 0; r < 8; ++r) {
+    for (const auto& [peer, bytes] : lists.links[static_cast<std::size_t>(r)]) {
+      EXPECT_EQ(bytes, 1000);
+    }
+  }
+  EXPECT_EQ(lists.links[3].size(), 2u);
+}
+
+TEST(TileBlocksTest, LinksStayInsideBlocks) {
+  const auto lists = tile_blocks(32, 8, [](Rank block) {
+    return face_neighbors(CartGrid(block, 3, true), 100);
+  });
+  lists.validate_symmetry();
+  for (Rank r = 0; r < 32; ++r) {
+    for (const auto& [peer, bytes] : lists.links[static_cast<std::size_t>(r)]) {
+      EXPECT_EQ(peer / 8, r / 8) << "rank " << r << " -> " << peer;
+      EXPECT_EQ(bytes, 100);
+    }
+  }
+}
+
+TEST(TileBlocksTest, BlocksAreIdenticalReplicas) {
+  const auto lists = tile_blocks(24, 8, [](Rank block) {
+    return face_neighbors(CartGrid(block, 2, false), 64);
+  });
+  for (Rank r = 0; r < 8; ++r) {
+    const auto& first = lists.links[static_cast<std::size_t>(r)];
+    for (Rank k = 1; k < 3; ++k) {
+      const auto& copy = lists.links[static_cast<std::size_t>(r + k * 8)];
+      ASSERT_EQ(copy.size(), first.size());
+      for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(copy[i].first, first[i].first + k * 8);
+        EXPECT_EQ(copy[i].second, first[i].second);
+      }
+    }
+  }
+}
+
+TEST(TileBlocksTest, PartialTailBlockBuiltSeparately) {
+  // 10 ranks in blocks of 4: two full blocks + a tail of 2.
+  const auto lists = tile_blocks(10, 4, [](Rank block) {
+    return face_neighbors(CartGrid(block, 1, false), 8);
+  });
+  lists.validate_symmetry();
+  // Tail ranks 8 and 9 form a 2-rank chain: one neighbor each.
+  EXPECT_EQ(lists.links[8].size(), 1u);
+  EXPECT_EQ(lists.links[8][0].first, 9);
+  EXPECT_EQ(lists.links[9].size(), 1u);
+}
+
+TEST(TileBlocksTest, BlockOfOneHasNoLinks) {
+  const auto lists = tile_blocks(16, 1, [](Rank block) {
+    return face_neighbors(CartGrid(block, 3, true), 8);
+  });
+  for (const auto& links : lists.links) EXPECT_TRUE(links.empty());
+}
+
+TEST(TileBlocksTest, BlockLargerThanTotalClamps) {
+  const auto lists = tile_blocks(6, 100, [](Rank block) {
+    return face_neighbors(CartGrid(block, 1, false), 8);
+  });
+  EXPECT_EQ(lists.ranks(), 6);
+  EXPECT_EQ(lists.links[0].size(), 1u);
+  EXPECT_EQ(lists.links[3].size(), 2u);  // interior of the 6-chain
+}
+
+TEST(NeighborListsTest, SymmetryValidatorCatchesAsymmetry) {
+  NeighborLists lists;
+  lists.links.resize(2);
+  lists.links[0].emplace_back(1, 100);
+  EXPECT_THROW(lists.validate_symmetry(), InvalidInputError);
+  lists.links[1].emplace_back(0, 999);  // size mismatch is also asymmetric
+  EXPECT_THROW(lists.validate_symmetry(), InvalidInputError);
+  lists.links[1][0].second = 100;
+  EXPECT_NO_THROW(lists.validate_symmetry());
+}
+
+}  // namespace
+}  // namespace celog::workloads

@@ -1,0 +1,210 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+#include "workloads/workload.hpp"
+
+namespace celog::trace {
+namespace {
+
+using goal::Op;
+using goal::SequentialBuilder;
+using goal::TaskGraph;
+
+TaskGraph sample_graph() {
+  TaskGraph g(3);
+  SequentialBuilder a(g, 0);
+  a.calc(1000);
+  a.begin_phase();
+  a.send(1, 4096, 7);
+  a.recv(2, 16, 9);
+  a.end_phase();
+  a.calc(500);
+  SequentialBuilder b(g, 1);
+  b.recv(0, 4096, 7);
+  SequentialBuilder c(g, 2);
+  c.send(0, 16, 9);
+  g.finalize();
+  return g;
+}
+
+TEST(TraceIo, RoundTripPreservesOpsAndEdges) {
+  const TaskGraph original = sample_graph();
+  std::ostringstream out;
+  write_goal(out, original);
+  std::istringstream in(out.str());
+  const TaskGraph parsed = read_goal(in);
+
+  ASSERT_EQ(parsed.ranks(), original.ranks());
+  EXPECT_EQ(parsed.total_ops(), original.total_ops());
+  EXPECT_EQ(parsed.total_edges(), original.total_edges());
+  for (goal::Rank r = 0; r < original.ranks(); ++r) {
+    const auto& po = original.program(r);
+    const auto& pp = parsed.program(r);
+    ASSERT_EQ(pp.size(), po.size());
+    for (goal::OpIndex i = 0; i < po.size(); ++i) {
+      EXPECT_EQ(pp.op(i), po.op(i)) << "rank " << r << " op " << i;
+      EXPECT_EQ(pp.in_degree(i), po.in_degree(i));
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripSimulatesIdentically) {
+  const TaskGraph original = sample_graph();
+  std::ostringstream out;
+  write_goal(out, original);
+  std::istringstream in(out.str());
+  const TaskGraph parsed = read_goal(in);
+
+  sim::Simulator so(original, sim::NetworkParams::cray_xc40());
+  sim::Simulator sp(parsed, sim::NetworkParams::cray_xc40());
+  EXPECT_EQ(so.run_baseline().makespan, sp.run_baseline().makespan);
+}
+
+TEST(TraceIo, WorkloadGraphRoundTrips) {
+  workloads::WorkloadConfig c;
+  c.ranks = 8;
+  c.iterations = 2;
+  const TaskGraph original = workloads::find_workload("hpcg")->build(c);
+  std::ostringstream out;
+  write_goal(out, original);
+  std::istringstream in(out.str());
+  const TaskGraph parsed = read_goal(in);
+  EXPECT_EQ(parsed.total_ops(), original.total_ops());
+  sim::Simulator so(original, sim::NetworkParams::cray_xc40());
+  sim::Simulator sp(parsed, sim::NetworkParams::cray_xc40());
+  EXPECT_EQ(so.run_baseline().makespan, sp.run_baseline().makespan);
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  std::istringstream in(
+      "# a comment\n"
+      "celog-goal 1\n"
+      "\n"
+      "ranks 1\n"
+      "# another\n"
+      "rank 0 ops 1 deps 0\n"
+      "calc 42\n");
+  const TaskGraph g = read_goal(in);
+  EXPECT_EQ(g.total_ops(), 1u);
+  EXPECT_EQ(g.program(0).op(0).size_or_duration, 42);
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  std::istringstream in("not-a-trace 1\n");
+  EXPECT_THROW(read_goal(in), ParseError);
+}
+
+TEST(TraceIo, RejectsWrongVersion) {
+  std::istringstream in("celog-goal 2\nranks 1\n");
+  EXPECT_THROW(read_goal(in), ParseError);
+}
+
+TEST(TraceIo, RejectsMissingRanks) {
+  std::istringstream in("celog-goal 1\n");
+  EXPECT_THROW(read_goal(in), ParseError);
+}
+
+TEST(TraceIo, RejectsPeerOutOfRange) {
+  std::istringstream in(
+      "celog-goal 1\nranks 2\n"
+      "rank 0 ops 1 deps 0\nsend 5 100 0\n"
+      "rank 1 ops 0 deps 0\n");
+  EXPECT_THROW(read_goal(in), ParseError);
+}
+
+TEST(TraceIo, RejectsSelfMessage) {
+  std::istringstream in(
+      "celog-goal 1\nranks 2\n"
+      "rank 0 ops 1 deps 0\nsend 0 100 0\n"
+      "rank 1 ops 0 deps 0\n");
+  EXPECT_THROW(read_goal(in), ParseError);
+}
+
+TEST(TraceIo, RejectsUnknownOp) {
+  std::istringstream in(
+      "celog-goal 1\nranks 1\n"
+      "rank 0 ops 1 deps 0\nfoo 1\n");
+  EXPECT_THROW(read_goal(in), ParseError);
+}
+
+TEST(TraceIo, RejectsDepOutOfRange) {
+  std::istringstream in(
+      "celog-goal 1\nranks 1\n"
+      "rank 0 ops 1 deps 1\ncalc 1\ndep 0 5\n");
+  EXPECT_THROW(read_goal(in), ParseError);
+}
+
+TEST(TraceIo, RejectsTruncatedFile) {
+  std::istringstream in(
+      "celog-goal 1\nranks 1\n"
+      "rank 0 ops 2 deps 0\ncalc 1\n");
+  EXPECT_THROW(read_goal(in), ParseError);
+}
+
+TEST(TraceIo, SaveLoadFile) {
+  const TaskGraph original = sample_graph();
+  const std::string path = ::testing::TempDir() + "/celog_trace_test.goal";
+  save_goal(path, original);
+  const TaskGraph loaded = load_goal(path);
+  EXPECT_EQ(loaded.total_ops(), original.total_ops());
+}
+
+TEST(TraceIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_goal("/nonexistent/path/x.goal"), ParseError);
+}
+
+TEST(Extrapolate, FactorOneIsIdentity) {
+  const TaskGraph original = sample_graph();
+  const TaskGraph out = extrapolate(original, 1);
+  EXPECT_EQ(out.ranks(), original.ranks());
+  EXPECT_EQ(out.total_ops(), original.total_ops());
+  sim::Simulator so(original, sim::NetworkParams::cray_xc40());
+  sim::Simulator se(out, sim::NetworkParams::cray_xc40());
+  EXPECT_EQ(so.run_baseline().makespan, se.run_baseline().makespan);
+}
+
+TEST(Extrapolate, BlocksAreIndependentReplicas) {
+  const TaskGraph original = sample_graph();
+  const TaskGraph out = extrapolate(original, 4);
+  EXPECT_EQ(out.ranks(), 12);
+  EXPECT_EQ(out.total_ops(), original.total_ops() * 4);
+  // Peers stay within each block.
+  for (goal::Rank r = 0; r < out.ranks(); ++r) {
+    const goal::Rank block = r / 3;
+    const auto& prog = out.program(r);
+    for (goal::OpIndex i = 0; i < prog.size(); ++i) {
+      const auto& op = prog.op(i);
+      if (op.kind != goal::OpKind::kCalc) {
+        EXPECT_EQ(op.peer / 3, block);
+      }
+    }
+  }
+}
+
+TEST(Extrapolate, MakespanMatchesOriginal) {
+  // Identical independent replicas: the extrapolated system's makespan
+  // equals the original's (weak scaling of a balanced trace).
+  const TaskGraph original = sample_graph();
+  const TaskGraph out = extrapolate(original, 8);
+  sim::Simulator so(original, sim::NetworkParams::cray_xc40());
+  sim::Simulator se(out, sim::NetworkParams::cray_xc40());
+  EXPECT_EQ(so.run_baseline().makespan, se.run_baseline().makespan);
+}
+
+TEST(Extrapolate, ExtrapolatedTraceRoundTrips) {
+  const TaskGraph out = extrapolate(sample_graph(), 3);
+  std::ostringstream os;
+  write_goal(os, out);
+  std::istringstream is(os.str());
+  const TaskGraph parsed = read_goal(is);
+  EXPECT_EQ(parsed.ranks(), out.ranks());
+  EXPECT_EQ(parsed.total_ops(), out.total_ops());
+}
+
+}  // namespace
+}  // namespace celog::trace

@@ -1,0 +1,152 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace celog {
+namespace {
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values for seed 0 from the public-domain splitmix64.c.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro256, StreamsAreIndependent) {
+  // Same base seed, different stream ids -> different sequences; same ids
+  // -> identical sequences.
+  Xoshiro256 s0 = Xoshiro256::for_stream(42, 0);
+  Xoshiro256 s1 = Xoshiro256::for_stream(42, 1);
+  Xoshiro256 s0b = Xoshiro256::for_stream(42, 0);
+  EXPECT_NE(s0.next(), s1.next());
+  Xoshiro256 s0c = Xoshiro256::for_stream(42, 0);
+  EXPECT_EQ(s0c.next(), s0b.next());
+}
+
+TEST(Xoshiro256, Uniform01InRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, Uniform01OpenLowNeverZero) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01_open_low();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, Uniform01MeanIsHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, UniformBelowRespectsBound) {
+  Xoshiro256 rng(3);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.uniform_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, UniformBelowCoversAllValues) {
+  Xoshiro256 rng(5);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[rng.uniform_below(8)];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);  // each bucket near 1000
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(SampleExponential, MeanMatches) {
+  Xoshiro256 rng(17);
+  const TimeNs mean = seconds(2);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(sample_exponential(rng, mean));
+  }
+  EXPECT_NEAR(sum / n / static_cast<double>(mean), 1.0, 0.02);
+}
+
+TEST(SampleExponential, AlwaysPositive) {
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(sample_exponential(rng, 1), 1);
+  }
+}
+
+TEST(SampleExponential, MemorylessTail) {
+  // P(X > mean) should be ~ e^-1 ~ 0.368.
+  Xoshiro256 rng(23);
+  const TimeNs mean = milliseconds(10);
+  int over = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (sample_exponential(rng, mean) > mean) ++over;
+  }
+  EXPECT_NEAR(static_cast<double>(over) / n, 0.3679, 0.01);
+}
+
+TEST(SampleUniform, CoversRangeInclusive) {
+  Xoshiro256 rng(29);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const TimeNs v = sample_uniform(rng, 5, 8);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 8);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(SampleUniform, DegenerateRange) {
+  Xoshiro256 rng(31);
+  EXPECT_EQ(sample_uniform(rng, 7, 7), 7);
+}
+
+TEST(SampleUniform, NegativeRange) {
+  Xoshiro256 rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    const TimeNs v = sample_uniform(rng, -10, 10);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, 10);
+  }
+}
+
+}  // namespace
+}  // namespace celog

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace celog {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name  | value"), std::string::npos);
+  EXPECT_NE(out.find("------+------"), std::string::npos);
+  EXPECT_NE(out.find("alpha |     1"), std::string::npos);
+  EXPECT_NE(out.find("b     |    22"), std::string::npos);
+}
+
+TEST(TextTableTest, FirstColumnLeftAlignedByDefault) {
+  TextTable t({"k", "v"});
+  t.add_row({"a", "1"});
+  t.add_row({"long", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a    |"), std::string::npos);
+}
+
+TEST(TextTableTest, SetAlignOverrides) {
+  TextTable t({"k", "v"});
+  t.set_align(1, Align::kLeft);
+  t.add_row({"a", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a | 1 "), std::string::npos);
+}
+
+TEST(TextTableTest, CountsRowsAndColumns) {
+  TextTable t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Formatting, FixedAndSci) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.0, 0), "3");
+  EXPECT_EQ(format_sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(Formatting, PercentBuckets) {
+  EXPECT_EQ(format_percent(0.005), "<0.01");
+  EXPECT_EQ(format_percent(0.5), "0.50");
+  EXPECT_EQ(format_percent(42.123), "42.12");
+  EXPECT_EQ(format_percent(537.0), "537.0");
+}
+
+TEST(Formatting, CountSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(16384), "16,384");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(-16384), "-16,384");
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  bool parse(std::initializer_list<const char*> args) {
+    argv_.assign(args.begin(), args.end());
+    argv_.insert(argv_.begin(), "prog");
+    return cli_.parse(static_cast<int>(argv_.size()), argv_.data());
+  }
+
+  Cli cli_{"test program"};
+  std::vector<const char*> argv_;
+};
+
+TEST_F(CliTest, DefaultsApply) {
+  cli_.add_option("nodes", "1024", "node count");
+  ASSERT_TRUE(parse({}));
+  EXPECT_EQ(cli_.get("nodes"), "1024");
+  EXPECT_EQ(cli_.get_int("nodes"), 1024);
+}
+
+TEST_F(CliTest, SpaceSeparatedValue) {
+  cli_.add_option("nodes", "1024", "node count");
+  ASSERT_TRUE(parse({"--nodes", "64"}));
+  EXPECT_EQ(cli_.get_int("nodes"), 64);
+}
+
+TEST_F(CliTest, EqualsSeparatedValue) {
+  cli_.add_option("mtbce-s", "1.0", "mtbce");
+  ASSERT_TRUE(parse({"--mtbce-s=0.25"}));
+  EXPECT_DOUBLE_EQ(cli_.get_double("mtbce-s"), 0.25);
+}
+
+TEST_F(CliTest, FlagsDefaultOffAndTurnOn) {
+  cli_.add_flag("full", "run at paper scale");
+  ASSERT_TRUE(parse({}));
+  EXPECT_FALSE(cli_.get_flag("full"));
+  ASSERT_TRUE(parse({"--full"}));
+  EXPECT_TRUE(cli_.get_flag("full"));
+}
+
+TEST_F(CliTest, UnknownOptionFails) {
+  cli_.add_option("nodes", "1", "n");
+  EXPECT_FALSE(parse({"--bogus", "3"}));
+  EXPECT_FALSE(cli_.error().empty());
+}
+
+TEST_F(CliTest, MissingValueFails) {
+  cli_.add_option("nodes", "1", "n");
+  EXPECT_FALSE(parse({"--nodes"}));
+  EXPECT_FALSE(cli_.error().empty());
+}
+
+TEST_F(CliTest, FlagWithValueFails) {
+  cli_.add_flag("full", "f");
+  EXPECT_FALSE(parse({"--full=1"}));
+}
+
+TEST_F(CliTest, PositionalArgumentFails) {
+  EXPECT_FALSE(parse({"stray"}));
+}
+
+TEST_F(CliTest, HelpReturnsFalseWithoutError) {
+  cli_.add_option("nodes", "1", "n");
+  EXPECT_FALSE(parse({"--help"}));
+  EXPECT_TRUE(cli_.error().empty());
+}
+
+TEST_F(CliTest, NonNumericValueThrows) {
+  cli_.add_option("nodes", "1", "n");
+  ASSERT_TRUE(parse({"--nodes", "abc"}));
+  EXPECT_THROW(cli_.get_int("nodes"), ParseError);
+  EXPECT_THROW(cli_.get_double("nodes"), ParseError);
+}
+
+TEST_F(CliTest, UsageListsOptions) {
+  cli_.add_option("nodes", "1024", "node count");
+  cli_.add_flag("full", "paper scale");
+  const std::string u = cli_.usage();
+  EXPECT_NE(u.find("--nodes"), std::string::npos);
+  EXPECT_NE(u.find("--full"), std::string::npos);
+  EXPECT_NE(u.find("node count"), std::string::npos);
+  EXPECT_NE(u.find("default: 1024"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace celog

@@ -1,0 +1,71 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace celog {
+namespace {
+
+TEST(TimeUnits, ConstantsCompose) {
+  EXPECT_EQ(kMicrosecond, 1000);
+  EXPECT_EQ(kMillisecond, 1000 * 1000);
+  EXPECT_EQ(kSecond, 1000 * 1000 * 1000);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 3600 * kSecond);
+  EXPECT_EQ(kYear, 365 * 24 * kHour);
+}
+
+TEST(TimeUnits, BuildersMatchConstants) {
+  EXPECT_EQ(nanoseconds(5), 5);
+  EXPECT_EQ(microseconds(5), 5 * kMicrosecond);
+  EXPECT_EQ(milliseconds(5), 5 * kMillisecond);
+  EXPECT_EQ(seconds(5), 5 * kSecond);
+}
+
+TEST(TimeUnits, FromSecondsRoundsToNearest) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(0.5), 500 * kMillisecond);
+  EXPECT_EQ(from_seconds(1e-9), 1);
+  EXPECT_EQ(from_seconds(0.25e-9), 0);  // rounds down
+  EXPECT_EQ(from_seconds(0.75e-9), 1);  // rounds up
+}
+
+TEST(TimeUnits, ToSecondsInvertsFromSeconds) {
+  for (const double s : {0.0, 1.0, 0.125, 3600.0, 5544.0}) {
+    EXPECT_DOUBLE_EQ(to_seconds(from_seconds(s)), s);
+  }
+}
+
+TEST(TimeUnits, ConversionHelpers) {
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(microseconds(500)), 0.5);
+}
+
+TEST(TimeUnits, YearCoversTableTwoMath) {
+  // Cielo: 26.35 CEs/node/yr -> MTBCE ~ 1.2e6 s (Table II).
+  const double mtbce_s = to_seconds(kYear) / 26.35;
+  EXPECT_NEAR(mtbce_s, 1.2e6, 0.01e6);
+}
+
+TEST(FormatDuration, PicksSensibleUnits) {
+  EXPECT_EQ(format_duration(150), "150 ns");
+  EXPECT_EQ(format_duration(microseconds(775)), "775.000 us");
+  EXPECT_EQ(format_duration(milliseconds(133)), "133.000 ms");
+  EXPECT_EQ(format_duration(seconds(12)), "12.000 s");
+  EXPECT_EQ(format_duration(kMinute * 2), "2.00 min");
+  EXPECT_EQ(format_duration(kHour * 3), "3.00 h");
+}
+
+TEST(FormatDuration, NegativeDurations) {
+  EXPECT_EQ(format_duration(-150), "-150 ns");
+  EXPECT_EQ(format_duration(-milliseconds(5)), "-5.000 ms");
+}
+
+TEST(FormatDuration, BoundaryValues) {
+  EXPECT_EQ(format_duration(0), "0 ns");
+  EXPECT_EQ(format_duration(999), "999 ns");
+  EXPECT_EQ(format_duration(1000), "1.000 us");
+}
+
+}  // namespace
+}  // namespace celog
