@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_absorption.dir/ablation_absorption.cpp.o"
+  "CMakeFiles/ablation_absorption.dir/ablation_absorption.cpp.o.d"
+  "ablation_absorption"
+  "ablation_absorption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_absorption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

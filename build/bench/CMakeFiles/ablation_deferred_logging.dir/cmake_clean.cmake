@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deferred_logging.dir/ablation_deferred_logging.cpp.o"
+  "CMakeFiles/ablation_deferred_logging.dir/ablation_deferred_logging.cpp.o.d"
+  "ablation_deferred_logging"
+  "ablation_deferred_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deferred_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

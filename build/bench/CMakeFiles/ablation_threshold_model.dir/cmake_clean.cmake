@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_threshold_model.dir/ablation_threshold_model.cpp.o"
+  "CMakeFiles/ablation_threshold_model.dir/ablation_threshold_model.cpp.o.d"
+  "ablation_threshold_model"
+  "ablation_threshold_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_threshold_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

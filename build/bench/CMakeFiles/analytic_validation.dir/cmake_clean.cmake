@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_validation.dir/analytic_validation.cpp.o"
+  "CMakeFiles/analytic_validation.dir/analytic_validation.cpp.o.d"
+  "analytic_validation"
+  "analytic_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

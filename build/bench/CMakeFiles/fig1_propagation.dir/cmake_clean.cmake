@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_propagation.dir/fig1_propagation.cpp.o"
+  "CMakeFiles/fig1_propagation.dir/fig1_propagation.cpp.o.d"
+  "fig1_propagation"
+  "fig1_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

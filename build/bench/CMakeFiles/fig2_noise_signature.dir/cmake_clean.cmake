@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_noise_signature.dir/fig2_noise_signature.cpp.o"
+  "CMakeFiles/fig2_noise_signature.dir/fig2_noise_signature.cpp.o.d"
+  "fig2_noise_signature"
+  "fig2_noise_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_noise_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

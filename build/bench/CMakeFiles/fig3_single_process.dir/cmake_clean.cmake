@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_single_process.dir/fig3_single_process.cpp.o"
+  "CMakeFiles/fig3_single_process.dir/fig3_single_process.cpp.o.d"
+  "fig3_single_process"
+  "fig3_single_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_single_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_current_systems.dir/fig4_current_systems.cpp.o"
+  "CMakeFiles/fig4_current_systems.dir/fig4_current_systems.cpp.o.d"
+  "fig4_current_systems"
+  "fig4_current_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_current_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_exascale.dir/fig5_exascale.cpp.o"
+  "CMakeFiles/fig5_exascale.dir/fig5_exascale.cpp.o.d"
+  "fig5_exascale"
+  "fig5_exascale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_exascale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_software_limits.dir/fig6_software_limits.cpp.o"
+  "CMakeFiles/fig6_software_limits.dir/fig6_software_limits.cpp.o.d"
+  "fig6_software_limits"
+  "fig6_software_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_software_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_duration_sweep.dir/fig7_duration_sweep.cpp.o"
+  "CMakeFiles/fig7_duration_sweep.dir/fig7_duration_sweep.cpp.o.d"
+  "fig7_duration_sweep"
+  "fig7_duration_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_duration_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

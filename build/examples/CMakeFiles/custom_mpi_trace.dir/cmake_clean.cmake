@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_mpi_trace.dir/custom_mpi_trace.cpp.o"
+  "CMakeFiles/custom_mpi_trace.dir/custom_mpi_trace.cpp.o.d"
+  "custom_mpi_trace"
+  "custom_mpi_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_mpi_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

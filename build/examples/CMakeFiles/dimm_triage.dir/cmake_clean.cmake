@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimm_triage.dir/dimm_triage.cpp.o"
+  "CMakeFiles/dimm_triage.dir/dimm_triage.cpp.o.d"
+  "dimm_triage"
+  "dimm_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimm_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propagation.dir/propagation.cpp.o"
+  "CMakeFiles/propagation.dir/propagation.cpp.o.d"
+  "propagation"
+  "propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

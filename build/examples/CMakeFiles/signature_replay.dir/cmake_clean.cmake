@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_replay.dir/signature_replay.cpp.o"
+  "CMakeFiles/signature_replay.dir/signature_replay.cpp.o.d"
+  "signature_replay"
+  "signature_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--ranks" "8" "--iters" "3" "--seeds" "1")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_propagation "/root/repo/build/examples/propagation")
+set_tests_properties(example_propagation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dimm_triage "/root/repo/build/examples/dimm_triage" "--ranks" "16" "--seeds" "1")
+set_tests_properties(example_dimm_triage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_procurement "/root/repo/build/examples/procurement_study" "--ranks" "16" "--seeds" "1")
+set_tests_properties(example_procurement PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_roundtrip "/root/repo/build/examples/trace_roundtrip" "--ranks" "8" "--factor" "2")
+set_tests_properties(example_trace_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_mpi_trace "/root/repo/build/examples/custom_mpi_trace" "--ranks" "8" "--sweeps" "4")
+set_tests_properties(example_custom_mpi_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_signature_replay "/root/repo/build/examples/signature_replay" "--ranks" "8" "--seeds" "1")
+set_tests_properties(example_signature_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_timeline "/root/repo/build/examples/timeline" "--ranks" "8" "--iters" "5")
+set_tests_properties(example_timeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celog_collectives.dir/collectives.cpp.o"
+  "CMakeFiles/celog_collectives.dir/collectives.cpp.o.d"
+  "libcelog_collectives.a"
+  "libcelog_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celog_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic.cpp" "src/core/CMakeFiles/celog_core.dir/analytic.cpp.o" "gcc" "src/core/CMakeFiles/celog_core.dir/analytic.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/celog_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/celog_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/logging_mode.cpp" "src/core/CMakeFiles/celog_core.dir/logging_mode.cpp.o" "gcc" "src/core/CMakeFiles/celog_core.dir/logging_mode.cpp.o.d"
+  "/root/repo/src/core/system_config.cpp" "src/core/CMakeFiles/celog_core.dir/system_config.cpp.o" "gcc" "src/core/CMakeFiles/celog_core.dir/system_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/celog_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/celog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/celog_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/goal/CMakeFiles/celog_goal.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/celog_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/celog_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/celog_collectives.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celog_core.dir/analytic.cpp.o"
+  "CMakeFiles/celog_core.dir/analytic.cpp.o.d"
+  "CMakeFiles/celog_core.dir/experiment.cpp.o"
+  "CMakeFiles/celog_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/celog_core.dir/logging_mode.cpp.o"
+  "CMakeFiles/celog_core.dir/logging_mode.cpp.o.d"
+  "CMakeFiles/celog_core.dir/system_config.cpp.o"
+  "CMakeFiles/celog_core.dir/system_config.cpp.o.d"
+  "libcelog_core.a"
+  "libcelog_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celog_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

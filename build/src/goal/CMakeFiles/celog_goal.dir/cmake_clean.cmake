@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celog_goal.dir/task_graph.cpp.o"
+  "CMakeFiles/celog_goal.dir/task_graph.cpp.o.d"
+  "libcelog_goal.a"
+  "libcelog_goal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celog_goal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/compile.cpp" "src/mpi/CMakeFiles/celog_mpi.dir/compile.cpp.o" "gcc" "src/mpi/CMakeFiles/celog_mpi.dir/compile.cpp.o.d"
+  "/root/repo/src/mpi/program.cpp" "src/mpi/CMakeFiles/celog_mpi.dir/program.cpp.o" "gcc" "src/mpi/CMakeFiles/celog_mpi.dir/program.cpp.o.d"
+  "/root/repo/src/mpi/trace_format.cpp" "src/mpi/CMakeFiles/celog_mpi.dir/trace_format.cpp.o" "gcc" "src/mpi/CMakeFiles/celog_mpi.dir/trace_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/goal/CMakeFiles/celog_goal.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/celog_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/celog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

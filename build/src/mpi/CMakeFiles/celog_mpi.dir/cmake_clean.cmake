@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celog_mpi.dir/compile.cpp.o"
+  "CMakeFiles/celog_mpi.dir/compile.cpp.o.d"
+  "CMakeFiles/celog_mpi.dir/program.cpp.o"
+  "CMakeFiles/celog_mpi.dir/program.cpp.o.d"
+  "CMakeFiles/celog_mpi.dir/trace_format.cpp.o"
+  "CMakeFiles/celog_mpi.dir/trace_format.cpp.o.d"
+  "libcelog_mpi.a"
+  "libcelog_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celog_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

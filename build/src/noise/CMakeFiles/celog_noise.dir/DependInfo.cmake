@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noise/deferred.cpp" "src/noise/CMakeFiles/celog_noise.dir/deferred.cpp.o" "gcc" "src/noise/CMakeFiles/celog_noise.dir/deferred.cpp.o.d"
+  "/root/repo/src/noise/detour.cpp" "src/noise/CMakeFiles/celog_noise.dir/detour.cpp.o" "gcc" "src/noise/CMakeFiles/celog_noise.dir/detour.cpp.o.d"
+  "/root/repo/src/noise/noise_model.cpp" "src/noise/CMakeFiles/celog_noise.dir/noise_model.cpp.o" "gcc" "src/noise/CMakeFiles/celog_noise.dir/noise_model.cpp.o.d"
+  "/root/repo/src/noise/rank_noise.cpp" "src/noise/CMakeFiles/celog_noise.dir/rank_noise.cpp.o" "gcc" "src/noise/CMakeFiles/celog_noise.dir/rank_noise.cpp.o.d"
+  "/root/repo/src/noise/selfish.cpp" "src/noise/CMakeFiles/celog_noise.dir/selfish.cpp.o" "gcc" "src/noise/CMakeFiles/celog_noise.dir/selfish.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/celog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celog_noise.dir/deferred.cpp.o"
+  "CMakeFiles/celog_noise.dir/deferred.cpp.o.d"
+  "CMakeFiles/celog_noise.dir/detour.cpp.o"
+  "CMakeFiles/celog_noise.dir/detour.cpp.o.d"
+  "CMakeFiles/celog_noise.dir/noise_model.cpp.o"
+  "CMakeFiles/celog_noise.dir/noise_model.cpp.o.d"
+  "CMakeFiles/celog_noise.dir/rank_noise.cpp.o"
+  "CMakeFiles/celog_noise.dir/rank_noise.cpp.o.d"
+  "CMakeFiles/celog_noise.dir/selfish.cpp.o"
+  "CMakeFiles/celog_noise.dir/selfish.cpp.o.d"
+  "libcelog_noise.a"
+  "libcelog_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celog_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

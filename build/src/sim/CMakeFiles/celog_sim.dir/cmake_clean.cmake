@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celog_sim.dir/engine.cpp.o"
+  "CMakeFiles/celog_sim.dir/engine.cpp.o.d"
+  "libcelog_sim.a"
+  "libcelog_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celog_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

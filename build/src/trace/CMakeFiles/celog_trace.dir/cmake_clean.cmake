@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celog_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/celog_trace.dir/trace_io.cpp.o.d"
+  "libcelog_trace.a"
+  "libcelog_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celog_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celog_util.dir/cli.cpp.o"
+  "CMakeFiles/celog_util.dir/cli.cpp.o.d"
+  "CMakeFiles/celog_util.dir/stats.cpp.o"
+  "CMakeFiles/celog_util.dir/stats.cpp.o.d"
+  "CMakeFiles/celog_util.dir/table.cpp.o"
+  "CMakeFiles/celog_util.dir/table.cpp.o.d"
+  "CMakeFiles/celog_util.dir/time.cpp.o"
+  "CMakeFiles/celog_util.dir/time.cpp.o.d"
+  "libcelog_util.a"
+  "libcelog_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celog_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

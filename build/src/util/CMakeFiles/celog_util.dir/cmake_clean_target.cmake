@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcelog_util.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cth.cpp" "src/workloads/CMakeFiles/celog_workloads.dir/cth.cpp.o" "gcc" "src/workloads/CMakeFiles/celog_workloads.dir/cth.cpp.o.d"
+  "/root/repo/src/workloads/hpcg.cpp" "src/workloads/CMakeFiles/celog_workloads.dir/hpcg.cpp.o" "gcc" "src/workloads/CMakeFiles/celog_workloads.dir/hpcg.cpp.o.d"
+  "/root/repo/src/workloads/lammps.cpp" "src/workloads/CMakeFiles/celog_workloads.dir/lammps.cpp.o" "gcc" "src/workloads/CMakeFiles/celog_workloads.dir/lammps.cpp.o.d"
+  "/root/repo/src/workloads/lulesh.cpp" "src/workloads/CMakeFiles/celog_workloads.dir/lulesh.cpp.o" "gcc" "src/workloads/CMakeFiles/celog_workloads.dir/lulesh.cpp.o.d"
+  "/root/repo/src/workloads/milc.cpp" "src/workloads/CMakeFiles/celog_workloads.dir/milc.cpp.o" "gcc" "src/workloads/CMakeFiles/celog_workloads.dir/milc.cpp.o.d"
+  "/root/repo/src/workloads/minife.cpp" "src/workloads/CMakeFiles/celog_workloads.dir/minife.cpp.o" "gcc" "src/workloads/CMakeFiles/celog_workloads.dir/minife.cpp.o.d"
+  "/root/repo/src/workloads/patterns.cpp" "src/workloads/CMakeFiles/celog_workloads.dir/patterns.cpp.o" "gcc" "src/workloads/CMakeFiles/celog_workloads.dir/patterns.cpp.o.d"
+  "/root/repo/src/workloads/sparc.cpp" "src/workloads/CMakeFiles/celog_workloads.dir/sparc.cpp.o" "gcc" "src/workloads/CMakeFiles/celog_workloads.dir/sparc.cpp.o.d"
+  "/root/repo/src/workloads/topology.cpp" "src/workloads/CMakeFiles/celog_workloads.dir/topology.cpp.o" "gcc" "src/workloads/CMakeFiles/celog_workloads.dir/topology.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/celog_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/celog_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/goal/CMakeFiles/celog_goal.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/celog_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/celog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celog_workloads.dir/cth.cpp.o"
+  "CMakeFiles/celog_workloads.dir/cth.cpp.o.d"
+  "CMakeFiles/celog_workloads.dir/hpcg.cpp.o"
+  "CMakeFiles/celog_workloads.dir/hpcg.cpp.o.d"
+  "CMakeFiles/celog_workloads.dir/lammps.cpp.o"
+  "CMakeFiles/celog_workloads.dir/lammps.cpp.o.d"
+  "CMakeFiles/celog_workloads.dir/lulesh.cpp.o"
+  "CMakeFiles/celog_workloads.dir/lulesh.cpp.o.d"
+  "CMakeFiles/celog_workloads.dir/milc.cpp.o"
+  "CMakeFiles/celog_workloads.dir/milc.cpp.o.d"
+  "CMakeFiles/celog_workloads.dir/minife.cpp.o"
+  "CMakeFiles/celog_workloads.dir/minife.cpp.o.d"
+  "CMakeFiles/celog_workloads.dir/patterns.cpp.o"
+  "CMakeFiles/celog_workloads.dir/patterns.cpp.o.d"
+  "CMakeFiles/celog_workloads.dir/sparc.cpp.o"
+  "CMakeFiles/celog_workloads.dir/sparc.cpp.o.d"
+  "CMakeFiles/celog_workloads.dir/topology.cpp.o"
+  "CMakeFiles/celog_workloads.dir/topology.cpp.o.d"
+  "CMakeFiles/celog_workloads.dir/workload.cpp.o"
+  "CMakeFiles/celog_workloads.dir/workload.cpp.o.d"
+  "libcelog_workloads.a"
+  "libcelog_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celog_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

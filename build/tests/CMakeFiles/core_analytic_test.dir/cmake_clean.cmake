@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_analytic_test.dir/core_analytic_test.cpp.o"
+  "CMakeFiles/core_analytic_test.dir/core_analytic_test.cpp.o.d"
+  "core_analytic_test"
+  "core_analytic_test.pdb"
+  "core_analytic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_analytic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goal_task_graph_test.dir/goal_task_graph_test.cpp.o"
+  "CMakeFiles/goal_task_graph_test.dir/goal_task_graph_test.cpp.o.d"
+  "goal_task_graph_test"
+  "goal_task_graph_test.pdb"
+  "goal_task_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goal_task_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

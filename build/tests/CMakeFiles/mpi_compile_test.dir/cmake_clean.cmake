@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_compile_test.dir/mpi_compile_test.cpp.o"
+  "CMakeFiles/mpi_compile_test.dir/mpi_compile_test.cpp.o.d"
+  "mpi_compile_test"
+  "mpi_compile_test.pdb"
+  "mpi_compile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_program_test.dir/mpi_program_test.cpp.o"
+  "CMakeFiles/mpi_program_test.dir/mpi_program_test.cpp.o.d"
+  "mpi_program_test"
+  "mpi_program_test.pdb"
+  "mpi_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

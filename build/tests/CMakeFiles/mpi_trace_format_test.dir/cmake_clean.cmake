@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_trace_format_test.dir/mpi_trace_format_test.cpp.o"
+  "CMakeFiles/mpi_trace_format_test.dir/mpi_trace_format_test.cpp.o.d"
+  "mpi_trace_format_test"
+  "mpi_trace_format_test.pdb"
+  "mpi_trace_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_trace_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

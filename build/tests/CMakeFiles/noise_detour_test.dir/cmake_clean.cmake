@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_detour_test.dir/noise_detour_test.cpp.o"
+  "CMakeFiles/noise_detour_test.dir/noise_detour_test.cpp.o.d"
+  "noise_detour_test"
+  "noise_detour_test.pdb"
+  "noise_detour_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_detour_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/noise_model_test.cpp" "tests/CMakeFiles/noise_model_test.dir/noise_model_test.cpp.o" "gcc" "tests/CMakeFiles/noise_model_test.dir/noise_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/celog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/celog_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/celog_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/celog_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/celog_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/celog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/celog_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/goal/CMakeFiles/celog_goal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/celog_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_selfish_test.dir/noise_selfish_test.cpp.o"
+  "CMakeFiles/noise_selfish_test.dir/noise_selfish_test.cpp.o.d"
+  "noise_selfish_test"
+  "noise_selfish_test.pdb"
+  "noise_selfish_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_selfish_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_observer_test.dir/sim_observer_test.cpp.o"
+  "CMakeFiles/sim_observer_test.dir/sim_observer_test.cpp.o.d"
+  "sim_observer_test"
+  "sim_observer_test.pdb"
+  "sim_observer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_observer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_rendezvous_test.dir/sim_rendezvous_test.cpp.o"
+  "CMakeFiles/sim_rendezvous_test.dir/sim_rendezvous_test.cpp.o.d"
+  "sim_rendezvous_test"
+  "sim_rendezvous_test.pdb"
+  "sim_rendezvous_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_rendezvous_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_time_test[1]_include.cmake")
+include("/root/repo/build/tests/util_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/util_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/util_table_cli_test[1]_include.cmake")
+include("/root/repo/build/tests/goal_task_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/noise_detour_test[1]_include.cmake")
+include("/root/repo/build/tests/noise_rank_noise_test[1]_include.cmake")
+include("/root/repo/build/tests/noise_model_test[1]_include.cmake")
+include("/root/repo/build/tests/noise_selfish_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_rendezvous_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_noise_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_observer_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/patterns_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_program_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_compile_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_trace_format_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/core_analytic_test[1]_include.cmake")
+include("/root/repo/build/tests/noise_deferred_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_paper_shape_test[1]_include.cmake")
