@@ -72,25 +72,36 @@ int main(int argc, char** argv) {
   const TimeNs mtbce = core::scaled_mtbce(sys, scale);
 
   std::printf("-- sweep A: compute block between allreduces (imbalance 0) --\n");
+  // Every sweep point builds its own graph and simulator, so the whole
+  // sweep — graph construction included — fans out across --jobs threads.
+  const std::vector<TimeNs> blocks = {milliseconds(1), milliseconds(10),
+                                      milliseconds(100), seconds(1)};
+  const auto sweep_a = bench::parallel_cells(
+      blocks.size(), options.jobs, [&](std::size_t i) {
+        const goal::TaskGraph g =
+            bsp_loop(scale.ranks, blocks[i], options.sim_target, 0.0, 1);
+        return format_percent(
+            measure(g, mtbce, options.seeds, options.base_seed));
+      });
   TextTable ta({"sync period", "slowdown % (firmware)"});
-  for (const TimeNs block : {milliseconds(1), milliseconds(10),
-                             milliseconds(100), seconds(1)}) {
-    const goal::TaskGraph g =
-        bsp_loop(scale.ranks, block, options.sim_target, 0.0, 1);
-    ta.add_row({format_duration(block),
-                format_percent(measure(g, mtbce, options.seeds,
-                                       options.base_seed))});
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    ta.add_row({format_duration(blocks[i]), sweep_a[i]});
   }
   std::fputs(ta.render().c_str(), stdout);
 
   std::printf("\n-- sweep B: persistent imbalance (sync period 10 ms) --\n");
+  const std::vector<double> imbalances = {0.0, 0.05, 0.10, 0.20};
+  const auto sweep_b = bench::parallel_cells(
+      imbalances.size(), options.jobs, [&](std::size_t i) {
+        const goal::TaskGraph g = bsp_loop(scale.ranks, milliseconds(10),
+                                           options.sim_target,
+                                           imbalances[i], 1);
+        return format_percent(
+            measure(g, mtbce, options.seeds, options.base_seed));
+      });
   TextTable tb({"imbalance", "slowdown % (firmware)"});
-  for (const double imb : {0.0, 0.05, 0.10, 0.20}) {
-    const goal::TaskGraph g = bsp_loop(scale.ranks, milliseconds(10),
-                                       options.sim_target, imb, 1);
-    tb.add_row({format_fixed(imb * 100, 0) + "%",
-                format_percent(measure(g, mtbce, options.seeds,
-                                       options.base_seed))});
+  for (std::size_t i = 0; i < imbalances.size(); ++i) {
+    tb.add_row({format_fixed(imbalances[i] * 100, 0) + "%", sweep_b[i]});
   }
   std::fputs(tb.render().c_str(), stdout);
 

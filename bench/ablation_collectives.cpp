@@ -6,6 +6,7 @@
 //
 // We isolate the collective by running a synthetic "allreduce every step"
 // workload under both algorithms at the same CE rates.
+#include <iterator>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -59,21 +60,30 @@ int main(int argc, char** argv) {
     const sim::SimResult base = sim.run_baseline();
     std::printf("\n-- %s (baseline %s, %zu ops) --\n", algo.name,
                 format_duration(base.makespan).c_str(), g.total_ops());
+    // Each (MTBCE, logging-cost) cell averages its seeds against the shared
+    // immutable simulator; cells sweep concurrently across --jobs threads.
+    const TimeNs costs[] = {noise::costs::kFirmwareEmca,
+                            noise::costs::kSoftwareCmci};
+    const std::size_t cols = std::size(costs);
+    const auto cells = bench::parallel_cells(
+        mtbce_s.size() * cols, options.jobs, [&](std::size_t i) {
+          const noise::UniformCeNoiseModel noise(
+              from_seconds(mtbce_s[i / cols]),
+              std::make_shared<noise::FlatLoggingCost>(costs[i % cols]));
+          RunningStats pct;
+          for (int k = 0; k < options.seeds; ++k) {
+            const auto r = sim.run(
+                noise, options.base_seed + static_cast<std::uint64_t>(k));
+            pct.add(sim::slowdown_percent(base, r));
+          }
+          return format_percent(pct.mean());
+        });
     TextTable table({"MTBCE/node", "slowdown % (firmware 133ms)",
                      "slowdown % (software 775us)"});
-    for (const double s : mtbce_s) {
-      std::vector<std::string> row = {format_fixed(s, 1) + " s"};
-      for (const TimeNs cost :
-           {noise::costs::kFirmwareEmca, noise::costs::kSoftwareCmci}) {
-        const noise::UniformCeNoiseModel noise(
-            from_seconds(s), std::make_shared<noise::FlatLoggingCost>(cost));
-        RunningStats pct;
-        for (int i = 0; i < options.seeds; ++i) {
-          const auto r =
-              sim.run(noise, options.base_seed + static_cast<std::uint64_t>(i));
-          pct.add(sim::slowdown_percent(base, r));
-        }
-        row.push_back(format_percent(pct.mean()));
+    for (std::size_t mi = 0; mi < mtbce_s.size(); ++mi) {
+      std::vector<std::string> row = {format_fixed(mtbce_s[mi], 1) + " s"};
+      for (std::size_t ci = 0; ci < cols; ++ci) {
+        row.push_back(cells[mi * cols + ci]);
       }
       table.add_row(std::move(row));
     }

@@ -31,31 +31,40 @@ int main(int argc, char** argv) {
       core::systems::exascale_facebook_median()};
 
   bench::RunnerCache cache(options);
+  const auto& ws = workloads::all_workloads();
   for (const auto& sys : systems) {
     const auto scale = core::scale_system(sys.simulated_nodes,
                                           options.max_ranks);
     const TimeNs mtbce = core::scaled_mtbce(sys, scale);
     std::printf("\n-- %s --\n", sys.name.c_str());
+    // Columns: synchronous firmware, deferred, deferred+synced.
+    const std::size_t cols = 3;
+    const auto cells = bench::parallel_cells(
+        ws.size() * cols, options.jobs, [&](std::size_t i) {
+          const auto& w = *ws[i / cols];
+          const auto& runner =
+              cache.get(w, scale.ranks, core::scaled_trace_block(w, scale));
+          const std::size_t col = i % cols;
+          if (col == 0) {
+            const noise::UniformCeNoiseModel synchronous(
+                mtbce, core::cost_model(core::LoggingMode::kFirmware));
+            return bench::cell_text(runner.measure(synchronous, options.seeds,
+                                                   options.base_seed));
+          }
+          noise::DeferredLoggingConfig config;
+          config.mtbce = mtbce;
+          config.flush_period = flush_period;
+          config.synchronized = (col == 2);
+          const noise::DeferredLoggingNoiseModel deferred(config);
+          return bench::cell_text(
+              runner.measure(deferred, options.seeds, options.base_seed));
+        });
     TextTable table({"workload", "synchronous 133ms", "deferred",
                      "deferred+synced"});
-    for (const auto& w : workloads::all_workloads()) {
-      const auto& runner =
-          cache.get(*w, scale.ranks, core::scaled_trace_block(*w, scale));
-      std::vector<std::string> row = {w->name()};
-
-      const noise::UniformCeNoiseModel synchronous(
-          mtbce, core::cost_model(core::LoggingMode::kFirmware));
-      row.push_back(bench::cell_text(
-          runner.measure(synchronous, options.seeds, options.base_seed)));
-
-      for (const bool synced : {false, true}) {
-        noise::DeferredLoggingConfig config;
-        config.mtbce = mtbce;
-        config.flush_period = flush_period;
-        config.synchronized = synced;
-        const noise::DeferredLoggingNoiseModel deferred(config);
-        row.push_back(bench::cell_text(
-            runner.measure(deferred, options.seeds, options.base_seed)));
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+      std::vector<std::string> row = {ws[wi]->name()};
+      for (std::size_t ci = 0; ci < cols; ++ci) {
+        row.push_back(cells[wi * cols + ci]);
       }
       table.add_row(std::move(row));
     }

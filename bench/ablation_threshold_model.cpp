@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
       core::systems::exascale_cielo(100.0)};
 
   bench::RunnerCache cache(options);
+  const auto& ws = workloads::all_workloads();
   for (const auto& sys : systems) {
     const core::ScaledSystem scale =
         core::scale_system(sys.simulated_nodes, options.max_ranks);
@@ -48,16 +49,22 @@ int main(int argc, char** argv) {
                 format_duration(core::scaled_mtbce(sys, scale)).c_str());
     std::vector<std::string> headers = {"workload"};
     for (const auto& m : models) headers.emplace_back(m.name);
+    const std::size_t cols = models.size();
+    const auto cells = bench::parallel_cells(
+        ws.size() * cols, options.jobs, [&](std::size_t i) {
+          const auto& w = *ws[i / cols];
+          const auto& runner =
+              cache.get(w, scale.ranks, core::scaled_trace_block(w, scale));
+          const noise::UniformCeNoiseModel noise(
+              core::scaled_mtbce(sys, scale), models[i % cols].cost);
+          return bench::cell_text(
+              runner.measure(noise, options.seeds, options.base_seed));
+        });
     TextTable table(headers);
-    for (const auto& w : workloads::all_workloads()) {
-      const auto& runner =
-          cache.get(*w, scale.ranks, core::scaled_trace_block(*w, scale));
-      std::vector<std::string> row = {w->name()};
-      for (const auto& m : models) {
-        const noise::UniformCeNoiseModel noise(core::scaled_mtbce(sys, scale),
-                                               m.cost);
-        row.push_back(bench::cell_text(
-            runner.measure(noise, options.seeds, options.base_seed)));
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+      std::vector<std::string> row = {ws[wi]->name()};
+      for (std::size_t ci = 0; ci < cols; ++ci) {
+        row.push_back(cells[wi * cols + ci]);
       }
       table.add_row(std::move(row));
     }

@@ -22,42 +22,48 @@ int main(int argc, char** argv) {
                       options);
 
   bench::RunnerCache cache(options);
+  const auto& ws = workloads::all_workloads();
   for (const double mult : {10.0, 100.0}) {
     const auto sys = core::systems::exascale_cielo(mult);
     const auto scale = core::scale_system(sys.simulated_nodes,
                                           options.max_ranks);
     std::printf("\n-- %s --\n", sys.name.c_str());
+    // One cell per workload, each producing a full table row; rows come
+    // back in workload order regardless of --jobs.
+    const auto rows = bench::parallel_cells(
+        ws.size(), options.jobs,
+        [&](std::size_t i) -> std::vector<std::string> {
+          const auto& w = *ws[i];
+          const auto& runner =
+              cache.get(w, scale.ranks, core::scaled_trace_block(w, scale));
+          const noise::UniformCeNoiseModel noise(
+              core::scaled_mtbce(sys, scale),
+              core::cost_model(core::LoggingMode::kFirmware));
+          const auto measured =
+              runner.measure(noise, options.seeds, options.base_seed);
+
+          core::AnalyticScenario s;
+          s.nodes = static_cast<goal::Rank>(sys.simulated_nodes);
+          s.mtbce = sys.mtbce_node();
+          s.cost = noise::costs::kFirmwareEmca;
+          s.sync_period = w.sync_period();
+          s.island = w.trace_ranks();
+          const double predicted = core::predicted_slowdown_percent(s);
+          const bool island_regime =
+              core::island_slowdown(s) < core::additive_slowdown(s);
+
+          std::string ratio = "-";
+          if (!measured.no_progress && predicted > 0.01) {
+            ratio = format_fixed(measured.mean_pct / predicted, 2);
+          }
+          return {w.name(), bench::cell_text(measured),
+                  std::isinf(predicted) ? "no-progress"
+                                        : format_percent(predicted),
+                  ratio, island_regime ? "island-coalescing" : "additive"};
+        });
     TextTable table({"workload", "simulated %", "analytic %",
                      "ratio sim/analytic", "regime"});
-    for (const auto& w : workloads::all_workloads()) {
-      const auto& runner =
-          cache.get(*w, scale.ranks, core::scaled_trace_block(*w, scale));
-      const noise::UniformCeNoiseModel noise(
-          core::scaled_mtbce(sys, scale),
-          core::cost_model(core::LoggingMode::kFirmware));
-      const auto measured =
-          runner.measure(noise, options.seeds, options.base_seed);
-
-      core::AnalyticScenario s;
-      s.nodes = static_cast<goal::Rank>(sys.simulated_nodes);
-      s.mtbce = sys.mtbce_node();
-      s.cost = noise::costs::kFirmwareEmca;
-      s.sync_period = w->sync_period();
-      s.island = w->trace_ranks();
-      const double predicted = core::predicted_slowdown_percent(s);
-      const bool island_regime =
-          core::island_slowdown(s) < core::additive_slowdown(s);
-
-      std::string ratio = "-";
-      if (!measured.no_progress && predicted > 0.01) {
-        ratio = format_fixed(measured.mean_pct / predicted, 2);
-      }
-      table.add_row({w->name(), bench::cell_text(measured),
-                     std::isinf(predicted) ? "no-progress"
-                                           : format_percent(predicted),
-                     ratio,
-                     island_regime ? "island-coalescing" : "additive"});
-    }
+    for (const auto& row : rows) table.add_row(std::vector<std::string>(row));
     std::fputs(table.render().c_str(), stdout);
   }
   std::printf(

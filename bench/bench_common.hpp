@@ -1,8 +1,10 @@
 // bench/bench_common.hpp
 //
 // Shared plumbing for the figure/table benches: standard CLI knobs, the
-// rate-preserving scale policy, and a cache of built task graphs so one
-// workload graph serves every (system, logging-mode) cell of a figure.
+// rate-preserving scale policy, a cache of built task graphs so one
+// workload graph serves every (system, logging-mode) cell of a figure, and
+// the parallel cell-sweep helper that evaluates independent cells across
+// threads with output identical to a serial sweep.
 //
 // Every bench accepts:
 //   --ranks N     cap on simulated ranks (default 128). Systems larger than
@@ -13,14 +15,21 @@
 //                 iteration counts are derived per workload.
 //   --seeds K     noisy runs averaged per cell (default 2; the paper used
 //                 at least 8 — raise this when you have the time budget).
-//   --full        paper scale: ranks=16384, sim-s=30, seeds=8. Expect hours.
+//   --jobs N      threads used to evaluate independent cells (default 0 =
+//                 all hardware threads). Table output is bit-identical for
+//                 every value of N.
+//   --full        paper scale: ranks=16384, sim-s=30, seeds=8. Expect hours
+//                 (less with --jobs on a big machine). Explicit --ranks /
+//                 --sim-s / --seeds flags override the preset.
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -28,6 +37,7 @@
 #include "core/system_config.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/workload.hpp"
 
 namespace celog::bench {
@@ -37,6 +47,8 @@ struct Options {
   TimeNs sim_target = 4 * kSecond;
   int seeds = 2;
   std::uint64_t base_seed = 1000;
+  /// Threads for cell sweeps (resolved: never 0).
+  unsigned jobs = 1;
 };
 
 inline void add_standard_options(Cli& cli) {
@@ -44,27 +56,57 @@ inline void add_standard_options(Cli& cli) {
   cli.add_option("sim-s", "4", "target simulated seconds per run");
   cli.add_option("seeds", "2", "noisy runs averaged per cell");
   cli.add_option("seed", "1000", "base RNG seed for noisy runs");
-  cli.add_flag("full", "paper scale: ranks=16384, sim-s=30, seeds=8");
+  cli.add_option("jobs", "0",
+                 "threads for the cell sweep (0 = all hardware threads; "
+                 "output is identical for any value)");
+  cli.add_flag("full", "paper scale: ranks=16384, sim-s=30, seeds=8 "
+               "(explicit --ranks/--sim-s/--seeds still override)");
 }
 
 inline Options read_standard_options(const Cli& cli) {
   Options o;
-  if (cli.get_flag("full")) {
-    o.max_ranks = 16384;
-    o.sim_target = 30 * kSecond;
-    o.seeds = 8;
-  } else {
-    o.max_ranks = static_cast<goal::Rank>(cli.get_int("ranks"));
-    o.sim_target = from_seconds(cli.get_double("sim-s"));
-    o.seeds = static_cast<int>(cli.get_int("seeds"));
-  }
+  // --full is a preset, not a gag order: explicitly given flags win over
+  // the preset values (a --full --seeds 16 run really gets 16 seeds).
+  const bool full = cli.get_flag("full");
+  o.max_ranks = (!full || cli.provided("ranks"))
+                    ? static_cast<goal::Rank>(cli.get_int("ranks"))
+                    : 16384;
+  o.sim_target = (!full || cli.provided("sim-s"))
+                     ? from_seconds(cli.get_double("sim-s"))
+                     : 30 * kSecond;
+  o.seeds = (!full || cli.provided("seeds"))
+                ? static_cast<int>(cli.get_int("seeds"))
+                : 8;
   o.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto jobs = cli.get_int("jobs");
+  o.jobs = jobs > 0 ? static_cast<unsigned>(jobs)
+                    : util::ThreadPool::hardware_threads();
   return o;
+}
+
+/// Evaluates `n` independent cells on up to `jobs` threads and returns the
+/// results gathered in index order — so tables assembled from the returned
+/// vector are bit-identical to a serial sweep regardless of `jobs`. `fn`
+/// must be safe to call concurrently (all celog simulation entry points
+/// are: Simulator::run is const over an immutable graph).
+template <typename Fn>
+auto parallel_cells(std::size_t n, unsigned jobs, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using Result = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<Result> results(n);
+  util::ThreadPool pool(static_cast<unsigned>(
+      std::min<std::size_t>(jobs > 0 ? jobs : 1, n > 0 ? n : 1)));
+  pool.parallel_for_indexed(n,
+                            [&](std::size_t i) { results[i] = fn(i); });
+  return results;
 }
 
 /// Builds (and caches) one ExperimentRunner per (workload, ranks, block):
 /// graph construction and the baseline run are the expensive parts, and
-/// every logging mode / CE rate cell of a figure can share them.
+/// every logging mode / CE rate cell of a figure can share them. Safe for
+/// concurrent get(): the map is mutex-guarded and each entry carries a
+/// build latch (std::once_flag), so two cells needing the same graph wait
+/// on one build instead of duplicating it.
 class RunnerCache {
  public:
   explicit RunnerCache(const Options& options) : options_(options) {}
@@ -76,8 +118,14 @@ class RunnerCache {
                                     goal::Rank trace_block) {
     const std::string key = workload.name() + "@" + std::to_string(ranks) +
                             "/" + std::to_string(trace_block);
-    auto it = cache_.find(key);
-    if (it == cache_.end()) {
+    std::shared_ptr<Entry> entry;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto& slot = cache_[key];
+      if (!slot) slot = std::make_shared<Entry>();
+      entry = slot;
+    }
+    std::call_once(entry->build_latch, [&] {
       workloads::WorkloadConfig config;
       config.ranks = ranks;
       config.trace_block = trace_block;
@@ -100,17 +148,21 @@ class RunnerCache {
                    format_duration(config.iterations *
                                    workload.iteration_time())
                        .c_str());
-      it = cache_
-               .emplace(key, std::make_unique<core::ExperimentRunner>(
-                                 workload, config))
-               .first;
-    }
-    return *it->second;
+      entry->runner =
+          std::make_unique<core::ExperimentRunner>(workload, config);
+    });
+    return *entry->runner;
   }
 
  private:
+  struct Entry {
+    std::once_flag build_latch;
+    std::unique_ptr<core::ExperimentRunner> runner;
+  };
+
   Options options_;
-  std::map<std::string, std::unique_ptr<core::ExperimentRunner>> cache_;
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Entry>> cache_;
 };
 
 /// Formats a SlowdownResult cell: percentage, "no-progress" marker, or
@@ -121,7 +173,8 @@ inline std::string cell_text(const core::SlowdownResult& r) {
 }
 
 /// Header block every bench prints: what is being regenerated and at what
-/// scale, so recorded outputs are self-describing.
+/// scale, so recorded outputs are self-describing. Deliberately silent
+/// about --jobs: stdout must be bit-identical across job counts.
 inline void print_banner(const char* what, const Options& o) {
   std::printf("== %s ==\n", what);
   std::printf(
@@ -132,28 +185,39 @@ inline void print_banner(const char* what, const Options& o) {
 
 /// Shared driver for Figs. 4 and 5: every application process experiences
 /// CEs at the system's (rate-preservingly scaled) MTBCE; cells are mean %
-/// slowdown per (workload, system, logging mode).
+/// slowdown per (workload, system, logging mode). The (workload, system)
+/// grid of each mode is evaluated concurrently; rows are assembled from
+/// the index-ordered results, so the tables match a serial run exactly.
 inline void run_systems_figure(
     const std::vector<core::SystemConfig>& systems, const Options& options,
     RunnerCache& cache) {
+  const auto& rows = workloads::all_workloads();
   for (const auto mode : core::all_logging_modes()) {
     std::printf("\n-- %s logging (%s per event) --\n", core::to_string(mode),
                 format_duration(core::cost_of(mode)).c_str());
     std::vector<std::string> headers = {"workload"};
     for (const auto& sys : systems) headers.push_back(sys.name);
+
+    const std::size_t cols = systems.size();
+    const auto cells = parallel_cells(
+        rows.size() * cols, options.jobs, [&](std::size_t i) {
+          const auto& w = *rows[i / cols];
+          const auto& sys = systems[i % cols];
+          const core::ScaledSystem scale =
+              core::scale_system(sys.simulated_nodes, options.max_ranks);
+          const auto& runner =
+              cache.get(w, scale.ranks, core::scaled_trace_block(w, scale));
+          const noise::UniformCeNoiseModel noise(
+              core::scaled_mtbce(sys, scale), core::cost_model(mode));
+          return cell_text(
+              runner.measure(noise, options.seeds, options.base_seed));
+        });
+
     TextTable table(headers);
-    for (const auto& w : workloads::all_workloads()) {
-      std::vector<std::string> row = {w->name()};
-      for (const auto& sys : systems) {
-        const core::ScaledSystem scale =
-            core::scale_system(sys.simulated_nodes, options.max_ranks);
-        const auto& runner =
-            cache.get(*w, scale.ranks, core::scaled_trace_block(*w, scale));
-        const noise::UniformCeNoiseModel noise(
-            core::scaled_mtbce(sys, scale), core::cost_model(mode));
-        const auto result =
-            runner.measure(noise, options.seeds, options.base_seed);
-        row.push_back(cell_text(result));
+    for (std::size_t wi = 0; wi < rows.size(); ++wi) {
+      std::vector<std::string> row = {rows[wi]->name()};
+      for (std::size_t si = 0; si < cols; ++si) {
+        row.push_back(cells[wi * cols + si]);
       }
       table.add_row(std::move(row));
     }

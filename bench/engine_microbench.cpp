@@ -5,11 +5,15 @@
 // can simulate per wall-second.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "collectives/collectives.hpp"
 #include "goal/task_graph.hpp"
 #include "noise/noise_model.hpp"
 #include "noise/rank_noise.hpp"
 #include "sim/engine.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -62,6 +66,39 @@ void BM_EngineWithNoise(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EngineWithNoise);
+
+// Aggregate throughput of a seed sweep fanned out across a ThreadPool —
+// the multi-thread counterpart of BM_EngineWithNoise. Arg is the thread
+// count; events/s at Arg(k) over events/s at Arg(1) is the sweep speedup
+// the parallel experiment driver achieves on this machine.
+void BM_EngineParallelSweep(benchmark::State& state) {
+  const goal::TaskGraph g = ring_graph(256, 50);
+  const sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
+  const noise::UniformCeNoiseModel noise(
+      microseconds(500),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(1)));
+  const auto jobs = static_cast<unsigned>(state.range(0));
+  util::ThreadPool pool(jobs);
+  constexpr std::size_t kSeedsPerBatch = 16;
+  std::vector<std::uint64_t> batch_events(kSeedsPerBatch, 0);
+  std::uint64_t events = 0;
+  std::uint64_t base_seed = 1;
+  for (auto _ : state) {
+    pool.parallel_for_indexed(kSeedsPerBatch, [&](std::size_t i) {
+      batch_events[i] =
+          sim.run(noise, base_seed + i).events_processed;
+    });
+    for (const std::uint64_t e : batch_events) events += e;
+    base_seed += kSeedsPerBatch;
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(pool.threads());
+}
+// UseRealTime: the sweep's cost is its wall clock, and rate counters must
+// divide by it — per-thread CPU time would overstate the speedup.
+BENCHMARK(BM_EngineParallelSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
 
 void BM_GraphBuildLulesh(benchmark::State& state) {
   const auto workload = workloads::find_workload("lulesh");

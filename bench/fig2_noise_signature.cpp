@@ -8,7 +8,10 @@
 // tallest bar) and the tall detours themselves — the "bars" of the paper's
 // scatter plots.
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "noise/selfish.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -21,11 +24,17 @@ int main(int argc, char** argv) {
   cli.add_option("window-s", "120", "measurement window in seconds");
   cli.add_option("inject-s", "10", "seconds between CE injections");
   cli.add_option("seed", "1", "RNG seed for background-noise jitter");
+  cli.add_option("jobs", "0",
+                 "threads for the per-mode signature runs (0 = all cores)");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
 
   const TimeNs window = from_seconds(cli.get_double("window-s"));
   const TimeNs inject = from_seconds(cli.get_double("inject-s"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto jobs_flag = cli.get_int("jobs");
+  const unsigned jobs = jobs_flag > 0
+                            ? static_cast<unsigned>(jobs_flag)
+                            : util::ThreadPool::hardware_threads();
 
   std::printf("== Fig. 2: node noise signatures (window %s, injection every "
               "%s) ==\n\n",
@@ -38,17 +47,24 @@ int main(int argc, char** argv) {
       noise::ReportingMode::kSoftwareCmci,  noise::ReportingMode::kFirmwareEmca,
   };
 
+  // One signature simulation per mode; the five runs are independent and
+  // sweep concurrently, and the traces are reused for the tall-bar dumps.
+  const std::size_t n_modes = std::size(modes);
+  const auto traces = bench::parallel_cells(
+      n_modes, jobs, [&](std::size_t i) {
+        noise::SelfishConfig config;
+        config.window = window;
+        config.injection_period = inject;
+        config.mode = modes[i];
+        return noise::run_selfish(config, seed);
+      });
+
   TextTable summary({"mode", "detours", "stolen", "max detour",
                      "noise fraction", "tall bars (>=100us)"});
-  for (const auto mode : modes) {
-    noise::SelfishConfig config;
-    config.window = window;
-    config.injection_period = inject;
-    config.mode = mode;
-    const auto trace = noise::run_selfish(config, seed);
-    const auto s = noise::summarize(trace, window);
+  for (std::size_t i = 0; i < n_modes; ++i) {
+    const auto s = noise::summarize(traces[i], window);
     summary.add_row({
-        noise::to_string(mode),
+        noise::to_string(modes[i]),
         format_count(static_cast<std::int64_t>(s.detours)),
         format_duration(s.total_stolen),
         format_duration(s.max_detour),
@@ -59,15 +75,13 @@ int main(int argc, char** argv) {
   std::fputs(summary.render().c_str(), stdout);
 
   // The "bars" of panels (c) and (d): when and how long each tall detour is.
-  for (const auto mode : {noise::ReportingMode::kSoftwareCmci,
-                          noise::ReportingMode::kFirmwareEmca}) {
-    noise::SelfishConfig config;
-    config.window = window;
-    config.injection_period = inject;
-    config.mode = mode;
-    const auto trace = noise::run_selfish(config, seed);
-    std::printf("\ntall detours, %s:\n", noise::to_string(mode));
-    for (const auto& d : trace) {
+  for (std::size_t i = 0; i < n_modes; ++i) {
+    if (modes[i] != noise::ReportingMode::kSoftwareCmci &&
+        modes[i] != noise::ReportingMode::kFirmwareEmca) {
+      continue;
+    }
+    std::printf("\ntall detours, %s:\n", noise::to_string(modes[i]));
+    for (const auto& d : traces[i]) {
       if (d.duration >= 100 * kMicrosecond) {
         std::printf("  t=%8.3f s  duration=%s\n", to_seconds(d.arrival),
                     format_duration(d.duration).c_str());

@@ -52,21 +52,28 @@ int main(int argc, char** argv) {
     for (const double s : mtbce_s) {
       headers.push_back("MTBCE " + format_fixed(s, s < 1 ? 2 : 0) + "s");
     }
+    // Every (workload, MTBCE) cell is independent; sweep them across
+    // --jobs threads and assemble rows from the index-ordered results.
+    const std::size_t cols = mtbce_s.size();
+    const auto cells = bench::parallel_cells(
+        selected.size() * cols, options.jobs, [&](std::size_t i) {
+          const auto& w = *selected[i / cols];
+          // Single-process experiment: the MTBCE is a property of the one
+          // affected node, so no rate-preserving reduction applies. The
+          // p2p block is the workload's traced rank count (§III-C/D).
+          const auto& runner =
+              cache.get(w, options.max_ranks,
+                        std::min(w.trace_ranks(), options.max_ranks));
+          const noise::SingleRankCeNoiseModel noise(
+              0, from_seconds(mtbce_s[i % cols]), core::cost_model(mode));
+          return bench::cell_text(
+              runner.measure(noise, options.seeds, options.base_seed));
+        });
     TextTable table(headers);
-    for (const auto& w : selected) {
-      // Single-process experiment: the MTBCE is a property of the one
-      // affected node, so no rate-preserving reduction applies. The p2p
-      // block is the workload's traced rank count (paper §III-C/D).
-      const auto& runner =
-          cache.get(*w, options.max_ranks,
-                    std::min(w->trace_ranks(), options.max_ranks));
-      std::vector<std::string> row = {w->name()};
-      for (const double s : mtbce_s) {
-        const noise::SingleRankCeNoiseModel noise(
-            0, from_seconds(s), core::cost_model(mode));
-        const auto result =
-            runner.measure(noise, options.seeds, options.base_seed);
-        row.push_back(bench::cell_text(result));
+    for (std::size_t wi = 0; wi < selected.size(); ++wi) {
+      std::vector<std::string> row = {selected[wi]->name()};
+      for (std::size_t ci = 0; ci < cols; ++ci) {
+        row.push_back(cells[wi * cols + ci]);
       }
       table.add_row(std::move(row));
     }

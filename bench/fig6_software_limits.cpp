@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
       core::scale_system(16384, options.max_ranks);
 
   bench::RunnerCache cache(options);
+  const auto& ws = workloads::all_workloads();
   for (const auto mode : core::all_logging_modes()) {
     std::printf("\n-- %s logging (%s per event) --\n", core::to_string(mode),
                 format_duration(core::cost_of(mode)).c_str());
@@ -38,17 +39,23 @@ int main(int argc, char** argv) {
     for (const double s : mtbce_s) {
       headers.push_back("MTBCE " + format_fixed(s, 1) + "s");
     }
+    const std::size_t cols = mtbce_s.size();
+    const auto cells = bench::parallel_cells(
+        ws.size() * cols, options.jobs, [&](std::size_t i) {
+          const auto& w = *ws[i / cols];
+          const auto& runner =
+              cache.get(w, scale.ranks, core::scaled_trace_block(w, scale));
+          const noise::UniformCeNoiseModel noise(
+              from_seconds(mtbce_s[i % cols] / scale.mtbce_divisor),
+              core::cost_model(mode));
+          return bench::cell_text(
+              runner.measure(noise, options.seeds, options.base_seed));
+        });
     TextTable table(headers);
-    for (const auto& w : workloads::all_workloads()) {
-      const auto& runner =
-          cache.get(*w, scale.ranks, core::scaled_trace_block(*w, scale));
-      std::vector<std::string> row = {w->name()};
-      for (const double s : mtbce_s) {
-        const noise::UniformCeNoiseModel noise(
-            from_seconds(s / scale.mtbce_divisor), core::cost_model(mode));
-        const auto result =
-            runner.measure(noise, options.seeds, options.base_seed);
-        row.push_back(bench::cell_text(result));
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+      std::vector<std::string> row = {ws[wi]->name()};
+      for (std::size_t ci = 0; ci < cols; ++ci) {
+        row.push_back(cells[wi * cols + ci]);
       }
       table.add_row(std::move(row));
     }

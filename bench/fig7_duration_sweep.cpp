@@ -32,23 +32,29 @@ int main(int argc, char** argv) {
       core::scale_system(16384, options.max_ranks);
 
   bench::RunnerCache cache(options);
+  const auto& ws = workloads::all_workloads();
   for (const double s : mtbce_s) {
     std::printf("\n-- MTBCE_node = %s --\n",
                 format_duration(from_seconds(s)).c_str());
     std::vector<std::string> headers = {"workload"};
     for (const TimeNs c : costs) headers.push_back(format_duration(c));
+    const std::size_t cols = costs.size();
+    const auto cells = bench::parallel_cells(
+        ws.size() * cols, options.jobs, [&](std::size_t i) {
+          const auto& w = *ws[i / cols];
+          const auto& runner =
+              cache.get(w, scale.ranks, core::scaled_trace_block(w, scale));
+          const noise::UniformCeNoiseModel noise(
+              from_seconds(s / scale.mtbce_divisor),
+              std::make_shared<noise::FlatLoggingCost>(costs[i % cols]));
+          return bench::cell_text(
+              runner.measure(noise, options.seeds, options.base_seed));
+        });
     TextTable table(headers);
-    for (const auto& w : workloads::all_workloads()) {
-      const auto& runner =
-          cache.get(*w, scale.ranks, core::scaled_trace_block(*w, scale));
-      std::vector<std::string> row = {w->name()};
-      for (const TimeNs c : costs) {
-        const noise::UniformCeNoiseModel noise(
-            from_seconds(s / scale.mtbce_divisor),
-            std::make_shared<noise::FlatLoggingCost>(c));
-        const auto result =
-            runner.measure(noise, options.seeds, options.base_seed);
-        row.push_back(bench::cell_text(result));
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+      std::vector<std::string> row = {ws[wi]->name()};
+      for (std::size_t ci = 0; ci < cols; ++ci) {
+        row.push_back(cells[wi * cols + ci]);
       }
       table.add_row(std::move(row));
     }

@@ -4,7 +4,10 @@
 // and the period between global synchronizations (§IV-C attributes the
 // sensitivity spread to collective frequency).
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "goal/task_graph.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -14,31 +17,43 @@ int main(int argc, char** argv) {
   using namespace celog;
   Cli cli("table1_workloads: the nine workload models");
   cli.add_option("ranks", "64", "ranks for the structure statistics");
+  cli.add_option("jobs", "0",
+                 "threads for the per-workload graph builds (0 = all cores)");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
   const auto ranks = static_cast<goal::Rank>(cli.get_int("ranks"));
+  const auto jobs_flag = cli.get_int("jobs");
+  const unsigned jobs = jobs_flag > 0
+                            ? static_cast<unsigned>(jobs_flag)
+                            : util::ThreadPool::hardware_threads();
 
   std::printf("== Table I: workload models (structure at %d ranks) ==\n\n",
               ranks);
+  // Graph construction dominates; build the nine workloads concurrently
+  // and assemble rows from the index-ordered results.
+  const auto& ws = workloads::all_workloads();
+  const auto rows = bench::parallel_cells(
+      ws.size(), jobs, [&](std::size_t i) -> std::vector<std::string> {
+        const auto& w = *ws[i];
+        workloads::WorkloadConfig config;
+        config.ranks = ranks;
+        config.iterations = 4;
+        const goal::TaskGraph g = w.build(config);
+        const double per_rank_iter =
+            static_cast<double>(g.total_ops()) /
+            static_cast<double>(ranks) / config.iterations;
+        const double bytes = static_cast<double>(g.total_bytes_sent()) /
+                             static_cast<double>(ranks) / config.iterations;
+        return {
+            w.name(),
+            format_duration(w.iteration_time()),
+            format_duration(w.sync_period()),
+            format_fixed(per_rank_iter, 1),
+            format_count(static_cast<std::int64_t>(bytes)),
+        };
+      });
   TextTable table({"workload", "iteration", "sync period", "ops/rank/iter",
                    "bytes sent/rank/iter"});
-  for (const auto& w : workloads::all_workloads()) {
-    workloads::WorkloadConfig config;
-    config.ranks = ranks;
-    config.iterations = 4;
-    const goal::TaskGraph g = w->build(config);
-    const double per_rank_iter =
-        static_cast<double>(g.total_ops()) /
-        static_cast<double>(ranks) / config.iterations;
-    const double bytes = static_cast<double>(g.total_bytes_sent()) /
-                         static_cast<double>(ranks) / config.iterations;
-    table.add_row({
-        w->name(),
-        format_duration(w->iteration_time()),
-        format_duration(w->sync_period()),
-        format_fixed(per_rank_iter, 1),
-        format_count(static_cast<std::int64_t>(bytes)),
-    });
-  }
+  for (const auto& row : rows) table.add_row(std::vector<std::string>(row));
   std::fputs(table.render().c_str(), stdout);
   std::printf("\ndescriptions:\n");
   for (const auto& w : workloads::all_workloads()) {

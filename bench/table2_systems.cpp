@@ -7,7 +7,10 @@
 // stated and derived values disagree reflect inconsistencies in the paper's
 // own table (see DESIGN.md) — both are shown.
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "core/system_config.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -15,24 +18,33 @@
 int main(int argc, char** argv) {
   using namespace celog;
   Cli cli("table2_systems: regenerate Table II system parameters");
+  cli.add_option("jobs", "0", "threads for the row sweep (0 = all cores)");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+  const auto jobs_flag = cli.get_int("jobs");
+  const unsigned jobs = jobs_flag > 0
+                            ? static_cast<unsigned>(jobs_flag)
+                            : util::ThreadPool::hardware_threads();
 
   std::printf("== Table II: correctable-error parameters ==\n\n");
+  const auto systems = core::systems::table2();
+  const auto rows = bench::parallel_cells(
+      systems.size(), jobs, [&](std::size_t i) -> std::vector<std::string> {
+        const auto& s = systems[i];
+        return {
+            s.name,
+            format_fixed(s.ces_per_node_year, 2),
+            format_fixed(s.gib_per_node, 1),
+            format_fixed(s.ces_per_gib_year, 2),
+            format_fixed(s.mtbce_node_seconds(), 1),
+            format_fixed(s.derived_ces_per_node_year(), 2),
+            s.nodes > 0 ? format_count(s.nodes) : "-",
+            s.simulated_nodes > 0 ? format_count(s.simulated_nodes) : "-",
+        };
+      });
   TextTable table({"system", "CEs/node/yr", "GiB/node", "CEs/GiB/yr",
                    "MTBCE_node (s)", "derived CEs/node/yr", "nodes",
                    "simulated"});
-  for (const auto& s : core::systems::table2()) {
-    table.add_row({
-        s.name,
-        format_fixed(s.ces_per_node_year, 2),
-        format_fixed(s.gib_per_node, 1),
-        format_fixed(s.ces_per_gib_year, 2),
-        format_fixed(s.mtbce_node_seconds(), 1),
-        format_fixed(s.derived_ces_per_node_year(), 2),
-        s.nodes > 0 ? format_count(s.nodes) : "-",
-        s.simulated_nodes > 0 ? format_count(s.simulated_nodes) : "-",
-    });
-  }
+  for (const auto& row : rows) table.add_row(std::vector<std::string>(row));
   std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\nnotes: MTBCE from the stated CEs/node/yr over a 365-day year.\n"

@@ -17,6 +17,7 @@
 #include "noise/noise_model.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/workload.hpp"
 
 int main(int argc, char** argv) {
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   cli.add_option("threshold-pct", "5",
                  "acceptable job slowdown in percent");
   cli.add_option("seeds", "3", "noisy runs to average per point");
+  cli.add_option("jobs", "0", "threads for the seed sweeps (0 = all cores)");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
 
   const auto workload = workloads::find_workload(cli.get("workload"));
@@ -35,6 +37,11 @@ int main(int argc, char** argv) {
   config.iterations = workload->iterations_for(4 * kSecond);
   const double threshold = cli.get_double("threshold-pct");
   const auto seeds = static_cast<int>(cli.get_int("seeds"));
+  const auto jobs_flag = cli.get_int("jobs");
+  const int jobs =
+      jobs_flag > 0
+          ? static_cast<int>(jobs_flag)
+          : static_cast<int>(util::ThreadPool::hardware_threads());
 
   std::printf("workload %s on %d nodes, %d iterations; acceptable slowdown "
               "%.1f%%\n\n",
@@ -54,7 +61,7 @@ int main(int argc, char** argv) {
     for (const double s : mtbce_s) {
       const noise::SingleRankCeNoiseModel noise(0, from_seconds(s),
                                                 core::cost_model(mode));
-      const auto result = runner.measure(noise, seeds);
+      const auto result = runner.measure(noise, seeds, 1000, 100.0, jobs);
       std::string verdict;
       if (result.no_progress) {
         verdict = "replace immediately";

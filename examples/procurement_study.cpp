@@ -18,6 +18,7 @@
 #include "noise/noise_model.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/workload.hpp"
 
 int main(int argc, char** argv) {
@@ -29,10 +30,16 @@ int main(int argc, char** argv) {
   cli.add_option("seeds", "2", "noisy runs per cell");
   cli.add_option("mix", "lulesh,hpcg,lammps-lj",
                  "comma-separated workload mix to protect");
+  cli.add_option("jobs", "0", "threads for the seed sweeps (0 = all cores)");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
 
   const auto max_ranks = static_cast<goal::Rank>(cli.get_int("ranks"));
   const auto seeds = static_cast<int>(cli.get_int("seeds"));
+  const auto jobs_flag = cli.get_int("jobs");
+  const int jobs =
+      jobs_flag > 0
+          ? static_cast<int>(jobs_flag)
+          : static_cast<int>(util::ThreadPool::hardware_threads());
 
   std::vector<std::shared_ptr<const workloads::Workload>> mix;
   {
@@ -76,7 +83,8 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < mix.size(); ++i) {
         const noise::UniformCeNoiseModel noise(core::scaled_mtbce(sys, scale),
                                                core::cost_model(mode));
-        const auto result = runners[i]->measure(noise, seeds);
+        const auto result =
+            runners[i]->measure(noise, seeds, 1000, 100.0, jobs);
         if (result.no_progress) {
           no_progress = true;
           worst_name = mix[i]->name();

@@ -14,6 +14,7 @@
 #include "core/logging_mode.hpp"
 #include "noise/noise_model.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/workload.hpp"
 
 int main(int argc, char** argv) {
@@ -22,7 +23,13 @@ int main(int argc, char** argv) {
   cli.add_option("iters", "20", "timesteps to simulate");
   cli.add_option("mtbce-s", "5.0", "mean time between CEs per node, seconds");
   cli.add_option("seeds", "4", "noisy runs to average");
+  cli.add_option("jobs", "0", "threads for the seed sweep (0 = all cores)");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+  const auto jobs_flag = cli.get_int("jobs");
+  const int jobs = jobs_flag > 0
+                       ? static_cast<int>(jobs_flag)
+                       : static_cast<int>(
+                             celog::util::ThreadPool::hardware_threads());
 
   const auto workload = celog::workloads::find_workload("lulesh");
   celog::workloads::WorkloadConfig config;
@@ -40,8 +47,8 @@ int main(int argc, char** argv) {
   for (const auto mode : celog::core::all_logging_modes()) {
     const celog::noise::UniformCeNoiseModel noise(
         mtbce, celog::core::cost_model(mode));
-    const auto result =
-        runner.measure(noise, static_cast<int>(cli.get_int("seeds")));
+    const auto result = runner.measure(
+        noise, static_cast<int>(cli.get_int("seeds")), 1000, 100.0, jobs);
     std::printf(
         "%-14s per-event cost %9s -> slowdown %7.3f%% (+-%.3f), "
         "%.0f detours charged/run\n",

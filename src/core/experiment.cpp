@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace celog::core {
 
@@ -49,36 +51,67 @@ sim::SimResult ExperimentRunner::run_once(const noise::NoiseModel& noise,
 
 SlowdownResult ExperimentRunner::measure(const noise::NoiseModel& noise,
                                          int seeds, std::uint64_t base_seed,
-                                         double horizon_factor) const {
+                                         double horizon_factor,
+                                         int jobs) const {
   CELOG_ASSERT_MSG(seeds >= 1, "need at least one seed");
   CELOG_ASSERT_MSG(horizon_factor > 1.0, "horizon must exceed the baseline");
   const auto horizon = static_cast<TimeNs>(
       std::min(static_cast<double>(noise::RankNoise::kNoHorizon),
                static_cast<double>(baseline_.makespan) * horizon_factor));
+
+  // Every seed's outcome lands in its index slot; the reduction below walks
+  // the slots in seed order with the same arithmetic as a serial loop, so
+  // the result does not depend on jobs or on thread scheduling. Seeds that
+  // blow the horizon are recorded (not rethrown): the paper's no-progress
+  // regime is a property of the cell, and the other seeds still yield a
+  // partial measurement. Other errors (deadlock, invalid input) propagate,
+  // lowest seed first.
+  struct SeedOutcome {
+    double pct = 0.0;
+    double detours = 0.0;
+    double stolen_s = 0.0;
+    bool no_progress = false;
+  };
+  std::vector<SeedOutcome> outcomes(static_cast<std::size_t>(seeds));
+  const auto run_seed = [&](std::size_t i) {
+    SeedOutcome& o = outcomes[i];
+    try {
+      const sim::SimResult r =
+          simulator_.run(noise, base_seed + i, horizon);
+      o.pct = sim::slowdown_percent(baseline_, r);
+      o.detours = static_cast<double>(r.detours_charged);
+      o.stolen_s = to_seconds(r.noise_stolen);
+    } catch (const NoProgressError&) {
+      o.no_progress = true;
+    }
+  };
+  if (jobs > 1 && seeds > 1) {
+    util::ThreadPool pool(
+        static_cast<unsigned>(std::min<int>(jobs, seeds)));
+    pool.parallel_for_indexed(outcomes.size(), run_seed);
+  } else {
+    for (std::size_t i = 0; i < outcomes.size(); ++i) run_seed(i);
+  }
+
   RunningStats pct;
   RunningStats detours;
   RunningStats stolen;
   SlowdownResult out;
-  for (int i = 0; i < seeds; ++i) {
-    try {
-      const sim::SimResult r = simulator_.run(
-          noise, base_seed + static_cast<std::uint64_t>(i), horizon);
-      pct.add(sim::slowdown_percent(baseline_, r));
-      detours.add(static_cast<double>(r.detours_charged));
-      stolen.add(to_seconds(r.noise_stolen));
-    } catch (const NoProgressError&) {
+  out.baseline_makespan = baseline_.makespan;
+  for (const SeedOutcome& o : outcomes) {
+    if (o.no_progress) {
       out.no_progress = true;
-      out.seeds = i;
-      out.baseline_makespan = baseline_.makespan;
-      return out;
+      continue;
     }
+    pct.add(o.pct);
+    detours.add(o.detours);
+    stolen.add(o.stolen_s);
   }
   out.mean_pct = pct.mean();
   out.stderr_pct = pct.stderr_mean();
   out.min_pct = pct.min();
   out.max_pct = pct.max();
-  out.seeds = seeds;
-  out.baseline_makespan = baseline_.makespan;
+  out.seeds = static_cast<int>(pct.count());
   out.mean_detours = detours.mean();
   out.mean_stolen_s = stolen.mean();
   return out;

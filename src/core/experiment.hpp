@@ -54,21 +54,27 @@ TimeNs scaled_mtbce(const SystemConfig& system, const ScaledSystem& scale);
 goal::Rank scaled_trace_block(const workloads::Workload& workload,
                               const ScaledSystem& scale);
 
-/// Slowdown measurement across seeds.
+/// Slowdown measurement across seeds. When some (but not all) seeds blow
+/// the horizon, the statistics cover the seeds that completed — a partial
+/// measurement flagged by no_progress, never a silent zero.
 struct SlowdownResult {
   double mean_pct = 0.0;
   double stderr_pct = 0.0;
   double min_pct = 0.0;
   double max_pct = 0.0;
+  /// Number of seeds that completed and contribute to the statistics above
+  /// (equals the requested seed count when no_progress is false).
   int seeds = 0;
   TimeNs baseline_makespan = 0;
   /// Mean number of detours that extended application activity per run.
   double mean_detours = 0.0;
   /// Mean CPU time stolen per run across the whole machine.
   double mean_stolen_s = 0.0;
-  /// True when a run blew through the simulation horizon: CE handling
-  /// outpaced the CPU, the paper's "unable to make forward progress" case
-  /// (its figures omit these points; benches print "no-progress").
+  /// True when at least one run blew through the simulation horizon: CE
+  /// handling outpaced the CPU, the paper's "unable to make forward
+  /// progress" case (its figures omit these points; benches print
+  /// "no-progress"). Every seed is still attempted, so `seeds` and the
+  /// statistics reflect the runs that did complete.
   bool no_progress = false;
 };
 
@@ -86,11 +92,17 @@ class ExperimentRunner {
 
   /// Mean slowdown of `noise` over `seeds` runs (seeds base_seed,
   /// base_seed+1, ...). Each run is bounded by `horizon_factor` x the
-  /// baseline makespan; if any run exceeds it, the result is flagged
-  /// no_progress instead of throwing.
+  /// baseline makespan; runs that exceed it flag the result no_progress
+  /// instead of throwing, and every seed is attempted regardless.
+  ///
+  /// `jobs` > 1 fans the seeds out across that many threads: Simulator::run
+  /// is const over the shared immutable graph, each seed's outcome is
+  /// gathered into its index slot, and the reduction walks the slots in
+  /// seed order — so the result is bit-identical to jobs = 1 for any job
+  /// count (see DESIGN.md, "Parallel sweep substrate").
   SlowdownResult measure(const noise::NoiseModel& noise, int seeds,
                          std::uint64_t base_seed = 1000,
-                         double horizon_factor = 100.0) const;
+                         double horizon_factor = 100.0, int jobs = 1) const;
 
   /// Single noisy run (exposed for tests and ablations).
   sim::SimResult run_once(const noise::NoiseModel& noise,

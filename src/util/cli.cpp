@@ -56,7 +56,7 @@ bool Cli::parse(int argc, const char* const* argv) {
         error_ = "flag --" + arg + " does not take a value";
         return false;
       }
-      values_[arg] = "1";
+      values_[arg] = std::string("1");
     } else {
       if (!has_value) {
         if (i + 1 >= argc) {
@@ -96,6 +96,11 @@ double Cli::get_double(const std::string& name) const {
     throw ParseError("option --" + name + ": not a number: " + v);
   }
   return parsed;
+}
+
+bool Cli::provided(const std::string& name) const {
+  CELOG_ASSERT_MSG(options_.contains(name), "provided() of unregistered option");
+  return values_.contains(name);
 }
 
 bool Cli::get_flag(const std::string& name) const {

@@ -38,6 +38,11 @@ class Cli {
   double get_double(const std::string& name) const;
   bool get_flag(const std::string& name) const;
 
+  /// True when the option or flag was given explicitly on the command line
+  /// (as opposed to falling back to its registered default). Lets presets
+  /// like --full defer to explicit per-option overrides.
+  bool provided(const std::string& name) const;
+
   /// Set after a failed parse() when the failure was an error (not --help).
   const std::string& error() const { return error_; }
 

@@ -69,17 +69,20 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
-  std::size_t idx;
-  if (x < lo_) {
-    idx = 0;
-  } else if (x >= hi_) {
-    idx = counts_.size() - 1;
-  } else {
-    idx = static_cast<std::size_t>((x - lo_) / width_);
-    idx = std::min(idx, counts_.size() - 1);
-  }
-  ++counts_[idx];
   ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  // The division can round up to bins() at the very top of the range;
+  // clamp keeps such samples in the last bin (they are in [lo, hi)).
+  std::size_t idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
 }
 
 std::size_t Histogram::bin_count(std::size_t i) const {

@@ -45,8 +45,10 @@ class RunningStats {
 /// The input span is copied; the original order is preserved.
 double percentile(std::span<const double> values, double q);
 
-/// Fixed-width histogram over [lo, hi); out-of-range samples are clamped to
-/// the first/last bin so no sample is silently dropped.
+/// Fixed-width histogram over [lo, hi). Out-of-range samples are NOT folded
+/// into the edge bins (that would conflate genuine edge-bin mass with
+/// clipping); they are tallied in explicit underflow()/overflow() counters
+/// so no sample is silently dropped and none is misattributed.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -54,7 +56,14 @@ class Histogram {
   void add(double x);
   std::size_t bin_count(std::size_t i) const;
   std::size_t bins() const { return counts_.size(); }
+  /// Every sample ever added, in range or not.
   std::size_t total() const { return total_; }
+  /// Samples that landed inside [lo, hi) and were binned.
+  std::size_t in_range() const { return total_ - underflow_ - overflow_; }
+  /// Samples with x < lo.
+  std::size_t underflow() const { return underflow_; }
+  /// Samples with x >= hi (the hi boundary itself is out of range).
+  std::size_t overflow() const { return overflow_; }
   double bin_low(std::size_t i) const;
   double bin_high(std::size_t i) const;
 
@@ -64,6 +73,8 @@ class Histogram {
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 }  // namespace celog

@@ -1,0 +1,106 @@
+#include "util/thread_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace celog::util {
+
+unsigned ThreadPool::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = hardware_threads();
+  if (threads > 1) {
+    workers_.reserve(threads - 1);
+    for (unsigned i = 1; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ > seen; });
+      if (stop_) return;
+      seen = generation_;
+      ++active_;
+    }
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::drain() {
+  const std::size_t n = size_.load();
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1);
+    if (i >= n) break;
+    try {
+      job_(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_ || i < error_index_) {
+        error_ = std::current_exception();
+        error_index_ = i;
+      }
+    }
+  }
+}
+
+void ThreadPool::run_indexed(std::size_t n,
+                             std::function<void(std::size_t)> fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    // Serial reference path: same per-index arithmetic, caller's thread
+    // only. Exceptions propagate directly (the lowest index throws first
+    // by construction).
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CELOG_ASSERT_MSG(size_.load() == 0,
+                     "ThreadPool sweeps must not nest or overlap");
+    job_ = std::move(fn);
+    error_ = nullptr;
+    error_index_ = 0;
+    next_.store(0);
+    size_.store(n);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain();  // the caller is one of the sweep's threads
+  // The caller's drain() returns only once every index is claimed, and a
+  // claimed-but-running index belongs to a worker still inside drain()
+  // (active_ > 0). Waiting for active_ == 0 therefore means every job has
+  // returned AND no straggler can touch the counters of a later sweep with
+  // this one's bound.
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    size_.store(0);
+    job_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace celog::util

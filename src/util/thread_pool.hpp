@@ -1,0 +1,86 @@
+// celog/util/thread_pool.hpp
+//
+// A deterministic parallel-sweep substrate (no work stealing, no futures):
+// a fixed set of worker threads plus a `parallel_for_indexed` that runs
+// fn(0..n-1) with every index claimed exactly once from a shared counter.
+// Determinism contract: each index is an independent unit whose result is
+// keyed by its index, so callers that gather into index-order slots (the
+// only supported pattern) produce output independent of thread count and
+// scheduling. Exceptions are collected and the one thrown by the LOWEST
+// index is rethrown after the sweep drains — the same exception a serial
+// loop would surface first — never the first-to-finish one.
+//
+// The pool is intentionally minimal: one sweep at a time — concurrent or
+// nested parallel_for_indexed calls on the same pool are a contract
+// violation and assert. A pool of `threads` <= 1 spawns no workers and
+// runs inline on the caller, which is the bit-for-bit serial reference
+// path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace celog::util {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total concurrency including the calling thread:
+  /// threads - 1 workers are spawned and the caller participates in every
+  /// sweep. 0 means hardware_threads().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency of a sweep (workers + the calling thread).
+  unsigned threads() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// std::thread::hardware_concurrency, never zero.
+  static unsigned hardware_threads();
+
+  /// Runs fn(i) for every i in [0, n) across the pool and the calling
+  /// thread; returns when all n calls have completed. Rethrows the
+  /// lowest-index exception, after the whole sweep has drained. Not
+  /// reentrant: fn must not call back into this pool.
+  template <typename Fn>
+  void parallel_for_indexed(std::size_t n, Fn&& fn) {
+    run_indexed(n, std::function<void(std::size_t)>(std::forward<Fn>(fn)));
+  }
+
+ private:
+  void run_indexed(std::size_t n, std::function<void(std::size_t)> fn);
+  void worker_loop();
+  /// Claims indices until the current sweep is exhausted.
+  void drain();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new sweep was published
+  std::condition_variable done_cv_;  // caller: all indices completed
+  std::uint64_t generation_ = 0;     // bumped once per sweep
+  bool stop_ = false;
+
+  // Current sweep. job_ is written under mu_ before the sweep is published
+  // (next_ reset + generation_ bump) and cleared only after every worker has
+  // left drain(), so workers never observe a torn callable.
+  std::function<void(std::size_t)> job_;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> size_{0};
+  std::size_t active_ = 0;             // workers inside drain(); under mu_
+  std::exception_ptr error_;           // guarded by mu_
+  std::size_t error_index_ = 0;        // guarded by mu_
+};
+
+}  // namespace celog::util

@@ -1,0 +1,326 @@
+// Tests for the parallel sweep substrate: ThreadPool ordering and exception
+// semantics, bit-identical parallel measure(), concurrent RunnerCache
+// builds, and the --full preset's interaction with explicit flags. These
+// run under `ctest -L concurrency` (and everything else) and are the
+// targets to exercise under -DCELOG_SANITIZE=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "core/logging_mode.hpp"
+#include "noise/noise_model.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/workload.hpp"
+
+namespace celog {
+namespace {
+
+TEST(ThreadPoolTest, GathersResultsInIndexOrder) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  constexpr std::size_t kN = 257;
+  std::vector<std::size_t> results(kN, 0);
+  pool.parallel_for_indexed(kN,
+                            [&](std::size_t i) { results[i] = i * i + 1; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(results[i], i * i + 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(8);
+  pool.parallel_for_indexed(8, [&](std::size_t i) {
+    ran[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanItems) {
+  util::ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  std::vector<int> results(3, 0);
+  pool.parallel_for_indexed(3, [&](std::size_t i) {
+    results[i] = static_cast<int>(i) + 10;
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(results, (std::vector<int>{10, 11, 12}));
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsANoOp) {
+  util::ThreadPool pool(4);
+  pool.parallel_for_indexed(0, [&](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ReusableAcrossSweeps) {
+  util::ThreadPool pool(3);
+  for (int sweep = 0; sweep < 50; ++sweep) {
+    const auto n = static_cast<std::size_t>(1 + (sweep * 7) % 23);
+    std::vector<int> results(n, -1);
+    pool.parallel_for_indexed(n, [&](std::size_t i) {
+      results[i] = sweep + static_cast<int>(i);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(results[i], sweep + static_cast<int>(i));
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RethrowsLowestIndexException) {
+  util::ThreadPool pool(4);
+  // Several indices throw; the serial reference loop would surface index 3
+  // first, so the pool must too — regardless of which thread finished
+  // first. Every index is still attempted.
+  std::atomic<int> calls{0};
+  const auto job = [&](std::size_t i) {
+    ++calls;
+    if (i == 3 || i == 7 || i == 11) {
+      throw std::runtime_error("boom " + std::to_string(i));
+    }
+  };
+  try {
+    pool.parallel_for_indexed(16, job);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+  EXPECT_EQ(calls.load(), 16);
+}
+
+TEST(ThreadPoolTest, UsableAfterException) {
+  util::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_indexed(
+                   4, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::vector<int> results(4, 0);
+  pool.parallel_for_indexed(4, [&](std::size_t i) {
+    results[i] = static_cast<int>(i);
+  });
+  EXPECT_EQ(results, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPoolTest, SerialPathPropagatesExceptions) {
+  util::ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for_indexed(
+                   2, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsNeverZero) {
+  EXPECT_GE(util::ThreadPool::hardware_threads(), 1u);
+  util::ThreadPool pool;  // 0 = hardware
+  EXPECT_EQ(pool.threads(), util::ThreadPool::hardware_threads());
+}
+
+TEST(ParallelCellsTest, MatchesSerialEvaluation) {
+  const auto serial = bench::parallel_cells(
+      40, 1, [](std::size_t i) { return std::to_string(i * 3); });
+  const auto parallel = bench::parallel_cells(
+      40, 4, [](std::size_t i) { return std::to_string(i * 3); });
+  EXPECT_EQ(serial, parallel);
+}
+
+void expect_identical(const core::SlowdownResult& a,
+                      const core::SlowdownResult& b) {
+  // Bit-identical, not approximately equal: the reduction must not depend
+  // on thread count or scheduling.
+  EXPECT_EQ(a.mean_pct, b.mean_pct);
+  EXPECT_EQ(a.stderr_pct, b.stderr_pct);
+  EXPECT_EQ(a.min_pct, b.min_pct);
+  EXPECT_EQ(a.max_pct, b.max_pct);
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.baseline_makespan, b.baseline_makespan);
+  EXPECT_EQ(a.mean_detours, b.mean_detours);
+  EXPECT_EQ(a.mean_stolen_s, b.mean_stolen_s);
+  EXPECT_EQ(a.no_progress, b.no_progress);
+}
+
+TEST(ParallelMeasureTest, BitIdenticalToSerial) {
+  workloads::WorkloadConfig config;
+  config.ranks = 8;
+  config.iterations = 2;
+  const core::ExperimentRunner runner(*workloads::find_workload("lulesh"),
+                                      config);
+  const noise::UniformCeNoiseModel noise(
+      milliseconds(10),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(775)));
+  const auto serial = runner.measure(noise, 6, 1000, 100.0, /*jobs=*/1);
+  for (const int jobs : {2, 3, 8}) {
+    expect_identical(serial, runner.measure(noise, 6, 1000, 100.0, jobs));
+  }
+  EXPECT_EQ(serial.seeds, 6);
+  EXPECT_FALSE(serial.no_progress);
+  EXPECT_GT(serial.mean_pct, 0.0);
+}
+
+TEST(ParallelMeasureTest, SingleRankModelBitIdentical) {
+  workloads::WorkloadConfig config;
+  config.ranks = 8;
+  config.iterations = 2;
+  const core::ExperimentRunner runner(*workloads::find_workload("minife"),
+                                      config);
+  const noise::SingleRankCeNoiseModel noise(
+      2, milliseconds(50),
+      core::cost_model(core::LoggingMode::kSoftware));
+  expect_identical(runner.measure(noise, 4, 1000, 100.0, 1),
+                   runner.measure(noise, 4, 1000, 100.0, 4));
+}
+
+/// Blows the horizon for odd run seeds (or every seed): one giant detour
+/// that no 100x-baseline horizon survives. Other seeds are noise-free.
+class SeedBombModel final : public noise::NoiseModel {
+ public:
+  explicit SeedBombModel(bool odd_seeds_only) : odd_only_(odd_seeds_only) {}
+
+  std::unique_ptr<noise::DetourSource> make_source(
+      noise::RankId rank, std::uint64_t run_seed) const override {
+    if (rank != 0 || (odd_only_ && run_seed % 2 == 0)) {
+      return std::make_unique<noise::NullDetourSource>();
+    }
+    return std::make_unique<noise::TraceDetourSource>(
+        std::vector<noise::Detour>{{0, seconds(100000)}});
+  }
+
+ private:
+  bool odd_only_;
+};
+
+TEST(ParallelMeasureTest, PartialStatsWhenSomeSeedsBlowHorizon) {
+  workloads::WorkloadConfig config;
+  config.ranks = 4;
+  config.iterations = 2;
+  const core::ExperimentRunner runner(*workloads::find_workload("minife"),
+                                      config);
+  const SeedBombModel noise(/*odd_seeds_only=*/true);
+  // Base seed 1000: seeds 1001 and 1003 blow the horizon, 1000 and 1002
+  // complete cleanly. The completed seeds must still be measured.
+  const auto result = runner.measure(noise, 4, 1000, 100.0, 1);
+  EXPECT_TRUE(result.no_progress);
+  EXPECT_EQ(result.seeds, 2);
+  EXPECT_DOUBLE_EQ(result.mean_pct, 0.0);
+  // And the partial aggregation is identical under parallel execution —
+  // including which seed is flagged, not just the happy path.
+  expect_identical(result, runner.measure(noise, 4, 1000, 100.0, 4));
+}
+
+TEST(ParallelMeasureTest, AllSeedsBlowingHorizonYieldsZeroCompleted) {
+  workloads::WorkloadConfig config;
+  config.ranks = 4;
+  config.iterations = 2;
+  const core::ExperimentRunner runner(*workloads::find_workload("minife"),
+                                      config);
+  const SeedBombModel noise(/*odd_seeds_only=*/false);
+  const auto result = runner.measure(noise, 2, 1000, 100.0, 2);
+  EXPECT_TRUE(result.no_progress);
+  EXPECT_EQ(result.seeds, 0);
+}
+
+/// Counts build() calls to a delegate workload — the RunnerCache contract
+/// is that concurrent get() of the same key builds exactly once.
+class CountingWorkload final : public workloads::Workload {
+ public:
+  CountingWorkload(std::shared_ptr<const workloads::Workload> inner,
+                   std::atomic<int>& builds)
+      : inner_(std::move(inner)), builds_(builds) {}
+
+  std::string name() const override { return inner_->name(); }
+  std::string description() const override { return inner_->description(); }
+  goal::TaskGraph build(const workloads::WorkloadConfig& config) const override {
+    ++builds_;
+    return inner_->build(config);
+  }
+  TimeNs sync_period() const override { return inner_->sync_period(); }
+  TimeNs iteration_time() const override { return inner_->iteration_time(); }
+  goal::Rank trace_ranks() const override { return inner_->trace_ranks(); }
+
+ private:
+  std::shared_ptr<const workloads::Workload> inner_;
+  std::atomic<int>& builds_;
+};
+
+TEST(RunnerCacheTest, ConcurrentGetBuildsEachKeyOnce) {
+  bench::Options options;
+  options.sim_target = kSecond / 10;
+  bench::RunnerCache cache(options);
+  std::atomic<int> builds{0};
+  const CountingWorkload workload(workloads::find_workload("minife"), builds);
+
+  // 16 concurrent lookups over 2 distinct keys: every thread must get the
+  // same runner per key and only 2 builds may happen in total.
+  util::ThreadPool pool(8);
+  std::vector<const core::ExperimentRunner*> runners(16, nullptr);
+  pool.parallel_for_indexed(16, [&](std::size_t i) {
+    const goal::Rank ranks = i % 2 == 0 ? 8 : 16;
+    runners[i] = &cache.get(workload, ranks, 0);
+  });
+  EXPECT_EQ(builds.load(), 2);
+  for (std::size_t i = 2; i < 16; ++i) {
+    EXPECT_EQ(runners[i], runners[i % 2]) << "lookup " << i;
+  }
+  EXPECT_NE(runners[0], runners[1]);
+  EXPECT_EQ(runners[0]->graph().ranks(), 8);
+  EXPECT_EQ(runners[1]->graph().ranks(), 16);
+}
+
+bench::Options parse_standard(const std::vector<const char*>& argv) {
+  Cli cli("test");
+  bench::add_standard_options(cli);
+  EXPECT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  return bench::read_standard_options(cli);
+}
+
+TEST(StandardOptionsTest, DefaultsWithoutFull) {
+  const auto o = parse_standard({"bench"});
+  EXPECT_EQ(o.max_ranks, 128);
+  EXPECT_EQ(o.sim_target, 4 * kSecond);
+  EXPECT_EQ(o.seeds, 2);
+  EXPECT_GE(o.jobs, 1u);
+}
+
+TEST(StandardOptionsTest, FullPresetAppliesPaperScale) {
+  const auto o = parse_standard({"bench", "--full"});
+  EXPECT_EQ(o.max_ranks, 16384);
+  EXPECT_EQ(o.sim_target, 30 * kSecond);
+  EXPECT_EQ(o.seeds, 8);
+}
+
+TEST(StandardOptionsTest, ExplicitFlagsOverrideFullPreset) {
+  // The historical bug: --full silently discarded explicit --ranks /
+  // --sim-s / --seeds. Explicit flags must win over the preset.
+  const auto o = parse_standard(
+      {"bench", "--full", "--seeds", "16", "--ranks", "256"});
+  EXPECT_EQ(o.max_ranks, 256);
+  EXPECT_EQ(o.seeds, 16);
+  EXPECT_EQ(o.sim_target, 30 * kSecond);  // not given: preset still applies
+}
+
+TEST(StandardOptionsTest, JobsFlagIsRespected) {
+  EXPECT_EQ(parse_standard({"bench", "--jobs", "3"}).jobs, 3u);
+  EXPECT_EQ(parse_standard({"bench", "--jobs", "0"}).jobs,
+            util::ThreadPool::hardware_threads());
+}
+
+TEST(CliProvidedTest, TracksExplicitOptions) {
+  Cli cli("test");
+  cli.add_option("ranks", "128", "ranks");
+  cli.add_option("seeds", "2", "seeds");
+  const std::vector<const char*> argv = {"x", "--ranks", "64"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.provided("ranks"));
+  EXPECT_FALSE(cli.provided("seeds"));
+  EXPECT_EQ(cli.get_int("seeds"), 2);  // default still served
+}
+
+}  // namespace
+}  // namespace celog

@@ -121,14 +121,19 @@ TEST(HistogramTest, BinningAndRanges) {
   EXPECT_EQ(h.total(), 4u);
 }
 
-TEST(HistogramTest, OutOfRangeClampsToEdges) {
+TEST(HistogramTest, OutOfRangeCountedSeparately) {
   Histogram h(0.0, 10.0, 2);
   h.add(-5.0);
   h.add(100.0);
-  h.add(10.0);  // hi boundary belongs to the last bin
+  h.add(10.0);  // [lo, hi): the hi boundary itself is overflow
+  h.add(4.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  // Edge bins hold only genuinely in-range samples.
   EXPECT_EQ(h.bin_count(0), 1u);
-  EXPECT_EQ(h.bin_count(1), 2u);
-  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bin_count(1), 0u);
+  EXPECT_EQ(h.in_range(), 1u);
+  EXPECT_EQ(h.total(), 4u);
 }
 
 }  // namespace
