@@ -63,6 +63,8 @@ int main(int argc, char** argv) {
   bench::add_standard_options(cli);
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
   const bench::Options options = bench::read_standard_options(cli);
+  const bench::WallTimer timer;
+  bench::PerfJson perf(options.json_path, "ablation_absorption");
   bench::print_banner("Ablation: noise absorption mechanisms", options);
 
   // Machine-wide CE rate equal to the exascale x10 system, reduced
@@ -109,5 +111,6 @@ int main(int argc, char** argv) {
       "\nreading: longer sync periods coalesce and absorb detours (multiple\n"
       "CEs per epoch count once); imbalance pre-pays wait time that hides\n"
       "detours on the faster ranks — both shrink effective CE overhead.\n");
+  perf.metric("total_wall_s", timer.seconds());
   return 0;
 }

@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
   cli.add_option("flush-s", "10", "seconds between log flushes");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
   const bench::Options options = bench::read_standard_options(cli);
+  const bench::WallTimer timer;
+  bench::PerfJson perf(options.json_path, "ablation_deferred_logging");
   bench::print_banner("Ablation: deferred / coordinated CE logging",
                       options);
   const TimeNs flush_period = from_seconds(cli.get_double("flush-s"));
@@ -76,5 +78,6 @@ int main(int argc, char** argv) {
       "even that residual from the critical path — supporting the paper's\n"
       "conclusion that reducing per-event logging time matters more than\n"
       "reducing the error rate.\n");
+  perf.metric("total_wall_s", timer.seconds());
   return 0;
 }

@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   bench::add_standard_options(cli);
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
   const bench::Options options = bench::read_standard_options(cli);
+  const bench::WallTimer timer;
+  bench::PerfJson perf(options.json_path, "ablation_threshold_model");
   bench::print_banner("Ablation: firmware cost structure", options);
 
   struct Model {
@@ -70,5 +72,6 @@ int main(int argc, char** argv) {
     }
     std::fputs(table.render().c_str(), stdout);
   }
+  perf.metric("total_wall_s", timer.seconds());
   return 0;
 }

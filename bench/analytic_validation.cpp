@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
   bench::add_standard_options(cli);
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
   const bench::Options options = bench::read_standard_options(cli);
+  const bench::WallTimer timer;
+  bench::PerfJson perf(options.json_path, "analytic_validation");
   bench::print_banner("Analytic cross-validation (firmware logging)",
                       options);
 
@@ -70,5 +72,6 @@ int main(int argc, char** argv) {
       "\nanalytic model: additive = p*lambda*c/(1-rho); island = E[max over\n"
       "islands of Poisson(island_rate*sync_period)] * c/(1-rho) /\n"
       "sync_period; prediction = min of the two (see core/analytic.hpp).\n");
+  perf.metric("total_wall_s", timer.seconds());
   return 0;
 }

@@ -35,6 +35,7 @@
 #include "core/experiment.hpp"
 #include "core/logging_mode.hpp"
 #include "core/system_config.hpp"
+#include "perf_json.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -49,6 +50,8 @@ struct Options {
   std::uint64_t base_seed = 1000;
   /// Threads for cell sweeps (resolved: never 0).
   unsigned jobs = 1;
+  /// Perf-trajectory JSONL file to append a record to ("" = disabled).
+  std::string json_path;
 };
 
 inline void add_standard_options(Cli& cli) {
@@ -59,6 +62,9 @@ inline void add_standard_options(Cli& cli) {
   cli.add_option("jobs", "0",
                  "threads for the cell sweep (0 = all hardware threads; "
                  "output is identical for any value)");
+  cli.add_option("json", "",
+                 "append a perf-trajectory JSONL record (wall clock per "
+                 "cell) to this file");
   cli.add_flag("full", "paper scale: ranks=16384, sim-s=30, seeds=8 "
                "(explicit --ranks/--sim-s/--seeds still override)");
 }
@@ -81,6 +87,7 @@ inline Options read_standard_options(const Cli& cli) {
   const auto jobs = cli.get_int("jobs");
   o.jobs = jobs > 0 ? static_cast<unsigned>(jobs)
                     : util::ThreadPool::hardware_threads();
+  o.json_path = cli.get("json");
   return o;
 }
 
@@ -188,9 +195,13 @@ inline void print_banner(const char* what, const Options& o) {
 /// slowdown per (workload, system, logging mode). The (workload, system)
 /// grid of each mode is evaluated concurrently; rows are assembled from
 /// the index-ordered results, so the tables match a serial run exactly.
+/// Per-cell wall clock is recorded into `perf` (a no-op unless the bench
+/// was given --json), so systems figures contribute to the perf
+/// trajectory; PerfJson::cell is thread-safe and cells are sorted before
+/// writing, keeping the record deterministic under --jobs.
 inline void run_systems_figure(
     const std::vector<core::SystemConfig>& systems, const Options& options,
-    RunnerCache& cache) {
+    RunnerCache& cache, PerfJson& perf) {
   const auto& rows = workloads::all_workloads();
   for (const auto mode : core::all_logging_modes()) {
     std::printf("\n-- %s logging (%s per event) --\n", core::to_string(mode),
@@ -209,8 +220,13 @@ inline void run_systems_figure(
               cache.get(w, scale.ranks, core::scaled_trace_block(w, scale));
           const noise::UniformCeNoiseModel noise(
               core::scaled_mtbce(sys, scale), core::cost_model(mode));
-          return cell_text(
-              runner.measure(noise, options.seeds, options.base_seed));
+          return perf.time_cell(
+              std::string(core::to_string(mode)) + "/" + w.name() + "/" +
+                  sys.name,
+              [&] {
+                return cell_text(runner.measure(noise, options.seeds,
+                                                options.base_seed));
+              });
         });
 
     TextTable table(headers);

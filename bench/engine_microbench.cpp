@@ -1,18 +1,37 @@
-// bench/engine_microbench — google-benchmark micro-benchmarks of the
-// simulation substrate itself: event throughput of the LogGOPS engine,
-// task-graph construction, collective expansion, and the noise busy-period
-// arithmetic. These are the knobs that decide how large a machine the tool
-// can simulate per wall-second.
-#include <benchmark/benchmark.h>
-
+// bench/engine_microbench — micro-benchmarks of the simulation substrate
+// itself: event throughput of the LogGOPS engine (shallow ring traffic and
+// the deep-recv-queue matching stress), noisy runs, the parallel seed
+// sweep, task-graph construction, collective expansion, and the noise
+// busy-period arithmetic. These are the knobs that decide how large a
+// machine the tool can simulate per wall-second.
+//
+// Methodology: every scenario runs `--warmup` untimed repetitions (page in
+// graphs, warm allocators and caches) and then `--reps` timed ones, and
+// reports p50/p95 across the timed reps — a single hot-cache mean hides
+// exactly the variance a perf-trajectory file is meant to expose. Results
+// append one JSONL record to --json (see perf_json.hpp); --check-floor
+// compares throughput metrics against a checked-in floor file and fails
+// the process if any regresses by more than 30%.
+//
+// The deep_recv scenario runs both the production bucketed matcher and the
+// retained linear-scan reference (see src/sim/match_table.hpp), checks
+// their SimResults are bit-identical, and reports the speedup — this is
+// the ISSUE-2 headline number (>=3x at 1k+ ranks with deep recv queues).
+#include <cctype>
+#include <cinttypes>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "perf_json.hpp"
 #include "collectives/collectives.hpp"
 #include "goal/task_graph.hpp"
 #include "noise/noise_model.hpp"
 #include "noise/rank_noise.hpp"
 #include "sim/engine.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 #include "workloads/workload.hpp"
 
@@ -20,6 +39,11 @@ namespace {
 
 using namespace celog;
 
+// ---------------------------------------------------------------------------
+// Graph builders
+
+/// Nearest-neighbor ring exchange: the shallow-queue throughput scenario
+/// (at most a couple of outstanding messages per rank at any time).
 goal::TaskGraph ring_graph(goal::Rank ranks, int iters) {
   goal::TaskGraph g(ranks);
   std::vector<goal::SequentialBuilder> b;
@@ -38,112 +62,402 @@ goal::TaskGraph ring_graph(goal::Rank ranks, int iters) {
   return g;
 }
 
-void BM_EngineRingThroughput(benchmark::State& state) {
-  const auto ranks = static_cast<goal::Rank>(state.range(0));
-  const goal::TaskGraph g = ring_graph(ranks, 50);
-  const sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
-  std::uint64_t events = 0;
-  for (auto _ : state) {
-    const auto r = sim.run_baseline();
-    events += r.events_processed;
-    benchmark::DoNotOptimize(r.makespan);
+/// Deep-recv-queue matching stress: every rank posts `depth` nonblocking
+/// recvs up front (the miniFE/HPCG halo-phase pattern at scale), computes,
+/// then sends to its right neighbor in REVERSE tag order — so each arriving
+/// message matches against a posted queue that is still hundreds to
+/// thousands of entries deep. A linear-scan matcher degrades to
+/// O(depth) per match (O(depth^2) per rank); bucketed matching stays O(1).
+goal::TaskGraph deep_recv_graph(goal::Rank ranks, int depth) {
+  goal::TaskGraph g(ranks);
+  for (goal::Rank r = 0; r < ranks; ++r) {
+    goal::SequentialBuilder b(g, r);
+    const goal::Rank left = (r - 1 + ranks) % ranks;
+    const goal::Rank right = (r + 1) % ranks;
+    std::vector<goal::OpId> recvs;
+    recvs.reserve(static_cast<std::size_t>(depth));
+    for (int d = 0; d < depth; ++d) {
+      recvs.push_back(b.detached_recv(left, 64, d));
+    }
+    b.calc(1000);
+    for (int d = depth - 1; d >= 0; --d) b.send(right, 64, d);
+    for (const goal::OpId id : recvs) b.join(id);
+    b.calc(10);
   }
-  state.counters["events/s"] = benchmark::Counter(
-      static_cast<double>(events), benchmark::Counter::kIsRate);
-  state.counters["ops"] = static_cast<double>(g.total_ops());
+  g.finalize();
+  return g;
 }
-BENCHMARK(BM_EngineRingThroughput)->Arg(64)->Arg(256)->Arg(1024);
 
-void BM_EngineWithNoise(benchmark::State& state) {
-  const goal::TaskGraph g = ring_graph(256, 50);
-  const sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
+// ---------------------------------------------------------------------------
+// Measurement helpers
+
+/// FNV-1a over the fields that must be bit-identical across matchers and
+/// engine refactors; printed and recorded so a perf trajectory doubles as a
+/// determinism trail.
+std::uint64_t result_checksum(const sim::SimResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(r.makespan));
+  mix(r.data_messages);
+  mix(r.control_messages);
+  mix(static_cast<std::uint64_t>(r.noise_stolen));
+  mix(r.detours_charged);
+  mix(r.events_processed);
+  for (const TimeNs t : r.rank_finish) mix(static_cast<std::uint64_t>(t));
+  return h;
+}
+
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+Percentiles summarize(const std::vector<double>& samples) {
+  return Percentiles{percentile(samples, 0.50), percentile(samples, 0.95)};
+}
+
+/// Runs `fn` (returning a per-rep scalar) warmup+reps times and returns
+/// p50/p95 over the timed reps.
+template <typename Fn>
+Percentiles measure(int warmup, int reps, Fn&& fn) {
+  for (int i = 0; i < warmup; ++i) static_cast<void>(fn());
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) samples.push_back(fn());
+  return summarize(samples);
+}
+
+struct Context {
+  int reps = 3;
+  int warmup = 1;
+  sim::MatcherKind matcher = sim::MatcherKind::kBucketed;
+  bool both_matchers = true;  // deep_recv: also run the reference matcher
+  unsigned jobs = 4;
+  bench::PerfJson* perf = nullptr;
+};
+
+void report(const Context& ctx, const std::string& metric,
+            const Percentiles& p, const char* unit) {
+  std::printf("  %-46s p50 %12.4g %s   p95 %12.4g %s\n", metric.c_str(),
+              p.p50, unit, p.p95, unit);
+  ctx.perf->metric(metric + ".p50", p.p50);
+  ctx.perf->metric(metric + ".p95", p.p95);
+}
+
+void report_checksum(const Context& ctx, const std::string& scenario,
+                     std::uint64_t checksum) {
+  std::printf("  %-46s %016" PRIx64 "\n", (scenario + ".checksum").c_str(),
+              checksum);
+  // JSON numbers are doubles; record the low 32 bits losslessly (the full
+  // value is in the printed output).
+  ctx.perf->metric(scenario + ".checksum32",
+                   static_cast<double>(checksum & 0xffffffffull));
+}
+
+/// Times run_baseline() under `matcher`, returning per-rep events/s.
+Percentiles bench_baseline(const Context& ctx, const sim::Simulator& sim,
+                           std::uint64_t* checksum) {
+  return measure(ctx.warmup, ctx.reps, [&] {
+    const bench::WallTimer timer;
+    const sim::SimResult r = sim.run_baseline();
+    const double wall = timer.seconds();
+    if (checksum != nullptr) *checksum = result_checksum(r);
+    return static_cast<double>(r.events_processed) / wall;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios
+
+void scenario_ring(const Context& ctx, goal::Rank ranks, int iters) {
+  const std::string name =
+      "ring_r" + std::to_string(ranks) + "_i" + std::to_string(iters);
+  std::printf("%s (sweep-throughput scenario)\n", name.c_str());
+  const goal::TaskGraph g = ring_graph(ranks, iters);
+  sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
+  sim.set_matcher(ctx.matcher);
+  std::uint64_t checksum = 0;
+  report(ctx, name + ".events_per_s", bench_baseline(ctx, sim, &checksum),
+         "ev/s");
+  report_checksum(ctx, name, checksum);
+}
+
+void scenario_deep_recv(const Context& ctx, goal::Rank ranks, int depth) {
+  const std::string name =
+      "deep_recv_r" + std::to_string(ranks) + "_d" + std::to_string(depth);
+  std::printf("%s (deep-recv-queue matching scenario)\n", name.c_str());
+  const goal::TaskGraph g = deep_recv_graph(ranks, depth);
+  sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
+
+  sim.set_matcher(sim::MatcherKind::kBucketed);
+  const sim::SimResult bucketed_result = sim.run_baseline();
+  std::uint64_t checksum = 0;
+  const Percentiles bucketed = bench_baseline(ctx, sim, &checksum);
+  report(ctx, name + ".bucketed.events_per_s", bucketed, "ev/s");
+  report_checksum(ctx, name, checksum);
+
+  if (ctx.both_matchers) {
+    sim.set_matcher(sim::MatcherKind::kReference);
+    const sim::SimResult reference_result = sim.run_baseline();
+    if (result_checksum(reference_result) !=
+        result_checksum(bucketed_result)) {
+      std::fprintf(stderr,
+                   "FATAL: reference and bucketed matchers disagree on %s\n",
+                   name.c_str());
+      std::exit(1);
+    }
+    // The reference matcher is O(depth) per match; cap its reps so deep
+    // configurations stay measurable in minutes, not hours.
+    Context ref_ctx = ctx;
+    ref_ctx.reps = std::min(ctx.reps, 2);
+    ref_ctx.warmup = 0;  // the identity check above already warmed it
+    const Percentiles reference =
+        measure(ref_ctx.warmup, ref_ctx.reps, [&] {
+          const bench::WallTimer timer;
+          const sim::SimResult r = sim.run_baseline();
+          return static_cast<double>(r.events_processed) / timer.seconds();
+        });
+    report(ref_ctx, name + ".reference.events_per_s", reference, "ev/s");
+    const double speedup = bucketed.p50 / reference.p50;
+    std::printf("  %-46s %12.2fx\n", (name + ".speedup").c_str(), speedup);
+    ctx.perf->metric(name + ".speedup", speedup);
+  }
+}
+
+void scenario_noise(const Context& ctx, goal::Rank ranks) {
+  const std::string name = "noise_r" + std::to_string(ranks);
+  std::printf("%s (noisy single run)\n", name.c_str());
+  const goal::TaskGraph g = ring_graph(ranks, 50);
+  sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
+  sim.set_matcher(ctx.matcher);
   const noise::UniformCeNoiseModel noise(
       microseconds(500),
       std::make_shared<noise::FlatLoggingCost>(microseconds(1)));
   std::uint64_t seed = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.run(noise, ++seed).makespan);
-  }
+  report(ctx, name + ".wall_ms", measure(ctx.warmup, ctx.reps, [&] {
+           const bench::WallTimer timer;
+           static_cast<void>(sim.run(noise, ++seed));
+           return timer.seconds() * 1e3;
+         }),
+         "ms");
 }
-BENCHMARK(BM_EngineWithNoise);
 
-// Aggregate throughput of a seed sweep fanned out across a ThreadPool —
-// the multi-thread counterpart of BM_EngineWithNoise. Arg is the thread
-// count; events/s at Arg(k) over events/s at Arg(1) is the sweep speedup
-// the parallel experiment driver achieves on this machine.
-void BM_EngineParallelSweep(benchmark::State& state) {
-  const goal::TaskGraph g = ring_graph(256, 50);
-  const sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
+void scenario_sweep(const Context& ctx, goal::Rank ranks) {
+  const std::string name = "sweep_r" + std::to_string(ranks) + "_j" +
+                           std::to_string(ctx.jobs);
+  std::printf("%s (parallel seed sweep)\n", name.c_str());
+  const goal::TaskGraph g = ring_graph(ranks, 50);
+  sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
+  sim.set_matcher(ctx.matcher);
   const noise::UniformCeNoiseModel noise(
       microseconds(500),
       std::make_shared<noise::FlatLoggingCost>(microseconds(1)));
-  const auto jobs = static_cast<unsigned>(state.range(0));
-  util::ThreadPool pool(jobs);
+  util::ThreadPool pool(ctx.jobs);
   constexpr std::size_t kSeedsPerBatch = 16;
   std::vector<std::uint64_t> batch_events(kSeedsPerBatch, 0);
-  std::uint64_t events = 0;
   std::uint64_t base_seed = 1;
-  for (auto _ : state) {
-    pool.parallel_for_indexed(kSeedsPerBatch, [&](std::size_t i) {
-      batch_events[i] =
-          sim.run(noise, base_seed + i).events_processed;
-    });
-    for (const std::uint64_t e : batch_events) events += e;
-    base_seed += kSeedsPerBatch;
-  }
-  state.counters["events/s"] = benchmark::Counter(
-      static_cast<double>(events), benchmark::Counter::kIsRate);
-  state.counters["threads"] = static_cast<double>(pool.threads());
+  report(ctx, name + ".events_per_s", measure(ctx.warmup, ctx.reps, [&] {
+           const bench::WallTimer timer;
+           pool.parallel_for_indexed(kSeedsPerBatch, [&](std::size_t i) {
+             batch_events[i] =
+                 sim.run(noise, base_seed + i).events_processed;
+           });
+           base_seed += kSeedsPerBatch;
+           std::uint64_t events = 0;
+           for (const std::uint64_t e : batch_events) events += e;
+           return static_cast<double>(events) / timer.seconds();
+         }),
+         "ev/s");
 }
-// UseRealTime: the sweep's cost is its wall clock, and rate counters must
-// divide by it — per-thread CPU time would overstate the speedup.
-BENCHMARK(BM_EngineParallelSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->UseRealTime();
 
-void BM_GraphBuildLulesh(benchmark::State& state) {
+void scenario_graph_build(const Context& ctx, goal::Rank ranks) {
+  const std::string name = "graph_build_lulesh_r" + std::to_string(ranks);
+  std::printf("%s (task-graph construction)\n", name.c_str());
   const auto workload = workloads::find_workload("lulesh");
   workloads::WorkloadConfig config;
-  config.ranks = static_cast<goal::Rank>(state.range(0));
+  config.ranks = ranks;
   config.iterations = 10;
-  for (auto _ : state) {
-    const goal::TaskGraph g = workload->build(config);
-    benchmark::DoNotOptimize(g.total_ops());
-  }
+  report(ctx, name + ".wall_ms", measure(ctx.warmup, ctx.reps, [&] {
+           const bench::WallTimer timer;
+           const goal::TaskGraph g = workload->build(config);
+           static_cast<void>(g.total_ops());
+           return timer.seconds() * 1e3;
+         }),
+         "ms");
 }
-BENCHMARK(BM_GraphBuildLulesh)->Arg(64)->Arg(512);
 
-void BM_CollectiveExpansionAllreduce(benchmark::State& state) {
-  const auto ranks = static_cast<goal::Rank>(state.range(0));
-  for (auto _ : state) {
-    goal::TaskGraph g(ranks);
-    std::vector<goal::SequentialBuilder> b;
-    b.reserve(static_cast<std::size_t>(ranks));
-    for (goal::Rank r = 0; r < ranks; ++r) b.emplace_back(g, r);
-    collectives::TagAllocator tags;
-    collectives::allreduce({b.data(), b.size()}, 8, tags);
-    g.finalize();
-    benchmark::DoNotOptimize(g.total_ops());
-  }
+void scenario_allreduce(const Context& ctx, goal::Rank ranks) {
+  const std::string name = "allreduce_r" + std::to_string(ranks);
+  std::printf("%s (collective expansion)\n", name.c_str());
+  report(ctx, name + ".wall_ms", measure(ctx.warmup, ctx.reps, [&] {
+           const bench::WallTimer timer;
+           goal::TaskGraph g(ranks);
+           std::vector<goal::SequentialBuilder> b;
+           b.reserve(static_cast<std::size_t>(ranks));
+           for (goal::Rank r = 0; r < ranks; ++r) b.emplace_back(g, r);
+           collectives::TagAllocator tags;
+           collectives::allreduce({b.data(), b.size()}, 8, tags);
+           g.finalize();
+           static_cast<void>(g.total_ops());
+           return timer.seconds() * 1e3;
+         }),
+         "ms");
 }
-BENCHMARK(BM_CollectiveExpansionAllreduce)->Arg(256)->Arg(4096);
 
-void BM_RankNoiseBusyPeriod(benchmark::State& state) {
-  for (auto _ : state) {
-    state.PauseTiming();
-    const noise::FlatLoggingCost cost(microseconds(1));
-    noise::RankNoise rn(std::make_unique<noise::PoissonDetourSource>(
-        microseconds(100), cost, Xoshiro256(1)));
-    state.ResumeTiming();
-    TimeNs t = 0;
-    for (int i = 0; i < 10000; ++i) {
-      t = rn.next_free(t);
-      t = rn.occupy(t, 50000);
+void scenario_rank_noise(const Context& ctx) {
+  const std::string name = "rank_noise";
+  std::printf("%s (busy-period arithmetic)\n", name.c_str());
+  constexpr int kIntervals = 10000;
+  report(ctx, name + ".ns_per_interval",
+         measure(ctx.warmup, ctx.reps, [&] {
+           const noise::FlatLoggingCost cost(microseconds(1));
+           noise::RankNoise rn(std::make_unique<noise::PoissonDetourSource>(
+               microseconds(100), cost, Xoshiro256(1)));
+           const bench::WallTimer timer;
+           TimeNs t = 0;
+           for (int i = 0; i < kIntervals; ++i) {
+             t = rn.next_free(t);
+             t = rn.occupy(t, 50000);
+           }
+           static_cast<void>(t);
+           return timer.seconds() * 1e9 / kIntervals;
+         }),
+         "ns");
+}
+
+// ---------------------------------------------------------------------------
+// Floor checking
+
+/// Reads a flat {"metric": value, ...} JSON file of throughput floors.
+/// Deliberately minimal: accepts exactly the format perf_floor.json uses.
+std::vector<std::pair<std::string, double>> read_floors(
+    const std::string& path) {
+  std::vector<std::pair<std::string, double>> floors;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open floor file %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    const std::size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    const std::string key = text.substr(pos + 1, end - pos - 1);
+    pos = end + 1;
+    while (pos < text.size() && std::isspace(text[pos]) != 0) ++pos;
+    if (pos >= text.size() || text[pos] != ':') continue;  // not a key
+    ++pos;
+    while (pos < text.size() && std::isspace(text[pos]) != 0) ++pos;
+    if (pos < text.size() && text[pos] == '"') {
+      // String value (e.g. a "_comment" entry): skip it, it is not a floor.
+      pos = text.find('"', pos + 1);
+      if (pos == std::string::npos) break;
+      ++pos;
+      continue;
     }
-    benchmark::DoNotOptimize(t);
+    double value = 0.0;
+    if (std::sscanf(text.c_str() + pos, "%lf", &value) == 1) {
+      floors.emplace_back(key, value);
+    }
   }
+  return floors;
 }
-BENCHMARK(BM_RankNoiseBusyPeriod);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Cli cli(
+      "Micro-benchmarks of the simulation substrate: engine event "
+      "throughput (ring + deep-recv matching), noisy runs, the parallel "
+      "seed sweep, graph construction, collective expansion, and noise "
+      "arithmetic. Reports p50/p95 across --reps repetitions after "
+      "--warmup untimed ones.");
+  cli.add_option("scenario", "all",
+                 "comma-separated subset of: ring, deep_recv, noise, sweep, "
+                 "graph_build, allreduce, rank_noise (or 'all')");
+  cli.add_option("reps", "3", "timed repetitions per scenario");
+  cli.add_option("warmup", "1", "untimed warmup repetitions per scenario");
+  cli.add_option("ranks", "0",
+                 "rank count override (0 = per-scenario default)");
+  cli.add_option("depth", "2048", "posted-recv queue depth for deep_recv");
+  cli.add_option("jobs", "4", "threads for the sweep scenario");
+  cli.add_option("matcher", "both",
+                 "bucketed | reference | both (deep_recv always measures "
+                 "bucketed; 'both' adds the reference run and speedup)");
+  cli.add_option("json", "",
+                 "append a perf-trajectory JSONL record to this file");
+  cli.add_option("check-floor", "",
+                 "flat JSON file of throughput floors; exit 1 if any "
+                 "recorded metric falls >30% below its floor");
+  cli.add_flag("smoke", "CI preset: small sizes (ring r128, deep r256xd256) "
+               "and scenario=ring,deep_recv unless overridden");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 1;
+
+  const bool smoke = cli.get_flag("smoke");
+  std::string scenarios = cli.get("scenario");
+  if (smoke && !cli.provided("scenario")) scenarios = "ring,deep_recv";
+  const auto has = [&scenarios](const char* name) {
+    return scenarios == "all" ||
+           scenarios.find(name) != std::string::npos;
+  };
+
+  bench::PerfJson perf(cli.get("json"), "engine_microbench");
+  Context ctx;
+  ctx.reps = static_cast<int>(cli.get_int("reps"));
+  ctx.warmup = static_cast<int>(cli.get_int("warmup"));
+  ctx.jobs = static_cast<unsigned>(std::max<std::int64_t>(
+      1, cli.get_int("jobs")));
+  ctx.perf = &perf;
+  const std::string matcher = cli.get("matcher");
+  ctx.matcher = matcher == "reference" ? sim::MatcherKind::kReference
+                                       : sim::MatcherKind::kBucketed;
+  ctx.both_matchers = matcher == "both";
+
+  const auto ranks_or = [&cli, smoke](goal::Rank dflt,
+                                      goal::Rank smoke_dflt) {
+    const auto r = static_cast<goal::Rank>(cli.get_int("ranks"));
+    if (r > 0) return r;
+    return smoke ? smoke_dflt : dflt;
+  };
+  const int depth = smoke && !cli.provided("depth")
+                        ? 256
+                        : static_cast<int>(cli.get_int("depth"));
+
+  std::printf("== engine_microbench (reps=%d warmup=%d) ==\n", ctx.reps,
+              ctx.warmup);
+  if (has("ring")) scenario_ring(ctx, ranks_or(256, 128), 50);
+  if (has("deep_recv")) scenario_deep_recv(ctx, ranks_or(1024, 256), depth);
+  if (has("noise")) scenario_noise(ctx, ranks_or(256, 128));
+  if (has("sweep")) scenario_sweep(ctx, ranks_or(256, 128));
+  if (has("graph_build")) scenario_graph_build(ctx, ranks_or(512, 64));
+  if (has("allreduce")) scenario_allreduce(ctx, ranks_or(4096, 256));
+  if (has("rank_noise")) scenario_rank_noise(ctx);
+
+  const std::string floor_path = cli.get("check-floor");
+  if (!floor_path.empty()) {
+    int failures = 0;
+    for (const auto& [key, floor] : read_floors(floor_path)) {
+      const double measured = perf.lookup(key);
+      if (measured < 0.0) {
+        std::printf("floor  %-46s SKIP (metric not recorded)\n", key.c_str());
+        continue;
+      }
+      const bool ok = measured >= 0.7 * floor;
+      std::printf("floor  %-46s %.4g vs floor %.4g  %s\n", key.c_str(),
+                  measured, floor, ok ? "OK" : "FAIL (>30% regression)");
+      if (!ok) ++failures;
+    }
+    if (failures > 0) return 1;
+  }
+  return 0;
+}

@@ -45,9 +45,13 @@ int main(int argc, char** argv) {
   cli.add_option("detour-ms", "133",
                  "CE handling cost injected on p0 (milliseconds; the "
                  "firmware per-event cost by default)");
+  cli.add_option("json", "",
+                 "append a perf-trajectory JSONL record to this file");
   cli.add_option("jobs", "0",
                  "threads for the clean/noisy run pair (0 = all cores)");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+  const bench::WallTimer timer;
+  bench::PerfJson perf(cli.get("json"), "fig1_propagation");
   const TimeNs detour =
       from_seconds(cli.get_double("detour-ms") / 1000.0);
   const auto jobs_flag = cli.get_int("jobs");
@@ -102,5 +106,6 @@ int main(int argc, char** argv) {
       "\np2 never communicates with p0, yet inherits its delay through m2 —\n"
       "delays incurred handling CEs propagate along the application's\n"
       "communication dependencies (paper Fig. 1).\n");
+  perf.metric("total_wall_s", timer.seconds());
   return 0;
 }

@@ -24,9 +24,13 @@ int main(int argc, char** argv) {
   cli.add_option("window-s", "120", "measurement window in seconds");
   cli.add_option("inject-s", "10", "seconds between CE injections");
   cli.add_option("seed", "1", "RNG seed for background-noise jitter");
+  cli.add_option("json", "",
+                 "append a perf-trajectory JSONL record to this file");
   cli.add_option("jobs", "0",
                  "threads for the per-mode signature runs (0 = all cores)");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+  const bench::WallTimer timer;
+  bench::PerfJson perf(cli.get("json"), "fig2_noise_signature");
 
   const TimeNs window = from_seconds(cli.get_double("window-s"));
   const TimeNs inject = from_seconds(cli.get_double("inject-s"));
@@ -93,5 +97,6 @@ int main(int argc, char** argv) {
       "indistinguishable; software shows ~700 us bars at every injection;\n"
       "firmware shows ~7 ms SMI bars every injection plus a ~500 ms decode\n"
       "bar every 10th injection.\n");
+  perf.metric("total_wall_s", timer.seconds());
   return 0;
 }

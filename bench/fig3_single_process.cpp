@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
                  "comma-separated workload names, or 'all'");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
   const bench::Options options = bench::read_standard_options(cli);
+  const bench::WallTimer timer;
+  bench::PerfJson perf(options.json_path, "fig3_single_process");
   bench::print_banner("Fig. 3: single-process correctable errors", options);
 
   // The x-axis of Fig. 3 (seconds between CEs on the one affected node).
@@ -82,5 +84,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\ncells are %% slowdown vs noise-free; 'no-progress' marks the regime\n"
       "the paper describes as unable to make forward progress.\n");
+  perf.metric("total_wall_s", timer.seconds());
   return 0;
 }

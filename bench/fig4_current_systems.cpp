@@ -15,8 +15,12 @@ int main(int argc, char** argv) {
   const bench::Options options = bench::read_standard_options(cli);
   bench::print_banner("Fig. 4: current/recent systems", options);
 
+  const bench::WallTimer timer;
+  bench::PerfJson perf(options.json_path, "fig4_current_systems");
   bench::RunnerCache cache(options);
-  bench::run_systems_figure(core::systems::current_systems(), options, cache);
+  bench::run_systems_figure(core::systems::current_systems(), options, cache,
+                            perf);
+  perf.metric("total_wall_s", timer.seconds());
 
   std::printf(
       "\nexpected shape (paper Fig. 4): every cell well under 10%% — CE\n"

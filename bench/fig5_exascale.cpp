@@ -18,9 +18,12 @@ int main(int argc, char** argv) {
   const bench::Options options = bench::read_standard_options(cli);
   bench::print_banner("Fig. 5: exascale-class systems", options);
 
+  const bench::WallTimer timer;
+  bench::PerfJson perf(options.json_path, "fig5_exascale");
   bench::RunnerCache cache(options);
   bench::run_systems_figure(core::systems::exascale_systems(), options,
-                            cache);
+                            cache, perf);
+  perf.metric("total_wall_s", timer.seconds());
 
   std::printf(
       "\nexpected shape (paper Fig. 5): firmware logging is the problem —\n"

@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   bench::add_standard_options(cli);
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
   const bench::Options options = bench::read_standard_options(cli);
+  const bench::WallTimer timer;
+  bench::PerfJson perf(options.json_path, "fig6_software_limits");
   bench::print_banner("Fig. 6: where software/OS reporting starts to hurt",
                       options);
 
@@ -64,5 +66,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nexpected shape (paper Fig. 6): software logging below 10%% even at\n"
       "MTBCE = 1 s per node; firmware at these rates cannot make progress.\n");
+  perf.metric("total_wall_s", timer.seconds());
   return 0;
 }

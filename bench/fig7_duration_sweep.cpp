@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
   bench::add_standard_options(cli);
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
   const bench::Options options = bench::read_standard_options(cli);
+  const bench::WallTimer timer;
+  bench::PerfJson perf(options.json_path, "fig7_duration_sweep");
   bench::print_banner("Fig. 7: reporting-duration sweep", options);
 
   // Per-event reporting costs of Fig. 7's bar groups.
@@ -64,5 +66,6 @@ int main(int argc, char** argv) {
       "\nexpected shape (paper Fig. 7): overhead grows far slower than the\n"
       "CE rate — keeping per-event cost low lets a system tolerate a much\n"
       "higher CE rate; 0.2 s + 133 ms is the no-forward-progress case.\n");
+  perf.metric("total_wall_s", timer.seconds());
   return 0;
 }

@@ -1,0 +1,165 @@
+// bench/perf_json.hpp
+//
+// Perf-trajectory recording for the bench binaries: each run appends ONE
+// line of JSON (JSONL) to a shared file, so `BENCH_engine.json`-style files
+// accumulate a machine-readable performance history across commits. A
+// record carries the bench name, a UTC timestamp, a flat map of scalar
+// metrics (events/s, p50/p95 wall times, makespan checksums), and an
+// optional list of per-cell wall-clock timings.
+//
+// Schema (one object per line; see DESIGN.md, "Engine hot path"):
+//   {"bench": "<name>", "utc": "2026-02-03T04:05:06Z",
+//    "metrics": {"<metric>": <number>, ...},
+//    "cells": [{"label": "<cell>", "wall_s": <number>}, ...]}
+//
+// The record is written on destruction; with an empty path the recorder is
+// a no-op, so benches can pass --json unconditionally. Cell recording is
+// mutex-guarded (sweeps time cells on pool threads) and cells are sorted by
+// label before writing, keeping the output deterministic under --jobs.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace celog::bench {
+
+/// Wall-clock stopwatch (steady clock; starts at construction).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Appends one JSONL perf record on destruction. Disabled when constructed
+/// with an empty path.
+class PerfJson {
+ public:
+  PerfJson(std::string path, std::string bench)
+      : path_(std::move(path)), bench_(std::move(bench)) {}
+
+  PerfJson(const PerfJson&) = delete;
+  PerfJson& operator=(const PerfJson&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records a scalar metric. Later values overwrite earlier ones with the
+  /// same name, so a bench can refine a metric as it goes. Metrics are
+  /// tracked even when recording is disabled (lookup() serves floor checks);
+  /// only the file write is gated on enabled().
+  void metric(const std::string& name, double value) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& m : metrics_) {
+      if (m.first == name) {
+        m.second = value;
+        return;
+      }
+    }
+    metrics_.emplace_back(name, value);
+  }
+
+  /// Returns a recorded metric's value, or -1.0 if absent (metrics are
+  /// recorded regardless of enabled(), so floor checks work without --json).
+  double lookup(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& m : metrics_) {
+      if (m.first == name) return m.second;
+    }
+    return -1.0;
+  }
+
+  /// Records one cell's wall time. Thread-safe.
+  void cell(const std::string& label, double wall_s) {
+    if (!enabled()) return;
+    const std::lock_guard<std::mutex> lock(mu_);
+    cells_.emplace_back(label, wall_s);
+  }
+
+  /// Runs `fn`, records its wall time under `label`, returns its result.
+  template <typename Fn>
+  auto time_cell(const std::string& label, Fn&& fn) {
+    const WallTimer timer;
+    auto result = fn();
+    cell(label, timer.seconds());
+    return result;
+  }
+
+  ~PerfJson() {
+    if (!enabled()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[bench] cannot append perf record to %s\n",
+                   path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"utc\":\"%s\",\"metrics\":{",
+                 escape(bench_).c_str(), utc_now().c_str());
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\":%.17g", i == 0 ? "" : ",",
+                   escape(metrics_[i].first).c_str(), metrics_[i].second);
+    }
+    std::fputs("}", f);
+    if (!cells_.empty()) {
+      std::sort(cells_.begin(), cells_.end());
+      std::fputs(",\"cells\":[", f);
+      for (std::size_t i = 0; i < cells_.size(); ++i) {
+        std::fprintf(f, "%s{\"label\":\"%s\",\"wall_s\":%.6g}",
+                     i == 0 ? "" : ",", escape(cells_[i].first).c_str(),
+                     cells_[i].second);
+      }
+      std::fputs("]", f);
+    }
+    std::fputs("}\n", f);
+    std::fclose(f);
+  }
+
+ private:
+  static std::string utc_now() {
+    const std::time_t now =
+        std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+    std::tm tm{};
+#if defined(_WIN32)
+    gmtime_s(&tm, &now);
+#else
+    gmtime_r(&now, &tm);
+#endif
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::string bench_;
+  std::mutex mu_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, double>> cells_;
+};
+
+}  // namespace celog::bench

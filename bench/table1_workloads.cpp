@@ -17,9 +17,13 @@ int main(int argc, char** argv) {
   using namespace celog;
   Cli cli("table1_workloads: the nine workload models");
   cli.add_option("ranks", "64", "ranks for the structure statistics");
+  cli.add_option("json", "",
+                 "append a perf-trajectory JSONL record to this file");
   cli.add_option("jobs", "0",
                  "threads for the per-workload graph builds (0 = all cores)");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+  const bench::WallTimer timer;
+  bench::PerfJson perf(cli.get("json"), "table1_workloads");
   const auto ranks = static_cast<goal::Rank>(cli.get_int("ranks"));
   const auto jobs_flag = cli.get_int("jobs");
   const unsigned jobs = jobs_flag > 0
@@ -59,5 +63,6 @@ int main(int argc, char** argv) {
   for (const auto& w : workloads::all_workloads()) {
     std::printf("  %-12s %s\n", w->name().c_str(), w->description().c_str());
   }
+  perf.metric("total_wall_s", timer.seconds());
   return 0;
 }

@@ -18,8 +18,12 @@
 int main(int argc, char** argv) {
   using namespace celog;
   Cli cli("table2_systems: regenerate Table II system parameters");
+  cli.add_option("json", "",
+                 "append a perf-trajectory JSONL record to this file");
   cli.add_option("jobs", "0", "threads for the row sweep (0 = all cores)");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+  const bench::WallTimer timer;
+  bench::PerfJson perf(cli.get("json"), "table2_systems");
   const auto jobs_flag = cli.get_int("jobs");
   const unsigned jobs = jobs_flag > 0
                             ? static_cast<unsigned>(jobs_flag)
@@ -51,5 +55,6 @@ int main(int argc, char** argv) {
       "Trinity/Summit rows keep the paper's stated CEs/node/yr; the derived\n"
       "column shows the value the density columns imply (paper-internal\n"
       "inconsistency, documented in DESIGN.md).\n");
+  perf.metric("total_wall_s", timer.seconds());
   return 0;
 }

@@ -1,11 +1,14 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <queue>
 #include <sstream>
 #include <string>
+#include <tuple>
+#include <type_traits>
+#include <vector>
 
+#include "sim/event_queue.hpp"
+#include "sim/match_table.hpp"
 #include "util/error.hpp"
 
 namespace celog::sim {
@@ -18,59 +21,15 @@ using goal::Rank;
 using goal::RankProgram;
 using goal::Tag;
 
-enum class EventKind : std::uint8_t { kOpReady, kMsgArrive };
-
-/// Wire-message categories. Eager data completes a recv directly; RTS/CTS
-/// implement the rendezvous handshake for messages above the S threshold.
-enum class MsgKind : std::uint8_t { kEagerData, kRts, kCts, kRndvData };
-
-struct Event {
-  TimeNs time = 0;
-  std::uint64_t seq = 0;  // tie-breaker: keeps runs deterministic
-  EventKind kind = EventKind::kOpReady;
-  Rank rank = -1;  // where the event happens (dest rank for messages)
-
-  // kOpReady payload.
-  OpIndex op = 0;
-
-  // kMsgArrive payload.
-  MsgKind msg_kind = MsgKind::kEagerData;
-  Rank src = -1;  // application-level sender of the message
-  Tag tag = 0;
-  std::int64_t size = 0;
-  OpIndex sender_op = 0;  // send op on `src` (RTS/CTS bookkeeping)
-  OpIndex recv_op = 0;    // matched recv on the receiver (CTS/RndvData)
-};
-
-struct EventLater {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
-};
-
-/// Min-heap over a plain vector (std::priority_queue cannot reserve, and
-/// reallocation during multi-million-event runs shows up in profiles).
-class EventQueue {
- public:
-  void reserve(std::size_t n) { events_.reserve(n); }
-  bool empty() const { return events_.empty(); }
-
-  void push(const Event& ev) {
-    events_.push_back(ev);
-    std::push_heap(events_.begin(), events_.end(), EventLater{});
-  }
-
-  Event pop() {
-    std::pop_heap(events_.begin(), events_.end(), EventLater{});
-    Event ev = events_.back();
-    events_.pop_back();
-    return ev;
-  }
-
- private:
-  std::vector<Event> events_;
-};
+using detail::EventKind;
+using detail::EventPayload;
+using detail::EventPool;
+using detail::EventQueue;
+using detail::FifoMatchTable;
+using detail::HeapEntry;
+using detail::LinearMatchList;
+using detail::match_key;
+using detail::MsgKind;
 
 /// A recv that has been posted but not yet matched.
 struct PostedRecv {
@@ -91,21 +50,42 @@ struct UnexpectedMsg {
   OpIndex sender_op;
 };
 
-struct RankState {
-  RankState(std::unique_ptr<noise::DetourSource> source, TimeNs horizon)
-      : noise(std::move(source), horizon) {}
+/// CPU-noise policy for noise-free runs: the devirtualized fast path.
+/// Semantically identical to RankNoise over a NullDetourSource (next_free
+/// is the identity, occupy adds exactly `len`, nothing is ever stolen, and
+/// NoProgressError can never fire without detours) but with no virtual
+/// peek_arrival() per CPU interval and no per-rank source allocation.
+struct PassthroughNoise {
+  TimeNs next_free(TimeNs t) const { return t; }
+  TimeNs occupy(TimeNs start, TimeNs len) const { return start + len; }
+  TimeNs stolen_time() const { return 0; }
+  std::uint64_t charged_detours() const { return 0; }
+};
 
-  noise::RankNoise noise;
+/// Per-rank simulation state. NoisePolicy is either noise::RankNoise (the
+/// general path) or PassthroughNoise (noise-free fast path); Table is the
+/// matching store (FifoMatchTable or the LinearMatchList reference).
+template <typename NoisePolicy, template <class> class Table>
+struct RankState {
+  template <typename... NoiseArgs>
+  explicit RankState(NoiseArgs&&... args)
+      : noise(std::forward<NoiseArgs>(args)...) {}
+
+  NoisePolicy noise;
   TimeNs cpu_free = 0;
   TimeNs nic_free = 0;
   TimeNs finish = 0;
-  std::deque<PostedRecv> posted;
-  std::deque<UnexpectedMsg> unexpected;
+  Table<PostedRecv> posted;
+  Table<UnexpectedMsg> unexpected;
   // Remaining prerequisite count and latest-prerequisite-finish per op.
   std::vector<std::uint32_t> pending;
   std::vector<TimeNs> ready_time;
+  // Completion flags, consulted only by deadlock diagnostics (to tell a
+  // rendezvous send stuck waiting on CTS from one that completed).
+  std::vector<std::uint8_t> done;
 };
 
+template <typename NoisePolicy, template <class> class Table>
 class Run {
  public:
   Run(const goal::TaskGraph& graph, const NetworkParams& params,
@@ -114,36 +94,88 @@ class Run {
       : graph_(graph), params_(params), on_complete_(on_complete) {
     const Rank ranks = graph_.ranks();
     states_.reserve(static_cast<std::size_t>(ranks));
+    queue_.init(ranks);
+
+    // First pass: build per-rank state and derive a per-rank bound on
+    // outstanding events. Every event lives in exactly one rank's shard
+    // (its ready ops plus inbound wire messages), and shard r holds at most
+    //   sources(r)                 (ready events seeded below)
+    // + sum max(0, out_deg-1)      (completing an op on r may release up to
+    //                               out_degree successors of r while
+    //                               consuming one popped event of r)
+    // + #sends targeting r         (each send keeps at most one message
+    //                               bound for the receiver — eager data,
+    //                               RTS, or RndvData — in flight at a time)
+    // + #rendezvous sends on r     (each may have one CTS in flight back
+    //                               toward r)
+    // so reserving that bound per shard makes mid-run reallocation
+    // impossible (debug builds assert it in EventQueue::push).
+    std::vector<std::size_t> bound(static_cast<std::size_t>(ranks), 1);
     for (Rank r = 0; r < ranks; ++r) {
-      states_.emplace_back(noise.make_source(r, run_seed), horizon);
+      if constexpr (std::is_same_v<NoisePolicy, noise::RankNoise>) {
+        states_.emplace_back(noise.make_source(r, run_seed), horizon);
+      } else {
+        static_cast<void>(noise);
+        static_cast<void>(run_seed);
+        static_cast<void>(horizon);
+        states_.emplace_back();
+      }
       const RankProgram& prog = graph_.program(r);
-      RankState& rs = states_.back();
+      RankState<NoisePolicy, Table>& rs = states_.back();
       rs.pending.resize(prog.size());
       rs.ready_time.assign(prog.size(), 0);
+      rs.done.assign(prog.size(), 0);
+      std::size_t& b = bound[static_cast<std::size_t>(r)];
       for (OpIndex i = 0; i < prog.size(); ++i) {
         rs.pending[i] = prog.in_degree(i);
-        if (rs.pending[i] == 0) push_ready(r, i, 0);
+        if (rs.pending[i] == 0) ++b;
+        const std::size_t out = prog.successors(i).size();
+        if (out > 1) b += out - 1;
+        const Op& op = prog.op(i);
+        if (op.kind == OpKind::kSend) {
+          ++bound[static_cast<std::size_t>(op.peer)];
+          if (!params_.eager(op.size_or_duration)) ++b;
+        }
       }
       total_ops_ += prog.size();
     }
-    // A loose upper bound on simultaneously outstanding events: a few per
-    // rank (CPU chain head, in-flight messages). Avoids heap reallocation.
-    queue_.reserve(static_cast<std::size_t>(ranks) * 8);
+    std::size_t total_bound = 0;
+    for (Rank r = 0; r < ranks; ++r) {
+      const std::size_t b = bound[static_cast<std::size_t>(r)];
+      queue_.reserve_rank(r, b);
+      total_bound += b;
+    }
+    pool_.reserve(total_bound);
+
+    // Second pass: seed the initial ready events — after the reserve, so
+    // the no-reallocation invariant covers them too. Rank-major op-order
+    // seeding matches the seed engine's seq assignment bit-for-bit.
+    for (Rank r = 0; r < ranks; ++r) {
+      const RankProgram& prog = graph_.program(r);
+      RankState<NoisePolicy, Table>& rs = state(r);
+      for (OpIndex i = 0; i < prog.size(); ++i) {
+        if (rs.pending[i] == 0) push_ready(r, i, 0);
+      }
+    }
   }
 
   SimResult execute() {
     while (!queue_.empty()) {
-      const Event ev = queue_.pop();
+      const HeapEntry top = queue_.pop();
+      // Copy the payload out and recycle the slot before handling: handlers
+      // push follow-up events that may legitimately reuse it.
+      const EventPayload ev = pool_[top.payload];
+      pool_.release(top.payload);
       ++result_.events_processed;
       switch (ev.kind) {
-        case EventKind::kOpReady: handle_ready(ev); break;
-        case EventKind::kMsgArrive: handle_message(ev); break;
+        case EventKind::kOpReady: handle_ready(top.time, ev); break;
+        case EventKind::kMsgArrive: handle_message(top.time, ev); break;
       }
     }
     if (completed_ops_ != total_ops_) throw_deadlock();
 
     result_.rank_finish.reserve(states_.size());
-    for (const RankState& rs : states_) {
+    for (const RankState<NoisePolicy, Table>& rs : states_) {
       result_.rank_finish.push_back(rs.finish);
       result_.makespan = std::max(result_.makespan, rs.finish);
       result_.noise_stolen += rs.noise.stolen_time();
@@ -153,23 +185,23 @@ class Run {
   }
 
  private:
-  RankState& state(Rank r) { return states_[static_cast<std::size_t>(r)]; }
+  RankState<NoisePolicy, Table>& state(Rank r) {
+    return states_[static_cast<std::size_t>(r)];
+  }
 
   void push_ready(Rank rank, OpIndex op, TimeNs time) {
-    Event ev;
-    ev.time = time;
-    ev.seq = seq_++;
+    const std::uint32_t slot = pool_.alloc();
+    EventPayload& ev = pool_[slot];
     ev.kind = EventKind::kOpReady;
     ev.rank = rank;
     ev.op = op;
-    queue_.push(ev);
+    queue_.push(rank, HeapEntry{time, seq_++, slot});
   }
 
   void push_message(TimeNs time, Rank dest, MsgKind kind, Rank src, Tag tag,
                     std::int64_t size, OpIndex sender_op, OpIndex recv_op) {
-    Event ev;
-    ev.time = time;
-    ev.seq = seq_++;
+    const std::uint32_t slot = pool_.alloc();
+    EventPayload& ev = pool_[slot];
     ev.kind = EventKind::kMsgArrive;
     ev.rank = dest;
     ev.msg_kind = kind;
@@ -178,13 +210,13 @@ class Run {
     ev.size = size;
     ev.sender_op = sender_op;
     ev.recv_op = recv_op;
-    queue_.push(ev);
+    queue_.push(dest, HeapEntry{time, seq_++, slot});
   }
 
   /// Charges `len` ns of CPU on `rank`, starting no earlier than `earliest`
   /// and no earlier than the CPU becomes free; detours stretch the interval.
   TimeNs charge_cpu(Rank rank, TimeNs earliest, TimeNs len) {
-    RankState& rs = state(rank);
+    RankState<NoisePolicy, Table>& rs = state(rank);
     const TimeNs start = rs.noise.next_free(std::max(earliest, rs.cpu_free));
     const TimeNs end = rs.noise.occupy(start, len);
     rs.cpu_free = end;
@@ -194,7 +226,7 @@ class Run {
   /// Injects a wire message: respects the NIC gap g (+ G per byte for the
   /// payload) and returns the arrival time at the destination.
   TimeNs inject(Rank rank, TimeNs earliest, std::int64_t payload_bytes) {
-    RankState& rs = state(rank);
+    RankState<NoisePolicy, Table>& rs = state(rank);
     const TimeNs wire = params_.wire_time(payload_bytes);
     const TimeNs start = std::max(earliest, rs.nic_free);
     rs.nic_free = start + params_.g + wire;
@@ -204,8 +236,9 @@ class Run {
   /// Marks op (rank, index) complete at `time`: records the rank finish time
   /// and releases dependent ops.
   void complete_op(Rank rank, OpIndex op, TimeNs time) {
-    RankState& rs = state(rank);
+    RankState<NoisePolicy, Table>& rs = state(rank);
     rs.finish = std::max(rs.finish, time);
+    rs.done[op] = 1;
     ++completed_ops_;
     if (on_complete_) on_complete_(rank, op, time);
     const RankProgram& prog = graph_.program(rank);
@@ -216,24 +249,24 @@ class Run {
     }
   }
 
-  void handle_ready(const Event& ev) {
+  void handle_ready(TimeNs time, const EventPayload& ev) {
     const Op& op = graph_.program(ev.rank).op(ev.op);
     switch (op.kind) {
       case OpKind::kCalc: {
-        const TimeNs end = charge_cpu(ev.rank, ev.time, op.size_or_duration);
+        const TimeNs end = charge_cpu(ev.rank, time, op.size_or_duration);
         complete_op(ev.rank, ev.op, end);
         break;
       }
-      case OpKind::kSend: start_send(ev, op); break;
-      case OpKind::kRecv: post_recv(ev, op); break;
+      case OpKind::kSend: start_send(time, ev, op); break;
+      case OpKind::kRecv: post_recv(time, ev, op); break;
     }
   }
 
-  void start_send(const Event& ev, const Op& op) {
+  void start_send(TimeNs time, const EventPayload& ev, const Op& op) {
     const std::int64_t size = op.size_or_duration;
     if (params_.eager(size)) {
-      const TimeNs cpu_end = charge_cpu(
-          ev.rank, ev.time, params_.o + params_.cpu_byte_time(size));
+      const TimeNs cpu_end =
+          charge_cpu(ev.rank, time, params_.o + params_.cpu_byte_time(size));
       const TimeNs arrival = inject(ev.rank, cpu_end, size);
       push_message(arrival, op.peer, MsgKind::kEagerData, ev.rank, op.tag,
                    size, ev.op, 0);
@@ -242,8 +275,8 @@ class Run {
       complete_op(ev.rank, ev.op, cpu_end);
     } else {
       // Rendezvous: ship a ready-to-send control message; the send op stays
-      // open until the CTS returns and the data leaves (see handle_cts).
-      const TimeNs cpu_end = charge_cpu(ev.rank, ev.time, params_.o);
+      // open until the CTS returns and the data leaves (see handle_message).
+      const TimeNs cpu_end = charge_cpu(ev.rank, time, params_.o);
       const TimeNs arrival = inject(ev.rank, cpu_end, 0);
       push_message(arrival, op.peer, MsgKind::kRts, ev.rank, op.tag, size,
                    ev.op, 0);
@@ -251,26 +284,22 @@ class Run {
     }
   }
 
-  void post_recv(const Event& ev, const Op& op) {
-    RankState& rs = state(ev.rank);
+  void post_recv(TimeNs time, const EventPayload& ev, const Op& op) {
+    RankState<NoisePolicy, Table>& rs = state(ev.rank);
     // Look for an already-arrived message matching (src, tag), FIFO.
-    auto it = std::find_if(rs.unexpected.begin(), rs.unexpected.end(),
-                           [&](const UnexpectedMsg& m) {
-                             return m.src == op.peer && m.tag == op.tag;
-                           });
-    if (it == rs.unexpected.end()) {
-      rs.posted.push_back(
-          PostedRecv{ev.op, op.peer, op.tag, op.size_or_duration, ev.time});
+    const std::uint64_t key = match_key(op.peer, op.tag);
+    UnexpectedMsg msg;
+    if (!rs.unexpected.try_pop(key, msg)) {
+      rs.posted.push(key, PostedRecv{ev.op, op.peer, op.tag,
+                                     op.size_or_duration, time});
       return;
     }
-    const UnexpectedMsg msg = *it;
-    rs.unexpected.erase(it);
     CELOG_ASSERT_MSG(msg.size == op.size_or_duration,
                      "matched message size differs from recv size");
     if (msg.kind == MsgKind::kEagerData) {
-      finish_recv(ev.rank, ev.op, std::max(ev.time, msg.arrival), msg.size);
+      finish_recv(ev.rank, ev.op, std::max(time, msg.arrival), msg.size);
     } else {
-      send_cts(ev.rank, std::max(ev.time, msg.arrival), msg, ev.op);
+      send_cts(ev.rank, std::max(time, msg.arrival), msg, ev.op);
     }
   }
 
@@ -294,32 +323,26 @@ class Run {
     ++result_.control_messages;
   }
 
-  void handle_message(const Event& ev) {
+  void handle_message(TimeNs time, const EventPayload& ev) {
     switch (ev.msg_kind) {
       case MsgKind::kEagerData:
       case MsgKind::kRts: {
-        RankState& rs = state(ev.rank);
-        auto it = std::find_if(rs.posted.begin(), rs.posted.end(),
-                               [&](const PostedRecv& p) {
-                                 return p.src == ev.src && p.tag == ev.tag;
-                               });
-        if (it == rs.posted.end()) {
-          rs.unexpected.push_back(UnexpectedMsg{ev.msg_kind, ev.src, ev.tag,
-                                                ev.size, ev.time,
-                                                ev.sender_op});
+        RankState<NoisePolicy, Table>& rs = state(ev.rank);
+        const std::uint64_t key = match_key(ev.src, ev.tag);
+        PostedRecv recv;
+        if (!rs.posted.try_pop(key, recv)) {
+          rs.unexpected.push(key, UnexpectedMsg{ev.msg_kind, ev.src, ev.tag,
+                                                ev.size, time, ev.sender_op});
           return;
         }
-        const PostedRecv recv = *it;
-        rs.posted.erase(it);
         CELOG_ASSERT_MSG(recv.size == ev.size,
                          "matched message size differs from recv size");
         if (ev.msg_kind == MsgKind::kEagerData) {
-          finish_recv(ev.rank, recv.op, ev.time, ev.size);
+          finish_recv(ev.rank, recv.op, time, ev.size);
         } else {
-          send_cts(ev.rank,
-                   std::max(ev.time, recv.post_time),
-                   UnexpectedMsg{MsgKind::kRts, ev.src, ev.tag, ev.size,
-                                 ev.time, ev.sender_op},
+          send_cts(ev.rank, std::max(time, recv.post_time),
+                   UnexpectedMsg{MsgKind::kRts, ev.src, ev.tag, ev.size, time,
+                                 ev.sender_op},
                    recv.op);
         }
         break;
@@ -328,8 +351,8 @@ class Run {
         // Back at the sender: push the payload and complete the send op.
         const Op& send_op = graph_.program(ev.rank).op(ev.sender_op);
         const std::int64_t size = send_op.size_or_duration;
-        const TimeNs cpu_end = charge_cpu(
-            ev.rank, ev.time, params_.o + params_.cpu_byte_time(size));
+        const TimeNs cpu_end =
+            charge_cpu(ev.rank, time, params_.o + params_.cpu_byte_time(size));
         const TimeNs arrival = inject(ev.rank, cpu_end, size);
         // ev.src is the receiver that issued the CTS.
         push_message(arrival, ev.src, MsgKind::kRndvData, ev.rank, ev.tag,
@@ -338,24 +361,69 @@ class Run {
         break;
       }
       case MsgKind::kRndvData: {
-        finish_recv(ev.rank, ev.recv_op, ev.time, ev.size);
+        finish_recv(ev.rank, ev.recv_op, time, ev.size);
         break;
       }
     }
   }
 
   [[noreturn]] void throw_deadlock() {
+    // Collect every category of stuck communication, sorted so the message
+    // is deterministic regardless of hash iteration order:
+    //  * posted recvs that never matched a message,
+    //  * unexpected messages (eager data / RTS) that never matched a recv,
+    //  * rendezvous sends that shipped an RTS but never saw the CTS.
+    struct Stuck {
+      Rank rank;
+      OpIndex op;
+      Rank peer;
+      Tag tag;
+    };
+    std::vector<Stuck> recvs, strays, sends;
+    for (Rank r = 0; r < graph_.ranks(); ++r) {
+      const RankState<NoisePolicy, Table>& rs =
+          states_[static_cast<std::size_t>(r)];
+      rs.posted.for_each([&](const PostedRecv& p) {
+        recvs.push_back(Stuck{r, p.op, p.src, p.tag});
+      });
+      rs.unexpected.for_each([&](const UnexpectedMsg& m) {
+        strays.push_back(Stuck{r, m.sender_op, m.src, m.tag});
+      });
+      const RankProgram& prog = graph_.program(r);
+      for (OpIndex i = 0; i < prog.size(); ++i) {
+        const Op& op = prog.op(i);
+        if (op.kind == OpKind::kSend && !params_.eager(op.size_or_duration) &&
+            rs.pending[i] == 0 && !rs.done[i]) {
+          sends.push_back(Stuck{r, i, op.peer, op.tag});
+        }
+      }
+    }
+    const auto by_position = [](const Stuck& a, const Stuck& b) {
+      return std::tie(a.rank, a.op, a.peer, a.tag) <
+             std::tie(b.rank, b.op, b.peer, b.tag);
+    };
+    std::sort(recvs.begin(), recvs.end(), by_position);
+    std::sort(strays.begin(), strays.end(), by_position);
+    std::sort(sends.begin(), sends.end(), by_position);
+
+    constexpr std::size_t kMaxListed = 5;
     std::ostringstream msg;
     msg << "simulation deadlock: " << (total_ops_ - completed_ops_) << " of "
         << total_ops_ << " ops never completed;";
-    int listed = 0;
-    for (Rank r = 0; r < graph_.ranks() && listed < 5; ++r) {
-      const RankState& rs = state(r);
-      for (const PostedRecv& p : rs.posted) {
-        msg << " [rank " << r << " recv op " << p.op << " from " << p.src
-            << " tag " << p.tag << " unmatched]";
-        if (++listed >= 5) break;
-      }
+    for (std::size_t i = 0; i < recvs.size() && i < kMaxListed; ++i) {
+      const Stuck& s = recvs[i];
+      msg << " [rank " << s.rank << " recv op " << s.op << " from " << s.peer
+          << " tag " << s.tag << " unmatched]";
+    }
+    for (std::size_t i = 0; i < strays.size() && i < kMaxListed; ++i) {
+      const Stuck& s = strays[i];
+      msg << " [rank " << s.rank << " unexpected message from " << s.peer
+          << " (send op " << s.op << ") tag " << s.tag << " never received]";
+    }
+    for (std::size_t i = 0; i < sends.size() && i < kMaxListed; ++i) {
+      const Stuck& s = sends[i];
+      msg << " [rank " << s.rank << " rendezvous send op " << s.op << " to "
+          << s.peer << " tag " << s.tag << " waiting on CTS]";
     }
     throw DeadlockError(msg.str());
   }
@@ -363,8 +431,9 @@ class Run {
   const goal::TaskGraph& graph_;
   const NetworkParams& params_;
   const OpCompletionCallback& on_complete_;
-  std::vector<RankState> states_;
+  std::vector<RankState<NoisePolicy, Table>> states_;
   EventQueue queue_;
+  EventPool pool_;
   std::uint64_t seq_ = 0;
   std::size_t total_ops_ = 0;
   std::size_t completed_ops_ = 0;
@@ -390,8 +459,33 @@ Simulator::Simulator(const goal::TaskGraph& graph, NetworkParams params)
 SimResult Simulator::run(const noise::NoiseModel& noise,
                          std::uint64_t run_seed, TimeNs horizon,
                          const OpCompletionCallback& on_complete) const {
-  Run run(graph_, params_, noise, run_seed, horizon, on_complete);
-  return run.execute();
+  // NoNoiseModel runs take the devirtualized fast path: identical results
+  // (RankNoise over a NullDetourSource is the identity on CPU intervals),
+  // none of the per-interval virtual dispatch.
+  const bool noise_free =
+      dynamic_cast<const noise::NoNoiseModel*>(&noise) != nullptr;
+  if (matcher_ == MatcherKind::kBucketed) {
+    if (noise_free) {
+      return Run<PassthroughNoise, FifoMatchTable>(graph_, params_, noise,
+                                                   run_seed, horizon,
+                                                   on_complete)
+          .execute();
+    }
+    return Run<noise::RankNoise, FifoMatchTable>(graph_, params_, noise,
+                                                 run_seed, horizon,
+                                                 on_complete)
+        .execute();
+  }
+  if (noise_free) {
+    return Run<PassthroughNoise, LinearMatchList>(graph_, params_, noise,
+                                                  run_seed, horizon,
+                                                  on_complete)
+        .execute();
+  }
+  return Run<noise::RankNoise, LinearMatchList>(graph_, params_, noise,
+                                                run_seed, horizon,
+                                                on_complete)
+      .execute();
 }
 
 SimResult Simulator::run_baseline() const {

@@ -23,6 +23,15 @@
 // Determinism: identical (graph, params, noise model, run seed) inputs
 // produce bit-identical results; event-queue ties break on a monotonic
 // sequence number.
+//
+// Hot-path engineering (see DESIGN.md, "Engine hot path"): matching is
+// hash-bucketed FIFO-per-(src, tag) — O(1) amortized instead of a linear
+// scan over all outstanding recvs — the event core is a 4-ary implicit
+// heap of slim entries with pooled payloads, and noise-free runs skip the
+// RankNoise/DetourSource virtual dispatch entirely. All of it preserves
+// the determinism contract bit-for-bit; a retained linear-scan reference
+// matcher (MatcherKind::kReference) and a randomized differential test
+// (ctest -L engine) prove it.
 #pragma once
 
 #include <cstdint>
@@ -67,6 +76,11 @@ double slowdown_percent(const SimResult& baseline, const SimResult& noisy);
 using OpCompletionCallback =
     std::function<void(goal::Rank, goal::OpIndex, TimeNs)>;
 
+/// Message-matching implementation. kBucketed is the production matcher;
+/// kReference is the seed engine's linear scan, retained so differential
+/// tests can prove the two produce bit-identical results.
+enum class MatcherKind : std::uint8_t { kBucketed, kReference };
+
 /// The simulation engine. The task graph is borrowed and may be shared by
 /// many engines/runs (it is immutable after finalize()); run() is stateless
 /// across calls, so one Simulator can evaluate many seeds and noise models.
@@ -89,9 +103,16 @@ class Simulator {
 
   const NetworkParams& params() const { return params_; }
 
+  /// Selects the matching implementation for subsequent run() calls.
+  /// Results are bit-identical either way; kReference exists for
+  /// differential testing and micro-benchmark comparison only.
+  void set_matcher(MatcherKind matcher) { matcher_ = matcher; }
+  MatcherKind matcher() const { return matcher_; }
+
  private:
   const goal::TaskGraph& graph_;
   NetworkParams params_;
+  MatcherKind matcher_ = MatcherKind::kBucketed;
 };
 
 }  // namespace celog::sim

@@ -1,0 +1,220 @@
+// Differential tests of the engine's matching implementations: the
+// production hash-bucketed FIFO matcher (MatcherKind::kBucketed) against
+// the retained linear-scan reference (MatcherKind::kReference) — the seed
+// engine's executable specification. Because the engine models only
+// exact-key (src, tag) matching with FIFO order among equal keys, the two
+// must produce bit-identical SimResults on EVERY input; these tests sweep
+// >100 randomized (graph, seed) combinations mixing eager and rendezvous
+// transfers, shallow ring traffic, and deep detached-recv queues, under
+// both the noise-free fast path and the RankNoise path.
+//
+// Also covered here: equivalence of the devirtualized noise-free fast path
+// (NoNoiseModel -> PassthroughNoise) with the general RankNoise path over a
+// null detour stream, and the deadlock diagnostics for stranded unexpected
+// messages and sends stuck waiting on CTS.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "goal/task_graph.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace celog::sim {
+namespace {
+
+using goal::Rank;
+using goal::SequentialBuilder;
+using goal::TaskGraph;
+
+/// Random-but-valid communication graph. Each iteration: random per-rank
+/// compute, a ring exchange with a random shift (every send has its recv),
+/// and message sizes drawn across the eager/rendezvous boundary (cray_xc40
+/// S = 8 KiB). When `deep` is set, each rank additionally pre-posts a block
+/// of detached recvs that its left neighbor serves in reverse tag order —
+/// the deep-queue pattern where linear-scan and bucketed matching diverge
+/// most in cost (and must not diverge at all in results).
+TaskGraph random_graph(Rank ranks, int iters, std::uint64_t seed,
+                       bool deep) {
+  TaskGraph g(ranks);
+  Xoshiro256 rng(seed);
+  std::vector<SequentialBuilder> builders;
+  builders.reserve(static_cast<std::size_t>(ranks));
+  for (Rank r = 0; r < ranks; ++r) builders.emplace_back(g, r);
+
+  if (deep) {
+    const int depth = 8 + static_cast<int>(rng.uniform_below(25));
+    std::vector<std::vector<goal::OpId>> pending(
+        static_cast<std::size_t>(ranks));
+    for (Rank r = 0; r < ranks; ++r) {
+      auto& b = builders[static_cast<std::size_t>(r)];
+      const Rank left = (r - 1 + ranks) % ranks;
+      for (int d = 0; d < depth; ++d) {
+        pending[static_cast<std::size_t>(r)].push_back(
+            b.detached_recv(left, 64, 1000 + d));
+      }
+    }
+    for (Rank r = 0; r < ranks; ++r) {
+      auto& b = builders[static_cast<std::size_t>(r)];
+      b.calc(static_cast<TimeNs>(rng.uniform_below(5000)));
+      const Rank right = (r + 1) % ranks;
+      for (int d = depth - 1; d >= 0; --d) b.send(right, 64, 1000 + d);
+    }
+    for (Rank r = 0; r < ranks; ++r) {
+      auto& b = builders[static_cast<std::size_t>(r)];
+      for (const goal::OpId id : pending[static_cast<std::size_t>(r)]) {
+        b.join(id);
+      }
+    }
+  }
+
+  for (int it = 0; it < iters; ++it) {
+    for (Rank r = 0; r < ranks; ++r) {
+      builders[static_cast<std::size_t>(r)].calc(
+          static_cast<TimeNs>(rng.uniform_below(100000)));
+    }
+    const Rank shift = static_cast<Rank>(
+        1 + rng.uniform_below(static_cast<std::uint64_t>(ranks - 1)));
+    // Sizes straddle the 8 KiB eager threshold so both the eager and the
+    // RTS/CTS rendezvous protocol run through the matcher.
+    const auto bytes = static_cast<std::int64_t>(rng.uniform_below(20000));
+    for (Rank r = 0; r < ranks; ++r) {
+      auto& b = builders[static_cast<std::size_t>(r)];
+      b.begin_phase();
+      b.send((r + shift) % ranks, bytes, it);
+      b.recv((r - shift + ranks) % ranks, bytes, it);
+      b.end_phase();
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.makespan, b.makespan) << what;
+  EXPECT_EQ(a.rank_finish, b.rank_finish) << what;
+  EXPECT_EQ(a.data_messages, b.data_messages) << what;
+  EXPECT_EQ(a.control_messages, b.control_messages) << what;
+  EXPECT_EQ(a.noise_stolen, b.noise_stolen) << what;
+  EXPECT_EQ(a.detours_charged, b.detours_charged) << what;
+  EXPECT_EQ(a.events_processed, b.events_processed) << what;
+}
+
+class MatcherDifferentialTest
+    : public ::testing::TestWithParam<std::tuple<Rank, std::uint64_t>> {};
+
+// 6 rank counts x 10 seeds x 2 graph shapes = 120 randomized (graph, seed)
+// combinations, each checked field-by-field on the noise-free path.
+TEST_P(MatcherDifferentialTest, BaselineBitIdenticalAcrossMatchers) {
+  const auto [ranks, seed] = GetParam();
+  for (const bool deep : {false, true}) {
+    const TaskGraph g = random_graph(ranks, 4, seed, deep);
+    Simulator sim(g, NetworkParams::cray_xc40());
+    sim.set_matcher(MatcherKind::kReference);
+    const SimResult ref = sim.run_baseline();
+    sim.set_matcher(MatcherKind::kBucketed);
+    const SimResult opt = sim.run_baseline();
+    expect_identical(ref, opt,
+                     deep ? "deep baseline" : "shallow baseline");
+  }
+}
+
+// The same sweep under CE noise exercises the RankNoise instantiations of
+// both matchers (noise_stolen / detours_charged must agree too).
+TEST_P(MatcherDifferentialTest, NoisyRunBitIdenticalAcrossMatchers) {
+  const auto [ranks, seed] = GetParam();
+  const noise::UniformCeNoiseModel noise(
+      microseconds(500),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(5)));
+  for (const bool deep : {false, true}) {
+    const TaskGraph g = random_graph(ranks, 4, seed, deep);
+    Simulator sim(g, NetworkParams::cray_xc40());
+    sim.set_matcher(MatcherKind::kReference);
+    const SimResult ref = sim.run(noise, seed + 17);
+    sim.set_matcher(MatcherKind::kBucketed);
+    const SimResult opt = sim.run(noise, seed + 17);
+    expect_identical(ref, opt, deep ? "deep noisy" : "shallow noisy");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MatcherDifferentialTest,
+    ::testing::Combine(::testing::Values<Rank>(2, 3, 8, 16, 17, 32),
+                       ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6, 7,
+                                                        8, 9, 10)));
+
+/// A noise model that is NOT NoNoiseModel but emits no detours: forces the
+/// general RankNoise path over a null stream, which the devirtualized
+/// fast path (PassthroughNoise) must reproduce exactly.
+class NullStreamModel final : public noise::NoiseModel {
+ public:
+  std::unique_ptr<noise::DetourSource> make_source(
+      noise::RankId, std::uint64_t) const override {
+    return std::make_unique<noise::NullDetourSource>();
+  }
+};
+
+TEST(NoiseFastPath, MatchesRankNoiseOverNullStream) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    for (const bool deep : {false, true}) {
+      const TaskGraph g = random_graph(16, 4, seed, deep);
+      const Simulator sim(g, NetworkParams::cray_xc40());
+      const SimResult fast = sim.run_baseline();  // PassthroughNoise path
+      const SimResult general = sim.run(NullStreamModel{}, seed);
+      expect_identical(fast, general, "fast path vs RankNoise");
+    }
+  }
+}
+
+TEST(DeadlockDiagnostics, ReportsStrandedUnexpectedAndStuckCts) {
+  // Rank 0 issues a rendezvous-size send that rank 1 never receives: the
+  // RTS strands in rank 1's unexpected queue and the send waits on a CTS
+  // that never comes. Both must show up in the deadlock message.
+  TaskGraph g(2);
+  {
+    SequentialBuilder b0(g, 0);
+    b0.send(1, 1 << 20, 7);
+    SequentialBuilder b1(g, 1);
+    b1.calc(100);
+  }
+  g.finalize();
+  const Simulator sim(g, NetworkParams::cray_xc40());
+  try {
+    sim.run_baseline();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unexpected message"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("never received"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("waiting on CTS"), std::string::npos) << msg;
+  }
+}
+
+TEST(DeadlockDiagnostics, StillReportsUnmatchedPostedRecvs) {
+  TaskGraph g(2);
+  {
+    SequentialBuilder b0(g, 0);
+    b0.recv(1, 64, 3);
+    SequentialBuilder b1(g, 1);
+    b1.calc(100);
+  }
+  g.finalize();
+  const Simulator sim(g, NetworkParams::cray_xc40());
+  try {
+    sim.run_baseline();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("recv op"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("unmatched"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace celog::sim
