@@ -7,6 +7,9 @@
 // the two mechanisms behind the paper's workload sensitivity spread: apps
 // that synchronize less often — or that already wait on stragglers — absorb
 // detours in slack instead of surfacing them as slowdown.
+#include <cstdint>
+#include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_common.hpp"

@@ -6,7 +6,12 @@
 //
 // We isolate the collective by running a synthetic "allreduce every step"
 // workload under both algorithms at the same CE rates.
+#include <cstdint>
+#include <cstdio>
 #include <iterator>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"

@@ -9,6 +9,9 @@
 //   (a) synchronous firmware logging (133 ms per CE),
 //   (b) deferred logging, random flush phase per node,
 //   (c) deferred logging, machine-synchronized flushes.
+#include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"

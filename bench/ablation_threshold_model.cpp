@@ -8,6 +8,10 @@
 // is lower than 133 ms, so slowdowns are proportionally lower, but the
 // SHAPE (which workloads suffer, where the knee sits) is unchanged — the
 // flat model is a conservative simplification.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"

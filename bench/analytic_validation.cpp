@@ -6,6 +6,8 @@
 // identical orderings — is the simulator's analytic sanity check, the same
 // role measurement-based validation plays for LogGOPSim in the paper.
 #include <cmath>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"

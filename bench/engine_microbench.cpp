@@ -17,11 +17,15 @@
 // retained linear-scan reference (see src/sim/match_table.hpp), checks
 // their SimResults are bit-identical, and reports the speedup — this is
 // the ISSUE-2 headline number (>=3x at 1k+ ranks with deep recv queues).
+#include <algorithm>
 #include <cctype>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "perf_json.hpp"

@@ -5,8 +5,11 @@
 // figure. A CE detour is injected on p0 just before it sends m1; the table
 // shows every process's finish time with and without the detour: p1 stalls
 // waiting for m1, and p2 — which never communicates with p0 — stalls too.
+#include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "goal/task_graph.hpp"

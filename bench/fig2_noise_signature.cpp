@@ -7,6 +7,7 @@
 // For each mode it prints the signature summary (detour count, stolen time,
 // tallest bar) and the tall detours themselves — the "bars" of the paper's
 // scatter plots.
+#include <cstdint>
 #include <cstdio>
 #include <iterator>
 #include <vector>

@@ -8,7 +8,11 @@
 // workload. Expected shape (paper §IV-B): correction-only < 1% everywhere;
 // software < 10% down to MTBCE ~ 10 ms; firmware < 10% only down to ~1 s,
 // with hundreds of percent at 200 ms.
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"

@@ -7,6 +7,8 @@
 // confirming CEs are not a problem on current systems.
 #include "bench_common.hpp"
 
+#include <cstdio>
+
 int main(int argc, char** argv) {
   using namespace celog;
   Cli cli("fig4_current_systems: CE slowdown on Cielo, Trinity, Summit");

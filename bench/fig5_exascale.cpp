@@ -10,6 +10,8 @@
 // exceed a few percent. Conclusion: keep MTBCE_node above ~3,024-5,544 s.
 #include "bench_common.hpp"
 
+#include <cstdio>
+
 int main(int argc, char** argv) {
   using namespace celog;
   Cli cli("fig5_exascale: CE slowdown on hypothetical exascale systems");

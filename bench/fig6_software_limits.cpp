@@ -8,6 +8,9 @@
 // below 10% — the CE rate could grow ~10^6x over Cielo before OS-level
 // logging matters; firmware logging is already far past "no progress" at
 // these rates.
+#include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"

@@ -6,6 +6,10 @@
 // rate produce only one-to-two orders of magnitude difference in overhead;
 // if the per-event cost is kept low, very high CE rates are tolerable. The
 // 0.2 s + 133 ms cell cannot make forward progress (the paper omits it).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"

@@ -15,12 +15,12 @@
 // The record is written on destruction; with an empty path the recorder is
 // a no-op, so benches can pass --json unconditionally. Cell recording is
 // mutex-guarded (sweeps time cells on pool threads) and cells are sorted by
-// label before writing, keeping the output deterministic under --jobs.
+// label before writing, keeping the output deterministic under --jobs. The
+// record timestamp is read through the WallClock seam (bench/wall_clock.hpp)
+// — pin it in a test and the whole record becomes byte-reproducible.
 #pragma once
 
 #include <algorithm>
-#include <chrono>
-#include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <ctime>
@@ -29,24 +29,9 @@
 #include <utility>
 #include <vector>
 
+#include "wall_clock.hpp"
+
 namespace celog::bench {
-
-/// Wall-clock stopwatch (steady clock; starts at construction).
-class WallTimer {
- public:
-  WallTimer() : start_(std::chrono::steady_clock::now()) {}
-
-  double seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
-  }
-
-  void restart() { start_ = std::chrono::steady_clock::now(); }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
 
 /// Appends one JSONL perf record on destruction. Disabled when constructed
 /// with an empty path.
@@ -131,9 +116,10 @@ class PerfJson {
   }
 
  private:
+  /// Formats the WallClock epoch time as an ISO-8601 UTC stamp. The clock
+  /// read goes through the seam; everything after it is deterministic.
   static std::string utc_now() {
-    const std::time_t now =
-        std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+    const auto now = static_cast<std::time_t>(WallClock::utc_seconds());
     std::tm tm{};
 #if defined(_WIN32)
     gmtime_s(&tm, &now);

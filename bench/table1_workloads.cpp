@@ -3,6 +3,7 @@
 // drive CE-noise sensitivity in this reproduction: nominal iteration time
 // and the period between global synchronizations (§IV-C attributes the
 // sensitivity spread to collective frequency).
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>

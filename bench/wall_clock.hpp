@@ -1,0 +1,64 @@
+// bench/wall_clock.hpp
+//
+// The single sanctioned wall-clock seam.
+//
+// Simulated time is integer TimeNs and never touches the host clock; the
+// only legitimate wall-clock readers in the tree are the benches, which
+// measure how long the simulator itself takes and stamp perf-trajectory
+// records. Both reads are concentrated here so celint's nondet-clock rule
+// has exactly one seam to sanction and so tests can pin the UTC source,
+// making --json output byte-reproducible (see tests/celint_selftest.cpp,
+// PerfJsonClockSeam).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace celog::bench {
+
+/// Monotonic stopwatch (steady clock; starts at construction). Measures
+/// host wall time of a bench section — never simulated time.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Injectable UTC source backing perf-record timestamps. Real runs read
+/// the system clock once per record; a test can pin a fixed epoch so the
+/// emitted JSONL is identical across runs.
+class WallClock {
+ public:
+  /// Seconds since the Unix epoch (or the pinned override).
+  static std::int64_t utc_seconds() {
+    if (override_set_) return override_seconds_;
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Pins utc_seconds() to a fixed value. Test-only: production code has
+  /// no reason to lie about the time.
+  static void set_utc_for_test(std::int64_t seconds) {
+    override_seconds_ = seconds;
+    override_set_ = true;
+  }
+
+  static void clear_utc_override() { override_set_ = false; }
+
+ private:
+  inline static std::int64_t override_seconds_ = 0;
+  inline static bool override_set_ = false;
+};
+
+}  // namespace celog::bench

@@ -10,6 +10,7 @@
 //      expansion);
 //   4. simulate it under CE logging noise and report slowdowns.
 #include <cstdio>
+#include <string>
 
 #include "core/logging_mode.hpp"
 #include "mpi/compile.hpp"

@@ -10,6 +10,7 @@
 // reporting mode and prints the job-level slowdown, ending with the highest
 // rate that stays under a user-chosen acceptability threshold.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/experiment.hpp"

@@ -11,6 +11,8 @@
 // across the mix, for each reporting mode — ending with the maximum
 // multiplier that keeps the worst case under 10% (the paper's criterion).
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/experiment.hpp"

@@ -8,8 +8,10 @@
 // This example drives the GOAL layer directly (no workload model), which is
 // the right starting point when you want to simulate your own communication
 // patterns.
+#include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "goal/task_graph.hpp"
 #include "noise/noise_model.hpp"

@@ -8,8 +8,10 @@
 // Prints the schedule of a small LULESH run, clean vs CE-perturbed, and
 // the per-op delay for the worst-hit rank.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "core/logging_mode.hpp"

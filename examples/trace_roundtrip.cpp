@@ -10,6 +10,7 @@
 //      Mutrino traces to 16,384 simulated nodes, and simulate the larger
 //      machine under CE noise.
 #include <cstdio>
+#include <string>
 
 #include "core/logging_mode.hpp"
 #include "noise/noise_model.hpp"

@@ -1,7 +1,9 @@
 #include "collectives/collectives.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <span>
 
 #include "util/error.hpp"
 

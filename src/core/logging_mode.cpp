@@ -2,6 +2,9 @@
 
 #include "util/error.hpp"
 
+#include <memory>
+#include <vector>
+
 namespace celog::core {
 
 const char* to_string(LoggingMode mode) {

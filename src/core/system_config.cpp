@@ -2,6 +2,9 @@
 
 #include "util/error.hpp"
 
+#include <string>
+#include <vector>
+
 namespace celog::core {
 
 TimeNs SystemConfig::mtbce_node() const {

@@ -1,8 +1,12 @@
 #include "goal/task_graph.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace celog::goal {
 

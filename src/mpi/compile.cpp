@@ -1,6 +1,7 @@
 #include "mpi/compile.hpp"
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 

@@ -2,6 +2,9 @@
 
 #include "util/error.hpp"
 
+#include <cstdint>
+#include <vector>
+
 namespace celog::mpi {
 
 const char* to_string(CallType type) {

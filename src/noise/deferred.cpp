@@ -2,6 +2,10 @@
 
 #include "util/error.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+
 namespace celog::noise {
 
 DeferredLoggingSource::DeferredLoggingSource(

@@ -17,6 +17,7 @@
 //     flush_base + pending_events * per_record.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "noise/detour.hpp"

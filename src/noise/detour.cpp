@@ -1,6 +1,9 @@
 #include "noise/detour.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "util/error.hpp"
 

@@ -9,6 +9,7 @@
 // (RankNoise, noise/rank_noise.hpp) folds them into CPU busy periods.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

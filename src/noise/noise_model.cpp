@@ -1,6 +1,10 @@
 #include "noise/noise_model.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"

@@ -1,6 +1,8 @@
 #include "noise/rank_noise.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 namespace celog::noise {
 

@@ -18,6 +18,7 @@
 // their communication partners (paper Fig. 1).
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <memory>
 

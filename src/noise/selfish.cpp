@@ -1,6 +1,8 @@
 #include "noise/selfish.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "util/error.hpp"
 

@@ -1,10 +1,12 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <tuple>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"

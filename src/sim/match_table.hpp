@@ -33,6 +33,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "goal/task_graph.hpp"

@@ -1,7 +1,9 @@
 #include "trace/trace_io.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "util/error.hpp"

@@ -1,8 +1,11 @@
 #include "util/cli.hpp"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "util/error.hpp"
 

@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/error.hpp"
 

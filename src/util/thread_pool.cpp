@@ -2,6 +2,12 @@
 
 #include "util/error.hpp"
 
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
 namespace celog::util {
 
 unsigned ThreadPool::hardware_threads() {

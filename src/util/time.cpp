@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <string>
 
 namespace celog {
 

@@ -15,6 +15,10 @@
 #include "workloads/patterns.hpp"
 #include "workloads/topology.hpp"
 
+#include <memory>
+#include <string>
+#include <vector>
+
 namespace celog::workloads {
 namespace {
 

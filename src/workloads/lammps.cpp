@@ -21,7 +21,11 @@
 //           distribution input) with sub-millisecond steps and thermo every
 //           10 steps -> global synchronization every few ms. Most sensitive
 //           workload in the paper, together with LULESH.
+#include <cstdint>
+#include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "collectives/collectives.hpp"
 #include "workloads/models.hpp"

@@ -17,6 +17,11 @@
 #include "workloads/patterns.hpp"
 #include "workloads/topology.hpp"
 
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
 namespace celog::workloads {
 namespace {
 

@@ -1,6 +1,9 @@
 #include "workloads/patterns.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "util/error.hpp"
 

@@ -6,6 +6,7 @@
 // through its timestep loop.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 

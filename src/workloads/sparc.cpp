@@ -15,6 +15,10 @@
 // allreduce. Middle-band sensitivity at x10 rates; 100-1000% at x100, as in
 // the paper.
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "collectives/collectives.hpp"
 #include "workloads/models.hpp"

@@ -1,6 +1,12 @@
 #include "workloads/topology.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "util/error.hpp"
 

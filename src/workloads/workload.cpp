@@ -1,6 +1,11 @@
 #include "workloads/workload.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "util/error.hpp"
 #include "workloads/models.hpp"

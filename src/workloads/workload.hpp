@@ -12,6 +12,7 @@
 // "Substitutions").
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>

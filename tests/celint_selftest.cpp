@@ -1,0 +1,535 @@
+// Selftest for the celint determinism-contract linter (ctest label: lint).
+//
+// Drives the rule engine against in-memory fixture snippets — one positive
+// and one negative case per rule — plus the suppression-annotation
+// grammar, unknown-rule rejection, and a regression case asserting the
+// live repo scan reports zero findings (the same gate CI runs via
+// `celint --check`). Also pins the PerfJson wall-clock seam: with the UTC
+// source overridden, --json perf records are byte-reproducible.
+//
+// Fixture violations live inside string literals, which the engine strips
+// before matching — that is itself one of the behaviors under test.
+#include "celint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "perf_json.hpp"
+#include "wall_clock.hpp"
+
+namespace {
+
+using celint::Finding;
+using celint::lint_file;
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const auto& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  const auto rules = rules_of(findings);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+// ---------------------------------------------------------------------------
+// nondet-rng
+// ---------------------------------------------------------------------------
+
+TEST(CelintNondetRng, FlagsRandomDeviceInSrc) {
+  const auto f = lint_file("src/sim/engine.cpp",
+                           "#include <random>\n"
+                           "int f() { std::random_device rd; return 0; }\n");
+  EXPECT_TRUE(has_rule(f, "nondet-rng"));
+}
+
+TEST(CelintNondetRng, FlagsRandAndSrand) {
+  const auto f = lint_file("src/core/experiment.cpp",
+                           "#include <cstdlib>\n"
+                           "int f() { srand(42); return rand(); }\n");
+  ASSERT_TRUE(has_rule(f, "nondet-rng"));
+  int rng_findings = 0;
+  for (const auto& fi : f) {
+    if (fi.rule == "nondet-rng") ++rng_findings;
+  }
+  EXPECT_EQ(rng_findings, 2) << "srand and rand each get a finding";
+}
+
+TEST(CelintNondetRng, SanctionedInRngHeaderAndBench) {
+  const std::string body =
+      "#include <random>\n"
+      "inline int f() { std::random_device rd; return 0; }\n";
+  EXPECT_FALSE(has_rule(lint_file("src/util/rng.hpp",
+                                  "#pragma once\n" + body),
+                        "nondet-rng"));
+  EXPECT_FALSE(has_rule(lint_file("bench/fuzz_seed.cpp", body), "nondet-rng"));
+}
+
+TEST(CelintNondetRng, WordBoundariesAvoidFalsePositives) {
+  // "operand" contains "rand"; an identifier ending in _rand is still a
+  // distinct token from the libc function.
+  const auto f = lint_file("src/sim/engine.cpp",
+                           "int operand = 3; int grand_total = operand;\n");
+  EXPECT_FALSE(has_rule(f, "nondet-rng"));
+}
+
+// ---------------------------------------------------------------------------
+// nondet-clock
+// ---------------------------------------------------------------------------
+
+TEST(CelintNondetClock, FlagsSystemAndSteadyClockInSrc) {
+  const auto f = lint_file(
+      "src/core/experiment.cpp",
+      "#include <chrono>\n"
+      "auto t0() { return std::chrono::system_clock::now(); }\n"
+      "auto t1() { return std::chrono::steady_clock::now(); }\n");
+  int clock_findings = 0;
+  for (const auto& fi : f) {
+    if (fi.rule == "nondet-clock") ++clock_findings;
+  }
+  EXPECT_EQ(clock_findings, 2);
+}
+
+TEST(CelintNondetClock, SanctionedInTimeUtilAndBench) {
+  const std::string body =
+      "#include <chrono>\n"
+      "inline auto now() { return std::chrono::steady_clock::now(); }\n";
+  EXPECT_FALSE(has_rule(lint_file("src/util/time.hpp",
+                                  "#pragma once\n" + body),
+                        "nondet-clock"));
+  EXPECT_FALSE(
+      has_rule(lint_file("bench/wall_clock.hpp", "#pragma once\n" + body),
+               "nondet-clock"));
+}
+
+TEST(CelintNondetClock, MentionInCommentOrStringIsNotAFinding) {
+  const auto f = lint_file(
+      "src/sim/engine.cpp",
+      "// steady_clock would be wrong here: simulated time is TimeNs.\n"
+      "const char* kDoc = \"never call system_clock::now() in src/\";\n");
+  EXPECT_FALSE(has_rule(f, "nondet-clock"));
+}
+
+// ---------------------------------------------------------------------------
+// nondet-env
+// ---------------------------------------------------------------------------
+
+TEST(CelintNondetEnv, FlagsGetenvInSrcButNotInCli) {
+  const std::string body =
+      "#include <cstdlib>\n"
+      "const char* f() { return std::getenv(\"HOME\"); }\n";
+  EXPECT_TRUE(has_rule(lint_file("src/sim/engine.cpp", body), "nondet-env"));
+  EXPECT_FALSE(has_rule(lint_file("src/util/cli.cpp", body), "nondet-env"));
+  EXPECT_FALSE(has_rule(lint_file("bench/bench_common.hpp",
+                                  "#pragma once\n" + body),
+                        "nondet-env"));
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter
+// ---------------------------------------------------------------------------
+
+TEST(CelintUnorderedIter, FlagsRangeForOverUnorderedMapInSrc) {
+  const auto f = lint_file(
+      "src/core/experiment.cpp",
+      "#include <unordered_map>\n"
+      "#include <cstdio>\n"
+      "void dump(const std::unordered_map<int, int>& table) {\n"
+      "  std::unordered_map<int, int> copy = table;\n"
+      "  for (const auto& kv : copy) std::printf(\"%d\\n\", kv.first);\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(f, "unordered-iter"));
+}
+
+TEST(CelintUnorderedIter, FlagsBeginIteratorForm) {
+  const auto f = lint_file(
+      "src/core/experiment.cpp",
+      "#include <unordered_set>\n"
+      "int first(const std::unordered_set<int>& s) {\n"
+      "  std::unordered_set<int> seen = s;\n"
+      "  return *seen.begin();\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(f, "unordered-iter"));
+}
+
+TEST(CelintUnorderedIter, LookupWithoutIterationIsFine) {
+  const auto f = lint_file(
+      "src/core/experiment.cpp",
+      "#include <unordered_map>\n"
+      "int get(const std::unordered_map<int, int>& m, int k) {\n"
+      "  std::unordered_map<int, int> cache = m;\n"
+      "  return cache.at(k);\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(f, "unordered-iter"));
+}
+
+TEST(CelintUnorderedIter, OnlyAppliesToSrc) {
+  const auto f = lint_file(
+      "tests/some_test.cpp",
+      "#include <unordered_map>\n"
+      "int sum(std::unordered_map<int, int> m) {\n"
+      "  int s = 0;\n"
+      "  for (const auto& kv : m) s += kv.second;\n"
+      "  return s;\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(f, "unordered-iter"));
+}
+
+TEST(CelintUnorderedIter, CommentMentionDoesNotFire) {
+  // src/sim/match_table.hpp's banner mentions std::unordered_map by name.
+  const auto f = lint_file(
+      "src/sim/whatever.hpp",
+      "#pragma once\n"
+      "// Unlike std::unordered_map, iteration here is insertion-ordered;\n"
+      "// for (auto& kv : m) over an unordered_map would be a bug.\n");
+  EXPECT_FALSE(has_rule(f, "unordered-iter"));
+}
+
+// ---------------------------------------------------------------------------
+// float-reduce
+// ---------------------------------------------------------------------------
+
+TEST(CelintFloatReduce, FlagsStdReduceAndExecutionPolicies) {
+  const auto f = lint_file(
+      "src/util/stats.cpp",
+      "#include <numeric>\n"
+      "#include <vector>\n"
+      "double total(const std::vector<double>& v) {\n"
+      "  return std::reduce(v.begin(), v.end());\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(f, "float-reduce"));
+  const auto g = lint_file(
+      "src/util/stats.cpp",
+      "#include <algorithm>\n"
+      "#include <execution>\n"
+      "#include <vector>\n"
+      "void s(std::vector<double>& v) {\n"
+      "  std::sort(std::execution::par, v.begin(), v.end());\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(g, "float-reduce"));
+}
+
+TEST(CelintFloatReduce, FlagsOpenMpPragma) {
+  const auto f = lint_file("src/util/stats.cpp",
+                           "void f(double* a, int n) {\n"
+                           "#pragma omp parallel for\n"
+                           "  for (int i = 0; i < n; ++i) a[i] *= 2;\n"
+                           "}\n");
+  EXPECT_TRUE(has_rule(f, "float-reduce"));
+}
+
+TEST(CelintFloatReduce, AccumulateInSrcAndReduceOutsideSrcAreFine) {
+  const auto f = lint_file(
+      "src/util/stats.cpp",
+      "#include <numeric>\n"
+      "#include <vector>\n"
+      "double total(const std::vector<double>& v) {\n"
+      "  return std::accumulate(v.begin(), v.end(), 0.0);\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(f, "float-reduce"));
+  const auto g = lint_file(
+      "bench/scratch.cpp",
+      "#include <numeric>\n"
+      "#include <vector>\n"
+      "double total(const std::vector<double>& v) {\n"
+      "  return std::reduce(v.begin(), v.end());\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(g, "float-reduce"));
+}
+
+// ---------------------------------------------------------------------------
+// pragma-once
+// ---------------------------------------------------------------------------
+
+TEST(CelintPragmaOnce, HeadersNeedIt) {
+  EXPECT_TRUE(has_rule(lint_file("src/util/new_thing.hpp",
+                                 "inline constexpr int kX = 1;\n"),
+                       "pragma-once"));
+  EXPECT_FALSE(has_rule(lint_file("src/util/new_thing.hpp",
+                                  "#pragma once\n"
+                                  "inline constexpr int kX = 1;\n"),
+                        "pragma-once"));
+  // Translation units do not.
+  EXPECT_FALSE(has_rule(lint_file("src/util/new_thing.cpp",
+                                  "int f() { return 1; }\n"),
+                        "pragma-once"));
+}
+
+// ---------------------------------------------------------------------------
+// using-namespace
+// ---------------------------------------------------------------------------
+
+TEST(CelintUsingNamespace, FlagsNamespaceScopeInHeader) {
+  const auto f = lint_file("src/util/new_thing.hpp",
+                           "#pragma once\n"
+                           "#include <string>\n"
+                           "using namespace std;\n"
+                           "inline string f() { return {}; }\n");
+  EXPECT_TRUE(has_rule(f, "using-namespace"));
+}
+
+TEST(CelintUsingNamespace, FunctionScopeAndCppFilesAreFine) {
+  const auto f = lint_file("src/util/new_thing.hpp",
+                           "#pragma once\n"
+                           "#include <string>\n"
+                           "inline std::string f() {\n"
+                           "  using namespace std::string_literals;\n"
+                           "  return \"x\"s;\n"
+                           "}\n");
+  EXPECT_FALSE(has_rule(f, "using-namespace"));
+  const auto g = lint_file("src/util/new_thing.cpp",
+                           "#include <string>\n"
+                           "using namespace std;\n");
+  EXPECT_FALSE(has_rule(g, "using-namespace"));
+}
+
+// ---------------------------------------------------------------------------
+// global-state
+// ---------------------------------------------------------------------------
+
+TEST(CelintGlobalState, FlagsMutableNamespaceScopeVariableInHeader) {
+  const auto f = lint_file("src/util/new_thing.hpp",
+                           "#pragma once\n"
+                           "namespace celog {\n"
+                           "inline int g_counter = 0;\n"
+                           "}\n");
+  EXPECT_TRUE(has_rule(f, "global-state"));
+}
+
+TEST(CelintGlobalState, ConstexprConstantsAndFunctionsAreFine) {
+  const auto f = lint_file(
+      "src/util/new_thing.hpp",
+      "#pragma once\n"
+      "#include <cstdint>\n"
+      "namespace celog {\n"
+      "inline constexpr std::int64_t kLimit = 42;\n"
+      "inline std::int64_t twice(std::int64_t x) { return 2 * x; }\n"
+      "class Gadget {\n"
+      " public:\n"
+      "  int value() const { return value_; }\n"
+      " private:\n"
+      "  int value_ = 7;  // member state is fine; namespace state is not\n"
+      "};\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(f, "global-state"));
+}
+
+// ---------------------------------------------------------------------------
+// missing-include (IWYU-lite)
+// ---------------------------------------------------------------------------
+
+TEST(CelintMissingInclude, FlagsTransitiveVectorUse) {
+  const auto f = lint_file("src/util/new_thing.cpp",
+                           "#include \"util/stats.hpp\"\n"
+                           "std::vector<double> make() { return {}; }\n");
+  ASSERT_TRUE(has_rule(f, "missing-include"));
+  bool mentions_vector = false;
+  for (const auto& fi : f) {
+    if (fi.rule == "missing-include" &&
+        fi.message.find("<vector>") != std::string::npos) {
+      mentions_vector = true;
+    }
+  }
+  EXPECT_TRUE(mentions_vector);
+}
+
+TEST(CelintMissingInclude, DirectIncludeSatisfiesTheRule) {
+  const auto f = lint_file("src/util/new_thing.cpp",
+                           "#include <vector>\n"
+                           "std::vector<double> make() { return {}; }\n");
+  EXPECT_FALSE(has_rule(f, "missing-include"));
+}
+
+TEST(CelintMissingInclude, OneFindingPerMissingHeader) {
+  const auto f = lint_file("src/util/new_thing.cpp",
+                           "int n() { return std::min(1, std::max(2, 3)); }\n");
+  int count = 0;
+  for (const auto& fi : f) {
+    if (fi.rule == "missing-include") ++count;
+  }
+  EXPECT_EQ(count, 1) << "min and max share one <algorithm> finding";
+}
+
+// ---------------------------------------------------------------------------
+// Suppression annotations
+// ---------------------------------------------------------------------------
+
+TEST(CelintSuppression, JustifiedAllowOnSameLineSuppresses) {
+  const auto f = lint_file(
+      "src/sim/engine.cpp",
+      "#include <chrono>\n"
+      "auto t() { return std::chrono::steady_clock::now(); }  "
+      "// celint: allow(nondet-clock) -- fixture: deadline for watchdog\n");
+  EXPECT_FALSE(has_rule(f, "nondet-clock"));
+}
+
+TEST(CelintSuppression, JustifiedAllowOnLineAboveSuppresses) {
+  const auto f = lint_file(
+      "src/sim/engine.cpp",
+      "#include <chrono>\n"
+      "// celint: allow(nondet-clock) -- fixture: deadline for watchdog\n"
+      "auto t() { return std::chrono::steady_clock::now(); }\n");
+  EXPECT_FALSE(has_rule(f, "nondet-clock"));
+}
+
+TEST(CelintSuppression, AllowOnlyCoversItsOwnRule) {
+  const auto f = lint_file(
+      "src/sim/engine.cpp",
+      "#include <chrono>\n"
+      "// celint: allow(nondet-rng) -- fixture: wrong rule on purpose\n"
+      "auto t() { return std::chrono::steady_clock::now(); }\n");
+  EXPECT_TRUE(has_rule(f, "nondet-clock"));
+}
+
+TEST(CelintSuppression, MissingJustificationIsItsOwnFinding) {
+  const auto f = lint_file(
+      "src/sim/engine.cpp",
+      "#include <chrono>\n"
+      "// celint: allow(nondet-clock)\n"
+      "auto t() { return std::chrono::steady_clock::now(); }\n");
+  EXPECT_TRUE(has_rule(f, "bad-suppression"));
+  EXPECT_TRUE(has_rule(f, "nondet-clock"))
+      << "an unjustified allow must not suppress";
+}
+
+TEST(CelintSuppression, UnknownRuleIsRejected) {
+  const auto f = lint_file(
+      "src/sim/engine.cpp",
+      "// celint: allow(nondet-everything) -- no such rule\n"
+      "int x() { return 1; }\n");
+  EXPECT_TRUE(has_rule(f, "unknown-rule"));
+}
+
+TEST(CelintSuppression, KnownRuleNamesAreExactlyTheDocumentedSet) {
+  for (const auto& r :
+       {"nondet-rng", "nondet-clock", "nondet-env", "unordered-iter",
+        "float-reduce", "pragma-once", "using-namespace", "global-state",
+        "missing-include"}) {
+    EXPECT_TRUE(celint::is_known_rule(r)) << r;
+  }
+  EXPECT_FALSE(celint::is_known_rule("made-up"));
+  EXPECT_EQ(celint::rule_names().size(), 9u);
+}
+
+// ---------------------------------------------------------------------------
+// Stripper
+// ---------------------------------------------------------------------------
+
+TEST(CelintStripper, PreservesLineStructure) {
+  const std::string src =
+      "int a; // comment\n"
+      "/* block\n"
+      "   spanning */ int b;\n"
+      "const char* s = \"str with \\\" quote\";\n";
+  const std::string out = celint::strip_comments_and_strings(src);
+  EXPECT_EQ(std::count(src.begin(), src.end(), '\n'),
+            std::count(out.begin(), out.end(), '\n'));
+  EXPECT_EQ(out.find("comment"), std::string::npos);
+  EXPECT_EQ(out.find("spanning"), std::string::npos);
+  EXPECT_EQ(out.find("quote"), std::string::npos);
+  EXPECT_NE(out.find("int b"), std::string::npos);
+}
+
+TEST(CelintStripper, HandlesDigitSeparatorsAndCharLiterals) {
+  const std::string out = celint::strip_comments_and_strings(
+      "long big = 1'000'000; char c = 'x'; char q = '\\'';\n"
+      "int after = 7;\n");
+  EXPECT_NE(out.find("after = 7"), std::string::npos);
+  EXPECT_NE(out.find("1'000'000"), std::string::npos)
+      << "digit separators are not char literals";
+  EXPECT_EQ(out.find('x'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Path classification
+// ---------------------------------------------------------------------------
+
+TEST(CelintClassify, SanctionedFilesMatchTheDocumentedList) {
+  EXPECT_TRUE(celint::classify("src/util/rng.hpp").rng_sanctioned);
+  EXPECT_FALSE(celint::classify("src/util/rng.hpp").clock_sanctioned);
+  EXPECT_TRUE(celint::classify("src/util/time.cpp").clock_sanctioned);
+  EXPECT_TRUE(celint::classify("src/util/time.hpp").clock_sanctioned);
+  EXPECT_TRUE(celint::classify("src/util/cli.cpp").env_sanctioned);
+  EXPECT_TRUE(celint::classify("bench/wall_clock.hpp").clock_sanctioned);
+  EXPECT_TRUE(celint::classify("bench/engine_microbench.cpp").rng_sanctioned);
+  EXPECT_FALSE(celint::classify("src/sim/engine.cpp").clock_sanctioned);
+  EXPECT_FALSE(celint::classify("tests/sim_engine_test.cpp").clock_sanctioned);
+  EXPECT_TRUE(celint::classify("src/sim/engine.hpp").in_src);
+  EXPECT_TRUE(celint::classify("src/sim/engine.hpp").header);
+  EXPECT_FALSE(celint::classify("examples/quickstart.cpp").in_src);
+}
+
+// ---------------------------------------------------------------------------
+// Repo regression: the live tree must scan clean
+// ---------------------------------------------------------------------------
+
+TEST(CelintRepoScan, SrcReportsZeroFindings) {
+  const auto findings = celint::run_check(CELINT_SOURCE_DIR, {"src"});
+  for (const auto& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+  const auto files = celint::collect_files(CELINT_SOURCE_DIR, {"src"});
+  EXPECT_GT(files.size(), 40u) << "scan should see the whole src/ tree";
+}
+
+TEST(CelintRepoScan, BenchExamplesTestsReportZeroFindings) {
+  const auto findings =
+      celint::run_check(CELINT_SOURCE_DIR, {"bench", "examples", "tests"});
+  for (const auto& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PerfJson wall-clock seam: --json output is reproducible under test
+// ---------------------------------------------------------------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(PerfJsonClockSeam, PinnedClockMakesRecordsByteIdentical) {
+  using celog::bench::PerfJson;
+  using celog::bench::WallClock;
+  WallClock::set_utc_for_test(86400 + 3661);  // 1970-01-02T01:01:01Z
+  const std::string path = testing::TempDir() + "celint_seam.jsonl";
+  std::remove(path.c_str());
+  for (int run = 0; run < 2; ++run) {
+    PerfJson perf(path, "seam_bench");
+    perf.metric("events_per_s", 123456.0);
+    perf.cell("cell/b", 0.25);
+    perf.cell("cell/a", 0.5);
+  }
+  WallClock::clear_utc_override();
+  const std::string contents = read_file(path);
+  std::remove(path.c_str());
+  const std::size_t nl = contents.find('\n');
+  ASSERT_NE(nl, std::string::npos);
+  const std::string first = contents.substr(0, nl + 1);
+  EXPECT_EQ(contents, first + first) << "two runs, byte-identical records";
+  EXPECT_NE(first.find("\"utc\":\"1970-01-02T01:01:01Z\""), std::string::npos)
+      << first;
+  // Cells are sorted by label regardless of recording order.
+  EXPECT_LT(first.find("cell/a"), first.find("cell/b"));
+}
+
+TEST(PerfJsonClockSeam, RealClockIsPostEpoch) {
+  // Sanity: without the override the seam reads the actual system clock.
+  EXPECT_GT(celog::bench::WallClock::utc_seconds(), 1577836800)
+      << "2020-01-01 — if this fails the host clock is broken";
+}
+
+}  // namespace

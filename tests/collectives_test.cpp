@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "goal/task_graph.hpp"

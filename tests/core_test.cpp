@@ -8,6 +8,8 @@
 #include "noise/noise_model.hpp"
 #include "workloads/workload.hpp"
 
+#include <memory>
+
 namespace celog::core {
 namespace {
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "mpi/compile.hpp"
 #include "sim/engine.hpp"

@@ -4,6 +4,8 @@
 
 #include "sim/engine.hpp"
 
+#include <vector>
+
 namespace celog::workloads {
 namespace {
 

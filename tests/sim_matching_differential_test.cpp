@@ -14,6 +14,7 @@
 // messages and sends stuck waiting on CTS.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <tuple>

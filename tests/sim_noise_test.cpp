@@ -2,7 +2,10 @@
 // communication dependencies (paper Fig. 1), and are absorbed by idle time.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "goal/task_graph.hpp"
 #include "noise/noise_model.hpp"

@@ -1,7 +1,10 @@
 // Tests for the op-completion observer (timeline extraction hook).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "goal/task_graph.hpp"

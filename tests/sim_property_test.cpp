@@ -3,7 +3,10 @@
 // graphs, swept over rank counts and seeds with parameterized gtest.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
 #include <tuple>
+#include <vector>
 
 #include "goal/task_graph.hpp"
 #include "noise/noise_model.hpp"

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <initializer_list>
+#include <string>
+#include <vector>
 
 #include "util/cli.hpp"
 #include "util/error.hpp"

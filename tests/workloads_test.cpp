@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "sim/engine.hpp"
 #include "util/error.hpp"

@@ -1,0 +1,1149 @@
+// tools/celint/celint.cpp
+//
+// Rule engine implementation. Everything operates on a comment- and
+// string-stripped copy of the source (line structure preserved), except
+// suppression-annotation parsing and #include extraction, which read the
+// raw lines. The scanner is deliberately lexical — no AST, no compiler —
+// which keeps it dependency-free and fast (the whole tree lints in tens of
+// milliseconds) at the cost of documented heuristics: unordered-iter
+// tracks variables declared in the same file, and global-state treats
+// `const char*` as const. The selftest pins both the hits and the
+// deliberate non-hits.
+#include "celint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace celint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Splits content into lines (no trailing '\n'); line N is lines[N-1].
+std::vector<std::string_view> split_lines(std::string_view content) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= content.size()) {
+    const std::size_t nl = content.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(content.substr(start));
+      break;
+    }
+    lines.push_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer (identifiers + single-character punctuation, with line numbers)
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool ident = false;
+};
+
+/// Tokenizes stripped source. Numbers come out as ident=false tokens so
+/// declaration heuristics can require *named* identifiers. Preprocessor
+/// lines (including continuations) are skipped entirely: macro bodies may
+/// contain unbalanced braces that would corrupt the scope tracker.
+std::vector<Token> tokenize(std::string_view stripped) {
+  std::vector<Token> toks;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = stripped.size();
+  bool at_line_start = true;
+  while (i < n) {
+    const char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (at_line_start && c == '#') {
+      // Skip the whole preprocessor directive, honoring \-continuations.
+      while (i < n) {
+        const std::size_t nl = stripped.find('\n', i);
+        if (nl == std::string_view::npos) {
+          i = n;
+          break;
+        }
+        std::size_t last = nl;
+        while (last > i &&
+               std::isspace(static_cast<unsigned char>(stripped[last - 1])) !=
+                   0) {
+          --last;
+        }
+        const bool continued = last > i && stripped[last - 1] == '\\';
+        i = nl + 1;
+        ++line;
+        if (!continued) break;
+      }
+      at_line_start = true;
+      continue;
+    }
+    at_line_start = false;
+    if (is_ident_char(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(stripped[j])) ++j;
+      const bool is_number = std::isdigit(static_cast<unsigned char>(c)) != 0;
+      toks.push_back(
+          {std::string(stripped.substr(i, j - i)), line, !is_number});
+      i = j;
+      continue;
+    }
+    toks.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+  return toks;
+}
+
+// ---------------------------------------------------------------------------
+// Banned-token tables
+// ---------------------------------------------------------------------------
+
+struct BannedToken {
+  std::string_view pattern;
+  std::string_view why;
+};
+
+constexpr std::array kRngBanned = {
+    BannedToken{"random_device", "seeds differ across runs"},
+    BannedToken{"srand", "hidden global RNG state"},
+    BannedToken{"rand", "hidden global RNG state"},
+    BannedToken{"rand_r", "out-of-band RNG stream"},
+    BannedToken{"drand48", "hidden global RNG state"},
+    BannedToken{"lrand48", "hidden global RNG state"},
+    BannedToken{"mrand48", "hidden global RNG state"},
+};
+
+constexpr std::array kClockBanned = {
+    BannedToken{"system_clock", "wall-clock read"},
+    BannedToken{"steady_clock", "wall-clock read"},
+    BannedToken{"high_resolution_clock", "wall-clock read"},
+    BannedToken{"gettimeofday", "wall-clock read"},
+    BannedToken{"clock_gettime", "wall-clock read"},
+    BannedToken{"timespec_get", "wall-clock read"},
+    BannedToken{"std::time(", "wall-clock read"},
+};
+
+constexpr std::array kEnvBanned = {
+    BannedToken{"getenv", "environment read"},
+    BannedToken{"secure_getenv", "environment read"},
+    BannedToken{"setenv", "environment write"},
+    BannedToken{"putenv", "environment write"},
+    BannedToken{"unsetenv", "environment write"},
+};
+
+constexpr std::array kFloatReduceBanned = {
+    BannedToken{"std::reduce", "unordered floating-point reduction"},
+    BannedToken{"std::transform_reduce", "unordered floating-point reduction"},
+    BannedToken{"std::execution::par", "parallel STL execution policy"},
+    BannedToken{"std::execution::par_unseq", "parallel STL execution policy"},
+    BannedToken{"std::execution::parallel_policy",
+                "parallel STL execution policy"},
+    BannedToken{"std::execution::parallel_unsequenced_policy",
+                "parallel STL execution policy"},
+};
+
+/// True when `pattern` occurs at `pos` with identifier boundaries on both
+/// sides (a ':' on the left also counts as a boundary breaker so that
+/// "std::execution::par" does not re-match inside its own longer forms).
+bool boundary_match(std::string_view text, std::size_t pos,
+                    std::string_view pattern) {
+  if (pos > 0) {
+    const char before = text[pos - 1];
+    if (is_ident_char(before)) return false;
+    // Reject a partial match of a longer qualified name, e.g. matching
+    // "rand" inside "my::rand_like" is already excluded by the right-hand
+    // check; a ':' before a pattern that itself starts with an identifier
+    // is fine ("std::rand" should match bare "rand"? No — the std:: forms
+    // are listed explicitly where needed, and flagging qualified uses too
+    // is exactly what we want), so ':' is accepted as a boundary.
+  }
+  const std::size_t end = pos + pattern.size();
+  if (end < text.size() && pattern.back() != '(' &&
+      is_ident_char(text[end])) {
+    return false;
+  }
+  return true;
+}
+
+template <std::size_t N>
+void scan_banned(std::string_view stripped,
+                 const std::vector<std::size_t>& line_starts,
+                 const std::array<BannedToken, N>& table,
+                 const std::string& rule, const std::string& sanction_note,
+                 std::vector<Finding>* out);
+
+int line_of(const std::vector<std::size_t>& line_starts, std::size_t pos) {
+  // line_starts[k] = offset of line k+1; binary search for pos.
+  const auto it =
+      std::upper_bound(line_starts.begin(), line_starts.end(), pos);
+  return static_cast<int>(it - line_starts.begin());
+}
+
+std::vector<std::size_t> compute_line_starts(std::string_view text) {
+  std::vector<std::size_t> starts = {0};
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+template <std::size_t N>
+void scan_banned(std::string_view stripped,
+                 const std::vector<std::size_t>& line_starts,
+                 const std::array<BannedToken, N>& table,
+                 const std::string& rule, const std::string& sanction_note,
+                 std::vector<Finding>* out) {
+  for (const auto& banned : table) {
+    std::size_t pos = 0;
+    while ((pos = stripped.find(banned.pattern, pos)) !=
+           std::string_view::npos) {
+      if (boundary_match(stripped, pos, banned.pattern)) {
+        Finding f;
+        f.line = line_of(line_starts, pos);
+        f.rule = rule;
+        f.message = std::string(banned.pattern) + " (" +
+                    std::string(banned.why) + ") is banned " + sanction_note;
+        out->push_back(std::move(f));
+      }
+      pos += banned.pattern.size();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IWYU-lite symbol -> canonical header map
+// ---------------------------------------------------------------------------
+
+/// Curated map of std:: symbols to the header that must be included
+/// directly when the symbol is used. Deliberately omits symbols that are
+/// effectively ubiquitous or multi-homed (size_t, ptrdiff_t, std::abs,
+/// std::swap found via ADL) to keep the signal high.
+const std::map<std::string, std::string>& std_symbol_headers() {
+  static const std::map<std::string, std::string> kMap = {
+      // containers
+      {"vector", "vector"},
+      {"deque", "deque"},
+      {"list", "list"},
+      {"array", "array"},
+      {"map", "map"},
+      {"multimap", "map"},
+      {"set", "set"},
+      {"multiset", "set"},
+      {"unordered_map", "unordered_map"},
+      {"unordered_multimap", "unordered_map"},
+      {"unordered_set", "unordered_set"},
+      {"unordered_multiset", "unordered_set"},
+      {"span", "span"},
+      // strings
+      {"string", "string"},
+      {"to_string", "string"},
+      {"stoi", "string"},
+      {"stol", "string"},
+      {"stoull", "string"},
+      {"stod", "string"},
+      {"string_view", "string_view"},
+      // memory
+      {"unique_ptr", "memory"},
+      {"shared_ptr", "memory"},
+      {"weak_ptr", "memory"},
+      {"make_unique", "memory"},
+      {"make_shared", "memory"},
+      // utility
+      {"pair", "utility"},
+      {"make_pair", "utility"},
+      {"move", "utility"},
+      {"forward", "utility"},
+      {"exchange", "utility"},
+      {"declval", "utility"},
+      // functional
+      {"function", "functional"},
+      {"hash", "functional"},
+      {"reference_wrapper", "functional"},
+      // vocabulary
+      {"optional", "optional"},
+      {"nullopt", "optional"},
+      {"variant", "variant"},
+      {"visit", "variant"},
+      {"tuple", "tuple"},
+      {"make_tuple", "tuple"},
+      {"tie", "tuple"},
+      // fixed-width ints (std::-qualified; bare spellings handled below)
+      {"int8_t", "cstdint"},
+      {"int16_t", "cstdint"},
+      {"int32_t", "cstdint"},
+      {"int64_t", "cstdint"},
+      {"uint8_t", "cstdint"},
+      {"uint16_t", "cstdint"},
+      {"uint32_t", "cstdint"},
+      {"uint64_t", "cstdint"},
+      {"intptr_t", "cstdint"},
+      {"uintptr_t", "cstdint"},
+      // cstdio
+      {"FILE", "cstdio"},
+      {"fopen", "cstdio"},
+      {"fclose", "cstdio"},
+      {"fprintf", "cstdio"},
+      {"printf", "cstdio"},
+      {"snprintf", "cstdio"},
+      {"fputs", "cstdio"},
+      {"fgets", "cstdio"},
+      {"fread", "cstdio"},
+      {"fwrite", "cstdio"},
+      {"remove", "cstdio"},
+      // cstdlib / cstring
+      {"abort", "cstdlib"},
+      {"exit", "cstdlib"},
+      {"strtol", "cstdlib"},
+      {"strtoul", "cstdlib"},
+      {"strtod", "cstdlib"},
+      {"memcpy", "cstring"},
+      {"memset", "cstring"},
+      {"memcmp", "cstring"},
+      {"strcmp", "cstring"},
+      {"strlen", "cstring"},
+      // algorithm
+      {"sort", "algorithm"},
+      {"stable_sort", "algorithm"},
+      {"min", "algorithm"},
+      {"max", "algorithm"},
+      {"clamp", "algorithm"},
+      {"min_element", "algorithm"},
+      {"max_element", "algorithm"},
+      {"find", "algorithm"},
+      {"find_if", "algorithm"},
+      {"count_if", "algorithm"},
+      {"all_of", "algorithm"},
+      {"any_of", "algorithm"},
+      {"none_of", "algorithm"},
+      {"copy", "algorithm"},
+      {"fill", "algorithm"},
+      {"transform", "algorithm"},
+      {"lower_bound", "algorithm"},
+      {"upper_bound", "algorithm"},
+      {"shuffle", "algorithm"},
+      {"reverse", "algorithm"},
+      {"unique", "algorithm"},
+      // numeric
+      {"accumulate", "numeric"},
+      {"iota", "numeric"},
+      {"partial_sum", "numeric"},
+      // cmath
+      {"sqrt", "cmath"},
+      {"log", "cmath"},
+      {"log2", "cmath"},
+      {"exp", "cmath"},
+      {"pow", "cmath"},
+      {"floor", "cmath"},
+      {"ceil", "cmath"},
+      {"round", "cmath"},
+      {"lround", "cmath"},
+      {"llround", "cmath"},
+      {"fabs", "cmath"},
+      {"isfinite", "cmath"},
+      {"isnan", "cmath"},
+      {"fmod", "cmath"},
+      // concurrency
+      {"mutex", "mutex"},
+      {"lock_guard", "mutex"},
+      {"unique_lock", "mutex"},
+      {"scoped_lock", "mutex"},
+      {"call_once", "mutex"},
+      {"once_flag", "mutex"},
+      {"thread", "thread"},
+      {"condition_variable", "condition_variable"},
+      {"atomic", "atomic"},
+      {"atomic_bool", "atomic"},
+      {"atomic_flag", "atomic"},
+      // misc
+      {"numeric_limits", "limits"},
+      {"runtime_error", "stdexcept"},
+      {"logic_error", "stdexcept"},
+      {"invalid_argument", "stdexcept"},
+      {"out_of_range", "stdexcept"},
+      {"exception", "exception"},
+      {"terminate", "exception"},
+      {"ostringstream", "sstream"},
+      {"istringstream", "sstream"},
+      {"stringstream", "sstream"},
+      {"ofstream", "fstream"},
+      {"ifstream", "fstream"},
+      {"fstream", "fstream"},
+      {"cout", "iostream"},
+      {"cerr", "iostream"},
+      {"endl", "iostream"},
+      {"filesystem", "filesystem"},
+      {"chrono", "chrono"},
+      {"invoke_result_t", "type_traits"},
+      {"enable_if_t", "type_traits"},
+      {"decay_t", "type_traits"},
+      {"is_same_v", "type_traits"},
+      {"remove_reference_t", "type_traits"},
+      {"conditional_t", "type_traits"},
+      {"mt19937", "random"},
+      {"mt19937_64", "random"},
+      {"initializer_list", "initializer_list"},
+      {"time_t", "ctime"},
+      {"tm", "ctime"},
+      {"strftime", "ctime"},
+      {"isspace", "cctype"},
+      {"isdigit", "cctype"},
+      {"isalnum", "cctype"},
+      {"isalpha", "cctype"},
+      {"tolower", "cctype"},
+      {"toupper", "cctype"},
+      {"getline", "string"},
+      {"log10", "cmath"},
+  };
+  return kMap;
+}
+
+/// Bare (unqualified) tokens that still pin a canonical header: the
+/// <cinttypes> format macros and the C fixed-width typedefs people spell
+/// without std::.
+const std::map<std::string, std::string>& bare_symbol_headers() {
+  static const std::map<std::string, std::string> kMap = {
+      {"PRId64", "cinttypes"},  {"PRIu64", "cinttypes"},
+      {"PRIx64", "cinttypes"},  {"PRId32", "cinttypes"},
+      {"PRIu32", "cinttypes"},  {"SCNd64", "cinttypes"},
+      {"SCNu64", "cinttypes"},
+  };
+  return kMap;
+}
+
+/// Direct includes of a file, by raw-line scan: both the angle/quote name
+/// ("vector", "util/time.hpp") for every `#include` directive.
+std::set<std::string> direct_includes(
+    const std::vector<std::string_view>& raw_lines) {
+  std::set<std::string> incs;
+  for (const auto line : raw_lines) {
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] != '#') continue;
+    ++i;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+    if (!starts_with(line.substr(i), "include")) continue;
+    i += 7;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+    if (i >= line.size()) continue;
+    const char open = line[i];
+    const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+    if (close == '\0') continue;
+    const std::size_t end = line.find(close, i + 1);
+    if (end == std::string_view::npos) continue;
+    incs.insert(std::string(line.substr(i + 1, end - i - 1)));
+  }
+  return incs;
+}
+
+void scan_missing_includes(std::string_view stripped,
+                           const std::vector<std::size_t>& line_starts,
+                           const std::vector<std::string_view>& raw_lines,
+                           std::vector<Finding>* out) {
+  const auto incs = direct_includes(raw_lines);
+  // header -> (symbol, first-use line); one finding per missing header.
+  std::map<std::string, std::pair<std::string, int>> missing;
+  const auto note = [&](const std::string& symbol, const std::string& header,
+                        std::size_t pos) {
+    if (incs.count(header) != 0) return;
+    const int line = line_of(line_starts, pos);
+    auto it = missing.find(header);
+    if (it == missing.end() || line < it->second.second) {
+      missing[header] = {symbol, line};
+    }
+  };
+  // std::-qualified symbols.
+  std::size_t pos = 0;
+  while ((pos = stripped.find("std::", pos)) != std::string_view::npos) {
+    if (pos > 0 && (is_ident_char(stripped[pos - 1]) ||
+                    stripped[pos - 1] == ':')) {
+      pos += 5;
+      continue;
+    }
+    std::size_t j = pos + 5;
+    std::size_t k = j;
+    while (k < stripped.size() && is_ident_char(stripped[k])) ++k;
+    const std::string symbol(stripped.substr(j, k - j));
+    const auto it = std_symbol_headers().find(symbol);
+    if (it != std_symbol_headers().end()) {
+      note("std::" + symbol, it->second, pos);
+    }
+    pos = k;
+  }
+  // Bare macro/typedef tokens.
+  for (const auto& [symbol, header] : bare_symbol_headers()) {
+    std::size_t p = 0;
+    while ((p = stripped.find(symbol, p)) != std::string_view::npos) {
+      const bool left_ok = p == 0 || !is_ident_char(stripped[p - 1]);
+      const std::size_t end = p + symbol.size();
+      const bool right_ok =
+          end >= stripped.size() || !is_ident_char(stripped[end]);
+      if (left_ok && right_ok) note(symbol, header, p);
+      p = end;
+    }
+  }
+  for (const auto& [header, use] : missing) {
+    Finding f;
+    f.line = use.second;
+    f.rule = "missing-include";
+    f.message = use.first + " is used but <" + header +
+                "> is not included directly (IWYU-lite)";
+    out->push_back(std::move(f));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter: same-file tracking of unordered container variables
+// ---------------------------------------------------------------------------
+
+void scan_unordered_iteration(const std::vector<Token>& toks,
+                              std::vector<Finding>* out) {
+  std::set<std::string> unordered_types = {"unordered_map", "unordered_set",
+                                           "unordered_multimap",
+                                           "unordered_multiset"};
+  std::set<std::string> unordered_vars;
+  // Pass 1: record variables (and type aliases) of unordered type. The
+  // declaration shape handled is `std::unordered_map<...> name` with
+  // arbitrary template nesting; `using Alias = std::unordered_map<...>;`
+  // adds Alias to the type set, and `Alias name` then records name.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident || unordered_types.count(toks[i].text) == 0) continue;
+    // `using X = ... unordered_map ...` — look back for the alias name.
+    for (std::size_t b = i; b-- > 0;) {
+      const std::string& t = toks[b].text;
+      if (t == ";" || t == "{" || t == "}") break;
+      if (t == "using" && b + 1 < toks.size() && toks[b + 1].ident &&
+          b + 2 < toks.size() && toks[b + 2].text == "=") {
+        unordered_types.insert(toks[b + 1].text);
+        break;
+      }
+    }
+    // Skip template argument list, then take the next identifier as the
+    // declared variable name (if the next token is not `<`, this is a bare
+    // mention — e.g. an alias RHS — and there is nothing to record).
+    std::size_t j = i + 1;
+    if (j < toks.size() && toks[j].text == "<") {
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "<") ++depth;
+        if (toks[j].text == ">" && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    } else {
+      continue;
+    }
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*")) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].ident) unordered_vars.insert(toks[j].text);
+  }
+  // Aliased declarations: `Alias name` where Alias was recorded above.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].ident && unordered_types.count(toks[i].text) != 0 &&
+        toks[i].text != "unordered_map" && toks[i].text != "unordered_set" &&
+        toks[i + 1].ident) {
+      unordered_vars.insert(toks[i + 1].text);
+    }
+  }
+  if (unordered_vars.empty()) return;
+  // Pass 2: flag range-for over, or begin()/end() on, a recorded variable.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].text == "for" && i + 1 < toks.size() &&
+        toks[i + 1].text == "(") {
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")" && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (toks[j].text == ":" && depth == 1 && colon == 0 &&
+            (j == 0 || toks[j - 1].text != ":") &&
+            (j + 1 >= toks.size() || toks[j + 1].text != ":")) {
+          colon = j;
+        }
+      }
+      if (colon != 0 && close != 0) {
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (toks[j].ident && unordered_vars.count(toks[j].text) != 0) {
+            out->push_back({"", toks[i].line, "unordered-iter",
+                            "range-for over unordered container '" +
+                                toks[j].text +
+                                "': iteration order is "
+                                "implementation-defined and leaks into "
+                                "results; use sim/match_table.hpp or an "
+                                "ordered container"});
+            break;
+          }
+        }
+      }
+    }
+    static const std::set<std::string> kIterFns = {
+        "begin", "end", "cbegin", "cend", "rbegin", "rend"};
+    if (toks[i].ident && unordered_vars.count(toks[i].text) != 0 &&
+        i + 2 < toks.size() && toks[i + 1].text == "." &&
+        kIterFns.count(toks[i + 2].text) != 0) {
+      out->push_back({"", toks[i].line, "unordered-iter",
+                      "iterator over unordered container '" + toks[i].text +
+                          "': iteration order is implementation-defined "
+                          "and leaks into results"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scope tracking: using-namespace + global-state
+// ---------------------------------------------------------------------------
+
+bool stmt_contains(const std::vector<std::string>& stmt,
+                   std::string_view word) {
+  return std::find(stmt.begin(), stmt.end(), word) != stmt.end();
+}
+
+/// A namespace-scope statement that declares a mutable variable: no
+/// const/constexpr, no '(', at least two named identifiers (type + name).
+bool is_mutable_global_decl(const std::vector<std::string>& stmt) {
+  if (stmt.empty()) return false;
+  static const std::set<std::string> kSkip = {
+      "const",    "constexpr", "using",      "typedef",  "template",
+      "class",    "struct",    "union",      "enum",     "concept",
+      "namespace", "friend",   "static_assert", "extern", "operator",
+      "requires", "public",    "private",    "protected", "return"};
+  int idents = 0;
+  for (const auto& t : stmt) {
+    if (kSkip.count(t) != 0) return false;
+    if (t == "(" || t == ")") return false;
+    if (is_ident_char(t[0]) &&
+        std::isdigit(static_cast<unsigned char>(t[0])) == 0 &&
+        t != "inline" && t != "static" && t != "volatile" && t != "std" &&
+        t != "constinit" && t != "mutable" && t != "thread_local") {
+      ++idents;
+    }
+  }
+  return idents >= 2;
+}
+
+void scan_scopes(const std::vector<Token>& toks, bool header, bool check_state,
+                 std::vector<Finding>* out) {
+  // Scope stack: 'n' namespace, 't' type, 'b' block/other. Empty stack is
+  // global scope (namespace-like).
+  std::vector<char> scopes;
+  std::vector<std::string> stmt;
+  const auto at_namespace_scope = [&] {
+    return scopes.empty() || scopes.back() == 'n';
+  };
+  const auto evaluate_decl = [&](int line) {
+    if (check_state && at_namespace_scope() && is_mutable_global_decl(stmt)) {
+      out->push_back({"", line, "global-state",
+                      "mutable namespace-scope state in a header: hidden "
+                      "cross-run state breaks replay determinism; make it "
+                      "const/constexpr or move it behind an interface"});
+    }
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "{") {
+      char kind = 'b';
+      if (stmt_contains(stmt, "namespace") && !stmt_contains(stmt, "(")) {
+        kind = 'n';
+      } else if ((stmt_contains(stmt, "class") ||
+                  stmt_contains(stmt, "struct") ||
+                  stmt_contains(stmt, "union") ||
+                  stmt_contains(stmt, "enum")) &&
+                 !stmt_contains(stmt, "(")) {
+        kind = 't';
+      } else if (at_namespace_scope() && stmt_contains(stmt, "=")) {
+        // Brace initializer of a namespace-scope variable: evaluate the
+        // declaration before descending.
+        evaluate_decl(toks[i].line);
+      }
+      scopes.push_back(kind);
+      stmt.clear();
+      continue;
+    }
+    if (t == "}") {
+      if (!scopes.empty()) scopes.pop_back();
+      stmt.clear();
+      continue;
+    }
+    if (t == ";") {
+      evaluate_decl(toks[i].line);
+      stmt.clear();
+      continue;
+    }
+    if (header && t == "namespace" && i > 0 && toks[i - 1].text == "using" &&
+        at_namespace_scope()) {
+      out->push_back({"", toks[i].line, "using-namespace",
+                      "namespace-scope 'using namespace' in a header "
+                      "pollutes every includer; qualify names instead"});
+    }
+    if (stmt.size() < 64) stmt.push_back(t);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppression annotations
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+  // line -> rules allowed on that line.
+  std::map<int, std::set<std::string>> allowed;
+  std::vector<Finding> meta_findings;  // unknown-rule / bad-suppression
+};
+
+Suppressions parse_suppressions(
+    const std::vector<std::string_view>& raw_lines) {
+  Suppressions s;
+  for (std::size_t li = 0; li < raw_lines.size(); ++li) {
+    const std::string_view line = raw_lines[li];
+    const int lineno = static_cast<int>(li) + 1;
+    const std::size_t tag = line.find("celint:");
+    if (tag == std::string_view::npos) continue;
+    std::string_view rest = line.substr(tag + 7);
+    while (!rest.empty() &&
+           std::isspace(static_cast<unsigned char>(rest.front())) != 0) {
+      rest.remove_prefix(1);
+    }
+    if (!starts_with(rest, "allow(")) {
+      s.meta_findings.push_back(
+          {"", lineno, "bad-suppression",
+           "malformed celint annotation: expected "
+           "'celint: allow(<rule>) -- <justification>'"});
+      continue;
+    }
+    rest.remove_prefix(6);
+    const std::size_t close = rest.find(')');
+    if (close == std::string_view::npos) {
+      s.meta_findings.push_back({"", lineno, "bad-suppression",
+                                 "unterminated allow(<rule>) annotation"});
+      continue;
+    }
+    const std::string rule(rest.substr(0, close));
+    rest.remove_prefix(close + 1);
+    if (!is_known_rule(rule)) {
+      s.meta_findings.push_back(
+          {"", lineno, "unknown-rule",
+           "allow(" + rule + ") names no celint rule (see --list-rules)"});
+      continue;
+    }
+    while (!rest.empty() &&
+           std::isspace(static_cast<unsigned char>(rest.front())) != 0) {
+      rest.remove_prefix(1);
+    }
+    bool justified = false;
+    if (starts_with(rest, "--")) {
+      rest.remove_prefix(2);
+      while (!rest.empty() &&
+             std::isspace(static_cast<unsigned char>(rest.front())) != 0) {
+        rest.remove_prefix(1);
+      }
+      justified = !rest.empty();
+    }
+    if (!justified) {
+      s.meta_findings.push_back(
+          {"", lineno, "bad-suppression",
+           "allow(" + rule +
+               ") lacks a justification: write 'celint: allow(" + rule +
+               ") -- <why this exception is sound>'"});
+      continue;
+    }
+    // The annotation covers its own line and the line directly below it.
+    s.allowed[lineno].insert(rule);
+    s.allowed[lineno + 1].insert(rule);
+  }
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared lexer behind strip_comments_and_strings() and comments_only():
+/// keep_code=true blanks comments/strings and keeps code; keep_code=false
+/// keeps only comment text (suppression annotations live in comments, so
+/// `celint::` qualifiers in code or annotation examples quoted in string
+/// literals never parse as annotations).
+std::string lex_partition(std::string_view content, bool keep_code) {
+  std::string out;
+  out.reserve(content.size());
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  std::size_t i = 0;
+  const std::size_t n = content.size();
+  // Tracks whether the identifier-ish word currently being scanned started
+  // with a digit: a ' after such a word is a digit separator (1'000'000 or
+  // 0xFF'FF), while a ' after a letter word is a literal prefix (L'a').
+  bool word_started_with_digit = false;
+  bool in_word = false;
+  while (i < n) {
+    const char c = content[i];
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+          state = State::kLine;
+          out += "  ";
+          i += 2;
+        } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+          state = State::kBlock;
+          out += "  ";
+          i += 2;
+        } else if (c == '"' && i > 0 && content[i - 1] == 'R') {
+          // Raw string literal: R"delim( ... )delim"
+          std::size_t p = i + 1;
+          raw_delim.clear();
+          while (p < n && content[p] != '(') raw_delim += content[p++];
+          state = State::kRaw;
+          raw_delim = ")" + raw_delim + "\"";
+          const std::size_t consumed = (p < n ? p + 1 : n) - i;
+          out.append(consumed, ' ');
+          i += consumed;
+        } else if (c == '"') {
+          state = State::kString;
+          out += ' ';
+          ++i;
+        } else if (c == '\'' && in_word && word_started_with_digit) {
+          // Digit separator (1'000'000), not a char literal.
+          out += keep_code ? '\'' : ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += ' ';
+          ++i;
+        } else {
+          if (is_ident_char(c)) {
+            if (!in_word) {
+              word_started_with_digit =
+                  std::isdigit(static_cast<unsigned char>(c)) != 0;
+            }
+            in_word = true;
+          } else {
+            in_word = false;
+          }
+          out += keep_code ? c : (c == '\n' ? '\n' : ' ');
+          ++i;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += keep_code ? ' ' : c;
+        }
+        ++i;
+        break;
+      case State::kBlock:
+        if (c == '*' && i + 1 < n && content[i + 1] == '/') {
+          state = State::kCode;
+          out += "  ";
+          i += 2;
+        } else {
+          out += c == '\n' ? '\n' : (keep_code ? ' ' : c);
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          out += "  ";
+          i += 2;
+        } else if (c == '"') {
+          state = State::kCode;
+          out += ' ';
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+          ++i;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          out += "  ";
+          i += 2;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += ' ';
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+          ++i;
+        }
+        break;
+      case State::kRaw:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          state = State::kCode;
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) out += ' ';
+          i += raw_delim.size();
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string strip_comments_and_strings(std::string_view content) {
+  return lex_partition(content, /*keep_code=*/true);
+}
+
+FileClass classify(std::string_view rel_path) {
+  FileClass fc;
+  fc.in_src = starts_with(rel_path, "src/");
+  fc.header = ends_with(rel_path, ".hpp") || ends_with(rel_path, ".h") ||
+              ends_with(rel_path, ".hh");
+  const bool in_bench = starts_with(rel_path, "bench/");
+  const bool is_time = starts_with(rel_path, "src/util/time.");
+  const bool is_cli = starts_with(rel_path, "src/util/cli.");
+  const bool is_rng = rel_path == "src/util/rng.hpp";
+  fc.rng_sanctioned = is_rng || in_bench;
+  fc.clock_sanctioned = is_time || is_cli || in_bench;
+  fc.env_sanctioned = is_cli || in_bench;
+  return fc;
+}
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> kRules = {
+      "float-reduce",   "global-state",  "missing-include", "nondet-clock",
+      "nondet-env",     "nondet-rng",    "pragma-once",     "unordered-iter",
+      "using-namespace"};
+  return kRules;
+}
+
+bool is_known_rule(std::string_view rule) {
+  const auto& names = rule_names();
+  return std::find(names.begin(), names.end(), rule) != names.end();
+}
+
+std::vector<Finding> lint_file(std::string_view rel_path,
+                               std::string_view content) {
+  const FileClass fc = classify(rel_path);
+  const std::string stripped = strip_comments_and_strings(content);
+  const auto line_starts = compute_line_starts(stripped);
+  const auto raw_lines = split_lines(content);
+  const auto toks = tokenize(stripped);
+
+  std::vector<Finding> findings;
+
+  if (!fc.rng_sanctioned) {
+    scan_banned(stripped, line_starts, kRngBanned, "nondet-rng",
+                "outside src/util/rng.hpp and bench/ (use celog::Xoshiro256 "
+                "seeded from the experiment seed)",
+                &findings);
+  }
+  if (!fc.clock_sanctioned) {
+    scan_banned(stripped, line_starts, kClockBanned, "nondet-clock",
+                "outside src/util/time.*, src/util/cli.*, and bench/ "
+                "(simulated time is integer TimeNs; wall clocks live behind "
+                "bench/wall_clock.hpp)",
+                &findings);
+  }
+  if (!fc.env_sanctioned) {
+    scan_banned(stripped, line_starts, kEnvBanned, "nondet-env",
+                "outside src/util/cli.* and bench/ (configuration enters "
+                "through explicit CLI/config values only)",
+                &findings);
+  }
+  if (fc.in_src) {
+    scan_banned(stripped, line_starts, kFloatReduceBanned, "float-reduce",
+                "in src/ (parallelism goes through util::ThreadPool's "
+                "index-ordered gather so float accumulation order is fixed)",
+                &findings);
+    // #pragma omp: directives survive stripping; check raw-ish lines.
+    const auto stripped_lines = split_lines(stripped);
+    for (std::size_t li = 0; li < stripped_lines.size(); ++li) {
+      std::string_view line = stripped_lines[li];
+      std::size_t p = 0;
+      while (p < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[p])) != 0) {
+        ++p;
+      }
+      if (p < line.size() && line[p] == '#' &&
+          line.find("pragma", p) != std::string_view::npos) {
+        const std::size_t omp = line.find("omp");
+        if (omp != std::string_view::npos &&
+            boundary_match(line, omp, "omp")) {
+          findings.push_back({"", static_cast<int>(li) + 1, "float-reduce",
+                              "#pragma omp in src/: OpenMP reductions "
+                              "reorder float accumulation across thread "
+                              "counts; use util::ThreadPool"});
+        }
+      }
+    }
+    scan_unordered_iteration(toks, &findings);
+  }
+  if (fc.header) {
+    if (content.find("#pragma once") == std::string_view::npos) {
+      findings.push_back({"", 1, "pragma-once",
+                          "header lacks #pragma once"});
+    }
+  }
+  scan_scopes(toks, fc.header,
+              fc.header && (fc.in_src || starts_with(rel_path, "bench/")),
+              &findings);
+  scan_missing_includes(stripped, line_starts, raw_lines, &findings);
+
+  // Apply suppressions; annotation problems become findings of their own.
+  // Annotations are parsed from comment text only, so `celint::` qualifiers
+  // in code and annotation examples quoted in string literals stay inert.
+  const std::string comment_text = lex_partition(content, /*keep_code=*/false);
+  const Suppressions sup = parse_suppressions(split_lines(comment_text));
+  std::vector<Finding> kept;
+  for (auto& f : findings) {
+    const auto it = sup.allowed.find(f.line);
+    if (it != sup.allowed.end() && it->second.count(f.rule) != 0) continue;
+    kept.push_back(std::move(f));
+  }
+  for (const auto& mf : sup.meta_findings) kept.push_back(mf);
+
+  for (auto& f : kept) f.file = std::string(rel_path);
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return kept;
+}
+
+std::vector<std::string> collect_files(
+    const std::string& root, const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  static const std::set<std::string> kExts = {".hpp", ".h",  ".hh",
+                                              ".cpp", ".cc", ".cxx"};
+  std::set<std::string> files;
+  for (const auto& p : paths) {
+    const fs::path abs = fs::path(root) / p;
+    std::error_code ec;
+    if (fs::is_regular_file(abs, ec)) {
+      files.insert(p);
+      continue;
+    }
+    if (!fs::is_directory(abs, ec)) continue;
+    for (fs::recursive_directory_iterator it(abs, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file(ec)) continue;
+      if (kExts.count(it->path().extension().string()) == 0) continue;
+      files.insert(
+          fs::path(it->path()).lexically_relative(root).generic_string());
+    }
+  }
+  return {files.begin(), files.end()};
+}
+
+std::vector<std::string> compdb_files(const std::string& compdb_path,
+                                      const std::string& root) {
+  std::ifstream in(compdb_path);
+  if (!in) return {};
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  namespace fs = std::filesystem;
+  const std::string root_abs =
+      fs::weakly_canonical(fs::path(root)).generic_string();
+  std::set<std::string> files;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"file\"", pos)) != std::string::npos) {
+    pos += 6;
+    const std::size_t colon = json.find(':', pos);
+    if (colon == std::string::npos) break;
+    const std::size_t open = json.find('"', colon);
+    if (open == std::string::npos) break;
+    const std::size_t close = json.find('"', open + 1);
+    if (close == std::string::npos) break;
+    std::string file = json.substr(open + 1, close - open - 1);
+    pos = close + 1;
+    const std::string abs =
+        fs::weakly_canonical(fs::path(file)).generic_string();
+    if (starts_with(abs, root_abs + "/")) {
+      files.insert(abs.substr(root_abs.size() + 1));
+    }
+  }
+  return {files.begin(), files.end()};
+}
+
+std::vector<Finding> run_check(const std::string& root,
+                               const std::vector<std::string>& paths,
+                               const std::string& compdb_path) {
+  std::set<std::string> files;
+  for (auto& f : collect_files(root, paths)) files.insert(std::move(f));
+  if (!compdb_path.empty()) {
+    // The compdb lists every TU the build compiles; keep only those under
+    // the requested paths so `--check src` does not drag in tools/.
+    for (auto& f : compdb_files(compdb_path, root)) {
+      for (const auto& p : paths) {
+        if (f == p || starts_with(f, p + "/")) {
+          files.insert(std::move(f));
+          break;
+        }
+      }
+    }
+  }
+  std::vector<Finding> all;
+  for (const auto& rel : files) {
+    std::ifstream in(std::filesystem::path(root) / rel);
+    if (!in) continue;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+    auto fs = lint_file(rel, content);
+    all.insert(all.end(), std::make_move_iterator(fs.begin()),
+               std::make_move_iterator(fs.end()));
+  }
+  return all;
+}
+
+}  // namespace celint

@@ -1,0 +1,124 @@
+// tools/celint/celint.hpp
+//
+// celint: the determinism-contract linter.
+//
+// The simulator's headline guarantee — identical (graph, seed, config)
+// inputs produce bit-identical SimResults — is enforced at runtime by the
+// reference-vs-bucketed differential tests, but nothing stops a patch from
+// *introducing* a nondeterminism source that those tests happen not to
+// exercise (a wall-clock read on an error path, iteration over an
+// unordered container feeding output, a parallel reduction whose float
+// order depends on thread count). celint is the static side of that
+// contract: a small, zero-dependency scanner with project-specific rules,
+// each suppressible only via an inline, justified annotation:
+//
+//   // celint: allow(<rule>) -- <justification>
+//
+// placed on the offending line or the line directly above it. The
+// annotation must name a known rule and carry a non-empty justification
+// after "--"; violations of the annotation grammar are findings
+// themselves (rules `unknown-rule` / `bad-suppression`), so suppressions
+// stay auditable.
+//
+// Rules (see DESIGN.md, "Static analysis & the determinism contract"):
+//   nondet-rng       std::random_device / rand / srand / *rand48 outside
+//                    the sanctioned files (src/util/rng.hpp, bench/).
+//   nondet-clock     system_clock / steady_clock / high_resolution_clock /
+//                    gettimeofday / clock_gettime / std::time( outside the
+//                    sanctioned files (src/util/time.*, src/util/cli.*,
+//                    bench/).
+//   nondet-env       getenv / setenv / putenv outside the sanctioned
+//                    files (src/util/cli.*, bench/).
+//   unordered-iter   iterating a std::unordered_{map,set} (range-for or
+//                    begin()) inside src/ — iteration order is
+//                    implementation-defined and leaks into results.
+//   float-reduce     std::reduce / std::execution::par* / #pragma omp
+//                    inside src/ — parallel reductions reorder float
+//                    accumulation; sweep parallelism must go through
+//                    util::ThreadPool's index-ordered gather.
+//   pragma-once      every header must contain #pragma once.
+//   using-namespace  namespace-scope `using namespace` in a header.
+//   global-state     mutable namespace-scope variable in a src/ or bench/
+//                    header (hidden cross-run state breaks replays).
+//   missing-include  IWYU-lite: a used std:: symbol whose canonical header
+//                    is not included directly (self-containment insurance
+//                    backing the header_selfcontained build target).
+//
+// The engine is a library (linked by the CLI in main.cpp and by
+// tests/celint_selftest.cpp) operating on in-memory buffers, so every rule
+// is unit-testable against fixture snippets without touching the tree.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace celint {
+
+/// One diagnostic: `file:line: [rule] message`.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// How a file participates in each rule family, derived from its
+/// repo-relative path (forward slashes).
+struct FileClass {
+  /// Under src/ — the determinism-critical library code.
+  bool in_src = false;
+  /// Ends in .hpp/.h/.hh — header-hygiene rules apply.
+  bool header = false;
+  /// May read entropy sources (src/util/rng.hpp, bench/).
+  bool rng_sanctioned = false;
+  /// May read wall clocks (src/util/time.*, src/util/cli.*, bench/).
+  bool clock_sanctioned = false;
+  /// May read the environment (src/util/cli.*, bench/).
+  bool env_sanctioned = false;
+};
+
+/// Classifies a repo-relative path ("src/sim/engine.hpp").
+FileClass classify(std::string_view rel_path);
+
+/// All suppressible rule names, sorted (for --list-rules and for
+/// unknown-rule validation).
+const std::vector<std::string>& rule_names();
+
+bool is_known_rule(std::string_view rule);
+
+/// Lints one file's content; `rel_path` selects the applicable rules.
+/// Findings are ordered by line.
+std::vector<Finding> lint_file(std::string_view rel_path,
+                               std::string_view content);
+
+/// Replaces comments, string literals, and character literals with spaces,
+/// preserving line structure, so rules never fire on prose or quoted text
+/// (e.g. a comment *mentioning* std::unordered_map). Exposed for the
+/// selftest.
+std::string strip_comments_and_strings(std::string_view content);
+
+/// Recursively collects lintable files (.hpp/.h/.hh/.cpp/.cc/.cxx) under
+/// `root`/`path` for each requested path (a file path is taken as-is).
+/// Returned paths are root-relative with forward slashes, sorted and
+/// deduplicated, so scan order — and therefore output — is deterministic.
+std::vector<std::string> collect_files(const std::string& root,
+                                       const std::vector<std::string>& paths);
+
+/// Extracts the "file" entries from a compile_commands.json (minimal JSON
+/// scan — the format is machine-generated and flat). Paths are returned
+/// root-relative when they live under `root`; entries outside it are
+/// dropped. Missing or unreadable compdb returns an empty list.
+std::vector<std::string> compdb_files(const std::string& compdb_path,
+                                      const std::string& root);
+
+/// Lints every file from collect_files(root, paths), unioned with the
+/// compdb file list when `compdb_path` is non-empty (the compdb names the
+/// translation units the build actually compiles; the directory walk adds
+/// headers, which compile databases omit). Returns findings sorted by
+/// (file, line).
+std::vector<Finding> run_check(const std::string& root,
+                               const std::vector<std::string>& paths,
+                               const std::string& compdb_path = "");
+
+}  // namespace celint
