@@ -71,6 +71,16 @@ inline void add_standard_options(Cli& cli) {
                "(explicit --ranks/--sim-s/--seeds still override)");
 }
 
+/// THE job-count rule, shared by every entry point with a `jobs` knob:
+/// 0 means "all hardware threads" (matching --jobs 0 on the CLI), any
+/// positive value is taken literally. Sweep helpers additionally clamp to
+/// the number of cells — more threads than cells is pure overhead. This
+/// used to differ between Options::parse (0 -> hardware) and
+/// parallel_cells (0 -> 1); one rule now feeds both.
+inline unsigned resolve_jobs(unsigned jobs) {
+  return jobs > 0 ? jobs : util::ThreadPool::hardware_threads();
+}
+
 inline Options read_standard_options(const Cli& cli) {
   Options o;
   // --full is a preset, not a gag order: explicitly given flags win over
@@ -87,27 +97,36 @@ inline Options read_standard_options(const Cli& cli) {
                 : 8;
   o.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   const auto jobs = cli.get_int("jobs");
-  o.jobs = jobs > 0 ? static_cast<unsigned>(jobs)
-                    : util::ThreadPool::hardware_threads();
+  o.jobs = resolve_jobs(jobs > 0 ? static_cast<unsigned>(jobs) : 0);
   o.json_path = cli.get("json");
   return o;
 }
 
-/// Evaluates `n` independent cells on up to `jobs` threads and returns the
+/// Evaluates `n` independent cells on a caller-owned pool and returns the
 /// results gathered in index order — so tables assembled from the returned
-/// vector are bit-identical to a serial sweep regardless of `jobs`. `fn`
-/// must be safe to call concurrently (all celog simulation entry points
-/// are: Simulator::run is const over an immutable graph).
+/// vector are bit-identical to a serial sweep regardless of thread count.
+/// `fn` must be safe to call concurrently (all celog simulation entry
+/// points are: Simulator::run is const over an immutable graph). Prefer
+/// this overload when a bench sweeps several tables: one pool serves them
+/// all instead of being torn down and respawned per table.
 template <typename Fn>
-auto parallel_cells(std::size_t n, unsigned jobs, Fn&& fn)
+auto parallel_cells(std::size_t n, util::ThreadPool& pool, Fn&& fn)
     -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
   using Result = std::invoke_result_t<Fn&, std::size_t>;
   std::vector<Result> results(n);
-  util::ThreadPool pool(static_cast<unsigned>(
-      std::min<std::size_t>(jobs > 0 ? jobs : 1, n > 0 ? n : 1)));
   pool.parallel_for_indexed(n,
                             [&](std::size_t i) { results[i] = fn(i); });
   return results;
+}
+
+/// Single-sweep convenience: builds a pool of resolve_jobs(jobs) threads
+/// (clamped to `n`) for just this sweep.
+template <typename Fn>
+auto parallel_cells(std::size_t n, unsigned jobs, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  util::ThreadPool pool(static_cast<unsigned>(
+      std::min<std::size_t>(resolve_jobs(jobs), n > 0 ? n : 1)));
+  return parallel_cells(n, pool, std::forward<Fn>(fn));
 }
 
 /// Builds (and caches) one ExperimentRunner per (workload, ranks, block):
@@ -205,6 +224,12 @@ inline void run_systems_figure(
     const std::vector<core::SystemConfig>& systems, const Options& options,
     RunnerCache& cache, PerfJson& perf) {
   const auto& rows = workloads::all_workloads();
+  // One pool for all three logging-mode tables (and, via the persistent
+  // sweep pool inside each cached ExperimentRunner, reused run contexts
+  // across every cell that shares a runner).
+  util::ThreadPool pool(static_cast<unsigned>(std::min<std::size_t>(
+      resolve_jobs(options.jobs),
+      std::max<std::size_t>(rows.size() * systems.size(), 1))));
   for (const auto mode : core::all_logging_modes()) {
     std::printf("\n-- %s logging (%s per event) --\n", core::to_string(mode),
                 format_duration(core::cost_of(mode)).c_str());
@@ -213,7 +238,7 @@ inline void run_systems_figure(
 
     const std::size_t cols = systems.size();
     const auto cells = parallel_cells(
-        rows.size() * cols, options.jobs, [&](std::size_t i) {
+        rows.size() * cols, pool, [&](std::size_t i) {
           const auto& w = *rows[i / cols];
           const auto& sys = systems[i % cols];
           const core::ScaledSystem scale =

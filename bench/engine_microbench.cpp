@@ -1,9 +1,9 @@
 // bench/engine_microbench — micro-benchmarks of the simulation substrate
 // itself: event throughput of the LogGOPS engine (shallow ring traffic and
-// the deep-recv-queue matching stress), noisy runs, the parallel seed
-// sweep, task-graph construction, collective expansion, and the noise
-// busy-period arithmetic. These are the knobs that decide how large a
-// machine the tool can simulate per wall-second.
+// the deep-recv-queue matching stress), noisy runs, steady-state sweep
+// throughput with run-context reuse, task-graph construction, collective
+// expansion, and the noise busy-period arithmetic. These are the knobs
+// that decide how large a machine the tool can simulate per wall-second.
 //
 // Methodology: every scenario runs `--warmup` untimed repetitions (page in
 // graphs, warm allocators and caches) and then `--reps` timed ones, and
@@ -34,9 +34,9 @@
 #include "noise/noise_model.hpp"
 #include "noise/rank_noise.hpp"
 #include "sim/engine.hpp"
+#include "sim/run_context.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
-#include "util/thread_pool.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -141,7 +141,6 @@ struct Context {
   int warmup = 1;
   sim::MatcherKind matcher = sim::MatcherKind::kBucketed;
   bool both_matchers = true;  // deep_recv: also run the reference matcher
-  unsigned jobs = 4;
   bench::PerfJson* perf = nullptr;
 };
 
@@ -251,32 +250,100 @@ void scenario_noise(const Context& ctx, goal::Rank ranks) {
          "ms");
 }
 
-void scenario_sweep(const Context& ctx, goal::Rank ranks) {
-  const std::string name = "sweep_r" + std::to_string(ranks) + "_j" +
-                           std::to_string(ctx.jobs);
-  std::printf("%s (parallel seed sweep)\n", name.c_str());
-  const goal::TaskGraph g = ring_graph(ranks, 50);
+/// One-op-per-rank graph: the null-kernel of simulation runs. A run over
+/// it is almost pure per-run setup (state build, noise-source creation,
+/// queue/pool/table allocation), which is exactly the cost that run-context
+/// reuse eliminates — so it bounds the reuse win the way a null-launch
+/// bench bounds kernel-launch latency.
+goal::TaskGraph calc_graph(goal::Rank ranks) {
+  goal::TaskGraph g(ranks);
+  for (goal::Rank r = 0; r < ranks; ++r) {
+    goal::SequentialBuilder b(g, r);
+    b.calc(1000);
+  }
+  g.finalize();
+  return g;
+}
+
+/// ISSUE-4 headline scenario: steady-state sweep throughput in runs/s of
+/// one (graph, noise) cell, with and without run-context reuse. "reuse"
+/// drives every run of a rep through ONE sim::RunContext (the
+/// zero-allocation steady state: reset + reseed, no per-run engine or
+/// noise-source allocations); "fresh" uses the context-free overload (a
+/// throwaway context per run — the pre-context behavior). Both modes fold
+/// every SimResult into a running checksum over the SAME seed sequence and
+/// must agree bit-for-bit, so the bench doubles as a determinism check of
+/// the reuse path. The small config (calc_graph: iters == 0) isolates
+/// per-run setup, the regime of figure sweeps running thousands of short
+/// cells; the medium ring config shows the same win diluted by real
+/// event-loop work.
+void scenario_sweep_config(const Context& ctx, const char* label,
+                           goal::Rank ranks, int iters, int runs_per_rep) {
+  const std::string name = std::string("sweep_") + label + "_r" +
+                           std::to_string(ranks) +
+                           (iters > 0 ? "_i" + std::to_string(iters)
+                                      : std::string("_calc"));
+  std::printf("%s (context-reuse runs/s, %d runs per rep)\n", name.c_str(),
+              runs_per_rep);
+  const goal::TaskGraph g =
+      iters > 0 ? ring_graph(ranks, iters) : calc_graph(ranks);
   sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
   sim.set_matcher(ctx.matcher);
   const noise::UniformCeNoiseModel noise(
       microseconds(500),
       std::make_shared<noise::FlatLoggingCost>(microseconds(1)));
-  util::ThreadPool pool(ctx.jobs);
-  constexpr std::size_t kSeedsPerBatch = 16;
-  std::vector<std::uint64_t> batch_events(kSeedsPerBatch, 0);
-  std::uint64_t base_seed = 1;
-  report(ctx, name + ".events_per_s", measure(ctx.warmup, ctx.reps, [&] {
-           const bench::WallTimer timer;
-           pool.parallel_for_indexed(kSeedsPerBatch, [&](std::size_t i) {
-             batch_events[i] =
-                 sim.run(noise, base_seed + i).events_processed;
-           });
-           base_seed += kSeedsPerBatch;
-           std::uint64_t events = 0;
-           for (const std::uint64_t e : batch_events) events += e;
-           return static_cast<double>(events) / timer.seconds();
-         }),
-         "ev/s");
+
+  // Both modes replay the identical seed sequence (their own counters,
+  // stepped identically through warmup + reps), so the folded checksums
+  // must match exactly.
+  const auto fold = [](std::uint64_t h, std::uint64_t v) {
+    return (h ^ v) * 0x100000001b3ull;
+  };
+  std::uint64_t reuse_hash = 0xcbf29ce484222325ull;
+  std::uint64_t fresh_hash = 0xcbf29ce484222325ull;
+
+  sim::RunContext reuse_ctx;
+  std::uint64_t reuse_seed = 0;
+  const Percentiles reuse = measure(ctx.warmup, ctx.reps, [&] {
+    const bench::WallTimer timer;
+    for (int i = 0; i < runs_per_rep; ++i) {
+      const sim::SimResult r = sim.run(noise, ++reuse_seed, reuse_ctx);
+      reuse_hash = fold(reuse_hash, result_checksum(r));
+    }
+    return runs_per_rep / timer.seconds();
+  });
+
+  std::uint64_t fresh_seed = 0;
+  const Percentiles fresh = measure(ctx.warmup, ctx.reps, [&] {
+    const bench::WallTimer timer;
+    for (int i = 0; i < runs_per_rep; ++i) {
+      const sim::SimResult r = sim.run(noise, ++fresh_seed);
+      fresh_hash = fold(fresh_hash, result_checksum(r));
+    }
+    return runs_per_rep / timer.seconds();
+  });
+
+  if (reuse_hash != fresh_hash) {
+    std::fprintf(stderr,
+                 "FATAL: context-reuse and fresh-context runs disagree on "
+                 "%s (%016" PRIx64 " vs %016" PRIx64 ")\n",
+                 name.c_str(), reuse_hash, fresh_hash);
+    std::exit(1);
+  }
+  report(ctx, name + ".reuse.runs_per_s", reuse, "runs/s");
+  report(ctx, name + ".fresh.runs_per_s", fresh, "runs/s");
+  const double speedup = reuse.p50 / fresh.p50;
+  std::printf("  %-46s %12.2fx\n", (name + ".reuse_speedup").c_str(),
+              speedup);
+  ctx.perf->metric(name + ".reuse_speedup", speedup);
+  report_checksum(ctx, name, reuse_hash);
+}
+
+/// Fixed configurations so floor metric names stay stable across runs
+/// (--ranks deliberately does not apply here).
+void scenario_sweep(const Context& ctx) {
+  scenario_sweep_config(ctx, "small", 16, 0, 4096);
+  scenario_sweep_config(ctx, "medium", 256, 50, 16);
 }
 
 void scenario_graph_build(const Context& ctx, goal::Rank ranks) {
@@ -382,10 +449,10 @@ std::vector<std::pair<std::string, double>> read_floors(
 int main(int argc, char** argv) {
   Cli cli(
       "Micro-benchmarks of the simulation substrate: engine event "
-      "throughput (ring + deep-recv matching), noisy runs, the parallel "
-      "seed sweep, graph construction, collective expansion, and noise "
-      "arithmetic. Reports p50/p95 across --reps repetitions after "
-      "--warmup untimed ones.");
+      "throughput (ring + deep-recv matching), noisy runs, steady-state "
+      "sweep throughput with run-context reuse, graph construction, "
+      "collective expansion, and noise arithmetic. Reports p50/p95 across "
+      "--reps repetitions after --warmup untimed ones.");
   cli.add_option("scenario", "all",
                  "comma-separated subset of: ring, deep_recv, noise, sweep, "
                  "graph_build, allreduce, rank_noise (or 'all')");
@@ -394,7 +461,6 @@ int main(int argc, char** argv) {
   cli.add_option("ranks", "0",
                  "rank count override (0 = per-scenario default)");
   cli.add_option("depth", "2048", "posted-recv queue depth for deep_recv");
-  cli.add_option("jobs", "4", "threads for the sweep scenario");
   cli.add_option("matcher", "both",
                  "bucketed | reference | both (deep_recv always measures "
                  "bucketed; 'both' adds the reference run and speedup)");
@@ -404,12 +470,14 @@ int main(int argc, char** argv) {
                  "flat JSON file of throughput floors; exit 1 if any "
                  "recorded metric falls >30% below its floor");
   cli.add_flag("smoke", "CI preset: small sizes (ring r128, deep r256xd256) "
-               "and scenario=ring,deep_recv unless overridden");
+               "and scenario=ring,deep_recv,sweep unless overridden");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 1;
 
   const bool smoke = cli.get_flag("smoke");
   std::string scenarios = cli.get("scenario");
-  if (smoke && !cli.provided("scenario")) scenarios = "ring,deep_recv";
+  if (smoke && !cli.provided("scenario")) {
+    scenarios = "ring,deep_recv,sweep";
+  }
   const auto has = [&scenarios](const char* name) {
     return scenarios == "all" ||
            scenarios.find(name) != std::string::npos;
@@ -419,8 +487,6 @@ int main(int argc, char** argv) {
   Context ctx;
   ctx.reps = static_cast<int>(cli.get_int("reps"));
   ctx.warmup = static_cast<int>(cli.get_int("warmup"));
-  ctx.jobs = static_cast<unsigned>(std::max<std::int64_t>(
-      1, cli.get_int("jobs")));
   ctx.perf = &perf;
   const std::string matcher = cli.get("matcher");
   ctx.matcher = matcher == "reference" ? sim::MatcherKind::kReference
@@ -442,7 +508,7 @@ int main(int argc, char** argv) {
   if (has("ring")) scenario_ring(ctx, ranks_or(256, 128), 50);
   if (has("deep_recv")) scenario_deep_recv(ctx, ranks_or(1024, 256), depth);
   if (has("noise")) scenario_noise(ctx, ranks_or(256, 128));
-  if (has("sweep")) scenario_sweep(ctx, ranks_or(256, 128));
+  if (has("sweep")) scenario_sweep(ctx);
   if (has("graph_build")) scenario_graph_build(ctx, ranks_or(512, 64));
   if (has("allreduce")) scenario_allreduce(ctx, ranks_or(4096, 256));
   if (has("rank_noise")) scenario_rank_noise(ctx);

@@ -3,12 +3,75 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
+#include "sim/run_context.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace celog::core {
+
+/// The persistent sweep machinery behind measure()/run_once(): one cached
+/// ThreadPool (rebuilt only when the requested concurrency changes) and a
+/// free list of reusable RunContexts. Both are caches guarded by their own
+/// mutexes so concurrent measure() calls on one runner — the RunnerCache
+/// sharing pattern in the benches — remain safe: the pool is claimed with
+/// a try-lock (contenders build a throwaway pool, exactly the pre-cache
+/// behavior), and a context leaves the free list before any run touches
+/// it, so no context is ever shared by two in-flight runs.
+struct ExperimentRunner::SweepState {
+  std::mutex pool_mu;
+  std::unique_ptr<util::ThreadPool> pool;  // guarded by pool_mu
+
+  std::mutex ctx_mu;
+  std::vector<std::unique_ptr<sim::RunContext>> free_contexts;
+
+  std::unique_ptr<sim::RunContext> acquire() {
+    {
+      std::lock_guard<std::mutex> lock(ctx_mu);
+      if (!free_contexts.empty()) {
+        std::unique_ptr<sim::RunContext> ctx =
+            std::move(free_contexts.back());
+        free_contexts.pop_back();
+        return ctx;
+      }
+    }
+    return std::make_unique<sim::RunContext>();
+  }
+
+  void release(std::unique_ptr<sim::RunContext> ctx) {
+    std::lock_guard<std::mutex> lock(ctx_mu);
+    free_contexts.push_back(std::move(ctx));
+  }
+
+  /// RAII lease of one context (run_once and serial measure paths).
+  struct Lease {
+    SweepState& state;
+    std::unique_ptr<sim::RunContext> ctx;
+    explicit Lease(SweepState& s) : state(s), ctx(s.acquire()) {}
+    ~Lease() { state.release(std::move(ctx)); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+  };
+
+  /// RAII lease of one context per worker slot (parallel measure path).
+  struct SlotLeases {
+    SweepState& state;
+    std::vector<std::unique_ptr<sim::RunContext>> ctxs;
+    SlotLeases(SweepState& s, unsigned slots) : state(s) {
+      ctxs.reserve(slots);
+      for (unsigned k = 0; k < slots; ++k) ctxs.push_back(s.acquire());
+    }
+    ~SlotLeases() {
+      for (auto& ctx : ctxs) state.release(std::move(ctx));
+    }
+    SlotLeases(const SlotLeases&) = delete;
+    SlotLeases& operator=(const SlotLeases&) = delete;
+  };
+};
 
 ScaledSystem scale_system(std::int64_t paper_nodes, goal::Rank max_ranks) {
   CELOG_ASSERT_MSG(paper_nodes > 0, "system must have nodes");
@@ -43,11 +106,15 @@ ExperimentRunner::ExperimentRunner(const workloads::Workload& workload,
                                    sim::NetworkParams net)
     : graph_(workload.build(config)),
       simulator_(graph_, net),
-      baseline_(simulator_.run_baseline()) {}
+      baseline_(simulator_.run_baseline()),
+      sweep_(std::make_unique<SweepState>()) {}
+
+ExperimentRunner::~ExperimentRunner() = default;
 
 sim::SimResult ExperimentRunner::run_once(const noise::NoiseModel& noise,
                                           std::uint64_t seed) const {
-  return simulator_.run(noise, seed);
+  SweepState::Lease lease(*sweep_);
+  return simulator_.run(noise, seed, *lease.ctx);
 }
 
 SlowdownResult ExperimentRunner::measure(const noise::NoiseModel& noise,
@@ -74,11 +141,11 @@ SlowdownResult ExperimentRunner::measure(const noise::NoiseModel& noise,
     bool no_progress = false;
   };
   std::vector<SeedOutcome> outcomes(static_cast<std::size_t>(seeds));
-  const auto run_seed = [&](std::size_t i) {
+  const auto run_seed = [&](std::size_t i, sim::RunContext& ctx) {
     SeedOutcome& o = outcomes[i];
     try {
       const sim::SimResult r =
-          simulator_.run(noise, base_seed + i, horizon);
+          simulator_.run(noise, base_seed + i, ctx, horizon);
       o.pct = sim::slowdown_percent(baseline_, r);
       o.detours = static_cast<double>(r.detours_charged);
       o.stolen_s = to_seconds(r.noise_stolen);
@@ -87,11 +154,38 @@ SlowdownResult ExperimentRunner::measure(const noise::NoiseModel& noise,
     }
   };
   if (jobs > 1 && seeds > 1) {
-    util::ThreadPool pool(
-        static_cast<unsigned>(std::min<int>(jobs, seeds)));
-    pool.parallel_for_indexed(outcomes.size(), run_seed);
+    // Reuse the cached pool when it is free and already the right size;
+    // rebuild it (still cached) when the effective job count changed. A
+    // concurrent measure() holding the cache gets a throwaway pool — the
+    // pre-cache behavior — rather than serializing the two sweeps. The
+    // lock is held for the whole sweep: it IS the lease on the pool.
+    const auto want = static_cast<unsigned>(std::min<int>(jobs, seeds));
+    std::unique_lock<std::mutex> pool_lease(sweep_->pool_mu,
+                                            std::try_to_lock);
+    std::unique_ptr<util::ThreadPool> throwaway;
+    util::ThreadPool* pool = nullptr;
+    if (pool_lease.owns_lock()) {
+      if (!sweep_->pool || sweep_->pool->threads() != want) {
+        sweep_->pool = std::make_unique<util::ThreadPool>(want);
+      }
+      pool = sweep_->pool.get();
+    } else {
+      throwaway = std::make_unique<util::ThreadPool>(want);
+      pool = throwaway.get();
+    }
+    // One context per worker slot: a slot runs at most one seed at a time,
+    // so each context has exactly one in-flight run (Debug builds assert
+    // this inside the engine) while still being reused for every seed the
+    // slot claims.
+    SweepState::SlotLeases leases(*sweep_, pool->threads());
+    pool->parallel_for_slotted(
+        outcomes.size(),
+        [&](std::size_t i, unsigned slot) { run_seed(i, *leases.ctxs[slot]); });
   } else {
-    for (std::size_t i = 0; i < outcomes.size(); ++i) run_seed(i);
+    SweepState::Lease lease(*sweep_);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      run_seed(i, *lease.ctx);
+    }
   }
 
   RunningStats pct;

@@ -86,6 +86,10 @@ class ExperimentRunner {
   ExperimentRunner(const workloads::Workload& workload,
                    const workloads::WorkloadConfig& config,
                    sim::NetworkParams net = sim::NetworkParams::cray_xc40());
+  ~ExperimentRunner();
+
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
 
   const sim::SimResult& baseline() const { return baseline_; }
   const goal::TaskGraph& graph() const { return graph_; }
@@ -100,6 +104,16 @@ class ExperimentRunner {
   /// gathered into its index slot, and the reduction walks the slots in
   /// seed order — so the result is bit-identical to jobs = 1 for any job
   /// count (see DESIGN.md, "Parallel sweep substrate").
+  ///
+  /// Steady-state sweeps reuse everything: the runner keeps one lazily
+  /// built ThreadPool (rebuilt only when the effective job count changes)
+  /// and a free list of sim::RunContexts — one leased per worker slot per
+  /// sweep — so repeated measure() calls on one runner allocate nothing
+  /// per run (see DESIGN.md, "Run-context reuse"). Concurrent measure()
+  /// calls on the same runner (bench tables share runners through
+  /// RunnerCache) stay safe: a call that finds the cached pool busy falls
+  /// back to a per-call pool, and contexts are never shared between
+  /// in-flight runs.
   SlowdownResult measure(const noise::NoiseModel& noise, int seeds,
                          std::uint64_t base_seed = 1000,
                          double horizon_factor = 100.0, int jobs = 1) const;
@@ -109,9 +123,15 @@ class ExperimentRunner {
                           std::uint64_t seed) const;
 
  private:
+  /// Persistent sweep machinery (pool + context free list); defined in
+  /// experiment.cpp. Mutated through const methods behind its own locks —
+  /// a cache, not observable state.
+  struct SweepState;
+
   goal::TaskGraph graph_;
   sim::Simulator simulator_;
   sim::SimResult baseline_;
+  std::unique_ptr<SweepState> sweep_;
 };
 
 }  // namespace celog::core

@@ -55,8 +55,23 @@ Detour PoissonDetourSource::pop() {
   return d;
 }
 
+void PoissonDetourSource::reseed(Xoshiro256 rng) {
+  rng_ = rng;
+  event_index_ = 0;
+  next_arrival_ = sample_exponential(rng_, mtbce_);
+}
+
 TraceDetourSource::TraceDetourSource(std::vector<Detour> detours)
     : detours_(std::move(detours)) {
+  validate();
+}
+
+void TraceDetourSource::rewind() {
+  next_ = 0;
+  validate();
+}
+
+void TraceDetourSource::validate() const {
   CELOG_ASSERT_MSG(
       std::is_sorted(detours_.begin(), detours_.end(),
                      [](const Detour& a, const Detour& b) {

@@ -127,6 +127,20 @@ class PoissonDetourSource final : public DetourSource {
 
   std::uint64_t events_emitted() const { return event_index_; }
 
+  /// True when this source draws from exactly this (mtbce, cost-model)
+  /// pair — the reseed seam's guard that a recycled source reproduces what
+  /// a fresh make_source would build. Cost models compare by identity:
+  /// they are shared immutable objects, so same address == same stream of
+  /// per-event costs (and the reference member cannot be rebound anyway).
+  bool emits(TimeNs mtbce, const LoggingCostModel& cost) const {
+    return mtbce_ == mtbce && &cost_ == &cost;
+  }
+
+  /// Restarts the stream as if freshly constructed with `rng`: same first
+  /// arrival, same per-event costs from index 0 — bit-identical to a new
+  /// PoissonDetourSource(mtbce, cost, rng) with this source's parameters.
+  void reseed(Xoshiro256 rng);
+
  private:
   TimeNs mtbce_;
   const LoggingCostModel& cost_;
@@ -144,7 +158,17 @@ class TraceDetourSource final : public DetourSource {
   TimeNs peek_arrival() const override;
   Detour pop() override;
 
+  /// Mutable access to the detour storage so the reseed seam can refill it
+  /// in place (keeping the vector's capacity); callers must rewind() after
+  /// editing, which re-validates the ordering invariant.
+  std::vector<Detour>& storage() { return detours_; }
+
+  /// Restarts replay from the first detour.
+  void rewind();
+
  private:
+  void validate() const;
+
   std::vector<Detour> detours_;
   std::size_t next_ = 0;
 };

@@ -11,9 +11,19 @@
 
 namespace celog::noise {
 
+bool NoiseModel::reseed_source(DetourSource&, RankId, std::uint64_t) const {
+  return false;
+}
+
 std::unique_ptr<DetourSource> NoNoiseModel::make_source(RankId,
                                                         std::uint64_t) const {
   return std::make_unique<NullDetourSource>();
+}
+
+bool NoNoiseModel::reseed_source(DetourSource& source, RankId,
+                                 std::uint64_t) const {
+  // A null stream is stateless: any NullDetourSource is already "reseeded".
+  return dynamic_cast<NullDetourSource*>(&source) != nullptr;
 }
 
 UniformCeNoiseModel::UniformCeNoiseModel(
@@ -28,6 +38,18 @@ std::unique_ptr<DetourSource> UniformCeNoiseModel::make_source(
   return std::make_unique<PoissonDetourSource>(
       mtbce_, *cost_,
       Xoshiro256::for_stream(run_seed, static_cast<std::uint64_t>(rank)));
+}
+
+bool UniformCeNoiseModel::reseed_source(DetourSource& source, RankId rank,
+                                        std::uint64_t run_seed) const {
+  // reseed() with the same for_stream RNG that make_source feeds a fresh
+  // source replays the identical arrival/duration stream; emits() guards
+  // against a source built by a model with different parameters.
+  auto* poisson = dynamic_cast<PoissonDetourSource*>(&source);
+  if (poisson == nullptr || !poisson->emits(mtbce_, *cost_)) return false;
+  poisson->reseed(
+      Xoshiro256::for_stream(run_seed, static_cast<std::uint64_t>(rank)));
+  return true;
 }
 
 SingleRankCeNoiseModel::SingleRankCeNoiseModel(
@@ -47,6 +69,18 @@ std::unique_ptr<DetourSource> SingleRankCeNoiseModel::make_source(
       Xoshiro256::for_stream(run_seed, static_cast<std::uint64_t>(rank)));
 }
 
+bool SingleRankCeNoiseModel::reseed_source(DetourSource& source, RankId rank,
+                                           std::uint64_t run_seed) const {
+  if (rank != noisy_rank_) {
+    return dynamic_cast<NullDetourSource*>(&source) != nullptr;
+  }
+  auto* poisson = dynamic_cast<PoissonDetourSource*>(&source);
+  if (poisson == nullptr || !poisson->emits(mtbce_, *cost_)) return false;
+  poisson->reseed(
+      Xoshiro256::for_stream(run_seed, static_cast<std::uint64_t>(rank)));
+  return true;
+}
+
 TraceReplayNoiseModel::TraceReplayNoiseModel(std::vector<Detour> trace,
                                              TimeNs window,
                                              bool rotate_per_rank)
@@ -64,8 +98,8 @@ TraceReplayNoiseModel::TraceReplayNoiseModel(std::vector<Detour> trace,
   }
 }
 
-std::unique_ptr<DetourSource> TraceReplayNoiseModel::make_source(
-    RankId rank, std::uint64_t run_seed) const {
+void TraceReplayNoiseModel::rotate_into(RankId rank, std::uint64_t run_seed,
+                                        std::vector<Detour>& out) const {
   // Rotate the trace by a per-(rank, seed) offset inside the window so the
   // machine does not execute detours in lockstep, then shift everything to
   // start at 0. The replayed trace covers one window only; callers simulate
@@ -77,17 +111,35 @@ std::unique_ptr<DetourSource> TraceReplayNoiseModel::make_source(
     offset = static_cast<TimeNs>(
         rng.uniform_below(static_cast<std::uint64_t>(window_)));
   }
-  std::vector<Detour> rotated;
-  rotated.reserve(trace_.size());
+  out.clear();
+  out.reserve(trace_.size());
   for (const Detour& d : trace_) {
     const TimeNs shifted = (d.arrival + offset) % window_;
-    rotated.push_back(Detour{shifted, d.duration});
+    out.push_back(Detour{shifted, d.duration});
   }
-  std::sort(rotated.begin(), rotated.end(),
-            [](const Detour& a, const Detour& b) {
-              return a.arrival < b.arrival;
-            });
+  std::sort(out.begin(), out.end(), [](const Detour& a, const Detour& b) {
+    return a.arrival < b.arrival;
+  });
+}
+
+std::unique_ptr<DetourSource> TraceReplayNoiseModel::make_source(
+    RankId rank, std::uint64_t run_seed) const {
+  std::vector<Detour> rotated;
+  rotate_into(rank, run_seed, rotated);
   return std::make_unique<TraceDetourSource>(std::move(rotated));
+}
+
+bool TraceReplayNoiseModel::reseed_source(DetourSource& source, RankId rank,
+                                          std::uint64_t run_seed) const {
+  // Refilling the replay's storage in place (then rewinding) reproduces
+  // make_source exactly while reusing the vector's capacity. This is safe
+  // even when `source` came from a DIFFERENT TraceReplayNoiseModel: the
+  // storage is overwritten wholesale with THIS model's rotated trace.
+  auto* replay = dynamic_cast<TraceDetourSource*>(&source);
+  if (replay == nullptr) return false;
+  rotate_into(rank, run_seed, replay->storage());
+  replay->rewind();
+  return true;
 }
 
 }  // namespace celog::noise

@@ -24,6 +24,19 @@ class NoiseModel {
   /// Creates the detour stream for `rank` under run seed `run_seed`.
   virtual std::unique_ptr<DetourSource> make_source(
       RankId rank, std::uint64_t run_seed) const = 0;
+
+  /// Re-arms an existing source to the EXACT detour stream that
+  /// make_source(rank, run_seed) would return — same arrivals, same
+  /// durations, bit-for-bit — without allocating. Returns false when
+  /// `source` is not one this model can recycle (wrong dynamic type or
+  /// wrong parameters — e.g. it came from a different model); the caller
+  /// must then fall back to make_source. This is the seam that lets a
+  /// reused sim::RunContext keep one source per rank across a whole sweep
+  /// instead of one heap allocation per rank per run; the differential
+  /// tests (ctest -L engine) prove reseeded and fresh sources agree.
+  /// The base implementation declines everything.
+  virtual bool reseed_source(DetourSource& source, RankId rank,
+                             std::uint64_t run_seed) const;
 };
 
 /// Noise-free machine (baseline runs).
@@ -31,6 +44,8 @@ class NoNoiseModel final : public NoiseModel {
  public:
   std::unique_ptr<DetourSource> make_source(RankId,
                                             std::uint64_t) const override;
+  bool reseed_source(DetourSource& source, RankId,
+                     std::uint64_t) const override;
 };
 
 /// Every rank's node experiences CEs as an independent Poisson process with
@@ -44,6 +59,8 @@ class UniformCeNoiseModel final : public NoiseModel {
 
   std::unique_ptr<DetourSource> make_source(RankId rank,
                                             std::uint64_t run_seed) const override;
+  bool reseed_source(DetourSource& source, RankId rank,
+                     std::uint64_t run_seed) const override;
 
   TimeNs mtbce() const { return mtbce_; }
   const LoggingCostModel& cost() const { return *cost_; }
@@ -62,6 +79,8 @@ class SingleRankCeNoiseModel final : public NoiseModel {
 
   std::unique_ptr<DetourSource> make_source(RankId rank,
                                             std::uint64_t run_seed) const override;
+  bool reseed_source(DetourSource& source, RankId rank,
+                     std::uint64_t run_seed) const override;
 
   RankId noisy_rank() const { return noisy_rank_; }
 
@@ -81,8 +100,16 @@ class TraceReplayNoiseModel final : public NoiseModel {
 
   std::unique_ptr<DetourSource> make_source(RankId rank,
                                             std::uint64_t run_seed) const override;
+  bool reseed_source(DetourSource& source, RankId rank,
+                     std::uint64_t run_seed) const override;
 
  private:
+  /// Fills `out` with the per-(rank, seed) rotated trace — the single
+  /// implementation behind make_source and reseed_source, so the two
+  /// cannot diverge. Reuses `out`'s capacity.
+  void rotate_into(RankId rank, std::uint64_t run_seed,
+                   std::vector<Detour>& out) const;
+
   std::vector<Detour> trace_;
   TimeNs window_;
   bool rotate_;

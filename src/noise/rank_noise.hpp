@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <utility>
 
 #include "noise/detour.hpp"
 #include "util/error.hpp"
@@ -59,6 +60,26 @@ class RankNoise {
   TimeNs stolen_time() const { return stolen_; }
   /// Number of detours that actually extended application activity.
   std::uint64_t charged_detours() const { return charged_; }
+
+  /// Rewinds for a new run under `horizon`: clears the busy period and the
+  /// stolen/charged totals. The caller is responsible for re-arming the
+  /// detour stream (NoiseModel::reseed_source, or replace_source below) —
+  /// RankNoise does not know which model built its source.
+  void reset(TimeNs horizon) {
+    horizon_ = horizon;
+    busy_until_ = 0;
+    stolen_ = 0;
+    charged_ = 0;
+  }
+
+  /// The owned detour stream, exposed for the reseed seam.
+  DetourSource& source() { return *source_; }
+
+  /// Swaps in a fresh stream (the fallback when reseeding is declined).
+  void replace_source(std::unique_ptr<DetourSource> source) {
+    CELOG_ASSERT_MSG(source != nullptr, "detour source required");
+    source_ = std::move(source);
+  }
 
  private:
   /// Consumes the next detour and accumulates its service into busy_until_.

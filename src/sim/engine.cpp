@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <tuple>
@@ -11,6 +12,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/match_table.hpp"
+#include "sim/run_context.hpp"
 #include "util/error.hpp"
 
 namespace celog::sim {
@@ -87,71 +89,52 @@ struct RankState {
   std::vector<std::uint8_t> done;
 };
 
+/// The engine state a RunContext actually stores: everything a run mutates,
+/// typed by the (noise-policy, match-table) instantiation it was built for.
+/// A context last used with a different instantiation fails the engine's
+/// downcast and is simply rebuilt (see run_in_context below); a context
+/// last used with a different graph is detected via `graph`/state sizes
+/// and rebuilt in place, reusing what capacity still fits.
+template <typename NoisePolicy, template <class> class Table>
+struct EngineState final : detail::RunContextState {
+  std::vector<RankState<NoisePolicy, Table>> states;
+  EventQueue queue;
+  EventPool pool;
+  /// Graph this state was built for (borrowed; identity is the rebind key).
+  const goal::TaskGraph* graph = nullptr;
+  std::size_t total_ops = 0;
+};
+
 template <typename NoisePolicy, template <class> class Table>
 class Run {
  public:
-  Run(const goal::TaskGraph& graph, const NetworkParams& params,
-      const noise::NoiseModel& noise, std::uint64_t run_seed, TimeNs horizon,
+  /// Prepares `es` for one run: builds it on first use (or after a graph
+  /// change), resets-and-reuses it otherwise. Either way the post-state is
+  /// identical — empty queue/pool/tables, per-op pending counts from the
+  /// graph, freshly (re)seeded noise sources — so the event replay, and
+  /// therefore the SimResult, cannot depend on which path ran.
+  Run(EngineState<NoisePolicy, Table>& es, const goal::TaskGraph& graph,
+      const NetworkParams& params, const noise::NoiseModel& noise,
+      std::uint64_t run_seed, TimeNs horizon,
       const OpCompletionCallback& on_complete)
-      : graph_(graph), params_(params), on_complete_(on_complete) {
-    const Rank ranks = graph_.ranks();
-    states_.reserve(static_cast<std::size_t>(ranks));
-    queue_.init(ranks);
-
-    // First pass: build per-rank state and derive a per-rank bound on
-    // outstanding events. Every event lives in exactly one rank's shard
-    // (its ready ops plus inbound wire messages), and shard r holds at most
-    //   sources(r)                 (ready events seeded below)
-    // + sum max(0, out_deg-1)      (completing an op on r may release up to
-    //                               out_degree successors of r while
-    //                               consuming one popped event of r)
-    // + #sends targeting r         (each send keeps at most one message
-    //                               bound for the receiver — eager data,
-    //                               RTS, or RndvData — in flight at a time)
-    // + #rendezvous sends on r     (each may have one CTS in flight back
-    //                               toward r)
-    // so reserving that bound per shard makes mid-run reallocation
-    // impossible (debug builds assert it in EventQueue::push).
-    std::vector<std::size_t> bound(static_cast<std::size_t>(ranks), 1);
-    for (Rank r = 0; r < ranks; ++r) {
-      if constexpr (std::is_same_v<NoisePolicy, noise::RankNoise>) {
-        states_.emplace_back(noise.make_source(r, run_seed), horizon);
-      } else {
-        static_cast<void>(noise);
-        static_cast<void>(run_seed);
-        static_cast<void>(horizon);
-        states_.emplace_back();
-      }
-      const RankProgram& prog = graph_.program(r);
-      RankState<NoisePolicy, Table>& rs = states_.back();
-      rs.pending.resize(prog.size());
-      rs.ready_time.assign(prog.size(), 0);
-      rs.done.assign(prog.size(), 0);
-      std::size_t& b = bound[static_cast<std::size_t>(r)];
-      for (OpIndex i = 0; i < prog.size(); ++i) {
-        rs.pending[i] = prog.in_degree(i);
-        if (rs.pending[i] == 0) ++b;
-        const std::size_t out = prog.successors(i).size();
-        if (out > 1) b += out - 1;
-        const Op& op = prog.op(i);
-        if (op.kind == OpKind::kSend) {
-          ++bound[static_cast<std::size_t>(op.peer)];
-          if (!params_.eager(op.size_or_duration)) ++b;
-        }
-      }
-      total_ops_ += prog.size();
+      : graph_(graph),
+        params_(params),
+        on_complete_(on_complete),
+        states_(es.states),
+        queue_(es.queue),
+        pool_(es.pool) {
+    if (es.graph == &graph_ &&
+        es.states.size() == static_cast<std::size_t>(graph_.ranks())) {
+      reset_for_run(noise, run_seed, horizon);
+    } else {
+      build(es, noise, run_seed, horizon);
     }
-    std::size_t total_bound = 0;
-    for (Rank r = 0; r < ranks; ++r) {
-      const std::size_t b = bound[static_cast<std::size_t>(r)];
-      queue_.reserve_rank(r, b);
-      total_bound += b;
-    }
-    pool_.reserve(total_bound);
+    total_ops_ = es.total_ops;
 
-    // Second pass: seed the initial ready events — after the reserve, so
-    // the no-reallocation invariant covers them too. Rank-major op-order
+    // Seed the initial ready events — after the reserve, so the
+    // no-reallocation invariant covers them too. Rank-major op-order
     // seeding matches the seed engine's seq assignment bit-for-bit.
+    const Rank ranks = graph_.ranks();
     for (Rank r = 0; r < ranks; ++r) {
       const RankProgram& prog = graph_.program(r);
       RankState<NoisePolicy, Table>& rs = state(r);
@@ -187,6 +170,110 @@ class Run {
   }
 
  private:
+  /// First-use (or post-graph-change) path: build per-rank state and derive
+  /// a per-rank bound on outstanding events. Every event lives in exactly
+  /// one rank's shard (its ready ops plus inbound wire messages), and shard
+  /// r holds at most
+  ///   sources(r)                 (ready events seeded by the constructor)
+  /// + sum max(0, out_deg-1)      (completing an op on r may release up to
+  ///                               out_degree successors of r while
+  ///                               consuming one popped event of r)
+  /// + #sends targeting r         (each send keeps at most one message
+  ///                               bound for the receiver — eager data,
+  ///                               RTS, or RndvData — in flight at a time)
+  /// + #rendezvous sends on r     (each may have one CTS in flight back
+  ///                               toward r)
+  /// so reserving that bound per shard makes mid-run reallocation
+  /// impossible (debug builds assert it in EventQueue::push).
+  void build(EngineState<NoisePolicy, Table>& es,
+             const noise::NoiseModel& noise, std::uint64_t run_seed,
+             TimeNs horizon) {
+    const Rank ranks = graph_.ranks();
+    states_.clear();
+    states_.reserve(static_cast<std::size_t>(ranks));
+    queue_.init(ranks);
+    pool_.reset();
+    es.total_ops = 0;
+
+    std::vector<std::size_t> bound(static_cast<std::size_t>(ranks), 1);
+    for (Rank r = 0; r < ranks; ++r) {
+      if constexpr (std::is_same_v<NoisePolicy, noise::RankNoise>) {
+        states_.emplace_back(noise.make_source(r, run_seed), horizon);
+      } else {
+        static_cast<void>(noise);
+        static_cast<void>(run_seed);
+        static_cast<void>(horizon);
+        states_.emplace_back();
+      }
+      const RankProgram& prog = graph_.program(r);
+      RankState<NoisePolicy, Table>& rs = states_.back();
+      rs.pending.resize(prog.size());
+      rs.ready_time.assign(prog.size(), 0);
+      rs.done.assign(prog.size(), 0);
+      std::size_t& b = bound[static_cast<std::size_t>(r)];
+      for (OpIndex i = 0; i < prog.size(); ++i) {
+        rs.pending[i] = prog.in_degree(i);
+        if (rs.pending[i] == 0) ++b;
+        const std::size_t out = prog.successors(i).size();
+        if (out > 1) b += out - 1;
+        const Op& op = prog.op(i);
+        if (op.kind == OpKind::kSend) {
+          ++bound[static_cast<std::size_t>(op.peer)];
+          if (!params_.eager(op.size_or_duration)) ++b;
+        }
+      }
+      es.total_ops += prog.size();
+    }
+    std::size_t total_bound = 0;
+    for (Rank r = 0; r < ranks; ++r) {
+      const std::size_t b = bound[static_cast<std::size_t>(r)];
+      queue_.reserve_rank(r, b);
+      total_bound += b;
+    }
+    pool_.reserve(total_bound);
+    es.graph = &graph_;
+  }
+
+  /// Reuse path: restore the build() post-state without touching capacity.
+  /// Queue/pool/tables empty themselves (clearing anything an aborted run —
+  /// NoProgressError — left behind), per-op bookkeeping is refilled from
+  /// the graph, and each rank's noise source is reseeded in place to the
+  /// exact stream a fresh make_source would produce — falling back to a
+  /// fresh source when the model declines (e.g. the context was last run
+  /// under a different noise model). The graph-derived queue bounds carry
+  /// over unchanged: they depend only on the graph and the eager threshold,
+  /// both fixed for this Simulator.
+  void reset_for_run(const noise::NoiseModel& noise, std::uint64_t run_seed,
+                     TimeNs horizon) {
+    queue_.reset();
+    pool_.reset();
+    const Rank ranks = graph_.ranks();
+    for (Rank r = 0; r < ranks; ++r) {
+      const RankProgram& prog = graph_.program(r);
+      RankState<NoisePolicy, Table>& rs = state(r);
+      if constexpr (std::is_same_v<NoisePolicy, noise::RankNoise>) {
+        rs.noise.reset(horizon);
+        if (!noise.reseed_source(rs.noise.source(), r, run_seed)) {
+          rs.noise.replace_source(noise.make_source(r, run_seed));
+        }
+      } else {
+        static_cast<void>(noise);
+        static_cast<void>(run_seed);
+        static_cast<void>(horizon);
+      }
+      rs.cpu_free = 0;
+      rs.nic_free = 0;
+      rs.finish = 0;
+      rs.posted.reset();
+      rs.unexpected.reset();
+      for (OpIndex i = 0; i < prog.size(); ++i) {
+        rs.pending[i] = prog.in_degree(i);
+      }
+      std::fill(rs.ready_time.begin(), rs.ready_time.end(), 0);
+      std::fill(rs.done.begin(), rs.done.end(), 0);
+    }
+  }
+
   RankState<NoisePolicy, Table>& state(Rank r) {
     return states_[static_cast<std::size_t>(r)];
   }
@@ -433,14 +520,37 @@ class Run {
   const goal::TaskGraph& graph_;
   const NetworkParams& params_;
   const OpCompletionCallback& on_complete_;
-  std::vector<RankState<NoisePolicy, Table>> states_;
-  EventQueue queue_;
-  EventPool pool_;
+  // Context-owned storage (borrowed for the duration of this run)...
+  std::vector<RankState<NoisePolicy, Table>>& states_;
+  EventQueue& queue_;
+  EventPool& pool_;
+  // ...and per-run locals.
   std::uint64_t seq_ = 0;
   std::size_t total_ops_ = 0;
   std::size_t completed_ops_ = 0;
   SimResult result_;
 };
+
+/// Dispatch target for one (noise-policy, match-table) instantiation:
+/// downcasts the context's state, adopting fresh state when the context is
+/// empty or was last used with a different instantiation (matcher change,
+/// baseline <-> noisy alternation, or a context from another engine).
+template <typename NoisePolicy, template <class> class Table>
+SimResult run_in_context(RunContext& ctx, const goal::TaskGraph& graph,
+                         const NetworkParams& params,
+                         const noise::NoiseModel& noise,
+                         std::uint64_t run_seed, TimeNs horizon,
+                         const OpCompletionCallback& on_complete) {
+  auto* state = dynamic_cast<EngineState<NoisePolicy, Table>*>(ctx.state());
+  if (state == nullptr) {
+    auto fresh = std::make_unique<EngineState<NoisePolicy, Table>>();
+    state = fresh.get();
+    ctx.adopt(std::move(fresh));
+  }
+  return Run<NoisePolicy, Table>(*state, graph, params, noise, run_seed,
+                                 horizon, on_complete)
+      .execute();
+}
 
 }  // namespace
 
@@ -461,6 +571,15 @@ Simulator::Simulator(const goal::TaskGraph& graph, NetworkParams params)
 SimResult Simulator::run(const noise::NoiseModel& noise,
                          std::uint64_t run_seed, TimeNs horizon,
                          const OpCompletionCallback& on_complete) const {
+  RunContext ctx;
+  return run(noise, run_seed, ctx, horizon, on_complete);
+}
+
+SimResult Simulator::run(const noise::NoiseModel& noise,
+                         std::uint64_t run_seed, RunContext& ctx,
+                         TimeNs horizon,
+                         const OpCompletionCallback& on_complete) const {
+  const RunContext::ExclusiveRun guard(ctx);
   // NoNoiseModel runs take the devirtualized fast path: identical results
   // (RankNoise over a NullDetourSource is the identity on CPU intervals),
   // none of the per-interval virtual dispatch.
@@ -468,30 +587,26 @@ SimResult Simulator::run(const noise::NoiseModel& noise,
       dynamic_cast<const noise::NoNoiseModel*>(&noise) != nullptr;
   if (matcher_ == MatcherKind::kBucketed) {
     if (noise_free) {
-      return Run<PassthroughNoise, FifoMatchTable>(graph_, params_, noise,
-                                                   run_seed, horizon,
-                                                   on_complete)
-          .execute();
+      return run_in_context<PassthroughNoise, FifoMatchTable>(
+          ctx, graph_, params_, noise, run_seed, horizon, on_complete);
     }
-    return Run<noise::RankNoise, FifoMatchTable>(graph_, params_, noise,
-                                                 run_seed, horizon,
-                                                 on_complete)
-        .execute();
+    return run_in_context<noise::RankNoise, FifoMatchTable>(
+        ctx, graph_, params_, noise, run_seed, horizon, on_complete);
   }
   if (noise_free) {
-    return Run<PassthroughNoise, LinearMatchList>(graph_, params_, noise,
-                                                  run_seed, horizon,
-                                                  on_complete)
-        .execute();
+    return run_in_context<PassthroughNoise, LinearMatchList>(
+        ctx, graph_, params_, noise, run_seed, horizon, on_complete);
   }
-  return Run<noise::RankNoise, LinearMatchList>(graph_, params_, noise,
-                                                run_seed, horizon,
-                                                on_complete)
-      .execute();
+  return run_in_context<noise::RankNoise, LinearMatchList>(
+      ctx, graph_, params_, noise, run_seed, horizon, on_complete);
 }
 
 SimResult Simulator::run_baseline() const {
   return run(noise::NoNoiseModel{}, 0);
+}
+
+SimResult Simulator::run_baseline(RunContext& ctx) const {
+  return run(noise::NoNoiseModel{}, 0, ctx);
 }
 
 }  // namespace celog::sim

@@ -43,6 +43,7 @@
 #include "noise/noise_model.hpp"
 #include "noise/rank_noise.hpp"
 #include "sim/network_params.hpp"
+#include "sim/run_context.hpp"
 #include "util/time.hpp"
 
 namespace celog::sim {
@@ -98,8 +99,23 @@ class Simulator {
                 TimeNs horizon = noise::RankNoise::kNoHorizon,
                 const OpCompletionCallback& on_complete = {}) const;
 
+  /// Same semantics, same results, but all per-run mutable state lives in
+  /// `ctx`: the first run through a context builds it, and every later run
+  /// with the same (graph, matcher, noise-policy) combination resets and
+  /// reuses the capacity instead of reallocating — the steady-state sweep
+  /// path is allocation-free. Results are bit-identical to the overload
+  /// above for every input (proved by ctest -L engine); `ctx` must not be
+  /// shared by two in-flight runs (Debug builds abort if it is). The
+  /// overload above simply delegates here with a throwaway context.
+  SimResult run(const noise::NoiseModel& noise, std::uint64_t run_seed,
+                RunContext& ctx, TimeNs horizon = noise::RankNoise::kNoHorizon,
+                const OpCompletionCallback& on_complete = {}) const;
+
   /// Convenience: noise-free baseline run.
   SimResult run_baseline() const;
+
+  /// Baseline run through a reusable context.
+  SimResult run_baseline(RunContext& ctx) const;
 
   const NetworkParams& params() const { return params_; }
 

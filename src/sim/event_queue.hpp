@@ -87,6 +87,16 @@ class EventPool {
 
   void reserve(std::size_t n) { slots_.reserve(n); }
 
+  /// Drops every payload but keeps the slot capacity. A reset pool hands
+  /// out indices 0, 1, 2, ... exactly like a freshly constructed one (the
+  /// free list is emptied, not replayed), so context reuse cannot perturb
+  /// pool index assignment — not that it could matter: indices never enter
+  /// the (time, seq) ordering contract.
+  void reset() {
+    slots_.clear();
+    free_head_ = kNil;
+  }
+
   std::uint32_t alloc() {
     if (free_head_ != kNil) {
       const std::uint32_t idx = free_head_;
@@ -115,14 +125,31 @@ class EventPool {
 /// The rank-sharded two-level event queue.
 class EventQueue {
  public:
-  /// Must be called once before any push; `ranks` fixes the shard count.
+  /// Must be called before any push; `ranks` fixes the shard count.
+  /// Calling it again rebinds the queue to a new rank count from scratch
+  /// (all shard capacity is dropped — a graph change invalidates the
+  /// graph-derived per-shard bounds anyway). To keep capacity across runs
+  /// of the SAME graph, use reset() instead.
   void init(goal::Rank ranks) {
-    local_.resize(static_cast<std::size_t>(ranks));
+    local_.assign(static_cast<std::size_t>(ranks), {});
     pos_.assign(static_cast<std::size_t>(ranks), kAbsent);
+    top_.clear();
     top_.reserve(static_cast<std::size_t>(ranks));
+    size_ = 0;
 #ifndef NDEBUG
     reserved_.assign(static_cast<std::size_t>(ranks), 0);
 #endif
+  }
+
+  /// Empties the queue while keeping every shard's capacity and its debug
+  /// reservation, so a reused queue still honors the no-reallocation bound
+  /// without re-reserving. Also clears entries left behind by an aborted
+  /// run (NoProgressError unwinds mid-drain).
+  void reset() {
+    for (auto& shard : local_) shard.clear();
+    std::fill(pos_.begin(), pos_.end(), kAbsent);
+    top_.clear();
+    size_ = 0;
   }
 
   /// Reserves `n` slots for `rank`'s shard. The engine derives `n` from the

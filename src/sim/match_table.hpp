@@ -85,6 +85,24 @@ class FifoMatchTable {
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 
+  /// Empties the table while keeping the slot array and node capacity.
+  /// Keys stay resident in their probe slots (slots are never erased), so
+  /// a reused table re-finds the same graph's keys without re-inserting;
+  /// hash layout cannot affect results (matching is exact-key FIFO). The
+  /// head/tail re-nil loop runs only when entries were left behind — i.e.
+  /// after an aborted run; normal completion drains every FIFO.
+  void reset() {
+    if (size_ != 0) {
+      for (Slot& slot : slots_) {
+        slot.head = kNil;
+        slot.tail = kNil;
+      }
+      size_ = 0;
+    }
+    nodes_.clear();
+    free_head_ = kNil;
+  }
+
   /// Visits every live entry in unspecified order (cold paths only:
   /// deadlock diagnostics sort what they collect before printing).
   template <typename Fn>
@@ -203,6 +221,9 @@ class LinearMatchList {
 
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }
+
+  /// Empties the list (the deque's block storage is reused on refill).
+  void reset() { entries_.clear(); }
 
   template <typename Fn>
   void for_each(Fn&& fn) const {

@@ -1,0 +1,115 @@
+// celog/sim/run_context.hpp
+//
+// RunContext: caller-owned storage for all per-run mutable engine state —
+// rank states, the sharded event-queue storage, the event payload pool,
+// match-table storage, and the posted/unexpected lists. A Simulator::run
+// overload accepts one; across repeated runs of the same (graph, matcher,
+// noise-policy) combination the engine resets the contained state instead
+// of reallocating it, which makes steady-state sweeps allocation-free.
+//
+// Ownership rules (see DESIGN.md, "Run-context reuse"):
+//   * A context may be reused freely across runs, noise models, seeds,
+//     matchers, and graphs — the engine detects every rebind (matcher or
+//     noise-policy change via the state's dynamic type, graph change via
+//     the graph's address and rank count) and rebuilds instead of reusing.
+//     Reuse only pays off when those stay fixed; correctness never depends
+//     on it. Results are bit-identical to a fresh context either way.
+//   * A context must NOT be shared by two in-flight runs. Debug builds
+//     abort on violation (ExclusiveRun below); one context per thread —
+//     e.g. per ThreadPool slot — is the supported pattern.
+//   * The bound graph is borrowed: a context must not outlive the graph it
+//     was last run against unless clear()ed first. Rebind detection is by
+//     graph address + rank count, so destroying a graph and creating a new
+//     one at the same address with the same rank count would alias; keep
+//     the graph alive for the context's reuse lifetime (the pattern
+//     everywhere in this repo: ExperimentRunner owns graph and contexts).
+//
+// The concrete state lives behind a type-erased base because the engine's
+// per-(noise-policy, match-table) state types are private to engine.cpp;
+// state()/adopt() are the engine-facing seam, not user API.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace celog::sim {
+
+namespace detail {
+
+/// Type-erased holder for engine per-run state. The engine downcasts to
+/// its concrete per-(noise-policy, match-table) state type; a failed
+/// downcast simply means the context was last used with a different
+/// engine configuration, and fresh state is adopted in its place.
+class RunContextState {
+ public:
+  virtual ~RunContextState() = default;
+};
+
+}  // namespace detail
+
+/// Reusable per-run engine state. Default-constructed empty; the first run
+/// through it builds state, later compatible runs reset-and-reuse it.
+class RunContext {
+ public:
+  RunContext() = default;
+
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  /// True until a run has populated the context (or after clear()).
+  bool empty() const { return state_ == nullptr; }
+
+  /// Drops all captured state; the next run rebuilds from scratch.
+  void clear() { state_.reset(); }
+
+  /// Engine seam: the current state, or nullptr when empty.
+  detail::RunContextState* state() const { return state_.get(); }
+
+  /// Engine seam: replaces the state (used on first run and on rebinds).
+  void adopt(std::unique_ptr<detail::RunContextState> state) {
+    state_ = std::move(state);
+  }
+
+  /// RAII guard asserting (Debug builds) that no two in-flight runs ever
+  /// share one context — the no-shared-context invariant. Release builds
+  /// compile it away.
+  class ExclusiveRun {
+   public:
+    explicit ExclusiveRun(RunContext& ctx)
+#ifndef NDEBUG
+        : ctx_(ctx)
+#endif
+    {
+#ifndef NDEBUG
+      CELOG_ASSERT_MSG(!ctx_.in_flight_.exchange(true),
+                       "RunContext shared by two in-flight runs");
+#else
+      static_cast<void>(ctx);
+#endif
+    }
+    ~ExclusiveRun() {
+#ifndef NDEBUG
+      ctx_.in_flight_.store(false);
+#endif
+    }
+
+    ExclusiveRun(const ExclusiveRun&) = delete;
+    ExclusiveRun& operator=(const ExclusiveRun&) = delete;
+
+#ifndef NDEBUG
+   private:
+    RunContext& ctx_;
+#endif
+  };
+
+ private:
+  std::unique_ptr<detail::RunContextState> state_;
+#ifndef NDEBUG
+  std::atomic<bool> in_flight_{false};
+#endif
+};
+
+}  // namespace celog::sim

@@ -19,8 +19,9 @@ ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = hardware_threads();
   if (threads > 1) {
     workers_.reserve(threads - 1);
+    // Worker i occupies slot i (1-based; slot 0 is the sweep caller).
     for (unsigned i = 1; i < threads; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i); });
     }
   }
 }
@@ -34,7 +35,7 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned slot) {
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -44,7 +45,7 @@ void ThreadPool::worker_loop() {
       seen = generation_;
       ++active_;
     }
-    drain();
+    drain(slot);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--active_ == 0) done_cv_.notify_all();
@@ -52,13 +53,13 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::drain() {
+void ThreadPool::drain(unsigned slot) {
   const std::size_t n = size_.load();
   for (;;) {
     const std::size_t i = next_.fetch_add(1);
     if (i >= n) break;
     try {
-      job_(i);
+      job_(i, slot);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!error_ || i < error_index_) {
@@ -69,14 +70,14 @@ void ThreadPool::drain() {
   }
 }
 
-void ThreadPool::run_indexed(std::size_t n,
-                             std::function<void(std::size_t)> fn) {
+void ThreadPool::run_slotted(std::size_t n,
+                             std::function<void(std::size_t, unsigned)> fn) {
   if (n == 0) return;
   if (workers_.empty()) {
     // Serial reference path: same per-index arithmetic, caller's thread
-    // only. Exceptions propagate directly (the lowest index throws first
-    // by construction).
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    // (slot 0) only. Exceptions propagate directly (the lowest index
+    // throws first by construction).
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
     return;
   }
   {
@@ -91,7 +92,7 @@ void ThreadPool::run_indexed(std::size_t n,
     ++generation_;
   }
   work_cv_.notify_all();
-  drain();  // the caller is one of the sweep's threads
+  drain(0);  // the caller is one of the sweep's threads, always slot 0
   // The caller's drain() returns only once every index is claimed, and a
   // claimed-but-running index belongs to a worker still inside drain()
   // (active_ > 0). Waiting for active_ == 0 therefore means every job has

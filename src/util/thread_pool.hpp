@@ -55,14 +55,31 @@ class ThreadPool {
   /// reentrant: fn must not call back into this pool.
   template <typename Fn>
   void parallel_for_indexed(std::size_t n, Fn&& fn) {
-    run_indexed(n, std::function<void(std::size_t)>(std::forward<Fn>(fn)));
+    run_slotted(n, [fn = std::forward<Fn>(fn)](std::size_t i,
+                                               unsigned) mutable { fn(i); });
+  }
+
+  /// Like parallel_for_indexed, but fn(i, slot) also receives the executing
+  /// thread's slot id in [0, threads()): the calling thread is always slot
+  /// 0 and each worker keeps one fixed nonzero slot for the pool's
+  /// lifetime. A slot runs at most one index at a time, so slot-indexed
+  /// scratch state (e.g. one sim::RunContext per slot) is race-free and
+  /// reused across sweeps without locking. Slot assignment does NOT affect
+  /// results under the index-keyed gathering contract above — it only
+  /// decides which scratch object an index borrows.
+  template <typename Fn>
+  void parallel_for_slotted(std::size_t n, Fn&& fn) {
+    run_slotted(n, std::function<void(std::size_t, unsigned)>(
+                       std::forward<Fn>(fn)));
   }
 
  private:
-  void run_indexed(std::size_t n, std::function<void(std::size_t)> fn);
-  void worker_loop();
-  /// Claims indices until the current sweep is exhausted.
-  void drain();
+  void run_slotted(std::size_t n,
+                   std::function<void(std::size_t, unsigned)> fn);
+  void worker_loop(unsigned slot);
+  /// Claims indices until the current sweep is exhausted, running each on
+  /// `slot` (0 = the sweep's calling thread).
+  void drain(unsigned slot);
 
   std::vector<std::thread> workers_;
 
@@ -75,7 +92,7 @@ class ThreadPool {
   // Current sweep. job_ is written under mu_ before the sweep is published
   // (next_ reset + generation_ bump) and cleared only after every worker has
   // left drain(), so workers never observe a torn callable.
-  std::function<void(std::size_t)> job_;
+  std::function<void(std::size_t, unsigned)> job_;
   std::atomic<std::size_t> next_{0};
   std::atomic<std::size_t> size_{0};
   std::size_t active_ = 0;             // workers inside drain(); under mu_

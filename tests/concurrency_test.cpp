@@ -1,8 +1,10 @@
-// Tests for the parallel sweep substrate: ThreadPool ordering and exception
-// semantics, bit-identical parallel measure(), concurrent RunnerCache
-// builds, and the --full preset's interaction with explicit flags. These
-// run under `ctest -L concurrency` (and everything else) and are the
-// targets to exercise under -DCELOG_SANITIZE=thread.
+// Tests for the parallel sweep substrate: ThreadPool ordering, slot, and
+// exception semantics, bit-identical parallel measure() including repeated
+// and concurrent sweeps on one runner (the persistent pool + run-context
+// lease machinery), concurrent RunnerCache builds, and the --full preset's
+// interaction with explicit flags. These run under `ctest -L concurrency`
+// (and everything else) and are the targets to exercise under
+// -DCELOG_SANITIZE=thread.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -119,6 +121,51 @@ TEST(ThreadPoolTest, SerialPathPropagatesExceptions) {
                std::runtime_error);
 }
 
+TEST(ThreadPoolTest, SlottedSlotsAreInRangeAndExclusive) {
+  util::ThreadPool pool(4);
+  constexpr std::size_t kN = 500;
+  std::vector<unsigned> slot_of(kN, ~0u);
+  std::vector<std::atomic<bool>> busy(pool.threads());
+  std::atomic<bool> overlap{false};
+  pool.parallel_for_slotted(kN, [&](std::size_t i, unsigned slot) {
+    ASSERT_LT(slot, pool.threads());
+    // A slot may never run two indices at once — that exclusivity is what
+    // makes slot-indexed scratch (one RunContext per slot) race-free.
+    if (busy[slot].exchange(true)) overlap = true;
+    slot_of[i] = slot;
+    busy[slot].store(false);
+  });
+  EXPECT_FALSE(overlap.load());
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_LT(slot_of[i], pool.threads()) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SlottedCallerOwnsSlotZero) {
+  util::ThreadPool pool(3);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::pair<unsigned, std::thread::id>> ran(64);
+  pool.parallel_for_slotted(64, [&](std::size_t i, unsigned slot) {
+    ran[i] = {slot, std::this_thread::get_id()};
+  });
+  for (const auto& [slot, id] : ran) {
+    if (slot == 0) {
+      EXPECT_EQ(id, caller) << "slot 0 must be the calling thread";
+    } else {
+      EXPECT_NE(id, caller) << "workers hold fixed nonzero slots";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SlottedSerialRunsInlineOnSlotZero) {
+  util::ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for_slotted(8, [&](std::size_t, unsigned slot) {
+    EXPECT_EQ(slot, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
 TEST(ThreadPoolTest, HardwareThreadsNeverZero) {
   EXPECT_GE(util::ThreadPool::hardware_threads(), 1u);
   util::ThreadPool pool;  // 0 = hardware
@@ -164,6 +211,47 @@ TEST(ParallelMeasureTest, BitIdenticalToSerial) {
   EXPECT_EQ(serial.seeds, 6);
   EXPECT_FALSE(serial.no_progress);
   EXPECT_GT(serial.mean_pct, 0.0);
+}
+
+TEST(ParallelMeasureTest, RepeatedMeasureReusesPoolAndContexts) {
+  workloads::WorkloadConfig config;
+  config.ranks = 8;
+  config.iterations = 2;
+  const core::ExperimentRunner runner(*workloads::find_workload("lulesh"),
+                                      config);
+  const noise::UniformCeNoiseModel noise(
+      milliseconds(10),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(775)));
+  const auto expected = runner.measure(noise, 5, 1000, 100.0, 1);
+  // Same runner, over and over: the cached pool is reused while the job
+  // count holds (the ISSUE-4 bugfix — it used to be rebuilt every call),
+  // rebuilt on the changes below, and every sweep leases run contexts from
+  // the shared free list. Results must never drift.
+  for (const int jobs : {4, 4, 4, 2, 4, 1, 4}) {
+    expect_identical(expected, runner.measure(noise, 5, 1000, 100.0, jobs));
+  }
+}
+
+TEST(ParallelMeasureTest, ConcurrentMeasureCallsOnOneRunner) {
+  workloads::WorkloadConfig config;
+  config.ranks = 8;
+  config.iterations = 2;
+  const core::ExperimentRunner runner(*workloads::find_workload("lulesh"),
+                                      config);
+  const noise::UniformCeNoiseModel noise(
+      milliseconds(10),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(775)));
+  const auto expected = runner.measure(noise, 4, 1000, 100.0, 2);
+  // Several measure() sweeps race on one runner (the RunnerCache sharing
+  // pattern): whichever call wins the cached pool, the others take
+  // throwaway pools, and all of them lease distinct contexts — same
+  // results either way.
+  util::ThreadPool outer(4);
+  std::vector<core::SlowdownResult> results(8);
+  outer.parallel_for_indexed(8, [&](std::size_t i) {
+    results[i] = runner.measure(noise, 4, 1000, 100.0, 2);
+  });
+  for (const auto& r : results) expect_identical(expected, r);
 }
 
 TEST(ParallelMeasureTest, SingleRankModelBitIdentical) {

@@ -10,8 +10,11 @@
 //
 // Also covered here: equivalence of the devirtualized noise-free fast path
 // (NoNoiseModel -> PassthroughNoise) with the general RankNoise path over a
-// null detour stream, and the deadlock diagnostics for stranded unexpected
-// messages and sends stuck waiting on CTS.
+// null detour stream, the deadlock diagnostics for stranded unexpected
+// messages and sends stuck waiting on CTS, and the run-context reuse axis:
+// a sim::RunContext recycled across seeds, noise models, matchers, aborted
+// runs, and graph changes must reproduce fresh-context results bit-for-bit
+// (the ISSUE-4 zero-allocation sweep path).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -21,8 +24,10 @@
 #include <vector>
 
 #include "goal/task_graph.hpp"
+#include "noise/detour.hpp"
 #include "noise/noise_model.hpp"
 #include "sim/engine.hpp"
+#include "sim/run_context.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -172,6 +177,128 @@ TEST(NoiseFastPath, MatchesRankNoiseOverNullStream) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Run-context reuse. The determinism contract extends to the reusable
+// context: every run through a recycled sim::RunContext must be
+// bit-identical to the same run through a fresh one.
+
+TEST(ContextReuse, SweepBitIdenticalToFreshContexts) {
+  const noise::UniformCeNoiseModel noise(
+      microseconds(500),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(5)));
+  for (const MatcherKind matcher :
+       {MatcherKind::kReference, MatcherKind::kBucketed}) {
+    for (const bool deep : {false, true}) {
+      const TaskGraph g = random_graph(12, 4, 99, deep);
+      Simulator sim(g, NetworkParams::cray_xc40());
+      sim.set_matcher(matcher);
+      RunContext ctx;  // reused across every seed and both run kinds below
+      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        expect_identical(sim.run(noise, seed), sim.run(noise, seed, ctx),
+                         "noisy seed " + std::to_string(seed));
+        // Alternating in baseline runs flips the context between the
+        // RankNoise and PassthroughNoise engine instantiations; the
+        // context must adopt matching state on every flip.
+        expect_identical(sim.run_baseline(), sim.run_baseline(ctx),
+                         "baseline after seed " + std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(ContextReuse, ReseedAndFallbackAcrossNoiseModels) {
+  const TaskGraph g = random_graph(8, 3, 7, false);
+  const Simulator sim(g, NetworkParams::cray_xc40());
+  const auto cost_a =
+      std::make_shared<noise::FlatLoggingCost>(microseconds(5));
+  const auto cost_b =
+      std::make_shared<noise::FlatLoggingCost>(microseconds(50));
+  const noise::UniformCeNoiseModel uniform_a(microseconds(500), cost_a);
+  const noise::UniformCeNoiseModel uniform_b(microseconds(300), cost_b);
+  const noise::SingleRankCeNoiseModel single(3, microseconds(200), cost_a);
+  std::vector<noise::Detour> trace;
+  for (int i = 0; i < 16; ++i) {
+    trace.push_back(
+        {static_cast<TimeNs>(i) * microseconds(40), microseconds(3)});
+  }
+  const noise::TraceReplayNoiseModel replay(trace, milliseconds(1), true);
+  const NullStreamModel null_stream;
+
+  // Cycling ONE context through this model sequence exercises every
+  // reseed_source outcome: same-type-same-params (in-place reseed),
+  // same-type-different-params and different-type (decline, so the engine
+  // falls back to make_source), plus the reseed-declining base model.
+  const std::vector<const noise::NoiseModel*> models = {
+      &uniform_a, &uniform_b, &single, &replay, &null_stream};
+  RunContext ctx;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      const auto seed =
+          static_cast<std::uint64_t>(100 + round * 10 + static_cast<int>(m));
+      expect_identical(sim.run(*models[m], seed),
+                       sim.run(*models[m], seed, ctx),
+                       "model " + std::to_string(m) + " round " +
+                           std::to_string(round));
+    }
+  }
+}
+
+TEST(ContextReuse, ReusableAfterNoProgressError) {
+  const TaskGraph g = random_graph(6, 3, 21, false);
+  const Simulator sim(g, NetworkParams::cray_xc40());
+  // One colossal detour at t=0 on every rank: the run blows any sane
+  // horizon immediately and unwinds mid-drain, leaving events, pool slots,
+  // and per-rank bookkeeping behind in the context.
+  const noise::TraceReplayNoiseModel bomb({{0, seconds(100000)}},
+                                          seconds(200000), false);
+  const noise::UniformCeNoiseModel clean(
+      microseconds(500),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(5)));
+  RunContext ctx;
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_THROW(
+        static_cast<void>(sim.run(bomb, 1, ctx, milliseconds(1))),
+        NoProgressError);
+    expect_identical(sim.run(clean, 42), sim.run(clean, 42, ctx),
+                     "clean run after no-progress, round " +
+                         std::to_string(round));
+  }
+}
+
+TEST(ContextReuse, RebindsAcrossGraphChanges) {
+  const noise::UniformCeNoiseModel noise(
+      microseconds(500),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(5)));
+  // Different rank counts, plus two distinct graphs with the SAME rank
+  // count: rebind detection keys on graph identity, not just size.
+  const TaskGraph graphs[] = {
+      random_graph(4, 3, 1, false), random_graph(16, 3, 2, true),
+      random_graph(9, 3, 3, false), random_graph(9, 3, 4, false)};
+  RunContext ctx;
+  for (const TaskGraph& g : graphs) {
+    const Simulator sim(g, NetworkParams::cray_xc40());
+    expect_identical(sim.run(noise, 5), sim.run(noise, 5, ctx),
+                     "rebind to " + std::to_string(g.ranks()) + " ranks");
+  }
+}
+
+#ifndef NDEBUG
+TEST(ContextReuseDeathTest, SharedInFlightContextAborts) {
+  const TaskGraph g = random_graph(4, 2, 1, false);
+  const Simulator sim(g, NetworkParams::cray_xc40());
+  const noise::NoNoiseModel noise;
+  RunContext ctx;
+  // Re-entering the SAME context from an op-completion callback is two
+  // in-flight runs by definition; Debug builds must abort, not corrupt.
+  EXPECT_DEATH(static_cast<void>(sim.run(
+                   noise, 0, ctx, noise::RankNoise::kNoHorizon,
+                   [&](goal::Rank, goal::OpIndex, TimeNs) {
+                     static_cast<void>(sim.run_baseline(ctx));
+                   })),
+               "RunContext shared by two in-flight runs");
+}
+#endif
 
 TEST(DeadlockDiagnostics, ReportsStrandedUnexpectedAndStuckCts) {
   // Rank 0 issues a rendezvous-size send that rank 1 never receives: the
