@@ -1,0 +1,175 @@
+// bench/ablation_policy — logging-policy ablation: what does an mcelog-
+// style ADAPTIVE stack (leaky-bucket rate limiting + page offlining) buy
+// over the paper's fixed-cost models as the CE rate climbs?
+//
+// Three policies face the IDENTICAL per-seed CE arrival stream (costs
+// never perturb arrivals — see telemetry/policy.hpp):
+//
+//   fixed      flat 700 us per CE (the measured CMCI software path) —
+//              the paper's model, scaled to every rate.
+//   threshold  7 ms SMI per CE + 500 ms firmware decode on every 10th —
+//              the measured firmware-first structure (§IV-A).
+//   adaptive   700 us while quiet; a bucket trip pays one 10 ms storm
+//              decode and suppresses the window to hardware cost; rows
+//              crossing the offline threshold are retired and fall
+//              silent (telemetry::AdaptiveCeNoiseModel defaults).
+//
+// Expected shape: at nominal rates (MTBCE >= 1 s/node) all three are
+// benign and adaptive matches fixed (no bucket ever trips). As MTBCE
+// drops into storm territory the fixed cost grows without bound and the
+// threshold model hits no-progress first, while adaptive flattens: rate
+// limiting caps the per-window cost at (storm_decode + (capacity-1) *
+// hw) / capacity ~ 200 us/CE, and page offlining then removes the
+// failing rows entirely — the curve bends DOWN at the highest rates.
+//
+// The final table is the telemetry view of the adaptive runs: a
+// FleetAggregator fold of per-run Collector summaries showing how the
+// action mix shifts from logged -> rate-limited -> retired as the rate
+// climbs.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "noise/noise_model.hpp"
+#include "telemetry/collector.hpp"
+#include "telemetry/fleet.hpp"
+#include "telemetry/policy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace celog;
+  Cli cli("ablation_policy: fixed vs threshold vs adaptive logging policy");
+  bench::add_standard_options(cli);
+  cli.add_option("fleet-workload", "minife",
+                 "workload used for the fleet telemetry table");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+  const bench::Options options = bench::read_standard_options(cli);
+  const bench::WallTimer timer;
+  bench::PerfJson perf(options.json_path, "ablation_policy");
+  bench::print_banner("Ablation: adaptive logging policy", options);
+
+  const telemetry::AdaptivePolicyConfig adaptive_config;
+  struct Policy {
+    const char* name;
+    // Built per (policy, mtbce) cell; models are immutable and shared.
+    std::unique_ptr<const noise::NoiseModel> (*make)(TimeNs mtbce);
+  };
+  const std::vector<Policy> policies = {
+      {"fixed 700us",
+       [](TimeNs mtbce) -> std::unique_ptr<const noise::NoiseModel> {
+         return std::make_unique<noise::UniformCeNoiseModel>(
+             mtbce, std::make_shared<noise::FlatLoggingCost>(
+                        noise::costs::kMeasuredCmci));
+       }},
+      {"7ms + 500ms/10th",
+       [](TimeNs mtbce) -> std::unique_ptr<const noise::NoiseModel> {
+         return std::make_unique<noise::UniformCeNoiseModel>(
+             mtbce, std::make_shared<noise::ThresholdLoggingCost>(
+                        noise::costs::kMeasuredSmi,
+                        noise::costs::kMeasuredFirmwareDecode,
+                        noise::costs::kMeasuredFirmwareThreshold));
+       }},
+      {"adaptive (mcelog)",
+       [](TimeNs mtbce) -> std::unique_ptr<const noise::NoiseModel> {
+         return std::make_unique<telemetry::AdaptiveCeNoiseModel>(
+             mtbce, telemetry::AdaptivePolicyConfig{});
+       }},
+  };
+  // Per-node MTBCE sweep, nominal rate down into storm territory.
+  const std::vector<TimeNs> mtbces = {kSecond, 100 * kMillisecond,
+                                      10 * kMillisecond, kMillisecond};
+
+  bench::RunnerCache cache(options);
+  const auto& ws = workloads::all_workloads();
+  for (const Policy& policy : policies) {
+    std::printf("\n-- %s --\n", policy.name);
+    std::vector<std::string> headers = {"workload"};
+    for (const TimeNs m : mtbces) {
+      headers.push_back("MTBCE " + format_duration(m));
+    }
+    const std::size_t cols = mtbces.size();
+    const auto cells = bench::parallel_cells(
+        ws.size() * cols, options.jobs, [&](std::size_t i) {
+          const auto& w = *ws[i / cols];
+          const TimeNs mtbce = mtbces[i % cols];
+          const auto& runner = cache.get(w, options.max_ranks, 0);
+          const auto noise = policy.make(mtbce);
+          return perf.time_cell(
+              std::string(policy.name) + "/" + w.name() + "/" +
+                  format_duration(mtbce),
+              [&] {
+                return bench::cell_text(runner.measure(
+                    *noise, options.seeds, options.base_seed));
+              });
+        });
+    TextTable table(headers);
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+      std::vector<std::string> row = {ws[wi]->name()};
+      for (std::size_t ci = 0; ci < cols; ++ci) {
+        row.push_back(cells[wi * cols + ci]);
+      }
+      table.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+  }
+
+  // Fleet telemetry: rerun the adaptive cells of one workload with a
+  // Collector attached (bit-identical SimResults — ctest -L telemetry)
+  // and fold the per-seed summaries into fleet totals. Cells are
+  // independent (collector per cell), evaluated in index order.
+  const auto fleet_workload =
+      workloads::find_workload(cli.get("fleet-workload"));
+  std::printf("\n-- adaptive fleet telemetry: %s, %d seed(s) per rate --\n",
+              fleet_workload->name().c_str(), options.seeds);
+  const auto& runner = cache.get(*fleet_workload, options.max_ranks, 0);
+  telemetry::CollectorConfig collector_config;
+  collector_config.accounting = adaptive_config.accounting;
+  collector_config.max_records = 0;  // summaries only
+  TextTable fleet_table({"MTBCE", "CEs", "logged", "rate-lim", "storm-dec",
+                         "offline", "retired", "trips", "rows off",
+                         "stolen"});
+  for (const TimeNs mtbce : mtbces) {
+    const telemetry::AdaptiveCeNoiseModel noise(mtbce, adaptive_config);
+    telemetry::Collector collector(collector_config);
+    std::vector<telemetry::RunSummary> summaries;
+    summaries.reserve(static_cast<std::size_t>(options.seeds));
+    for (int s = 0; s < options.seeds; ++s) {
+      collector.begin_run(options.max_ranks, options.base_seed +
+                                                 static_cast<std::uint64_t>(s));
+      static_cast<void>(runner.run_once(
+          noise, options.base_seed + static_cast<std::uint64_t>(s),
+          &collector));
+      summaries.push_back(collector.summary());
+    }
+    const telemetry::FleetAggregator fleet = telemetry::FleetAggregator::
+        aggregate(summaries, telemetry::FleetConfig{},
+                  static_cast<int>(options.jobs));
+    const auto count = [&fleet](telemetry::CeAction a) {
+      return std::to_string(fleet.action_total(a));
+    };
+    fleet_table.add_row(
+        {format_duration(mtbce), std::to_string(fleet.total_ces()),
+         count(telemetry::CeAction::kLogged),
+         count(telemetry::CeAction::kRateLimited),
+         count(telemetry::CeAction::kStormDecode),
+         count(telemetry::CeAction::kPageOffline),
+         count(telemetry::CeAction::kRetired),
+         std::to_string(fleet.bucket_trips()),
+         std::to_string(fleet.rows_offlined()),
+         format_duration(fleet.detour_total())});
+    perf.metric("fleet_retired_share_mtbce_" + format_duration(mtbce),
+                fleet.total_ces() > 0
+                    ? static_cast<double>(fleet.action_total(
+                          telemetry::CeAction::kRetired)) /
+                          static_cast<double>(fleet.total_ces())
+                    : 0.0);
+  }
+  std::fputs(fleet_table.render().c_str(), stdout);
+
+  perf.metric("total_wall_s", timer.seconds());
+  return 0;
+}

@@ -35,6 +35,7 @@
 #include "noise/rank_noise.hpp"
 #include "sim/engine.hpp"
 #include "sim/run_context.hpp"
+#include "telemetry/collector.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "workloads/workload.hpp"
@@ -346,6 +347,63 @@ void scenario_sweep(const Context& ctx) {
   scenario_sweep_config(ctx, "medium", 256, 50, 16);
 }
 
+/// ISSUE-5 scenario: per-detour cost of an attached telemetry Collector.
+/// Runs the same noisy ring config detached (the zero-cost-when-empty
+/// contract: no sink, no work) and with a live Collector in summary mode
+/// (max_records = 0, the sweep configuration), checks that attaching the
+/// sink leaves the SimResult bit-identical, and reports both throughputs
+/// plus the overhead in percent.
+void scenario_telemetry(const Context& ctx, goal::Rank ranks) {
+  const std::string name = "telemetry_r" + std::to_string(ranks);
+  std::printf("%s (attached-collector overhead)\n", name.c_str());
+  const goal::TaskGraph g = ring_graph(ranks, 50);
+  sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
+  sim.set_matcher(ctx.matcher);
+  const noise::UniformCeNoiseModel noise(
+      microseconds(500),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(1)));
+
+  telemetry::CollectorConfig config;
+  config.max_records = 0;
+  telemetry::Collector collector(config);
+  sim::RunContext context;
+
+  const sim::SimResult detached_result = sim.run(noise, 1, context);
+  collector.begin_run(static_cast<std::int32_t>(ranks), 1);
+  const sim::SimResult attached_result = sim.run(
+      noise, 1, context, noise::RankNoise::kNoHorizon, {}, &collector);
+  if (result_checksum(detached_result) != result_checksum(attached_result)) {
+    std::fprintf(stderr,
+                 "FATAL: attaching a collector changed the SimResult on %s\n",
+                 name.c_str());
+    std::exit(1);
+  }
+
+  std::uint64_t seed = 0;
+  const Percentiles detached = measure(ctx.warmup, ctx.reps, [&] {
+    const bench::WallTimer timer;
+    const sim::SimResult r = sim.run(noise, ++seed, context);
+    return static_cast<double>(r.events_processed) / timer.seconds();
+  });
+  seed = 0;
+  const Percentiles attached = measure(ctx.warmup, ctx.reps, [&] {
+    ++seed;
+    collector.begin_run(static_cast<std::int32_t>(ranks), seed);
+    const bench::WallTimer timer;
+    const sim::SimResult r = sim.run(noise, seed, context,
+                                     noise::RankNoise::kNoHorizon, {},
+                                     &collector);
+    return static_cast<double>(r.events_processed) / timer.seconds();
+  });
+  report(ctx, name + ".detached.events_per_s", detached, "ev/s");
+  report(ctx, name + ".attached.events_per_s", attached, "ev/s");
+  const double overhead_pct = 100.0 * (detached.p50 / attached.p50 - 1.0);
+  std::printf("  %-46s %12.2f%%\n", (name + ".attached_overhead_pct").c_str(),
+              overhead_pct);
+  ctx.perf->metric(name + ".attached_overhead_pct", overhead_pct);
+  report_checksum(ctx, name, result_checksum(detached_result));
+}
+
 void scenario_graph_build(const Context& ctx, goal::Rank ranks) {
   const std::string name = "graph_build_lulesh_r" + std::to_string(ranks);
   std::printf("%s (task-graph construction)\n", name.c_str());
@@ -455,7 +513,7 @@ int main(int argc, char** argv) {
       "--reps repetitions after --warmup untimed ones.");
   cli.add_option("scenario", "all",
                  "comma-separated subset of: ring, deep_recv, noise, sweep, "
-                 "graph_build, allreduce, rank_noise (or 'all')");
+                 "telemetry, graph_build, allreduce, rank_noise (or 'all')");
   cli.add_option("reps", "3", "timed repetitions per scenario");
   cli.add_option("warmup", "1", "untimed warmup repetitions per scenario");
   cli.add_option("ranks", "0",
@@ -470,13 +528,14 @@ int main(int argc, char** argv) {
                  "flat JSON file of throughput floors; exit 1 if any "
                  "recorded metric falls >30% below its floor");
   cli.add_flag("smoke", "CI preset: small sizes (ring r128, deep r256xd256) "
-               "and scenario=ring,deep_recv,sweep unless overridden");
+               "and scenario=ring,deep_recv,sweep,telemetry unless "
+               "overridden");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 1;
 
   const bool smoke = cli.get_flag("smoke");
   std::string scenarios = cli.get("scenario");
   if (smoke && !cli.provided("scenario")) {
-    scenarios = "ring,deep_recv,sweep";
+    scenarios = "ring,deep_recv,sweep,telemetry";
   }
   const auto has = [&scenarios](const char* name) {
     return scenarios == "all" ||
@@ -509,6 +568,7 @@ int main(int argc, char** argv) {
   if (has("deep_recv")) scenario_deep_recv(ctx, ranks_or(1024, 256), depth);
   if (has("noise")) scenario_noise(ctx, ranks_or(256, 128));
   if (has("sweep")) scenario_sweep(ctx);
+  if (has("telemetry")) scenario_telemetry(ctx, ranks_or(256, 128));
   if (has("graph_build")) scenario_graph_build(ctx, ranks_or(512, 64));
   if (has("allreduce")) scenario_allreduce(ctx, ranks_or(4096, 256));
   if (has("rank_noise")) scenario_rank_noise(ctx);

@@ -113,8 +113,15 @@ ExperimentRunner::~ExperimentRunner() = default;
 
 sim::SimResult ExperimentRunner::run_once(const noise::NoiseModel& noise,
                                           std::uint64_t seed) const {
+  return run_once(noise, seed, nullptr);
+}
+
+sim::SimResult ExperimentRunner::run_once(const noise::NoiseModel& noise,
+                                          std::uint64_t seed,
+                                          noise::DetourSink* ce_sink) const {
   SweepState::Lease lease(*sweep_);
-  return simulator_.run(noise, seed, *lease.ctx);
+  return simulator_.run(noise, seed, *lease.ctx,
+                        noise::RankNoise::kNoHorizon, {}, ce_sink);
 }
 
 SlowdownResult ExperimentRunner::measure(const noise::NoiseModel& noise,

@@ -122,6 +122,14 @@ class ExperimentRunner {
   sim::SimResult run_once(const noise::NoiseModel& noise,
                           std::uint64_t seed) const;
 
+  /// Single noisy run with a CE telemetry sink attached (e.g. a
+  /// telemetry::Collector): the sink observes every consumed detour, and
+  /// the SimResult is bit-identical to the sink-free overload. The run
+  /// still goes through the persistent context free list, so telemetry
+  /// sweeps stay allocation-free in steady state.
+  sim::SimResult run_once(const noise::NoiseModel& noise, std::uint64_t seed,
+                          noise::DetourSink* ce_sink) const;
+
  private:
   /// Persistent sweep machinery (pool + context free list); defined in
   /// experiment.cpp. Mutated through const methods behind its own locks —

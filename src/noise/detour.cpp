@@ -49,7 +49,8 @@ PoissonDetourSource::PoissonDetourSource(TimeNs mtbce,
 }
 
 Detour PoissonDetourSource::pop() {
-  const Detour d{next_arrival_, cost_.cost_of_event(event_index_)};
+  const Detour d{next_arrival_,
+                 cost_.cost_of_event_at(event_index_, next_arrival_)};
   ++event_index_;
   next_arrival_ += sample_exponential(rng_, mtbce_);
   return d;

@@ -35,8 +35,32 @@ class LoggingCostModel {
  public:
   virtual ~LoggingCostModel() = default;
   virtual TimeNs cost_of_event(std::uint64_t event_index) const = 0;
-  /// Mean per-event cost (exact for flat models, amortized for threshold
-  /// models); used by analytic sanity checks.
+
+  /// Cost of the event with index `event_index` arriving at sim-time
+  /// `arrival`. This is the charging entry point PoissonDetourSource calls:
+  /// static models (flat, threshold) ignore `arrival` and fall through to
+  /// cost_of_event, while state-dependent policies
+  /// (telemetry::AdaptiveLoggingPolicy) key their leaky-bucket/offlining
+  /// automata on it. Callers must present (index, arrival) pairs with
+  /// indices 0,1,2,... and nondecreasing arrivals — the order a detour
+  /// stream produces them.
+  virtual TimeNs cost_of_event_at(std::uint64_t event_index,
+                                  TimeNs arrival) const {
+    static_cast<void>(arrival);
+    return cost_of_event(event_index);
+  }
+
+  /// Mean per-event cost, used by analytic sanity checks and reports.
+  /// CONTRACT (see telemetry tests): each implementation documents whether
+  /// this is EXACT (equal to charged-total / events for every event count)
+  /// or AMORTIZED (the long-run average; exact only at specific counts).
+  ///   * FlatLoggingCost       — exact.
+  ///   * ThresholdLoggingCost  — amortized: per_event + per_threshold /
+  ///     threshold equals the charged mean only when the event count is a
+  ///     multiple of `threshold`; otherwise the charged mean is below it by
+  ///     at most per_threshold / count.
+  ///   * AdaptiveLoggingPolicy — exact by construction: it reports its
+  ///     charged total divided by its charged event count.
   virtual double mean_cost_ns() const = 0;
 };
 
@@ -63,6 +87,10 @@ class ThresholdLoggingCost final : public LoggingCostModel {
   ThresholdLoggingCost(TimeNs per_event, TimeNs per_threshold,
                        std::uint64_t threshold);
   TimeNs cost_of_event(std::uint64_t event_index) const override;
+  /// AMORTIZED (see the base-class contract): per_event + per_threshold /
+  /// threshold. The charged mean over N events equals this only when
+  /// N % threshold == 0; for other N it undershoots by the not-yet-paid
+  /// fraction of the next decode, at most per_threshold / N.
   double mean_cost_ns() const override;
 
   std::uint64_t threshold() const { return threshold_; }

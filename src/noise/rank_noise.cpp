@@ -13,7 +13,7 @@ RankNoise::RankNoise(std::unique_ptr<DetourSource> source, TimeNs horizon)
 }
 
 void RankNoise::consume() {
-  const Detour d = source_->pop();
+  const Detour d = take();
   // If a detour is already being handled, the new one queues behind it;
   // otherwise handling starts at its arrival time.
   busy_until_ = std::max(busy_until_, d.arrival) + d.duration;
@@ -60,7 +60,7 @@ TimeNs RankNoise::occupy(TimeNs start, TimeNs len) {
   for (;;) {
     const TimeNs arrival = source_->peek_arrival();
     if (arrival == kTimeNever || arrival >= end) break;
-    const Detour d = source_->pop();
+    const Detour d = take();
     end += d.duration;
     stolen_ += d.duration;
     ++charged_;

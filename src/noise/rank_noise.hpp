@@ -29,6 +29,23 @@
 
 namespace celog::noise {
 
+/// Observer of the CE detours one simulated machine consumes. A sink
+/// attached to a run (Simulator::run's `ce_sink` parameter) sees every
+/// detour each rank's stream produces, in the exact order the engine
+/// consumes them: `index` counts the detours of `rank` from 0 within the
+/// run (matching LoggingCostModel::cost_of_event_at's event index), and
+/// `arrival`/`duration` are the detour's fields. Consumption order within
+/// one rank follows arrival order; interleaving across ranks follows the
+/// deterministic event replay — so everything a sink derives from the
+/// stream is reproducible. Detached (nullptr) sinks cost one predictable
+/// branch per detour; see telemetry::Collector for the production sink.
+class DetourSink {
+ public:
+  virtual ~DetourSink() = default;
+  virtual void on_ce(std::int32_t rank, std::uint64_t index, TimeNs arrival,
+                     TimeNs duration) = 0;
+};
+
 class RankNoise {
  public:
   /// Takes ownership of the detour stream for this rank. `horizon` bounds
@@ -61,15 +78,27 @@ class RankNoise {
   /// Number of detours that actually extended application activity.
   std::uint64_t charged_detours() const { return charged_; }
 
-  /// Rewinds for a new run under `horizon`: clears the busy period and the
-  /// stolen/charged totals. The caller is responsible for re-arming the
-  /// detour stream (NoiseModel::reseed_source, or replace_source below) —
-  /// RankNoise does not know which model built its source.
+  /// Rewinds for a new run under `horizon`: clears the busy period, the
+  /// stolen/charged totals, the consumed-detour index, and the attached
+  /// sink (the engine re-attaches per run, so a sink can never dangle into
+  /// a later run of a reused context). The caller is responsible for
+  /// re-arming the detour stream (NoiseModel::reseed_source, or
+  /// replace_source below) — RankNoise does not know which model built its
+  /// source.
   void reset(TimeNs horizon) {
     horizon_ = horizon;
     busy_until_ = 0;
     stolen_ = 0;
     charged_ = 0;
+    seen_ = 0;
+    sink_ = nullptr;
+  }
+
+  /// Attaches `sink` (nullptr detaches) as the observer of every detour
+  /// this rank consumes, labelled with `rank`. Set per run by the engine.
+  void set_sink(DetourSink* sink, std::int32_t rank) {
+    sink_ = sink;
+    rank_ = rank;
   }
 
   /// The owned detour stream, exposed for the reseed seam.
@@ -85,6 +114,16 @@ class RankNoise {
   /// Consumes the next detour and accumulates its service into busy_until_.
   void consume();
 
+  /// Pops the next detour, notifying the attached sink (if any) with this
+  /// rank's running detour index. The single consumption point backing both
+  /// consume() and occupy(), so a sink sees every detour exactly once.
+  Detour take() {
+    const Detour d = source_->pop();
+    if (sink_ != nullptr) sink_->on_ce(rank_, seen_, d.arrival, d.duration);
+    ++seen_;
+    return d;
+  }
+
   std::unique_ptr<DetourSource> source_;
   TimeNs horizon_;
   /// End of the detour busy period currently known; no detour is in
@@ -92,6 +131,11 @@ class RankNoise {
   TimeNs busy_until_ = 0;
   TimeNs stolen_ = 0;
   std::uint64_t charged_ = 0;
+  /// Detours consumed so far this run (the sink-facing event index).
+  std::uint64_t seen_ = 0;
+  /// Borrowed observer; cleared by reset() and re-attached per run.
+  DetourSink* sink_ = nullptr;
+  std::int32_t rank_ = 0;
 };
 
 }  // namespace celog::noise

@@ -116,10 +116,11 @@ class Run {
   Run(EngineState<NoisePolicy, Table>& es, const goal::TaskGraph& graph,
       const NetworkParams& params, const noise::NoiseModel& noise,
       std::uint64_t run_seed, TimeNs horizon,
-      const OpCompletionCallback& on_complete)
+      const OpCompletionCallback& on_complete, DetourSink* ce_sink)
       : graph_(graph),
         params_(params),
         on_complete_(on_complete),
+        ce_sink_(ce_sink),
         states_(es.states),
         queue_(es.queue),
         pool_(es.pool) {
@@ -199,6 +200,7 @@ class Run {
     for (Rank r = 0; r < ranks; ++r) {
       if constexpr (std::is_same_v<NoisePolicy, noise::RankNoise>) {
         states_.emplace_back(noise.make_source(r, run_seed), horizon);
+        states_.back().noise.set_sink(ce_sink_, r);
       } else {
         static_cast<void>(noise);
         static_cast<void>(run_seed);
@@ -252,7 +254,11 @@ class Run {
       const RankProgram& prog = graph_.program(r);
       RankState<NoisePolicy, Table>& rs = state(r);
       if constexpr (std::is_same_v<NoisePolicy, noise::RankNoise>) {
+        // reset() detaches any previous run's sink; attach this run's (or
+        // nullptr) after it, so a reused context can never call into a sink
+        // that died with an earlier run.
         rs.noise.reset(horizon);
+        rs.noise.set_sink(ce_sink_, r);
         if (!noise.reseed_source(rs.noise.source(), r, run_seed)) {
           rs.noise.replace_source(noise.make_source(r, run_seed));
         }
@@ -520,6 +526,7 @@ class Run {
   const goal::TaskGraph& graph_;
   const NetworkParams& params_;
   const OpCompletionCallback& on_complete_;
+  DetourSink* ce_sink_;
   // Context-owned storage (borrowed for the duration of this run)...
   std::vector<RankState<NoisePolicy, Table>>& states_;
   EventQueue& queue_;
@@ -540,7 +547,8 @@ SimResult run_in_context(RunContext& ctx, const goal::TaskGraph& graph,
                          const NetworkParams& params,
                          const noise::NoiseModel& noise,
                          std::uint64_t run_seed, TimeNs horizon,
-                         const OpCompletionCallback& on_complete) {
+                         const OpCompletionCallback& on_complete,
+                         DetourSink* ce_sink) {
   auto* state = dynamic_cast<EngineState<NoisePolicy, Table>*>(ctx.state());
   if (state == nullptr) {
     auto fresh = std::make_unique<EngineState<NoisePolicy, Table>>();
@@ -548,14 +556,21 @@ SimResult run_in_context(RunContext& ctx, const goal::TaskGraph& graph,
     ctx.adopt(std::move(fresh));
   }
   return Run<NoisePolicy, Table>(*state, graph, params, noise, run_seed,
-                                 horizon, on_complete)
+                                 horizon, on_complete, ce_sink)
       .execute();
 }
 
 }  // namespace
 
 double slowdown_percent(const SimResult& baseline, const SimResult& noisy) {
-  CELOG_ASSERT_MSG(baseline.makespan > 0, "baseline makespan must be > 0");
+  // A throw, not an assert: a zero baseline makespan is a recoverable input
+  // error (an empty graph fed to an experiment driver), and an assert-free
+  // build returning (x - 0) / 0 would inject inf/NaN into every mean
+  // downstream. Throwing keeps the contract in ALL build types.
+  if (baseline.makespan <= 0) {
+    throw Error("slowdown_percent: baseline makespan must be > 0 (got " +
+                std::to_string(baseline.makespan) + ")");
+  }
   const double base = static_cast<double>(baseline.makespan);
   const double with = static_cast<double>(noisy.makespan);
   return (with - base) / base * 100.0;
@@ -570,35 +585,39 @@ Simulator::Simulator(const goal::TaskGraph& graph, NetworkParams params)
 
 SimResult Simulator::run(const noise::NoiseModel& noise,
                          std::uint64_t run_seed, TimeNs horizon,
-                         const OpCompletionCallback& on_complete) const {
+                         const OpCompletionCallback& on_complete,
+                         DetourSink* ce_sink) const {
   RunContext ctx;
-  return run(noise, run_seed, ctx, horizon, on_complete);
+  return run(noise, run_seed, ctx, horizon, on_complete, ce_sink);
 }
 
 SimResult Simulator::run(const noise::NoiseModel& noise,
                          std::uint64_t run_seed, RunContext& ctx,
                          TimeNs horizon,
-                         const OpCompletionCallback& on_complete) const {
+                         const OpCompletionCallback& on_complete,
+                         DetourSink* ce_sink) const {
   const RunContext::ExclusiveRun guard(ctx);
   // NoNoiseModel runs take the devirtualized fast path: identical results
   // (RankNoise over a NullDetourSource is the identity on CPU intervals),
-  // none of the per-interval virtual dispatch.
+  // none of the per-interval virtual dispatch. A sink is irrelevant on it:
+  // a noise-free run consumes no detours, so there is nothing to observe.
   const bool noise_free =
       dynamic_cast<const noise::NoNoiseModel*>(&noise) != nullptr;
   if (matcher_ == MatcherKind::kBucketed) {
     if (noise_free) {
       return run_in_context<PassthroughNoise, FifoMatchTable>(
-          ctx, graph_, params_, noise, run_seed, horizon, on_complete);
+          ctx, graph_, params_, noise, run_seed, horizon, on_complete,
+          ce_sink);
     }
     return run_in_context<noise::RankNoise, FifoMatchTable>(
-        ctx, graph_, params_, noise, run_seed, horizon, on_complete);
+        ctx, graph_, params_, noise, run_seed, horizon, on_complete, ce_sink);
   }
   if (noise_free) {
     return run_in_context<PassthroughNoise, LinearMatchList>(
-        ctx, graph_, params_, noise, run_seed, horizon, on_complete);
+        ctx, graph_, params_, noise, run_seed, horizon, on_complete, ce_sink);
   }
   return run_in_context<noise::RankNoise, LinearMatchList>(
-      ctx, graph_, params_, noise, run_seed, horizon, on_complete);
+      ctx, graph_, params_, noise, run_seed, horizon, on_complete, ce_sink);
 }
 
 SimResult Simulator::run_baseline() const {

@@ -67,6 +67,9 @@ struct SimResult {
 };
 
 /// Computes the percent slowdown of `noisy` relative to `baseline`.
+/// Throws util::Error (celog::Error) in every build type when the baseline
+/// makespan is not positive — a zero baseline has no meaningful relative
+/// slowdown, and returning inf/NaN would silently poison downstream means.
 double slowdown_percent(const SimResult& baseline, const SimResult& noisy);
 
 /// Observer invoked as each op completes: (rank, op index within the
@@ -76,6 +79,13 @@ double slowdown_percent(const SimResult& baseline, const SimResult& noisy);
 /// cost when empty.
 using OpCompletionCallback =
     std::function<void(goal::Rank, goal::OpIndex, TimeNs)>;
+
+/// Observer of every CE detour consumed during a run — the telemetry seam,
+/// sibling of OpCompletionCallback (see noise/rank_noise.hpp for the exact
+/// delivery contract and telemetry/collector.hpp for the production
+/// implementation). Detached runs pay one branch per detour; attaching a
+/// sink never changes the SimResult (proved by ctest -L telemetry).
+using DetourSink = noise::DetourSink;
 
 /// Message-matching implementation. kBucketed is the production matcher;
 /// kReference is the seed engine's linear scan, retained so differential
@@ -95,9 +105,12 @@ class Simulator {
   /// handling pushes any rank past `horizon` of simulated time — the
   /// "unable to make forward progress" regime the paper omits from its
   /// figures (it occurs whenever cost/MTBCE approaches or exceeds 1).
+  /// `ce_sink`, when non-null, observes every consumed CE detour (see
+  /// DetourSink above); it is borrowed for the duration of the run only.
   SimResult run(const noise::NoiseModel& noise, std::uint64_t run_seed,
                 TimeNs horizon = noise::RankNoise::kNoHorizon,
-                const OpCompletionCallback& on_complete = {}) const;
+                const OpCompletionCallback& on_complete = {},
+                DetourSink* ce_sink = nullptr) const;
 
   /// Same semantics, same results, but all per-run mutable state lives in
   /// `ctx`: the first run through a context builds it, and every later run
@@ -109,7 +122,8 @@ class Simulator {
   /// overload above simply delegates here with a throwaway context.
   SimResult run(const noise::NoiseModel& noise, std::uint64_t run_seed,
                 RunContext& ctx, TimeNs horizon = noise::RankNoise::kNoHorizon,
-                const OpCompletionCallback& on_complete = {}) const;
+                const OpCompletionCallback& on_complete = {},
+                DetourSink* ce_sink = nullptr) const;
 
   /// Convenience: noise-free baseline run.
   SimResult run_baseline() const;

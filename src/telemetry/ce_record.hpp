@@ -1,0 +1,175 @@
+// celog/telemetry/ce_record.hpp
+//
+// Decoded CE records: the telemetry view of a detour event.
+//
+// The simulator models a CE as a bare (arrival, duration) CPU steal; real
+// logging stacks (mcelog, the EDAC drivers) additionally decode the machine
+// check's physical address into DIMM / channel / bank / row so that
+// per-DIMM rate limiting and page offlining can key on topology. celog has
+// no physical addresses, so this header synthesizes them: each simulated
+// node owns a small set of "fault rows" — distinct (dimm, channel, bank,
+// row) tuples derived deterministically from (run_seed, rank) — and every
+// CE event index hashes onto one of them. This mirrors the empirical
+// structure the paper leans on (a node's CEs come overwhelmingly from a
+// few failing rows, which is what makes page offlining effective) while
+// staying a pure function of (run_seed, rank, index): the policy charging
+// costs inside the run and the collector observing it from outside decode
+// the SAME stream to the SAME addresses, with no shared state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace celog::telemetry {
+
+/// DRAM topology of one simulated node, used to bound synthetic addresses.
+/// Defaults sketch a two-socket node with 8 DIMMs; only the *shape* matters
+/// (how many distinct DIMMs CEs can spread over), not electrical realism.
+struct DimmGeometry {
+  std::uint32_t dimms = 8;       ///< DIMM slots per node.
+  std::uint32_t channels = 4;    ///< memory channels per node.
+  std::uint32_t banks = 16;      ///< banks per DIMM.
+  std::uint32_t rows = 1u << 15; ///< rows per bank (synthetic id space).
+
+  bool operator==(const DimmGeometry&) const = default;
+};
+
+/// Decoded location of one CE, the analogue of mcelog's ADDR decode.
+struct DimmAddress {
+  std::uint32_t dimm = 0;
+  std::uint32_t channel = 0;
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+
+  bool operator==(const DimmAddress&) const = default;
+};
+
+/// What the logging policy did with one CE. Exactly one action per CE;
+/// the precedence (retired > page-offline > storm-decode > rate-limited >
+/// logged) is fixed by StreamAccountant::observe (telemetry/policy.hpp).
+enum class CeAction : std::uint8_t {
+  /// Normal path: OS decode + log (CMCI handler).
+  kLogged = 0,
+  /// A storm is in progress; the individual CE was counted but not logged.
+  kRateLimited,
+  /// This CE tripped the per-DIMM leaky bucket: one storm summary is
+  /// decoded/logged (firmware path) and logging is suppressed until the
+  /// storm subsides.
+  kStormDecode,
+  /// This CE pushed its row over the offline threshold: the page-offline
+  /// action runs once and the row is retired.
+  kPageOffline,
+  /// The row was already retired; hardware corrects silently.
+  kRetired,
+};
+
+inline constexpr int kCeActionCount = 5;
+
+/// Stable lower-case name for exports ("logged", "rate_limited", ...).
+constexpr const char* to_string(CeAction a) {
+  switch (a) {
+    case CeAction::kLogged: return "logged";
+    case CeAction::kRateLimited: return "rate_limited";
+    case CeAction::kStormDecode: return "storm_decode";
+    case CeAction::kPageOffline: return "page_offline";
+    case CeAction::kRetired: return "retired";
+  }
+  return "unknown";
+}
+
+/// One fully decoded CE as the collector stores it.
+struct CeRecord {
+  std::int32_t rank = 0;        ///< simulated rank (== node).
+  std::uint64_t index = 0;      ///< per-rank CE index (0, 1, 2, ...).
+  TimeNs arrival = 0;           ///< sim-time arrival of the detour.
+  TimeNs duration = 0;          ///< CPU time actually charged by the run.
+  DimmAddress address;          ///< synthetic decode of the fault location.
+  CeAction action = CeAction::kLogged;
+};
+
+/// Deterministic (run_seed, rank) -> fault-row table and
+/// (index) -> fault-row mapping. Pure functions of its inputs: two
+/// decoders built with the same (geometry, fault_rows, run_seed, rank)
+/// produce identical addresses for every index, which is what lets the
+/// in-run policy and the out-of-run collector agree without sharing state.
+class CeDecoder {
+ public:
+  CeDecoder() = default;
+
+  CeDecoder(const DimmGeometry& geometry, std::uint32_t fault_rows,
+            std::uint64_t run_seed, std::int32_t rank) {
+    reset(geometry, fault_rows, run_seed, rank);
+  }
+
+  /// Re-derives the fault-row table for a new (run_seed, rank) without
+  /// giving up the vector's capacity — the RunContext-reuse path.
+  void reset(const DimmGeometry& geometry, std::uint32_t fault_rows,
+             std::uint64_t run_seed, std::int32_t rank) {
+    CELOG_ASSERT_MSG(fault_rows > 0, "need at least one fault row");
+    CELOG_ASSERT_MSG(geometry.dimms > 0 && geometry.channels > 0 &&
+                         geometry.banks > 0 && geometry.rows > 0,
+                     "DIMM geometry dimensions must be positive");
+    geometry_ = geometry;
+    slot_seed_ = stream_key(run_seed, rank) ^ kSlotSalt;
+    slots_.clear();
+    slots_.reserve(fault_rows);
+    // The fault-row table comes from its own SplitMix64 stream so it is
+    // independent of both the detour RNG (xoshiro seeded via for_stream)
+    // and the per-index slot hash below.
+    SplitMix64 table(stream_key(run_seed, rank) ^ kTableSalt);
+    for (std::uint32_t s = 0; s < fault_rows; ++s) {
+      DimmAddress a;
+      a.dimm = static_cast<std::uint32_t>(table.next() % geometry.dimms);
+      a.channel =
+          static_cast<std::uint32_t>(table.next() % geometry.channels);
+      a.bank = static_cast<std::uint32_t>(table.next() % geometry.banks);
+      a.row = static_cast<std::uint32_t>(table.next() % geometry.rows);
+      slots_.push_back(a);
+    }
+  }
+
+  /// Which fault row the `index`-th CE of this (run_seed, rank) stream
+  /// strikes. Stateless hash — any index may be queried in any order.
+  std::uint32_t slot_of(std::uint64_t index) const {
+    CELOG_ASSERT_MSG(!slots_.empty(), "decoder not initialized");
+    SplitMix64 h(slot_seed_ ^ (index * 0x9e3779b97f4a7c15ULL));
+    return static_cast<std::uint32_t>(h.next() % slots_.size());
+  }
+
+  const DimmAddress& address(std::uint32_t slot) const {
+    CELOG_ASSERT(slot < slots_.size());
+    return slots_[slot];
+  }
+
+  DimmAddress decode(std::uint64_t index) const {
+    return slots_[slot_of(index)];
+  }
+
+  std::uint32_t fault_rows() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+
+  const DimmGeometry& geometry() const { return geometry_; }
+
+ private:
+  /// Same decorrelation shape as Xoshiro256::for_stream, with distinct
+  /// salts so decode streams never alias the arrival/duration streams.
+  static std::uint64_t stream_key(std::uint64_t run_seed,
+                                  std::int32_t rank) {
+    return run_seed ^ (static_cast<std::uint64_t>(rank) *
+                       std::uint64_t{0xd6e8feb86659fd93ULL});
+  }
+
+  static constexpr std::uint64_t kTableSalt = 0x7c15bf58476d1ce4ULL;
+  static constexpr std::uint64_t kSlotSalt = 0x94d049bb133111ebULL;
+
+  DimmGeometry geometry_;
+  std::uint64_t slot_seed_ = 0;
+  std::vector<DimmAddress> slots_;
+};
+
+}  // namespace celog::telemetry

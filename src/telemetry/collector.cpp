@@ -1,0 +1,182 @@
+#include "telemetry/collector.hpp"
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace celog::telemetry {
+
+namespace {
+
+/// Appends printf-formatted text to `out`. All telemetry export fields
+/// are integers (or fixed-point derived from integers), so the output is
+/// byte-stable across platforms — no float formatting anywhere.
+template <typename... Args>
+void appendf(std::string& out, const char* fmt, Args... args) {
+  char buf[256];
+  const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+  CELOG_ASSERT_MSG(n >= 0 && n < static_cast<int>(sizeof(buf)),
+                   "telemetry export field overflowed its buffer");
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+/// Nanoseconds as a fixed-point microsecond literal ("12.345") — the
+/// trace_event `ts`/`dur` unit — via integer math only.
+void append_us(std::string& out, TimeNs ns) {
+  CELOG_ASSERT_MSG(ns >= 0, "trace timestamps are nonnegative");
+  appendf(out, "%" PRId64 ".%03d", ns / 1000,
+          static_cast<int>(ns % 1000));
+}
+
+}  // namespace
+
+Collector::Collector(CollectorConfig config) : config_(config) {
+  CELOG_ASSERT_MSG(config_.accounting.fault_rows > 0,
+                   "need at least one fault row");
+}
+
+void Collector::begin_run(std::int32_t ranks, std::uint64_t run_seed) {
+  CELOG_ASSERT_MSG(ranks > 0, "need at least one rank");
+  run_seed_ = run_seed;
+  accountants_.resize(static_cast<std::size_t>(ranks));
+  for (std::int32_t r = 0; r < ranks; ++r) {
+    accountants_[static_cast<std::size_t>(r)].reset(config_.accounting,
+                                                    run_seed, r);
+  }
+  records_.clear();
+  records_dropped_ = 0;
+  total_ces_ = 0;
+  action_counts_.fill(0);
+  detour_total_ = 0;
+}
+
+void Collector::on_ce(std::int32_t rank, std::uint64_t index, TimeNs arrival,
+                      TimeNs duration) {
+  CELOG_ASSERT_MSG(
+      rank >= 0 && static_cast<std::size_t>(rank) < accountants_.size(),
+      "on_ce rank out of range — was begin_run called with enough ranks?");
+  StreamAccountant& acct = accountants_[static_cast<std::size_t>(rank)];
+  const std::uint32_t slot = acct.decoder().slot_of(index);
+  const CeAction action = acct.observe(index, arrival);
+  ++total_ces_;
+  ++action_counts_[static_cast<std::size_t>(action)];
+  detour_total_ += duration;
+  if (records_.size() < config_.max_records) {
+    records_.push_back(CeRecord{rank, index, arrival, duration,
+                                acct.decoder().address(slot), action});
+  } else {
+    ++records_dropped_;
+  }
+}
+
+std::uint64_t Collector::bucket_trips() const {
+  std::uint64_t trips = 0;
+  for (const StreamAccountant& a : accountants_) trips += a.bucket_trips();
+  return trips;
+}
+
+std::uint64_t Collector::rows_offlined() const {
+  std::uint64_t rows = 0;
+  for (const StreamAccountant& a : accountants_) rows += a.rows_offlined();
+  return rows;
+}
+
+const StreamAccountant& Collector::accountant(std::int32_t rank) const {
+  CELOG_ASSERT(rank >= 0 &&
+               static_cast<std::size_t>(rank) < accountants_.size());
+  return accountants_[static_cast<std::size_t>(rank)];
+}
+
+RunSummary Collector::summary() const {
+  RunSummary s;
+  s.run_seed = run_seed_;
+  s.ranks = ranks();
+  s.total_ces = total_ces_;
+  s.action_counts = action_counts_;
+  s.bucket_trips = bucket_trips();
+  s.rows_offlined = rows_offlined();
+  s.detour_total = detour_total_;
+  const std::uint32_t dimms = config_.accounting.geometry.dimms;
+  s.ces_per_dimm.reserve(accountants_.size() * dimms);
+  s.trips_per_dimm.reserve(accountants_.size() * dimms);
+  for (const StreamAccountant& a : accountants_) {
+    for (std::uint32_t d = 0; d < dimms; ++d) {
+      s.ces_per_dimm.push_back(a.ces_on_dimm(d));
+      s.trips_per_dimm.push_back(a.trips_on_dimm(d));
+    }
+  }
+  return s;
+}
+
+std::string Collector::to_jsonl(std::int64_t utc_seconds) const {
+  std::string out;
+  out.reserve(128 + records_.size() * 160);
+  appendf(out,
+          "{\"type\":\"meta\",\"utc_seconds\":%" PRId64
+          ",\"run_seed\":%" PRIu64 ",\"ranks\":%d,\"dimms_per_node\":%u"
+          ",\"fault_rows\":%u,\"bucket_capacity\":%u"
+          ",\"bucket_agetime_ns\":%" PRId64 ",\"offline_threshold\":%u}\n",
+          utc_seconds, run_seed_, ranks(), config_.accounting.geometry.dimms,
+          config_.accounting.fault_rows, config_.accounting.bucket.capacity,
+          config_.accounting.bucket.agetime,
+          config_.accounting.offline_threshold);
+  for (const CeRecord& r : records_) {
+    appendf(out,
+            "{\"type\":\"ce\",\"rank\":%d,\"index\":%" PRIu64
+            ",\"arrival_ns\":%" PRId64 ",\"cost_ns\":%" PRId64
+            ",\"dimm\":%u,\"channel\":%u,\"bank\":%u,\"row\":%u"
+            ",\"action\":\"%s\"}\n",
+            r.rank, r.index, r.arrival, r.duration, r.address.dimm,
+            r.address.channel, r.address.bank, r.address.row,
+            to_string(r.action));
+  }
+  appendf(out,
+          "{\"type\":\"summary\",\"total_ces\":%" PRIu64
+          ",\"logged\":%" PRIu64 ",\"rate_limited\":%" PRIu64
+          ",\"storm_decode\":%" PRIu64 ",\"page_offline\":%" PRIu64
+          ",\"retired\":%" PRIu64 ",\"bucket_trips\":%" PRIu64
+          ",\"rows_offlined\":%" PRIu64 ",\"detour_ns\":%" PRId64
+          ",\"records_dropped\":%" PRIu64 "}\n",
+          total_ces_, action_count(CeAction::kLogged),
+          action_count(CeAction::kRateLimited),
+          action_count(CeAction::kStormDecode),
+          action_count(CeAction::kPageOffline),
+          action_count(CeAction::kRetired), bucket_trips(), rows_offlined(),
+          detour_total_, records_dropped_);
+  return out;
+}
+
+std::string Collector::to_chrome_trace(std::int64_t utc_seconds) const {
+  std::string out;
+  out.reserve(128 + records_.size() * 200);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const CeRecord& r : records_) {
+    if (!first) out += ",";
+    first = false;
+    appendf(out, "{\"name\":\"%s\",\"cat\":\"ce\",\"ph\":\"X\",\"ts\":",
+            to_string(r.action));
+    append_us(out, r.arrival);
+    out += ",\"dur\":";
+    append_us(out, r.duration);
+    appendf(out,
+            ",\"pid\":1,\"tid\":%d,\"args\":{\"index\":%" PRIu64
+            ",\"dimm\":%u,\"channel\":%u,\"bank\":%u,\"row\":%u}}",
+            r.rank, r.index, r.address.dimm, r.address.channel,
+            r.address.bank, r.address.row);
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  appendf(out,
+          "\"utc_seconds\":%" PRId64 ",\"run_seed\":%" PRIu64
+          ",\"total_ces\":%" PRIu64 ",\"bucket_trips\":%" PRIu64
+          ",\"rows_offlined\":%" PRIu64 ",\"records_dropped\":%" PRIu64,
+          utc_seconds, run_seed_, total_ces_, bucket_trips(),
+          rows_offlined(), records_dropped_);
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace celog::telemetry

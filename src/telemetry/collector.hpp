@@ -1,0 +1,124 @@
+// celog/telemetry/collector.hpp
+//
+// The per-run CE collector: celog's stand-in for the mcelog daemon.
+//
+// A Collector is a noise::DetourSink attached to a single simulation run
+// (Simulator::run's ce_sink parameter, or ExperimentRunner::run_once's
+// sink overload). The engine hands it every consumed detour — (rank,
+// per-rank index, sim-time arrival, charged duration) — and the collector
+// runs its OWN StreamAccountant per rank to decode each CE and classify
+// what the logging policy did with it. Because the accountant is a pure
+// function of (config, run_seed, rank, arrivals), the collector's view
+// provably matches the in-run AdaptiveLoggingPolicy's without sharing any
+// state — the same way a real mcelog daemon reconstructs DIMM state from
+// the record stream alone. It works just as well under flat/threshold
+// cost models, where it answers "what WOULD the adaptive stack have done
+// with this stream".
+//
+// Determinism: the collector observes detours in engine consumption
+// order, which is deterministic for a fixed (graph, params, matcher,
+// noise, seed); exports take the UTC stamp as a parameter (src/ cannot
+// read wall clocks — celint nondet-clock), so two same-seed runs export
+// byte-identical JSONL and Chrome traces. Attaching a collector never
+// changes the SimResult (ctest -L telemetry proves both properties).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "noise/rank_noise.hpp"
+#include "telemetry/ce_record.hpp"
+#include "telemetry/policy.hpp"
+#include "util/time.hpp"
+
+namespace celog::telemetry {
+
+struct CollectorConfig {
+  /// Must match the policy under test for the views to agree (the
+  /// defaults are AdaptivePolicyConfig's accounting defaults).
+  AccountingConfig accounting;
+  /// Cap on stored CeRecords; overflow is counted in records_dropped(),
+  /// never silently discarded. Counters and histogram inputs are exact
+  /// regardless of the cap.
+  std::size_t max_records = 4096;
+};
+
+/// Everything the fleet aggregator needs from one run, extracted so runs
+/// can be summarized, freed, and merged without keeping collectors alive.
+struct RunSummary {
+  std::uint64_t run_seed = 0;
+  std::int32_t ranks = 0;
+  std::uint64_t total_ces = 0;
+  std::array<std::uint64_t, kCeActionCount> action_counts{};
+  std::uint64_t bucket_trips = 0;
+  std::uint64_t rows_offlined = 0;
+  /// Sum of charged detour durations across the machine.
+  TimeNs detour_total = 0;
+  /// CE count per DIMM, indexed rank * dimms_per_node + dimm.
+  std::vector<std::uint64_t> ces_per_dimm;
+  /// Bucket trips per DIMM, same indexing.
+  std::vector<std::uint64_t> trips_per_dimm;
+};
+
+class Collector final : public noise::DetourSink {
+ public:
+  explicit Collector(CollectorConfig config = {});
+
+  /// Arms the collector for one run: `ranks` accountants rebuilt for
+  /// `run_seed`, counters and records cleared. Storage capacity is kept,
+  /// so a collector reused across a sweep allocates only on growth —
+  /// symmetric with sim::RunContext reuse.
+  void begin_run(std::int32_t ranks, std::uint64_t run_seed);
+
+  /// DetourSink: called by the engine for every consumed detour.
+  void on_ce(std::int32_t rank, std::uint64_t index, TimeNs arrival,
+             TimeNs duration) override;
+
+  const CollectorConfig& config() const { return config_; }
+  std::int32_t ranks() const { return static_cast<std::int32_t>(
+      accountants_.size()); }
+  std::uint64_t run_seed() const { return run_seed_; }
+
+  std::uint64_t total_ces() const { return total_ces_; }
+  std::uint64_t action_count(CeAction a) const {
+    return action_counts_[static_cast<std::size_t>(a)];
+  }
+  TimeNs detour_total() const { return detour_total_; }
+  std::uint64_t bucket_trips() const;
+  std::uint64_t rows_offlined() const;
+
+  /// Stored records (engine consumption order, capped at max_records).
+  const std::vector<CeRecord>& records() const { return records_; }
+  std::uint64_t records_dropped() const { return records_dropped_; }
+
+  /// Per-rank accountant (the mcelog-daemon view of that rank's DIMMs).
+  const StreamAccountant& accountant(std::int32_t rank) const;
+
+  /// Snapshot for fleet aggregation.
+  RunSummary summary() const;
+
+  /// JSONL export: one meta line, one line per stored record, one summary
+  /// line. `utc_seconds` is the caller-supplied wall stamp (benches pass
+  /// bench::WallClock::utc_seconds(); tests pin it) — the only
+  /// nondeterministic byte, injected, never read here.
+  std::string to_jsonl(std::int64_t utc_seconds) const;
+
+  /// Chrome trace_event JSON ("X" complete events, ts/dur in
+  /// microseconds, tid = rank): load into chrome://tracing or Perfetto to
+  /// see per-rank detour timelines with storm/offline escalations.
+  std::string to_chrome_trace(std::int64_t utc_seconds) const;
+
+ private:
+  CollectorConfig config_;
+  std::uint64_t run_seed_ = 0;
+  std::vector<StreamAccountant> accountants_;
+  std::vector<CeRecord> records_;
+  std::uint64_t records_dropped_ = 0;
+  std::uint64_t total_ces_ = 0;
+  std::array<std::uint64_t, kCeActionCount> action_counts_{};
+  TimeNs detour_total_ = 0;
+};
+
+}  // namespace celog::telemetry

@@ -1,0 +1,140 @@
+#include "telemetry/fleet.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace celog::telemetry {
+
+FleetAggregator::FleetAggregator(const FleetConfig& config)
+    : config_(config),
+      ces_per_dimm_(0.0, config.max_ces_per_dimm, config.bins),
+      trips_per_dimm_(0.0, config.max_trips_per_dimm, config.bins),
+      offlined_rows_per_run_(0.0, config.max_rows_per_run, config.bins) {
+  CELOG_ASSERT_MSG(config.bins > 0, "fleet histograms need bins");
+}
+
+void FleetAggregator::add(const RunSummary& run) {
+  ++runs_;
+  total_ces_ += run.total_ces;
+  for (std::size_t a = 0; a < action_totals_.size(); ++a) {
+    action_totals_[a] += run.action_counts[a];
+  }
+  bucket_trips_ += run.bucket_trips;
+  rows_offlined_ += run.rows_offlined;
+  detour_total_ += run.detour_total;
+  dimms_seen_ += run.ces_per_dimm.size();
+  max_ces_in_run_ = std::max(max_ces_in_run_, run.total_ces);
+  // uint64 -> double is exact for every count a run can produce (< 2^53),
+  // and Histogram::add only compares and bins — no accumulation — so
+  // these folds stay exactly order-independent.
+  for (const std::uint64_t ces : run.ces_per_dimm) {
+    ces_per_dimm_.add(static_cast<double>(ces));
+  }
+  for (const std::uint64_t trips : run.trips_per_dimm) {
+    trips_per_dimm_.add(static_cast<double>(trips));
+  }
+  offlined_rows_per_run_.add(static_cast<double>(run.rows_offlined));
+}
+
+void FleetAggregator::merge(const FleetAggregator& other) {
+  runs_ += other.runs_;
+  total_ces_ += other.total_ces_;
+  for (std::size_t a = 0; a < action_totals_.size(); ++a) {
+    action_totals_[a] += other.action_totals_[a];
+  }
+  bucket_trips_ += other.bucket_trips_;
+  rows_offlined_ += other.rows_offlined_;
+  detour_total_ += other.detour_total_;
+  dimms_seen_ += other.dimms_seen_;
+  max_ces_in_run_ = std::max(max_ces_in_run_, other.max_ces_in_run_);
+  ces_per_dimm_.merge(other.ces_per_dimm_);
+  trips_per_dimm_.merge(other.trips_per_dimm_);
+  offlined_rows_per_run_.merge(other.offlined_rows_per_run_);
+}
+
+FleetAggregator FleetAggregator::aggregate(std::span<const RunSummary> runs,
+                                           const FleetConfig& config,
+                                           int jobs) {
+  FleetAggregator out(config);
+  if (runs.empty()) return out;
+  const unsigned want =
+      jobs > 0 ? static_cast<unsigned>(jobs)
+               : util::ThreadPool::hardware_threads();
+  const std::size_t chunks =
+      std::min<std::size_t>(std::max<unsigned>(want, 1), runs.size());
+  if (chunks <= 1) {
+    for (const RunSummary& r : runs) out.add(r);
+    return out;
+  }
+  // Contiguous chunk per slot; chunk boundaries depend only on (n, chunks).
+  // Every partial is integer state, so the in-order merge below is exactly
+  // the serial fold — bit-identical for any job count.
+  std::vector<FleetAggregator> partials(chunks, FleetAggregator(config));
+  const std::size_t per = (runs.size() + chunks - 1) / chunks;
+  util::ThreadPool pool(static_cast<unsigned>(chunks));
+  pool.parallel_for_indexed(chunks, [&](std::size_t c) {
+    const std::size_t lo = c * per;
+    const std::size_t hi = std::min(runs.size(), lo + per);
+    for (std::size_t i = lo; i < hi; ++i) partials[c].add(runs[i]);
+  });
+  for (const FleetAggregator& p : partials) out.merge(p);
+  return out;
+}
+
+double FleetAggregator::mean_ces_per_run() const {
+  if (runs_ == 0) return 0.0;
+  return static_cast<double>(total_ces_) / static_cast<double>(runs_);
+}
+
+std::string FleetAggregator::to_json() const {
+  std::string out;
+  out.reserve(512);
+  char buf[512];
+  int n = std::snprintf(
+      buf, sizeof(buf),
+      "{\"runs\":%" PRIu64 ",\"total_ces\":%" PRIu64 ",\"logged\":%" PRIu64
+      ",\"rate_limited\":%" PRIu64 ",\"storm_decode\":%" PRIu64
+      ",\"page_offline\":%" PRIu64 ",\"retired\":%" PRIu64
+      ",\"bucket_trips\":%" PRIu64 ",\"rows_offlined\":%" PRIu64
+      ",\"detour_ns\":%" PRId64 ",\"dimms_seen\":%" PRIu64
+      ",\"max_ces_in_run\":%" PRIu64,
+      runs_, total_ces_, action_total(CeAction::kLogged),
+      action_total(CeAction::kRateLimited),
+      action_total(CeAction::kStormDecode),
+      action_total(CeAction::kPageOffline),
+      action_total(CeAction::kRetired), bucket_trips_, rows_offlined_,
+      detour_total_, dimms_seen_, max_ces_in_run_);
+  CELOG_ASSERT(n > 0 && n < static_cast<int>(sizeof(buf)));
+  out.append(buf, static_cast<std::size_t>(n));
+  const auto append_hist = [&out](const char* name, const Histogram& h) {
+    out += ",\"";
+    out += name;
+    out += "\":{\"counts\":[";
+    for (std::size_t i = 0; i < h.bins(); ++i) {
+      char num[32];
+      const int m = std::snprintf(num, sizeof(num), "%s%zu",
+                                  i == 0 ? "" : ",", h.bin_count(i));
+      out.append(num, static_cast<std::size_t>(m));
+    }
+    char tail[96];
+    const int m = std::snprintf(tail, sizeof(tail),
+                                "],\"underflow\":%zu,\"overflow\":%zu}",
+                                h.underflow(), h.overflow());
+    out.append(tail, static_cast<std::size_t>(m));
+  };
+  append_hist("ces_per_dimm", ces_per_dimm_);
+  append_hist("trips_per_dimm", trips_per_dimm_);
+  append_hist("offlined_rows_per_run", offlined_rows_per_run_);
+  out += "}";
+  return out;
+}
+
+}  // namespace celog::telemetry

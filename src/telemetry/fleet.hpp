@@ -1,0 +1,100 @@
+// celog/telemetry/fleet.hpp
+//
+// Fleet-scale aggregation of per-run CE telemetry.
+//
+// The paper's subject is logging *at scale*: what matters operationally is
+// the fleet distribution — how many DIMMs sit in the quiet bulk versus the
+// heavy tail, how often buckets trip, how many pages get offlined. A
+// FleetAggregator folds RunSummary snapshots (telemetry/collector.hpp)
+// into util-histograms of CEs per DIMM, bucket trips per DIMM, and
+// offlined rows per run, plus exact integer totals.
+//
+// Determinism: all aggregator state is integer (counters and histogram
+// bin counts; histogram *inputs* are integers exactly representable as
+// doubles), so merging partial aggregators is associative and
+// commutative EXACTLY — aggregate()'s parallel chunked fold returns
+// bit-identical results for every job count, not merely "close" (the
+// float-reduce trap celint guards against). Derived means are computed
+// from the integer totals at query time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "telemetry/ce_record.hpp"
+#include "telemetry/collector.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace celog::telemetry {
+
+/// Histogram shapes for the fleet distributions. Ranges are [0, max);
+/// values at or above max land in the histogram's explicit overflow
+/// counter (util::Histogram never silently clips).
+struct FleetConfig {
+  std::size_t bins = 32;
+  double max_ces_per_dimm = 4096.0;
+  double max_trips_per_dimm = 64.0;
+  double max_rows_per_run = 256.0;
+};
+
+class FleetAggregator {
+ public:
+  explicit FleetAggregator(const FleetConfig& config = {});
+
+  /// Streaming entry point: folds one run's summary into the fleet view.
+  void add(const RunSummary& run);
+
+  /// Merges a partial aggregator (same FleetConfig required). Exact:
+  /// add-then-merge in any grouping equals one serial add sequence.
+  void merge(const FleetAggregator& other);
+
+  /// Deterministic parallel fold over `runs`: contiguous chunks build
+  /// partial aggregators on a util::ThreadPool, then the partials merge
+  /// in chunk-index order. Bit-identical to a serial fold for every
+  /// `jobs` value (0 = all hardware threads).
+  static FleetAggregator aggregate(std::span<const RunSummary> runs,
+                                   const FleetConfig& config, int jobs);
+
+  std::uint64_t runs() const { return runs_; }
+  std::uint64_t total_ces() const { return total_ces_; }
+  std::uint64_t action_total(CeAction a) const {
+    return action_totals_[static_cast<std::size_t>(a)];
+  }
+  std::uint64_t bucket_trips() const { return bucket_trips_; }
+  std::uint64_t rows_offlined() const { return rows_offlined_; }
+  TimeNs detour_total() const { return detour_total_; }
+  std::uint64_t dimms_seen() const { return dimms_seen_; }
+  std::uint64_t max_ces_in_run() const { return max_ces_in_run_; }
+
+  /// Mean CEs per run, derived from exact totals (0 when empty).
+  double mean_ces_per_run() const;
+
+  const Histogram& ces_per_dimm() const { return ces_per_dimm_; }
+  const Histogram& trips_per_dimm() const { return trips_per_dimm_; }
+  const Histogram& offlined_rows_per_run() const {
+    return offlined_rows_per_run_;
+  }
+
+  /// One-line JSON summary (integer fields only — byte-stable), used by
+  /// the ablation bench's --json fleet record and the tests.
+  std::string to_json() const;
+
+ private:
+  FleetConfig config_;
+  std::uint64_t runs_ = 0;
+  std::uint64_t total_ces_ = 0;
+  std::array<std::uint64_t, kCeActionCount> action_totals_{};
+  std::uint64_t bucket_trips_ = 0;
+  std::uint64_t rows_offlined_ = 0;
+  TimeNs detour_total_ = 0;
+  std::uint64_t dimms_seen_ = 0;
+  std::uint64_t max_ces_in_run_ = 0;
+  Histogram ces_per_dimm_;
+  Histogram trips_per_dimm_;
+  Histogram offlined_rows_per_run_;
+};
+
+}  // namespace celog::telemetry

@@ -1,0 +1,118 @@
+// celog/telemetry/leaky_bucket.hpp
+//
+// The mcelog leaky bucket, ported to integer simulated time.
+//
+// mcelog rate-limits per-DIMM error handling with a leaky bucket
+// (leaky-bucket.c): each account() first *ages* the bucket — draining
+// capacity proportional to the wall-clock time since the last drain — then
+// adds the new error; reaching capacity empties the bucket, rolls the
+// count into `excess`, and reports an overflow (a "storm"). This header
+// reproduces those semantics exactly, with two deliberate differences:
+//
+//   * time is celog's TimeNs simulated clock, never a wall clock — the
+//     caller passes each event's sim-time arrival (celint's nondet-clock
+//     rule stays green because there is nothing here to read a clock
+//     with);
+//   * the proportional drain `(diff / (double)agetime) * capacity` is
+//     computed in pure integer arithmetic (floor semantics), so the trip
+//     pattern is bit-identical across platforms and compilers.
+//
+// Like the original, aging happens only once `diff >= agetime` (partial
+// windows accumulate until a whole agetime has passed), overflow zeroes
+// the count for the rest of the time unit, and `excess` tracks the total
+// rolled out by overflows since the last drain (mcelog's bucket_output
+// prints count + excess).
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace celog::telemetry {
+
+/// Rate configuration: `capacity` errors per `agetime` of simulated time
+/// (mcelog's "N / period" trigger strings). capacity == 0 disables the
+/// bucket — account() never reports an overflow, matching mcelog.
+struct BucketConf {
+  std::uint32_t capacity = 0;
+  TimeNs agetime = kSecond;
+
+  bool operator==(const BucketConf&) const = default;
+};
+
+/// One bucket instance (mcelog keeps one per DIMM). Plain value type so a
+/// per-DIMM array of them is cache-friendly and trivially resettable.
+class LeakyBucket {
+ public:
+  /// Empties the bucket and re-bases its clock at `now` (mcelog's
+  /// bucket_init uses the current time; runs start at sim time 0).
+  void reset(TimeNs now = 0) {
+    count_ = 0;
+    excess_ = 0;
+    tstamp_ = now;
+  }
+
+  /// Accounts `inc` errors arriving at sim-time `now`; returns true when
+  /// the bucket overflowed (the storm trigger). Mirrors mcelog's
+  /// __bucket_account: age first, then add, then check. Arrivals must be
+  /// nondecreasing — the detour stream's own invariant.
+  bool account(const BucketConf& conf, std::uint32_t inc, TimeNs now) {
+    if (conf.capacity == 0) return false;
+    CELOG_ASSERT_MSG(now >= tstamp_ || count_ == 0,
+                     "bucket arrivals must be nondecreasing");
+    age(conf, now);
+    count_ += inc;
+    if (count_ >= conf.capacity) {
+      // mcelog rolls the whole count into excess and zeroes the bucket so
+      // one burst cannot re-trip within the same time unit.
+      excess_ += count_;
+      count_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  /// Current fill (errors not yet drained or rolled into excess).
+  std::uint32_t count() const { return count_; }
+
+  /// Errors rolled out by overflows since the last whole-window drain.
+  std::uint64_t excess() const { return excess_; }
+
+  /// mcelog's bucket_output value: total errors represented by the bucket
+  /// ("%u in <agetime>" — current fill plus overflowed excess).
+  std::uint64_t total() const { return excess_ + count_; }
+
+ private:
+  void age(const BucketConf& conf, TimeNs now) {
+    CELOG_ASSERT_MSG(conf.agetime > 0, "bucket agetime must be positive");
+    const TimeNs diff = now - tstamp_;
+    if (diff < conf.agetime) return;
+    // age = floor(diff / agetime * capacity), decomposed so the
+    // intermediate products fit in 64 bits for any sane configuration:
+    // whole windows first, then the fractional remainder (rem < agetime,
+    // so rem * capacity stays far below the int64 ceiling).
+    const std::int64_t whole = diff / conf.agetime;
+    const std::int64_t rem = diff % conf.agetime;
+    tstamp_ = now;
+    if (whole >= static_cast<std::int64_t>(count_)) {
+      // capacity >= 1, so the drain is at least `whole` — the bucket
+      // cannot survive that many windows. Saturate without multiplying.
+      count_ = 0;
+    } else {
+      const std::uint64_t age =
+          static_cast<std::uint64_t>(whole) * conf.capacity +
+          static_cast<std::uint64_t>(rem) * conf.capacity /
+              static_cast<std::uint64_t>(conf.agetime);
+      count_ -= static_cast<std::uint32_t>(
+          age < count_ ? age : static_cast<std::uint64_t>(count_));
+    }
+    excess_ = 0;
+  }
+
+  std::uint32_t count_ = 0;
+  std::uint64_t excess_ = 0;
+  TimeNs tstamp_ = 0;
+};
+
+}  // namespace celog::telemetry

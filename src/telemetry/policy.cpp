@@ -1,0 +1,181 @@
+#include "telemetry/policy.hpp"
+
+#include <cstdint>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace celog::telemetry {
+
+void StreamAccountant::reset(const AccountingConfig& config,
+                             std::uint64_t run_seed, std::int32_t rank) {
+  CELOG_ASSERT_MSG(config.fault_rows > 0, "need at least one fault row");
+  config_ = config;
+  decoder_.reset(config.geometry, config.fault_rows, run_seed, rank);
+  dimms_.assign(config.geometry.dimms, DimmState{});
+  rows_.assign(config.fault_rows, RowState{});
+  events_ = 0;
+  trips_ = 0;
+  rows_offlined_ = 0;
+}
+
+CeAction StreamAccountant::observe(std::uint64_t index, TimeNs arrival) {
+  CELOG_ASSERT_MSG(index == events_,
+                   "CE indices must arrive in order 0, 1, 2, ...");
+  ++events_;
+  const std::uint32_t slot = decoder_.slot_of(index);
+  RowState& row = rows_[slot];
+  DimmState& dimm = dimms_[decoder_.address(slot).dimm];
+  ++dimm.ces;
+  ++row.ces;
+
+  // A retired row generates no machine checks any more: the CE is
+  // corrected silently in hardware and never reaches the bucket or the
+  // row counters' escalation logic.
+  if (row.offlined) return CeAction::kRetired;
+
+  const bool storming = arrival < dimm.storm_until;
+  const bool tripped = dimm.bucket.account(config_.bucket, 1, arrival);
+  if (tripped) {
+    ++trips_;
+    ++dimm.trips;
+    // One storm summary per overflow; suppression lasts one agetime from
+    // the trip. Consecutive overflows under sustained load keep extending
+    // the window, so a storm ends one quiet agetime after its last trip.
+    dimm.storm_until = arrival + config_.bucket.agetime;
+  }
+
+  if (config_.offline_threshold > 0 &&
+      row.ces >= config_.offline_threshold) {
+    row.offlined = true;
+    ++rows_offlined_;
+    return CeAction::kPageOffline;
+  }
+  if (tripped) return CeAction::kStormDecode;
+  if (storming) return CeAction::kRateLimited;
+  return CeAction::kLogged;
+}
+
+std::uint64_t StreamAccountant::ces_on_dimm(std::uint32_t dimm) const {
+  CELOG_ASSERT(dimm < dimms_.size());
+  return dimms_[dimm].ces;
+}
+
+std::uint64_t StreamAccountant::trips_on_dimm(std::uint32_t dimm) const {
+  CELOG_ASSERT(dimm < dimms_.size());
+  return dimms_[dimm].trips;
+}
+
+bool StreamAccountant::row_offlined(std::uint32_t slot) const {
+  CELOG_ASSERT(slot < rows_.size());
+  return rows_[slot].offlined;
+}
+
+bool StreamAccountant::in_storm(std::uint32_t dimm, TimeNs arrival) const {
+  CELOG_ASSERT(dimm < dimms_.size());
+  return arrival < dimms_[dimm].storm_until;
+}
+
+AdaptiveLoggingPolicy::AdaptiveLoggingPolicy(
+    const AdaptivePolicyConfig& config, std::uint64_t run_seed,
+    std::int32_t rank)
+    : config_(config), accountant_(config.accounting, run_seed, rank) {
+  CELOG_ASSERT_MSG(config_.logged_cost >= 0 &&
+                       config_.storm_decode_cost >= 0 &&
+                       config_.rate_limited_cost >= 0 &&
+                       config_.page_offline_cost >= 0 &&
+                       config_.retired_cost >= 0,
+                   "action costs must be nonnegative");
+}
+
+void AdaptiveLoggingPolicy::reset(std::uint64_t run_seed,
+                                  std::int32_t rank) {
+  accountant_.reset(config_.accounting, run_seed, rank);
+  charged_total_ = 0;
+  charged_events_ = 0;
+}
+
+TimeNs AdaptiveLoggingPolicy::cost_of_action(CeAction action) const {
+  switch (action) {
+    case CeAction::kLogged: return config_.logged_cost;
+    case CeAction::kRateLimited: return config_.rate_limited_cost;
+    case CeAction::kStormDecode: return config_.storm_decode_cost;
+    case CeAction::kPageOffline: return config_.page_offline_cost;
+    case CeAction::kRetired: return config_.retired_cost;
+  }
+  CELOG_ASSERT_MSG(false, "unknown CeAction");
+  return config_.logged_cost;
+}
+
+TimeNs AdaptiveLoggingPolicy::cost_of_event(std::uint64_t) const {
+  // The stateless view: what a CE costs when no escalation is active.
+  // Charging goes through cost_of_event_at; this exists for analytic
+  // callers that probe the normal path.
+  return config_.logged_cost;
+}
+
+TimeNs AdaptiveLoggingPolicy::cost_of_event_at(std::uint64_t event_index,
+                                               TimeNs arrival) const {
+  const CeAction action = accountant_.observe(event_index, arrival);
+  const TimeNs cost = cost_of_action(action);
+  charged_total_ += cost;
+  ++charged_events_;
+  return cost;
+}
+
+double AdaptiveLoggingPolicy::mean_cost_ns() const {
+  // EXACT by construction (base-class contract): the mean reported is the
+  // mean actually charged, for every event count.
+  if (charged_events_ == 0) {
+    return static_cast<double>(config_.logged_cost);
+  }
+  return static_cast<double>(charged_total_) /
+         static_cast<double>(charged_events_);
+}
+
+AdaptiveDetourSource::AdaptiveDetourSource(TimeNs mtbce,
+                                           const AdaptivePolicyConfig& config,
+                                           std::uint64_t run_seed,
+                                           std::int32_t rank,
+                                           const void* owner)
+    : mtbce_(mtbce),
+      owner_(owner),
+      policy_(config, run_seed, rank),
+      inner_(mtbce, policy_,
+             Xoshiro256::for_stream(run_seed,
+                                    static_cast<std::uint64_t>(rank))) {}
+
+void AdaptiveDetourSource::reseed(std::uint64_t run_seed,
+                                  std::int32_t rank) {
+  policy_.reset(run_seed, rank);
+  inner_.reseed(
+      Xoshiro256::for_stream(run_seed, static_cast<std::uint64_t>(rank)));
+}
+
+AdaptiveCeNoiseModel::AdaptiveCeNoiseModel(TimeNs mtbce,
+                                           AdaptivePolicyConfig config)
+    : mtbce_(mtbce), config_(config) {
+  CELOG_ASSERT_MSG(mtbce_ > 0, "MTBCE must be positive");
+  CELOG_ASSERT_MSG(config_.accounting.bucket.agetime > 0,
+                   "bucket agetime must be positive");
+}
+
+std::unique_ptr<noise::DetourSource> AdaptiveCeNoiseModel::make_source(
+    noise::RankId rank, std::uint64_t run_seed) const {
+  return std::make_unique<AdaptiveDetourSource>(mtbce_, config_, run_seed,
+                                                rank, this);
+}
+
+bool AdaptiveCeNoiseModel::reseed_source(noise::DetourSource& source,
+                                         noise::RankId rank,
+                                         std::uint64_t run_seed) const {
+  // Owner identity implies an identical immutable config, so a reseed
+  // reproduces make_source bit-for-bit (the same guard-by-identity rule
+  // as PoissonDetourSource::emits).
+  auto* adaptive = dynamic_cast<AdaptiveDetourSource*>(&source);
+  if (adaptive == nullptr || !adaptive->emits(mtbce_, this)) return false;
+  adaptive->reseed(run_seed, rank);
+  return true;
+}
+
+}  // namespace celog::telemetry

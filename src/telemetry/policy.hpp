@@ -1,0 +1,245 @@
+// celog/telemetry/policy.hpp
+//
+// The adaptive logging policy: mcelog-style rate limiting and page
+// offlining expressed as a celog LoggingCostModel.
+//
+// The paper's central finding is that *what the logging stack does per CE*
+// decides whether a fleet survives error storms: flat 775 us software
+// logging is fine at nominal rates and catastrophic in storms, while
+// production stacks escalate — rate-limit the per-event path, decode a
+// storm summary once, and retire the failing page so the stream stops.
+// This header models that pipeline deterministically:
+//
+//   StreamAccountant    the per-(run_seed, rank) automaton: decodes each
+//                       CE to a synthetic fault row (CeDecoder), feeds the
+//                       row's DIMM bucket (LeakyBucket), tracks per-row
+//                       counts and offline state, and classifies every CE
+//                       into exactly one CeAction. Pure function of the
+//                       (config, run_seed, rank, arrival stream): the
+//                       in-run policy and the out-of-run collector each
+//                       own one and provably agree.
+//
+//   AdaptiveLoggingPolicy  a LoggingCostModel whose per-CE cost is the
+//                       accountant's action mapped through a cost table:
+//                       normal CEs pay the full OS decode+log, the CE
+//                       that trips a bucket pays the storm decode, CEs
+//                       inside a storm window pay only the suppressed
+//                       (hardware) cost, the CE that crosses a row's
+//                       offline threshold pays the one-time page-offline
+//                       action, and CEs on retired rows are silent.
+//
+//   AdaptiveCeNoiseModel   the NoiseModel wiring: every rank gets a
+//                       Poisson arrival stream (identical, for a given
+//                       seed, to UniformCeNoiseModel's — costs never
+//                       perturb arrivals, so fixed/threshold/adaptive
+//                       ablations see the same CE stream) charged through
+//                       a private per-rank policy instance.
+//
+// Thread-safety: an AdaptiveLoggingPolicy is per-stream mutable state and
+// is NEVER shared across ranks or runs — each AdaptiveDetourSource owns
+// its own instance, so parallel seed sweeps stay race-free exactly like
+// the stateless models.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "noise/detour.hpp"
+#include "noise/noise_model.hpp"
+#include "telemetry/ce_record.hpp"
+#include "telemetry/leaky_bucket.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace celog::telemetry {
+
+/// The deterministic-accounting half of the policy: everything needed to
+/// classify a CE stream, shared verbatim by the in-run policy and the
+/// observing collector so the two cannot disagree.
+struct AccountingConfig {
+  DimmGeometry geometry;
+  /// Distinct failing rows per node (the paper's observation that a
+  /// node's CEs cluster on a few rows is what makes offlining work).
+  std::uint32_t fault_rows = 4;
+  /// Per-DIMM storm trigger, mcelog-style "capacity / agetime".
+  BucketConf bucket{50, kSecond};
+  /// CEs on one row before the policy offlines its page. 0 disables
+  /// offlining.
+  std::uint32_t offline_threshold = 32;
+
+  bool operator==(const AccountingConfig&) const = default;
+};
+
+/// Per-CE CPU costs of each action the policy can take. Defaults follow
+/// the paper's measured numbers where they exist (§IV-A): the normal path
+/// is the measured CMCI handler, the storm summary pays a firmware-decode
+/// style cost, suppressed and retired CEs cost only the hardware
+/// correction, and the page-offline action itself is a ~1 ms kernel
+/// operation (soft-offline + remap).
+struct AdaptivePolicyConfig {
+  AccountingConfig accounting;
+  TimeNs logged_cost = noise::costs::kMeasuredCmci;
+  TimeNs storm_decode_cost = 10 * kMillisecond;
+  TimeNs rate_limited_cost = noise::costs::kHardwareOnly;
+  TimeNs page_offline_cost = kMillisecond;
+  TimeNs retired_cost = noise::costs::kHardwareOnly;
+
+  bool operator==(const AdaptivePolicyConfig&) const = default;
+};
+
+/// Classifies one rank's CE stream into CeActions. Feed observe() with
+/// indices 0,1,2,... and nondecreasing arrivals (the detour-stream
+/// invariant); the automaton is a pure function of those inputs plus
+/// (config, run_seed, rank).
+class StreamAccountant {
+ public:
+  StreamAccountant() = default;
+  StreamAccountant(const AccountingConfig& config, std::uint64_t run_seed,
+                   std::int32_t rank) {
+    reset(config, run_seed, rank);
+  }
+
+  /// Rearms for a new (run_seed, rank), reusing all storage capacity.
+  void reset(const AccountingConfig& config, std::uint64_t run_seed,
+             std::int32_t rank);
+
+  /// Classifies the `index`-th CE arriving at `arrival`. Precedence when
+  /// several transitions coincide: retired > page-offline > storm-decode >
+  /// rate-limited > logged. A CE that both trips a bucket and crosses the
+  /// offline threshold reports kPageOffline but still opens the storm
+  /// window (both side effects happen; one action is reported).
+  CeAction observe(std::uint64_t index, TimeNs arrival);
+
+  const CeDecoder& decoder() const { return decoder_; }
+  const AccountingConfig& config() const { return config_; }
+
+  std::uint64_t events() const { return events_; }
+  /// Every bucket overflow, including those reported as kPageOffline.
+  std::uint64_t bucket_trips() const { return trips_; }
+  std::uint32_t rows_offlined() const { return rows_offlined_; }
+  /// CEs observed on DIMM slot `dimm` (kRetired CEs included).
+  std::uint64_t ces_on_dimm(std::uint32_t dimm) const;
+  std::uint64_t trips_on_dimm(std::uint32_t dimm) const;
+  bool row_offlined(std::uint32_t slot) const;
+  /// True when `arrival` falls inside dimm's current storm window.
+  bool in_storm(std::uint32_t dimm, TimeNs arrival) const;
+
+ private:
+  struct DimmState {
+    LeakyBucket bucket;
+    TimeNs storm_until = 0;
+    std::uint64_t ces = 0;
+    std::uint64_t trips = 0;
+  };
+  struct RowState {
+    std::uint32_t ces = 0;
+    bool offlined = false;
+  };
+
+  AccountingConfig config_;
+  CeDecoder decoder_;
+  std::vector<DimmState> dimms_;
+  std::vector<RowState> rows_;
+  std::uint64_t events_ = 0;
+  std::uint64_t trips_ = 0;
+  std::uint32_t rows_offlined_ = 0;
+};
+
+/// State-dependent LoggingCostModel: per-CE cost follows the accountant's
+/// action. The charging entry point is cost_of_event_at(index, arrival) —
+/// PoissonDetourSource's call — which advances the automaton; the
+/// index-only cost_of_event returns the normal-path cost (what a CE costs
+/// when no escalation is active) and never mutates state.
+///
+/// mean_cost_ns contract: EXACT — charged total / charged events, by
+/// construction (see LoggingCostModel's base contract). Before any CE is
+/// charged it reports the normal-path cost.
+class AdaptiveLoggingPolicy final : public noise::LoggingCostModel {
+ public:
+  AdaptiveLoggingPolicy(const AdaptivePolicyConfig& config,
+                        std::uint64_t run_seed, std::int32_t rank);
+
+  /// Rearms for a new (run_seed, rank) without reallocating.
+  void reset(std::uint64_t run_seed, std::int32_t rank);
+
+  TimeNs cost_of_event(std::uint64_t event_index) const override;
+  TimeNs cost_of_event_at(std::uint64_t event_index,
+                          TimeNs arrival) const override;
+  double mean_cost_ns() const override;
+
+  /// The cost table entry for one action.
+  TimeNs cost_of_action(CeAction action) const;
+
+  const AdaptivePolicyConfig& config() const { return config_; }
+  const StreamAccountant& accountant() const { return accountant_; }
+  TimeNs charged_total() const { return charged_total_; }
+  std::uint64_t charged_events() const { return charged_events_; }
+
+ private:
+  AdaptivePolicyConfig config_;
+  // Mutable because LoggingCostModel's charging entry point is const (the
+  // stateless models need nothing else); per-stream ownership — never
+  // shared across ranks/runs — keeps this race-free (class comment above).
+  mutable StreamAccountant accountant_;
+  mutable TimeNs charged_total_ = 0;
+  mutable std::uint64_t charged_events_ = 0;
+};
+
+/// DetourSource for one rank under the adaptive policy: a private policy
+/// instance charged through the standard Poisson arrival stream. Arrivals
+/// are drawn from Xoshiro256::for_stream(run_seed, rank) exactly like
+/// UniformCeNoiseModel's sources, and PoissonDetourSource draws arrivals
+/// independently of costs — so for a given seed the adaptive, flat, and
+/// threshold policies face the identical CE stream.
+class AdaptiveDetourSource final : public noise::DetourSource {
+ public:
+  AdaptiveDetourSource(TimeNs mtbce, const AdaptivePolicyConfig& config,
+                       std::uint64_t run_seed, std::int32_t rank,
+                       const void* owner);
+
+  TimeNs peek_arrival() const override { return inner_.peek_arrival(); }
+  noise::Detour pop() override { return inner_.pop(); }
+
+  /// Reseed-seam guard: a recycled source reproduces a fresh make_source
+  /// only if it came from the same model (owner identity implies the same
+  /// immutable config) at the same MTBCE.
+  bool emits(TimeNs mtbce, const void* owner) const {
+    return mtbce_ == mtbce && owner_ == owner;
+  }
+
+  /// Restarts policy state and the arrival stream as if freshly built for
+  /// (run_seed, rank) — bit-identical to a new source.
+  void reseed(std::uint64_t run_seed, std::int32_t rank);
+
+  const AdaptiveLoggingPolicy& policy() const { return policy_; }
+
+ private:
+  TimeNs mtbce_;
+  const void* owner_;
+  AdaptiveLoggingPolicy policy_;  // must precede inner_ (referenced by it)
+  noise::PoissonDetourSource inner_;
+};
+
+/// Machine-wide adaptive-policy noise model: every rank's node experiences
+/// Poisson CEs at `mtbce`, each charged through that rank's own
+/// AdaptiveLoggingPolicy. The drop-in ablation counterpart of
+/// UniformCeNoiseModel with a flat/threshold cost.
+class AdaptiveCeNoiseModel final : public noise::NoiseModel {
+ public:
+  AdaptiveCeNoiseModel(TimeNs mtbce, AdaptivePolicyConfig config);
+
+  std::unique_ptr<noise::DetourSource> make_source(
+      noise::RankId rank, std::uint64_t run_seed) const override;
+  bool reseed_source(noise::DetourSource& source, noise::RankId rank,
+                     std::uint64_t run_seed) const override;
+
+  TimeNs mtbce() const { return mtbce_; }
+  const AdaptivePolicyConfig& config() const { return config_; }
+
+ private:
+  TimeNs mtbce_;
+  AdaptivePolicyConfig config_;
+};
+
+}  // namespace celog::telemetry

@@ -92,6 +92,18 @@ std::size_t Histogram::bin_count(std::size_t i) const {
   return counts_[i];
 }
 
+void Histogram::merge(const Histogram& other) {
+  CELOG_ASSERT_MSG(lo_ == other.lo_ && hi_ == other.hi_ &&
+                       counts_.size() == other.counts_.size(),
+                   "can only merge histograms with identical binning");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
 double Histogram::bin_low(std::size_t i) const {
   CELOG_ASSERT(i < counts_.size());
   return lo_ + width_ * static_cast<double>(i);

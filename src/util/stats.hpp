@@ -67,6 +67,12 @@ class Histogram {
   double bin_low(std::size_t i) const;
   double bin_high(std::size_t i) const;
 
+  /// Merges another histogram's counts into this one (parallel
+  /// reduction-friendly, like RunningStats::merge). Both histograms must
+  /// share the same [lo, hi) range and bin count — merging differently
+  /// shaped histograms is a contract violation, not a rebinning.
+  void merge(const Histogram& other);
+
  private:
   double lo_;
   double hi_;

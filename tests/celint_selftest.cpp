@@ -481,6 +481,22 @@ TEST(CelintRepoScan, SrcReportsZeroFindings) {
   EXPECT_GT(files.size(), 40u) << "scan should see the whole src/ tree";
 }
 
+TEST(CelintRepoScan, TelemetrySubsystemScansClean) {
+  // ISSUE-5 gate, pinned separately from the whole-src scan: the telemetry
+  // subsystem (seeded synthetic decoding, sim-time leaky buckets, injected
+  // UTC stamps in exports) must hold the determinism contract — no wall
+  // clocks, no unseeded RNG, no unordered iteration, no float reductions.
+  const auto findings =
+      celint::run_check(CELINT_SOURCE_DIR, {"src/telemetry"});
+  for (const auto& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+  const auto files = celint::collect_files(CELINT_SOURCE_DIR,
+                                           {"src/telemetry"});
+  EXPECT_GE(files.size(), 8u) << "scan should see the telemetry subsystem";
+}
+
 TEST(CelintRepoScan, BenchExamplesTestsReportZeroFindings) {
   const auto findings =
       celint::run_check(CELINT_SOURCE_DIR, {"bench", "examples", "tests"});

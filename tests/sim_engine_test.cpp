@@ -257,6 +257,21 @@ TEST(EngineBasics, SlowdownPercent) {
   EXPECT_DOUBLE_EQ(slowdown_percent(base, noisy), 0.0);
 }
 
+TEST(EngineBasics, SlowdownPercentThrowsOnZeroBaseline) {
+  // A non-positive baseline has no meaningful relative slowdown; the old
+  // assert-only contract let Release callers divide by zero and feed
+  // inf/NaN into downstream means. Now it throws in every build type.
+  SimResult base;
+  SimResult noisy;
+  noisy.makespan = 1500;
+  base.makespan = 0;
+  EXPECT_THROW(slowdown_percent(base, noisy), Error);
+  base.makespan = -7;
+  EXPECT_THROW(slowdown_percent(base, noisy), Error);
+  base.makespan = 1;
+  EXPECT_NO_THROW(slowdown_percent(base, noisy));
+}
+
 TEST(EngineBasics, IdealNetworkOnlyCountsCompute) {
   TaskGraph g(2);
   SequentialBuilder s(g, 0);

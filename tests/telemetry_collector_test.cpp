@@ -1,0 +1,266 @@
+// Differential tests for the CE telemetry collector: attaching a sink must
+// never perturb the simulation, detached runs must be bit-identical to the
+// seed path, and exports must be byte-reproducible under a pinned UTC
+// seam. Labeled `telemetry` (also run under the sanitizer CI jobs).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "goal/task_graph.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/engine.hpp"
+#include "telemetry/collector.hpp"
+#include "telemetry/policy.hpp"
+#include "wall_clock.hpp"
+#include "workloads/workload.hpp"
+
+namespace celog::telemetry {
+namespace {
+
+using goal::SequentialBuilder;
+using goal::TaskGraph;
+
+sim::NetworkParams simple_params() {
+  return sim::NetworkParams{/*L=*/1000, /*o=*/100, /*g=*/200,
+                           /*G=*/0.0, /*O=*/0.0, /*S=*/1 << 30};
+}
+
+/// A 4-rank ring exchanging eager messages between compute phases — enough
+/// communication for detour delays to propagate, enough compute for the
+/// noise models below to land many CEs.
+TaskGraph ring_graph(int iterations = 8) {
+  constexpr goal::Rank kRanks = 4;
+  TaskGraph g(kRanks);
+  std::vector<SequentialBuilder> builders;
+  builders.reserve(kRanks);
+  for (goal::Rank r = 0; r < kRanks; ++r) builders.emplace_back(g, r);
+  for (int it = 0; it < iterations; ++it) {
+    for (goal::Rank r = 0; r < kRanks; ++r) {
+      builders[static_cast<std::size_t>(r)].calc(50 * kMicrosecond);
+      builders[static_cast<std::size_t>(r)].send((r + 1) % kRanks, 64,
+                                                 it * kRanks + r);
+      builders[static_cast<std::size_t>(r)].recv(
+          (r + kRanks - 1) % kRanks, 64,
+          it * kRanks + ((r + kRanks - 1) % kRanks));
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+/// CE-heavy uniform noise: MTBCE 100 us against 50 us compute phases.
+noise::UniformCeNoiseModel busy_noise() {
+  return noise::UniformCeNoiseModel(
+      100 * kMicrosecond,
+      std::make_shared<noise::FlatLoggingCost>(5 * kMicrosecond));
+}
+
+void expect_same_result(const sim::SimResult& a, const sim::SimResult& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.rank_finish, b.rank_finish);
+  EXPECT_EQ(a.data_messages, b.data_messages);
+  EXPECT_EQ(a.control_messages, b.control_messages);
+  EXPECT_EQ(a.noise_stolen, b.noise_stolen);
+  EXPECT_EQ(a.detours_charged, b.detours_charged);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+TEST(CollectorDifferential, DetachedRunMatchesSeedPathOnAllFields) {
+  const TaskGraph g = ring_graph();
+  const sim::Simulator sim(g, simple_params());
+  const auto noise = busy_noise();
+  // The seed path (no sink argument at all) and an explicit nullptr sink
+  // must be bit-identical on every SimResult field.
+  const sim::SimResult seed_path = sim.run(noise, 11);
+  const sim::SimResult explicit_null = sim.run(
+      noise, 11, noise::RankNoise::kNoHorizon, {}, /*ce_sink=*/nullptr);
+  expect_same_result(seed_path, explicit_null);
+  sim::RunContext ctx;
+  const sim::SimResult via_context =
+      sim.run(noise, 11, ctx, noise::RankNoise::kNoHorizon, {}, nullptr);
+  expect_same_result(seed_path, via_context);
+}
+
+TEST(CollectorDifferential, AttachedCollectorNeverChangesResult) {
+  const TaskGraph g = ring_graph();
+  const auto noise = busy_noise();
+  for (const auto matcher :
+       {sim::MatcherKind::kBucketed, sim::MatcherKind::kReference}) {
+    sim::Simulator sim(g, simple_params());
+    sim.set_matcher(matcher);
+    Collector collector;
+    sim::RunContext reused;
+    for (const std::uint64_t seed : {1ULL, 2ULL, 99ULL}) {
+      const sim::SimResult detached = sim.run(noise, seed);
+      // Fresh context.
+      collector.begin_run(g.ranks(), seed);
+      const sim::SimResult attached = sim.run(
+          noise, seed, noise::RankNoise::kNoHorizon, {}, &collector);
+      expect_same_result(detached, attached);
+      EXPECT_GT(collector.total_ces(), 0u);
+      // Reused context (the sweep path).
+      collector.begin_run(g.ranks(), seed);
+      const sim::SimResult attached_reused = sim.run(
+          noise, seed, reused, noise::RankNoise::kNoHorizon, {}, &collector);
+      expect_same_result(detached, attached_reused);
+    }
+  }
+}
+
+TEST(CollectorDifferential, ReusedContextDropsStaleSink) {
+  // A context that ran with a collector must not deliver detours to it on
+  // a later detached run: reset_for_run re-arms the sink every run.
+  const TaskGraph g = ring_graph();
+  const sim::Simulator sim(g, simple_params());
+  const auto noise = busy_noise();
+  sim::RunContext ctx;
+  Collector collector;
+  collector.begin_run(g.ranks(), 5);
+  sim.run(noise, 5, ctx, noise::RankNoise::kNoHorizon, {}, &collector);
+  const std::uint64_t seen = collector.total_ces();
+  EXPECT_GT(seen, 0u);
+  sim.run(noise, 6, ctx);  // detached: must not touch `collector`
+  EXPECT_EQ(collector.total_ces(), seen);
+}
+
+TEST(CollectorDifferential, SinkSeesEveryDetourInOrder) {
+  const TaskGraph g = ring_graph();
+  const sim::Simulator sim(g, simple_params());
+  const auto noise = busy_noise();
+  CollectorConfig config;
+  config.max_records = 1u << 20;  // keep every record for this check
+  Collector collector(config);
+  collector.begin_run(g.ranks(), 3);
+  const sim::SimResult r =
+      sim.run(noise, 3, noise::RankNoise::kNoHorizon, {}, &collector);
+  ASSERT_EQ(collector.records_dropped(), 0u);
+  // Per-rank indices are dense from 0 in consumption order, and arrivals
+  // are nondecreasing per rank — the DetourSink delivery contract.
+  std::vector<std::uint64_t> next_index(static_cast<std::size_t>(g.ranks()));
+  std::vector<TimeNs> last_arrival(static_cast<std::size_t>(g.ranks()), 0);
+  for (const CeRecord& rec : collector.records()) {
+    const auto rank = static_cast<std::size_t>(rec.rank);
+    EXPECT_EQ(rec.index, next_index[rank]++);
+    EXPECT_GE(rec.arrival, last_arrival[rank]);
+    last_arrival[rank] = rec.arrival;
+  }
+  // Every detour the engine charged was delivered (next_free can charge a
+  // busy period covering several consumed detours, so >=).
+  EXPECT_GE(collector.total_ces(), r.detours_charged);
+  EXPECT_GE(collector.detour_total(), r.noise_stolen);
+}
+
+TEST(CollectorDifferential, RunOnceOverloadMatchesSinkFreePath) {
+  workloads::WorkloadConfig config;
+  config.ranks = 8;
+  config.iterations = 2;
+  const core::ExperimentRunner runner(*workloads::find_workload("minife"),
+                                      config);
+  const noise::UniformCeNoiseModel noise(
+      milliseconds(5),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(775)));
+  const sim::SimResult plain = runner.run_once(noise, 42);
+  Collector collector;
+  collector.begin_run(config.ranks, 42);
+  const sim::SimResult with_sink = runner.run_once(noise, 42, &collector);
+  expect_same_result(plain, with_sink);
+  EXPECT_GT(collector.total_ces(), 0u);
+  const sim::SimResult null_sink = runner.run_once(noise, 42, nullptr);
+  expect_same_result(plain, null_sink);
+}
+
+TEST(CollectorExports, ByteIdenticalAcrossSameSeedRuns) {
+  // Pin the only nondeterministic input (the UTC stamp benches inject)
+  // through the sanctioned WallClock seam; everything else is a pure
+  // function of (graph, params, noise, seed).
+  bench::WallClock::set_utc_for_test(1700000000);
+  const std::int64_t utc = bench::WallClock::utc_seconds();
+  const TaskGraph g = ring_graph();
+  const sim::Simulator sim(g, simple_params());
+  const auto noise = busy_noise();
+  std::string jsonl[2];
+  std::string trace[2];
+  for (int round = 0; round < 2; ++round) {
+    Collector collector;
+    collector.begin_run(g.ranks(), 17);
+    sim.run(noise, 17, noise::RankNoise::kNoHorizon, {}, &collector);
+    jsonl[round] = collector.to_jsonl(utc);
+    trace[round] = collector.to_chrome_trace(utc);
+  }
+  bench::WallClock::clear_utc_override();
+  EXPECT_EQ(jsonl[0], jsonl[1]);
+  EXPECT_EQ(trace[0], trace[1]);
+  // Structural sanity: meta first, summary last, one line per record.
+  EXPECT_EQ(jsonl[0].rfind("{\"type\":\"meta\"", 0), 0u);
+  EXPECT_NE(jsonl[0].find("\"type\":\"summary\""), std::string::npos);
+  EXPECT_EQ(trace[0].rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(trace[0].find("\"utc_seconds\":1700000000"), std::string::npos);
+}
+
+TEST(CollectorExports, JsonlLineCountMatchesRecords) {
+  const TaskGraph g = ring_graph(2);
+  const sim::Simulator sim(g, simple_params());
+  const auto noise = busy_noise();
+  Collector collector;
+  collector.begin_run(g.ranks(), 8);
+  sim.run(noise, 8, noise::RankNoise::kNoHorizon, {}, &collector);
+  const std::string jsonl = collector.to_jsonl(0);
+  std::size_t lines = 0;
+  for (const char c : jsonl) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, collector.records().size() + 2);  // meta + summary
+}
+
+TEST(CollectorPolicyAgreement, ChargedCostsMatchCollectorActions) {
+  // Run under the ADAPTIVE noise model with a collector attached using the
+  // same accounting config: the collector's independently derived action
+  // for every CE, mapped through the policy's cost table, must equal the
+  // duration the in-run policy actually charged. This is the two-views-
+  // one-automaton guarantee that makes the telemetry trustworthy.
+  const TaskGraph g = ring_graph();
+  const sim::Simulator sim(g, simple_params());
+  AdaptivePolicyConfig policy_config;
+  policy_config.accounting.bucket = BucketConf{10, 10 * kMillisecond};
+  policy_config.accounting.offline_threshold = 24;
+  const AdaptiveCeNoiseModel noise(100 * kMicrosecond, policy_config);
+  CollectorConfig collector_config;
+  collector_config.accounting = policy_config.accounting;
+  collector_config.max_records = 1u << 20;
+  Collector collector(collector_config);
+  collector.begin_run(g.ranks(), 21);
+  sim.run(noise, 21, noise::RankNoise::kNoHorizon, {}, &collector);
+  ASSERT_EQ(collector.records_dropped(), 0u);
+  ASSERT_GT(collector.total_ces(), 0u);
+  // cost_of_action is a pure config lookup; any (seed, rank) works.
+  const AdaptiveLoggingPolicy cost_table(policy_config, 0, 0);
+  for (const CeRecord& rec : collector.records()) {
+    EXPECT_EQ(rec.duration, cost_table.cost_of_action(rec.action))
+        << "rank " << rec.rank << " index " << rec.index;
+  }
+  // The stream should have escalated at least once at this rate.
+  EXPECT_GT(collector.bucket_trips(), 0u);
+}
+
+TEST(CollectorPolicyAgreement, AdaptiveModelIsDeterministicWithReuse) {
+  // Same-seed adaptive runs must be bit-identical whether the context (and
+  // its per-rank policy state) is fresh or recycled — the reseed seam.
+  const TaskGraph g = ring_graph();
+  const sim::Simulator sim(g, simple_params());
+  const AdaptiveCeNoiseModel noise(200 * kMicrosecond,
+                                   AdaptivePolicyConfig{});
+  sim::RunContext ctx;
+  const sim::SimResult first = sim.run(noise, 31, ctx);
+  const sim::SimResult fresh = sim.run(noise, 31);
+  expect_same_result(first, fresh);
+  sim.run(noise, 77, ctx);  // advance the recycled state
+  const sim::SimResult recycled = sim.run(noise, 31, ctx);
+  expect_same_result(first, recycled);
+}
+
+}  // namespace
+}  // namespace celog::telemetry

@@ -1,0 +1,144 @@
+// Tests for fleet-scale telemetry aggregation: exact totals, histogram
+// placement, and bit-identical results for every job count (the integer-
+// state merge contract).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/collector.hpp"
+#include "telemetry/fleet.hpp"
+#include "util/time.hpp"
+
+namespace celog::telemetry {
+namespace {
+
+/// Deterministic synthetic summary: run `i` saw i CEs on each of 4 DIMMs,
+/// i % 3 trips on the first, and i % 5 offlined rows.
+RunSummary synthetic_summary(std::uint64_t i) {
+  RunSummary s;
+  s.run_seed = 1000 + i;
+  s.ranks = 1;
+  s.total_ces = 4 * i;
+  s.action_counts[static_cast<std::size_t>(CeAction::kLogged)] = 4 * i;
+  s.bucket_trips = i % 3;
+  s.rows_offlined = i % 5;
+  s.detour_total = static_cast<TimeNs>(i) * kMicrosecond;
+  s.ces_per_dimm.assign(4, i);
+  s.trips_per_dimm = {i % 3, 0, 0, 0};
+  return s;
+}
+
+std::vector<RunSummary> synthetic_fleet(std::uint64_t runs) {
+  std::vector<RunSummary> out;
+  out.reserve(runs);
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    out.push_back(synthetic_summary(i));
+  }
+  return out;
+}
+
+TEST(FleetAggregator, TotalsAreExact) {
+  FleetAggregator agg;
+  const auto fleet = synthetic_fleet(10);
+  for (const RunSummary& s : fleet) agg.add(s);
+  EXPECT_EQ(agg.runs(), 10u);
+  EXPECT_EQ(agg.total_ces(), 4u * 45u);  // 4 * sum(0..9)
+  EXPECT_EQ(agg.action_total(CeAction::kLogged), 4u * 45u);
+  EXPECT_EQ(agg.bucket_trips(), 0u + 1 + 2 + 0 + 1 + 2 + 0 + 1 + 2 + 0);
+  EXPECT_EQ(agg.rows_offlined(), 0u + 1 + 2 + 3 + 4 + 0 + 1 + 2 + 3 + 4);
+  EXPECT_EQ(agg.detour_total(), 45 * kMicrosecond);
+  EXPECT_EQ(agg.dimms_seen(), 40u);
+  EXPECT_EQ(agg.max_ces_in_run(), 36u);
+  EXPECT_DOUBLE_EQ(agg.mean_ces_per_run(), 18.0);
+}
+
+TEST(FleetAggregator, HistogramsPlaceEveryDimm) {
+  FleetConfig config;
+  config.bins = 8;
+  config.max_ces_per_dimm = 8.0;  // bin width 1: dimm with k CEs -> bin k
+  FleetAggregator agg(config);
+  for (const RunSummary& s : synthetic_fleet(8)) agg.add(s);
+  const Histogram& h = agg.ces_per_dimm();
+  EXPECT_EQ(h.total(), 32u);  // 8 runs x 4 DIMMs
+  EXPECT_EQ(h.overflow(), 0u);
+  for (std::size_t bin = 0; bin < 8; ++bin) {
+    EXPECT_EQ(h.bin_count(bin), 4u) << "bin " << bin;  // 4 DIMMs per run
+  }
+}
+
+TEST(FleetAggregator, OverflowIsCountedNotClipped) {
+  FleetConfig config;
+  config.bins = 4;
+  config.max_ces_per_dimm = 2.0;
+  FleetAggregator agg(config);
+  for (const RunSummary& s : synthetic_fleet(6)) agg.add(s);
+  // Runs 2..5 put all 4 DIMMs at or above the max.
+  EXPECT_EQ(agg.ces_per_dimm().overflow(), 16u);
+  EXPECT_EQ(agg.ces_per_dimm().total(), 24u);
+}
+
+TEST(FleetAggregator, MergeEqualsSerialFold) {
+  const auto fleet = synthetic_fleet(23);
+  FleetAggregator serial;
+  for (const RunSummary& s : fleet) serial.add(s);
+  FleetAggregator left;
+  FleetAggregator right;
+  for (std::size_t i = 0; i < 9; ++i) left.add(fleet[i]);
+  for (std::size_t i = 9; i < fleet.size(); ++i) right.add(fleet[i]);
+  left.merge(right);
+  EXPECT_EQ(left.to_json(), serial.to_json());
+}
+
+TEST(FleetAggregator, AggregateIsJobCountInvariant) {
+  // The headline contract: every aggregator field is integer state, so the
+  // chunked parallel fold is EXACTLY the serial fold for any job count —
+  // compared here through the full JSON rendering (totals + every bin).
+  const auto fleet = synthetic_fleet(101);
+  const FleetConfig config;
+  const std::string serial =
+      FleetAggregator::aggregate(fleet, config, 1).to_json();
+  for (const int jobs : {2, 3, 7, 16, 0}) {
+    EXPECT_EQ(FleetAggregator::aggregate(fleet, config, jobs).to_json(),
+              serial)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(FleetAggregator, AggregateHandlesEmptyAndTiny) {
+  const FleetConfig config;
+  const std::vector<RunSummary> empty;
+  EXPECT_EQ(FleetAggregator::aggregate(empty, config, 8).runs(), 0u);
+  const auto one = synthetic_fleet(1);
+  EXPECT_EQ(FleetAggregator::aggregate(one, config, 8).runs(), 1u);
+}
+
+TEST(FleetAggregator, ConsumesCollectorSummaries) {
+  // End-to-end shape check: a real Collector summary (empty run) folds in
+  // without tripping histogram bounds.
+  Collector collector;
+  collector.begin_run(/*ranks=*/2, /*run_seed=*/7);
+  FleetAggregator agg;
+  agg.add(collector.summary());
+  EXPECT_EQ(agg.runs(), 1u);
+  EXPECT_EQ(agg.total_ces(), 0u);
+  // 2 ranks x default 8 DIMMs, all quiet -> all in bin 0.
+  EXPECT_EQ(agg.ces_per_dimm().total(), 16u);
+  EXPECT_EQ(agg.ces_per_dimm().bin_count(0), 16u);
+}
+
+TEST(FleetAggregator, JsonIsSingleObjectWithHistograms) {
+  FleetAggregator agg;
+  agg.add(synthetic_summary(3));
+  const std::string json = agg.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"ces_per_dimm\""), std::string::npos);
+  EXPECT_NE(json.find("\"trips_per_dimm\""), std::string::npos);
+  EXPECT_NE(json.find("\"offlined_rows_per_run\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace celog::telemetry

@@ -1,0 +1,402 @@
+// Unit tests for the telemetry subsystem's deterministic components: the
+// mcelog leaky-bucket port, the synthetic CE decoder, the stream
+// accountant automaton, and the adaptive logging policy — including the
+// mean_cost_ns EXACT/AMORTIZED contract audit across all cost models.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "noise/detour.hpp"
+#include "telemetry/ce_record.hpp"
+#include "telemetry/leaky_bucket.hpp"
+#include "telemetry/policy.hpp"
+#include "util/time.hpp"
+
+namespace celog::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LeakyBucket: the integer port must reproduce mcelog's __bucket_account
+// semantics (age -> add -> overflow check, count reset + excess on trip).
+
+TEST(LeakyBucket, StaysQuietBelowCapacity) {
+  LeakyBucket b;
+  b.reset(0);
+  const BucketConf conf{5, kSecond};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(b.account(conf, 1, i * kMillisecond));
+  }
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_EQ(b.excess(), 0u);
+}
+
+TEST(LeakyBucket, TripsAtCapacityAndResets) {
+  LeakyBucket b;
+  b.reset(0);
+  const BucketConf conf{5, kSecond};
+  for (int i = 0; i < 4; ++i) ASSERT_FALSE(b.account(conf, 1, 0));
+  EXPECT_TRUE(b.account(conf, 1, 0));
+  // mcelog: the whole count rolls into excess and the bucket zeroes so one
+  // burst cannot re-trip within the same time unit.
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_EQ(b.excess(), 5u);
+  EXPECT_EQ(b.total(), 5u);
+}
+
+TEST(LeakyBucket, DisabledBucketNeverTrips) {
+  LeakyBucket b;
+  b.reset(0);
+  const BucketConf conf{0, kSecond};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(b.account(conf, 1, 0));
+  }
+}
+
+TEST(LeakyBucket, PartialWindowDoesNotDrain) {
+  LeakyBucket b;
+  b.reset(0);
+  const BucketConf conf{10, kSecond};
+  ASSERT_FALSE(b.account(conf, 3, 0));
+  // Less than one agetime later: mcelog's bucket_age is a no-op.
+  ASSERT_FALSE(b.account(conf, 1, kSecond - 1));
+  EXPECT_EQ(b.count(), 4u);
+}
+
+TEST(LeakyBucket, WholeWindowDrainsProportionally) {
+  LeakyBucket b;
+  b.reset(0);
+  const BucketConf conf{10, kSecond};
+  ASSERT_FALSE(b.account(conf, 8, 0));
+  // 0.15 agetime short of two windows: age = floor(1.85 * 10) = 18 >= 8,
+  // so the bucket drains fully before the new error lands.
+  ASSERT_FALSE(b.account(conf, 1, (2 * kSecond) - 150 * kMillisecond));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(LeakyBucket, FractionalDrainUsesFloorArithmetic) {
+  LeakyBucket b;
+  b.reset(0);
+  const BucketConf conf{10, kSecond};
+  ASSERT_FALSE(b.account(conf, 9, 0));
+  // diff = 1.05 s -> age = floor(1.05 * 10) = 10 > 9: full drain, then +1.
+  ASSERT_FALSE(b.account(conf, 1, kSecond + 50 * kMillisecond));
+  EXPECT_EQ(b.count(), 1u);
+  // Drain resets excess, like mcelog's bucket_age.
+  EXPECT_EQ(b.excess(), 0u);
+}
+
+TEST(LeakyBucket, SustainedStormTripsRepeatedly) {
+  LeakyBucket b;
+  b.reset(0);
+  const BucketConf conf{5, kSecond};
+  int trips = 0;
+  for (int i = 0; i < 25; ++i) {
+    if (b.account(conf, 1, i * kMicrosecond)) ++trips;
+  }
+  EXPECT_EQ(trips, 5);  // every 5th error in a tight burst
+}
+
+// ---------------------------------------------------------------------------
+// CeDecoder: pure function of (geometry, fault_rows, run_seed, rank).
+
+TEST(CeDecoder, IsDeterministicAcrossInstances) {
+  const DimmGeometry geo;
+  const CeDecoder a(geo, 4, /*run_seed=*/42, /*rank=*/3);
+  const CeDecoder b(geo, 4, 42, 3);
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.slot_of(i), b.slot_of(i));
+    EXPECT_EQ(a.decode(i), b.decode(i));
+  }
+}
+
+TEST(CeDecoder, ResetReproducesFreshDecoder) {
+  const DimmGeometry geo;
+  const CeDecoder fresh(geo, 4, 42, 3);
+  CeDecoder reused(geo, 4, /*run_seed=*/7, /*rank=*/0);
+  reused.reset(geo, 4, 42, 3);
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(fresh.decode(i), reused.decode(i));
+  }
+}
+
+TEST(CeDecoder, AddressesRespectGeometry) {
+  DimmGeometry geo;
+  geo.dimms = 3;
+  geo.channels = 2;
+  geo.banks = 5;
+  geo.rows = 7;
+  const CeDecoder d(geo, 16, 1234, 9);
+  for (std::uint32_t s = 0; s < d.fault_rows(); ++s) {
+    const DimmAddress& a = d.address(s);
+    EXPECT_LT(a.dimm, geo.dimms);
+    EXPECT_LT(a.channel, geo.channels);
+    EXPECT_LT(a.bank, geo.banks);
+    EXPECT_LT(a.row, geo.rows);
+  }
+}
+
+TEST(CeDecoder, DistinctSeedsGiveDistinctTables) {
+  const DimmGeometry geo;
+  const CeDecoder a(geo, 4, 1, 0);
+  const CeDecoder b(geo, 4, 2, 0);
+  bool any_difference = false;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    if (!(a.address(s) == b.address(s))) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(CeDecoder, EveryIndexLandsOnAFaultRow) {
+  const DimmGeometry geo;
+  const CeDecoder d(geo, 4, 99, 5);
+  std::vector<std::uint64_t> hits(4, 0);
+  for (std::uint64_t i = 0; i < 4000; ++i) ++hits[d.slot_of(i)];
+  // The slot hash should spread CEs over all fault rows (each expected
+  // ~1000; a row going entirely unhit would break offlining coverage).
+  for (const std::uint64_t h : hits) EXPECT_GT(h, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// StreamAccountant: the escalation automaton.
+
+AccountingConfig single_row_config(std::uint32_t capacity,
+                                   std::uint32_t offline_threshold) {
+  AccountingConfig c;
+  c.fault_rows = 1;  // all CEs strike one row -> fully predictable counts
+  c.bucket = BucketConf{capacity, kSecond};
+  c.offline_threshold = offline_threshold;
+  return c;
+}
+
+TEST(StreamAccountant, QuietStreamStaysLogged) {
+  StreamAccountant acct(single_row_config(10, 0), 42, 0);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    // One CE per 10 simulated seconds: the bucket fully drains between
+    // arrivals, so nothing ever escalates.
+    EXPECT_EQ(acct.observe(i, static_cast<TimeNs>(i) * 10 * kSecond),
+              CeAction::kLogged);
+  }
+  EXPECT_EQ(acct.bucket_trips(), 0u);
+  EXPECT_EQ(acct.rows_offlined(), 0u);
+}
+
+TEST(StreamAccountant, BurstTripsThenRateLimits) {
+  StreamAccountant acct(single_row_config(5, 0), 42, 0);
+  // 9 CEs in one microsecond burst: 4 logged, the 5th trips (storm
+  // decode), the rest fall inside the storm window.
+  std::vector<CeAction> actions;
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    actions.push_back(acct.observe(i, static_cast<TimeNs>(i)));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(actions[i], CeAction::kLogged);
+  }
+  EXPECT_EQ(actions[4], CeAction::kStormDecode);
+  for (int i = 5; i < 9; ++i) {
+    EXPECT_EQ(actions[static_cast<std::size_t>(i)], CeAction::kRateLimited);
+  }
+  EXPECT_EQ(acct.bucket_trips(), 1u);
+}
+
+TEST(StreamAccountant, StormExpiresAfterQuietAgetime) {
+  StreamAccountant acct(single_row_config(5, 0), 42, 0);
+  for (std::uint64_t i = 0; i < 5; ++i) acct.observe(i, 0);
+  ASSERT_TRUE(acct.in_storm(acct.decoder().address(0).dimm, 1));
+  // One full agetime after the trip the window has closed and the (aged,
+  // empty) bucket accepts the CE as a normal logged event.
+  EXPECT_EQ(acct.observe(5, kSecond + 1), CeAction::kLogged);
+}
+
+TEST(StreamAccountant, OfflinesRowAtThresholdThenRetires) {
+  StreamAccountant acct(single_row_config(0, 8), 42, 0);
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(acct.observe(i, static_cast<TimeNs>(i)), CeAction::kLogged);
+  }
+  EXPECT_EQ(acct.observe(7, 7), CeAction::kPageOffline);
+  EXPECT_EQ(acct.rows_offlined(), 1u);
+  EXPECT_TRUE(acct.row_offlined(0));
+  for (std::uint64_t i = 8; i < 20; ++i) {
+    EXPECT_EQ(acct.observe(i, static_cast<TimeNs>(i)), CeAction::kRetired);
+  }
+  // Retired CEs bypass the bucket entirely.
+  EXPECT_EQ(acct.bucket_trips(), 0u);
+}
+
+TEST(StreamAccountant, PageOfflineTakesPrecedenceOverStormDecode) {
+  // capacity == offline_threshold == 8 and a single row: the 8th CE both
+  // trips the bucket and crosses the offline threshold. Precedence says
+  // kPageOffline is reported, but the trip still opens the storm window
+  // and counts.
+  StreamAccountant acct(single_row_config(8, 8), 42, 0);
+  for (std::uint64_t i = 0; i < 7; ++i) acct.observe(i, 0);
+  EXPECT_EQ(acct.observe(7, 0), CeAction::kPageOffline);
+  EXPECT_EQ(acct.bucket_trips(), 1u);
+  EXPECT_TRUE(acct.in_storm(acct.decoder().address(0).dimm, 1));
+}
+
+TEST(StreamAccountant, ResetReproducesFreshAutomaton) {
+  const AccountingConfig config;  // defaults: 4 rows, 50/s bucket, 32 off
+  StreamAccountant fresh(config, 42, 3);
+  StreamAccountant reused(config, 7, 0);
+  reused.reset(config, 42, 3);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const TimeNs arrival = static_cast<TimeNs>(i) * 3 * kMillisecond;
+    EXPECT_EQ(fresh.observe(i, arrival), reused.observe(i, arrival));
+  }
+  EXPECT_EQ(fresh.bucket_trips(), reused.bucket_trips());
+  EXPECT_EQ(fresh.rows_offlined(), reused.rows_offlined());
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveLoggingPolicy: action -> cost mapping and the EXACT mean
+// contract.
+
+AdaptivePolicyConfig test_policy_config() {
+  AdaptivePolicyConfig c;
+  c.accounting = single_row_config(5, 12);
+  c.logged_cost = 700 * kMicrosecond;
+  c.storm_decode_cost = 10 * kMillisecond;
+  c.rate_limited_cost = 150;
+  c.page_offline_cost = kMillisecond;
+  c.retired_cost = 150;
+  return c;
+}
+
+TEST(AdaptivePolicy, ChargesNormalCostWhileQuiet) {
+  AdaptiveLoggingPolicy policy(test_policy_config(), 42, 0);
+  EXPECT_EQ(policy.cost_of_event_at(0, 10 * kSecond), 700 * kMicrosecond);
+  EXPECT_EQ(policy.cost_of_event_at(1, 20 * kSecond), 700 * kMicrosecond);
+}
+
+TEST(AdaptivePolicy, EscalatesOnStormAndCollapsesAfterOffline) {
+  const AdaptivePolicyConfig config = test_policy_config();
+  AdaptiveLoggingPolicy policy(config, 42, 0);
+  std::vector<TimeNs> costs;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    costs.push_back(policy.cost_of_event_at(i, static_cast<TimeNs>(i)));
+  }
+  // 4 logged; the 5th trips the bucket (storm decode); the burst then
+  // rate-limits, re-tripping every `capacity` CEs (one storm summary per
+  // bucket window — index 9 here); the 12th CE crosses the offline
+  // threshold; everything after is retired.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(costs[i], config.logged_cost);
+  }
+  EXPECT_EQ(costs[4], config.storm_decode_cost);
+  for (int i = 5; i < 9; ++i) {
+    EXPECT_EQ(costs[static_cast<std::size_t>(i)], config.rate_limited_cost);
+  }
+  EXPECT_EQ(costs[9], config.storm_decode_cost);
+  EXPECT_EQ(costs[10], config.rate_limited_cost);
+  EXPECT_EQ(costs[11], config.page_offline_cost);
+  for (int i = 12; i < 16; ++i) {
+    EXPECT_EQ(costs[static_cast<std::size_t>(i)], config.retired_cost);
+  }
+}
+
+TEST(AdaptivePolicy, MeanCostIsExactlyChargedMean) {
+  // The base-class contract says AdaptiveLoggingPolicy::mean_cost_ns is
+  // EXACT: reported mean times event count == charged total, at every
+  // point in the stream (storms, offlines, and all).
+  AdaptiveLoggingPolicy policy(test_policy_config(), 42, 0);
+  TimeNs charged = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    charged += policy.cost_of_event_at(i, static_cast<TimeNs>(i) * 100);
+    EXPECT_DOUBLE_EQ(policy.mean_cost_ns(),
+                     static_cast<double>(charged) /
+                         static_cast<double>(i + 1));
+  }
+  EXPECT_EQ(policy.charged_total(), charged);
+  EXPECT_EQ(policy.charged_events(), 200u);
+}
+
+TEST(AdaptivePolicy, CostOfEventDoesNotAdvanceState) {
+  AdaptiveLoggingPolicy policy(test_policy_config(), 42, 0);
+  // The stateless probe returns the normal-path cost and must not feed
+  // the automaton: charging afterwards still sees a fresh stream.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(policy.cost_of_event(static_cast<std::uint64_t>(i)),
+              test_policy_config().logged_cost);
+  }
+  EXPECT_EQ(policy.charged_events(), 0u);
+  EXPECT_EQ(policy.cost_of_event_at(0, 0), test_policy_config().logged_cost);
+}
+
+TEST(AdaptivePolicy, ResetReproducesFreshPolicy) {
+  const AdaptivePolicyConfig config = test_policy_config();
+  AdaptiveLoggingPolicy fresh(config, 42, 3);
+  AdaptiveLoggingPolicy reused(config, 9, 1);
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    reused.cost_of_event_at(i, static_cast<TimeNs>(i));
+  }
+  reused.reset(42, 3);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const TimeNs arrival = static_cast<TimeNs>(i) * kMillisecond;
+    EXPECT_EQ(fresh.cost_of_event_at(i, arrival),
+              reused.cost_of_event_at(i, arrival));
+  }
+  EXPECT_EQ(fresh.charged_total(), reused.charged_total());
+}
+
+// ---------------------------------------------------------------------------
+// mean_cost_ns contract audit (satellite): FlatLoggingCost is EXACT,
+// ThresholdLoggingCost is AMORTIZED — exact only at multiples of the
+// threshold, undershooting by at most per_threshold / N elsewhere.
+
+TEST(MeanCostContract, FlatIsExactEverywhere) {
+  const noise::FlatLoggingCost flat(775 * kMicrosecond);
+  TimeNs charged = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    charged += flat.cost_of_event(i);
+    EXPECT_DOUBLE_EQ(flat.mean_cost_ns(),
+                     static_cast<double>(charged) /
+                         static_cast<double>(i + 1));
+  }
+}
+
+TEST(MeanCostContract, ThresholdIsExactAtMultiplesOfThreshold) {
+  const TimeNs per_event = 7 * kMillisecond;
+  const TimeNs per_decode = 500 * kMillisecond;
+  const std::uint64_t threshold = 10;
+  const noise::ThresholdLoggingCost cost(per_event, per_decode, threshold);
+  TimeNs charged = 0;
+  for (std::uint64_t i = 0; i < 10 * threshold; ++i) {
+    charged += cost.cost_of_event(i);
+    const std::uint64_t n = i + 1;
+    const double charged_mean =
+        static_cast<double>(charged) / static_cast<double>(n);
+    if (n % threshold == 0) {
+      EXPECT_DOUBLE_EQ(cost.mean_cost_ns(), charged_mean)
+          << "amortized mean must be exact at N=" << n;
+    } else {
+      // Between decodes the charged mean undershoots the amortized mean
+      // by the not-yet-paid fraction of the next decode: at most
+      // per_decode / N, and never overshoots.
+      const double undershoot = cost.mean_cost_ns() - charged_mean;
+      EXPECT_GT(undershoot, 0.0) << "N=" << n;
+      EXPECT_LE(undershoot,
+                static_cast<double>(per_decode) / static_cast<double>(n))
+          << "N=" << n;
+    }
+  }
+}
+
+TEST(MeanCostContract, AdaptiveDefaultsUndercutFixedInStorms) {
+  // The tuning invariant behind the ablation's acceptance criterion: once
+  // a storm is rate-limited, the adaptive per-CE mean must sit below the
+  // fixed software cost it replaces. One bucket window of sustained storm
+  // charges one storm decode plus (capacity - 1) suppressed CEs.
+  const AdaptivePolicyConfig c;  // library defaults
+  const double per_window =
+      static_cast<double>(c.storm_decode_cost) +
+      static_cast<double>(c.accounting.bucket.capacity - 1) *
+          static_cast<double>(c.rate_limited_cost);
+  const double adaptive_mean =
+      per_window / static_cast<double>(c.accounting.bucket.capacity);
+  EXPECT_LT(adaptive_mean, static_cast<double>(c.logged_cost));
+}
+
+}  // namespace
+}  // namespace celog::telemetry
