@@ -88,31 +88,62 @@ class PerfJson {
 
   ~PerfJson() {
     if (!enabled()) return;
+    // Assemble the whole record in memory first and append it with ONE
+    // write: "a" opens with O_APPEND, so a single buffered write of a
+    // record-sized chunk lands contiguously even when several bench
+    // processes share the trajectory file. Writing piecemeal with
+    // unchecked fprintf could interleave records and — on a full disk or
+    // a signal-shortened write — silently truncate one, corrupting the
+    // JSONL file for every later reader.
+    std::string record;
+    record.reserve(256 + 48 * metrics_.size() + 64 * cells_.size());
+    record += "{\"bench\":\"";
+    record += escape(bench_);
+    record += "\",\"utc\":\"";
+    record += utc_now();
+    record += "\",\"metrics\":{";
+    char num[64];
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i != 0) record += ',';
+      record += '"';
+      record += escape(metrics_[i].first);
+      record += "\":";
+      std::snprintf(num, sizeof(num), "%.17g", metrics_[i].second);
+      record += num;
+    }
+    record += '}';
+    if (!cells_.empty()) {
+      std::sort(cells_.begin(), cells_.end());
+      record += ",\"cells\":[";
+      for (std::size_t i = 0; i < cells_.size(); ++i) {
+        if (i != 0) record += ',';
+        record += "{\"label\":\"";
+        record += escape(cells_[i].first);
+        record += "\",\"wall_s\":";
+        std::snprintf(num, sizeof(num), "%.6g", cells_[i].second);
+        record += num;
+        record += '}';
+      }
+      record += ']';
+    }
+    record += "}\n";
+
     std::FILE* f = std::fopen(path_.c_str(), "a");
     if (f == nullptr) {
       std::fprintf(stderr, "[bench] cannot append perf record to %s\n",
                    path_.c_str());
       return;
     }
-    std::fprintf(f, "{\"bench\":\"%s\",\"utc\":\"%s\",\"metrics\":{",
-                 escape(bench_).c_str(), utc_now().c_str());
-    for (std::size_t i = 0; i < metrics_.size(); ++i) {
-      std::fprintf(f, "%s\"%s\":%.17g", i == 0 ? "" : ",",
-                   escape(metrics_[i].first).c_str(), metrics_[i].second);
+    const std::size_t written = std::fwrite(record.data(), 1, record.size(), f);
+    // fclose can be the call that surfaces a short write (it flushes the
+    // stdio buffer), so its result is part of the record's fate too.
+    const bool closed_ok = std::fclose(f) == 0;
+    if (written != record.size() || !closed_ok) {
+      std::fprintf(stderr,
+                   "[bench] short write appending perf record to %s (%zu of "
+                   "%zu bytes; the trailing record may be truncated)\n",
+                   path_.c_str(), written, record.size());
     }
-    std::fputs("}", f);
-    if (!cells_.empty()) {
-      std::sort(cells_.begin(), cells_.end());
-      std::fputs(",\"cells\":[", f);
-      for (std::size_t i = 0; i < cells_.size(); ++i) {
-        std::fprintf(f, "%s{\"label\":\"%s\",\"wall_s\":%.6g}",
-                     i == 0 ? "" : ",", escape(cells_[i].first).c_str(),
-                     cells_[i].second);
-      }
-      std::fputs("]", f);
-    }
-    std::fputs("}\n", f);
-    std::fclose(f);
   }
 
  private:

@@ -1,0 +1,286 @@
+// bench/serve_bench — the `serve` perf tier: end-to-end throughput and
+// latency of celogd's request path. An in-process server::Daemon listens
+// on a Unix socket in a private temp directory; `--clients` threads each
+// run `--requests` sequential request/response exchanges of mixed sweep
+// shapes against it. Reported per rep: aggregate requests/s; across every
+// timed request: latency p50/p99. The interesting costs are exactly the
+// tentpole's: line framing, admission, the runner cache (hit path after
+// warmup), leased sweep pools, and streamed response writes.
+//
+// The bench doubles as a byte-level determinism check of the serving path:
+// before and after the timed load it sends a canonical sweep request and
+// compares the served "result" line against result_line() over a batch
+// ExperimentRunner built from RunnerRegistry::config_for — the contract in
+// src/server/protocol.hpp. The "after" check runs on a daemon whose
+// runner cache, contexts, and pools have been churned by the whole load,
+// so cache/pool reuse is proven not to leak into results.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "perf_json.hpp"
+#include "core/experiment.hpp"
+#include "core/logging_mode.hpp"
+#include "noise/noise_model.hpp"
+#include "server/daemon.hpp"
+#include "server/protocol.hpp"
+#include "server/runner_registry.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/net.hpp"
+#include "util/stats.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace celog;
+
+/// One request/response exchange on an open connection. Returns the
+/// terminal line ("result"/"error"); streamed "run" lines are counted but
+/// discarded.
+std::string exchange(int fd, util::LineReader& reader,
+                     const std::string& request) {
+  if (!util::write_all(fd, request + "\n")) {
+    std::fprintf(stderr, "FATAL: daemon hung up while sending\n");
+    std::exit(1);
+  }
+  std::string line;
+  while (reader.read_line(line)) {
+    if (line.find("\"event\":\"run\"") == std::string::npos) return line;
+  }
+  std::fprintf(stderr, "FATAL: daemon hung up before the result\n");
+  std::exit(1);
+}
+
+/// The mixed request shapes the load loop cycles through. Two distinct
+/// (workload, ranks) cells so the runner cache serves hits from more than
+/// one entry; --jobs 2 on the larger one exercises pool leasing.
+std::vector<std::string> request_mix(double sim_s) {
+  const std::string sim = " --sim-s " + server::format_double(sim_s);
+  return {
+      "sweep --id 1 --workload lulesh --ranks 16 --seeds 2 --mtbce-ms 10 "
+      "--mode software" + sim,
+      "sweep --id 2 --workload lulesh --ranks 32 --seeds 4 --jobs 2 "
+      "--mtbce-ms 5 --mode software" + sim,
+      "sweep --id 3 --workload lulesh --ranks 16 --seeds 2 --mtbce-ms 50 "
+      "--mode firmware --stream-runs" + sim,
+  };
+}
+
+/// Byte-level equivalence check: served result vs a batch ExperimentRunner
+/// serialized through the same protocol functions.
+void check_batch_identity(int fd, util::LineReader& reader, double sim_s,
+                          const char* when) {
+  server::SweepRequest req;
+  req.id = 99;
+  req.workload = "lulesh";
+  req.ranks = 16;
+  req.sim_s = sim_s;
+  req.seeds = 3;
+  req.base_seed = 1234;
+  req.jobs = 2;
+  req.mtbce_ms = 10.0;
+  req.mode = "software";
+  const std::string line =
+      "sweep --id 99 --workload lulesh --ranks 16 --seeds 3 --seed 1234 "
+      "--jobs 2 --mtbce-ms 10 --mode software --sim-s " +
+      server::format_double(sim_s);
+  const std::string served = exchange(fd, reader, line) + "\n";
+
+  const auto workload = workloads::find_workload(req.workload);
+  const core::ExperimentRunner runner(
+      *workload,
+      server::RunnerRegistry::config_for(*workload, req.ranks, req.sim_s));
+  const noise::UniformCeNoiseModel noise(
+      from_seconds(req.mtbce_ms * 1e-3),
+      core::cost_model(core::LoggingMode::kSoftware));
+  const std::string batch = server::result_line(
+      req.id,
+      runner.measure(noise, req.seeds, req.base_seed, req.horizon, req.jobs));
+
+  if (served != batch) {
+    std::fprintf(stderr,
+                 "FATAL: served result diverged from batch (%s load)\n"
+                 "  served: %s  batch:  %s",
+                 when, served.c_str(), batch.c_str());
+    std::exit(1);
+  }
+  std::printf("  %-46s OK (%zu bytes)\n",
+              (std::string("batch_identity.") + when).c_str(), batch.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(
+      "End-to-end bench of the celogd request path: an in-process daemon "
+      "on a Unix socket, --clients threads x --requests request/response "
+      "exchanges of mixed sweep shapes. Reports requests/s p50/p95 across "
+      "--reps and latency p50/p99 across all timed requests, and checks "
+      "served results stay byte-identical to batch ExperimentRunner "
+      "output before and after the load.");
+  cli.add_option("clients", "2", "concurrent client threads");
+  cli.add_option("requests", "30", "requests per client per rep");
+  cli.add_option("reps", "3", "timed repetitions");
+  cli.add_option("warmup", "1", "untimed warmup repetitions");
+  cli.add_option("workers", "2", "daemon sweep worker threads");
+  cli.add_option("sim-s", "0.02", "simulated seconds per served run");
+  cli.add_option("json", "",
+                 "append a perf-trajectory JSONL record to this file");
+  cli.add_option("check-floor", "",
+                 "flat JSON file of throughput floors; exit 1 if any "
+                 "recorded metric falls >30% below its floor");
+  cli.add_flag("smoke", "CI preset (same sizes; kept for symmetry with "
+               "engine_microbench invocations)");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 1;
+
+  const int clients = static_cast<int>(cli.get_int("clients"));
+  const int requests = static_cast<int>(cli.get_int("requests"));
+  const int reps = static_cast<int>(cli.get_int("reps"));
+  const int warmup = static_cast<int>(cli.get_int("warmup"));
+  const double sim_s = cli.get_double("sim-s");
+
+  char tmpl[] = "/tmp/celog-serve-XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::fprintf(stderr, "FATAL: mkdtemp failed\n");
+    return 1;
+  }
+  const std::string dir = tmpl;
+  const std::string sock_path = dir + "/celogd.sock";
+
+  server::DaemonConfig config;
+  config.workers = static_cast<int>(cli.get_int("workers"));
+  config.quota = 8;
+  config.jobs_cap = 4;
+  std::vector<util::ScopedFd> listeners;
+  listeners.push_back(util::listen_unix(sock_path));
+  server::Daemon daemon(std::move(listeners), config);
+  std::thread server_thread([&daemon] { daemon.run(); });
+
+  const std::string name = "serve_smoke_c" + std::to_string(clients);
+  std::printf("== serve_bench (%s: %d clients x %d requests, reps=%d "
+              "warmup=%d, workers=%d) ==\n",
+              name.c_str(), clients, requests, reps, warmup, config.workers);
+
+  {
+    util::ScopedFd fd = util::connect_unix(sock_path);
+    util::LineReader reader(fd.get());
+    check_batch_identity(fd.get(), reader, sim_s, "before");
+  }
+
+  const std::vector<std::string> mix = request_mix(sim_s);
+  std::vector<double> rep_rps;
+  std::vector<double> latencies_ms;  // across all timed requests
+  std::mutex latency_mu;
+
+  for (int rep = 0; rep < warmup + reps; ++rep) {
+    const bool timed = rep >= warmup;
+    const bench::WallTimer rep_timer;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c, timed] {
+        util::ScopedFd fd = util::connect_unix(sock_path);
+        util::LineReader reader(fd.get());
+        std::vector<double> local;
+        local.reserve(static_cast<std::size_t>(requests));
+        for (int r = 0; r < requests; ++r) {
+          // Offset per client so clients interleave different shapes.
+          const std::string& request =
+              mix[static_cast<std::size_t>(c + r) % mix.size()];
+          const bench::WallTimer timer;
+          const std::string terminal = exchange(fd.get(), reader, request);
+          if (terminal.find("\"event\":\"result\"") == std::string::npos) {
+            std::fprintf(stderr, "FATAL: unexpected terminal line: %s\n",
+                         terminal.c_str());
+            std::exit(1);
+          }
+          local.push_back(timer.seconds() * 1e3);
+        }
+        if (timed) {
+          const std::lock_guard<std::mutex> lock(latency_mu);
+          latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (timed) {
+      rep_rps.push_back(static_cast<double>(clients) * requests /
+                        rep_timer.seconds());
+    }
+  }
+
+  {
+    util::ScopedFd fd = util::connect_unix(sock_path);
+    util::LineReader reader(fd.get());
+    check_batch_identity(fd.get(), reader, sim_s, "after");
+    const std::string stats = exchange(fd.get(), reader, "stats --id 100");
+    std::printf("  %s\n", stats.c_str());
+  }
+
+  daemon.request_drain();
+  server_thread.join();
+  ::unlink(sock_path.c_str());
+  ::rmdir(dir.c_str());
+
+  bench::PerfJson perf(cli.get("json"), "serve_bench");
+  const double rps_p50 = percentile(rep_rps, 0.50);
+  const double rps_p95 = percentile(rep_rps, 0.95);
+  const double lat_p50 = percentile(latencies_ms, 0.50);
+  const double lat_p99 = percentile(latencies_ms, 0.99);
+  std::printf("  %-46s p50 %12.4g req/s p95 %12.4g req/s\n",
+              (name + ".requests_per_s").c_str(), rps_p50, rps_p95);
+  std::printf("  %-46s p50 %12.4g ms    p99 %12.4g ms\n",
+              (name + ".latency_ms").c_str(), lat_p50, lat_p99);
+  perf.metric(name + ".requests_per_s.p50", rps_p50);
+  perf.metric(name + ".requests_per_s.p95", rps_p95);
+  perf.metric(name + ".latency_ms.p50", lat_p50);
+  perf.metric(name + ".latency_ms.p99", lat_p99);
+
+  const std::string floor_path = cli.get("check-floor");
+  if (!floor_path.empty()) {
+    // Only this bench's own metrics are checked; engine floors in the same
+    // file are skipped (not recorded here), mirroring engine_microbench.
+    std::FILE* f = std::fopen(floor_path.c_str(), "r");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open floor file %s\n", floor_path.c_str());
+      return 1;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    int failures = 0;
+    std::size_t pos = 0;
+    while ((pos = text.find('"', pos)) != std::string::npos) {
+      const std::size_t end = text.find('"', pos + 1);
+      if (end == std::string::npos) break;
+      const std::string key = text.substr(pos + 1, end - pos - 1);
+      pos = end + 1;
+      while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) {
+        ++pos;
+      }
+      if (pos >= text.size() || text[pos] != ':') continue;
+      ++pos;
+      double floor = 0.0;
+      if (std::sscanf(text.c_str() + pos, "%lf", &floor) != 1) continue;
+      const double measured = perf.lookup(key);
+      if (measured < 0.0) continue;  // not one of this bench's metrics
+      const bool ok = measured >= 0.7 * floor;
+      std::printf("floor  %-46s %.4g vs floor %.4g  %s\n", key.c_str(),
+                  measured, floor, ok ? "OK" : "FAIL (>30% regression)");
+      if (!ok) ++failures;
+    }
+    if (failures > 0) return 1;
+  }
+  return 0;
+}

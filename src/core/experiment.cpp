@@ -14,20 +14,67 @@
 
 namespace celog::core {
 
-/// The persistent sweep machinery behind measure()/run_once(): one cached
-/// ThreadPool (rebuilt only when the requested concurrency changes) and a
-/// free list of reusable RunContexts. Both are caches guarded by their own
-/// mutexes so concurrent measure() calls on one runner — the RunnerCache
-/// sharing pattern in the benches — remain safe: the pool is claimed with
-/// a try-lock (contenders build a throwaway pool, exactly the pre-cache
-/// behavior), and a context leaves the free list before any run touches
-/// it, so no context is ever shared by two in-flight runs.
+/// The persistent sweep machinery behind measure()/run_once(): a bounded
+/// free list of cached ThreadPools (leased one per in-flight parallel
+/// measure(), so concurrent sweeps never serialize on one pool and never
+/// fall back to building a throwaway pool per call — the steady-state
+/// behavior a long-running sweep service needs) and a free list of
+/// reusable RunContexts. Both are caches guarded by their own mutexes so
+/// concurrent measure() calls on one runner — the RunnerCache sharing
+/// pattern in the benches and the request scheduling in celogd — remain
+/// safe: a pool leaves the free list before any sweep uses it, and a
+/// context leaves the free list before any run touches it, so neither is
+/// ever shared by two in-flight sweeps/runs.
 struct ExperimentRunner::SweepState {
+  /// Cached idle pools are capped: a burst of concurrent sweeps beyond the
+  /// cap still gets a pool each (built fresh), but only this many park on
+  /// the free list afterwards — bounding idle threads at steady state.
+  static constexpr std::size_t kMaxIdlePools = 4;
+
   std::mutex pool_mu;
-  std::unique_ptr<util::ThreadPool> pool;  // guarded by pool_mu
+  std::vector<std::unique_ptr<util::ThreadPool>> idle_pools;  // guarded
 
   std::mutex ctx_mu;
   std::vector<std::unique_ptr<sim::RunContext>> free_contexts;
+
+  /// Takes an idle pool of exactly `want` threads when one is cached;
+  /// otherwise evicts one mismatched idle pool (bounding memory when the
+  /// requested concurrency changes for good) and builds the right size.
+  std::unique_ptr<util::ThreadPool> acquire_pool(unsigned want) {
+    {
+      std::lock_guard<std::mutex> lock(pool_mu);
+      for (auto it = idle_pools.begin(); it != idle_pools.end(); ++it) {
+        if ((*it)->threads() == want) {
+          std::unique_ptr<util::ThreadPool> pool = std::move(*it);
+          idle_pools.erase(it);
+          return pool;
+        }
+      }
+      if (!idle_pools.empty()) idle_pools.pop_back();
+    }
+    return std::make_unique<util::ThreadPool>(want);
+  }
+
+  void release_pool(std::unique_ptr<util::ThreadPool> pool) {
+    std::lock_guard<std::mutex> lock(pool_mu);
+    if (idle_pools.size() < kMaxIdlePools) {
+      idle_pools.push_back(std::move(pool));
+    }
+  }
+
+  /// RAII lease of one pool per in-flight parallel sweep. Returning the
+  /// pool through the destructor keeps the cache intact when a sweep
+  /// unwinds with an exception (the lowest-index rethrow from
+  /// ThreadPool::parallel_for_slotted).
+  struct PoolLease {
+    SweepState& state;
+    std::unique_ptr<util::ThreadPool> pool;
+    PoolLease(SweepState& s, unsigned want)
+        : state(s), pool(s.acquire_pool(want)) {}
+    ~PoolLease() { state.release_pool(std::move(pool)); }
+    PoolLease(const PoolLease&) = delete;
+    PoolLease& operator=(const PoolLease&) = delete;
+  };
 
   std::unique_ptr<sim::RunContext> acquire() {
     {
@@ -101,11 +148,24 @@ goal::Rank scaled_trace_block(const workloads::Workload& workload,
   return std::clamp<goal::Rank>(block, 1, scale.ranks);
 }
 
+namespace {
+
+sim::Simulator make_simulator(const goal::TaskGraph& graph,
+                              sim::NetworkParams net,
+                              sim::MatcherKind matcher) {
+  sim::Simulator simulator(graph, net);
+  simulator.set_matcher(matcher);
+  return simulator;
+}
+
+}  // namespace
+
 ExperimentRunner::ExperimentRunner(const workloads::Workload& workload,
                                    const workloads::WorkloadConfig& config,
-                                   sim::NetworkParams net)
+                                   sim::NetworkParams net,
+                                   sim::MatcherKind matcher)
     : graph_(workload.build(config)),
-      simulator_(graph_, net),
+      simulator_(make_simulator(graph_, net, matcher)),
       baseline_(simulator_.run_baseline()),
       sweep_(std::make_unique<SweepState>()) {}
 
@@ -122,6 +182,17 @@ sim::SimResult ExperimentRunner::run_once(const noise::NoiseModel& noise,
   SweepState::Lease lease(*sweep_);
   return simulator_.run(noise, seed, *lease.ctx,
                         noise::RankNoise::kNoHorizon, {}, ce_sink);
+}
+
+sim::SimResult ExperimentRunner::run_once(const noise::NoiseModel& noise,
+                                          std::uint64_t seed,
+                                          double horizon_factor) const {
+  CELOG_ASSERT_MSG(horizon_factor > 1.0, "horizon must exceed the baseline");
+  const auto horizon = static_cast<TimeNs>(
+      std::min(static_cast<double>(noise::RankNoise::kNoHorizon),
+               static_cast<double>(baseline_.makespan) * horizon_factor));
+  SweepState::Lease lease(*sweep_);
+  return simulator_.run(noise, seed, *lease.ctx, horizon);
 }
 
 SlowdownResult ExperimentRunner::measure(const noise::NoiseModel& noise,
@@ -161,25 +232,15 @@ SlowdownResult ExperimentRunner::measure(const noise::NoiseModel& noise,
     }
   };
   if (jobs > 1 && seeds > 1) {
-    // Reuse the cached pool when it is free and already the right size;
-    // rebuild it (still cached) when the effective job count changed. A
-    // concurrent measure() holding the cache gets a throwaway pool — the
-    // pre-cache behavior — rather than serializing the two sweeps. The
-    // lock is held for the whole sweep: it IS the lease on the pool.
+    // Lease a cached pool for the duration of this sweep. Steady-state
+    // repeated measure() calls reuse one parked pool; CONCURRENT measure()
+    // calls (daemon workers, RunnerCache sharing in the benches) each get
+    // their own leased pool — no serialization, and no per-call thread
+    // churn on the contended path (the old fallback built and tore down a
+    // throwaway ThreadPool on every contended call).
     const auto want = static_cast<unsigned>(std::min<int>(jobs, seeds));
-    std::unique_lock<std::mutex> pool_lease(sweep_->pool_mu,
-                                            std::try_to_lock);
-    std::unique_ptr<util::ThreadPool> throwaway;
-    util::ThreadPool* pool = nullptr;
-    if (pool_lease.owns_lock()) {
-      if (!sweep_->pool || sweep_->pool->threads() != want) {
-        sweep_->pool = std::make_unique<util::ThreadPool>(want);
-      }
-      pool = sweep_->pool.get();
-    } else {
-      throwaway = std::make_unique<util::ThreadPool>(want);
-      pool = throwaway.get();
-    }
+    SweepState::PoolLease pool_lease(*sweep_, want);
+    util::ThreadPool* pool = pool_lease.pool.get();
     // One context per worker slot: a slot runs at most one seed at a time,
     // so each context has exactly one in-flight run (Debug builds assert
     // this inside the engine) while still being reused for every seed the

@@ -83,9 +83,14 @@ struct SlowdownResult {
 /// and every seeded noisy run.
 class ExperimentRunner {
  public:
+  /// `matcher` selects the engine's message-matching implementation for
+  /// the baseline and every noisy run (results are bit-identical either
+  /// way; kReference exists for differential testing — and for served
+  /// requests that ask to cross-check the production matcher).
   ExperimentRunner(const workloads::Workload& workload,
                    const workloads::WorkloadConfig& config,
-                   sim::NetworkParams net = sim::NetworkParams::cray_xc40());
+                   sim::NetworkParams net = sim::NetworkParams::cray_xc40(),
+                   sim::MatcherKind matcher = sim::MatcherKind::kBucketed);
   ~ExperimentRunner();
 
   ExperimentRunner(const ExperimentRunner&) = delete;
@@ -105,15 +110,17 @@ class ExperimentRunner {
   /// seed order — so the result is bit-identical to jobs = 1 for any job
   /// count (see DESIGN.md, "Parallel sweep substrate").
   ///
-  /// Steady-state sweeps reuse everything: the runner keeps one lazily
-  /// built ThreadPool (rebuilt only when the effective job count changes)
+  /// Steady-state sweeps reuse everything: the runner keeps a small cache
+  /// of idle ThreadPools (leased one per in-flight sweep, matched on the
+  /// effective job count)
   /// and a free list of sim::RunContexts — one leased per worker slot per
   /// sweep — so repeated measure() calls on one runner allocate nothing
   /// per run (see DESIGN.md, "Run-context reuse"). Concurrent measure()
   /// calls on the same runner (bench tables share runners through
-  /// RunnerCache) stay safe: a call that finds the cached pool busy falls
-  /// back to a per-call pool, and contexts are never shared between
-  /// in-flight runs.
+  /// RunnerCache; celogd shares them through RunnerRegistry) each lease
+  /// their own pool from a small idle cache — no serialization and no
+  /// throwaway per-call pools under contention — and contexts are never
+  /// shared between in-flight runs.
   SlowdownResult measure(const noise::NoiseModel& noise, int seeds,
                          std::uint64_t base_seed = 1000,
                          double horizon_factor = 100.0, int jobs = 1) const;
@@ -121,6 +128,15 @@ class ExperimentRunner {
   /// Single noisy run (exposed for tests and ablations).
   sim::SimResult run_once(const noise::NoiseModel& noise,
                           std::uint64_t seed) const;
+
+  /// Single noisy run bounded by `horizon_factor` x the baseline makespan —
+  /// the same horizon arithmetic as measure(). Throws NoProgressError when
+  /// the run blows through it. Unbounded run_once is wrong for untrusted
+  /// inputs: in the paper's no-progress regime (CE handling outpaces the
+  /// CPU) the simulation never terminates, so a served streamed run must
+  /// carry a horizon.
+  sim::SimResult run_once(const noise::NoiseModel& noise, std::uint64_t seed,
+                          double horizon_factor) const;
 
   /// Single noisy run with a CE telemetry sink attached (e.g. a
   /// telemetry::Collector): the sink observes every consumed detour, and

@@ -1,0 +1,529 @@
+#include "server/daemon.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/logging_mode.hpp"
+#include "noise/detour.hpp"
+#include "noise/noise_model.hpp"
+#include "util/error.hpp"
+#include "util/time.hpp"
+
+namespace celog::server {
+
+namespace {
+
+core::LoggingMode mode_from(const std::string& mode) {
+  if (mode == "hardware") return core::LoggingMode::kHardwareOnly;
+  if (mode == "firmware") return core::LoggingMode::kFirmware;
+  return core::LoggingMode::kSoftware;  // parse_request validated the rest
+}
+
+}  // namespace
+
+Daemon::Daemon(std::vector<util::ScopedFd> listeners, DaemonConfig config)
+    : config_(config), listeners_(std::move(listeners)) {
+  auto pipe = util::make_wake_pipe();
+  wake_r_ = std::move(pipe.first);
+  wake_w_ = std::move(pipe.second);
+  for (const auto& listener : listeners_) {
+    util::set_nonblocking(listener.get());
+  }
+}
+
+Daemon::~Daemon() {
+  // run() joins the workers before returning; this only matters when run()
+  // was never called or threw.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    workers_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void Daemon::request_drain() {
+  util::write_some(wake_w_.get(), "q", 1);
+}
+
+void Daemon::wake() {
+  util::write_some(wake_w_.get(), "w", 1);
+}
+
+Daemon::CountersSnapshot Daemon::counters() const {
+  CountersSnapshot s;
+  s.connections_accepted =
+      counters_.connections_accepted.load(std::memory_order_relaxed);
+  s.requests_admitted =
+      counters_.requests_admitted.load(std::memory_order_relaxed);
+  s.requests_completed =
+      counters_.requests_completed.load(std::memory_order_relaxed);
+  s.rejected_parse = counters_.rejected_parse.load(std::memory_order_relaxed);
+  s.rejected_quota = counters_.rejected_quota.load(std::memory_order_relaxed);
+  s.rejected_queue = counters_.rejected_queue.load(std::memory_order_relaxed);
+  s.rejected_draining =
+      counters_.rejected_draining.load(std::memory_order_relaxed);
+  s.disconnects_mid_request =
+      counters_.disconnects_mid_request.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Daemon::run() {
+  workers_.reserve(static_cast<std::size_t>(std::max(config_.workers, 1)));
+  for (int i = 0; i < std::max(config_.workers, 1); ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+
+  std::vector<pollfd> pfds;
+  // Parallel to pfds: index into conns_ for connection entries, or
+  // SIZE_MAX-style sentinels for the wake pipe (kWake) and listeners.
+  std::vector<std::size_t> owner;
+  constexpr std::size_t kWake = static_cast<std::size_t>(-1);
+  constexpr std::size_t kListener = static_cast<std::size_t>(-2);
+  std::vector<int> listener_fds;
+
+  for (;;) {
+    pfds.clear();
+    owner.clear();
+    listener_fds.clear();
+
+    pfds.push_back({wake_r_.get(), POLLIN, 0});
+    owner.push_back(kWake);
+
+    const bool accepting =
+        !draining_ && conns_.size() < config_.max_connections;
+    if (accepting) {
+      for (const auto& listener : listeners_) {
+        pfds.push_back({listener.get(), POLLIN, 0});
+        owner.push_back(kListener);
+        listener_fds.push_back(listener.get());
+      }
+    }
+
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      Connection& conn = *conns_[i];
+      short events = 0;
+      bool want_write = false;
+      bool closed = false;
+      {
+        std::lock_guard<std::mutex> lock(conn.mu);
+        want_write = conn.out_off < conn.out.size();
+        closed = conn.closed;
+        // Inbound backpressure: stop reading a client whose responses it
+        // is not draining.
+        if (!conn.peer_eof && !closed &&
+            conn.out.size() - conn.out_off <= config_.out_hiwater) {
+          events |= POLLIN;
+        }
+      }
+      if (want_write && !closed) events |= POLLOUT;
+      pfds.push_back({conn.fd.get(), events, 0});
+      owner.push_back(i);
+    }
+
+    if (::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1) < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("celogd poll: ") + std::strerror(errno));
+    }
+
+    std::size_t listener_idx = 0;
+    for (std::size_t p = 0; p < pfds.size(); ++p) {
+      const short revents = pfds[p].revents;
+      if (owner[p] == kListener) ++listener_idx;
+      if (revents == 0) continue;
+      if (owner[p] == kWake) {
+        drain_wake_pipe();
+      } else if (owner[p] == kListener) {
+        accept_on(listener_fds[listener_idx - 1]);
+      } else {
+        const std::shared_ptr<Connection> conn = conns_[owner[p]];
+        if ((revents & POLLOUT) != 0) flush_conn(*conn);
+        if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) read_conn(conn);
+      }
+    }
+
+    process_completions();
+
+    // Opportunistic flush: responses enqueued by handle_line / completions
+    // this iteration go out now instead of waiting one poll round.
+    for (const auto& conn : conns_) flush_conn(*conn);
+
+    // Reap finished connections: peer gone (or output undeliverable) with
+    // nothing in flight and nothing left to flush.
+    conns_.erase(
+        std::remove_if(conns_.begin(), conns_.end(),
+                       [](const std::shared_ptr<Connection>& conn) {
+                         std::lock_guard<std::mutex> lock(conn->mu);
+                         const bool flushed =
+                             conn->out_off >= conn->out.size();
+                         return conn->inflight == 0 &&
+                                (conn->closed || (conn->peer_eof && flushed));
+                       }),
+        conns_.end());
+
+    if (drain_complete()) break;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    workers_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  // Closing the fds now sends FIN after a fully flushed response stream —
+  // the client sees clean EOF, never a truncated line.
+  conns_.clear();
+  listeners_.clear();
+}
+
+bool Daemon::drain_complete() const {
+  if (!draining_) return false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!queue_.empty()) return false;
+  }
+  for (const auto& conn : conns_) {
+    if (conn->inflight > 0) return false;
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (!conn->closed && conn->out_off < conn->out.size()) return false;
+  }
+  return true;
+}
+
+void Daemon::begin_drain() {
+  draining_ = true;
+  // Stop accepting immediately; a connect attempt during drain is refused
+  // instead of sitting in the backlog forever.
+  listeners_.clear();
+}
+
+void Daemon::drain_wake_pipe() {
+  char buf[64];
+  for (;;) {
+    const std::ptrdiff_t n = util::read_some(wake_r_.get(), buf, sizeof(buf));
+    if (n <= 0) return;  // EAGAIN (or EOF, impossible: we hold the write end)
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+      if (buf[i] == 'q') begin_drain();
+      // 'w' bytes carry no payload; waking the loop was the point.
+    }
+  }
+}
+
+void Daemon::process_completions() {
+  std::vector<std::shared_ptr<Connection>> done;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    done.swap(done_);
+  }
+  for (const auto& conn : done) --conn->inflight;
+}
+
+void Daemon::accept_on(int listener_fd) {
+  while (conns_.size() < config_.max_connections) {
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or a transient accept error: retry next poll round
+    }
+    util::ScopedFd scoped(fd);
+    util::set_nonblocking(fd);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = std::move(scoped);
+    conns_.push_back(std::move(conn));
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Daemon::read_conn(const std::shared_ptr<Connection>& conn) {
+  char buf[4096];
+  for (;;) {
+    const std::ptrdiff_t n = util::read_some(conn->fd.get(), buf, sizeof(buf));
+    if (n > 0) {
+      ingest(conn, std::string_view(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      conn->peer_eof = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    // Hard read error: nothing more will arrive and nothing can be sent.
+    conn->peer_eof = true;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->closed = true;
+    }
+    conn->space_cv.notify_all();
+    return;
+  }
+}
+
+void Daemon::ingest(const std::shared_ptr<Connection>& conn,
+                    std::string_view data) {
+  std::size_t i = 0;
+  while (i < data.size()) {
+    if (conn->skipping_long_line) {
+      const std::size_t nl = data.find('\n', i);
+      if (nl == std::string_view::npos) return;  // still mid-oversized-line
+      i = nl + 1;
+      conn->skipping_long_line = false;
+      continue;
+    }
+    const std::size_t nl = data.find('\n', i);
+    if (nl == std::string_view::npos) {
+      conn->in_buf.append(data.substr(i));
+      if (conn->in_buf.size() >= config_.max_line) {
+        enqueue_output(*conn,
+                       error_line(-1, "line-too-long",
+                                  "request line exceeds " +
+                                      std::to_string(config_.max_line) +
+                                      " bytes"));
+        conn->in_buf.clear();
+        conn->skipping_long_line = true;
+      }
+      return;
+    }
+    std::string line = std::move(conn->in_buf);
+    conn->in_buf.clear();
+    line.append(data.substr(i, nl - i));
+    i = nl + 1;
+    if (line.size() >= config_.max_line) {
+      enqueue_output(*conn, error_line(-1, "line-too-long",
+                                       "request line exceeds " +
+                                           std::to_string(config_.max_line) +
+                                           " bytes"));
+      continue;
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    handle_line(conn, line);
+  }
+}
+
+void Daemon::handle_line(const std::shared_ptr<Connection>& conn,
+                         std::string_view line) {
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const ParseError& e) {
+    counters_.rejected_parse.fetch_add(1, std::memory_order_relaxed);
+    enqueue_output(*conn,
+                   error_line(peek_request_id(line), "bad-request", e.what()));
+    return;
+  }
+
+  switch (req.verb) {
+    case Verb::kPing:
+      enqueue_output(*conn, pong_line(req.sweep.id));
+      return;
+    case Verb::kStats:
+      enqueue_output(*conn, stats_line(req.sweep.id));
+      return;
+    case Verb::kSweep:
+      break;
+  }
+
+  // Admission control, checked in a fixed order so a burst of requests
+  // arriving in one read gets deterministic verdicts.
+  if (draining_) {
+    counters_.rejected_draining.fetch_add(1, std::memory_order_relaxed);
+    enqueue_output(*conn, error_line(req.sweep.id, "draining",
+                                     "daemon is shutting down"));
+    return;
+  }
+  if (conn->inflight >= config_.quota) {
+    counters_.rejected_quota.fetch_add(1, std::memory_order_relaxed);
+    enqueue_output(*conn,
+                   error_line(req.sweep.id, "quota",
+                              "per-connection request quota exceeded"));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= config_.max_queue) {
+      counters_.rejected_queue.fetch_add(1, std::memory_order_relaxed);
+      enqueue_output(*conn,
+                     error_line(req.sweep.id, "busy", "request queue full"));
+      return;
+    }
+    queue_.push_back(Job{conn, req.sweep});
+  }
+  ++conn->inflight;
+  counters_.requests_admitted.fetch_add(1, std::memory_order_relaxed);
+  queue_cv_.notify_one();
+}
+
+void Daemon::enqueue_output(Connection& conn, std::string_view data) {
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    if (conn.closed) return;
+    conn.out.append(data);
+  }
+}
+
+void Daemon::flush_conn(Connection& conn) {
+  bool freed_space = false;
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    if (conn.closed) return;
+    while (conn.out_off < conn.out.size()) {
+      const std::ptrdiff_t n =
+          util::write_some(conn.fd.get(), conn.out.data() + conn.out_off,
+                           conn.out.size() - conn.out_off);
+      if (n > 0) {
+        conn.out_off += static_cast<std::size_t>(n);
+        freed_space = true;
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      // EPIPE / ECONNRESET / hard error: the peer will never read these
+      // bytes — drop them and mark the connection dead so workers stop
+      // producing more.
+      conn.closed = true;
+      conn.out.clear();
+      conn.out_off = 0;
+      freed_space = true;
+      break;
+    }
+    if (conn.out_off == conn.out.size()) {
+      conn.out.clear();
+      conn.out_off = 0;
+    }
+  }
+  if (freed_space) conn.space_cv.notify_all();
+}
+
+void Daemon::worker_main() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return workers_stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // only reachable when stopping
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    execute(job);
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_.push_back(job.conn);
+    }
+    counters_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+    wake();
+  }
+}
+
+bool Daemon::append_output(Connection& conn, std::string_view data) {
+  {
+    std::unique_lock<std::mutex> lock(conn.mu);
+    conn.space_cv.wait(lock, [&] {
+      return conn.closed ||
+             conn.out.size() - conn.out_off + data.size() <= config_.out_cap;
+    });
+    if (conn.closed) return false;
+    conn.out.append(data);
+  }
+  wake();  // the loop re-polls with POLLOUT armed
+  return true;
+}
+
+void Daemon::execute(const Job& job) {
+  const SweepRequest& req = job.req;
+  try {
+    const std::shared_ptr<const core::ExperimentRunner> runner =
+        registry_.get(req);
+
+    std::shared_ptr<const noise::LoggingCostModel> cost;
+    if (req.cost_us > 0.0) {
+      cost = std::make_shared<noise::FlatLoggingCost>(
+          from_seconds(req.cost_us * 1e-6));
+    } else {
+      cost = core::cost_model(mode_from(req.mode));
+    }
+    const noise::UniformCeNoiseModel noise(from_seconds(req.mtbce_ms * 1e-3),
+                                           cost);
+
+    if (req.stream_runs) {
+      for (int i = 0; i < req.seeds; ++i) {
+        const std::uint64_t seed = req.base_seed + static_cast<std::uint64_t>(i);
+        std::string line;
+        try {
+          // Horizon-bounded, like measure(): a no-progress cell streamed
+          // unbounded would pin this worker forever.
+          const sim::SimResult r = runner->run_once(noise, seed, req.horizon);
+          line = run_line(req.id, seed, r);
+        } catch (const NoProgressError&) {
+          line = run_no_progress_line(req.id, seed);
+        }
+        if (!append_output(*job.conn, line)) {
+          counters_.disconnects_mid_request.fetch_add(
+              1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+
+    const int jobs = std::min(req.jobs, config_.jobs_cap);
+    const core::SlowdownResult result =
+        runner->measure(noise, req.seeds, req.base_seed, req.horizon, jobs);
+    if (!append_output(*job.conn, result_line(req.id, result))) {
+      counters_.disconnects_mid_request.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
+  } catch (const Error& e) {
+    if (!append_output(*job.conn, error_line(req.id, "error", e.what()))) {
+      counters_.disconnects_mid_request.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
+  }
+}
+
+std::string Daemon::stats_line(std::int64_t id) const {
+  const CountersSnapshot c = counters();
+  const RunnerRegistry::Stats rs = registry_.stats();
+  std::size_t queue_depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_depth = queue_.size();
+  }
+  std::string out = "{\"id\":" + std::to_string(id) + ",\"event\":\"stats\"";
+  const auto field = [&out](const char* name, std::uint64_t v) {
+    out += ",\"";
+    out += name;
+    out += "\":";
+    out += std::to_string(v);
+  };
+  field("connections", conns_.size());
+  field("queue_depth", queue_depth);
+  field("connections_accepted", c.connections_accepted);
+  field("requests_admitted", c.requests_admitted);
+  field("requests_completed", c.requests_completed);
+  field("rejected_parse", c.rejected_parse);
+  field("rejected_quota", c.rejected_quota);
+  field("rejected_queue", c.rejected_queue);
+  field("rejected_draining", c.rejected_draining);
+  field("disconnects_mid_request", c.disconnects_mid_request);
+  field("runner_hits", rs.hits);
+  field("runner_builds", rs.builds);
+  field("runner_evictions", rs.evictions);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace celog::server

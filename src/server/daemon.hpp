@@ -1,0 +1,183 @@
+// celog/server/daemon.hpp
+//
+// celogd's event loop: a single poll(2) thread owns every socket — accept,
+// line framing, admission control, and all writes — while a small worker
+// pool executes admitted sweeps against the shared RunnerRegistry. The
+// split keeps the protocol layer strictly sequential per connection
+// (requests on one connection are admitted in arrival order, and the
+// quota/queue decisions for a batch of lines that arrive in one read are
+// deterministic) while sweeps run concurrently across connections.
+//
+// Backpressure, both directions:
+//   * inbound  — a connection whose output buffer is above the high-water
+//     mark stops being polled for reads, so a client that will not drain
+//     responses cannot pump more requests in;
+//   * outbound — a worker appending response bytes blocks once the buffer
+//     hits the hard cap, until the loop flushes some or the peer is gone.
+//     A vanished peer (EPIPE on flush) flips the connection to `closed`;
+//     the worker's next append fails and the sweep's remaining output is
+//     abandoned rather than buffered for nobody.
+//
+// Shutdown is a drain, not an abort: request_drain() (or one byte written
+// to drain_fd() from a signal handler — write(2) is async-signal-safe)
+// stops accepting connections and admitting sweeps, but every admitted
+// request still runs to completion and its response is fully flushed
+// before run() closes the sockets and returns.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.hpp"
+#include "server/runner_registry.hpp"
+#include "util/net.hpp"
+
+namespace celog::server {
+
+struct DaemonConfig {
+  /// Sweep worker threads. Each runs one admitted request at a time; a
+  /// request's own seed-level parallelism comes on top via --jobs.
+  int workers = 2;
+  /// Bound on requests admitted but not yet started (across all clients).
+  std::size_t max_queue = 64;
+  /// Per-connection cap on requests admitted but not yet completed.
+  int quota = 4;
+  std::size_t max_connections = 64;
+  /// Longest accepted request line (incl. the newline).
+  std::size_t max_line = kMaxRequestLine;
+  /// Output buffer level above which a connection stops being read.
+  std::size_t out_hiwater = std::size_t{1} << 20;
+  /// Output buffer hard cap at which workers block appending.
+  std::size_t out_cap = std::size_t{4} << 20;
+  /// Ceiling on a request's --jobs (the daemon, not the client, owns the
+  /// box's thread budget).
+  int jobs_cap = 8;
+};
+
+class Daemon {
+ public:
+  /// Monotonic event counts, readable from any thread via counters().
+  struct CountersSnapshot {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t requests_admitted = 0;
+    std::uint64_t requests_completed = 0;
+    std::uint64_t rejected_parse = 0;
+    std::uint64_t rejected_quota = 0;
+    std::uint64_t rejected_queue = 0;
+    std::uint64_t rejected_draining = 0;
+    std::uint64_t disconnects_mid_request = 0;
+  };
+
+  /// Takes ownership of already-listening sockets (see util::listen_unix /
+  /// util::listen_tcp); the daemon accepts on all of them.
+  explicit Daemon(std::vector<util::ScopedFd> listeners,
+                  DaemonConfig config = {});
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Serves until a drain is requested and every admitted request has been
+  /// executed and flushed. Call from one thread only.
+  void run();
+
+  /// Asks run() to drain and return. Safe from any thread.
+  void request_drain();
+
+  /// The wake pipe's write end: writing one byte 'q' here is the
+  /// async-signal-safe equivalent of request_drain(), for SIGTERM/SIGINT
+  /// handlers.
+  int drain_fd() const { return wake_w_.get(); }
+
+  CountersSnapshot counters() const;
+
+ private:
+  struct Connection {
+    util::ScopedFd fd;
+    // Loop-thread-only state. `inflight` in particular is only ever
+    // touched by the loop (workers report completion through done_), which
+    // is what makes quota decisions deterministic for a burst of lines
+    // arriving in one read.
+    std::string in_buf;
+    bool skipping_long_line = false;
+    int inflight = 0;
+    bool peer_eof = false;
+    // Shared with workers, guarded by mu.
+    std::mutex mu;
+    std::condition_variable space_cv;
+    std::string out;           // guarded
+    std::size_t out_off = 0;   // guarded: bytes of `out` already written
+    bool closed = false;       // guarded: peer gone, discard output
+  };
+
+  struct Job {
+    std::shared_ptr<Connection> conn;
+    SweepRequest req;
+  };
+
+  // Loop-thread protocol handling.
+  void accept_on(int listener_fd);
+  void read_conn(const std::shared_ptr<Connection>& conn);
+  void ingest(const std::shared_ptr<Connection>& conn, std::string_view data);
+  void handle_line(const std::shared_ptr<Connection>& conn,
+                   std::string_view line);
+  void enqueue_output(Connection& conn, std::string_view data);
+  void flush_conn(Connection& conn);
+  void drain_wake_pipe();
+  void process_completions();
+  void begin_drain();
+  bool drain_complete() const;
+
+  // Worker side.
+  void worker_main();
+  void execute(const Job& job);
+  bool append_output(Connection& conn, std::string_view data);
+  void wake();
+
+  std::string stats_line(std::int64_t id) const;
+
+  DaemonConfig config_;
+  std::vector<util::ScopedFd> listeners_;
+  util::ScopedFd wake_r_;
+  util::ScopedFd wake_w_;
+  RunnerRegistry registry_;
+
+  // Loop-thread-only.
+  std::vector<std::shared_ptr<Connection>> conns_;
+  bool draining_ = false;
+
+  // Request queue (loop -> workers). Mutable: const observers
+  // (drain_complete, stats_line) read the depth under the lock.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;  // guarded by queue_mu_
+  bool workers_stop_ = false;
+  std::vector<std::thread> workers_;
+
+  // Completion queue (workers -> loop): the loop decrements `inflight`.
+  std::mutex done_mu_;
+  std::vector<std::shared_ptr<Connection>> done_;  // guarded by done_mu_
+
+  struct Counters {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> requests_admitted{0};
+    std::atomic<std::uint64_t> requests_completed{0};
+    std::atomic<std::uint64_t> rejected_parse{0};
+    std::atomic<std::uint64_t> rejected_quota{0};
+    std::atomic<std::uint64_t> rejected_queue{0};
+    std::atomic<std::uint64_t> rejected_draining{0};
+    std::atomic<std::uint64_t> disconnects_mid_request{0};
+  };
+  mutable Counters counters_;
+};
+
+}  // namespace celog::server

@@ -1,0 +1,299 @@
+#include "server/protocol.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+namespace celog::server {
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) == 0) {
+      ++i;
+    }
+    if (i > start) tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+/// Runs the token list (minus the verb) through a quiet util::Cli — the
+/// same parser, and therefore the same numeric validation, the batch
+/// binaries use. Throws ParseError with the Cli diagnostic on failure.
+void parse_with_cli(Cli& cli, const std::vector<std::string>& tokens) {
+  cli.set_quiet(true);
+  std::vector<const char*> argv;
+  argv.reserve(tokens.size() + 1);
+  argv.push_back("celogd-request");
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    argv.push_back(tokens[i].c_str());
+  }
+  if (!cli.parse(static_cast<int>(argv.size()), argv.data())) {
+    throw ParseError(cli.error().empty() ? "--help is not a request"
+                                         : cli.error());
+  }
+}
+
+void add_id_option(Cli& cli) {
+  cli.add_option("id", "0", "request id echoed on every response line");
+}
+
+template <typename T>
+T checked_range(std::int64_t v, std::int64_t lo, std::int64_t hi,
+                const char* what) {
+  if (v < lo || v > hi) {
+    throw ParseError(std::string(what) + " out of range [" +
+                     std::to_string(lo) + ", " + std::to_string(hi) +
+                     "]: " + std::to_string(v));
+  }
+  return static_cast<T>(v);
+}
+
+double checked_positive(double v, double hi, const char* what) {
+  if (!(v > 0.0) || v > hi) {
+    throw ParseError(std::string(what) + " out of range (0, " +
+                     std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+SweepRequest parse_sweep(const std::vector<std::string>& tokens) {
+  Cli cli("celogd sweep request");
+  add_id_option(cli);
+  cli.add_option("workload", "", "workload name from the registry");
+  cli.add_option("ranks", "32", "simulated ranks");
+  cli.add_option("sim-s", "0.25", "target simulated seconds per run");
+  cli.add_option("seeds", "2", "noisy runs averaged");
+  cli.add_option("seed", "1000", "base RNG seed");
+  cli.add_option("jobs", "1", "threads for the seed sweep");
+  cli.add_option("matcher", "bucketed", "bucketed | reference");
+  cli.add_option("mtbce-ms", "1000", "per-node MTBCE in milliseconds");
+  cli.add_option("mode", "software", "hardware | software | firmware");
+  cli.add_option("cost-us", "0",
+                 "flat per-event cost in microseconds (0 = use --mode)");
+  cli.add_option("horizon", "100", "horizon factor over the baseline");
+  cli.add_flag("stream-runs", "stream one line per seed before the summary");
+  parse_with_cli(cli, tokens);
+
+  SweepRequest req;
+  req.id = cli.get_int("id");
+  req.workload = cli.get("workload");
+  if (req.workload.empty()) throw ParseError("--workload is required");
+  req.ranks =
+      checked_range<goal::Rank>(cli.get_int("ranks"), 1, kMaxRanks, "--ranks");
+  req.sim_s =
+      checked_positive(cli.get_double("sim-s"), kMaxSimSeconds, "--sim-s");
+  req.seeds = checked_range<int>(cli.get_int("seeds"), 1, kMaxSeeds,
+                                 "--seeds");
+  req.base_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  req.jobs = checked_range<int>(cli.get_int("jobs"), 1, kMaxJobs, "--jobs");
+  const std::string matcher = cli.get("matcher");
+  if (matcher == "bucketed") {
+    req.matcher = sim::MatcherKind::kBucketed;
+  } else if (matcher == "reference") {
+    req.matcher = sim::MatcherKind::kReference;
+  } else {
+    throw ParseError("unknown --matcher: " + matcher);
+  }
+  req.mtbce_ms = checked_positive(cli.get_double("mtbce-ms"), 1e12,
+                                  "--mtbce-ms");
+  req.mode = cli.get("mode");
+  if (req.mode != "hardware" && req.mode != "software" &&
+      req.mode != "firmware") {
+    throw ParseError("unknown --mode: " + req.mode);
+  }
+  req.cost_us = cli.get_double("cost-us");
+  if (req.cost_us < 0.0 || req.cost_us > 1e9) {
+    throw ParseError("--cost-us out of range [0, 1e9]");
+  }
+  req.horizon = cli.get_double("horizon");
+  if (!(req.horizon > 1.0) || req.horizon > 1e6) {
+    throw ParseError("--horizon out of range (1, 1e6]");
+  }
+  req.stream_runs = cli.get_flag("stream-runs");
+  return req;
+}
+
+std::int64_t parse_bare_id(const std::vector<std::string>& tokens) {
+  Cli cli("celogd request");
+  add_id_option(cli);
+  parse_with_cli(cli, tokens);
+  return cli.get_int("id");
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+std::string line_head(std::int64_t id, std::string_view event) {
+  std::string out = "{\"id\":";
+  append_i64(out, id);
+  out += ",\"event\":\"";
+  out += event;
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Request parse_request(std::string_view line) {
+  const std::vector<std::string> tokens = tokenize(line);
+  if (tokens.empty()) throw ParseError("empty request");
+  Request req;
+  if (tokens[0] == "sweep") {
+    req.verb = Verb::kSweep;
+    req.sweep = parse_sweep(tokens);
+  } else if (tokens[0] == "ping") {
+    req.verb = Verb::kPing;
+    req.sweep.id = parse_bare_id(tokens);
+  } else if (tokens[0] == "stats") {
+    req.verb = Verb::kStats;
+    req.sweep.id = parse_bare_id(tokens);
+  } else {
+    throw ParseError("unknown verb: " + tokens[0]);
+  }
+  return req;
+}
+
+std::int64_t peek_request_id(std::string_view line) {
+  const std::vector<std::string> tokens = tokenize(line);
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    std::string value;
+    if (tokens[i].rfind("--id=", 0) == 0) {
+      value = tokens[i].substr(5);
+    } else if (tokens[i] == "--id" && i + 1 < tokens.size()) {
+      value = tokens[i + 1];
+    } else {
+      continue;
+    }
+    char* end = nullptr;
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (end != value.c_str() && *end == '\0') return parsed;
+    return -1;
+  }
+  return -1;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string pong_line(std::int64_t id) {
+  std::string out = line_head(id, "pong");
+  out += "}\n";
+  return out;
+}
+
+std::string error_line(std::int64_t id, std::string_view code,
+                       std::string_view message) {
+  std::string out = line_head(id, "error");
+  out += ",\"code\":\"";
+  append_escaped(out, code);
+  out += "\",\"message\":\"";
+  append_escaped(out, message);
+  out += "\"}\n";
+  return out;
+}
+
+std::uint64_t rank_finish_digest(const sim::SimResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const TimeNs t : r.rank_finish) {
+    auto v = static_cast<std::uint64_t>(t);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+std::string run_line(std::int64_t id, std::uint64_t seed,
+                     const sim::SimResult& r) {
+  std::string out = line_head(id, "run");
+  out += ",\"seed\":";
+  append_u64(out, seed);
+  out += ",\"makespan\":";
+  append_i64(out, r.makespan);
+  out += ",\"data_messages\":";
+  append_u64(out, r.data_messages);
+  out += ",\"control_messages\":";
+  append_u64(out, r.control_messages);
+  out += ",\"noise_stolen\":";
+  append_i64(out, r.noise_stolen);
+  out += ",\"detours_charged\":";
+  append_u64(out, r.detours_charged);
+  out += ",\"events_processed\":";
+  append_u64(out, r.events_processed);
+  out += ",\"rank_finish_fnv\":";
+  append_u64(out, rank_finish_digest(r));
+  out += "}\n";
+  return out;
+}
+
+std::string run_no_progress_line(std::int64_t id, std::uint64_t seed) {
+  std::string out = line_head(id, "run");
+  out += ",\"seed\":";
+  append_u64(out, seed);
+  out += ",\"no_progress\":true}\n";
+  return out;
+}
+
+std::string result_line(std::int64_t id, const core::SlowdownResult& r) {
+  std::string out = line_head(id, "result");
+  out += ",\"mean_pct\":";
+  out += format_double(r.mean_pct);
+  out += ",\"stderr_pct\":";
+  out += format_double(r.stderr_pct);
+  out += ",\"min_pct\":";
+  out += format_double(r.min_pct);
+  out += ",\"max_pct\":";
+  out += format_double(r.max_pct);
+  out += ",\"seeds\":";
+  append_i64(out, r.seeds);
+  out += ",\"baseline_makespan\":";
+  append_i64(out, r.baseline_makespan);
+  out += ",\"mean_detours\":";
+  out += format_double(r.mean_detours);
+  out += ",\"mean_stolen_s\":";
+  out += format_double(r.mean_stolen_s);
+  out += ",\"no_progress\":";
+  out += r.no_progress ? "true" : "false";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace celog::server

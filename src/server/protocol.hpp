@@ -1,0 +1,131 @@
+// celog/server/protocol.hpp
+//
+// The celogd wire protocol: newline-delimited requests, newline-delimited
+// JSONL responses.
+//
+// A request is one line of the SAME option grammar the bench binaries use
+// (util::Cli: `--key value` / `--key=value` / `--flag`), prefixed with a
+// verb:
+//
+//   sweep --id 7 --workload lulesh --ranks 64 --sim-s 0.25 --seeds 4
+//         --seed 1000 --jobs 2 --matcher bucketed --mtbce-ms 10
+//         --mode software [--cost-us 1] [--horizon 100] [--stream-runs]
+//   (one line on the wire; wrapped here for width)
+//   ping  --id 3
+//   stats --id 4
+//
+// Every response line is one JSON object tagged with the request id and an
+// "event" discriminator:
+//
+//   {"id":7,"event":"run",...}      one per seed, only under --stream-runs
+//   {"id":7,"event":"result",...}   the SlowdownResult summary (terminal)
+//   {"id":3,"event":"pong"}         (terminal)
+//   {"id":4,"event":"stats",...}    (terminal)
+//   {"id":7,"event":"error","code":"...","message":"..."}  (terminal)
+//
+// DETERMINISM CONTRACT FOR SERVED RESULTS (see DESIGN.md, "Sweep
+// serving"): the serialization below IS the daemon's correctness spec.
+// For a given request line, the "result" payload must be byte-identical
+// to result_line(id, runner.measure(...)) computed by a batch
+// ExperimentRunner built from RunnerRegistry::config_for with the same
+// request parameters — same seeds, same horizon arithmetic, same %.17g
+// rendering — regardless of how many clients the daemon is serving, how
+// requests interleave, or how often the runner cache was reused. The
+// protocol tests (ctest -L serve) pin exactly this equality.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/experiment.hpp"
+#include "goal/task_graph.hpp"
+#include "sim/engine.hpp"
+
+namespace celog::server {
+
+/// Hard cap on one request line, including the newline. Longer lines are
+/// answered with a "line-too-long" error and discarded up to the next
+/// newline — an untrusted client must not make the daemon buffer
+/// unboundedly while hunting for a line terminator.
+inline constexpr std::size_t kMaxRequestLine = 4096;
+
+/// Per-request parameter ceilings. The daemon is a shared service: one
+/// request may not ask for a paper-scale simulation that monopolizes the
+/// box for hours. Batch work at larger scales stays in the bench binaries.
+inline constexpr std::int64_t kMaxRanks = 4096;
+inline constexpr std::int64_t kMaxSeeds = 256;
+inline constexpr std::int64_t kMaxJobs = 64;
+inline constexpr double kMaxSimSeconds = 60.0;
+
+enum class Verb : std::uint8_t { kSweep, kPing, kStats };
+
+/// A parsed sweep request. Defaults mirror the bench CLI defaults.
+struct SweepRequest {
+  std::int64_t id = 0;
+  std::string workload;
+  goal::Rank ranks = 32;
+  double sim_s = 0.25;
+  int seeds = 2;
+  std::uint64_t base_seed = 1000;
+  int jobs = 1;
+  sim::MatcherKind matcher = sim::MatcherKind::kBucketed;
+  /// Per-node mean time between CEs, in milliseconds.
+  double mtbce_ms = 1000.0;
+  /// Logging-cost mode: "hardware" | "software" | "firmware" (the paper's
+  /// three scenarios), unless cost_us overrides with a flat per-event cost.
+  std::string mode = "software";
+  /// > 0 selects a flat per-event cost of this many microseconds instead
+  /// of the mode's canonical cost.
+  double cost_us = 0.0;
+  /// Horizon factor passed to ExperimentRunner::measure.
+  double horizon = 100.0;
+  /// Stream one "run" line per seed (run_once results) before the summary.
+  bool stream_runs = false;
+};
+
+struct Request {
+  Verb verb = Verb::kPing;
+  SweepRequest sweep;  // id is meaningful for every verb
+};
+
+/// Parses one request line. Throws celog::ParseError on any problem: an
+/// unknown verb or option, a non-finite or out-of-range value (the
+/// util::Cli range checks double as input validation against untrusted
+/// clients), or a parameter outside the caps above. Workload names are
+/// validated against the registry at execution time, not here.
+Request parse_request(std::string_view line);
+
+/// Best-effort extraction of `--id N` / `--id=N` from a line that may not
+/// parse; -1 when absent or malformed. Error responses to unparseable
+/// requests still want to name the request they reject.
+std::int64_t peek_request_id(std::string_view line);
+
+// --- response serialization -------------------------------------------------
+// Shared by the daemon, the client, the bench, and the protocol tests:
+// byte-level agreement with batch results is checked against exactly these
+// functions. Every line includes the trailing '\n'.
+
+/// %.17g — round-trip-exact for doubles, the same rendering the perf
+/// trajectory uses.
+std::string format_double(double v);
+
+std::string pong_line(std::int64_t id);
+std::string error_line(std::int64_t id, std::string_view code,
+                       std::string_view message);
+/// One streamed per-seed run: the full SimResult scalar fields plus an
+/// FNV-1a digest of rank_finish, so per-rank completion times participate
+/// in the bit-identity contract without shipping rank-count-sized lines.
+std::string run_line(std::int64_t id, std::uint64_t seed,
+                     const sim::SimResult& r);
+/// Streamed marker for a seed that blew the request's horizon (the paper's
+/// no-progress regime). Streamed runs are horizon-bounded like measure():
+/// unbounded, a no-progress cell would pin a daemon worker forever.
+std::string run_no_progress_line(std::int64_t id, std::uint64_t seed);
+std::string result_line(std::int64_t id, const core::SlowdownResult& r);
+
+/// FNV-1a over rank_finish (exposed for tests/benches that recompute it).
+std::uint64_t rank_finish_digest(const sim::SimResult& r);
+
+}  // namespace celog::server

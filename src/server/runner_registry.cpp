@@ -1,0 +1,88 @@
+#include "server/runner_registry.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "util/time.hpp"
+
+namespace celog::server {
+
+RunnerRegistry::RunnerRegistry(std::size_t max_entries)
+    : max_entries_(std::max<std::size_t>(max_entries, 1)) {}
+
+workloads::WorkloadConfig RunnerRegistry::config_for(
+    const workloads::Workload& w, goal::Rank ranks, double sim_s) {
+  workloads::WorkloadConfig config;
+  config.ranks = ranks;
+  config.trace_block = 0;
+  // Cover the target simulated time but always span several global
+  // synchronizations — the same iteration rule the bench RunnerCache uses,
+  // so a served cell and a bench cell of the same shape share arithmetic.
+  const auto syncs_per_iter =
+      std::max<TimeNs>(1, w.sync_period() / w.iteration_time());
+  const int min_iters = std::max(20, static_cast<int>(2 * syncs_per_iter));
+  config.iterations = w.iterations_for(from_seconds(sim_s), min_iters);
+  config.seed = 1;
+  return config;
+}
+
+std::string RunnerRegistry::key_for(const SweepRequest& req) {
+  const auto workload = workloads::find_workload(req.workload);
+  const workloads::WorkloadConfig config =
+      config_for(*workload, req.ranks, req.sim_s);
+  return req.workload + "@" + std::to_string(req.ranks) + "/i" +
+         std::to_string(config.iterations) + "/" +
+         (req.matcher == sim::MatcherKind::kReference ? "ref" : "bkt");
+}
+
+std::shared_ptr<const core::ExperimentRunner> RunnerRegistry::get(
+    const SweepRequest& req) {
+  // Resolves (and validates) the workload before touching the cache, so an
+  // unknown name never occupies an entry.
+  const auto workload = workloads::find_workload(req.workload);
+  const std::string key = key_for(req);
+
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_.hits;
+      entry = it->second;
+    } else {
+      if (cache_.size() >= max_entries_) {
+        // Evict the first fully built entry (std::map order, so eviction
+        // is deterministic given the same request history). Entries still
+        // building are never evicted: their waiters hold the shared_ptr.
+        for (auto victim = cache_.begin(); victim != cache_.end(); ++victim) {
+          if (victim->second->runner != nullptr) {
+            cache_.erase(victim);
+            ++stats_.evictions;
+            break;
+          }
+        }
+      }
+      entry = std::make_shared<Entry>();
+      cache_[key] = entry;
+      ++stats_.builds;
+    }
+  }
+
+  std::call_once(entry->build_latch, [&] {
+    const workloads::WorkloadConfig config =
+        config_for(*workload, req.ranks, req.sim_s);
+    entry->runner = std::make_shared<const core::ExperimentRunner>(
+        *workload, config, sim::NetworkParams::cray_xc40(), req.matcher);
+  });
+  return entry->runner;
+}
+
+RunnerRegistry::Stats RunnerRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace celog::server

@@ -1,0 +1,74 @@
+// celog/server/runner_registry.hpp
+//
+// The daemon-side graph/baseline cache: one core::ExperimentRunner per
+// distinct (workload, ranks, iterations, matcher) a sweep request can
+// resolve to. Graph construction and the baseline run are the expensive
+// parts of serving a request — every request that shares them must share
+// one runner, both for latency and because each runner carries the warm
+// RunContext free list and leased sweep pools (see DESIGN.md, "Run-context
+// reuse") that make steady-state serving allocation-free.
+//
+// Concurrency: get() is called from daemon worker threads. The map is
+// mutex-guarded and each entry carries a build latch (std::once_flag), so
+// two requests needing the same graph wait on one build instead of
+// duplicating it — the same discipline as the bench RunnerCache. Entries
+// are handed out as shared_ptr, so an entry evicted while a request is
+// mid-sweep stays alive until that request completes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "server/protocol.hpp"
+#include "workloads/workload.hpp"
+
+namespace celog::server {
+
+class RunnerRegistry {
+ public:
+  /// `max_entries` bounds resident runners; admitting a new key beyond it
+  /// evicts the map's first fully built entry (in-flight users keep their
+  /// shared_ptr until done).
+  explicit RunnerRegistry(std::size_t max_entries = 32);
+
+  /// The runner serving `req`, built on first use. Throws
+  /// celog::InvalidInputError for an unknown workload name.
+  std::shared_ptr<const core::ExperimentRunner> get(const SweepRequest& req);
+
+  /// THE batch-equivalence seam: the exact WorkloadConfig the daemon
+  /// builds for (workload, ranks, sim_s). A batch ExperimentRunner built
+  /// from this config must produce results byte-identical (via the
+  /// protocol serializers) to the daemon's response for the same request —
+  /// the serve tests construct their expectations through it.
+  static workloads::WorkloadConfig config_for(const workloads::Workload& w,
+                                              goal::Rank ranks, double sim_s);
+
+  /// Cache key for `req` (exposed for tests; iterations are derived, so
+  /// distinct sim-s values can legitimately share one runner).
+  static std::string key_for(const SweepRequest& req);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t builds = 0;
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::once_flag build_latch;
+    std::shared_ptr<const core::ExperimentRunner> runner;
+  };
+
+  const std::size_t max_entries_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Entry>> cache_;
+  Stats stats_;
+};
+
+}  // namespace celog::server

@@ -1,5 +1,7 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -32,12 +34,12 @@ bool Cli::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::fputs(usage().c_str(), stdout);
+      if (!quiet_) std::fputs(usage().c_str(), stdout);
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
       error_ = "unexpected positional argument: " + arg;
-      std::fputs(usage().c_str(), stderr);
+      if (!quiet_) std::fputs(usage().c_str(), stderr);
       return false;
     }
     arg = arg.substr(2);
@@ -51,7 +53,7 @@ bool Cli::parse(int argc, const char* const* argv) {
     auto it = options_.find(arg);
     if (it == options_.end()) {
       error_ = "unknown option: --" + arg;
-      std::fputs(usage().c_str(), stderr);
+      if (!quiet_) std::fputs(usage().c_str(), stderr);
       return false;
     }
     if (it->second.is_flag) {
@@ -84,9 +86,13 @@ std::string Cli::get(const std::string& name) const {
 std::int64_t Cli::get_int(const std::string& name) const {
   const std::string v = get(name);
   char* end = nullptr;
+  errno = 0;
   const long long parsed = std::strtoll(v.c_str(), &end, 10);
   if (end == v.c_str() || *end != '\0') {
     throw ParseError("option --" + name + ": not an integer: " + v);
+  }
+  if (errno == ERANGE) {
+    throw ParseError("option --" + name + ": integer out of range: " + v);
   }
   return parsed;
 }
@@ -94,9 +100,18 @@ std::int64_t Cli::get_int(const std::string& name) const {
 double Cli::get_double(const std::string& name) const {
   const std::string v = get(name);
   char* end = nullptr;
+  errno = 0;
   const double parsed = std::strtod(v.c_str(), &end);
   if (end == v.c_str() || *end != '\0') {
     throw ParseError("option --" + name + ": not a number: " + v);
+  }
+  // strtod accepts "inf"/"nan" spellings and silently saturates overflowing
+  // literals to +-HUGE_VAL (with ERANGE). None of those is a usable knob
+  // value — every numeric option here is a finite quantity (seconds, rates,
+  // counts) — and celogd parses this same grammar from untrusted clients,
+  // so non-finite input is rejected as a parse error, not passed through.
+  if (!std::isfinite(parsed)) {
+    throw ParseError("option --" + name + ": not a finite number: " + v);
   }
   return parsed;
 }

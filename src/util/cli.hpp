@@ -33,6 +33,12 @@ class Cli {
   /// a diagnostic (empty for --help).
   bool parse(int argc, const char* const* argv);
 
+  /// Suppresses the usage dump parse() prints on --help and on errors.
+  /// The server parses the same option grammar from untrusted request
+  /// lines; a bad request must become an error string for the client, not
+  /// terminal output.
+  void set_quiet(bool quiet) { quiet_ = quiet; }
+
   std::string get(const std::string& name) const;
   std::int64_t get_int(const std::string& name) const;
   double get_double(const std::string& name) const;
@@ -60,6 +66,7 @@ class Cli {
   std::map<std::string, Option> options_;
   std::map<std::string, std::string> values_;
   std::string error_;
+  bool quiet_ = false;
 };
 
 }  // namespace celog

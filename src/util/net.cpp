@@ -1,0 +1,197 @@
+#include "util/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace celog::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void ScopedFd::reset(int fd) {
+  if (fd_ >= 0) {
+    // close(2) must not be retried on EINTR (POSIX leaves the fd state
+    // unspecified; on Linux it is already closed); one call either way.
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+std::ptrdiff_t read_some(int fd, void* buf, std::size_t n) {
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, n);
+    if (r >= 0) return r;
+    if (errno != EINTR) return -1;
+  }
+}
+
+std::ptrdiff_t write_some(int fd, const void* buf, std::size_t n) {
+  for (;;) {
+    // MSG_NOSIGNAL turns a dead peer into EPIPE-the-errno instead of
+    // SIGPIPE-the-process-killer; on non-sockets (the self-pipe) send
+    // fails ENOTSOCK and plain write is safe because pipes only raise
+    // SIGPIPE when the read end is closed — which for an owned self-pipe
+    // cannot happen while the daemon runs.
+    ssize_t r = ::send(fd, buf, n, MSG_NOSIGNAL);
+    if (r < 0 && errno == ENOTSOCK) r = ::write(fd, buf, n);
+    if (r >= 0) return r;
+    if (errno != EINTR) return -1;
+  }
+}
+
+bool write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::ptrdiff_t r =
+        write_some(fd, data.data() + off, data.size() - off);
+    if (r < 0) return false;
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+ScopedFd listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw Error("unix socket path empty or too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  ScopedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(fd.get(), backlog) < 0) throw_errno("listen(" + path + ")");
+  return fd;
+}
+
+ScopedFd listen_tcp(std::uint16_t port, int backlog,
+                    std::uint16_t* bound_port) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    throw_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(fd.get(), backlog) < 0) throw_errno("listen(tcp)");
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) <
+        0) {
+      throw_errno("getsockname");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+ScopedFd connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw Error("unix socket path empty or too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  ScopedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket(AF_UNIX)");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    throw_errno("connect(" + path + ")");
+  }
+  return fd;
+}
+
+ScopedFd connect_tcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw Error("not an IPv4 address: " + host);
+  }
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket(AF_INET)");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return fd;
+}
+
+std::pair<ScopedFd, ScopedFd> make_wake_pipe() {
+  int fds[2];
+  if (::pipe(fds) < 0) throw_errno("pipe");
+  ScopedFd r(fds[0]);
+  ScopedFd w(fds[1]);
+  set_nonblocking(r.get());
+  set_nonblocking(w.get());
+  return {std::move(r), std::move(w)};
+}
+
+bool LineReader::read_line(std::string& out) {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      out.assign(buf_, pos_, nl - pos_);
+      pos_ = nl + 1;
+      if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+      }
+      return true;
+    }
+    char chunk[4096];
+    const std::ptrdiff_t n = read_some(fd_, chunk, sizeof(chunk));
+    if (n < 0) throw Error(std::string("read: ") + std::strerror(errno));
+    if (n == 0) {
+      if (pos_ < buf_.size()) {
+        out.assign(buf_, pos_, buf_.size() - pos_);
+        buf_.clear();
+        pos_ = 0;
+        return true;
+      }
+      return false;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace celog::util

@@ -1,0 +1,115 @@
+// celog/util/net.hpp
+//
+// Minimal socket/pipe plumbing for the sweep-serving daemon (src/server)
+// and its clients (tools/celog-cli, tests, bench). Everything here is
+// policy-free byte transport: fd ownership, EINTR-safe partial reads and
+// writes that never raise SIGPIPE, Unix/TCP listen + connect helpers, and
+// a nonblocking self-pipe for poll-loop wakeups (the async-signal-safe
+// channel a SIGTERM handler can write to).
+//
+// Error reporting: helpers that set up resources (listen/connect/pipe)
+// throw celog::Error with errno context — setup failures are recoverable
+// input/environment errors, not contract violations. The per-byte I/O
+// helpers return counts and leave errno intact instead, because on the
+// daemon's hot path EAGAIN/EPIPE are ordinary control flow, not errors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace celog::util {
+
+/// Move-only owner of a file descriptor; closes on destruction.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the current fd (EINTR-safe) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// One read(2), retrying EINTR. Returns bytes read (0 = EOF) or -1 with
+/// errno set (EAGAIN/EWOULDBLOCK on an idle nonblocking fd).
+std::ptrdiff_t read_some(int fd, void* buf, std::size_t n);
+
+/// One write, retrying EINTR and suppressing SIGPIPE (send(MSG_NOSIGNAL)
+/// on sockets, plain write(2) on pipes/files). Returns bytes written or -1
+/// with errno set (EAGAIN = flow control; EPIPE/ECONNRESET = peer gone).
+std::ptrdiff_t write_some(int fd, const void* buf, std::size_t n);
+
+/// Blocking loop over write_some until every byte is out (handles partial
+/// writes). Returns false when the peer is gone or the fd errors.
+bool write_all(int fd, std::string_view data);
+
+/// Switches O_NONBLOCK on. Throws celog::Error on failure.
+void set_nonblocking(int fd);
+
+/// Creates, binds, and listens on a Unix stream socket at `path`. A stale
+/// socket file at `path` is unlinked first (the mcelog convention: the
+/// daemon owns its socket path). Throws celog::Error on failure.
+ScopedFd listen_unix(const std::string& path, int backlog = 64);
+
+/// Creates, binds, and listens on 127.0.0.1:`port` (0 = ephemeral). The
+/// actually-bound port is stored through `bound_port` when non-null.
+/// Loopback only: the request protocol is unauthenticated, so the daemon
+/// never listens on a routable address. Throws celog::Error on failure.
+ScopedFd listen_tcp(std::uint16_t port, int backlog = 64,
+                    std::uint16_t* bound_port = nullptr);
+
+/// Connects a blocking client socket. Throw celog::Error on failure.
+ScopedFd connect_unix(const std::string& path);
+ScopedFd connect_tcp(const std::string& host, std::uint16_t port);
+
+/// A pipe whose both ends are nonblocking: {read end, write end}. The
+/// write end is safe to write from a signal handler (write(2) is
+/// async-signal-safe; a full pipe drops the byte, which is fine for a
+/// level-checked wakeup). Throws celog::Error on failure.
+std::pair<ScopedFd, ScopedFd> make_wake_pipe();
+
+/// Blocking newline-delimited reader for client-side code (celog-cli,
+/// tests, bench clients): buffers reads and hands back one line at a time
+/// without the trailing '\n'. Returns false on clean EOF with no buffered
+/// partial line; a final unterminated line is returned as-is. Throws
+/// celog::Error on read errors.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  bool read_line(std::string& out);
+
+ private:
+  int fd_;
+  std::string buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace celog::util

@@ -497,6 +497,21 @@ TEST(CelintRepoScan, TelemetrySubsystemScansClean) {
   EXPECT_GE(files.size(), 8u) << "scan should see the telemetry subsystem";
 }
 
+TEST(CelintRepoScan, ServerSubsystemScansClean) {
+  // celogd gate, pinned separately from the whole-src scan: the serving
+  // layer sits between untrusted input and the deterministic engine, so it
+  // must hold the same contract — no wall clocks, no unseeded RNG, no
+  // unordered iteration. Its only nondeterminism (socket readiness order)
+  // stays in poll(2), never in results.
+  const auto findings = celint::run_check(CELINT_SOURCE_DIR, {"src/server"});
+  for (const auto& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+  const auto files = celint::collect_files(CELINT_SOURCE_DIR, {"src/server"});
+  EXPECT_GE(files.size(), 6u) << "scan should see the server subsystem";
+}
+
 TEST(CelintRepoScan, BenchExamplesTestsReportZeroFindings) {
   const auto findings =
       celint::run_check(CELINT_SOURCE_DIR, {"bench", "examples", "tests"});

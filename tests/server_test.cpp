@@ -1,0 +1,503 @@
+// Protocol and daemon tests for celogd (label: serve; also run by the tsan
+// CI job). The load-bearing cases pin the determinism contract from
+// server/protocol.hpp: a served response must be byte-identical to the
+// protocol serialization of a batch ExperimentRunner built from
+// RunnerRegistry::config_for with the same request parameters. The rest
+// exercise the untrusted-input edges — malformed and oversized lines,
+// per-connection quotas, a client vanishing mid-stream, and drain with a
+// request in flight.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/logging_mode.hpp"
+#include "noise/noise_model.hpp"
+#include "server/daemon.hpp"
+#include "server/protocol.hpp"
+#include "server/runner_registry.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+#include "util/net.hpp"
+#include "workloads/workload.hpp"
+
+namespace celog {
+namespace {
+
+// --- request parsing --------------------------------------------------------
+
+TEST(ParseRequestTest, FullSweepLineParses) {
+  const server::Request req = server::parse_request(
+      "sweep --id 7 --workload lulesh --ranks 64 --sim-s 0.5 --seeds 4 "
+      "--seed 42 --jobs 2 --matcher reference --mtbce-ms 10 --mode firmware "
+      "--cost-us 1.5 --horizon 50 --stream-runs");
+  EXPECT_EQ(req.verb, server::Verb::kSweep);
+  EXPECT_EQ(req.sweep.id, 7);
+  EXPECT_EQ(req.sweep.workload, "lulesh");
+  EXPECT_EQ(req.sweep.ranks, 64);
+  EXPECT_DOUBLE_EQ(req.sweep.sim_s, 0.5);
+  EXPECT_EQ(req.sweep.seeds, 4);
+  EXPECT_EQ(req.sweep.base_seed, 42u);
+  EXPECT_EQ(req.sweep.jobs, 2);
+  EXPECT_EQ(req.sweep.matcher, sim::MatcherKind::kReference);
+  EXPECT_DOUBLE_EQ(req.sweep.mtbce_ms, 10.0);
+  EXPECT_EQ(req.sweep.mode, "firmware");
+  EXPECT_DOUBLE_EQ(req.sweep.cost_us, 1.5);
+  EXPECT_DOUBLE_EQ(req.sweep.horizon, 50.0);
+  EXPECT_TRUE(req.sweep.stream_runs);
+}
+
+TEST(ParseRequestTest, DefaultsMirrorTheBenchCli) {
+  const server::Request req = server::parse_request("sweep --workload minife");
+  EXPECT_EQ(req.sweep.id, 0);
+  EXPECT_EQ(req.sweep.ranks, 32);
+  EXPECT_DOUBLE_EQ(req.sweep.sim_s, 0.25);
+  EXPECT_EQ(req.sweep.seeds, 2);
+  EXPECT_EQ(req.sweep.base_seed, 1000u);
+  EXPECT_EQ(req.sweep.jobs, 1);
+  EXPECT_EQ(req.sweep.matcher, sim::MatcherKind::kBucketed);
+  EXPECT_DOUBLE_EQ(req.sweep.mtbce_ms, 1000.0);
+  EXPECT_EQ(req.sweep.mode, "software");
+  EXPECT_DOUBLE_EQ(req.sweep.cost_us, 0.0);
+  EXPECT_DOUBLE_EQ(req.sweep.horizon, 100.0);
+  EXPECT_FALSE(req.sweep.stream_runs);
+}
+
+TEST(ParseRequestTest, PingAndStatsCarryIds) {
+  const server::Request ping = server::parse_request("ping --id 3");
+  EXPECT_EQ(ping.verb, server::Verb::kPing);
+  EXPECT_EQ(ping.sweep.id, 3);
+  const server::Request stats = server::parse_request("stats --id=4");
+  EXPECT_EQ(stats.verb, server::Verb::kStats);
+  EXPECT_EQ(stats.sweep.id, 4);
+}
+
+TEST(ParseRequestTest, RejectsUntrustedInput) {
+  const char* bad[] = {
+      "",                                        // empty line
+      "frobnicate --id 1",                       // unknown verb
+      "sweep --workload lulesh --frob 1",        // unknown option
+      "sweep",                                   // missing --workload
+      "sweep --workload lulesh --sim-s nan",     // non-finite (Cli check)
+      "sweep --workload lulesh --sim-s inf",     // non-finite (Cli check)
+      "sweep --workload lulesh --sim-s 1e9",     // > kMaxSimSeconds
+      "sweep --workload lulesh --mtbce-ms -5",   // non-positive
+      "sweep --workload lulesh --ranks 0",       // below 1
+      "sweep --workload lulesh --ranks 100000",  // > kMaxRanks
+      "sweep --workload lulesh --seeds 0",       // below 1
+      "sweep --workload lulesh --seeds 1000",    // > kMaxSeeds
+      "sweep --workload lulesh --jobs 0",        // below 1
+      "sweep --workload lulesh --matcher exact", // unknown matcher
+      "sweep --workload lulesh --mode loud",     // unknown mode
+      "sweep --workload lulesh --horizon 1",     // must exceed 1
+      "sweep --workload lulesh --cost-us -1",    // negative
+      "ping --workload lulesh",                  // ping takes only --id
+  };
+  for (const char* line : bad) {
+    EXPECT_THROW(server::parse_request(line), ParseError) << "line: " << line;
+  }
+}
+
+TEST(PeekRequestIdTest, BestEffortIdExtraction) {
+  EXPECT_EQ(server::peek_request_id("bogus --id 7 --x"), 7);
+  EXPECT_EQ(server::peek_request_id("bogus --id=9"), 9);
+  EXPECT_EQ(server::peek_request_id("bogus"), -1);
+  EXPECT_EQ(server::peek_request_id("bogus --id zap"), -1);
+  EXPECT_EQ(server::peek_request_id(""), -1);
+}
+
+// --- response serialization -------------------------------------------------
+
+TEST(SerializeTest, PongAndErrorLines) {
+  EXPECT_EQ(server::pong_line(3), "{\"id\":3,\"event\":\"pong\"}\n");
+  // Escaping: quotes and backslashes escaped, control bytes dropped — an
+  // exception message can never break the JSONL framing.
+  EXPECT_EQ(server::error_line(-1, "bad-request", "say \"what\"?\n\\x"),
+            "{\"id\":-1,\"event\":\"error\",\"code\":\"bad-request\","
+            "\"message\":\"say \\\"what\\\"?\\\\x\"}\n");
+}
+
+TEST(SerializeTest, NoProgressRunLine) {
+  EXPECT_EQ(
+      server::run_no_progress_line(7, 1003),
+      "{\"id\":7,\"event\":\"run\",\"seed\":1003,\"no_progress\":true}\n");
+}
+
+TEST(SerializeTest, RankFinishDigestSeparatesPerRankOutcomes) {
+  sim::SimResult a;
+  EXPECT_EQ(server::rank_finish_digest(a), 0xcbf29ce484222325ull);
+  a.rank_finish = {1, 2, 3};
+  sim::SimResult b;
+  b.rank_finish = {1, 2, 4};
+  EXPECT_NE(server::rank_finish_digest(a), server::rank_finish_digest(b));
+  sim::SimResult c;
+  c.rank_finish = {1, 2, 3};
+  EXPECT_EQ(server::rank_finish_digest(a), server::rank_finish_digest(c));
+}
+
+// --- runner registry --------------------------------------------------------
+
+server::SweepRequest small_request(const std::string& workload,
+                                   goal::Rank ranks) {
+  server::SweepRequest req;
+  req.workload = workload;
+  req.ranks = ranks;
+  req.sim_s = 0.02;
+  req.seeds = 1;
+  req.mtbce_ms = 10.0;
+  return req;
+}
+
+TEST(RunnerRegistryTest, CachesAndCountsHits) {
+  server::RunnerRegistry registry(4);
+  server::SweepRequest req = small_request("minife", 4);
+  const auto a = registry.get(req);
+  const auto b = registry.get(req);
+  EXPECT_EQ(a.get(), b.get());
+  server::RunnerRegistry::Stats s = registry.stats();
+  EXPECT_EQ(s.builds, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+
+  req.ranks = 8;
+  const auto c = registry.get(req);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(registry.stats().builds, 2u);
+}
+
+TEST(RunnerRegistryTest, KeyIgnoresPerRequestNoiseParameters) {
+  // The cache key covers only what changes the graph or the baseline
+  // (workload, ranks, derived iterations, matcher); noise parameters vary
+  // per request on one shared runner.
+  server::SweepRequest req = small_request("lulesh", 8);
+  const std::string key = server::RunnerRegistry::key_for(req);
+  req.seeds = 7;
+  req.base_seed = 9;
+  req.jobs = 4;
+  req.mtbce_ms = 123.0;
+  req.mode = "firmware";
+  req.cost_us = 3.0;
+  req.horizon = 10.0;
+  req.stream_runs = true;
+  EXPECT_EQ(key, server::RunnerRegistry::key_for(req));
+  req.ranks = 16;
+  EXPECT_NE(key, server::RunnerRegistry::key_for(req));
+  req.ranks = 8;
+  req.matcher = sim::MatcherKind::kReference;
+  EXPECT_NE(key, server::RunnerRegistry::key_for(req));
+}
+
+TEST(RunnerRegistryTest, EvictsFirstBuiltEntryBeyondCapacity) {
+  server::RunnerRegistry registry(1);
+  server::SweepRequest req = small_request("minife", 4);
+  const auto a = registry.get(req);
+  req.ranks = 8;
+  const auto b = registry.get(req);
+  const server::RunnerRegistry::Stats s = registry.stats();
+  EXPECT_EQ(s.builds, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  // In-flight users keep evicted runners alive through their shared_ptr.
+  EXPECT_GT(a->baseline().makespan, 0);
+  // Re-fetching the evicted key rebuilds rather than resurrecting.
+  req.ranks = 4;
+  const auto c = registry.get(req);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(registry.stats().builds, 3u);
+}
+
+TEST(RunnerRegistryTest, UnknownWorkloadThrows) {
+  server::RunnerRegistry registry;
+  const server::SweepRequest req = small_request("no-such-workload", 4);
+  EXPECT_THROW(registry.get(req), InvalidInputError);
+  EXPECT_EQ(registry.stats().builds, 0u);
+}
+
+TEST(RunnerRegistryTest, ConfigForPinsTheBatchSeam) {
+  const auto workload = workloads::find_workload("lulesh");
+  const workloads::WorkloadConfig config =
+      server::RunnerRegistry::config_for(*workload, 8, 0.02);
+  EXPECT_EQ(config.ranks, 8);
+  // Short requests still simulate enough iterations for the sync structure
+  // to matter (the bench RunnerCache floor).
+  EXPECT_GE(config.iterations, 20);
+  EXPECT_EQ(config.seed, 1u);
+}
+
+// --- daemon end-to-end ------------------------------------------------------
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  void StartDaemon(server::DaemonConfig config = {}) {
+    char tmpl[] = "/tmp/celog-server-test-XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    sock_ = dir_ + "/celogd.sock";
+    std::vector<util::ScopedFd> listeners;
+    listeners.push_back(util::listen_unix(sock_));
+    daemon_ = std::make_unique<server::Daemon>(std::move(listeners), config);
+    loop_ = std::thread([this] { daemon_->run(); });
+  }
+
+  void TearDown() override {
+    if (daemon_) {
+      daemon_->request_drain();
+      if (loop_.joinable()) loop_.join();
+      daemon_.reset();
+    }
+    if (!sock_.empty()) ::unlink(sock_.c_str());
+    if (!dir_.empty()) ::rmdir(dir_.c_str());
+  }
+
+  util::ScopedFd Connect() { return util::connect_unix(sock_); }
+
+  static bool Send(const util::ScopedFd& fd, std::string_view data) {
+    return util::write_all(fd.get(), data);
+  }
+
+  std::string dir_;
+  std::string sock_;
+  std::unique_ptr<server::Daemon> daemon_;
+  std::thread loop_;
+};
+
+/// The batch side of the determinism contract: the runner, noise model, and
+/// arguments a batch user would construct for the canonical test request
+/// (lulesh, 8 ranks, 0.02 simulated seconds, software logging at 10 ms
+/// MTBCE). Mirrors RunnerRegistry::config_for and the daemon's noise
+/// construction arithmetic exactly.
+struct BatchTwin {
+  BatchTwin()
+      : workload(workloads::find_workload("lulesh")),
+        runner(*workload, server::RunnerRegistry::config_for(*workload, 8,
+                                                             0.02)),
+        noise(from_seconds(10.0 * 1e-3),
+              core::cost_model(core::LoggingMode::kSoftware)) {}
+
+  std::shared_ptr<const workloads::Workload> workload;
+  core::ExperimentRunner runner;
+  noise::UniformCeNoiseModel noise;
+};
+
+TEST_F(DaemonTest, PingPongAndStats) {
+  StartDaemon();
+  const util::ScopedFd fd = Connect();
+  util::LineReader reader(fd.get());
+  ASSERT_TRUE(Send(fd, "ping --id 3\n"));
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_EQ(line + "\n", server::pong_line(3));
+
+  ASSERT_TRUE(Send(fd, "stats --id 4\n"));
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_NE(line.find("\"id\":4"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"event\":\"stats\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"connections\":1"), std::string::npos) << line;
+}
+
+TEST_F(DaemonTest, SweepResponseIsByteIdenticalToBatch) {
+  StartDaemon();
+  const util::ScopedFd fd = Connect();
+  util::LineReader reader(fd.get());
+  ASSERT_TRUE(Send(fd,
+                   "sweep --id 11 --workload lulesh --ranks 8 --sim-s 0.02 "
+                   "--seeds 3 --seed 1234 --jobs 2 --mtbce-ms 10 "
+                   "--mode software\n"));
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line));
+
+  const BatchTwin batch;
+  const core::SlowdownResult expected =
+      batch.runner.measure(batch.noise, 3, 1234, 100.0, 2);
+  EXPECT_EQ(line + "\n", server::result_line(11, expected));
+}
+
+TEST_F(DaemonTest, StreamedRunsMatchBatchRunOnce) {
+  StartDaemon();
+  const util::ScopedFd fd = Connect();
+  util::LineReader reader(fd.get());
+  ASSERT_TRUE(Send(fd,
+                   "sweep --id 12 --workload lulesh --ranks 8 --sim-s 0.02 "
+                   "--seeds 2 --seed 77 --mtbce-ms 10 --mode software "
+                   "--stream-runs\n"));
+
+  const BatchTwin batch;
+  std::string line;
+  for (const std::uint64_t seed : {77ull, 78ull}) {
+    ASSERT_TRUE(reader.read_line(line));
+    EXPECT_EQ(line + "\n",
+              server::run_line(12, seed,
+                               batch.runner.run_once(batch.noise, seed,
+                                                     100.0)));
+  }
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_EQ(line + "\n",
+            server::result_line(
+                12, batch.runner.measure(batch.noise, 2, 77, 100.0, 1)));
+}
+
+TEST_F(DaemonTest, StreamedNoProgressSeedEmitsMarkerInsteadOfHanging) {
+  StartDaemon();
+  const util::ScopedFd fd = Connect();
+  util::LineReader reader(fd.get());
+  // Firmware logging (133 ms/event) at 50 ms MTBCE is the paper's
+  // no-progress regime: handling can never catch up, so an unbounded
+  // streamed run would simulate forever. The daemon used to do exactly
+  // that, pinning a worker; streamed runs are now horizon-bounded like
+  // measure() and emit a per-seed marker instead.
+  ASSERT_TRUE(Send(fd,
+                   "sweep --id 13 --workload lulesh --ranks 8 --sim-s 0.02 "
+                   "--seeds 1 --seed 5 --mtbce-ms 50 --mode firmware "
+                   "--stream-runs\n"));
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_EQ(line + "\n", server::run_no_progress_line(13, 5));
+  ASSERT_TRUE(reader.read_line(line));
+  const auto workload = workloads::find_workload("lulesh");
+  const core::ExperimentRunner runner(
+      *workload, server::RunnerRegistry::config_for(*workload, 8, 0.02));
+  const noise::UniformCeNoiseModel noise(
+      from_seconds(50.0 * 1e-3),
+      core::cost_model(core::LoggingMode::kFirmware));
+  EXPECT_EQ(line + "\n",
+            server::result_line(13, runner.measure(noise, 1, 5, 100.0, 1)));
+}
+
+TEST_F(DaemonTest, MalformedRequestKeepsConnectionUsable) {
+  StartDaemon();
+  const util::ScopedFd fd = Connect();
+  util::LineReader reader(fd.get());
+  ASSERT_TRUE(Send(fd, "frobnicate --id 5\nping --id 6\n"));
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_NE(line.find("\"id\":5"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"code\":\"bad-request\""), std::string::npos) << line;
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_EQ(line + "\n", server::pong_line(6));
+  EXPECT_EQ(daemon_->counters().rejected_parse, 1u);
+}
+
+TEST_F(DaemonTest, OversizedLineIsSkippedNotBuffered) {
+  StartDaemon();
+  const util::ScopedFd fd = Connect();
+  util::LineReader reader(fd.get());
+  std::string big(2 * server::kMaxRequestLine, 'x');
+  big += "\nping --id 8\n";
+  ASSERT_TRUE(Send(fd, big));
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_NE(line.find("\"code\":\"line-too-long\""), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"id\":-1"), std::string::npos) << line;
+  // The oversized garbage was discarded up to its newline; the next line
+  // parses normally.
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_EQ(line + "\n", server::pong_line(8));
+}
+
+TEST_F(DaemonTest, QuotaVerdictIsDeterministicForABurstInOneWrite) {
+  server::DaemonConfig config;
+  config.workers = 1;
+  config.quota = 1;
+  StartDaemon(config);
+  const util::ScopedFd fd = Connect();
+  util::LineReader reader(fd.get());
+  // Both sweeps land in one write, so the loop ingests them in one read
+  // chunk — and `inflight` is loop-thread-only, so the second request must
+  // bounce off the quota no matter how fast the first one completes.
+  ASSERT_TRUE(Send(fd,
+                   "sweep --id 1 --workload minife --ranks 4 --sim-s 0.02 "
+                   "--seeds 1 --mtbce-ms 10\n"
+                   "sweep --id 2 --workload minife --ranks 4 --sim-s 0.02 "
+                   "--seeds 1 --mtbce-ms 10\n"));
+  // Response order is not pinned (the rejection is enqueued while the
+  // admitted sweep runs); classify the two lines by id.
+  bool saw_result_1 = false;
+  bool saw_quota_2 = false;
+  for (int i = 0; i < 2; ++i) {
+    std::string line;
+    ASSERT_TRUE(reader.read_line(line));
+    if (line.find("\"id\":1") != std::string::npos) {
+      EXPECT_NE(line.find("\"event\":\"result\""), std::string::npos) << line;
+      saw_result_1 = true;
+    } else {
+      EXPECT_NE(line.find("\"id\":2"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"code\":\"quota\""), std::string::npos) << line;
+      saw_quota_2 = true;
+    }
+  }
+  EXPECT_TRUE(saw_result_1);
+  EXPECT_TRUE(saw_quota_2);
+  EXPECT_EQ(daemon_->counters().rejected_quota, 1u);
+  EXPECT_EQ(daemon_->counters().requests_admitted, 1u);
+}
+
+TEST_F(DaemonTest, MidStreamDisconnectAbandonsRequestAndDaemonSurvives) {
+  StartDaemon();
+  {
+    const util::ScopedFd fd = Connect();
+    util::LineReader reader(fd.get());
+    ASSERT_TRUE(Send(fd,
+                     "sweep --id 9 --workload lulesh --ranks 8 --sim-s 0.02 "
+                     "--seeds 32 --mtbce-ms 10 --mode software "
+                     "--stream-runs\n"));
+    std::string line;
+    ASSERT_TRUE(reader.read_line(line));  // the request is mid-stream
+    // fd closes here, 31 streamed seeds short of the summary.
+  }
+  // The worker's next append after the loop notices EPIPE must fail and
+  // abandon the request, freeing the worker. Poll the counter — the only
+  // ordering signal is the daemon's own bookkeeping.
+  for (int i = 0; i < 2000; ++i) {
+    if (daemon_->counters().disconnects_mid_request > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(daemon_->counters().disconnects_mid_request, 1u);
+
+  // The daemon keeps serving new connections afterwards.
+  const util::ScopedFd fd2 = Connect();
+  util::LineReader reader2(fd2.get());
+  ASSERT_TRUE(Send(fd2, "ping --id 10\n"));
+  std::string line;
+  ASSERT_TRUE(reader2.read_line(line));
+  EXPECT_EQ(line + "\n", server::pong_line(10));
+}
+
+TEST_F(DaemonTest, DrainCompletesInflightRequestBeforeExit) {
+  StartDaemon();
+  const util::ScopedFd fd = Connect();
+  util::LineReader reader(fd.get());
+  ASSERT_TRUE(Send(fd,
+                   "sweep --id 21 --workload minife --ranks 4 --sim-s 0.02 "
+                   "--seeds 2 --mtbce-ms 10 --stream-runs\n"));
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line));  // admitted and running
+
+  // Drain through the signal-handler channel: one byte to drain_fd(), the
+  // async-signal-safe path celogd's SIGTERM handler uses.
+  ASSERT_TRUE(util::write_all(daemon_->drain_fd(), "q"));
+
+  // The in-flight request still streams its second seed and its summary…
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_NE(line.find("\"event\":\"run\""), std::string::npos) << line;
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_NE(line.find("\"id\":21"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"event\":\"result\""), std::string::npos) << line;
+  // …then the daemon closes the connection and run() returns.
+  EXPECT_FALSE(reader.read_line(line));
+  loop_.join();
+  EXPECT_EQ(daemon_->counters().requests_admitted, 1u);
+  EXPECT_EQ(daemon_->counters().requests_completed, 1u);
+}
+
+}  // namespace
+}  // namespace celog

@@ -1,0 +1,195 @@
+// Exception taxonomy on the parallel sweep path. measure() tolerates
+// NoProgressError per seed (partial statistics, see SlowdownResult), but any
+// OTHER exception escaping a run — a corrupt trace, a noise model rejecting
+// its input — must propagate out of the sweep exactly as the serial loop
+// would surface it: the lowest-seed exception wins regardless of job count,
+// and the unwind must leave the runner's persistent pool and run-context
+// free list reusable, because celogd keeps serving other requests on the
+// same cached runner after one request's sweep blows up. These run under
+// `ctest -L concurrency` and are tsan targets like the rest of the sweep
+// substrate tests.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/logging_mode.hpp"
+#include "noise/noise_model.hpp"
+#include "util/error.hpp"
+#include "workloads/workload.hpp"
+
+namespace celog {
+namespace {
+
+void expect_identical(const core::SlowdownResult& a,
+                      const core::SlowdownResult& b) {
+  EXPECT_EQ(a.mean_pct, b.mean_pct);
+  EXPECT_EQ(a.stderr_pct, b.stderr_pct);
+  EXPECT_EQ(a.min_pct, b.min_pct);
+  EXPECT_EQ(a.max_pct, b.max_pct);
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.baseline_makespan, b.baseline_makespan);
+  EXPECT_EQ(a.mean_detours, b.mean_detours);
+  EXPECT_EQ(a.mean_stolen_s, b.mean_stolen_s);
+  EXPECT_EQ(a.no_progress, b.no_progress);
+}
+
+/// Throws InvalidInputError from make_source for the configured run seeds —
+/// a stand-in for any non-NoProgressError escaping mid-sweep. Every other
+/// seed is noise-free.
+class ThrowingModel final : public noise::NoiseModel {
+ public:
+  explicit ThrowingModel(std::vector<std::uint64_t> bad_seeds)
+      : bad_(std::move(bad_seeds)) {}
+
+  std::unique_ptr<noise::DetourSource> make_source(
+      noise::RankId rank, std::uint64_t run_seed) const override {
+    if (rank == 0) {
+      for (const std::uint64_t s : bad_) {
+        if (s == run_seed) {
+          throw InvalidInputError("bad seed " + std::to_string(run_seed));
+        }
+      }
+    }
+    return std::make_unique<noise::NullDetourSource>();
+  }
+
+ private:
+  std::vector<std::uint64_t> bad_;
+};
+
+/// Seed 1001 blows the horizon (one detour no 100x horizon survives), seed
+/// 1002 throws; other seeds are noise-free.
+class MixedFailureModel final : public noise::NoiseModel {
+ public:
+  std::unique_ptr<noise::DetourSource> make_source(
+      noise::RankId rank, std::uint64_t run_seed) const override {
+    if (rank != 0) return std::make_unique<noise::NullDetourSource>();
+    if (run_seed == 1002) throw InvalidInputError("bad seed 1002");
+    if (run_seed == 1001) {
+      return std::make_unique<noise::TraceDetourSource>(
+          std::vector<noise::Detour>{{0, seconds(100000)}});
+    }
+    return std::make_unique<noise::NullDetourSource>();
+  }
+};
+
+/// Odd run seeds blow the horizon, even seeds are noise-free (the partial-
+/// statistics shape from the measure() tests, used here after unwinds).
+class OddSeedBombModel final : public noise::NoiseModel {
+ public:
+  std::unique_ptr<noise::DetourSource> make_source(
+      noise::RankId rank, std::uint64_t run_seed) const override {
+    if (rank != 0 || run_seed % 2 == 0) {
+      return std::make_unique<noise::NullDetourSource>();
+    }
+    return std::make_unique<noise::TraceDetourSource>(
+        std::vector<noise::Detour>{{0, seconds(100000)}});
+  }
+};
+
+TEST(SweepExceptionTest, LowestSeedExceptionWinsAtAnyJobCount) {
+  workloads::WorkloadConfig config;
+  config.ranks = 8;
+  config.iterations = 2;
+  const core::ExperimentRunner runner(*workloads::find_workload("lulesh"),
+                                      config);
+  const ThrowingModel noise({1005, 1002});
+  // Seeds 1000..1007: the serial loop hits seed 1002 first, so every job
+  // count must surface exactly that seed's error — even when the seed-1005
+  // job happens to throw earlier on another thread.
+  for (const int jobs : {1, 2, 4, 8}) {
+    try {
+      runner.measure(noise, 8, 1000, 100.0, jobs);
+      FAIL() << "expected InvalidInputError at jobs=" << jobs;
+    } catch (const InvalidInputError& e) {
+      EXPECT_STREQ(e.what(), "bad seed 1002") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(SweepExceptionTest, ExceptionWinsOverNoProgressSeeds) {
+  workloads::WorkloadConfig config;
+  config.ranks = 4;
+  config.iterations = 2;
+  const core::ExperimentRunner runner(*workloads::find_workload("minife"),
+                                      config);
+  const MixedFailureModel noise;
+  // A horizon-blown seed is data (partial stats); a throwing seed is an
+  // error. When one sweep has both, the error propagates — at any job
+  // count, and even though the no-progress seed comes first in seed order.
+  for (const int jobs : {1, 2, 4}) {
+    try {
+      runner.measure(noise, 4, 1000, 100.0, jobs);
+      FAIL() << "expected InvalidInputError at jobs=" << jobs;
+    } catch (const InvalidInputError& e) {
+      EXPECT_STREQ(e.what(), "bad seed 1002") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(SweepExceptionTest, RunnerMatchesFreshRunnerAfterUnwind) {
+  workloads::WorkloadConfig config;
+  config.ranks = 8;
+  config.iterations = 2;
+  const auto workload = workloads::find_workload("lulesh");
+  const core::ExperimentRunner reused(*workload, config);
+  const ThrowingModel bomb({1001});
+  EXPECT_THROW(reused.measure(bomb, 4, 1000, 100.0, 4), InvalidInputError);
+
+  // After the unwind, a clean sweep on the survivor must be bit-identical
+  // to one on a runner that never saw an exception: no leaked lease, no
+  // half-reset context state.
+  const noise::UniformCeNoiseModel clean(
+      milliseconds(10),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(775)));
+  const core::ExperimentRunner fresh(*workload, config);
+  expect_identical(fresh.measure(clean, 5, 1000, 100.0, 2),
+                   reused.measure(clean, 5, 1000, 100.0, 2));
+}
+
+TEST(SweepExceptionTest, RepeatedUnwindsKeepLeaseMachineryIntact) {
+  workloads::WorkloadConfig config;
+  config.ranks = 8;
+  config.iterations = 2;
+  const core::ExperimentRunner runner(*workloads::find_workload("lulesh"),
+                                      config);
+  const noise::UniformCeNoiseModel clean(
+      milliseconds(10),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(775)));
+  const auto expected = runner.measure(clean, 4, 1000, 100.0, 1);
+  const ThrowingModel bomb({1000});
+  // Throw/recover cycles on one runner: every unwind must return its leased
+  // contexts to the free list and leave the cached pool reusable — the
+  // daemon's steady state when one client's requests keep failing.
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_THROW(runner.measure(bomb, 4, 1000, 100.0, 4), InvalidInputError)
+        << "round " << round;
+    expect_identical(expected, runner.measure(clean, 4, 1000, 100.0, 4));
+  }
+}
+
+TEST(SweepExceptionTest, PartialStatsPreservedAcrossUnwindAndPoolReuse) {
+  workloads::WorkloadConfig config;
+  config.ranks = 4;
+  config.iterations = 2;
+  const core::ExperimentRunner runner(*workloads::find_workload("minife"),
+                                      config);
+  const OddSeedBombModel partial;
+  const auto expected = runner.measure(partial, 4, 1000, 100.0, 1);
+  EXPECT_TRUE(expected.no_progress);
+  EXPECT_EQ(expected.seeds, 2);
+
+  const ThrowingModel bomb({1001});
+  EXPECT_THROW(runner.measure(bomb, 4, 1000, 100.0, 2), InvalidInputError);
+  // The subtlest aggregation path (some seeds blown, some completed) still
+  // matches serial after an unwind, on reused pool and contexts.
+  expect_identical(expected, runner.measure(partial, 4, 1000, 100.0, 4));
+}
+
+}  // namespace
+}  // namespace celog

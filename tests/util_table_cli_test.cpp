@@ -143,6 +143,52 @@ TEST_F(CliTest, NonNumericValueThrows) {
   EXPECT_THROW(cli_.get_double("nodes"), ParseError);
 }
 
+TEST_F(CliTest, NonFiniteDoubleThrows) {
+  // ISSUE-6 bugfix: strtod happily parses "inf"/"nan" and saturates
+  // overflowing literals to +-inf with no error indication, so --sim-s inf
+  // used to flow straight into horizon arithmetic. celogd parses this same
+  // grammar from untrusted clients; non-finite values are parse errors.
+  cli_.add_option("sim-s", "4", "s");
+  for (const char* bad : {"inf", "+inf", "-inf", "infinity", "nan", "NAN",
+                          "nan(0x1)", "1e99999", "-1e99999"}) {
+    ASSERT_TRUE(parse({"--sim-s", bad})) << bad;
+    EXPECT_THROW(cli_.get_double("sim-s"), ParseError) << bad;
+  }
+}
+
+TEST_F(CliTest, FiniteEdgeDoublesParse) {
+  cli_.add_option("sim-s", "4", "s");
+  // Underflow to a denormal (or zero) is finite and usable — only
+  // non-finite results are rejected.
+  ASSERT_TRUE(parse({"--sim-s", "1e-320"}));
+  EXPECT_GE(cli_.get_double("sim-s"), 0.0);
+  ASSERT_TRUE(parse({"--sim-s", "1.7e308"}));
+  EXPECT_DOUBLE_EQ(cli_.get_double("sim-s"), 1.7e308);
+  ASSERT_TRUE(parse({"--sim-s", "-0.25"}));
+  EXPECT_DOUBLE_EQ(cli_.get_double("sim-s"), -0.25);
+}
+
+TEST_F(CliTest, OutOfRangeIntThrows) {
+  cli_.add_option("nodes", "1", "n");
+  ASSERT_TRUE(parse({"--nodes", "9223372036854775808"}));  // LLONG_MAX + 1
+  EXPECT_THROW(cli_.get_int("nodes"), ParseError);
+  ASSERT_TRUE(parse({"--nodes", "-9223372036854775809"}));
+  EXPECT_THROW(cli_.get_int("nodes"), ParseError);
+  ASSERT_TRUE(parse({"--nodes", "9223372036854775807"}));
+  EXPECT_EQ(cli_.get_int("nodes"), 9223372036854775807LL);
+}
+
+TEST_F(CliTest, QuietModeSuppressesUsageButKeepsError) {
+  cli_.set_quiet(true);
+  cli_.add_option("nodes", "1", "n");
+  // Capture nothing: quiet mode exists so the daemon can turn a bad
+  // request line into an error string without writing usage to stderr.
+  EXPECT_FALSE(parse({"--bogus", "1"}));
+  EXPECT_NE(cli_.error().find("unknown option"), std::string::npos);
+  EXPECT_FALSE(parse({"--help"}));
+  EXPECT_TRUE(cli_.error().empty());
+}
+
 TEST_F(CliTest, UsageListsOptions) {
   cli_.add_option("nodes", "1024", "node count");
   cli_.add_flag("full", "paper scale");

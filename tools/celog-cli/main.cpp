@@ -1,0 +1,114 @@
+// celog-cli — one-shot client for celogd.
+//
+// Connects to a running daemon (--unix PATH or --host/--port), sends one
+// request line, and prints every JSONL response line to stdout until the
+// terminal event for the request arrives ("result", "pong", "stats", or
+// "error"). Exit status: 0 on a successful terminal event, 1 when the
+// daemon answered with an error event or hung up early, 2 on usage errors.
+//
+// The request is either passed raw (--send 'sweep --id 1 ...') or built
+// from convenience options mirroring the sweep grammar:
+//
+//   celog-cli --unix /tmp/celogd.sock --workload lulesh --ranks 64
+//             --seeds 4 --mtbce-ms 10 --mode software
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/net.hpp"
+
+namespace {
+
+bool is_terminal_event(const std::string& line) {
+  return line.find("\"event\":\"run\"") == std::string::npos;
+}
+
+std::string build_request(const celog::Cli& cli) {
+  if (!cli.get("send").empty()) return cli.get("send");
+  const std::string id = " --id " + cli.get("id");
+  if (cli.get_flag("ping")) return "ping" + id;
+  if (cli.get_flag("stats")) return "stats" + id;
+  std::string line = "sweep" + id;
+  for (const char* opt : {"workload", "ranks", "sim-s", "seeds", "seed",
+                          "jobs", "matcher", "mtbce-ms", "mode", "cost-us",
+                          "horizon"}) {
+    line += " --";
+    line += opt;
+    line += " ";
+    line += cli.get(opt);
+  }
+  if (cli.get_flag("stream-runs")) line += " --stream-runs";
+  return line;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  celog::Cli cli(
+      "celog-cli: send one request to a running celogd and print the\n"
+      "JSONL response lines.");
+  cli.add_option("unix", "", "Unix socket path of the daemon");
+  cli.add_option("host", "127.0.0.1", "daemon TCP host");
+  cli.add_option("port", "-1", "daemon TCP port (-1 = use --unix)");
+  cli.add_option("send", "", "raw request line (overrides everything below)");
+  cli.add_option("id", "1", "request id");
+  cli.add_flag("ping", "send a ping instead of a sweep");
+  cli.add_flag("stats", "ask for daemon statistics instead of a sweep");
+  cli.add_option("workload", "lulesh", "workload name");
+  cli.add_option("ranks", "32", "simulated ranks");
+  cli.add_option("sim-s", "0.25", "target simulated seconds per run");
+  cli.add_option("seeds", "2", "noisy runs averaged");
+  cli.add_option("seed", "1000", "base RNG seed");
+  cli.add_option("jobs", "1", "threads for the seed sweep");
+  cli.add_option("matcher", "bucketed", "bucketed | reference");
+  cli.add_option("mtbce-ms", "1000", "per-node MTBCE in milliseconds");
+  cli.add_option("mode", "software", "hardware | software | firmware");
+  cli.add_option("cost-us", "0",
+                 "flat per-event cost in microseconds (0 = use --mode)");
+  cli.add_option("horizon", "100", "horizon factor over the baseline");
+  cli.add_flag("stream-runs", "stream one line per seed before the summary");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+
+  try {
+    const std::string unix_path = cli.get("unix");
+    const std::int64_t port = cli.get_int("port");
+    celog::util::ScopedFd sock;
+    if (port >= 0) {
+      if (port > 65535) {
+        std::fprintf(stderr, "celog-cli: --port out of range\n");
+        return 2;
+      }
+      sock = celog::util::connect_tcp(cli.get("host"),
+                                      static_cast<std::uint16_t>(port));
+    } else if (!unix_path.empty()) {
+      sock = celog::util::connect_unix(unix_path);
+    } else {
+      std::fprintf(stderr, "celog-cli: give --unix PATH or --port N\n");
+      return 2;
+    }
+
+    const std::string request = build_request(cli) + "\n";
+    if (!celog::util::write_all(sock.get(), request)) {
+      std::fprintf(stderr, "celog-cli: daemon hung up while sending\n");
+      return 1;
+    }
+
+    celog::util::LineReader reader(sock.get());
+    std::string line;
+    while (reader.read_line(line)) {
+      std::fprintf(stdout, "%s\n", line.c_str());
+      if (is_terminal_event(line)) {
+        return line.find("\"event\":\"error\"") == std::string::npos ? 0 : 1;
+      }
+    }
+    std::fprintf(stderr, "celog-cli: daemon hung up before the result\n");
+    return 1;
+  } catch (const celog::Error& e) {
+    std::fprintf(stderr, "celog-cli: %s\n", e.what());
+    return 1;
+  }
+}

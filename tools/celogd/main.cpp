@@ -1,0 +1,109 @@
+// celogd — the long-running sweep-serving daemon.
+//
+// Listens on a Unix socket (--unix PATH) and/or loopback TCP (--tcp PORT),
+// serves the newline-delimited request protocol documented in
+// src/server/protocol.hpp, and drains gracefully on SIGTERM/SIGINT: no new
+// connections or sweeps are admitted, every admitted request finishes and
+// its response is flushed, then the process exits.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "server/daemon.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/net.hpp"
+
+namespace {
+
+// Written once before signals are installed, then only read by the
+// handler; write(2) is async-signal-safe.
+volatile int g_drain_fd = -1;
+
+extern "C" void handle_term_signal(int) {
+  const int fd = g_drain_fd;
+  if (fd >= 0) {
+    const char q = 'q';
+    // A full wake pipe drops the byte; the drain request is level-checked,
+    // so that is harmless.
+    (void)!::write(fd, &q, 1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  celog::Cli cli(
+      "celogd: serve celog sweep requests over a Unix/TCP socket.\n"
+      "Request grammar and response format: src/server/protocol.hpp.");
+  cli.add_option("unix", "", "Unix socket path to listen on");
+  cli.add_option("tcp", "-1",
+                 "loopback TCP port to listen on (0 = ephemeral, -1 = off)");
+  cli.add_option("workers", "2", "sweep worker threads");
+  cli.add_option("quota", "4", "per-connection in-flight request cap");
+  cli.add_option("max-queue", "64", "admitted-but-not-started request cap");
+  cli.add_option("max-connections", "64", "concurrent client cap");
+  cli.add_option("jobs-cap", "8", "ceiling on a request's --jobs");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+
+  try {
+    const std::string unix_path = cli.get("unix");
+    const std::int64_t tcp_port = cli.get_int("tcp");
+
+    std::vector<celog::util::ScopedFd> listeners;
+    if (!unix_path.empty()) {
+      listeners.push_back(celog::util::listen_unix(unix_path));
+      std::fprintf(stderr, "celogd: listening on %s\n", unix_path.c_str());
+    }
+    if (tcp_port >= 0) {
+      if (tcp_port > 65535) {
+        std::fprintf(stderr, "celogd: --tcp out of range: %lld\n",
+                     static_cast<long long>(tcp_port));
+        return 2;
+      }
+      std::uint16_t bound = 0;
+      listeners.push_back(celog::util::listen_tcp(
+          static_cast<std::uint16_t>(tcp_port), 64, &bound));
+      std::fprintf(stderr, "celogd: listening on 127.0.0.1:%u\n",
+                   static_cast<unsigned>(bound));
+    }
+    if (listeners.empty()) {
+      std::fprintf(stderr,
+                   "celogd: nothing to listen on (give --unix and/or --tcp)\n");
+      return 2;
+    }
+
+    celog::server::DaemonConfig config;
+    config.workers = static_cast<int>(cli.get_int("workers"));
+    config.quota = static_cast<int>(cli.get_int("quota"));
+    config.max_queue = static_cast<std::size_t>(cli.get_int("max-queue"));
+    config.max_connections =
+        static_cast<std::size_t>(cli.get_int("max-connections"));
+    config.jobs_cap = static_cast<int>(cli.get_int("jobs-cap"));
+
+    celog::server::Daemon daemon(std::move(listeners), config);
+    g_drain_fd = daemon.drain_fd();
+    std::signal(SIGPIPE, SIG_IGN);
+    std::signal(SIGTERM, handle_term_signal);
+    std::signal(SIGINT, handle_term_signal);
+
+    daemon.run();
+
+    g_drain_fd = -1;
+    if (!unix_path.empty()) ::unlink(unix_path.c_str());
+    const auto c = daemon.counters();
+    std::fprintf(stderr,
+                 "celogd: drained (%llu requests served, %llu connections)\n",
+                 static_cast<unsigned long long>(c.requests_completed),
+                 static_cast<unsigned long long>(c.connections_accepted));
+    return 0;
+  } catch (const celog::Error& e) {
+    std::fprintf(stderr, "celogd: %s\n", e.what());
+    return 1;
+  }
+}
