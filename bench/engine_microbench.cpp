@@ -30,6 +30,7 @@
 
 #include "perf_json.hpp"
 #include "collectives/collectives.hpp"
+#include "goal/generative.hpp"
 #include "goal/task_graph.hpp"
 #include "noise/noise_model.hpp"
 #include "noise/rank_noise.hpp"
@@ -438,6 +439,62 @@ void scenario_allreduce(const Context& ctx, goal::Rank ranks) {
          "ms");
 }
 
+/// ISSUE-7 headline scenario: exascale-shaped runs over the generative
+/// (lazy) graph representation. A 3-D periodic stencil at 10K / 100K ranks
+/// never materializes its task graph — programs are decoded per-op from
+/// O(1) pattern parameters — and the engine's state is O(active ranks)
+/// with capped event reservations, so the figure of merit is twofold:
+/// event throughput at scale (events_per_s) and the per-rank memory
+/// footprint, reported both as bytes_per_rank (graph + engine state over
+/// ranks; informational) and as its bigger-is-better inverse ranks_per_mib
+/// (floor-gated: a memory regression makes it drop).
+void scenario_scale_config(const Context& ctx, const char* label,
+                           std::vector<goal::Rank> dims, int iters) {
+  goal::StencilSpec spec;
+  spec.dims = std::move(dims);
+  spec.iterations = iters;
+  spec.message_bytes = 1024;
+  spec.compute_ns = 2000;
+  spec.jitter_ns = 500;
+  spec.seed = 1;
+  const goal::GenerativeGraph g(spec);
+  const std::string name = std::string("scale_") + label;
+  std::printf("%s (generative %d-rank stencil, %zu ops)\n", name.c_str(),
+              g.ranks(), g.total_ops());
+  sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
+  sim.set_matcher(ctx.matcher);
+  sim::RunContext context;
+  std::uint64_t checksum = 0;
+  report(ctx, name + ".events_per_s", measure(ctx.warmup, ctx.reps, [&] {
+           const bench::WallTimer timer;
+           const sim::SimResult r = sim.run_baseline(context);
+           const double wall = timer.seconds();
+           checksum = result_checksum(r);
+           return static_cast<double>(r.events_processed) / wall;
+         }),
+         "ev/s");
+
+  const double resident = static_cast<double>(context.resident_bytes()) +
+                          static_cast<double>(g.resident_bytes());
+  const double ranks = static_cast<double>(g.ranks());
+  const double bytes_per_rank = resident / ranks;
+  const double ranks_per_mib = ranks / (resident / (1024.0 * 1024.0));
+  std::printf("  %-46s %12.1f B\n", (name + ".bytes_per_rank").c_str(),
+              bytes_per_rank);
+  ctx.perf->metric(name + ".bytes_per_rank", bytes_per_rank);
+  std::printf("  %-46s %12.1f ranks/MiB\n", (name + ".ranks_per_mib").c_str(),
+              ranks_per_mib);
+  ctx.perf->metric(name + ".ranks_per_mib", ranks_per_mib);
+  report_checksum(ctx, name, checksum);
+}
+
+/// Fixed shapes so floor metric names stay stable: 10K = 20 x 25 x 20,
+/// 100K = 50 x 50 x 40. The smoke preset runs only the 10K shape.
+void scenario_scale(const Context& ctx, bool smoke) {
+  scenario_scale_config(ctx, "10k", {20, 25, 20}, 10);
+  if (!smoke) scenario_scale_config(ctx, "100k", {50, 50, 40}, 10);
+}
+
 void scenario_rank_noise(const Context& ctx) {
   const std::string name = "rank_noise";
   std::printf("%s (busy-period arithmetic)\n", name.c_str());
@@ -513,6 +570,7 @@ int main(int argc, char** argv) {
       "--reps repetitions after --warmup untimed ones.");
   cli.add_option("scenario", "all",
                  "comma-separated subset of: ring, deep_recv, noise, sweep, "
+                 "scale, "
                  "telemetry, graph_build, allreduce, rank_noise (or 'all')");
   cli.add_option("reps", "3", "timed repetitions per scenario");
   cli.add_option("warmup", "1", "untimed warmup repetitions per scenario");
@@ -528,14 +586,14 @@ int main(int argc, char** argv) {
                  "flat JSON file of throughput floors; exit 1 if any "
                  "recorded metric falls >30% below its floor");
   cli.add_flag("smoke", "CI preset: small sizes (ring r128, deep r256xd256) "
-               "and scenario=ring,deep_recv,sweep,telemetry unless "
+               "and scenario=ring,deep_recv,sweep,scale,telemetry unless "
                "overridden");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 1;
 
   const bool smoke = cli.get_flag("smoke");
   std::string scenarios = cli.get("scenario");
   if (smoke && !cli.provided("scenario")) {
-    scenarios = "ring,deep_recv,sweep,telemetry";
+    scenarios = "ring,deep_recv,sweep,scale,telemetry";
   }
   const auto has = [&scenarios](const char* name) {
     return scenarios == "all" ||
@@ -568,6 +626,7 @@ int main(int argc, char** argv) {
   if (has("deep_recv")) scenario_deep_recv(ctx, ranks_or(1024, 256), depth);
   if (has("noise")) scenario_noise(ctx, ranks_or(256, 128));
   if (has("sweep")) scenario_sweep(ctx);
+  if (has("scale")) scenario_scale(ctx, smoke);
   if (has("telemetry")) scenario_telemetry(ctx, ranks_or(256, 128));
   if (has("graph_build")) scenario_graph_build(ctx, ranks_or(512, 64));
   if (has("allreduce")) scenario_allreduce(ctx, ranks_or(4096, 256));

@@ -10,12 +10,81 @@
 // exceed a few percent. Conclusion: keep MTBCE_node above ~3,024-5,544 s.
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "goal/generative.hpp"
+
+namespace {
+
+// Addendum: the same three logging scenarios on a genuine >=100K-rank
+// machine. The systems tables above follow the paper's method — traces
+// reduced rate-preservingly onto --ranks processes — but the generative
+// graph layer holds every rank of an exascale machine directly: a
+// 50x50x40 periodic halo exchange (100,000 ranks, one process per node),
+// each rank drawing CEs at the system's native per-node MTBCE. One seed
+// per cell; a reused RunContext keeps the sweep allocation-free after the
+// first run.
+void run_stencil_addendum(const celog::bench::Options& options,
+                          const std::vector<celog::core::SystemConfig>& systems,
+                          celog::bench::PerfJson& perf) {
+  using namespace celog;
+  goal::StencilSpec spec;
+  spec.dims = {50, 50, 40};
+  // Cover the target simulated time with coarse 500 ms halo steps so the
+  // total op count stays near ten million per run (wall clock: minutes for
+  // the whole 16-cell sweep at the default --sim-s).
+  spec.compute_ns = 500 * kMillisecond;
+  spec.iterations = static_cast<std::int32_t>(
+      std::max<TimeNs>(2, options.sim_target / spec.compute_ns));
+  spec.message_bytes = 4096;
+  spec.jitter_ns = kMillisecond;
+  spec.seed = options.base_seed;
+  const goal::GenerativeGraph graph(spec);
+  std::printf(
+      "\n-- addendum: direct %d-rank stencil (%dx%dx%d torus, %d iterations, "
+      "native per-node MTBCE, 1 seed) --\n",
+      graph.ranks(), spec.dims[0], spec.dims[1], spec.dims[2],
+      spec.iterations);
+
+  const sim::Simulator simulator(graph, sim::NetworkParams::cray_xc40());
+  sim::RunContext ctx;
+  const sim::SimResult baseline = perf.time_cell(
+      "stencil100k/baseline", [&] { return simulator.run_baseline(ctx); });
+
+  std::vector<std::string> headers = {"logging"};
+  for (const auto& sys : systems) headers.push_back(sys.name);
+  TextTable table(headers);
+  for (const auto mode : core::all_logging_modes()) {
+    std::vector<std::string> row = {std::string(core::to_string(mode))};
+    for (const auto& sys : systems) {
+      const noise::UniformCeNoiseModel noise(sys.mtbce_node(),
+                                             core::cost_model(mode));
+      const auto noisy = perf.time_cell(
+          std::string("stencil100k/") + core::to_string(mode) + "/" +
+              sys.name,
+          [&] {
+            return simulator.run(noise, options.base_seed, ctx);
+          });
+      row.push_back(format_percent(sim::slowdown_percent(baseline, noisy)));
+    }
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace celog;
   Cli cli("fig5_exascale: CE slowdown on hypothetical exascale systems");
   bench::add_standard_options(cli);
+  cli.add_flag("no-stencil",
+               "skip the direct 100K-rank generative-stencil addendum");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
   const bench::Options options = bench::read_standard_options(cli);
   bench::print_banner("Fig. 5: exascale-class systems", options);
@@ -23,8 +92,11 @@ int main(int argc, char** argv) {
   const bench::WallTimer timer;
   bench::PerfJson perf(options.json_path, "fig5_exascale");
   bench::RunnerCache cache(options);
-  bench::run_systems_figure(core::systems::exascale_systems(), options,
-                            cache, perf);
+  const auto systems = core::systems::exascale_systems();
+  bench::run_systems_figure(systems, options, cache, perf);
+  if (!cli.get_flag("no-stencil")) {
+    run_stencil_addendum(options, systems, perf);
+  }
   perf.metric("total_wall_s", timer.seconds());
 
   std::printf(

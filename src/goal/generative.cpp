@@ -1,0 +1,177 @@
+#include "goal/generative.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "goal/task_graph.hpp"
+#include "util/error.hpp"
+
+namespace celog::goal {
+
+Op GenerativeProgram::op(OpIndex i) const {
+  CELOG_ASSERT(i < size_);
+  const auto stride =
+      static_cast<std::uint32_t>(1 + 2 * graph_->neighbors_);
+  const auto iteration = static_cast<std::int32_t>(i / stride);
+  const std::uint32_t pos = i % stride;
+  if (pos == 0) {
+    return Op::calc(graph_->calc_duration(rank_, iteration));
+  }
+  const std::uint32_t j = (pos - 1) >> 1;
+  const Rank peer = peers_[j];
+  if (((pos - 1) & 1u) == 0) {
+    return Op::send(peer, graph_->spec_.message_bytes, 0);
+  }
+  return Op::recv(peer, graph_->spec_.message_bytes, 0);
+}
+
+GenerativeGraph::GenerativeGraph(StencilSpec spec) : spec_(std::move(spec)) {
+  if (spec_.dims.empty()) {
+    throw InvalidInputError("stencil spec needs at least one dimension");
+  }
+  if (spec_.iterations < 1) {
+    throw InvalidInputError("stencil spec needs at least one iteration");
+  }
+  if (spec_.message_bytes < 0 || spec_.compute_ns < 0 || spec_.jitter_ns < 0) {
+    throw InvalidInputError("stencil spec sizes must be non-negative");
+  }
+  std::int64_t ranks = 1;
+  for (const Rank extent : spec_.dims) {
+    if (extent < 1) {
+      throw InvalidInputError("stencil dimension extents must be >= 1");
+    }
+    ranks *= extent;
+    if (ranks > static_cast<std::int64_t>(detail::kMaxPackedRank) + 1) {
+      throw InvalidInputError("stencil rank count exceeds " +
+                              std::to_string(detail::kMaxPackedRank + 1));
+    }
+  }
+  ranks_ = static_cast<Rank>(ranks);
+
+  // Row-major rank layout, last dimension fastest. Dimensions of extent 1
+  // would wrap onto the rank itself, so they contribute no neighbours.
+  std::size_t active = 0;
+  Rank stride = ranks_;
+  for (const Rank extent : spec_.dims) {
+    stride /= extent;
+    if (extent >= 2) {
+      if (active == active_dims_.size()) {
+        throw InvalidInputError("stencil supports at most 4 dimensions of "
+                                "extent >= 2");
+      }
+      active_dims_[active++] = ActiveDim{extent, stride};
+    }
+  }
+  neighbors_ = 2 * active;
+
+  // Build the shared per-rank dependency template: every iteration is one
+  // calc followed by a phase of 2 * neighbours mutually independent
+  // send/recv ops; the next calc waits on the whole phase (or, with no
+  // neighbours, directly on the previous calc).
+  const std::size_t per_iter = 1 + 2 * neighbors_;
+  const auto iters = static_cast<std::size_t>(spec_.iterations);
+  ops_per_rank_ = per_iter * iters;
+  // Template op indices (and the engine's OpIndex) are 32-bit; cap well
+  // below that so edge counts (< 2 * ops) can never overflow either.
+  if (ops_per_rank_ > (std::size_t{1} << 30)) {
+    throw InvalidInputError("stencil per-rank program too large (" +
+                            std::to_string(ops_per_rank_) + " ops)");
+  }
+  in_degree_.assign(ops_per_rank_, 0);
+  succ_offsets_.assign(ops_per_rank_ + 1, 0);
+  const std::size_t phase = 2 * neighbors_;
+  edges_per_rank_ = phase == 0 ? iters - 1 : phase * (2 * iters - 1);
+  succ_.reserve(edges_per_rank_);
+  for (std::size_t t = 0; t < iters; ++t) {
+    const std::size_t calc = t * per_iter;
+    if (phase == 0) {
+      in_degree_[calc] = t > 0 ? 1 : 0;
+      if (t + 1 < iters) {
+        succ_.push_back(static_cast<OpIndex>(calc + per_iter));
+      }
+      succ_offsets_[calc + 1] = static_cast<std::uint32_t>(succ_.size());
+      continue;
+    }
+    in_degree_[calc] = t > 0 ? static_cast<std::uint32_t>(phase) : 0;
+    for (std::size_t j = 1; j <= phase; ++j) {
+      succ_.push_back(static_cast<OpIndex>(calc + j));
+    }
+    succ_offsets_[calc + 1] = static_cast<std::uint32_t>(succ_.size());
+    for (std::size_t j = 1; j <= phase; ++j) {
+      in_degree_[calc + j] = 1;
+      if (t + 1 < iters) {
+        succ_.push_back(static_cast<OpIndex>(calc + per_iter));
+      }
+      succ_offsets_[calc + j + 1] = static_cast<std::uint32_t>(succ_.size());
+    }
+  }
+  CELOG_ASSERT(succ_.size() == edges_per_rank_);
+
+  sources_per_rank_ = 0;
+  surplus_successors_per_rank_ = 0;
+  for (std::size_t i = 0; i < ops_per_rank_; ++i) {
+    if (in_degree_[i] == 0) ++sources_per_rank_;
+    const std::size_t out = succ_offsets_[i + 1] - succ_offsets_[i];
+    if (out > 1) surplus_successors_per_rank_ += out - 1;
+  }
+}
+
+GenerativeProgram GenerativeGraph::program(Rank rank) const {
+  CELOG_ASSERT(rank >= 0 && rank < ranks_);
+  GenerativeProgram prog;
+  prog.graph_ = this;
+  prog.rank_ = rank;
+  for (std::size_t a = 0; a < neighbors_ / 2; ++a) {
+    const ActiveDim& dim = active_dims_[a];
+    const Rank coord = (rank / dim.stride) % dim.extent;
+    const Rank up = coord + 1 == dim.extent ? 1 - dim.extent : 1;
+    const Rank down = coord == 0 ? dim.extent - 1 : -1;
+    prog.peers_[2 * a] = rank + up * dim.stride;
+    prog.peers_[2 * a + 1] = rank + down * dim.stride;
+  }
+  prog.succ_offsets_ = succ_offsets_.data();
+  prog.succ_ = succ_.data();
+  prog.in_degree_ = in_degree_.data();
+  prog.size_ = ops_per_rank_;
+  return prog;
+}
+
+std::size_t GenerativeGraph::count_ops(OpKind kind) const {
+  const auto iters = static_cast<std::size_t>(spec_.iterations);
+  const auto ranks = static_cast<std::size_t>(ranks_);
+  if (kind == OpKind::kCalc) return ranks * iters;
+  return ranks * iters * neighbors_;  // sends == recvs == neighbours/iter
+}
+
+std::size_t GenerativeGraph::resident_bytes() const {
+  return succ_offsets_.capacity() * sizeof(std::uint32_t) +
+         succ_.capacity() * sizeof(OpIndex) +
+         in_degree_.capacity() * sizeof(std::uint32_t) +
+         spec_.dims.capacity() * sizeof(Rank);
+}
+
+TaskGraph GenerativeGraph::materialize() const {
+  // 2^26 ops is ~1 GiB materialized; past that, the point of the lazy
+  // representation is that you do not expand it.
+  if (total_ops() > (std::size_t{1} << 26)) {
+    throw InvalidInputError("generative graph too large to materialize (" +
+                            std::to_string(total_ops()) + " ops)");
+  }
+  TaskGraph g(ranks_);
+  for (Rank r = 0; r < ranks_; ++r) {
+    const GenerativeProgram prog = program(r);
+    for (OpIndex i = 0; i < prog.size(); ++i) g.add_op(r, prog.op(i));
+    for (OpIndex i = 0; i < prog.size(); ++i) {
+      for (const OpIndex s : prog.successors(i)) {
+        g.add_dependency(OpId{r, i}, OpId{r, s});
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace celog::goal

@@ -1,0 +1,196 @@
+// celog/goal/generative.hpp
+//
+// Generative (lazy) task graphs: periodic nearest-neighbour patterns whose
+// per-rank programs are *computed* from O(1) pattern parameters instead of
+// materialized op-by-op. A 1M-rank stencil graph occupies a few kilobytes
+// — one shared per-rank dependency template plus the torus geometry — and
+// `program(rank)` decodes any rank's ops on demand, so the simulator can
+// run rank counts that a materialized goal::TaskGraph could never hold.
+//
+// The pattern family is the d-dimensional periodic torus stencil (ring =
+// 1-D, halo exchange = 2-D/3-D, CG-style sparse patterns are its sparsity
+// structure). Every iteration of every rank runs the same template:
+//
+//   calc(compute + jitter(rank, iter))       // local work, optional jitter
+//   begin_phase                              // mutually independent:
+//     send(+d0) recv(+d0) send(-d0) recv(-d0) ... per torus neighbour
+//   end_phase                                // waitall before next iter
+//
+// which is exactly the shape workloads::halo_exchange emits, so the
+// dependency template (in-degrees + successor CSR) is identical for every
+// rank and is built once. Only the peers differ per rank (torus
+// coordinate arithmetic) and optionally the calc durations (counter-based
+// SplitMix64 hash of (seed, rank, iter): O(1) random access, no
+// sequential stream state). All messages use tag 0 so the matcher's
+// (src, tag) key population stays bounded by the neighbour count.
+//
+// materialize() converts to an ordinary TaskGraph with the identical op
+// and edge layout; the differential tests prove the two representations
+// produce bit-identical SimResults at every rank count both can hold.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "goal/task_graph.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace celog::goal {
+
+class GenerativeGraph;
+
+/// Pattern parameters for a periodic torus stencil. `dims` of size 1 is a
+/// ring; sizes 2 and 3 are classic halo exchanges. Dimensions of extent 1
+/// contribute no neighbours (the torus would wrap onto the rank itself).
+struct StencilSpec {
+  /// Torus extents; rank count is their product (row-major rank layout,
+  /// last dimension fastest).
+  std::vector<Rank> dims;
+  std::int32_t iterations = 1;
+  std::int64_t message_bytes = 0;
+  /// Base duration of the per-iteration calc op.
+  TimeNs compute_ns = 0;
+  /// When > 0, each calc gets a deterministic per-(rank, iteration) jitter
+  /// in [0, jitter_ns], hashed from `seed` — no stream state, O(1) access.
+  TimeNs jitter_ns = 0;
+  std::uint64_t seed = 0;
+};
+
+/// One rank's program, decoded lazily from the pattern. Mirrors the
+/// goal::RankProgram view API the simulator consumes (size/op/successors/
+/// in_degree/in_degrees); the dependency arrays are the graph's shared
+/// template, only `op()` peers and calc durations are rank-specific.
+class GenerativeProgram {
+ public:
+  GenerativeProgram() = default;
+
+  std::size_t size() const { return size_; }
+
+  Op op(OpIndex i) const;
+
+  std::span<const OpIndex> successors(OpIndex i) const {
+    CELOG_ASSERT(i < size_);
+    return {succ_ + succ_offsets_[i], succ_offsets_[i + 1] - succ_offsets_[i]};
+  }
+
+  std::uint32_t in_degree(OpIndex i) const {
+    CELOG_ASSERT(i < size_);
+    return in_degree_[i];
+  }
+
+  /// Shared-template in-degree slice (identical for every rank) — the
+  /// engine refills its pending counters with one bulk copy.
+  std::span<const std::uint32_t> in_degrees() const {
+    return {in_degree_, size_};
+  }
+
+ private:
+  friend class GenerativeGraph;
+
+  const GenerativeGraph* graph_ = nullptr;
+  Rank rank_ = -1;
+  // Torus neighbours of rank_, in template order (+d, -d per active dim).
+  std::array<Rank, 8> peers_{};
+  const std::uint32_t* succ_offsets_ = nullptr;
+  const OpIndex* succ_ = nullptr;
+  const std::uint32_t* in_degree_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// A lazily-generated periodic stencil graph. Structurally equivalent to
+/// the TaskGraph that materialize() returns, but O(pattern) resident
+/// regardless of rank count.
+class GenerativeGraph {
+ public:
+  explicit GenerativeGraph(StencilSpec spec);
+
+  Rank ranks() const { return ranks_; }
+  std::int32_t iterations() const { return spec_.iterations; }
+  std::int64_t message_bytes() const { return spec_.message_bytes; }
+
+  /// Torus neighbours per rank (uniform): 2 per dimension of extent >= 2.
+  std::size_t neighbors() const { return neighbors_; }
+
+  /// Ops in every rank's program: iterations * (1 calc + 2 * neighbours).
+  std::size_t ops_per_rank() const { return ops_per_rank_; }
+
+  GenerativeProgram program(Rank rank) const;
+
+  std::size_t total_ops() const {
+    return static_cast<std::size_t>(ranks_) * ops_per_rank_;
+  }
+  std::size_t total_edges() const {
+    return static_cast<std::size_t>(ranks_) * edges_per_rank_;
+  }
+  std::int64_t total_bytes_sent() const {
+    return static_cast<std::int64_t>(sends_per_rank()) *
+           static_cast<std::int64_t>(ranks_) * spec_.message_bytes;
+  }
+  std::size_t count_ops(OpKind kind) const;
+
+  /// Sends issued by (and, by torus symmetry, also targeting) each rank.
+  std::size_t sends_per_rank() const {
+    return neighbors_ * static_cast<std::size_t>(spec_.iterations);
+  }
+  /// Template ops with in-degree zero (event-seeding sources per rank).
+  std::size_t sources_per_rank() const { return sources_per_rank_; }
+  /// Template sum of max(0, out_degree - 1) — the engine's per-rank bound
+  /// on extra ready events one completion can release.
+  std::size_t surplus_successors_per_rank() const {
+    return surplus_successors_per_rank_;
+  }
+
+  /// Heap bytes held resident: the shared template, not the (virtual)
+  /// expanded graph. Deterministic for identical specs.
+  std::size_t resident_bytes() const;
+
+  /// Expands into an ordinary TaskGraph with the identical per-rank op
+  /// indexing and dependency layout (for differential tests and small
+  /// runs). Refuses rank counts whose expansion would be enormous.
+  TaskGraph materialize() const;
+
+  const StencilSpec& spec() const { return spec_; }
+
+ private:
+  friend class GenerativeProgram;
+
+  /// Calc duration for (rank, iteration): base + hashed jitter.
+  TimeNs calc_duration(Rank rank, std::int32_t iteration) const {
+    TimeNs d = spec_.compute_ns;
+    if (spec_.jitter_ns > 0) {
+      constexpr std::uint64_t kRankMix = 0xd6e8feb86659fd93;
+      constexpr std::uint64_t kIterMix = 0x9e3779b97f4a7c15;
+      SplitMix64 h(spec_.seed ^
+                   (static_cast<std::uint64_t>(rank) * kRankMix) ^
+                   (static_cast<std::uint64_t>(iteration) * kIterMix));
+      d += static_cast<TimeNs>(
+          h.next() % (static_cast<std::uint64_t>(spec_.jitter_ns) + 1));
+    }
+    return d;
+  }
+
+  StencilSpec spec_;
+  Rank ranks_ = 0;
+  /// Active torus dimensions (extent >= 2): extent and row-major stride.
+  struct ActiveDim {
+    Rank extent;
+    Rank stride;
+  };
+  std::array<ActiveDim, 4> active_dims_{};
+  std::size_t neighbors_ = 0;
+  std::size_t ops_per_rank_ = 0;
+  std::size_t edges_per_rank_ = 0;
+  std::size_t sources_per_rank_ = 0;
+  std::size_t surplus_successors_per_rank_ = 0;
+  // Shared per-rank dependency template (CSR over template op indices).
+  std::vector<std::uint32_t> succ_offsets_;
+  std::vector<OpIndex> succ_;
+  std::vector<std::uint32_t> in_degree_;
+};
+
+}  // namespace celog::goal

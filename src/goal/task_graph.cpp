@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
-#include <numeric>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,22 +18,25 @@ const char* to_string(OpKind kind) {
   return "?";
 }
 
-TaskGraph::TaskGraph(Rank ranks) {
+TaskGraph::TaskGraph(Rank ranks) : ranks_(ranks) {
   CELOG_ASSERT_MSG(ranks > 0, "task graph needs at least one rank");
-  programs_.resize(static_cast<std::size_t>(ranks));
+  CELOG_ASSERT_MSG(ranks <= detail::kMaxPackedRank + 1,
+                   "rank count exceeds the packed-op peer range");
+  staging_.resize(static_cast<std::size_t>(ranks));
 }
 
 OpId TaskGraph::add_op(Rank rank, const Op& op) {
   CELOG_ASSERT_MSG(!finalized_, "cannot add ops after finalize()");
-  CELOG_ASSERT(rank >= 0 && rank < ranks());
+  CELOG_ASSERT(rank >= 0 && rank < ranks_);
   if (op.kind != OpKind::kCalc) {
-    CELOG_ASSERT_MSG(op.peer >= 0 && op.peer < ranks(),
+    CELOG_ASSERT_MSG(op.peer >= 0 && op.peer < ranks_,
                      "send/recv peer out of range");
     CELOG_ASSERT_MSG(op.peer != rank, "self-messages are not supported");
   }
-  auto& prog = programs_[static_cast<std::size_t>(rank)];
-  const auto index = static_cast<OpIndex>(prog.ops_.size());
-  prog.ops_.push_back(op);
+  Staging& stage = staging_[static_cast<std::size_t>(rank)];
+  const auto index = static_cast<OpIndex>(stage.meta.size());
+  stage.meta.push_back(detail::pack_op_meta(op.kind, op.peer, op.tag));
+  stage.bytes.push_back(op.size_or_duration);
   return OpId{rank, index};
 }
 
@@ -42,10 +44,10 @@ void TaskGraph::add_dependency(OpId before, OpId after) {
   CELOG_ASSERT_MSG(!finalized_, "cannot add edges after finalize()");
   CELOG_ASSERT_MSG(before.rank == after.rank,
                    "dependency edges must stay within one rank");
-  CELOG_ASSERT(before.rank >= 0 && before.rank < ranks());
-  const auto& prog = programs_[static_cast<std::size_t>(before.rank)];
-  CELOG_ASSERT(before.index < prog.ops_.size());
-  CELOG_ASSERT(after.index < prog.ops_.size());
+  CELOG_ASSERT(before.rank >= 0 && before.rank < ranks_);
+  const Staging& stage = staging_[static_cast<std::size_t>(before.rank)];
+  CELOG_ASSERT(before.index < stage.meta.size());
+  CELOG_ASSERT(after.index < stage.meta.size());
   CELOG_ASSERT_MSG(before.index != after.index, "op cannot depend on itself");
   edges_.push_back(Edge{before.rank, before.index, after.index});
 }
@@ -68,43 +70,71 @@ void TaskGraph::finalize() {
                            }),
                edges_.end());
 
-  std::size_t edge_pos = 0;
-  for (Rank r = 0; r < ranks(); ++r) {
-    auto& prog = programs_[static_cast<std::size_t>(r)];
-    const std::size_t n = prog.ops_.size();
-    prog.succ_offsets_.assign(n + 1, 0);
-    prog.in_degree_.assign(n, 0);
+  total_ops_ = 0;
+  for (const Staging& stage : staging_) total_ops_ += stage.meta.size();
+  total_edges_ = edges_.size();
+  CELOG_ASSERT_MSG(total_edges_ <= 0xffffffffull,
+                   "edge count exceeds 32-bit CSR offset range");
 
+  // Pack the arena: one pass, releasing each rank's staging as it is
+  // copied so the transient peak stays close to the final footprint.
+  meta_.reserve(total_ops_);
+  bytes_.reserve(total_ops_);
+  op_base_.resize(static_cast<std::size_t>(ranks_) + 1);
+  succ_offsets_.assign(total_ops_ + static_cast<std::size_t>(ranks_), 0);
+  succ_.resize(total_edges_);
+  in_degree_.assign(total_ops_, 0);
+  total_bytes_sent_ = 0;
+  kind_counts_[0] = kind_counts_[1] = kind_counts_[2] = 0;
+
+  std::size_t edge_pos = 0;
+  std::vector<std::uint32_t> cursor;
+  for (Rank r = 0; r < ranks_; ++r) {
+    Staging& stage = staging_[static_cast<std::size_t>(r)];
+    const std::size_t base = meta_.size();
+    const std::size_t n = stage.meta.size();
+    op_base_[static_cast<std::size_t>(r)] = base;
+    meta_.insert(meta_.end(), stage.meta.begin(), stage.meta.end());
+    bytes_.insert(bytes_.end(), stage.bytes.begin(), stage.bytes.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      const OpKind kind = detail::unpack_op_kind(stage.meta[i]);
+      ++kind_counts_[static_cast<std::size_t>(kind)];
+      if (kind == OpKind::kSend) total_bytes_sent_ += stage.bytes[i];
+    }
+    Staging().meta.swap(stage.meta);
+    Staging().bytes.swap(stage.bytes);
+
+    // This rank's offset run: n + 1 entries at base + r, holding *global*
+    // successor-array offsets (32-bit; the bound is asserted above).
+    std::uint32_t* off = succ_offsets_.data() + base + static_cast<std::size_t>(r);
+    std::uint32_t* indeg = in_degree_.data() + base;
     const std::size_t rank_begin = edge_pos;
     while (edge_pos < edges_.size() && edges_[edge_pos].rank == r) {
       const Edge& e = edges_[edge_pos];
-      ++prog.succ_offsets_[e.before + 1];
-      ++prog.in_degree_[e.after];
+      ++off[e.before + 1];
+      ++indeg[e.after];
       ++edge_pos;
     }
-    std::partial_sum(prog.succ_offsets_.begin(), prog.succ_offsets_.end(),
-                     prog.succ_offsets_.begin());
-    prog.succ_.resize(edge_pos - rank_begin);
-    std::vector<std::size_t> cursor(prog.succ_offsets_.begin(),
-                                    prog.succ_offsets_.end() - 1);
+    off[0] = static_cast<std::uint32_t>(rank_begin);
+    for (std::size_t i = 1; i <= n; ++i) off[i] += off[i - 1];
+    cursor.assign(off, off + n);
     for (std::size_t i = rank_begin; i < edge_pos; ++i) {
-      prog.succ_[cursor[edges_[i].before]++] = edges_[i].after;
+      succ_[cursor[edges_[i].before]++] = edges_[i].after;
     }
 
     // Kahn's algorithm: a cycle exists iff some op is never released.
-    std::vector<std::uint32_t> indeg = prog.in_degree_;
+    std::vector<std::uint32_t> pending(indeg, indeg + n);
     std::deque<OpIndex> ready;
     for (OpIndex i = 0; i < n; ++i) {
-      if (indeg[i] == 0) ready.push_back(i);
+      if (pending[i] == 0) ready.push_back(i);
     }
     std::size_t released = 0;
     while (!ready.empty()) {
       const OpIndex i = ready.front();
       ready.pop_front();
       ++released;
-      for (std::size_t s = prog.succ_offsets_[i]; s < prog.succ_offsets_[i + 1];
-           ++s) {
-        if (--indeg[prog.succ_[s]] == 0) ready.push_back(prog.succ_[s]);
+      for (std::uint32_t s = off[i]; s < off[i + 1]; ++s) {
+        if (--pending[succ_[s]] == 0) ready.push_back(succ_[s]);
       }
     }
     if (released != n) {
@@ -112,33 +142,65 @@ void TaskGraph::finalize() {
                               std::to_string(r));
     }
   }
+  op_base_[static_cast<std::size_t>(ranks_)] = meta_.size();
+
+  std::vector<Staging>().swap(staging_);
+  std::vector<Edge>().swap(edges_);
   finalized_ = true;
+#ifndef NDEBUG
+  arena_anchor_ = meta_.data();
+#endif
 }
 
 std::size_t TaskGraph::total_ops() const {
+  if (finalized_) return total_ops_;
   std::size_t total = 0;
-  for (const auto& prog : programs_) total += prog.ops_.size();
+  for (const Staging& stage : staging_) total += stage.meta.size();
   return total;
 }
 
+std::size_t TaskGraph::total_edges() const {
+  return finalized_ ? total_edges_ : edges_.size();
+}
+
 std::int64_t TaskGraph::total_bytes_sent() const {
+  if (finalized_) return total_bytes_sent_;
   std::int64_t total = 0;
-  for (const auto& prog : programs_) {
-    for (const auto& op : prog.ops_) {
-      if (op.kind == OpKind::kSend) total += op.size_or_duration;
+  for (const Staging& stage : staging_) {
+    for (std::size_t i = 0; i < stage.meta.size(); ++i) {
+      if (detail::unpack_op_kind(stage.meta[i]) == OpKind::kSend) {
+        total += stage.bytes[i];
+      }
     }
   }
   return total;
 }
 
 std::size_t TaskGraph::count_ops(OpKind kind) const {
+  if (finalized_) return kind_counts_[static_cast<std::size_t>(kind)];
   std::size_t total = 0;
-  for (const auto& prog : programs_) {
-    for (const auto& op : prog.ops_) {
-      if (op.kind == kind) ++total;
+  for (const Staging& stage : staging_) {
+    for (const std::uint64_t m : stage.meta) {
+      if (detail::unpack_op_kind(m) == kind) ++total;
     }
   }
   return total;
+}
+
+std::size_t TaskGraph::resident_bytes() const {
+  std::size_t bytes = meta_.capacity() * sizeof(std::uint64_t) +
+                      bytes_.capacity() * sizeof(std::int64_t) +
+                      op_base_.capacity() * sizeof(std::uint64_t) +
+                      succ_offsets_.capacity() * sizeof(std::uint32_t) +
+                      succ_.capacity() * sizeof(OpIndex) +
+                      in_degree_.capacity() * sizeof(std::uint32_t) +
+                      edges_.capacity() * sizeof(Edge) +
+                      staging_.capacity() * sizeof(Staging);
+  for (const Staging& stage : staging_) {
+    bytes += stage.meta.capacity() * sizeof(std::uint64_t) +
+             stage.bytes.capacity() * sizeof(std::int64_t);
+  }
+  return bytes;
 }
 
 SequentialBuilder::SequentialBuilder(TaskGraph& graph, Rank rank)

@@ -12,6 +12,22 @@
 // from message matching in the simulator, exactly as in LogGOPSim's GOAL
 // format (Hoefler et al., HPDC'10). This is what lets a delay on one rank
 // propagate transitively to ranks it never talks to (paper Fig. 1).
+//
+// Representation (see DESIGN.md, "Exascale graph representation"): a
+// finalized graph is a single arena of structure-of-arrays storage — one
+// 8-byte packed meta word (kind | peer | tag) plus one 8-byte size word per
+// op, 16 bytes total versus the 24-byte AoS struct the seed used — with
+// CSR adjacency addressed by 32-bit offsets and per-rank programs that are
+// *views* into the arena rather than per-rank vectors. The builder API
+// (add_op / add_dependency / SequentialBuilder) is unchanged: workload
+// generators and collective expansion emit straight into the arena builder.
+// Construction stages per-rank packed vectors; finalize() packs them into
+// the arena rank by rank (releasing each staging vector as it goes, so the
+// transient peak stays well under 2x), builds the CSR, validates
+// acyclicity, and caches the totals accessors that serve hot paths
+// (RunnerRegistry::config_for runs total_ops/count_ops per request).
+// After finalize() the arena never reallocates; Debug builds assert it on
+// every program() access.
 #pragma once
 
 #include <cstdint>
@@ -35,7 +51,8 @@ const char* to_string(OpKind kind);
 
 /// One operation in a rank's program. `peer`/`tag` are meaningful for
 /// send/recv; `size_or_duration` is bytes for send/recv and nanoseconds of
-/// computation for calc.
+/// computation for calc. This is the *decoded* form handed to callers; the
+/// arena stores the packed encoding below.
 struct Op {
   OpKind kind = OpKind::kCalc;
   Rank peer = -1;
@@ -58,6 +75,38 @@ struct Op {
   bool operator==(const Op&) const = default;
 };
 
+namespace detail {
+
+/// Packed op meta word: kind in the top 2 bits, (peer + 1) in the next 30
+/// (so calc's peer = -1 encodes as 0 and graphs address up to 2^30 - 1
+/// ranks), tag in the low 32. Together with the parallel 8-byte size array
+/// this is the 16-byte arena encoding.
+inline constexpr std::uint64_t pack_op_meta(OpKind kind, Rank peer, Tag tag) {
+  return (static_cast<std::uint64_t>(kind) << 62) |
+         ((static_cast<std::uint64_t>(
+               static_cast<std::uint32_t>(peer + 1)) &
+           0x3fffffffull)
+          << 32) |
+         static_cast<std::uint32_t>(tag);
+}
+
+inline constexpr OpKind unpack_op_kind(std::uint64_t meta) {
+  return static_cast<OpKind>(meta >> 62);
+}
+inline constexpr Rank unpack_op_peer(std::uint64_t meta) {
+  return static_cast<Rank>(
+             static_cast<std::uint32_t>((meta >> 32) & 0x3fffffffull)) -
+         1;
+}
+inline constexpr Tag unpack_op_tag(std::uint64_t meta) {
+  return static_cast<Tag>(static_cast<std::uint32_t>(meta));
+}
+
+/// Highest rank a packed peer field can address.
+inline constexpr Rank kMaxPackedRank = (1 << 30) - 2;
+
+}  // namespace detail
+
 /// Identifies an op globally: (rank, index within that rank's program).
 struct OpId {
   Rank rank = -1;
@@ -66,50 +115,76 @@ struct OpId {
   bool operator==(const OpId&) const = default;
 };
 
-/// One rank's program: ops plus dependency edges in compressed (CSR) form.
-/// Built through TaskGraph; immutable afterwards from the simulator's view.
+/// One rank's program: a lightweight immutable VIEW into the graph's arena
+/// (six words; returned by value from TaskGraph::program). Valid as long as
+/// the finalized graph it came from is alive.
 class RankProgram {
  public:
-  std::size_t size() const { return ops_.size(); }
-  const Op& op(OpIndex i) const {
-    CELOG_ASSERT(i < ops_.size());
-    return ops_[i];
+  RankProgram() = default;
+
+  std::size_t size() const { return size_; }
+
+  /// Decodes op `i` from the packed arena record.
+  Op op(OpIndex i) const {
+    CELOG_ASSERT(i < size_);
+    const std::uint64_t m = meta_[i];
+    return Op{detail::unpack_op_kind(m), detail::unpack_op_peer(m),
+              detail::unpack_op_tag(m), bytes_[i]};
   }
 
   /// Successors of op `i`: ops that list `i` as a prerequisite.
   std::span<const OpIndex> successors(OpIndex i) const {
-    CELOG_ASSERT(i < ops_.size());
-    return {succ_.data() + succ_offsets_[i],
-            succ_offsets_[i + 1] - succ_offsets_[i]};
+    CELOG_ASSERT(i < size_);
+    return {succ_ + succ_offsets_[i], succ_offsets_[i + 1] - succ_offsets_[i]};
   }
 
   /// Number of prerequisite edges into op `i`.
   std::uint32_t in_degree(OpIndex i) const {
-    CELOG_ASSERT(i < ops_.size());
+    CELOG_ASSERT(i < size_);
     return in_degree_[i];
+  }
+
+  /// Raw in-degree slice for this rank — lets the engine refill its pending
+  /// counters with one bulk copy per rank instead of an op-by-op loop (the
+  /// context-reuse reset hot path).
+  std::span<const std::uint32_t> in_degrees() const {
+    return {in_degree_, size_};
   }
 
  private:
   friend class TaskGraph;
 
-  std::vector<Op> ops_;
-  // CSR successor lists; succ_offsets_ has ops_.size()+1 entries.
-  std::vector<std::size_t> succ_offsets_;
-  std::vector<OpIndex> succ_;
-  std::vector<std::uint32_t> in_degree_;
+  RankProgram(const std::uint64_t* meta, const std::int64_t* bytes,
+              const std::uint32_t* succ_offsets, const OpIndex* succ,
+              const std::uint32_t* in_degree, std::size_t size)
+      : meta_(meta),
+        bytes_(bytes),
+        succ_offsets_(succ_offsets),
+        succ_(succ),
+        in_degree_(in_degree),
+        size_(size) {}
+
+  const std::uint64_t* meta_ = nullptr;
+  const std::int64_t* bytes_ = nullptr;
+  // CSR offsets into the *global* successor arena, relative to succ_;
+  // size_ + 1 entries.
+  const std::uint32_t* succ_offsets_ = nullptr;
+  const OpIndex* succ_ = nullptr;
+  const std::uint32_t* in_degree_ = nullptr;
+  std::size_t size_ = 0;
 };
 
 /// A complete multi-rank task graph.
 ///
 /// Construction protocol: add ops and edges freely, then call finalize()
-/// exactly once. finalize() builds CSR adjacency and validates that every
-/// rank's dependence graph is acyclic. Accessors that the simulator uses
-/// require a finalized graph.
+/// exactly once. finalize() packs the arena, builds CSR adjacency, caches
+/// the totals, and validates that every rank's dependence graph is acyclic.
+/// Accessors that the simulator uses require a finalized graph.
 class TaskGraph {
  public:
   explicit TaskGraph(Rank ranks);
 
-  Rank ranks() const { return static_cast<Rank>(programs_.size()); }
+  Rank ranks() const { return ranks_; }
 
   /// Appends `op` to `rank`'s program with no dependencies; returns its id.
   OpId add_op(Rank rank, const Op& op);
@@ -119,27 +194,45 @@ class TaskGraph {
   /// concern, not a graph edge).
   void add_dependency(OpId before, OpId after);
 
-  /// Builds adjacency, validates acyclicity. Throws InvalidInputError on a
-  /// dependency cycle.
+  /// Packs the arena, builds adjacency, validates acyclicity. Throws
+  /// InvalidInputError on a dependency cycle.
   void finalize();
   bool finalized() const { return finalized_; }
 
-  const RankProgram& program(Rank rank) const {
+  /// View of `rank`'s program (cheap: six words into the arena).
+  RankProgram program(Rank rank) const {
     CELOG_ASSERT_MSG(finalized_, "graph must be finalized first");
-    CELOG_ASSERT(rank >= 0 && rank < ranks());
-    return programs_[static_cast<std::size_t>(rank)];
+    CELOG_ASSERT(rank >= 0 && rank < ranks_);
+#ifndef NDEBUG
+    // The no-mid-run-reallocation contract: once finalized, the arena is
+    // immutable, so its storage can never move under a live view.
+    CELOG_ASSERT_MSG(meta_.data() == arena_anchor_,
+                     "finalized graph arena reallocated");
+#endif
+    const auto r = static_cast<std::size_t>(rank);
+    const std::size_t base = op_base_[r];
+    return RankProgram(meta_.data() + base, bytes_.data() + base,
+                       succ_offsets_.data() + base + r, succ_.data(),
+                       in_degree_.data() + base, op_base_[r + 1] - base);
   }
 
-  /// Total number of ops across all ranks.
+  /// Total number of ops across all ranks. O(1) after finalize().
   std::size_t total_ops() const;
-  /// Total number of dependency edges across all ranks.
-  std::size_t total_edges() const { return edges_.size(); }
+  /// Total number of dependency edges across all ranks. O(1) after
+  /// finalize().
+  std::size_t total_edges() const;
 
   /// Sum of all send sizes (bytes) — used by reports and sanity tests.
+  /// O(1) after finalize().
   std::int64_t total_bytes_sent() const;
 
-  /// Counts ops of a given kind across all ranks.
+  /// Counts ops of a given kind across all ranks. O(1) after finalize().
   std::size_t count_ops(OpKind kind) const;
+
+  /// Bytes of heap the graph holds resident (arena + CSR + any staging
+  /// still alive pre-finalize). Deterministic for identical build
+  /// histories; RunnerRegistry bounds its cache by the sum of these.
+  std::size_t resident_bytes() const;
 
  private:
   struct Edge {
@@ -148,9 +241,40 @@ class TaskGraph {
     OpIndex after;
   };
 
-  std::vector<RankProgram> programs_;
-  std::vector<Edge> edges_;
+  /// Per-rank staging used only between construction and finalize().
+  struct Staging {
+    std::vector<std::uint64_t> meta;
+    std::vector<std::int64_t> bytes;
+  };
+
+  Rank ranks_ = 0;
   bool finalized_ = false;
+
+  // Pre-finalize staging (released rank by rank during finalize()).
+  std::vector<Staging> staging_;
+  std::vector<Edge> edges_;
+
+  // The finalized arena: SoA op storage plus global CSR.
+  std::vector<std::uint64_t> meta_;
+  std::vector<std::int64_t> bytes_;
+  /// Global op index base per rank; ranks_ + 1 entries.
+  std::vector<std::uint64_t> op_base_;
+  /// CSR offsets into succ_, 32-bit, one run of (n_r + 1) entries per rank
+  /// laid out back to back (total_ops + ranks entries). program() hands a
+  /// rank the slice starting at op_base_[r] + r.
+  std::vector<std::uint32_t> succ_offsets_;
+  std::vector<OpIndex> succ_;
+  std::vector<std::uint32_t> in_degree_;
+
+  // Totals cached by finalize().
+  std::size_t total_ops_ = 0;
+  std::size_t total_edges_ = 0;
+  std::int64_t total_bytes_sent_ = 0;
+  std::size_t kind_counts_[3] = {0, 0, 0};
+
+#ifndef NDEBUG
+  const std::uint64_t* arena_anchor_ = nullptr;
+#endif
 };
 
 /// Fluent per-rank builder used by workload generators and collective

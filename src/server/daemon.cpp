@@ -522,6 +522,7 @@ std::string Daemon::stats_line(std::int64_t id) const {
   field("runner_hits", rs.hits);
   field("runner_builds", rs.builds);
   field("runner_evictions", rs.evictions);
+  field("runner_resident_graph_bytes", rs.resident_graph_bytes);
   out += "}\n";
   return out;
 }

@@ -10,8 +10,10 @@
 
 namespace celog::server {
 
-RunnerRegistry::RunnerRegistry(std::size_t max_entries)
-    : max_entries_(std::max<std::size_t>(max_entries, 1)) {}
+RunnerRegistry::RunnerRegistry(std::size_t max_entries,
+                               std::size_t max_graph_bytes)
+    : max_entries_(std::max<std::size_t>(max_entries, 1)),
+      max_graph_bytes_(max_graph_bytes) {}
 
 workloads::WorkloadConfig RunnerRegistry::config_for(
     const workloads::Workload& w, goal::Rank ranks, double sim_s) {
@@ -59,6 +61,7 @@ std::shared_ptr<const core::ExperimentRunner> RunnerRegistry::get(
         // building are never evicted: their waiters hold the shared_ptr.
         for (auto victim = cache_.begin(); victim != cache_.end(); ++victim) {
           if (victim->second->runner != nullptr) {
+            stats_.resident_graph_bytes -= victim->second->charged_bytes;
             cache_.erase(victim);
             ++stats_.evictions;
             break;
@@ -77,7 +80,41 @@ std::shared_ptr<const core::ExperimentRunner> RunnerRegistry::get(
     entry->runner = std::make_shared<const core::ExperimentRunner>(
         *workload, config, sim::NetworkParams::cray_xc40(), req.matcher);
   });
+  {
+    // Charge the built graph against the byte budget and shed whatever no
+    // longer fits. Done on every get(), not just the building one: the
+    // builder and any waiters race to here, and exactly one (the first
+    // under the lock) performs the charge.
+    std::lock_guard<std::mutex> lock(mu_);
+    charge_and_evict_locked(key, entry);
+  }
   return entry->runner;
+}
+
+void RunnerRegistry::charge_and_evict_locked(
+    const std::string& keep, const std::shared_ptr<Entry>& entry) {
+  if (!entry->charged) {
+    entry->charged = true;
+    // An entry can be count-evicted by a concurrent admit between its
+    // build completing and this charge; evicted entries owe nothing.
+    const auto it = cache_.find(keep);
+    if (it != cache_.end() && it->second == entry) {
+      entry->charged_bytes = entry->runner->graph().resident_bytes();
+      stats_.resident_graph_bytes += entry->charged_bytes;
+    }
+  }
+  auto victim = cache_.begin();
+  while (stats_.resident_graph_bytes > max_graph_bytes_ &&
+         victim != cache_.end()) {
+    if (victim->first == keep || victim->second->runner == nullptr ||
+        !victim->second->charged) {
+      ++victim;
+      continue;
+    }
+    stats_.resident_graph_bytes -= victim->second->charged_bytes;
+    victim = cache_.erase(victim);
+    ++stats_.evictions;
+  }
 }
 
 RunnerRegistry::Stats RunnerRegistry::stats() const {

@@ -31,10 +31,22 @@ namespace celog::server {
 
 class RunnerRegistry {
  public:
+  /// Default byte budget for resident task graphs (the dominant cost of a
+  /// cached runner): 1 GiB. Entry-count bounds alone are blind to shape —
+  /// 32 small-rank runners are harmless, 32 large-rank runners are tens of
+  /// gigabytes — so the registry also evicts by bytes.
+  static constexpr std::size_t kDefaultMaxGraphBytes = std::size_t{1} << 30;
+
   /// `max_entries` bounds resident runners; admitting a new key beyond it
   /// evicts the map's first fully built entry (in-flight users keep their
-  /// shared_ptr until done).
-  explicit RunnerRegistry(std::size_t max_entries = 32);
+  /// shared_ptr until done). `max_graph_bytes` additionally bounds the sum
+  /// of resident graph bytes across built entries: when a newly built
+  /// runner pushes the total past it, built entries are evicted in map
+  /// order (deterministic for a given request history) until the total
+  /// fits or only the new entry remains — one over-budget runner is always
+  /// admitted, since callers already hold its shared_ptr.
+  explicit RunnerRegistry(std::size_t max_entries = 32,
+                          std::size_t max_graph_bytes = kDefaultMaxGraphBytes);
 
   /// The runner serving `req`, built on first use. Throws
   /// celog::InvalidInputError for an unknown workload name.
@@ -56,6 +68,12 @@ class RunnerRegistry {
     std::uint64_t hits = 0;
     std::uint64_t builds = 0;
     std::uint64_t evictions = 0;
+    /// Sum of TaskGraph::resident_bytes() over cached built runners.
+    /// Deterministic for a given request history: graph builds are
+    /// deterministic and the accounting is capacity-based, so two
+    /// registries fed the same requests report the same value (asserted
+    /// by ctest -L serve).
+    std::uint64_t resident_graph_bytes = 0;
   };
   Stats stats() const;
 
@@ -63,9 +81,20 @@ class RunnerRegistry {
   struct Entry {
     std::once_flag build_latch;
     std::shared_ptr<const core::ExperimentRunner> runner;
+    /// Graph bytes charged against the budget; set once, under the lock,
+    /// by whichever thread first observes the build complete.
+    std::size_t charged_bytes = 0;
+    bool charged = false;
   };
 
+  /// Charges `entry`'s graph bytes (first observer only) and evicts built
+  /// entries in map order until the byte budget fits; `keep` is never
+  /// evicted. Caller must hold mu_.
+  void charge_and_evict_locked(const std::string& keep,
+                               const std::shared_ptr<Entry>& entry);
+
   const std::size_t max_entries_;
+  const std::size_t max_graph_bytes_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Entry>> cache_;
   Stats stats_;

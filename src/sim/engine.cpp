@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <sstream>
@@ -10,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "goal/generative.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/match_table.hpp"
 #include "sim/run_context.hpp"
@@ -18,11 +20,11 @@
 namespace celog::sim {
 namespace {
 
+using goal::GenerativeGraph;
 using goal::Op;
 using goal::OpIndex;
 using goal::OpKind;
 using goal::Rank;
-using goal::RankProgram;
 using goal::Tag;
 
 using detail::EventKind;
@@ -66,9 +68,11 @@ struct PassthroughNoise {
   std::uint64_t charged_detours() const { return 0; }
 };
 
-/// Per-rank simulation state. NoisePolicy is either noise::RankNoise (the
-/// general path) or PassthroughNoise (noise-free fast path); Table is the
-/// matching store (FifoMatchTable or the LinearMatchList reference).
+/// Per-rank simulation state, allocated only for *active* ranks (nonempty
+/// program or at least one inbound message). NoisePolicy is either
+/// noise::RankNoise (the general path) or PassthroughNoise (noise-free
+/// fast path); Table is the matching store (FifoMatchTable or the
+/// LinearMatchList reference).
 template <typename NoisePolicy, template <class> class Table>
 struct RankState {
   template <typename... NoiseArgs>
@@ -87,25 +91,61 @@ struct RankState {
   // Completion flags, consulted only by deadlock diagnostics (to tell a
   // rendezvous send stuck waiting on CTS from one that completed).
   std::vector<std::uint8_t> done;
+
+  /// Engine-owned heap bytes (noise-source internals not counted: they
+  /// are O(1) per rank and model-specific).
+  std::size_t resident_bytes() const {
+    return pending.capacity() * sizeof(std::uint32_t) +
+           ready_time.capacity() * sizeof(TimeNs) +
+           done.capacity() * sizeof(std::uint8_t) + posted.resident_bytes() +
+           unexpected.resident_bytes();
+  }
 };
 
+/// rank -> active-slot sentinel for ranks with no state.
+constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+/// Graphs at or below this rank count get exact graph-derived per-shard
+/// event reservations (and, in Debug builds, the no-reallocation assert).
+/// Above it, up-front exact reservations would cost bound * 24 B * ranks —
+/// gigabytes at 100K ranks for bounds that are worst cases, not peaks —
+/// so shards start empty and grow amortized to their actual peak, which
+/// for periodic patterns is orders of magnitude below the bound.
+constexpr Rank kExactReserveRankCap = 16384;
+
 /// The engine state a RunContext actually stores: everything a run mutates,
-/// typed by the (noise-policy, match-table) instantiation it was built for.
-/// A context last used with a different instantiation fails the engine's
-/// downcast and is simply rebuilt (see run_in_context below); a context
-/// last used with a different graph is detected via `graph`/state sizes
-/// and rebuilt in place, reusing what capacity still fits.
-template <typename NoisePolicy, template <class> class Table>
+/// typed by the (noise-policy, match-table, graph) instantiation it was
+/// built for. A context last used with a different instantiation fails the
+/// engine's downcast and is simply rebuilt (see run_in_context below); a
+/// context last used with a different graph is detected via `graph` and
+/// rebuilt in place, releasing capacity the new graph does not need.
+template <typename NoisePolicy, template <class> class Table, typename Graph>
 struct EngineState final : detail::RunContextState {
+  /// One entry per active rank, in ascending rank order.
   std::vector<RankState<NoisePolicy, Table>> states;
+  /// Active slot -> rank.
+  std::vector<Rank> active;
+  /// Rank -> active slot, or kNoSlot.
+  std::vector<std::uint32_t> slot_of;
   EventQueue queue;
   EventPool pool;
   /// Graph this state was built for (borrowed; identity is the rebind key).
-  const goal::TaskGraph* graph = nullptr;
+  const Graph* graph = nullptr;
+  Rank graph_ranks = 0;
   std::size_t total_ops = 0;
+
+  std::size_t resident_bytes() const override {
+    std::size_t bytes =
+        states.capacity() * sizeof(RankState<NoisePolicy, Table>) +
+        active.capacity() * sizeof(Rank) +
+        slot_of.capacity() * sizeof(std::uint32_t) + queue.resident_bytes() +
+        pool.resident_bytes();
+    for (const auto& rs : states) bytes += rs.resident_bytes();
+    return bytes;
+  }
 };
 
-template <typename NoisePolicy, template <class> class Table>
+template <typename NoisePolicy, template <class> class Table, typename Graph>
 class Run {
  public:
   /// Prepares `es` for one run: builds it on first use (or after a graph
@@ -113,7 +153,7 @@ class Run {
   /// identical — empty queue/pool/tables, per-op pending counts from the
   /// graph, freshly (re)seeded noise sources — so the event replay, and
   /// therefore the SimResult, cannot depend on which path ran.
-  Run(EngineState<NoisePolicy, Table>& es, const goal::TaskGraph& graph,
+  Run(EngineState<NoisePolicy, Table, Graph>& es, const Graph& graph,
       const NetworkParams& params, const noise::NoiseModel& noise,
       std::uint64_t run_seed, TimeNs horizon,
       const OpCompletionCallback& on_complete, DetourSink* ce_sink)
@@ -122,23 +162,25 @@ class Run {
         on_complete_(on_complete),
         ce_sink_(ce_sink),
         states_(es.states),
+        active_(es.active),
+        slot_of_(es.slot_of),
         queue_(es.queue),
         pool_(es.pool) {
-    if (es.graph == &graph_ &&
-        es.states.size() == static_cast<std::size_t>(graph_.ranks())) {
+    if (es.graph == &graph_ && es.graph_ranks == graph_.ranks()) {
       reset_for_run(noise, run_seed, horizon);
     } else {
       build(es, noise, run_seed, horizon);
     }
     total_ops_ = es.total_ops;
 
-    // Seed the initial ready events — after the reserve, so the
+    // Seed the initial ready events — after any reserve, so the
     // no-reallocation invariant covers them too. Rank-major op-order
-    // seeding matches the seed engine's seq assignment bit-for-bit.
-    const Rank ranks = graph_.ranks();
-    for (Rank r = 0; r < ranks; ++r) {
-      const RankProgram& prog = graph_.program(r);
-      RankState<NoisePolicy, Table>& rs = state(r);
+    // seeding matches the seed engine's seq assignment bit-for-bit
+    // (inactive ranks have no ops, so skipping them changes nothing).
+    for (std::size_t s = 0; s < active_.size(); ++s) {
+      const Rank r = active_[s];
+      const auto prog = graph_.program(r);
+      RankState<NoisePolicy, Table>& rs = states_[s];
       for (OpIndex i = 0; i < prog.size(); ++i) {
         if (rs.pending[i] == 0) push_ready(r, i, 0);
       }
@@ -160,9 +202,12 @@ class Run {
     }
     if (completed_ops_ != total_ops_) throw_deadlock();
 
-    result_.rank_finish.reserve(states_.size());
-    for (const RankState<NoisePolicy, Table>& rs : states_) {
-      result_.rank_finish.push_back(rs.finish);
+    // Per-rank finish times for ALL ranks; inactive ranks ran nothing and
+    // finish at 0, exactly as when they carried (unused) state.
+    result_.rank_finish.assign(static_cast<std::size_t>(graph_.ranks()), 0);
+    for (std::size_t s = 0; s < active_.size(); ++s) {
+      const RankState<NoisePolicy, Table>& rs = states_[s];
+      result_.rank_finish[static_cast<std::size_t>(active_[s])] = rs.finish;
       result_.makespan = std::max(result_.makespan, rs.finish);
       result_.noise_stolen += rs.noise.stolen_time();
       result_.detours_charged += rs.noise.charged_detours();
@@ -171,11 +216,10 @@ class Run {
   }
 
  private:
-  /// First-use (or post-graph-change) path: build per-rank state and derive
-  /// a per-rank bound on outstanding events. Every event lives in exactly
-  /// one rank's shard (its ready ops plus inbound wire messages), and shard
-  /// r holds at most
-  ///   sources(r)                 (ready events seeded by the constructor)
+  /// Per-rank bound on outstanding events. Every event lives in exactly
+  /// one rank's shard (its ready ops plus inbound wire messages), and the
+  /// shard of rank r holds at most
+  ///   1 + sources(r)             (ready events seeded by the constructor)
   /// + sum max(0, out_deg-1)      (completing an op on r may release up to
   ///                               out_degree successors of r while
   ///                               consuming one popped event of r)
@@ -185,19 +229,88 @@ class Run {
   /// + #rendezvous sends on r     (each may have one CTS in flight back
   ///                               toward r)
   /// so reserving that bound per shard makes mid-run reallocation
-  /// impossible (debug builds assert it in EventQueue::push).
-  void build(EngineState<NoisePolicy, Table>& es,
+  /// impossible (debug builds assert it in EventQueue::push when the
+  /// exact reservation was made — see kExactReserveRankCap).
+  ///
+  /// First-use (or post-graph-change) path: determine the active ranks,
+  /// build their state, and reserve the queue when the graph is small
+  /// enough for exact bounds to be cheap.
+  void build(EngineState<NoisePolicy, Table, Graph>& es,
              const noise::NoiseModel& noise, std::uint64_t run_seed,
              TimeNs horizon) {
     const Rank ranks = graph_.ranks();
-    states_.clear();
-    states_.reserve(static_cast<std::size_t>(ranks));
-    queue_.init(ranks);
-    pool_.reset();
-    es.total_ops = 0;
+    es.graph_ranks = ranks;
+    es.total_ops = graph_.total_ops();
 
-    std::vector<std::size_t> bound(static_cast<std::size_t>(ranks), 1);
-    for (Rank r = 0; r < ranks; ++r) {
+    // Pass 1: per-rank event bounds and activity. A rank is active when it
+    // has ops of its own or receives at least one message (a message to a
+    // rank with no recv still needs that rank's unexpected table for the
+    // deadlock diagnostics).
+    active_.clear();
+    slot_of_.assign(static_cast<std::size_t>(ranks), kNoSlot);
+    std::vector<std::size_t> bound;
+    std::size_t uniform_bound = 0;
+    if constexpr (std::is_same_v<Graph, GenerativeGraph>) {
+      // Uniform pattern: every rank runs the same template, so every rank
+      // is active and one bound — computed from the shared template, not
+      // by scanning ranks() programs — serves all shards. Torus symmetry
+      // makes inbound sends per rank equal outbound sends per rank.
+      active_.resize(static_cast<std::size_t>(ranks));
+      for (Rank r = 0; r < ranks; ++r) {
+        active_[static_cast<std::size_t>(r)] = r;
+        slot_of_[static_cast<std::size_t>(r)] =
+            static_cast<std::uint32_t>(r);
+      }
+      const bool eager = params_.eager(graph_.message_bytes());
+      uniform_bound = 1 + graph_.sources_per_rank() +
+                      graph_.surplus_successors_per_rank() +
+                      graph_.sends_per_rank() * (eager ? 1 : 2);
+    } else {
+      bound.assign(static_cast<std::size_t>(ranks), 1);
+      std::vector<std::uint8_t> active_flag(static_cast<std::size_t>(ranks),
+                                            0);
+      for (Rank r = 0; r < ranks; ++r) {
+        const auto prog = graph_.program(r);
+        if (prog.size() > 0) active_flag[static_cast<std::size_t>(r)] = 1;
+        std::size_t& b = bound[static_cast<std::size_t>(r)];
+        for (OpIndex i = 0; i < prog.size(); ++i) {
+          if (prog.in_degree(i) == 0) ++b;
+          const std::size_t out = prog.successors(i).size();
+          if (out > 1) b += out - 1;
+          const Op op = prog.op(i);
+          if (op.kind == OpKind::kSend) {
+            ++bound[static_cast<std::size_t>(op.peer)];
+            active_flag[static_cast<std::size_t>(op.peer)] = 1;
+            if (!params_.eager(op.size_or_duration)) ++b;
+          }
+        }
+      }
+      for (Rank r = 0; r < ranks; ++r) {
+        if (active_flag[static_cast<std::size_t>(r)] != 0) {
+          slot_of_[static_cast<std::size_t>(r)] =
+              static_cast<std::uint32_t>(active_.size());
+          active_.push_back(r);
+        }
+      }
+    }
+
+    // Pass 2: build per-active-rank state. Rebinding from a bigger graph
+    // releases the surplus capacity instead of pinning it.
+    states_.clear();
+    if (states_.capacity() > active_.size()) {
+      // Swap-with-empty rather than shrink_to_fit: releases the block
+      // without copying elements (RankState is not copyable in spirit —
+      // its greedy forwarding ctor would hijack the copy).
+      std::vector<RankState<NoisePolicy, Table>>().swap(states_);
+    }
+    states_.reserve(active_.size());
+    queue_.init(static_cast<Rank>(active_.size()));
+    pool_.release_capacity();
+
+    const bool exact = ranks <= kExactReserveRankCap;
+    std::size_t total_bound = 0;
+    for (std::size_t s = 0; s < active_.size(); ++s) {
+      const Rank r = active_[s];
       if constexpr (std::is_same_v<NoisePolicy, noise::RankNoise>) {
         states_.emplace_back(noise.make_source(r, run_seed), horizon);
         states_.back().noise.set_sink(ce_sink_, r);
@@ -207,52 +320,42 @@ class Run {
         static_cast<void>(horizon);
         states_.emplace_back();
       }
-      const RankProgram& prog = graph_.program(r);
+      const auto prog = graph_.program(r);
       RankState<NoisePolicy, Table>& rs = states_.back();
       rs.pending.resize(prog.size());
+      const auto indeg = prog.in_degrees();
+      std::copy(indeg.begin(), indeg.end(), rs.pending.begin());
       rs.ready_time.assign(prog.size(), 0);
       rs.done.assign(prog.size(), 0);
-      std::size_t& b = bound[static_cast<std::size_t>(r)];
-      for (OpIndex i = 0; i < prog.size(); ++i) {
-        rs.pending[i] = prog.in_degree(i);
-        if (rs.pending[i] == 0) ++b;
-        const std::size_t out = prog.successors(i).size();
-        if (out > 1) b += out - 1;
-        const Op& op = prog.op(i);
-        if (op.kind == OpKind::kSend) {
-          ++bound[static_cast<std::size_t>(op.peer)];
-          if (!params_.eager(op.size_or_duration)) ++b;
-        }
+      if (exact) {
+        const std::size_t b =
+            bound.empty() ? uniform_bound : bound[static_cast<std::size_t>(r)];
+        queue_.reserve_rank(static_cast<Rank>(s), b);
+        total_bound += b;
       }
-      es.total_ops += prog.size();
     }
-    std::size_t total_bound = 0;
-    for (Rank r = 0; r < ranks; ++r) {
-      const std::size_t b = bound[static_cast<std::size_t>(r)];
-      queue_.reserve_rank(r, b);
-      total_bound += b;
-    }
-    pool_.reserve(total_bound);
+    if (exact) pool_.reserve(total_bound);
     es.graph = &graph_;
   }
 
   /// Reuse path: restore the build() post-state without touching capacity.
   /// Queue/pool/tables empty themselves (clearing anything an aborted run —
   /// NoProgressError — left behind), per-op bookkeeping is refilled from
-  /// the graph, and each rank's noise source is reseeded in place to the
-  /// exact stream a fresh make_source would produce — falling back to a
-  /// fresh source when the model declines (e.g. the context was last run
-  /// under a different noise model). The graph-derived queue bounds carry
-  /// over unchanged: they depend only on the graph and the eager threshold,
+  /// the graph (one bulk copy per rank from the program's in-degree slice),
+  /// and each rank's noise source is reseeded in place to the exact stream
+  /// a fresh make_source would produce — falling back to a fresh source
+  /// when the model declines (e.g. the context was last run under a
+  /// different noise model). The graph-derived queue bounds carry over
+  /// unchanged: they depend only on the graph and the eager threshold,
   /// both fixed for this Simulator.
   void reset_for_run(const noise::NoiseModel& noise, std::uint64_t run_seed,
                      TimeNs horizon) {
     queue_.reset();
     pool_.reset();
-    const Rank ranks = graph_.ranks();
-    for (Rank r = 0; r < ranks; ++r) {
-      const RankProgram& prog = graph_.program(r);
-      RankState<NoisePolicy, Table>& rs = state(r);
+    for (std::size_t s = 0; s < active_.size(); ++s) {
+      const Rank r = active_[s];
+      const auto prog = graph_.program(r);
+      RankState<NoisePolicy, Table>& rs = states_[s];
       if constexpr (std::is_same_v<NoisePolicy, noise::RankNoise>) {
         // reset() detaches any previous run's sink; attach this run's (or
         // nullptr) after it, so a reused context can never call into a sink
@@ -272,16 +375,15 @@ class Run {
       rs.finish = 0;
       rs.posted.reset();
       rs.unexpected.reset();
-      for (OpIndex i = 0; i < prog.size(); ++i) {
-        rs.pending[i] = prog.in_degree(i);
-      }
+      const auto indeg = prog.in_degrees();
+      std::copy(indeg.begin(), indeg.end(), rs.pending.begin());
       std::fill(rs.ready_time.begin(), rs.ready_time.end(), 0);
       std::fill(rs.done.begin(), rs.done.end(), 0);
     }
   }
 
   RankState<NoisePolicy, Table>& state(Rank r) {
-    return states_[static_cast<std::size_t>(r)];
+    return states_[slot_of_[static_cast<std::size_t>(r)]];
   }
 
   void push_ready(Rank rank, OpIndex op, TimeNs time) {
@@ -290,7 +392,7 @@ class Run {
     ev.kind = EventKind::kOpReady;
     ev.rank = rank;
     ev.op = op;
-    queue_.push(rank, HeapEntry{time, seq_++, slot});
+    queue_.push(shard_of(rank), HeapEntry{time, seq_++, slot});
   }
 
   void push_message(TimeNs time, Rank dest, MsgKind kind, Rank src, Tag tag,
@@ -305,7 +407,13 @@ class Run {
     ev.size = size;
     ev.sender_op = sender_op;
     ev.recv_op = recv_op;
-    queue_.push(dest, HeapEntry{time, seq_++, slot});
+    queue_.push(shard_of(dest), HeapEntry{time, seq_++, slot});
+  }
+
+  /// Queue shards are per *active* rank; any rank that can host an event
+  /// (own ops or inbound messages) is active by construction.
+  Rank shard_of(Rank rank) const {
+    return static_cast<Rank>(slot_of_[static_cast<std::size_t>(rank)]);
   }
 
   /// Charges `len` ns of CPU on `rank`, starting no earlier than `earliest`
@@ -336,7 +444,7 @@ class Run {
     rs.done[op] = 1;
     ++completed_ops_;
     if (on_complete_) on_complete_(rank, op, time);
-    const RankProgram& prog = graph_.program(rank);
+    const auto prog = graph_.program(rank);
     for (const OpIndex succ : prog.successors(op)) {
       rs.ready_time[succ] = std::max(rs.ready_time[succ], time);
       CELOG_ASSERT(rs.pending[succ] > 0);
@@ -345,7 +453,7 @@ class Run {
   }
 
   void handle_ready(TimeNs time, const EventPayload& ev) {
-    const Op& op = graph_.program(ev.rank).op(ev.op);
+    const Op op = graph_.program(ev.rank).op(ev.op);
     switch (op.kind) {
       case OpKind::kCalc: {
         const TimeNs end = charge_cpu(ev.rank, time, op.size_or_duration);
@@ -444,7 +552,7 @@ class Run {
       }
       case MsgKind::kCts: {
         // Back at the sender: push the payload and complete the send op.
-        const Op& send_op = graph_.program(ev.rank).op(ev.sender_op);
+        const Op send_op = graph_.program(ev.rank).op(ev.sender_op);
         const std::int64_t size = send_op.size_or_duration;
         const TimeNs cpu_end =
             charge_cpu(ev.rank, time, params_.o + params_.cpu_byte_time(size));
@@ -475,18 +583,18 @@ class Run {
       Tag tag;
     };
     std::vector<Stuck> recvs, strays, sends;
-    for (Rank r = 0; r < graph_.ranks(); ++r) {
-      const RankState<NoisePolicy, Table>& rs =
-          states_[static_cast<std::size_t>(r)];
+    for (std::size_t s = 0; s < active_.size(); ++s) {
+      const Rank r = active_[s];
+      const RankState<NoisePolicy, Table>& rs = states_[s];
       rs.posted.for_each([&](const PostedRecv& p) {
         recvs.push_back(Stuck{r, p.op, p.src, p.tag});
       });
       rs.unexpected.for_each([&](const UnexpectedMsg& m) {
         strays.push_back(Stuck{r, m.sender_op, m.src, m.tag});
       });
-      const RankProgram& prog = graph_.program(r);
+      const auto prog = graph_.program(r);
       for (OpIndex i = 0; i < prog.size(); ++i) {
-        const Op& op = prog.op(i);
+        const Op op = prog.op(i);
         if (op.kind == OpKind::kSend && !params_.eager(op.size_or_duration) &&
             rs.pending[i] == 0 && !rs.done[i]) {
           sends.push_back(Stuck{r, i, op.peer, op.tag});
@@ -523,12 +631,14 @@ class Run {
     throw DeadlockError(msg.str());
   }
 
-  const goal::TaskGraph& graph_;
+  const Graph& graph_;
   const NetworkParams& params_;
   const OpCompletionCallback& on_complete_;
   DetourSink* ce_sink_;
   // Context-owned storage (borrowed for the duration of this run)...
   std::vector<RankState<NoisePolicy, Table>>& states_;
+  std::vector<Rank>& active_;
+  std::vector<std::uint32_t>& slot_of_;
   EventQueue& queue_;
   EventPool& pool_;
   // ...and per-run locals.
@@ -538,26 +648,58 @@ class Run {
   SimResult result_;
 };
 
-/// Dispatch target for one (noise-policy, match-table) instantiation:
-/// downcasts the context's state, adopting fresh state when the context is
-/// empty or was last used with a different instantiation (matcher change,
-/// baseline <-> noisy alternation, or a context from another engine).
-template <typename NoisePolicy, template <class> class Table>
-SimResult run_in_context(RunContext& ctx, const goal::TaskGraph& graph,
+/// Dispatch target for one (noise-policy, match-table, graph)
+/// instantiation: downcasts the context's state, adopting fresh state when
+/// the context is empty or was last used with a different instantiation
+/// (matcher change, baseline <-> noisy alternation, materialized <->
+/// generative graph, or a context from another engine).
+template <typename NoisePolicy, template <class> class Table, typename Graph>
+SimResult run_in_context(RunContext& ctx, const Graph& graph,
                          const NetworkParams& params,
                          const noise::NoiseModel& noise,
                          std::uint64_t run_seed, TimeNs horizon,
                          const OpCompletionCallback& on_complete,
                          DetourSink* ce_sink) {
-  auto* state = dynamic_cast<EngineState<NoisePolicy, Table>*>(ctx.state());
+  auto* state =
+      dynamic_cast<EngineState<NoisePolicy, Table, Graph>*>(ctx.state());
   if (state == nullptr) {
-    auto fresh = std::make_unique<EngineState<NoisePolicy, Table>>();
+    auto fresh = std::make_unique<EngineState<NoisePolicy, Table, Graph>>();
     state = fresh.get();
     ctx.adopt(std::move(fresh));
   }
-  return Run<NoisePolicy, Table>(*state, graph, params, noise, run_seed,
-                                 horizon, on_complete, ce_sink)
+  return Run<NoisePolicy, Table, Graph>(*state, graph, params, noise,
+                                        run_seed, horizon, on_complete,
+                                        ce_sink)
       .execute();
+}
+
+/// Matcher x noise-policy dispatch for one graph representation.
+template <typename Graph>
+SimResult dispatch_run(const Graph& graph, MatcherKind matcher,
+                       RunContext& ctx, const NetworkParams& params,
+                       const noise::NoiseModel& noise, std::uint64_t run_seed,
+                       TimeNs horizon, const OpCompletionCallback& on_complete,
+                       DetourSink* ce_sink) {
+  // NoNoiseModel runs take the devirtualized fast path: identical results
+  // (RankNoise over a NullDetourSource is the identity on CPU intervals),
+  // none of the per-interval virtual dispatch. A sink is irrelevant on it:
+  // a noise-free run consumes no detours, so there is nothing to observe.
+  const bool noise_free =
+      dynamic_cast<const noise::NoNoiseModel*>(&noise) != nullptr;
+  if (matcher == MatcherKind::kBucketed) {
+    if (noise_free) {
+      return run_in_context<PassthroughNoise, FifoMatchTable, Graph>(
+          ctx, graph, params, noise, run_seed, horizon, on_complete, ce_sink);
+    }
+    return run_in_context<noise::RankNoise, FifoMatchTable, Graph>(
+        ctx, graph, params, noise, run_seed, horizon, on_complete, ce_sink);
+  }
+  if (noise_free) {
+    return run_in_context<PassthroughNoise, LinearMatchList, Graph>(
+        ctx, graph, params, noise, run_seed, horizon, on_complete, ce_sink);
+  }
+  return run_in_context<noise::RankNoise, LinearMatchList, Graph>(
+      ctx, graph, params, noise, run_seed, horizon, on_complete, ce_sink);
 }
 
 }  // namespace
@@ -577,9 +719,14 @@ double slowdown_percent(const SimResult& baseline, const SimResult& noisy) {
 }
 
 Simulator::Simulator(const goal::TaskGraph& graph, NetworkParams params)
-    : graph_(graph), params_(params) {
+    : graph_(&graph), params_(params) {
   CELOG_ASSERT_MSG(graph.finalized(),
                    "task graph must be finalized before simulation");
+  params_.validate();
+}
+
+Simulator::Simulator(const goal::GenerativeGraph& graph, NetworkParams params)
+    : generative_(&graph), params_(params) {
   params_.validate();
 }
 
@@ -597,27 +744,12 @@ SimResult Simulator::run(const noise::NoiseModel& noise,
                          const OpCompletionCallback& on_complete,
                          DetourSink* ce_sink) const {
   const RunContext::ExclusiveRun guard(ctx);
-  // NoNoiseModel runs take the devirtualized fast path: identical results
-  // (RankNoise over a NullDetourSource is the identity on CPU intervals),
-  // none of the per-interval virtual dispatch. A sink is irrelevant on it:
-  // a noise-free run consumes no detours, so there is nothing to observe.
-  const bool noise_free =
-      dynamic_cast<const noise::NoNoiseModel*>(&noise) != nullptr;
-  if (matcher_ == MatcherKind::kBucketed) {
-    if (noise_free) {
-      return run_in_context<PassthroughNoise, FifoMatchTable>(
-          ctx, graph_, params_, noise, run_seed, horizon, on_complete,
-          ce_sink);
-    }
-    return run_in_context<noise::RankNoise, FifoMatchTable>(
-        ctx, graph_, params_, noise, run_seed, horizon, on_complete, ce_sink);
+  if (generative_ != nullptr) {
+    return dispatch_run(*generative_, matcher_, ctx, params_, noise, run_seed,
+                        horizon, on_complete, ce_sink);
   }
-  if (noise_free) {
-    return run_in_context<PassthroughNoise, LinearMatchList>(
-        ctx, graph_, params_, noise, run_seed, horizon, on_complete, ce_sink);
-  }
-  return run_in_context<noise::RankNoise, LinearMatchList>(
-      ctx, graph_, params_, noise, run_seed, horizon, on_complete, ce_sink);
+  return dispatch_run(*graph_, matcher_, ctx, params_, noise, run_seed,
+                      horizon, on_complete, ce_sink);
 }
 
 SimResult Simulator::run_baseline() const {

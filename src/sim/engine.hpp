@@ -39,6 +39,7 @@
 #include <memory>
 #include <vector>
 
+#include "goal/generative.hpp"
 #include "goal/task_graph.hpp"
 #include "noise/noise_model.hpp"
 #include "noise/rank_noise.hpp"
@@ -99,6 +100,13 @@ class Simulator {
  public:
   Simulator(const goal::TaskGraph& graph, NetworkParams params);
 
+  /// Simulates a generative (lazily materialized) pattern graph. Programs
+  /// are decoded on the fly from O(1) pattern parameters, so nothing
+  /// O(total ops) is ever allocated for the graph itself — this is the
+  /// 100K-1M-rank entry point. Results are bit-identical to simulating
+  /// graph.materialize() (proved by ctest -L engine).
+  Simulator(const goal::GenerativeGraph& graph, NetworkParams params);
+
   /// Runs the simulation under `noise` with the given seed.
   /// Throws DeadlockError if communication cannot complete (e.g. a recv
   /// whose matching send never executes). Throws NoProgressError if CE
@@ -140,7 +148,10 @@ class Simulator {
   MatcherKind matcher() const { return matcher_; }
 
  private:
-  const goal::TaskGraph& graph_;
+  // Exactly one of these is non-null, fixed at construction. Both graphs
+  // are borrowed and immutable for the Simulator's lifetime.
+  const goal::TaskGraph* graph_ = nullptr;
+  const goal::GenerativeGraph* generative_ = nullptr;
   NetworkParams params_;
   MatcherKind matcher_ = MatcherKind::kBucketed;
 };

@@ -97,6 +97,20 @@ class EventPool {
     free_head_ = kNil;
   }
 
+  /// reset() plus genuinely freeing the slot storage — used on graph
+  /// rebinds so a context last used with a huge graph does not pin its
+  /// pool capacity under a small one.
+  void release_capacity() {
+    slots_.clear();
+    slots_.shrink_to_fit();
+    free_head_ = kNil;
+  }
+
+  /// Heap bytes held resident by the slot storage.
+  std::size_t resident_bytes() const {
+    return slots_.capacity() * sizeof(EventPayload);
+  }
+
   std::uint32_t alloc() {
     if (free_head_ != kNil) {
       const std::uint32_t idx = free_head_;
@@ -125,15 +139,22 @@ class EventPool {
 /// The rank-sharded two-level event queue.
 class EventQueue {
  public:
-  /// Must be called before any push; `ranks` fixes the shard count.
-  /// Calling it again rebinds the queue to a new rank count from scratch
-  /// (all shard capacity is dropped — a graph change invalidates the
-  /// graph-derived per-shard bounds anyway). To keep capacity across runs
-  /// of the SAME graph, use reset() instead.
+  /// Must be called before any push; `ranks` fixes the shard count (the
+  /// engine passes its count of *active* ranks and maps rank -> shard, so
+  /// queue footprint is O(active ranks), not O(ranks)). Calling it again
+  /// rebinds the queue to a new shard count from scratch, genuinely
+  /// freeing every shard's heap block — a graph change invalidates the
+  /// graph-derived per-shard bounds, and a rebind from a big graph to a
+  /// small one must not pin the big graph's capacity. To keep capacity
+  /// across runs of the SAME graph, use reset() instead.
   void init(goal::Rank ranks) {
-    local_.assign(static_cast<std::size_t>(ranks), {});
+    local_.clear();  // destroys shard vectors -> frees their heap blocks
+    local_.shrink_to_fit();
+    local_.resize(static_cast<std::size_t>(ranks));
     pos_.assign(static_cast<std::size_t>(ranks), kAbsent);
+    pos_.shrink_to_fit();
     top_.clear();
+    top_.shrink_to_fit();
     top_.reserve(static_cast<std::size_t>(ranks));
     size_ = 0;
 #ifndef NDEBUG
@@ -165,6 +186,17 @@ class EventQueue {
 
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
+
+  /// Heap bytes held resident across shards and the top-level heap.
+  std::size_t resident_bytes() const {
+    std::size_t bytes = local_.capacity() * sizeof(std::vector<HeapEntry>) +
+                        top_.capacity() * sizeof(TopEntry) +
+                        pos_.capacity() * sizeof(std::uint32_t);
+    for (const auto& shard : local_) {
+      bytes += shard.capacity() * sizeof(HeapEntry);
+    }
+    return bytes;
+  }
 
   void push(goal::Rank rank, const HeapEntry& entry) {
     const auto r = static_cast<std::size_t>(rank);

@@ -115,6 +115,12 @@ class FifoMatchTable {
     }
   }
 
+  /// Heap bytes held resident (slot array + node pool).
+  std::size_t resident_bytes() const {
+    return slots_.capacity() * sizeof(Slot) +
+           nodes_.capacity() * sizeof(Node);
+  }
+
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;
   static constexpr std::uint64_t kEmptySlot = ~0ull;  // unreachable key
@@ -228,6 +234,11 @@ class LinearMatchList {
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (const Entry& e : entries_) fn(e.value);
+  }
+
+  /// Approximate resident bytes (deque block bookkeeping not counted).
+  std::size_t resident_bytes() const {
+    return entries_.size() * sizeof(Entry);
   }
 
  private:

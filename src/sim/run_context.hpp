@@ -30,6 +30,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <memory>
 #include <utility>
 
@@ -46,6 +47,11 @@ namespace detail {
 class RunContextState {
  public:
   virtual ~RunContextState() = default;
+
+  /// Heap bytes this state holds resident (rank states, event queue/pool,
+  /// match tables). Deterministic for identical run histories; the scale
+  /// bench divides it by rank count for its bytes_per_rank metric.
+  virtual std::size_t resident_bytes() const { return 0; }
 };
 
 }  // namespace detail
@@ -61,6 +67,11 @@ class RunContext {
 
   /// True until a run has populated the context (or after clear()).
   bool empty() const { return state_ == nullptr; }
+
+  /// Heap bytes of engine state held resident for reuse; 0 when empty.
+  std::size_t resident_bytes() const {
+    return state_ == nullptr ? 0 : state_->resident_bytes();
+  }
 
   /// Drops all captured state; the next run rebuilds from scratch.
   void clear() { state_.reset(); }

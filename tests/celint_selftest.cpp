@@ -512,6 +512,21 @@ TEST(CelintRepoScan, ServerSubsystemScansClean) {
   EXPECT_GE(files.size(), 6u) << "scan should see the server subsystem";
 }
 
+TEST(CelintRepoScan, GraphSubsystemScansClean) {
+  // ISSUE-7 gate, pinned separately from the whole-src scan: the arena/SoA
+  // task-graph layer and the generative (lazy) pattern seam sit under every
+  // simulation result, so they must hold the determinism contract — no wall
+  // clocks, no unseeded RNG, no unordered iteration (the packed-arena CSR
+  // and the counter-based jitter hash are deterministic by construction).
+  const auto findings = celint::run_check(CELINT_SOURCE_DIR, {"src/goal"});
+  for (const auto& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+  const auto files = celint::collect_files(CELINT_SOURCE_DIR, {"src/goal"});
+  EXPECT_GE(files.size(), 4u) << "scan should see the graph subsystem";
+}
+
 TEST(CelintRepoScan, BenchExamplesTestsReportZeroFindings) {
   const auto findings =
       celint::run_check(CELINT_SOURCE_DIR, {"bench", "examples", "tests"});

@@ -1,0 +1,378 @@
+// Differential tests of the graph representations behind the engine: the
+// arena/SoA goal::TaskGraph (materialized) against goal::GenerativeGraph
+// (lazy, decoded per-op from O(1) pattern parameters). The engine promises
+// bit-identical SimResults for a generative graph and its materialize()d
+// twin on EVERY input; these tests sweep stencil shapes from a single rank
+// to 4096 ranks across both matchers, the noise-free fast path, and the
+// RankNoise path, checking all seven SimResult fields.
+//
+// Also covered here: the O(active-ranks) engine state (sparse graphs where
+// most ranks have no ops still report full-length rank_finish, inactive
+// ranks at 0), context reuse and capacity release across graph rebinds
+// (resident_bytes must shrink when a context moves from a big graph to a
+// small one), the O(1) cached graph totals, and the generative pattern's
+// structural invariants (torus peers, template sharing, rank-count caps).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "goal/generative.hpp"
+#include "goal/task_graph.hpp"
+#include "noise/detour.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/run_context.hpp"
+#include "util/error.hpp"
+
+namespace celog::sim {
+namespace {
+
+using goal::GenerativeGraph;
+using goal::OpIndex;
+using goal::OpKind;
+using goal::Rank;
+using goal::SequentialBuilder;
+using goal::StencilSpec;
+using goal::TaskGraph;
+
+void expect_identical(const SimResult& a, const SimResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.makespan, b.makespan) << what;
+  EXPECT_EQ(a.rank_finish, b.rank_finish) << what;
+  EXPECT_EQ(a.data_messages, b.data_messages) << what;
+  EXPECT_EQ(a.control_messages, b.control_messages) << what;
+  EXPECT_EQ(a.noise_stolen, b.noise_stolen) << what;
+  EXPECT_EQ(a.detours_charged, b.detours_charged) << what;
+  EXPECT_EQ(a.events_processed, b.events_processed) << what;
+}
+
+/// Stencil shapes from degenerate to 3-D at 4096 ranks. Message sizes
+/// straddle the cray_xc40 8 KiB eager threshold so both the eager and the
+/// rendezvous protocol run through both representations.
+std::vector<StencilSpec> differential_specs() {
+  std::vector<StencilSpec> specs;
+  StencilSpec s;
+  s.dims = {1};  // single rank: pure calc chain
+  s.iterations = 3;
+  s.compute_ns = 1000;
+  specs.push_back(s);
+  s = StencilSpec{};
+  s.dims = {2};  // smallest ring
+  s.iterations = 4;
+  s.message_bytes = 512;
+  s.compute_ns = 2000;
+  specs.push_back(s);
+  s = StencilSpec{};
+  s.dims = {17};  // odd ring, eager
+  s.iterations = 5;
+  s.message_bytes = 4096;
+  s.compute_ns = 1500;
+  s.jitter_ns = 700;
+  s.seed = 42;
+  specs.push_back(s);
+  s = StencilSpec{};
+  s.dims = {8, 1, 9};  // 2-D with a degenerate middle dim, rendezvous
+  s.iterations = 3;
+  s.message_bytes = 32768;
+  s.compute_ns = 5000;
+  s.jitter_ns = 1200;
+  s.seed = 7;
+  specs.push_back(s);
+  s = StencilSpec{};
+  s.dims = {16, 16, 16};  // 3-D torus at 4096 ranks, eager
+  s.iterations = 2;
+  s.message_bytes = 1024;
+  s.compute_ns = 800;
+  s.jitter_ns = 300;
+  s.seed = 11;
+  specs.push_back(s);
+  return specs;
+}
+
+// Noise-free runs: the lazy and materialized representations must agree
+// bit-for-bit under both matchers.
+TEST(GenerativeDifferential, BaselineBitIdenticalToMaterialized) {
+  for (const StencilSpec& spec : differential_specs()) {
+    const GenerativeGraph lazy(spec);
+    const TaskGraph dense = lazy.materialize();
+    const std::string what = "ranks=" + std::to_string(lazy.ranks());
+    for (const MatcherKind matcher :
+         {MatcherKind::kBucketed, MatcherKind::kReference}) {
+      Simulator lazy_sim(lazy, NetworkParams::cray_xc40());
+      Simulator dense_sim(dense, NetworkParams::cray_xc40());
+      lazy_sim.set_matcher(matcher);
+      dense_sim.set_matcher(matcher);
+      expect_identical(lazy_sim.run_baseline(), dense_sim.run_baseline(),
+                       what);
+    }
+  }
+}
+
+// The same sweep under CE noise exercises the RankNoise instantiations of
+// both graph policies (noise_stolen / detours_charged must agree too).
+TEST(GenerativeDifferential, NoisyRunBitIdenticalToMaterialized) {
+  const noise::UniformCeNoiseModel noise(
+      microseconds(500),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(5)));
+  for (const StencilSpec& spec : differential_specs()) {
+    const GenerativeGraph lazy(spec);
+    const TaskGraph dense = lazy.materialize();
+    const Simulator lazy_sim(lazy, NetworkParams::cray_xc40());
+    const Simulator dense_sim(dense, NetworkParams::cray_xc40());
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      expect_identical(lazy_sim.run(noise, seed), dense_sim.run(noise, seed),
+                       "noisy ranks=" + std::to_string(lazy.ranks()));
+    }
+  }
+}
+
+// A reused RunContext must reproduce fresh-context results across repeated
+// runs and across a lazy <-> materialized rebind (the rebind changes the
+// EngineState's dynamic type, so the context rebuilds transparently).
+TEST(GenerativeDifferential, ContextReuseAndRepresentationRebind) {
+  StencilSpec spec;
+  spec.dims = {6, 7};
+  spec.iterations = 4;
+  spec.message_bytes = 2048;
+  spec.compute_ns = 900;
+  spec.jitter_ns = 250;
+  spec.seed = 3;
+  const GenerativeGraph lazy(spec);
+  const TaskGraph dense = lazy.materialize();
+  const Simulator lazy_sim(lazy, NetworkParams::cray_xc40());
+  const Simulator dense_sim(dense, NetworkParams::cray_xc40());
+  const SimResult fresh = lazy_sim.run_baseline();
+
+  RunContext ctx;
+  for (int i = 0; i < 3; ++i) {
+    expect_identical(lazy_sim.run_baseline(ctx), fresh, "reused lazy");
+    expect_identical(dense_sim.run_baseline(ctx), fresh, "rebind to dense");
+  }
+}
+
+// O(active ranks): a graph where only a few of many ranks carry ops still
+// reports per-rank finish times for every rank — inactive ranks at 0 —
+// and the engine state footprint tracks the active count, not ranks().
+TEST(ActiveRankState, SparseGraphFinishTimesAndFootprint)
+{
+  constexpr Rank kRanks = 50000;
+  TaskGraph g(kRanks);
+  // Ops on three ranks only: 0 computes, 40000 and 49999 exchange.
+  SequentialBuilder b0(g, 0), ba(g, 40000), bb(g, 49999);
+  b0.calc(1000);
+  ba.send(49999, 256, 5);
+  bb.recv(40000, 256, 5);
+  bb.calc(500);
+  g.finalize();
+
+  const Simulator sim(g, NetworkParams::cray_xc40());
+  RunContext ctx;
+  const SimResult res = sim.run_baseline(ctx);
+  ASSERT_EQ(res.rank_finish.size(), static_cast<std::size_t>(kRanks));
+  EXPECT_GT(res.rank_finish[0], 0);
+  EXPECT_GT(res.rank_finish[40000], 0);
+  EXPECT_GT(res.rank_finish[49999], 0);
+  for (const Rank r : {1, 100, 25000, 49998}) {
+    EXPECT_EQ(res.rank_finish[static_cast<std::size_t>(r)], 0)
+        << "inactive rank " << r;
+  }
+
+  // 3 active ranks of state plus the rank -> slot map. The map alone is
+  // 4 bytes/rank; per-active-rank state must not scale with ranks().
+  const std::size_t resident = ctx.resident_bytes();
+  EXPECT_GT(resident, 0u);
+  EXPECT_LT(resident, static_cast<std::size_t>(kRanks) * 64);
+}
+
+// Rebinding a context from a big graph to a small one must release the big
+// graph's capacity rather than pinning it for the context's lifetime.
+TEST(ActiveRankState, RebindReleasesCapacity) {
+  StencilSpec big;
+  big.dims = {40, 40};
+  big.iterations = 10;
+  big.message_bytes = 1024;
+  big.compute_ns = 500;
+  const GenerativeGraph big_graph(big);
+
+  StencilSpec small;
+  small.dims = {4};
+  small.iterations = 2;
+  small.message_bytes = 256;
+  small.compute_ns = 500;
+  const GenerativeGraph small_graph(small);
+
+  const Simulator big_sim(big_graph, NetworkParams::cray_xc40());
+  const Simulator small_sim(small_graph, NetworkParams::cray_xc40());
+
+  RunContext ctx;
+  big_sim.run_baseline(ctx);
+  const std::size_t big_resident = ctx.resident_bytes();
+  small_sim.run_baseline(ctx);
+  const std::size_t small_resident = ctx.resident_bytes();
+  EXPECT_LT(small_resident, big_resident / 4)
+      << "rebind to a 100x smaller graph kept most of the capacity";
+
+  // And the rebind did not perturb results.
+  expect_identical(small_sim.run_baseline(ctx), small_sim.run_baseline(),
+                   "post-shrink rebind");
+}
+
+// The graph totals are cached at finalize() (O(1) on the serve hot path)
+// and must equal a hand count; the pre-finalize fallback scans staging.
+TEST(GraphTotals, CachedAtFinalizeAndConsistent) {
+  TaskGraph g(3);
+  SequentialBuilder b0(g, 0), b1(g, 1), b2(g, 2);
+  b0.calc(100);
+  b0.send(1, 4096, 1);
+  b1.recv(0, 4096, 1);
+  b1.send(2, 100000, 2);
+  b2.recv(1, 100000, 2);
+  b2.calc(200);
+
+  // Pre-finalize fallback.
+  EXPECT_EQ(g.total_ops(), 6u);
+  EXPECT_EQ(g.total_bytes_sent(), 104096);
+  EXPECT_EQ(g.count_ops(OpKind::kCalc), 2u);
+
+  g.finalize();
+  EXPECT_EQ(g.total_ops(), 6u);
+  EXPECT_EQ(g.total_bytes_sent(), 104096);
+  EXPECT_EQ(g.count_ops(OpKind::kCalc), 2u);
+  EXPECT_EQ(g.count_ops(OpKind::kSend), 2u);
+  EXPECT_EQ(g.count_ops(OpKind::kRecv), 2u);
+  EXPECT_GT(g.resident_bytes(), 0u);
+}
+
+// Generative totals come from closed forms; they must match the
+// materialized graph's (finalize-cached) counts exactly.
+TEST(GraphTotals, GenerativeClosedFormsMatchMaterialized) {
+  StencilSpec spec;
+  spec.dims = {5, 6};
+  spec.iterations = 7;
+  spec.message_bytes = 333;
+  spec.compute_ns = 100;
+  const GenerativeGraph lazy(spec);
+  const TaskGraph dense = lazy.materialize();
+  EXPECT_EQ(lazy.ranks(), dense.ranks());
+  EXPECT_EQ(lazy.total_ops(), dense.total_ops());
+  EXPECT_EQ(lazy.total_bytes_sent(), dense.total_bytes_sent());
+  for (const OpKind kind : {OpKind::kCalc, OpKind::kSend, OpKind::kRecv}) {
+    EXPECT_EQ(lazy.count_ops(kind), dense.count_ops(kind));
+  }
+}
+
+// The lazy representation's footprint is O(pattern): growing the rank
+// count by 100x must not grow resident_bytes (the shared template and the
+// torus geometry are rank-count independent).
+TEST(GenerativeStructure, ResidentBytesIndependentOfRankCount) {
+  StencilSpec spec;
+  spec.dims = {10, 10};
+  spec.iterations = 5;
+  spec.message_bytes = 64;
+  spec.compute_ns = 100;
+  const GenerativeGraph small(spec);
+  spec.dims = {100, 100};
+  const GenerativeGraph big(spec);
+  EXPECT_EQ(small.resident_bytes(), big.resident_bytes());
+  EXPECT_EQ(big.total_ops(), 100u * small.total_ops());
+}
+
+// Torus peers: interior, wrap-around, and degenerate dimensions.
+TEST(GenerativeStructure, TorusPeersAndProgramShape) {
+  StencilSpec spec;
+  spec.dims = {4, 5};
+  spec.iterations = 1;
+  spec.message_bytes = 8;
+  spec.compute_ns = 1;
+  const GenerativeGraph g(spec);
+  ASSERT_EQ(g.ranks(), 20);
+  ASSERT_EQ(g.neighbors(), 4u);
+  ASSERT_EQ(g.ops_per_rank(), 9u);  // 1 calc + 4 x (send + recv)
+
+  // Rank 7 = (row 1, col 2) in the 4 x 5 row-major layout.
+  const auto prog = g.program(7);
+  ASSERT_EQ(prog.size(), 9u);
+  EXPECT_EQ(prog.op(0).kind, OpKind::kCalc);
+  // Template order: +row, -row, +col, -col; rows stride 5, cols stride 1.
+  EXPECT_EQ(prog.op(1).peer, 12);  // send +row
+  EXPECT_EQ(prog.op(3).peer, 2);   // send -row
+  EXPECT_EQ(prog.op(5).peer, 8);   // send +col
+  EXPECT_EQ(prog.op(7).peer, 6);   // send -col
+  for (const OpIndex i : {1u, 3u, 5u, 7u}) {
+    EXPECT_EQ(prog.op(i).kind, OpKind::kSend);
+    EXPECT_EQ(prog.op(i + 1).kind, OpKind::kRecv);
+    EXPECT_EQ(prog.op(i + 1).peer, prog.op(i).peer);
+    EXPECT_EQ(prog.op(i).tag, 0);
+  }
+
+  // Corner rank 0 wraps both ways.
+  const auto corner = g.program(0);
+  EXPECT_EQ(corner.op(1).peer, 5);   // +row
+  EXPECT_EQ(corner.op(3).peer, 15);  // -row wraps
+  EXPECT_EQ(corner.op(5).peer, 1);   // +col
+  EXPECT_EQ(corner.op(7).peer, 4);   // -col wraps
+}
+
+TEST(GenerativeStructure, RejectsInvalidSpecs) {
+  StencilSpec spec;
+  EXPECT_THROW(GenerativeGraph{spec}, InvalidInputError);  // no dims
+  spec.dims = {4};
+  spec.iterations = 0;
+  EXPECT_THROW(GenerativeGraph{spec}, InvalidInputError);
+  spec.iterations = 1;
+  spec.message_bytes = -1;
+  EXPECT_THROW(GenerativeGraph{spec}, InvalidInputError);
+  spec.message_bytes = 0;
+  spec.dims = {4, 0};
+  EXPECT_THROW(GenerativeGraph{spec}, InvalidInputError);
+  spec.dims = {2, 2, 2, 2, 2};  // five active dims
+  EXPECT_THROW(GenerativeGraph{spec}, InvalidInputError);
+  spec.dims = {1 << 16, 1 << 16};  // 2^32 ranks overflows the packed peer
+  EXPECT_THROW(GenerativeGraph{spec}, InvalidInputError);
+}
+
+// A 1M-rank graph is constructible and addressable in O(1) — only
+// materialization is refused at that scale.
+TEST(GenerativeStructure, MillionRankGraphIsCheap) {
+  StencilSpec spec;
+  spec.dims = {100, 100, 100};
+  spec.iterations = 50;
+  spec.message_bytes = 4096;
+  spec.compute_ns = 1000;
+  const GenerativeGraph g(spec);
+  EXPECT_EQ(g.ranks(), 1000000);
+  // 6 torus neighbours -> 1 calc + 6 sends + 6 recvs per iteration.
+  EXPECT_EQ(g.total_ops(), 1000000u * 50u * 13u);
+  EXPECT_LT(g.resident_bytes(), std::size_t{64} * 1024);
+  const auto prog = g.program(999999);
+  EXPECT_EQ(prog.op(0).kind, OpKind::kCalc);
+  EXPECT_THROW(static_cast<void>(g.materialize()), InvalidInputError);
+}
+
+// Deadlock diagnostics survive the active-rank compaction: a message into
+// a rank with no program of its own must still be reported (the receiver
+// is active purely by virtue of the inbound message).
+TEST(ActiveRankState, DeadlockDiagnosticsCoverInboundOnlyRanks) {
+  TaskGraph g(300);
+  SequentialBuilder sender(g, 4);
+  // Rendezvous-sized (above the 8 KiB eager threshold) so the send blocks
+  // on a CTS that can never come: rank 250 posts no recv.
+  sender.send(250, 64 * 1024, 9);
+  g.finalize();
+  const Simulator sim(g, NetworkParams::cray_xc40());
+  try {
+    sim.run_baseline();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank 250"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("never received"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace celog::sim

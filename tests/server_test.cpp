@@ -215,6 +215,67 @@ TEST(RunnerRegistryTest, EvictsFirstBuiltEntryBeyondCapacity) {
   EXPECT_EQ(registry.stats().builds, 3u);
 }
 
+TEST(RunnerRegistryTest, AccountsResidentGraphBytesDeterministically) {
+  // Same request history -> same byte accounting: graph builds are
+  // deterministic and the accounting is capacity-based, so two registries
+  // agree, and the total is the sum over cached runners' graphs.
+  server::RunnerRegistry a(8), b(8);
+  server::SweepRequest req = small_request("minife", 4);
+  const auto r4 = a.get(req);
+  b.get(req);
+  req.ranks = 8;
+  const auto r8 = a.get(req);
+  b.get(req);
+  const std::uint64_t expected = r4->graph().resident_bytes() +
+                                 r8->graph().resident_bytes();
+  EXPECT_EQ(a.stats().resident_graph_bytes, expected);
+  EXPECT_EQ(b.stats().resident_graph_bytes, expected);
+
+  // Count-bound eviction refunds the evicted entry's bytes.
+  server::RunnerRegistry tight(1);
+  req.ranks = 4;
+  tight.get(req);
+  req.ranks = 8;
+  const auto kept = tight.get(req);
+  EXPECT_EQ(tight.stats().evictions, 1u);
+  EXPECT_EQ(tight.stats().resident_graph_bytes,
+            kept->graph().resident_bytes());
+}
+
+TEST(RunnerRegistryTest, EvictsByGraphBytesBeyondBudget) {
+  // A budget of one byte forces every newly built runner to evict all
+  // earlier ones; the newest always stays (callers hold its shared_ptr).
+  server::RunnerRegistry registry(8, 1);
+  server::SweepRequest req = small_request("minife", 4);
+  const auto a = registry.get(req);
+  EXPECT_EQ(registry.stats().evictions, 0u);  // sole entry is never evicted
+  req.ranks = 8;
+  const auto b = registry.get(req);
+  {
+    const server::RunnerRegistry::Stats s = registry.stats();
+    EXPECT_EQ(s.builds, 2u);
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.resident_graph_bytes, b->graph().resident_bytes());
+  }
+  // The evicted runner stays alive for in-flight users...
+  EXPECT_GT(a->baseline().makespan, 0);
+  // ...and re-fetching it rebuilds (and evicts the other in turn).
+  req.ranks = 4;
+  const auto c = registry.get(req);
+  EXPECT_NE(a.get(), c.get());
+  const server::RunnerRegistry::Stats s = registry.stats();
+  EXPECT_EQ(s.builds, 3u);
+  EXPECT_EQ(s.evictions, 2u);
+  EXPECT_EQ(s.resident_graph_bytes, c->graph().resident_bytes());
+
+  // A roomy budget admits both shapes side by side.
+  server::RunnerRegistry roomy(8);
+  roomy.get(req);
+  req.ranks = 8;
+  roomy.get(req);
+  EXPECT_EQ(roomy.stats().evictions, 0u);
+}
+
 TEST(RunnerRegistryTest, UnknownWorkloadThrows) {
   server::RunnerRegistry registry;
   const server::SweepRequest req = small_request("no-such-workload", 4);
@@ -302,6 +363,11 @@ TEST_F(DaemonTest, PingPongAndStats) {
   EXPECT_NE(line.find("\"id\":4"), std::string::npos) << line;
   EXPECT_NE(line.find("\"event\":\"stats\""), std::string::npos) << line;
   EXPECT_NE(line.find("\"connections\":1"), std::string::npos) << line;
+  // No sweep has run yet, so no graphs are resident; the field itself must
+  // always be present for fleet scrapers.
+  EXPECT_NE(line.find("\"runner_resident_graph_bytes\":0"),
+            std::string::npos)
+      << line;
 }
 
 TEST_F(DaemonTest, SweepResponseIsByteIdenticalToBatch) {
