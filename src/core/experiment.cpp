@@ -4,11 +4,11 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "sim/run_context.hpp"
+#include "util/annotations.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -31,18 +31,20 @@ struct ExperimentRunner::SweepState {
   /// the free list afterwards — bounding idle threads at steady state.
   static constexpr std::size_t kMaxIdlePools = 4;
 
-  std::mutex pool_mu;
-  std::vector<std::unique_ptr<util::ThreadPool>> idle_pools;  // guarded
+  util::Mutex pool_mu;
+  std::vector<std::unique_ptr<util::ThreadPool>> idle_pools
+      CELOG_GUARDED_BY(pool_mu);
 
-  std::mutex ctx_mu;
-  std::vector<std::unique_ptr<sim::RunContext>> free_contexts;
+  util::Mutex ctx_mu;
+  std::vector<std::unique_ptr<sim::RunContext>> free_contexts
+      CELOG_GUARDED_BY(ctx_mu);
 
   /// Takes an idle pool of exactly `want` threads when one is cached;
   /// otherwise evicts one mismatched idle pool (bounding memory when the
   /// requested concurrency changes for good) and builds the right size.
   std::unique_ptr<util::ThreadPool> acquire_pool(unsigned want) {
     {
-      std::lock_guard<std::mutex> lock(pool_mu);
+      util::MutexLock lock(pool_mu);
       for (auto it = idle_pools.begin(); it != idle_pools.end(); ++it) {
         if ((*it)->threads() == want) {
           std::unique_ptr<util::ThreadPool> pool = std::move(*it);
@@ -56,7 +58,7 @@ struct ExperimentRunner::SweepState {
   }
 
   void release_pool(std::unique_ptr<util::ThreadPool> pool) {
-    std::lock_guard<std::mutex> lock(pool_mu);
+    util::MutexLock lock(pool_mu);
     if (idle_pools.size() < kMaxIdlePools) {
       idle_pools.push_back(std::move(pool));
     }
@@ -78,7 +80,7 @@ struct ExperimentRunner::SweepState {
 
   std::unique_ptr<sim::RunContext> acquire() {
     {
-      std::lock_guard<std::mutex> lock(ctx_mu);
+      util::MutexLock lock(ctx_mu);
       if (!free_contexts.empty()) {
         std::unique_ptr<sim::RunContext> ctx =
             std::move(free_contexts.back());
@@ -90,7 +92,7 @@ struct ExperimentRunner::SweepState {
   }
 
   void release(std::unique_ptr<sim::RunContext> ctx) {
-    std::lock_guard<std::mutex> lock(ctx_mu);
+    util::MutexLock lock(ctx_mu);
     free_contexts.push_back(std::move(ctx));
   }
 

@@ -11,6 +11,7 @@
 
 namespace celog::goal {
 
+// celint: hot-path begin -- per-op decode: pure arithmetic, no allocation
 Op GenerativeProgram::op(OpIndex i) const {
   CELOG_ASSERT(i < size_);
   const auto stride =
@@ -27,6 +28,7 @@ Op GenerativeProgram::op(OpIndex i) const {
   }
   return Op::recv(peer, graph_->spec_.message_bytes, 0);
 }
+// celint: hot-path end
 
 GenerativeGraph::GenerativeGraph(StencilSpec spec) : spec_(std::move(spec)) {
   if (spec_.dims.empty()) {
@@ -119,6 +121,7 @@ GenerativeGraph::GenerativeGraph(StencilSpec spec) : spec_(std::move(spec)) {
   }
 }
 
+// celint: hot-path begin -- program views borrow graph storage, no copies
 GenerativeProgram GenerativeGraph::program(Rank rank) const {
   CELOG_ASSERT(rank >= 0 && rank < ranks_);
   GenerativeProgram prog;
@@ -138,6 +141,7 @@ GenerativeProgram GenerativeGraph::program(Rank rank) const {
   prog.size_ = ops_per_rank_;
   return prog;
 }
+// celint: hot-path end
 
 std::size_t GenerativeGraph::count_ops(OpKind kind) const {
   const auto iters = static_cast<std::size_t>(spec_.iterations);

@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -47,7 +46,7 @@ Daemon::~Daemon() {
   // run() joins the workers before returning; this only matters when run()
   // was never called or threw.
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    util::MutexLock lock(queue_mu_);
     workers_stop_ = true;
   }
   queue_cv_.notify_all();
@@ -120,7 +119,7 @@ void Daemon::run() {
       bool want_write = false;
       bool closed = false;
       {
-        std::lock_guard<std::mutex> lock(conn.mu);
+        util::MutexLock lock(conn.mu);
         want_write = conn.out_off < conn.out.size();
         closed = conn.closed;
         // Inbound backpressure: stop reading a client whose responses it
@@ -167,7 +166,7 @@ void Daemon::run() {
     conns_.erase(
         std::remove_if(conns_.begin(), conns_.end(),
                        [](const std::shared_ptr<Connection>& conn) {
-                         std::lock_guard<std::mutex> lock(conn->mu);
+                         util::MutexLock lock(conn->mu);
                          const bool flushed =
                              conn->out_off >= conn->out.size();
                          return conn->inflight == 0 &&
@@ -179,7 +178,7 @@ void Daemon::run() {
   }
 
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    util::MutexLock lock(queue_mu_);
     workers_stop_ = true;
   }
   queue_cv_.notify_all();
@@ -194,12 +193,12 @@ void Daemon::run() {
 bool Daemon::drain_complete() const {
   if (!draining_) return false;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    util::MutexLock lock(queue_mu_);
     if (!queue_.empty()) return false;
   }
   for (const auto& conn : conns_) {
     if (conn->inflight > 0) return false;
-    std::lock_guard<std::mutex> lock(conn->mu);
+    util::MutexLock lock(conn->mu);
     if (!conn->closed && conn->out_off < conn->out.size()) return false;
   }
   return true;
@@ -227,7 +226,7 @@ void Daemon::drain_wake_pipe() {
 void Daemon::process_completions() {
   std::vector<std::shared_ptr<Connection>> done;
   {
-    std::lock_guard<std::mutex> lock(done_mu_);
+    util::MutexLock lock(done_mu_);
     done.swap(done_);
   }
   for (const auto& conn : done) --conn->inflight;
@@ -265,7 +264,7 @@ void Daemon::read_conn(const std::shared_ptr<Connection>& conn) {
     // Hard read error: nothing more will arrive and nothing can be sent.
     conn->peer_eof = true;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      util::MutexLock lock(conn->mu);
       conn->closed = true;
     }
     conn->space_cv.notify_all();
@@ -354,7 +353,7 @@ void Daemon::handle_line(const std::shared_ptr<Connection>& conn,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    util::MutexLock lock(queue_mu_);
     if (queue_.size() >= config_.max_queue) {
       counters_.rejected_queue.fetch_add(1, std::memory_order_relaxed);
       enqueue_output(*conn,
@@ -370,7 +369,7 @@ void Daemon::handle_line(const std::shared_ptr<Connection>& conn,
 
 void Daemon::enqueue_output(Connection& conn, std::string_view data) {
   {
-    std::lock_guard<std::mutex> lock(conn.mu);
+    util::MutexLock lock(conn.mu);
     if (conn.closed) return;
     conn.out.append(data);
   }
@@ -379,7 +378,7 @@ void Daemon::enqueue_output(Connection& conn, std::string_view data) {
 void Daemon::flush_conn(Connection& conn) {
   bool freed_space = false;
   {
-    std::lock_guard<std::mutex> lock(conn.mu);
+    util::MutexLock lock(conn.mu);
     if (conn.closed) return;
     while (conn.out_off < conn.out.size()) {
       const std::ptrdiff_t n =
@@ -412,16 +411,15 @@ void Daemon::worker_main() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock,
-                     [this] { return workers_stop_ || !queue_.empty(); });
+      util::MutexLock lock(queue_mu_);
+      while (!workers_stop_ && queue_.empty()) queue_cv_.wait(lock);
       if (queue_.empty()) return;  // only reachable when stopping
       job = std::move(queue_.front());
       queue_.pop_front();
     }
     execute(job);
     {
-      std::lock_guard<std::mutex> lock(done_mu_);
+      util::MutexLock lock(done_mu_);
       done_.push_back(job.conn);
     }
     counters_.requests_completed.fetch_add(1, std::memory_order_relaxed);
@@ -431,11 +429,11 @@ void Daemon::worker_main() {
 
 bool Daemon::append_output(Connection& conn, std::string_view data) {
   {
-    std::unique_lock<std::mutex> lock(conn.mu);
-    conn.space_cv.wait(lock, [&] {
-      return conn.closed ||
-             conn.out.size() - conn.out_off + data.size() <= config_.out_cap;
-    });
+    util::MutexLock lock(conn.mu);
+    while (!conn.closed &&
+           conn.out.size() - conn.out_off + data.size() > config_.out_cap) {
+      conn.space_cv.wait(lock);
+    }
     if (conn.closed) return false;
     conn.out.append(data);
   }
@@ -499,7 +497,7 @@ std::string Daemon::stats_line(std::int64_t id) const {
   const RunnerRegistry::Stats rs = registry_.stats();
   std::size_t queue_depth = 0;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    util::MutexLock lock(queue_mu_);
     queue_depth = queue_.size();
   }
   std::string out = "{\"id\":" + std::to_string(id) + ",\"event\":\"stats\"";

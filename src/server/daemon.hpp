@@ -31,7 +31,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -39,6 +38,7 @@
 
 #include "server/protocol.hpp"
 #include "server/runner_registry.hpp"
+#include "util/annotations.hpp"
 #include "util/net.hpp"
 
 namespace celog::server {
@@ -112,11 +112,13 @@ class Daemon {
     int inflight = 0;
     bool peer_eof = false;
     // Shared with workers, guarded by mu.
-    std::mutex mu;
-    std::condition_variable space_cv;
-    std::string out;           // guarded
-    std::size_t out_off = 0;   // guarded: bytes of `out` already written
-    bool closed = false;       // guarded: peer gone, discard output
+    util::Mutex mu;
+    std::condition_variable_any space_cv;
+    std::string out CELOG_GUARDED_BY(mu);
+    // Bytes of `out` already written.
+    std::size_t out_off CELOG_GUARDED_BY(mu) = 0;
+    // Peer gone, discard output.
+    bool closed CELOG_GUARDED_BY(mu) = false;
   };
 
   struct Job {
@@ -157,15 +159,15 @@ class Daemon {
 
   // Request queue (loop -> workers). Mutable: const observers
   // (drain_complete, stats_line) read the depth under the lock.
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Job> queue_;  // guarded by queue_mu_
-  bool workers_stop_ = false;
+  mutable util::Mutex queue_mu_;
+  std::condition_variable_any queue_cv_;
+  std::deque<Job> queue_ CELOG_GUARDED_BY(queue_mu_);
+  bool workers_stop_ CELOG_GUARDED_BY(queue_mu_) = false;
   std::vector<std::thread> workers_;
 
   // Completion queue (workers -> loop): the loop decrements `inflight`.
-  std::mutex done_mu_;
-  std::vector<std::shared_ptr<Connection>> done_;  // guarded by done_mu_
+  util::Mutex done_mu_;
+  std::vector<std::shared_ptr<Connection>> done_ CELOG_GUARDED_BY(done_mu_);
 
   struct Counters {
     std::atomic<std::uint64_t> connections_accepted{0};

@@ -49,7 +49,7 @@ std::shared_ptr<const core::ExperimentRunner> RunnerRegistry::get(
 
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++stats_.hits;
@@ -85,7 +85,7 @@ std::shared_ptr<const core::ExperimentRunner> RunnerRegistry::get(
     // longer fits. Done on every get(), not just the building one: the
     // builder and any waiters race to here, and exactly one (the first
     // under the lock) performs the charge.
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     charge_and_evict_locked(key, entry);
   }
   return entry->runner;
@@ -118,7 +118,7 @@ void RunnerRegistry::charge_and_evict_locked(
 }
 
 RunnerRegistry::Stats RunnerRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 

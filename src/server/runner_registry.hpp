@@ -24,6 +24,7 @@
 #include <string>
 
 #include "core/experiment.hpp"
+#include "util/annotations.hpp"
 #include "server/protocol.hpp"
 #include "workloads/workload.hpp"
 
@@ -89,15 +90,16 @@ class RunnerRegistry {
 
   /// Charges `entry`'s graph bytes (first observer only) and evicts built
   /// entries in map order until the byte budget fits; `keep` is never
-  /// evicted. Caller must hold mu_.
+  /// evicted.
   void charge_and_evict_locked(const std::string& keep,
-                               const std::shared_ptr<Entry>& entry);
+                               const std::shared_ptr<Entry>& entry)
+      CELOG_REQUIRES(mu_);
 
   const std::size_t max_entries_;
   const std::size_t max_graph_bytes_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Entry>> cache_;
-  Stats stats_;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::shared_ptr<Entry>> cache_ CELOG_GUARDED_BY(mu_);
+  Stats stats_ CELOG_GUARDED_BY(mu_);
 };
 
 }  // namespace celog::server

@@ -177,6 +177,7 @@ class Run {
     // no-reallocation invariant covers them too. Rank-major op-order
     // seeding matches the seed engine's seq assignment bit-for-bit
     // (inactive ranks have no ops, so skipping them changes nothing).
+    // celint: hot-path begin -- per-run seeding reuses reserved capacity
     for (std::size_t s = 0; s < active_.size(); ++s) {
       const Rank r = active_[s];
       const auto prog = graph_.program(r);
@@ -185,9 +186,11 @@ class Run {
         if (rs.pending[i] == 0) push_ready(r, i, 0);
       }
     }
+    // celint: hot-path end
   }
 
   SimResult execute() {
+    // celint: hot-path begin -- the event loop: zero allocation per event
     while (!queue_.empty()) {
       const HeapEntry top = queue_.pop();
       // Copy the payload out and recycle the slot before handling: handlers
@@ -200,6 +203,7 @@ class Run {
         case EventKind::kMsgArrive: handle_message(top.time, ev); break;
       }
     }
+    // celint: hot-path end
     if (completed_ops_ != total_ops_) throw_deadlock();
 
     // Per-rank finish times for ALL ranks; inactive ranks ran nothing and
@@ -348,6 +352,7 @@ class Run {
   /// different noise model). The graph-derived queue bounds carry over
   /// unchanged: they depend only on the graph and the eager threshold,
   /// both fixed for this Simulator.
+  // celint: hot-path begin -- run reuse + event handlers: reserved capacity only
   void reset_for_run(const noise::NoiseModel& noise, std::uint64_t run_seed,
                      TimeNs horizon) {
     queue_.reset();
@@ -569,6 +574,7 @@ class Run {
       }
     }
   }
+  // celint: hot-path end
 
   [[noreturn]] void throw_deadlock() {
     // Collect every category of stuck communication, sorted so the message

@@ -111,13 +111,15 @@ class EventPool {
     return slots_.capacity() * sizeof(EventPayload);
   }
 
+  // celint: hot-path begin -- slot recycling; growth only below reserve()
   std::uint32_t alloc() {
     if (free_head_ != kNil) {
       const std::uint32_t idx = free_head_;
       free_head_ = slots_[idx].op;
       return idx;
     }
-    slots_.emplace_back();
+    // celint: allow(hotpath-alloc) -- grows only past the graph-derived
+    slots_.emplace_back();  // reserve(); amortized, never steady-state
     return static_cast<std::uint32_t>(slots_.size() - 1);
   }
 
@@ -125,6 +127,7 @@ class EventPool {
     slots_[idx].op = free_head_;
     free_head_ = idx;
   }
+  // celint: hot-path end
 
   EventPayload& operator[](std::uint32_t idx) { return slots_[idx]; }
   const EventPayload& operator[](std::uint32_t idx) const {
@@ -198,10 +201,12 @@ class EventQueue {
     return bytes;
   }
 
+  // celint: hot-path begin -- heap ops within capacity reserved at build
   void push(goal::Rank rank, const HeapEntry& entry) {
     const auto r = static_cast<std::size_t>(rank);
     auto& shard = local_[r];
-    shard.push_back(entry);
+    // celint: allow(hotpath-alloc) -- within the graph-derived per-rank
+    shard.push_back(entry);  // reserve; the Debug assert below proves it
 #ifndef NDEBUG
     // The engine reserves a graph-derived bound on outstanding events per
     // rank; a reallocation here means that bound was wrong (see Run's
@@ -331,6 +336,7 @@ class EventQueue {
   }
 
   void top_insert(goal::Rank rank, const HeapEntry& head) {
+    // celint: allow(hotpath-alloc) -- top_ is reserved to ranks() entries
     top_.push_back(TopEntry{head.time, head.seq, rank});
     pos_[static_cast<std::size_t>(rank)] =
         static_cast<std::uint32_t>(top_.size() - 1);
@@ -346,6 +352,7 @@ class EventQueue {
       top_sift_down(0);
     }
   }
+  // celint: hot-path end
 
   std::vector<std::vector<HeapEntry>> local_;
   std::vector<TopEntry> top_;

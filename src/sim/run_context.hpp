@@ -68,6 +68,7 @@ class RunContext {
   /// True until a run has populated the context (or after clear()).
   bool empty() const { return state_ == nullptr; }
 
+  // celint: hot-path begin -- reuse seam: hands state over, never copies
   /// Heap bytes of engine state held resident for reuse; 0 when empty.
   std::size_t resident_bytes() const {
     return state_ == nullptr ? 0 : state_->resident_bytes();
@@ -83,6 +84,7 @@ class RunContext {
   void adopt(std::unique_ptr<detail::RunContextState> state) {
     state_ = std::move(state);
   }
+  // celint: hot-path end
 
   /// RAII guard asserting (Debug builds) that no two in-flight runs ever
   /// share one context — the no-shared-context invariant. Release builds

@@ -1,0 +1,104 @@
+// celog/util/annotations.hpp
+//
+// Thread-safety annotations and the annotated mutex vocabulary.
+//
+// Every mutex-protected member in src/ is declared with CELOG_GUARDED_BY,
+// and functions with locking preconditions carry CELOG_REQUIRES. The
+// annotations are checked twice, by independent tools:
+//   * clang's -Wthread-safety analysis (the CI `thread-safety` job builds
+//     with -Werror=thread-safety), which needs the macros to expand to the
+//     real attributes and needs the lock types themselves annotated as
+//     capabilities — hence util::Mutex / util::MutexLock below instead of
+//     bare std::mutex / std::lock_guard, which libstdc++ ships without
+//     attributes;
+//   * celint's lock-discipline pass (tools/celint/locks.cpp), which parses
+//     the same macros lexically and flags annotated members read or
+//     written in scopes with no lexical lock of the named mutex — so the
+//     discipline holds even for contributors building with gcc, where the
+//     macros expand to nothing.
+//
+// Usage rules (see DESIGN.md, "Static analysis & the determinism
+// contract"):
+//   * Guard declarations with CELOG_GUARDED_BY(mu) on the member, next to
+//     the mutex that protects it. Every util::Mutex member must guard at
+//     least one annotated member (celint flags an unreferenced mutex).
+//   * Lock with util::MutexLock (RAII); condition waits use
+//     std::condition_variable_any over the MutexLock with an explicit
+//     while loop — clang analyzes wait-predicate lambdas as separate
+//     functions, so predicate-lambda waits cannot see the held lock.
+//   * Functions that must be entered with a lock held declare
+//     CELOG_REQUIRES(mu) on their in-class declaration.
+//   * Deliberate unlocked access (publish/consume protocols) goes in a
+//     function marked CELOG_NO_THREAD_SAFETY_ANALYSIS with a comment
+//     explaining the protocol; celint treats such functions as exempt,
+//     mirroring clang.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define CELOG_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CELOG_THREAD_ANNOTATION(x)
+#endif
+
+#define CELOG_CAPABILITY(x) CELOG_THREAD_ANNOTATION(capability(x))
+#define CELOG_SCOPED_CAPABILITY CELOG_THREAD_ANNOTATION(scoped_lockable)
+#define CELOG_GUARDED_BY(x) CELOG_THREAD_ANNOTATION(guarded_by(x))
+#define CELOG_PT_GUARDED_BY(x) CELOG_THREAD_ANNOTATION(pt_guarded_by(x))
+#define CELOG_REQUIRES(...) \
+  CELOG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CELOG_ACQUIRE(...) \
+  CELOG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CELOG_RELEASE(...) \
+  CELOG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CELOG_EXCLUDES(...) CELOG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define CELOG_RETURN_CAPABILITY(x) CELOG_THREAD_ANNOTATION(lock_returned(x))
+#define CELOG_NO_THREAD_SAFETY_ANALYSIS \
+  CELOG_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace celog::util {
+
+/// std::mutex annotated as a thread-safety capability. Same semantics and
+/// layout cost as std::mutex; exists only so clang's analysis (and celint)
+/// can name it in GUARDED_BY/REQUIRES clauses.
+class CELOG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CELOG_ACQUIRE() { mu_.lock(); }
+  void unlock() CELOG_RELEASE() { mu_.unlock(); }
+
+ private:
+  // The wrapped std::mutex IS the capability; it guards the members its
+  // owner annotates, not members of this wrapper.
+  // celint: allow(lock-discipline) -- capability wrapper, not guarded state
+  std::mutex mu_;
+};
+
+/// RAII lock over util::Mutex, replacing std::lock_guard/std::unique_lock
+/// in annotated code. Satisfies BasicLockable (lock()/unlock()), so
+/// std::condition_variable_any::wait(MutexLock&) works — the pattern every
+/// condition wait in src/ uses.
+class CELOG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CELOG_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CELOG_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// BasicLockable seam for std::condition_variable_any: wait() unlocks
+  /// and relocks through these. Exempt from analysis — the capability is
+  /// considered continuously held across a wait (the same convention
+  /// clang's own mutex.h example uses for cv waits).
+  void lock() CELOG_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  void unlock() CELOG_NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace celog::util

@@ -4,7 +4,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -28,7 +27,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -39,15 +38,15 @@ void ThreadPool::worker_loop(unsigned slot) {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || generation_ > seen; });
+      MutexLock lock(mu_);
+      while (!stop_ && generation_ <= seen) work_cv_.wait(lock);
       if (stop_) return;
       seen = generation_;
       ++active_;
     }
     drain(slot);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--active_ == 0) done_cv_.notify_all();
     }
   }
@@ -61,7 +60,7 @@ void ThreadPool::drain(unsigned slot) {
     try {
       job_(i, slot);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!error_ || i < error_index_) {
         error_ = std::current_exception();
         error_index_ = i;
@@ -81,7 +80,7 @@ void ThreadPool::run_slotted(std::size_t n,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     CELOG_ASSERT_MSG(size_.load() == 0,
                      "ThreadPool sweeps must not nest or overlap");
     job_ = std::move(fn);
@@ -100,8 +99,8 @@ void ThreadPool::run_slotted(std::size_t n,
   // this one's bound.
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return active_ == 0; });
+    MutexLock lock(mu_);
+    while (active_ != 0) done_cv_.wait(lock);
     size_.store(0);
     job_ = nullptr;
     error = error_;

@@ -23,10 +23,11 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/annotations.hpp"
 
 namespace celog::util {
 
@@ -78,26 +79,30 @@ class ThreadPool {
                    std::function<void(std::size_t, unsigned)> fn);
   void worker_loop(unsigned slot);
   /// Claims indices until the current sweep is exhausted, running each on
-  /// `slot` (0 = the sweep's calling thread).
-  void drain(unsigned slot);
+  /// `slot` (0 = the sweep's calling thread). Reads job_ without mu_: the
+  /// publish under mu_ in run_slotted() happens-before every claim (the
+  /// generation_ handshake), and the clear waits for active_ == 0 — a
+  /// deliberate publish/consume protocol, so analysis is off here.
+  void drain(unsigned slot) CELOG_NO_THREAD_SAFETY_ANALYSIS;
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: a new sweep was published
-  std::condition_variable done_cv_;  // caller: all indices completed
-  std::uint64_t generation_ = 0;     // bumped once per sweep
-  bool stop_ = false;
+  Mutex mu_;
+  std::condition_variable_any work_cv_;  // workers: new sweep published
+  std::condition_variable_any done_cv_;  // caller: all indices completed
+  std::uint64_t generation_ CELOG_GUARDED_BY(mu_) = 0;  // bumped per sweep
+  bool stop_ CELOG_GUARDED_BY(mu_) = false;
 
   // Current sweep. job_ is written under mu_ before the sweep is published
   // (next_ reset + generation_ bump) and cleared only after every worker has
   // left drain(), so workers never observe a torn callable.
-  std::function<void(std::size_t, unsigned)> job_;
+  std::function<void(std::size_t, unsigned)> job_ CELOG_GUARDED_BY(mu_);
   std::atomic<std::size_t> next_{0};
   std::atomic<std::size_t> size_{0};
-  std::size_t active_ = 0;             // workers inside drain(); under mu_
-  std::exception_ptr error_;           // guarded by mu_
-  std::size_t error_index_ = 0;        // guarded by mu_
+  // Workers inside drain().
+  std::size_t active_ CELOG_GUARDED_BY(mu_) = 0;
+  std::exception_ptr error_ CELOG_GUARDED_BY(mu_);
+  std::size_t error_index_ CELOG_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace celog::util

@@ -14,11 +14,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "flow.hpp"
 
 #include "perf_json.hpp"
 #include "wall_clock.hpp"
@@ -412,11 +417,301 @@ TEST(CelintSuppression, KnownRuleNamesAreExactlyTheDocumentedSet) {
   for (const auto& r :
        {"nondet-rng", "nondet-clock", "nondet-env", "unordered-iter",
         "float-reduce", "pragma-once", "using-namespace", "global-state",
-        "missing-include"}) {
+        "missing-include", "det-taint", "lock-discipline", "hotpath-alloc"}) {
     EXPECT_TRUE(celint::is_known_rule(r)) << r;
   }
   EXPECT_FALSE(celint::is_known_rule("made-up"));
-  EXPECT_EQ(celint::rule_names().size(), 9u);
+  EXPECT_EQ(celint::rule_names().size(), 12u);
+}
+
+// ---------------------------------------------------------------------------
+// det-taint (cross-file flow analysis)
+// ---------------------------------------------------------------------------
+
+using Files = std::vector<std::pair<std::string, std::string>>;
+
+TEST(CelintDetTaint, PointerCastIntoResultFieldFires) {
+  const auto f = celint::lint_project(
+      {{"src/a.cpp",
+        "#include <cstdint>\n"
+        "struct SimResult { std::uint64_t digest = 0; };\n"
+        "SimResult make(void* p) {\n"
+        "  SimResult r;\n"
+        "  std::uint64_t k = reinterpret_cast<std::uint64_t>(p);\n"
+        "  r.digest = k;\n"
+        "  return r;\n"
+        "}\n"}});
+  ASSERT_TRUE(has_rule(f, "det-taint"));
+  bool names_field = false;
+  for (const auto& fi : f) {
+    if (fi.rule == "det-taint" &&
+        fi.message.find("'digest'") != std::string::npos) {
+      names_field = true;
+    }
+  }
+  EXPECT_TRUE(names_field);
+}
+
+TEST(CelintDetTaint, TaintCrossesFileBoundaryThroughCallEdge) {
+  // The source (pointer->integer cast) lives in a header; the sink (result
+  // field assignment) lives in a .cpp that only sees the function name.
+  const Files files = {
+      {"src/key.hpp",
+       "#pragma once\n"
+       "#include <cstdint>\n"
+       "inline std::uint64_t key_of(const void* p) {\n"
+       "  return reinterpret_cast<std::uint64_t>(p);\n"
+       "}\n"},
+      {"src/use.cpp",
+       "#include <cstdint>\n"
+       "#include \"key.hpp\"\n"
+       "struct SweepResult { std::uint64_t order_key = 0; };\n"
+       "SweepResult tag(const void* p) {\n"
+       "  SweepResult r;\n"
+       "  r.order_key = key_of(p);\n"
+       "  return r;\n"
+       "}\n"}};
+  const auto f = celint::lint_project(files);
+  ASSERT_TRUE(has_rule(f, "det-taint"));
+  bool in_use_cpp = false;
+  for (const auto& fi : f) {
+    if (fi.rule == "det-taint" && fi.file == "src/use.cpp") in_use_cpp = true;
+  }
+  EXPECT_TRUE(in_use_cpp) << "the finding fires at the cross-file sink";
+}
+
+TEST(CelintDetTaint, PointerKeyedOrderedContainerFires) {
+  const auto f = celint::lint_project(
+      {{"src/a.cpp",
+        "#include <map>\n"
+        "struct Op;\n"
+        "int count(const Op* op, std::map<const Op*, int>& m) {\n"
+        "  return m[op]++;\n"
+        "}\n"}});
+  EXPECT_TRUE(has_rule(f, "det-taint"));
+}
+
+TEST(CelintDetTaint, StdHashOverPointerFires) {
+  const auto f = celint::lint_project(
+      {{"src/a.cpp",
+        "#include <cstddef>\n"
+        "#include <functional>\n"
+        "struct Op;\n"
+        "std::size_t h(const Op* op) {\n"
+        "  return std::hash<const Op*>{}(op);\n"
+        "}\n"}});
+  EXPECT_TRUE(has_rule(f, "det-taint"));
+}
+
+TEST(CelintDetTaint, UntaintedResultAssignmentsAreFine) {
+  const auto f = celint::lint_project(
+      {{"src/a.cpp",
+        "#include <cstdint>\n"
+        "struct SimResult { std::uint64_t digest = 0; };\n"
+        "SimResult make(std::uint64_t seed) {\n"
+        "  SimResult r;\n"
+        "  std::uint64_t k = seed * 2654435761u;\n"
+        "  r.digest = k;\n"
+        "  return r;\n"
+        "}\n"}});
+  EXPECT_FALSE(has_rule(f, "det-taint"));
+}
+
+TEST(CelintDetTaint, OutsideSrcIsExemptAndAllowSuppresses) {
+  const std::string body =
+      "#include <cstdint>\n"
+      "struct SimResult { std::uint64_t digest = 0; };\n"
+      "SimResult make(void* p) {\n"
+      "  SimResult r;\n"
+      "  r.digest = reinterpret_cast<std::uint64_t>(p);\n"
+      "  return r;\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(celint::lint_project({{"bench/a.cpp", body}}),
+                        "det-taint"))
+      << "benches may hash pointers for their own bookkeeping";
+  const auto f = celint::lint_project(
+      {{"src/a.cpp",
+        "#include <cstdint>\n"
+        "struct SimResult { std::uint64_t digest = 0; };\n"
+        "SimResult make(void* p) {\n"
+        "  SimResult r;\n"
+        "  // celint: allow(det-taint) -- fixture: digest is debug-only\n"
+        "  r.digest = reinterpret_cast<std::uint64_t>(p);\n"
+        "  return r;\n"
+        "}\n"}});
+  EXPECT_FALSE(has_rule(f, "det-taint"));
+}
+
+// ---------------------------------------------------------------------------
+// lock-discipline
+// ---------------------------------------------------------------------------
+
+TEST(CelintLockDiscipline, UnlockedAccessToGuardedMemberFires) {
+  const auto f = celint::lint_project(
+      {{"src/c.hpp",
+        "#pragma once\n"
+        "#include \"util/annotations.hpp\"\n"
+        "namespace t {\n"
+        "class Counter {\n"
+        " public:\n"
+        "  void bump() { count_ += 1; }\n"
+        " private:\n"
+        "  celog::util::Mutex mu_;\n"
+        "  int count_ CELOG_GUARDED_BY(mu_) = 0;\n"
+        "};\n"
+        "}\n"}});
+  ASSERT_TRUE(has_rule(f, "lock-discipline"));
+  bool names_member = false;
+  for (const auto& fi : f) {
+    if (fi.rule == "lock-discipline" &&
+        fi.message.find("'count_'") != std::string::npos) {
+      names_member = true;
+    }
+  }
+  EXPECT_TRUE(names_member);
+}
+
+TEST(CelintLockDiscipline, LexicalLockAndRequiresAreClean) {
+  const auto f = celint::lint_project(
+      {{"src/c.hpp",
+        "#pragma once\n"
+        "#include \"util/annotations.hpp\"\n"
+        "namespace t {\n"
+        "class Counter {\n"
+        " public:\n"
+        "  void bump() {\n"
+        "    celog::util::MutexLock lock(mu_);\n"
+        "    count_ += 1;\n"
+        "  }\n"
+        "  void bump_locked() CELOG_REQUIRES(mu_) { count_ += 1; }\n"
+        " private:\n"
+        "  celog::util::Mutex mu_;\n"
+        "  int count_ CELOG_GUARDED_BY(mu_) = 0;\n"
+        "};\n"
+        "}\n"}});
+  EXPECT_FALSE(has_rule(f, "lock-discipline")) << "both access forms clean";
+}
+
+TEST(CelintLockDiscipline, CrossFileUseAgainstHeaderAnnotationFires) {
+  const auto f = celint::lint_project(
+      {{"src/c.hpp",
+        "#pragma once\n"
+        "#include \"util/annotations.hpp\"\n"
+        "class Counter {\n"
+        " public:\n"
+        "  void bump();\n"
+        " private:\n"
+        "  celog::util::Mutex mu_;\n"
+        "  int count_ CELOG_GUARDED_BY(mu_) = 0;\n"
+        "};\n"},
+       {"src/c.cpp",
+        "#include \"c.hpp\"\n"
+        "void Counter::bump() { count_ += 1; }\n"}});
+  ASSERT_TRUE(has_rule(f, "lock-discipline"));
+  EXPECT_EQ(f.front().file, "src/c.cpp");
+}
+
+TEST(CelintLockDiscipline, NoAnalysisFunctionsAndAllowsAreExempt) {
+  const auto f = celint::lint_project(
+      {{"src/c.hpp",
+        "#pragma once\n"
+        "#include \"util/annotations.hpp\"\n"
+        "class Counter {\n"
+        " public:\n"
+        "  void publish() CELOG_NO_THREAD_SAFETY_ANALYSIS { count_ = 1; }\n"
+        "  void peek() {\n"
+        "    // celint: allow(lock-discipline) -- fixture: racy stats read\n"
+        "    last_ = count_;\n"
+        "  }\n"
+        " private:\n"
+        "  celog::util::Mutex mu_;\n"
+        "  int count_ CELOG_GUARDED_BY(mu_) = 0;\n"
+        "  int last_ = 0;\n"
+        "};\n"}});
+  EXPECT_FALSE(has_rule(f, "lock-discipline"));
+}
+
+TEST(CelintLockDiscipline, UnannotatedMutexMemberFires) {
+  const auto f = celint::lint_project(
+      {{"src/c.hpp",
+        "#pragma once\n"
+        "#include \"util/annotations.hpp\"\n"
+        "class Counter {\n"
+        " private:\n"
+        "  celog::util::Mutex mu_;\n"
+        "  int count_ = 0;\n"
+        "};\n"}});
+  ASSERT_TRUE(has_rule(f, "lock-discipline"));
+  EXPECT_NE(f.front().message.find("guards no annotated member"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// hotpath-alloc
+// ---------------------------------------------------------------------------
+
+TEST(CelintHotpathAlloc, AllocationInsideRegionFires) {
+  const auto f = celint::lint_project(
+      {{"src/h.cpp",
+        "#include <vector>\n"
+        "// celint: hot-path begin -- fixture: event loop steady state\n"
+        "void step(std::vector<int>& v) { v.push_back(1); }\n"
+        "// celint: hot-path end\n"}});
+  ASSERT_TRUE(has_rule(f, "hotpath-alloc"));
+  EXPECT_NE(f.front().message.find(".push_back()"), std::string::npos);
+}
+
+TEST(CelintHotpathAlloc, OutsideRegionAndNonAllocatingInsideAreFine) {
+  const auto f = celint::lint_project(
+      {{"src/h.cpp",
+        "#include <vector>\n"
+        "void setup(std::vector<int>& v) { v.reserve(64); }\n"
+        "// celint: hot-path begin -- fixture: index arithmetic only\n"
+        "int step(const std::vector<int>& v, int i) { return v[i] + 1; }\n"
+        "// celint: hot-path end\n"}});
+  EXPECT_FALSE(has_rule(f, "hotpath-alloc"));
+}
+
+TEST(CelintHotpathAlloc, JustifiedAllowSuppressesInsideRegion) {
+  const auto f = celint::lint_project(
+      {{"src/h.cpp",
+        "#include <vector>\n"
+        "// celint: hot-path begin -- fixture: pool with amortized growth\n"
+        "void grow(std::vector<int>& v) {\n"
+        "  // celint: allow(hotpath-alloc) -- fixture: amortized free list\n"
+        "  v.push_back(1);\n"
+        "}\n"
+        "// celint: hot-path end\n"}});
+  EXPECT_FALSE(has_rule(f, "hotpath-alloc"));
+}
+
+TEST(CelintHotpathAlloc, MalformedRegionsAreBadRegionFindings) {
+  // begin without a reason, a never-closed region, and a stray end.
+  EXPECT_TRUE(has_rule(celint::lint_project(
+                           {{"src/h.cpp",
+                             "// celint: hot-path begin\n"
+                             "int x;\n"
+                             "// celint: hot-path end\n"}}),
+                       "bad-region"));
+  EXPECT_TRUE(has_rule(celint::lint_project(
+                           {{"src/h.cpp",
+                             "// celint: hot-path begin -- fixture: reason\n"
+                             "int x;\n"}}),
+                       "bad-region"));
+  EXPECT_TRUE(has_rule(celint::lint_project({{"src/h.cpp",
+                                              "int x;\n"
+                                              "// celint: hot-path end\n"}}),
+                       "bad-region"));
+}
+
+TEST(CelintHotpathAlloc, RegionMarkersAreNotBadSuppressions) {
+  const auto f = celint::lint_project(
+      {{"src/h.cpp",
+        "// celint: hot-path begin -- fixture: reason\n"
+        "int x;\n"
+        "// celint: hot-path end\n"}});
+  EXPECT_FALSE(has_rule(f, "bad-suppression"));
+  EXPECT_FALSE(has_rule(f, "unknown-rule"));
 }
 
 // ---------------------------------------------------------------------------
@@ -534,6 +829,149 @@ TEST(CelintRepoScan, BenchExamplesTestsReportZeroFindings) {
     ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
                   << f.message;
   }
+}
+
+std::vector<Finding> live_findings_for(const std::string& rule) {
+  const auto findings =
+      celint::run_check(CELINT_SOURCE_DIR, {"src", "bench", "tools"});
+  std::vector<Finding> out;
+  for (const auto& f : findings) {
+    if (f.rule == rule || f.rule == "bad-region") out.push_back(f);
+  }
+  return out;
+}
+
+TEST(CelintRepoScan, TaintScansClean) {
+  // The determinism-taint pass over the live tree: no pointer-derived
+  // value may reach a result field, the perf-JSON writer, or an ordered
+  // container key without a justified allow.
+  for (const auto& f : live_findings_for("det-taint")) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+TEST(CelintRepoScan, LocksScanClean) {
+  // Every CELOG_GUARDED_BY member in the live tree is accessed under its
+  // mutex (or an explicit CELOG_REQUIRES / NO_THREAD_SAFETY_ANALYSIS), and
+  // every mutex member guards at least one annotated member.
+  for (const auto& f : live_findings_for("lock-discipline")) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+TEST(CelintRepoScan, HotPathScansClean) {
+  // The marked hot-path regions (engine event loop, event queue/pool,
+  // match tables, RunContext reuse seam, generative decoder) allocate
+  // nothing unsuppressed, and every region marker parses.
+  for (const auto& f : live_findings_for("hotpath-alloc")) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+TEST(CelintRepoScan, LiveTreeCarriesTheAnnotationsAndRegions) {
+  // Guard against the flow passes going silently vacuous: the live scan
+  // must actually see guarded members in every annotated subsystem and at
+  // least the engine's hot regions. (Counts are lower bounds, not pins.)
+  namespace fs = std::filesystem;
+  std::size_t guarded = 0;
+  std::size_t hot_files = 0;
+  for (const char* rel :
+       {"src/util/thread_pool.hpp", "src/server/daemon.hpp",
+        "src/server/runner_registry.hpp", "src/core/experiment.cpp",
+        "src/sim/engine.cpp", "src/sim/event_queue.hpp",
+        "src/sim/match_table.hpp", "src/sim/run_context.hpp",
+        "src/goal/generative.cpp"}) {
+    std::ifstream in(fs::path(CELINT_SOURCE_DIR) / rel);
+    ASSERT_TRUE(in) << rel;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const auto facts = celint::flow::extract_facts(rel, buf.str());
+    guarded += facts.guarded.size();
+    if (!facts.meta.empty()) {
+      ADD_FAILURE() << rel << ": bad hot-path region markers";
+    }
+    std::ifstream again(fs::path(CELINT_SOURCE_DIR) / rel);
+    std::stringstream raw;
+    raw << again.rdbuf();
+    if (raw.str().find("celint: hot-path begin") != std::string::npos) {
+      ++hot_files;
+    }
+  }
+  EXPECT_GE(guarded, 13u) << "thread pool, daemon, registry, sweep caches";
+  EXPECT_GE(hot_files, 5u) << "engine, queue, tables, context, decoder";
+}
+
+// ---------------------------------------------------------------------------
+// Pass-1 cache: warm results must be byte-identical to cold
+// ---------------------------------------------------------------------------
+
+TEST(CelintCache, WarmRunMatchesColdRunAndSeesEdits) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(testing::TempDir()) / "celint_cache_root";
+  fs::remove_all(root);
+  fs::create_directories(root / "src");
+  const fs::path cache = root / "cache";
+  {
+    std::ofstream out(root / "src" / "a.cpp");
+    out << "#include <chrono>\n"
+           "auto t() { return std::chrono::steady_clock::now(); }\n";
+  }
+  const auto cold = celint::run_check(root.string(), {"src"}, "",
+                                      cache.string());
+  const auto warm = celint::run_check(root.string(), {"src"}, "",
+                                      cache.string());
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i].file, warm[i].file);
+    EXPECT_EQ(cold[i].line, warm[i].line);
+    EXPECT_EQ(cold[i].rule, warm[i].rule);
+    EXPECT_EQ(cold[i].message, warm[i].message);
+  }
+  EXPECT_TRUE(has_rule(cold, "nondet-clock"));
+  // An edit (different size) invalidates the entry: the fix is seen even
+  // with a warm cache.
+  {
+    std::ofstream out(root / "src" / "a.cpp");
+    out << "int t() { return 42; }\n";
+  }
+  const auto after = celint::run_check(root.string(), {"src"}, "",
+                                       cache.string());
+  EXPECT_FALSE(has_rule(after, "nondet-clock"));
+  fs::remove_all(root);
+}
+
+// ---------------------------------------------------------------------------
+// SARIF output
+// ---------------------------------------------------------------------------
+
+TEST(CelintSarif, ReportIsDeterministicAndWellFormed) {
+  const std::vector<Finding> findings = {
+      {"src/a.cpp", 3, "nondet-clock", "steady_clock in src"},
+      {"src/b.hpp", 7, "det-taint", "pointer \"taint\" \\ reaches sink"}};
+  const std::string report = celint::sarif_report(findings);
+  EXPECT_EQ(report, celint::sarif_report(findings)) << "byte-stable";
+  EXPECT_NE(report.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(report.find("\"name\": \"celint\""), std::string::npos);
+  EXPECT_NE(report.find("\"ruleId\": \"nondet-clock\""), std::string::npos);
+  EXPECT_NE(report.find("\"ruleId\": \"det-taint\""), std::string::npos);
+  EXPECT_NE(report.find("\"startLine\": 3"), std::string::npos);
+  // Strings are escaped, and no timestamps sneak in.
+  EXPECT_NE(report.find("\\\"taint\\\" \\\\ reaches"), std::string::npos);
+  EXPECT_EQ(report.find("invocation"), std::string::npos);
+  // Every rule (incl. the meta rules) is declared in the driver block.
+  for (const auto& r : celint::rule_names()) {
+    EXPECT_NE(report.find("\"id\": \"" + r + "\""), std::string::npos) << r;
+  }
+  EXPECT_NE(report.find("\"id\": \"bad-region\""), std::string::npos);
+}
+
+TEST(CelintSarif, EmptyFindingsStillProduceAValidRun) {
+  const std::string report = celint::sarif_report({});
+  EXPECT_NE(report.find("\"results\": [\n      ]"), std::string::npos);
+  EXPECT_NE(report.find("sarif-2.1.0"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

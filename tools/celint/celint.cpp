@@ -1,7 +1,7 @@
 // tools/celint/celint.cpp
 //
-// Rule engine implementation. Everything operates on a comment- and
-// string-stripped copy of the source (line structure preserved), except
+// Per-file rule engine implementation. Everything operates on a comment-
+// and string-stripped copy of the source (line structure preserved), except
 // suppression-annotation parsing and #include extraction, which read the
 // raw lines. The scanner is deliberately lexical — no AST, no compiler —
 // which keeps it dependency-free and fast (the whole tree lints in tens of
@@ -9,6 +9,11 @@
 // tracks variables declared in the same file, and global-state treats
 // `const char*` as const. The selftest pins both the hits and the
 // deliberate non-hits.
+//
+// The lexical substrate (partition lexer, tokenizer, suppression grammar)
+// lives in lex.hpp, shared with the project-wide flow passes; the flow
+// rules themselves (det-taint, lock-discipline, hotpath-alloc) live in
+// index.cpp / taint.cpp / locks.cpp / hotpath.cpp.
 #include "celint.hpp"
 
 #include <algorithm>
@@ -25,108 +30,23 @@
 #include <utility>
 #include <vector>
 
+#include "lex.hpp"
+
 namespace celint {
 
 namespace {
 
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool starts_with(std::string_view s, std::string_view prefix) {
-  return s.substr(0, prefix.size()) == prefix;
-}
-
-bool ends_with(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() &&
-         s.substr(s.size() - suffix.size()) == suffix;
-}
-
-/// Splits content into lines (no trailing '\n'); line N is lines[N-1].
-std::vector<std::string_view> split_lines(std::string_view content) {
-  std::vector<std::string_view> lines;
-  std::size_t start = 0;
-  while (start <= content.size()) {
-    const std::size_t nl = content.find('\n', start);
-    if (nl == std::string_view::npos) {
-      lines.push_back(content.substr(start));
-      break;
-    }
-    lines.push_back(content.substr(start, nl - start));
-    start = nl + 1;
-  }
-  return lines;
-}
-
-// ---------------------------------------------------------------------------
-// Tokenizer (identifiers + single-character punctuation, with line numbers)
-// ---------------------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  int line = 0;
-  bool ident = false;
-};
-
-/// Tokenizes stripped source. Numbers come out as ident=false tokens so
-/// declaration heuristics can require *named* identifiers. Preprocessor
-/// lines (including continuations) are skipped entirely: macro bodies may
-/// contain unbalanced braces that would corrupt the scope tracker.
-std::vector<Token> tokenize(std::string_view stripped) {
-  std::vector<Token> toks;
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = stripped.size();
-  bool at_line_start = true;
-  while (i < n) {
-    const char c = stripped[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      at_line_start = true;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      ++i;
-      continue;
-    }
-    if (at_line_start && c == '#') {
-      // Skip the whole preprocessor directive, honoring \-continuations.
-      while (i < n) {
-        const std::size_t nl = stripped.find('\n', i);
-        if (nl == std::string_view::npos) {
-          i = n;
-          break;
-        }
-        std::size_t last = nl;
-        while (last > i &&
-               std::isspace(static_cast<unsigned char>(stripped[last - 1])) !=
-                   0) {
-          --last;
-        }
-        const bool continued = last > i && stripped[last - 1] == '\\';
-        i = nl + 1;
-        ++line;
-        if (!continued) break;
-      }
-      at_line_start = true;
-      continue;
-    }
-    at_line_start = false;
-    if (is_ident_char(c)) {
-      std::size_t j = i;
-      while (j < n && is_ident_char(stripped[j])) ++j;
-      const bool is_number = std::isdigit(static_cast<unsigned char>(c)) != 0;
-      toks.push_back(
-          {std::string(stripped.substr(i, j - i)), line, !is_number});
-      i = j;
-      continue;
-    }
-    toks.push_back({std::string(1, c), line, false});
-    ++i;
-  }
-  return toks;
-}
+using lex::boundary_match;
+using lex::compute_line_starts;
+using lex::direct_includes;
+using lex::ends_with;
+using lex::is_ident_char;
+using lex::line_of;
+using lex::parse_suppressions;
+using lex::split_lines;
+using lex::starts_with;
+using lex::Token;
+using lex::tokenize;
 
 // ---------------------------------------------------------------------------
 // Banned-token tables
@@ -175,51 +95,6 @@ constexpr std::array kFloatReduceBanned = {
     BannedToken{"std::execution::parallel_unsequenced_policy",
                 "parallel STL execution policy"},
 };
-
-/// True when `pattern` occurs at `pos` with identifier boundaries on both
-/// sides (a ':' on the left also counts as a boundary breaker so that
-/// "std::execution::par" does not re-match inside its own longer forms).
-bool boundary_match(std::string_view text, std::size_t pos,
-                    std::string_view pattern) {
-  if (pos > 0) {
-    const char before = text[pos - 1];
-    if (is_ident_char(before)) return false;
-    // Reject a partial match of a longer qualified name, e.g. matching
-    // "rand" inside "my::rand_like" is already excluded by the right-hand
-    // check; a ':' before a pattern that itself starts with an identifier
-    // is fine ("std::rand" should match bare "rand"? No — the std:: forms
-    // are listed explicitly where needed, and flagging qualified uses too
-    // is exactly what we want), so ':' is accepted as a boundary.
-  }
-  const std::size_t end = pos + pattern.size();
-  if (end < text.size() && pattern.back() != '(' &&
-      is_ident_char(text[end])) {
-    return false;
-  }
-  return true;
-}
-
-template <std::size_t N>
-void scan_banned(std::string_view stripped,
-                 const std::vector<std::size_t>& line_starts,
-                 const std::array<BannedToken, N>& table,
-                 const std::string& rule, const std::string& sanction_note,
-                 std::vector<Finding>* out);
-
-int line_of(const std::vector<std::size_t>& line_starts, std::size_t pos) {
-  // line_starts[k] = offset of line k+1; binary search for pos.
-  const auto it =
-      std::upper_bound(line_starts.begin(), line_starts.end(), pos);
-  return static_cast<int>(it - line_starts.begin());
-}
-
-std::vector<std::size_t> compute_line_starts(std::string_view text) {
-  std::vector<std::size_t> starts = {0};
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    if (text[i] == '\n') starts.push_back(i + 1);
-  }
-  return starts;
-}
 
 template <std::size_t N>
 void scan_banned(std::string_view stripped,
@@ -385,6 +260,7 @@ const std::map<std::string, std::string>& std_symbol_headers() {
       {"once_flag", "mutex"},
       {"thread", "thread"},
       {"condition_variable", "condition_variable"},
+      {"condition_variable_any", "condition_variable"},
       {"atomic", "atomic"},
       {"atomic_bool", "atomic"},
       {"atomic_flag", "atomic"},
@@ -442,40 +318,6 @@ const std::map<std::string, std::string>& bare_symbol_headers() {
       {"SCNu64", "cinttypes"},
   };
   return kMap;
-}
-
-/// Direct includes of a file, by raw-line scan: both the angle/quote name
-/// ("vector", "util/time.hpp") for every `#include` directive.
-std::set<std::string> direct_includes(
-    const std::vector<std::string_view>& raw_lines) {
-  std::set<std::string> incs;
-  for (const auto line : raw_lines) {
-    std::size_t i = 0;
-    while (i < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
-      ++i;
-    }
-    if (i >= line.size() || line[i] != '#') continue;
-    ++i;
-    while (i < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
-      ++i;
-    }
-    if (!starts_with(line.substr(i), "include")) continue;
-    i += 7;
-    while (i < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
-      ++i;
-    }
-    if (i >= line.size()) continue;
-    const char open = line[i];
-    const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
-    if (close == '\0') continue;
-    const std::size_t end = line.find(close, i + 1);
-    if (end == std::string_view::npos) continue;
-    incs.insert(std::string(line.substr(i + 1, end - i - 1)));
-  }
-  return incs;
 }
 
 void scan_missing_includes(std::string_view stripped,
@@ -728,217 +570,18 @@ void scan_scopes(const std::vector<Token>& toks, bool header, bool check_state,
   }
 }
 
-// ---------------------------------------------------------------------------
-// Suppression annotations
-// ---------------------------------------------------------------------------
-
-struct Suppressions {
-  // line -> rules allowed on that line.
-  std::map<int, std::set<std::string>> allowed;
-  std::vector<Finding> meta_findings;  // unknown-rule / bad-suppression
-};
-
-Suppressions parse_suppressions(
-    const std::vector<std::string_view>& raw_lines) {
-  Suppressions s;
-  for (std::size_t li = 0; li < raw_lines.size(); ++li) {
-    const std::string_view line = raw_lines[li];
-    const int lineno = static_cast<int>(li) + 1;
-    const std::size_t tag = line.find("celint:");
-    if (tag == std::string_view::npos) continue;
-    std::string_view rest = line.substr(tag + 7);
-    while (!rest.empty() &&
-           std::isspace(static_cast<unsigned char>(rest.front())) != 0) {
-      rest.remove_prefix(1);
-    }
-    if (!starts_with(rest, "allow(")) {
-      s.meta_findings.push_back(
-          {"", lineno, "bad-suppression",
-           "malformed celint annotation: expected "
-           "'celint: allow(<rule>) -- <justification>'"});
-      continue;
-    }
-    rest.remove_prefix(6);
-    const std::size_t close = rest.find(')');
-    if (close == std::string_view::npos) {
-      s.meta_findings.push_back({"", lineno, "bad-suppression",
-                                 "unterminated allow(<rule>) annotation"});
-      continue;
-    }
-    const std::string rule(rest.substr(0, close));
-    rest.remove_prefix(close + 1);
-    if (!is_known_rule(rule)) {
-      s.meta_findings.push_back(
-          {"", lineno, "unknown-rule",
-           "allow(" + rule + ") names no celint rule (see --list-rules)"});
-      continue;
-    }
-    while (!rest.empty() &&
-           std::isspace(static_cast<unsigned char>(rest.front())) != 0) {
-      rest.remove_prefix(1);
-    }
-    bool justified = false;
-    if (starts_with(rest, "--")) {
-      rest.remove_prefix(2);
-      while (!rest.empty() &&
-             std::isspace(static_cast<unsigned char>(rest.front())) != 0) {
-        rest.remove_prefix(1);
-      }
-      justified = !rest.empty();
-    }
-    if (!justified) {
-      s.meta_findings.push_back(
-          {"", lineno, "bad-suppression",
-           "allow(" + rule +
-               ") lacks a justification: write 'celint: allow(" + rule +
-               ") -- <why this exception is sound>'"});
-      continue;
-    }
-    // The annotation covers its own line and the line directly below it.
-    s.allowed[lineno].insert(rule);
-    s.allowed[lineno + 1].insert(rule);
-  }
-  return s;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Public API
 // ---------------------------------------------------------------------------
 
-namespace {
-
-/// Shared lexer behind strip_comments_and_strings() and comments_only():
-/// keep_code=true blanks comments/strings and keeps code; keep_code=false
-/// keeps only comment text (suppression annotations live in comments, so
-/// `celint::` qualifiers in code or annotation examples quoted in string
-/// literals never parse as annotations).
-std::string lex_partition(std::string_view content, bool keep_code) {
-  std::string out;
-  out.reserve(content.size());
-  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
-  State state = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-  std::size_t i = 0;
-  const std::size_t n = content.size();
-  // Tracks whether the identifier-ish word currently being scanned started
-  // with a digit: a ' after such a word is a digit separator (1'000'000 or
-  // 0xFF'FF), while a ' after a letter word is a literal prefix (L'a').
-  bool word_started_with_digit = false;
-  bool in_word = false;
-  while (i < n) {
-    const char c = content[i];
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
-          state = State::kLine;
-          out += "  ";
-          i += 2;
-        } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
-          state = State::kBlock;
-          out += "  ";
-          i += 2;
-        } else if (c == '"' && i > 0 && content[i - 1] == 'R') {
-          // Raw string literal: R"delim( ... )delim"
-          std::size_t p = i + 1;
-          raw_delim.clear();
-          while (p < n && content[p] != '(') raw_delim += content[p++];
-          state = State::kRaw;
-          raw_delim = ")" + raw_delim + "\"";
-          const std::size_t consumed = (p < n ? p + 1 : n) - i;
-          out.append(consumed, ' ');
-          i += consumed;
-        } else if (c == '"') {
-          state = State::kString;
-          out += ' ';
-          ++i;
-        } else if (c == '\'' && in_word && word_started_with_digit) {
-          // Digit separator (1'000'000), not a char literal.
-          out += keep_code ? '\'' : ' ';
-          ++i;
-        } else if (c == '\'') {
-          state = State::kChar;
-          out += ' ';
-          ++i;
-        } else {
-          if (is_ident_char(c)) {
-            if (!in_word) {
-              word_started_with_digit =
-                  std::isdigit(static_cast<unsigned char>(c)) != 0;
-            }
-            in_word = true;
-          } else {
-            in_word = false;
-          }
-          out += keep_code ? c : (c == '\n' ? '\n' : ' ');
-          ++i;
-        }
-        break;
-      case State::kLine:
-        if (c == '\n') {
-          state = State::kCode;
-          out += '\n';
-        } else {
-          out += keep_code ? ' ' : c;
-        }
-        ++i;
-        break;
-      case State::kBlock:
-        if (c == '*' && i + 1 < n && content[i + 1] == '/') {
-          state = State::kCode;
-          out += "  ";
-          i += 2;
-        } else {
-          out += c == '\n' ? '\n' : (keep_code ? ' ' : c);
-          ++i;
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && i + 1 < n) {
-          out += "  ";
-          i += 2;
-        } else if (c == '"') {
-          state = State::kCode;
-          out += ' ';
-          ++i;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-          ++i;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && i + 1 < n) {
-          out += "  ";
-          i += 2;
-        } else if (c == '\'') {
-          state = State::kCode;
-          out += ' ';
-          ++i;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-          ++i;
-        }
-        break;
-      case State::kRaw:
-        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
-          state = State::kCode;
-          for (std::size_t k = 0; k < raw_delim.size(); ++k) out += ' ';
-          i += raw_delim.size();
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-          ++i;
-        }
-        break;
-    }
-  }
-  return out;
+std::string strip_comments_and_strings(std::string_view content) {
+  return lex::lex_partition(content, /*keep_code=*/true);
 }
 
-}  // namespace
-
-std::string strip_comments_and_strings(std::string_view content) {
-  return lex_partition(content, /*keep_code=*/true);
+std::string comments_only(std::string_view content) {
+  return lex::lex_partition(content, /*keep_code=*/false);
 }
 
 FileClass classify(std::string_view rel_path) {
@@ -958,9 +601,9 @@ FileClass classify(std::string_view rel_path) {
 
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> kRules = {
-      "float-reduce",   "global-state",  "missing-include", "nondet-clock",
-      "nondet-env",     "nondet-rng",    "pragma-once",     "unordered-iter",
-      "using-namespace"};
+      "det-taint",      "float-reduce",  "global-state",  "hotpath-alloc",
+      "lock-discipline", "missing-include", "nondet-clock", "nondet-env",
+      "nondet-rng",     "pragma-once",   "unordered-iter", "using-namespace"};
   return kRules;
 }
 
@@ -1040,8 +683,8 @@ std::vector<Finding> lint_file(std::string_view rel_path,
   // Apply suppressions; annotation problems become findings of their own.
   // Annotations are parsed from comment text only, so `celint::` qualifiers
   // in code and annotation examples quoted in string literals stay inert.
-  const std::string comment_text = lex_partition(content, /*keep_code=*/false);
-  const Suppressions sup = parse_suppressions(split_lines(comment_text));
+  const std::string comment_text = comments_only(content);
+  const lex::Suppressions sup = parse_suppressions(split_lines(comment_text));
   std::vector<Finding> kept;
   for (auto& f : findings) {
     const auto it = sup.allowed.find(f.line);
@@ -1113,37 +756,6 @@ std::vector<std::string> compdb_files(const std::string& compdb_path,
     }
   }
   return {files.begin(), files.end()};
-}
-
-std::vector<Finding> run_check(const std::string& root,
-                               const std::vector<std::string>& paths,
-                               const std::string& compdb_path) {
-  std::set<std::string> files;
-  for (auto& f : collect_files(root, paths)) files.insert(std::move(f));
-  if (!compdb_path.empty()) {
-    // The compdb lists every TU the build compiles; keep only those under
-    // the requested paths so `--check src` does not drag in tools/.
-    for (auto& f : compdb_files(compdb_path, root)) {
-      for (const auto& p : paths) {
-        if (f == p || starts_with(f, p + "/")) {
-          files.insert(std::move(f));
-          break;
-        }
-      }
-    }
-  }
-  std::vector<Finding> all;
-  for (const auto& rel : files) {
-    std::ifstream in(std::filesystem::path(root) / rel);
-    if (!in) continue;
-    std::stringstream buf;
-    buf << in.rdbuf();
-    const std::string content = buf.str();
-    auto fs = lint_file(rel, content);
-    all.insert(all.end(), std::make_move_iterator(fs.begin()),
-               std::make_move_iterator(fs.end()));
-  }
-  return all;
 }
 
 }  // namespace celint

@@ -1,6 +1,6 @@
 // tools/celint/celint.hpp
 //
-// celint: the determinism-contract linter.
+// celint — the determinism-contract linter.
 //
 // The simulator's headline guarantee — identical (graph, seed, config)
 // inputs produce bit-identical SimResults — is enforced at runtime by the
@@ -12,7 +12,7 @@
 // contract: a small, zero-dependency scanner with project-specific rules,
 // each suppressible only via an inline, justified annotation:
 //
-//   // celint: allow(<rule>) -- <justification>
+//   `celint: allow(<rule>) -- <justification>`
 //
 // placed on the offending line or the line directly above it. The
 // annotation must name a known rule and carry a non-empty justification
@@ -44,6 +44,27 @@
 //                    is not included directly (self-containment insurance
 //                    backing the header_selfcontained build target).
 //
+// Flow-aware rules (two-pass: pass 1 extracts per-file facts, pass 2 joins
+// them project-wide; see flow.hpp):
+//   det-taint        a value derived from a pointer address (pointer->int
+//                    cast, std::hash<T*>, pointer-keyed ordered container)
+//                    reaches a SimResult field, a perf-JSON writer
+//                    (PerfJson::metric/cell), or a container ordering key
+//                    in src/ — taint propagates through assignments and
+//                    call returns, across files.
+//   lock-discipline  a member annotated CELOG_GUARDED_BY(mu) is read or
+//                    written in a scope with no lexical lock of `mu` (and
+//                    no CELOG_REQUIRES(mu) on the enclosing function), or
+//                    a util::Mutex/std::mutex member guards no annotated
+//                    member at all. Mirrors clang -Wthread-safety, which
+//                    cross-checks the same src/util/annotations.hpp macros.
+//   hotpath-alloc    an allocation/growth construct (new, make_unique/
+//                    shared, push_back/emplace_back/resize/reserve,
+//                    std::function, string building) inside a
+//                    `// celint: hot-path begin -- <why>` ... `end` region.
+//                    Unbalanced region markers are `bad-region` meta
+//                    findings (non-suppressible, like bad-suppression).
+//
 // The engine is a library (linked by the CLI in main.cpp and by
 // tests/celint_selftest.cpp) operating on in-memory buffers, so every rule
 // is unit-testable against fixture snippets without touching the tree.
@@ -51,6 +72,7 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace celint {
@@ -98,6 +120,24 @@ std::vector<Finding> lint_file(std::string_view rel_path,
 /// selftest.
 std::string strip_comments_and_strings(std::string_view content);
 
+/// The complement of strip_comments_and_strings(): keeps only comment
+/// text, line structure preserved. Suppression annotations and hot-path
+/// region markers are parsed from this partition, so annotation-shaped
+/// text in code or string literals stays inert.
+std::string comments_only(std::string_view content);
+
+/// Lints a set of in-memory files as one project: per-file rules plus the
+/// cross-file flow passes (det-taint, lock-discipline, hotpath-alloc).
+/// `files` maps repo-relative path -> content. Findings are sorted by
+/// (file, line, rule). This is the fixture-facing twin of run_check().
+std::vector<Finding> lint_project(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+/// Renders findings as a SARIF 2.1.0 log (one run, one rule table drawn
+/// from rule_names() plus the meta rules). Deterministic: no timestamps,
+/// no absolute paths, findings in input order.
+std::string sarif_report(const std::vector<Finding>& findings);
+
 /// Recursively collects lintable files (.hpp/.h/.hh/.cpp/.cc/.cxx) under
 /// `root`/`path` for each requested path (a file path is taken as-is).
 /// Returned paths are root-relative with forward slashes, sorted and
@@ -115,10 +155,15 @@ std::vector<std::string> compdb_files(const std::string& compdb_path,
 /// Lints every file from collect_files(root, paths), unioned with the
 /// compdb file list when `compdb_path` is non-empty (the compdb names the
 /// translation units the build actually compiles; the directory walk adds
-/// headers, which compile databases omit). Returns findings sorted by
-/// (file, line).
+/// headers, which compile databases omit), then runs the cross-file flow
+/// passes over the whole set. Returns findings sorted by (file, line,
+/// rule). When `cache_dir` is non-empty, per-file pass-1 results (classic
+/// findings + extracted flow facts) are cached there keyed by mtime+size,
+/// so warm rescans skip re-reading unchanged sources; cold and warm runs
+/// produce identical findings.
 std::vector<Finding> run_check(const std::string& root,
                                const std::vector<std::string>& paths,
-                               const std::string& compdb_path = "");
+                               const std::string& compdb_path = "",
+                               const std::string& cache_dir = "");
 
 }  // namespace celint

@@ -1,0 +1,138 @@
+// tools/celint/flow.hpp
+//
+// The two-pass flow analysis contract. Pass 1 (index.cpp) runs once per
+// file and is pure in the file's content — it extracts FileFacts, a
+// compact, serializable summary of everything the cross-file passes need:
+// dataflow edges, taint sources/sinks, lock annotations and lock-scoped
+// member uses, hot-path allocation hits, and the suppression map. Pass 2
+// (taint.cpp / locks.cpp / hotpath.cpp) is pure in the vector of facts:
+// it joins them project-wide (taint fixpoint over call edges, REQUIRES
+// resolution against definitions in other files, guarded-member lookups
+// through the include graph) and emits findings. Purity on both sides is
+// what makes the --cache mtime+size cache sound: a cached FileFacts is
+// byte-equivalent to re-extraction, so cold and warm runs are identical.
+//
+// Name encoding in Flow/Sink rhs lists (and Flow lhs):
+//   "v:x"  value of variable or parameter x (file-local namespace)
+//   "m:x"  value of member x (matched against SimResult field names)
+//   "c:f"  return value of a call to f (project-global namespace)
+//   "f:f"  (lhs only) the return value slot of function f
+//   "T"    an immediate taint source (pointer->integer cast) in the rhs
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "celint.hpp"
+
+namespace celint::flow {
+
+/// One assignment-like dataflow edge: lhs receives the join of rhs.
+struct Flow {
+  std::string lhs;
+  std::vector<std::string> rhs;  // capped at 8 entries per edge
+  int line = 0;
+};
+
+/// A determinism-sensitive consumer of values.
+struct Sink {
+  std::string kind;    // "perf-json" | "ordering-key"
+  std::string detail;  // method or container variable name, for messages
+  std::vector<std::string> rhs;
+  int line = 0;
+};
+
+/// `Type member CELOG_GUARDED_BY(mutex);` inside class `cls`.
+struct GuardedMember {
+  std::string cls;
+  std::string member;
+  std::string mutex;
+  int line = 0;
+};
+
+/// A mutex-typed data member declaration (util::Mutex or std::mutex).
+struct MutexMember {
+  std::string cls;
+  std::string member;
+  int line = 0;
+};
+
+/// `ret fn(...) CELOG_REQUIRES(mutex);` declared inside class `cls`.
+/// Joined cross-file against member uses in fn's out-of-line definition.
+struct RequiresClause {
+  std::string cls;
+  std::string fn;
+  std::string mutex;
+};
+
+/// One read/write of a data member inside a function body, with the
+/// lexically held locks at that point. `cls` is the class the member is
+/// believed to belong to ("" when only an object access `o.x` was seen);
+/// `fn_cls`/`fn` identify the enclosing function for REQUIRES/nocheck
+/// resolution.
+struct MemberUse {
+  std::string cls;
+  std::string fn_cls;
+  std::string member;
+  std::string fn;
+  std::vector<std::string> held;  // mutex names; "*" = analysis disabled
+  int line = 0;
+};
+
+/// A banned construct inside a `// celint: hot-path` region.
+struct HotHit {
+  int line = 0;
+  std::string what;
+};
+
+/// Everything pass 2 needs from one file. Serializable (see
+/// serialize_facts) so pass 1 results can be cached.
+struct FileFacts {
+  std::string path;
+  bool in_src = false;
+  std::vector<std::string> includes;
+  std::vector<Flow> flows;
+  std::vector<Sink> sinks;
+  /// Findings that need no propagation (pointer-keyed ordered container,
+  /// std::hash<T*>): the source *is* the sink. Unsuppressed here; the
+  /// taint pass applies `allowed`.
+  std::vector<Finding> taint_direct;
+  /// Field names of classes whose name ends in "Result" (SimResult and
+  /// kin); unioned project-wide before sink evaluation.
+  std::vector<std::string> result_fields;
+  std::vector<GuardedMember> guarded;
+  std::vector<MutexMember> mutexes;
+  std::vector<RequiresClause> requires_decls;
+  std::vector<MemberUse> uses;
+  /// "Cls::fn" keys of functions declared CELOG_NO_THREAD_SAFETY_ANALYSIS.
+  std::set<std::string> nocheck_fns;
+  std::vector<HotHit> hot_hits;
+  /// bad-region meta findings (non-suppressible).
+  std::vector<Finding> meta;
+  /// line -> rules allowed there, from the justified-suppression grammar.
+  /// (Suppression *grammar* errors are reported by lint_file, not here.)
+  std::map<int, std::set<std::string>> allowed;
+};
+
+/// Pass 1: extract facts from one file. Pure in (rel_path, content).
+FileFacts extract_facts(std::string_view rel_path, std::string_view content);
+
+/// Versioned, line-oriented text round-trip for the --cache store.
+/// deserialize_facts returns false (and leaves *out unspecified) on any
+/// version or shape mismatch — callers fall back to re-extraction.
+std::string serialize_facts(const FileFacts& facts);
+bool deserialize_facts(std::string_view text, FileFacts* out);
+
+/// Pass 2, one family each. Each applies per-file suppressions, fills
+/// Finding::file, and returns findings sorted by (file, line, rule).
+std::vector<Finding> taint_findings(const std::vector<FileFacts>& all);
+std::vector<Finding> lock_findings(const std::vector<FileFacts>& all);
+std::vector<Finding> hotpath_findings(const std::vector<FileFacts>& all);
+
+/// All three families, concatenated and re-sorted.
+std::vector<Finding> flow_findings(const std::vector<FileFacts>& all);
+
+}  // namespace celint::flow

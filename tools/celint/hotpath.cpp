@@ -1,0 +1,59 @@
+// tools/celint/hotpath.cpp
+//
+// Pass 2, hot-path allocation gate: pass 1 already resolved the
+// `// celint: hot-path begin -- <why>` ... `end` regions and recorded the
+// allocation/growth constructs inside them (hot_hits) plus any marker
+// grammar errors (meta bad-region findings). This pass just renders them:
+// hits become hotpath-alloc findings unless a justified allow covers the
+// line; bad-region findings are meta and non-suppressible, mirroring
+// bad-suppression. The gate turns PR 4's and PR 7's zero-alloc/no-realloc
+// steady-state invariants — previously Debug-only asserts — into a static
+// check that runs on every lint.
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "celint.hpp"
+#include "flow.hpp"
+
+namespace celint::flow {
+
+namespace {
+
+bool suppressed(const FileFacts& f, int line, const std::string& rule) {
+  const auto it = f.allowed.find(line);
+  return it != f.allowed.end() && it->second.count(rule) != 0;
+}
+
+}  // namespace
+
+std::vector<Finding> hotpath_findings(const std::vector<FileFacts>& all) {
+  std::vector<Finding> out;
+  for (const auto& f : all) {
+    for (const auto& m : f.meta) {
+      Finding g = m;
+      g.file = f.path;
+      out.push_back(std::move(g));
+    }
+    for (const auto& h : f.hot_hits) {
+      if (suppressed(f, h.line, "hotpath-alloc")) continue;
+      out.push_back(
+          {f.path, h.line, "hotpath-alloc",
+           h.what +
+               " inside a hot-path region: steady-state paths must not "
+               "allocate (preallocate in setup, or suppress with a "
+               "justified allow if this growth is deliberate and "
+               "amortized)"});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  return out;
+}
+
+}  // namespace celint::flow

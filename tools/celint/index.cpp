@@ -1,0 +1,793 @@
+// tools/celint/index.cpp
+//
+// Pass 1 of the flow analysis: per-file fact extraction (symbol index,
+// approximate dataflow edges, lock annotations and lock-scoped member
+// uses, hot-path region hits), plus the orchestration that joins pass 1
+// and pass 2: run_check() with the mtime+size cache, lint_project() for
+// in-memory fixture sets, and the SARIF renderer.
+//
+// The extractor is lexical, like the per-file rules: a scope tracker
+// ('n'amespace / 't'ype / 'f'unction / 'b'lock) over the stripped token
+// stream, with statement buffers classified at '{' and ';'. Documented
+// heuristics (pinned by the selftest):
+//   * member detection keys on the `name_` convention for same-class
+//     accesses and on explicit `obj.member` / `this->member` accesses —
+//     bare accesses to underscore-less members are left to clang's
+//     -Wthread-safety, which checks the same annotations semantically;
+//   * lock scopes are lexical: a util::MutexLock/lock_guard declaration
+//     holds its mutex until the enclosing brace closes;
+//   * call edges are by bare function name, project-global.
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "celint.hpp"
+#include "flow.hpp"
+#include "lex.hpp"
+
+namespace celint::flow {
+
+namespace {
+
+using lex::direct_includes;
+using lex::ends_with;
+using lex::parse_suppressions;
+using lex::split_lines;
+using lex::starts_with;
+using lex::Token;
+using lex::tokenize;
+
+bool is_annotation_macro(const std::string& t) {
+  return starts_with(t, "CELOG_") &&
+         t.find_first_not_of("ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_") ==
+             std::string::npos;
+}
+
+/// Removes CELOG_* annotation macro invocations (including their argument
+/// lists) from a statement so declaration parsing sees plain C++ — a
+/// `class CELOG_CAPABILITY("mutex") Mutex {` must classify as a type, not
+/// a function.
+std::vector<Token> strip_annotation_macros(const std::vector<Token>& stmt) {
+  std::vector<Token> out;
+  for (std::size_t i = 0; i < stmt.size(); ++i) {
+    if (stmt[i].ident && is_annotation_macro(stmt[i].text)) {
+      if (i + 1 < stmt.size() && stmt[i + 1].text == "(") {
+        int depth = 0;
+        ++i;
+        for (; i < stmt.size(); ++i) {
+          if (stmt[i].text == "(") ++depth;
+          if (stmt[i].text == ")" && --depth == 0) break;
+        }
+      }
+      continue;
+    }
+    out.push_back(stmt[i]);
+  }
+  return out;
+}
+
+/// Tokens never treated as value identifiers when collecting rhs names.
+const std::set<std::string>& value_keywords() {
+  static const std::set<std::string> kSkip = {
+      "if",       "else",     "for",      "while",    "do",
+      "switch",   "case",     "return",   "break",    "continue",
+      "new",      "delete",   "sizeof",   "static_cast",
+      "reinterpret_cast",     "const_cast",           "dynamic_cast",
+      "const",    "constexpr", "static",  "auto",     "void",
+      "bool",     "char",     "int",      "long",     "short",
+      "float",    "double",   "unsigned", "signed",   "true",
+      "false",    "nullptr",  "this",     "std",      "struct",
+      "class",    "typename", "template", "noexcept", "throw",
+      "operator", "inline",   "mutable",  "using",    "namespace",
+      "size_t",   "uint64_t", "uint32_t", "uint16_t", "uint8_t",
+      "int64_t",  "int32_t",  "int16_t",  "int8_t",   "uintptr_t",
+      "intptr_t", "ptrdiff_t"};
+  return kSkip;
+}
+
+/// Integer destination types that make a reinterpret_cast a taint source.
+const std::set<std::string>& int_cast_targets() {
+  static const std::set<std::string> kInts = {
+      "uintptr_t", "intptr_t", "size_t",   "uint64_t", "uint32_t",
+      "uint16_t",  "uint8_t",  "int64_t",  "int32_t",  "unsigned",
+      "long"};
+  return kInts;
+}
+
+/// True when [from, to) contains `reinterpret_cast<IntType ...`.
+bool contains_ptr_cast(const std::vector<Token>& toks, std::size_t from,
+                       std::size_t to) {
+  for (std::size_t j = from; j < to; ++j) {
+    if (toks[j].text != "reinterpret_cast") continue;
+    if (j + 1 >= to || toks[j + 1].text != "<") continue;
+    const std::size_t stop = std::min(to, j + 8);
+    for (std::size_t k = j + 2; k < stop; ++k) {
+      if (toks[k].text == ">") break;
+      if (toks[k].ident && int_cast_targets().count(toks[k].text) != 0) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Encodes the value identifiers in [from, to) as rhs names: "c:f" for a
+/// call, "m:x" for a member read (obj access or `name_` convention),
+/// "v:x" otherwise, plus "T" when the range contains a pointer->int cast.
+void collect_rhs(const std::vector<Token>& toks, std::size_t from,
+                 std::size_t to, std::vector<std::string>* rhs) {
+  if (contains_ptr_cast(toks, from, to)) rhs->push_back("T");
+  for (std::size_t j = from; j < to && rhs->size() < 8; ++j) {
+    if (!toks[j].ident) continue;
+    const std::string& t = toks[j].text;
+    if (value_keywords().count(t) != 0) continue;
+    if (is_annotation_macro(t)) continue;
+    const std::string next = j + 1 < to ? toks[j + 1].text : "";
+    const std::string prev = j > from ? toks[j - 1].text : "";
+    const std::string prev2 = j > from + 1 ? toks[j - 2].text : "";
+    if (next == "(") {
+      rhs->push_back("c:" + t);
+    } else if (prev == "." || (prev == ">" && prev2 == "-") ||
+               (ends_with(t, "_") && t.size() > 1)) {
+      rhs->push_back("m:" + t);
+    } else {
+      rhs->push_back("v:" + t);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path region parsing (from the comment partition)
+// ---------------------------------------------------------------------------
+
+struct HotRegion {
+  int begin = 0;
+  int end = 0;
+};
+
+/// Parses `// celint: hot-path begin -- <why>` ... `// celint: hot-path
+/// end` pairs from comment lines. Marker grammar errors (missing reason,
+/// nested or unbalanced markers, junk after `hot-path`) become bad-region
+/// meta findings — non-suppressible, like bad-suppression.
+std::vector<HotRegion> parse_hot_regions(
+    const std::vector<std::string_view>& comment_lines,
+    std::vector<Finding>* meta) {
+  std::vector<HotRegion> regions;
+  int open_line = 0;
+  for (std::size_t li = 0; li < comment_lines.size(); ++li) {
+    const std::string_view line = comment_lines[li];
+    const int lineno = static_cast<int>(li) + 1;
+    // Anchored like suppressions (lex::annotation_text): a marker is the
+    // whole comment, so prose mentioning the grammar stays inert.
+    std::string_view rest = lex::annotation_text(line);
+    if (!starts_with(rest, "hot-path")) continue;
+    rest.remove_prefix(8);
+    while (!rest.empty() &&
+           std::isspace(static_cast<unsigned char>(rest.front())) != 0) {
+      rest.remove_prefix(1);
+    }
+    if (starts_with(rest, "begin")) {
+      rest.remove_prefix(5);
+      while (!rest.empty() &&
+             std::isspace(static_cast<unsigned char>(rest.front())) != 0) {
+        rest.remove_prefix(1);
+      }
+      bool justified = false;
+      if (starts_with(rest, "--")) {
+        rest.remove_prefix(2);
+        while (!rest.empty() &&
+               std::isspace(static_cast<unsigned char>(rest.front())) != 0) {
+          rest.remove_prefix(1);
+        }
+        justified = !rest.empty();
+      }
+      if (!justified) {
+        meta->push_back(
+            {"", lineno, "bad-region",
+             "hot-path begin lacks a reason: write 'celint: hot-path begin "
+             "-- <what makes this a steady-state path>'"});
+        continue;
+      }
+      if (open_line != 0) {
+        meta->push_back({"", lineno, "bad-region",
+                         "nested hot-path begin (previous region opened on "
+                         "line " +
+                             std::to_string(open_line) + " is still open)"});
+        continue;
+      }
+      open_line = lineno;
+    } else if (starts_with(rest, "end")) {
+      if (open_line == 0) {
+        meta->push_back({"", lineno, "bad-region",
+                         "hot-path end with no matching begin"});
+        continue;
+      }
+      regions.push_back({open_line, lineno});
+      open_line = 0;
+    } else {
+      meta->push_back({"", lineno, "bad-region",
+                       "malformed hot-path marker: expected 'celint: "
+                       "hot-path begin -- <reason>' or 'celint: hot-path "
+                       "end'"});
+    }
+  }
+  if (open_line != 0) {
+    meta->push_back({"", open_line, "bad-region",
+                     "hot-path region opened here is never closed"});
+  }
+  return regions;
+}
+
+/// Scans the token stream for allocation/growth constructs inside hot
+/// regions. Member-call constructs (`x.push_back(`) require the call
+/// shape; `new`/`make_unique`/`make_shared`/`std::function`/string
+/// building match as bare tokens.
+void scan_hot_tokens(const std::vector<Token>& toks,
+                     const std::vector<HotRegion>& regions, FileFacts* facts) {
+  if (regions.empty()) return;
+  const auto in_region = [&](int line) {
+    for (const auto& r : regions) {
+      if (line >= r.begin && line <= r.end) return true;
+    }
+    return false;
+  };
+  static const std::set<std::string> kGrowthCalls = {
+      "push_back", "emplace_back", "resize",   "reserve",
+      "emplace",   "append",       "to_string"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tk = toks[i];
+    if (!tk.ident || !in_region(tk.line)) continue;
+    const std::string prev = i > 0 ? toks[i - 1].text : "";
+    const std::string prev2 = i > 1 ? toks[i - 2].text : "";
+    const std::string next = i + 1 < toks.size() ? toks[i + 1].text : "";
+    if (tk.text == "new" && prev != "." && prev != ">") {
+      facts->hot_hits.push_back({tk.line, "new"});
+    } else if (tk.text == "make_unique" || tk.text == "make_shared") {
+      facts->hot_hits.push_back({tk.line, "std::" + tk.text});
+    } else if (kGrowthCalls.count(tk.text) != 0 &&
+               (prev == "." || (prev == ">" && prev2 == "-")) &&
+               next == "(") {
+      facts->hot_hits.push_back({tk.line, "." + tk.text + "()"});
+    } else if (tk.text == "function" && prev == ":") {
+      facts->hot_hits.push_back({tk.line, "std::function"});
+    } else if ((tk.text == "ostringstream" || tk.text == "stringstream") &&
+               prev == ":") {
+      facts->hot_hits.push_back({tk.line, "std::" + tk.text});
+    } else if (tk.text == "string" && prev == ":" &&
+               (next == "(" || next == "{" ||
+                (i + 1 < toks.size() && toks[i + 1].ident))) {
+      facts->hot_hits.push_back({tk.line, "std::string construction"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The scope/statement walker
+// ---------------------------------------------------------------------------
+
+struct Scope {
+  char kind = 'b';  // 'n'amespace / 't'ype / 'f'unction / 'b'lock
+  std::string name;
+  std::string fn_cls;      // 'f' only: owning class ("" for free functions)
+  bool nocheck = false;    // 'f': CELOG_NO_THREAD_SAFETY_ANALYSIS
+  bool ctor_dtor = false;  // 'f': constructor/destructor of fn_cls
+};
+
+struct Walker {
+  const std::vector<Token>& toks;
+  FileFacts* facts;
+
+  std::vector<Scope> scopes;
+  std::vector<Token> stmt;
+  struct Held {
+    std::size_t depth;
+    std::string mutex;
+  };
+  std::vector<Held> held;
+  std::set<std::string> ordered_vars;
+
+  Walker(const std::vector<Token>& t, FileFacts* f) : toks(t), facts(f) {}
+
+  const Scope* current_fn() const {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == 'f') return &*it;
+    }
+    return nullptr;
+  }
+
+  std::string current_class() const {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == 't') return it->name;
+    }
+    return "";
+  }
+
+  bool at_decl_scope() const {
+    return scopes.empty() || scopes.back().kind == 'n' ||
+           scopes.back().kind == 't';
+  }
+
+  std::vector<std::string> held_names() const {
+    std::vector<std::string> v;
+    v.reserve(held.size());
+    for (const auto& h : held) v.push_back(h.mutex);
+    return v;
+  }
+
+  /// First identifier inside the paren group that follows stmt[j] (the
+  /// argument of an annotation macro).
+  std::string macro_arg(const std::vector<Token>& s, std::size_t j) const {
+    if (j + 1 >= s.size() || s[j + 1].text != "(") return "";
+    int depth = 0;
+    for (std::size_t k = j + 1; k < s.size(); ++k) {
+      if (s[k].text == "(") ++depth;
+      if (s[k].text == ")" && --depth == 0) break;
+      if (depth >= 1 && s[k].ident) return s[k].text;
+    }
+    return "";
+  }
+
+  void run() {
+    prescan_ordered_containers();
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& tk = toks[i];
+      if (tk.text == "{") {
+        classify_open();
+        continue;
+      }
+      if (tk.text == "}") {
+        if (!scopes.empty()) scopes.pop_back();
+        const std::size_t d = scopes.size();
+        held.erase(std::remove_if(held.begin(), held.end(),
+                                  [d](const Held& h) { return h.depth > d; }),
+                   held.end());
+        stmt.clear();
+        continue;
+      }
+      if (tk.text == ";") {
+        process_semicolon();
+        continue;
+      }
+      detect_use(i);
+      detect_sink(i);
+      if (stmt.size() < 96) stmt.push_back(tk);
+    }
+  }
+
+  void prescan_ordered_containers() {
+    static const std::set<std::string> kOrdered = {"map", "set", "multimap",
+                                                   "multiset"};
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!toks[i].ident || i == 0 || toks[i - 1].text != ":") continue;
+      if (i + 1 >= toks.size() || toks[i + 1].text != "<") continue;
+      const bool is_ordered = kOrdered.count(toks[i].text) != 0;
+      const bool is_hash = toks[i].text == "hash";
+      if (!is_ordered && !is_hash) continue;
+      int depth = 0;
+      bool in_first = true;
+      bool first_has_star = false;
+      bool any_star = false;
+      std::size_t j = i + 1;
+      bool balanced = false;
+      for (; j < toks.size(); ++j) {
+        const std::string& t = toks[j].text;
+        if (t == "<") {
+          ++depth;
+        } else if (t == ">") {
+          if (--depth == 0) {
+            ++j;
+            balanced = true;
+            break;
+          }
+        } else if (t == "," && depth == 1) {
+          in_first = false;
+        } else if (t == "*") {
+          any_star = true;
+          if (in_first && depth >= 1) first_has_star = true;
+        } else if (t == ";" || t == "{" || t == "}") {
+          break;  // not a template argument list (comparison chain)
+        }
+      }
+      if (!balanced) continue;
+      if (is_hash) {
+        if (any_star) {
+          facts->taint_direct.push_back(
+              {"", toks[i].line, "det-taint",
+               "std::hash over a pointer type: the hash is the address "
+               "and varies across runs"});
+        }
+        continue;
+      }
+      if (first_has_star) {
+        facts->taint_direct.push_back(
+            {"", toks[i].line, "det-taint",
+             "ordered container keyed by a pointer type: iteration order "
+             "depends on addresses and varies across runs; key by a stable "
+             "id instead"});
+      }
+      std::size_t k = j;
+      while (k < toks.size() &&
+             (toks[k].text == "&" || toks[k].text == "*")) {
+        ++k;
+      }
+      if (k < toks.size() && toks[k].ident) ordered_vars.insert(toks[k].text);
+    }
+  }
+
+  void classify_open() {
+    const int line = stmt.empty() ? 0 : stmt.back().line;
+    const std::vector<Token> f = strip_annotation_macros(stmt);
+    const auto contains = [&](std::string_view w) {
+      for (const auto& t : f) {
+        if (t.text == w) return true;
+      }
+      return false;
+    };
+    Scope s;
+    const bool paren = contains("(");
+    if (contains("namespace") && !paren) {
+      s.kind = 'n';
+      for (const auto& t : f) {
+        if (t.ident && t.text != "namespace" && t.text != "inline") {
+          s.name = t.text;  // last ident wins: `namespace a::b` -> b
+        }
+      }
+    } else if ((contains("class") || contains("struct") ||
+                contains("union") || contains("enum")) &&
+               !paren) {
+      s.kind = 't';
+      bool seen_kw = false;
+      for (const auto& t : f) {
+        if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+            t.text == "enum") {
+          seen_kw = true;
+          continue;
+        }
+        if (seen_kw && t.ident && t.text != "final" && t.text != "alignas") {
+          s.name = t.text;
+          break;
+        }
+      }
+    } else if (paren && at_decl_scope()) {
+      s.kind = 'f';
+      std::size_t p = f.size();
+      for (std::size_t j = 0; j < f.size(); ++j) {
+        if (f[j].text == "(") {
+          p = j;
+          break;
+        }
+      }
+      std::string name;
+      std::string cls;
+      if (p < f.size() && p > 0 && f[p - 1].ident) {
+        name = f[p - 1].text;
+        std::size_t q = p - 1;  // index of the name token
+        if (q > 0 && f[q - 1].text == "~") {
+          name = "~" + name;
+          --q;
+        }
+        if (q >= 3 && f[q - 1].text == ":" && f[q - 2].text == ":" &&
+            f[q - 3].ident) {
+          cls = f[q - 3].text;
+        }
+      }
+      if (cls.empty()) cls = current_class();
+      s.name = name;
+      s.fn_cls = cls;
+      s.ctor_dtor =
+          !cls.empty() && (name == cls || name == "~" + cls);
+      for (std::size_t j = 0; j < stmt.size(); ++j) {
+        if (stmt[j].text == "CELOG_NO_THREAD_SAFETY_ANALYSIS") {
+          s.nocheck = true;
+          facts->nocheck_fns.insert(cls + "::" + name);
+        } else if (stmt[j].text == "CELOG_REQUIRES") {
+          const std::string mu = macro_arg(stmt, j);
+          if (!mu.empty()) {
+            // Held for the whole function body being opened.
+            held.push_back({scopes.size() + 1, mu});
+            facts->requires_decls.push_back({cls, name, mu});
+          }
+        }
+      }
+      (void)line;
+    }
+    scopes.push_back(s);
+    stmt.clear();
+  }
+
+  void process_semicolon() {
+    if (stmt.empty()) return;
+    if (!scopes.empty() && scopes.back().kind == 't') {
+      process_member_decl(scopes.back());
+    } else {
+      process_code_stmt();
+    }
+    stmt.clear();
+  }
+
+  void process_member_decl(const Scope& owner) {
+    const std::string& cls = owner.name;
+    std::size_t first_paren = stmt.size();
+    for (std::size_t j = 0; j < stmt.size(); ++j) {
+      if (stmt[j].text == "(") {
+        first_paren = j;
+        break;
+      }
+    }
+    for (std::size_t j = 0; j < stmt.size(); ++j) {
+      const std::string& t = stmt[j].text;
+      if (t == "CELOG_GUARDED_BY" || t == "CELOG_PT_GUARDED_BY") {
+        const std::string member =
+            (j > 0 && stmt[j - 1].ident) ? stmt[j - 1].text : "";
+        const std::string mutex = macro_arg(stmt, j);
+        if (!member.empty() && !mutex.empty()) {
+          facts->guarded.push_back({cls, member, mutex, stmt[j].line});
+        }
+      } else if (t == "CELOG_REQUIRES") {
+        const std::string fn = (first_paren < stmt.size() && first_paren > 0 &&
+                                stmt[first_paren - 1].ident)
+                                   ? stmt[first_paren - 1].text
+                                   : "";
+        const std::string mutex = macro_arg(stmt, j);
+        if (!fn.empty() && !mutex.empty()) {
+          facts->requires_decls.push_back({cls, fn, mutex});
+        }
+      } else if (t == "CELOG_NO_THREAD_SAFETY_ANALYSIS") {
+        const std::string fn = (first_paren < stmt.size() && first_paren > 0 &&
+                                stmt[first_paren - 1].ident)
+                                   ? stmt[first_paren - 1].text
+                                   : "";
+        if (!fn.empty()) facts->nocheck_fns.insert(cls + "::" + fn);
+      }
+    }
+    const std::vector<Token> f = strip_annotation_macros(stmt);
+    const auto contains = [&](std::string_view w) {
+      for (const auto& t : f) {
+        if (t.text == w) return true;
+      }
+      return false;
+    };
+    if (contains("using") || contains("typedef") || contains("friend") ||
+        contains("operator") || contains("return") || contains("static")) {
+      return;
+    }
+    const bool has_paren = contains("(");
+    // Mutex-typed data member: `util::Mutex mu_;` / `std::mutex mu_;`
+    // (references and pointers to mutexes are not capabilities here).
+    if (!has_paren && !contains("&") && !contains("*") && f.size() >= 2 &&
+        f.back().ident && f.back().text != "Mutex" &&
+        f.back().text != "mutex" &&
+        (contains("Mutex") || contains("mutex"))) {
+      facts->mutexes.push_back({cls, f.back().text, f.back().line});
+    }
+    // Result-struct fields, for the taint sink on `result.field = ...`.
+    if (ends_with(cls, "Result") && !has_paren && !f.empty()) {
+      std::size_t eq = f.size();
+      for (std::size_t j = 0; j < f.size(); ++j) {
+        if (f[j].text == "=") {
+          eq = j;
+          break;
+        }
+      }
+      std::string field;
+      if (eq < f.size()) {
+        if (eq > 0 && f[eq - 1].ident) field = f[eq - 1].text;
+      } else if (f.back().ident) {
+        field = f.back().text;
+      }
+      if (!field.empty() && value_keywords().count(field) == 0) {
+        facts->result_fields.push_back(field);
+      }
+    }
+  }
+
+  void process_code_stmt() {
+    const int line = stmt.front().line;
+    // Lock acquisition: RAII lock declaration holds every mutex named in
+    // its constructor arguments until the enclosing brace closes.
+    static const std::set<std::string> kLockTypes = {
+        "MutexLock", "lock_guard", "unique_lock", "scoped_lock"};
+    static const std::set<std::string> kLockArgSkip = {
+        "std", "adopt_lock", "defer_lock", "try_to_lock", "mutex"};
+    for (std::size_t j = 0; j < stmt.size(); ++j) {
+      if (!stmt[j].ident || kLockTypes.count(stmt[j].text) == 0) continue;
+      // Find the constructor parens: first '(' at or after j (template
+      // arguments use <>, so this is the argument list).
+      std::size_t p = j + 1;
+      while (p < stmt.size() && stmt[p].text != "(") ++p;
+      int depth = 0;
+      for (; p < stmt.size(); ++p) {
+        if (stmt[p].text == "(") ++depth;
+        if (stmt[p].text == ")" && --depth == 0) break;
+        if (depth >= 1 && stmt[p].ident &&
+            kLockArgSkip.count(stmt[p].text) == 0) {
+          held.push_back({scopes.size(), stmt[p].text});
+        }
+      }
+      break;
+    }
+    // Return-value dataflow edge (project-global by function name).
+    const Scope* fn = current_fn();
+    if (stmt.front().text == "return" && fn != nullptr && !fn->name.empty()) {
+      Flow fl;
+      fl.lhs = "f:" + fn->name;
+      fl.line = line;
+      collect_rhs(stmt, 1, stmt.size(), &fl.rhs);
+      if (!fl.rhs.empty()) facts->flows.push_back(fl);
+      return;
+    }
+    // Assignment dataflow edge.
+    std::size_t eq = stmt.size();
+    int depth = 0;
+    for (std::size_t j = 0; j < stmt.size(); ++j) {
+      const std::string& t = stmt[j].text;
+      if (t == "(" || t == "[") ++depth;
+      if (t == ")" || t == "]") --depth;
+      if (depth != 0 || t != "=") continue;
+      const std::string prev = j > 0 ? stmt[j - 1].text : "";
+      const std::string next = j + 1 < stmt.size() ? stmt[j + 1].text : "";
+      if (prev == "=" || next == "=" || prev == "<" || prev == ">" ||
+          prev == "!") {
+        continue;  // ==, !=, <=, >= (and <<=/>>=, conservatively skipped)
+      }
+      eq = j;
+      break;
+    }
+    if (eq >= stmt.size() || eq == 0) return;
+    std::size_t lend = eq;  // one past the lhs expression
+    static const std::set<std::string> kCompound = {"+", "-", "*", "/",
+                                                    "%", "&", "|", "^"};
+    if (kCompound.count(stmt[eq - 1].text) != 0) --lend;
+    if (lend == 0) return;
+    std::size_t k = lend - 1;
+    if (stmt[k].text == "]") {
+      int bd = 0;
+      while (true) {
+        if (stmt[k].text == "]") ++bd;
+        if (stmt[k].text == "[" && --bd == 0) break;
+        if (k == 0) return;
+        --k;
+      }
+      if (k == 0) return;
+      --k;
+    }
+    if (!stmt[k].ident) return;
+    const std::string lhsname = stmt[k].text;
+    const std::string prevl = k > 0 ? stmt[k - 1].text : "";
+    const std::string prevl2 = k > 1 ? stmt[k - 2].text : "";
+    const bool member = prevl == "." || (prevl == ">" && prevl2 == "-") ||
+                        (ends_with(lhsname, "_") && lhsname.size() > 1);
+    Flow fl;
+    fl.lhs = (member ? "m:" : "v:") + lhsname;
+    fl.line = line;
+    collect_rhs(stmt, eq + 1, stmt.size(), &fl.rhs);
+    if (!fl.rhs.empty()) facts->flows.push_back(fl);
+  }
+
+  void detect_use(std::size_t i) {
+    const Scope* fn = current_fn();
+    if (fn == nullptr || fn->ctor_dtor) return;
+    const Token& tk = toks[i];
+    if (!tk.ident) return;
+    const std::string next = i + 1 < toks.size() ? toks[i + 1].text : "";
+    if (next == "(") return;  // method call, not a data-member access
+    const std::string prev = i > 0 ? toks[i - 1].text : "";
+    const std::string prev2 = i > 1 ? toks[i - 2].text : "";
+    const bool dot = prev == ".";
+    const bool arrow = prev == ">" && prev2 == "-";
+    std::string cls;
+    bool is_use = false;
+    if (dot || arrow) {
+      const std::string base =
+          dot ? (i >= 2 ? toks[i - 2].text : "")
+              : (i >= 3 ? toks[i - 3].text : "");
+      cls = base == "this" ? fn->fn_cls : "";
+      is_use = true;
+    } else if (ends_with(tk.text, "_") && tk.text.size() > 1 &&
+               !fn->fn_cls.empty()) {
+      cls = fn->fn_cls;
+      is_use = true;
+    }
+    if (!is_use) return;
+    MemberUse u;
+    u.cls = cls;
+    u.fn_cls = fn->fn_cls;
+    u.member = tk.text;
+    u.fn = fn->name;
+    u.held = fn->nocheck ? std::vector<std::string>{"*"} : held_names();
+    u.line = tk.line;
+    facts->uses.push_back(std::move(u));
+  }
+
+  void detect_sink(std::size_t i) {
+    const Token& tk = toks[i];
+    if (!tk.ident) return;
+    const std::string next = i + 1 < toks.size() ? toks[i + 1].text : "";
+    // Perf-JSON writer: any `.metric(` / `.cell(` / `.time_cell(` call.
+    if ((tk.text == "metric" || tk.text == "cell" ||
+         tk.text == "time_cell") &&
+        i > 0 && toks[i - 1].text == "." && next == "(") {
+      Sink sk;
+      sk.kind = "perf-json";
+      sk.detail = tk.text;
+      sk.line = tk.line;
+      const std::size_t close = find_close_paren(i + 1);
+      collect_rhs(toks, i + 2, close, &sk.rhs);
+      if (!sk.rhs.empty()) facts->sinks.push_back(std::move(sk));
+      return;
+    }
+    // Ordering keys of tracked std::map/set variables.
+    if (ordered_vars.count(tk.text) == 0) return;
+    if (next == "[") {
+      std::size_t close = i + 1;
+      int depth = 0;
+      for (; close < toks.size(); ++close) {
+        if (toks[close].text == "[") ++depth;
+        if (toks[close].text == "]" && --depth == 0) break;
+      }
+      Sink sk;
+      sk.kind = "ordering-key";
+      sk.detail = tk.text;
+      sk.line = tk.line;
+      collect_rhs(toks, i + 2, close, &sk.rhs);
+      if (!sk.rhs.empty()) facts->sinks.push_back(std::move(sk));
+    } else if (next == "." && i + 3 < toks.size() &&
+               (toks[i + 2].text == "insert" ||
+                toks[i + 2].text == "emplace" ||
+                toks[i + 2].text == "try_emplace") &&
+               toks[i + 3].text == "(") {
+      Sink sk;
+      sk.kind = "ordering-key";
+      sk.detail = tk.text;
+      sk.line = tk.line;
+      const std::size_t close = find_close_paren(i + 3);
+      collect_rhs(toks, i + 4, close, &sk.rhs);
+      if (!sk.rhs.empty()) facts->sinks.push_back(std::move(sk));
+    }
+  }
+
+  std::size_t find_close_paren(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t j = open; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) return j;
+    }
+    return toks.size();
+  }
+};
+
+}  // namespace
+
+FileFacts extract_facts(std::string_view rel_path, std::string_view content) {
+  FileFacts facts;
+  facts.path = std::string(rel_path);
+  facts.in_src = starts_with(rel_path, "src/");
+  const std::string stripped = strip_comments_and_strings(content);
+  const auto raw_lines = split_lines(content);
+  for (const auto& inc : direct_includes(raw_lines)) {
+    facts.includes.push_back(inc);
+  }
+  const std::string comment_text = comments_only(content);
+  const auto comment_lines = split_lines(comment_text);
+  // Suppression-grammar errors are lint_file's to report; pass 1 keeps
+  // only the allow map so they are never double-counted.
+  facts.allowed = parse_suppressions(comment_lines).allowed;
+  const auto regions = parse_hot_regions(comment_lines, &facts.meta);
+  const auto toks = tokenize(stripped);
+  scan_hot_tokens(toks, regions, &facts);
+  Walker walker(toks, &facts);
+  walker.run();
+  return facts;
+}
+
+}  // namespace celint::flow

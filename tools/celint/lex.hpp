@@ -1,0 +1,416 @@
+// tools/celint/lex.hpp
+//
+// The lexical substrate shared by celint's per-file rule engine
+// (celint.cpp) and the project-wide flow passes (index.cpp / taint.cpp /
+// locks.cpp / hotpath.cpp): the comment/string-aware partition lexer, the
+// identifier tokenizer, line bookkeeping, raw #include extraction, and the
+// justified-suppression grammar. Header-only so both sides see the exact
+// same lexing — a divergence here would make the flow passes disagree with
+// the classic rules about what is code and what is comment.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "celint.hpp"
+
+namespace celint::lex {
+
+inline bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+inline bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+inline bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Splits content into lines (no trailing '\n'); line N is lines[N-1].
+inline std::vector<std::string_view> split_lines(std::string_view content) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= content.size()) {
+    const std::size_t nl = content.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(content.substr(start));
+      break;
+    }
+    lines.push_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer (identifiers + single-character punctuation, with line numbers)
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool ident = false;
+};
+
+/// Tokenizes stripped source. Numbers come out as ident=false tokens so
+/// declaration heuristics can require *named* identifiers. Preprocessor
+/// lines (including continuations) are skipped entirely: macro bodies may
+/// contain unbalanced braces that would corrupt the scope tracker.
+inline std::vector<Token> tokenize(std::string_view stripped) {
+  std::vector<Token> toks;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = stripped.size();
+  bool at_line_start = true;
+  while (i < n) {
+    const char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (at_line_start && c == '#') {
+      // Skip the whole preprocessor directive, honoring \-continuations.
+      while (i < n) {
+        const std::size_t nl = stripped.find('\n', i);
+        if (nl == std::string_view::npos) {
+          i = n;
+          break;
+        }
+        std::size_t last = nl;
+        while (last > i &&
+               std::isspace(static_cast<unsigned char>(stripped[last - 1])) !=
+                   0) {
+          --last;
+        }
+        const bool continued = last > i && stripped[last - 1] == '\\';
+        i = nl + 1;
+        ++line;
+        if (!continued) break;
+      }
+      at_line_start = true;
+      continue;
+    }
+    at_line_start = false;
+    if (is_ident_char(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(stripped[j])) ++j;
+      const bool is_number = std::isdigit(static_cast<unsigned char>(c)) != 0;
+      toks.push_back(
+          {std::string(stripped.substr(i, j - i)), line, !is_number});
+      i = j;
+      continue;
+    }
+    toks.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+  return toks;
+}
+
+inline int line_of(const std::vector<std::size_t>& line_starts,
+                   std::size_t pos) {
+  // line_starts[k] = offset of line k+1; binary search for pos.
+  const auto it =
+      std::upper_bound(line_starts.begin(), line_starts.end(), pos);
+  return static_cast<int>(it - line_starts.begin());
+}
+
+inline std::vector<std::size_t> compute_line_starts(std::string_view text) {
+  std::vector<std::size_t> starts = {0};
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+/// True when `pattern` occurs at `pos` with identifier boundaries on both
+/// sides (a ':' on the left also counts as a boundary breaker so that
+/// "std::execution::par" does not re-match inside its own longer forms).
+inline bool boundary_match(std::string_view text, std::size_t pos,
+                           std::string_view pattern) {
+  if (pos > 0) {
+    const char before = text[pos - 1];
+    if (is_ident_char(before)) return false;
+  }
+  const std::size_t end = pos + pattern.size();
+  if (end < text.size() && pattern.back() != '(' &&
+      is_ident_char(text[end])) {
+    return false;
+  }
+  return true;
+}
+
+/// Direct includes of a file, by raw-line scan: both the angle/quote name
+/// ("vector", "util/time.hpp") for every `#include` directive.
+inline std::set<std::string> direct_includes(
+    const std::vector<std::string_view>& raw_lines) {
+  std::set<std::string> incs;
+  for (const auto line : raw_lines) {
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] != '#') continue;
+    ++i;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+    if (!starts_with(line.substr(i), "include")) continue;
+    i += 7;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+    if (i >= line.size()) continue;
+    const char open = line[i];
+    const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+    if (close == '\0') continue;
+    const std::size_t end = line.find(close, i + 1);
+    if (end == std::string_view::npos) continue;
+    incs.insert(std::string(line.substr(i + 1, end - i - 1)));
+  }
+  return incs;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression annotations
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+  // line -> rules allowed on that line.
+  std::map<int, std::set<std::string>> allowed;
+  std::vector<Finding> meta_findings;  // unknown-rule / bad-suppression
+};
+
+/// An annotation must BE the comment, not merely appear in one: the line
+/// (from the comment partition, so code is already blanked) may carry only
+/// whitespace and comment delimiters before `celint:`, and the colon must
+/// be followed by whitespace. Prose that mentions the grammar mid-sentence
+/// — or a `celint::` namespace qualifier in a banner — never parses as an
+/// annotation; quote grammar examples in backticks to keep them inert.
+inline std::string_view annotation_text(std::string_view line) {
+  std::size_t i = 0;
+  while (i < line.size() &&
+         (std::isspace(static_cast<unsigned char>(line[i])) != 0 ||
+          line[i] == '/' || line[i] == '*')) {
+    ++i;
+  }
+  std::string_view rest = line.substr(i);
+  if (!starts_with(rest, "celint:")) return {};
+  rest.remove_prefix(7);
+  if (rest.empty() ||
+      std::isspace(static_cast<unsigned char>(rest.front())) == 0) {
+    return {};
+  }
+  while (!rest.empty() &&
+         std::isspace(static_cast<unsigned char>(rest.front())) != 0) {
+    rest.remove_prefix(1);
+  }
+  return rest.empty() ? std::string_view{"\0", 1} : rest;
+}
+
+inline Suppressions parse_suppressions(
+    const std::vector<std::string_view>& raw_lines) {
+  Suppressions s;
+  for (std::size_t li = 0; li < raw_lines.size(); ++li) {
+    const std::string_view line = raw_lines[li];
+    const int lineno = static_cast<int>(li) + 1;
+    std::string_view rest = annotation_text(line);
+    if (rest.empty()) continue;
+    // `celint: hot-path begin/end` region markers share the annotation
+    // namespace but are parsed (and validated) by the hot-path pass, not
+    // the suppression grammar.
+    if (starts_with(rest, "hot-path")) continue;
+    if (!starts_with(rest, "allow(")) {
+      s.meta_findings.push_back(
+          {"", lineno, "bad-suppression",
+           "malformed celint annotation: expected "
+           "'celint: allow(<rule>) -- <justification>'"});
+      continue;
+    }
+    rest.remove_prefix(6);
+    const std::size_t close = rest.find(')');
+    if (close == std::string_view::npos) {
+      s.meta_findings.push_back({"", lineno, "bad-suppression",
+                                 "unterminated allow(<rule>) annotation"});
+      continue;
+    }
+    const std::string rule(rest.substr(0, close));
+    rest.remove_prefix(close + 1);
+    if (!is_known_rule(rule)) {
+      s.meta_findings.push_back(
+          {"", lineno, "unknown-rule",
+           "allow(" + rule + ") names no celint rule (see --list-rules)"});
+      continue;
+    }
+    while (!rest.empty() &&
+           std::isspace(static_cast<unsigned char>(rest.front())) != 0) {
+      rest.remove_prefix(1);
+    }
+    bool justified = false;
+    if (starts_with(rest, "--")) {
+      rest.remove_prefix(2);
+      while (!rest.empty() &&
+             std::isspace(static_cast<unsigned char>(rest.front())) != 0) {
+        rest.remove_prefix(1);
+      }
+      justified = !rest.empty();
+    }
+    if (!justified) {
+      s.meta_findings.push_back(
+          {"", lineno, "bad-suppression",
+           "allow(" + rule +
+               ") lacks a justification: write 'celint: allow(" + rule +
+               ") -- <why this exception is sound>'"});
+      continue;
+    }
+    // The annotation covers its own line and the line directly below it.
+    s.allowed[lineno].insert(rule);
+    s.allowed[lineno + 1].insert(rule);
+  }
+  return s;
+}
+
+/// Shared lexer behind strip_comments_and_strings() and comments_only():
+/// keep_code=true blanks comments/strings and keeps code; keep_code=false
+/// keeps only comment text (suppression annotations live in comments, so
+/// `celint::` qualifiers in code or annotation examples quoted in string
+/// literals never parse as annotations).
+inline std::string lex_partition(std::string_view content, bool keep_code) {
+  std::string out;
+  out.reserve(content.size());
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  std::size_t i = 0;
+  const std::size_t n = content.size();
+  // Tracks whether the identifier-ish word currently being scanned started
+  // with a digit: a ' after such a word is a digit separator (1'000'000 or
+  // 0xFF'FF), while a ' after a letter word is a literal prefix (L'a').
+  bool word_started_with_digit = false;
+  bool in_word = false;
+  while (i < n) {
+    const char c = content[i];
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+          state = State::kLine;
+          out += "  ";
+          i += 2;
+        } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+          state = State::kBlock;
+          out += "  ";
+          i += 2;
+        } else if (c == '"' && i > 0 && content[i - 1] == 'R') {
+          // Raw string literal: R"delim( ... )delim"
+          std::size_t p = i + 1;
+          raw_delim.clear();
+          while (p < n && content[p] != '(') raw_delim += content[p++];
+          state = State::kRaw;
+          raw_delim = ")" + raw_delim + "\"";
+          const std::size_t consumed = (p < n ? p + 1 : n) - i;
+          out.append(consumed, ' ');
+          i += consumed;
+        } else if (c == '"') {
+          state = State::kString;
+          out += ' ';
+          ++i;
+        } else if (c == '\'' && in_word && word_started_with_digit) {
+          // Digit separator (1'000'000), not a char literal.
+          out += keep_code ? '\'' : ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += ' ';
+          ++i;
+        } else {
+          if (is_ident_char(c)) {
+            if (!in_word) {
+              word_started_with_digit =
+                  std::isdigit(static_cast<unsigned char>(c)) != 0;
+            }
+            in_word = true;
+          } else {
+            in_word = false;
+          }
+          out += keep_code ? c : (c == '\n' ? '\n' : ' ');
+          ++i;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += keep_code ? ' ' : c;
+        }
+        ++i;
+        break;
+      case State::kBlock:
+        if (c == '*' && i + 1 < n && content[i + 1] == '/') {
+          state = State::kCode;
+          out += "  ";
+          i += 2;
+        } else {
+          out += c == '\n' ? '\n' : (keep_code ? ' ' : c);
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          out += "  ";
+          i += 2;
+        } else if (c == '"') {
+          state = State::kCode;
+          out += ' ';
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+          ++i;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          out += "  ";
+          i += 2;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += ' ';
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+          ++i;
+        }
+        break;
+      case State::kRaw:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          state = State::kCode;
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) out += ' ';
+          i += raw_delim.size();
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace celint::lex

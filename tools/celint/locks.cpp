@@ -1,0 +1,162 @@
+// tools/celint/locks.cpp
+//
+// Pass 2, lock-discipline family: joins CELOG_GUARDED_BY / CELOG_REQUIRES
+// annotations (declared in headers) against member uses recorded with
+// their lexically held locks (often in other files). A use of a guarded
+// member is clean when the guard's mutex is lexically held at the use, or
+// the enclosing function declares CELOG_REQUIRES(mutex) — on its
+// definition or on its in-class declaration, joined here by
+// (class, function) — or the function is CELOG_NO_THREAD_SAFETY_ANALYSIS
+// (deliberate publish/consume protocols, exempt exactly as under clang).
+// Constructors and destructors are exempt (no concurrent access before
+// the object is shared / after teardown begins), matching clang's model.
+//
+// A second check keeps the annotation set honest: a util::Mutex/std::mutex
+// data member that guards no annotated member anywhere visible is itself a
+// finding — an unannotated lock protects nothing that either checker can
+// see.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "celint.hpp"
+#include "flow.hpp"
+#include "lex.hpp"
+
+namespace celint::flow {
+
+namespace {
+
+using lex::ends_with;
+
+bool suppressed(const FileFacts& f, int line, const std::string& rule) {
+  const auto it = f.allowed.find(line);
+  return it != f.allowed.end() && it->second.count(rule) != 0;
+}
+
+struct GuardRef {
+  const GuardedMember* g;
+  const FileFacts* file;
+};
+
+/// The guard declaration is visible from `use_file`: same file, or the
+/// guard's file is directly included (suffix match on the include path).
+bool visible(const FileFacts& use_file, const FileFacts& guard_file) {
+  if (&use_file == &guard_file) return true;
+  for (const auto& inc : use_file.includes) {
+    if (guard_file.path == inc ||
+        ends_with(guard_file.path, "/" + inc)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Finding> lock_findings(const std::vector<FileFacts>& all) {
+  std::multimap<std::pair<std::string, std::string>, GuardRef> by_cls_member;
+  std::multimap<std::string, GuardRef> by_member;
+  std::set<std::string> nocheck;
+  std::map<std::pair<std::string, std::string>, std::vector<std::string>>
+      requires_map;
+  for (const auto& f : all) {
+    for (const auto& g : f.guarded) {
+      by_cls_member.insert({{g.cls, g.member}, {&g, &f}});
+      by_member.insert({g.member, {&g, &f}});
+    }
+    for (const auto& n : f.nocheck_fns) nocheck.insert(n);
+    for (const auto& q : f.requires_decls) {
+      requires_map[{q.cls, q.fn}].push_back(q.mutex);
+    }
+  }
+  std::vector<Finding> out;
+  for (const auto& f : all) {
+    if (!f.in_src) continue;
+    std::set<std::pair<int, std::string>> reported;
+    for (const auto& u : f.uses) {
+      if (std::find(u.held.begin(), u.held.end(), "*") != u.held.end()) {
+        continue;
+      }
+      if (!u.fn.empty() &&
+          nocheck.count(u.fn_cls + "::" + u.fn) != 0) {
+        continue;
+      }
+      // Resolve the guard: exact (class, member) when the class is known,
+      // otherwise by member name among visible declarations.
+      std::vector<GuardRef> guards;
+      if (!u.cls.empty()) {
+        auto [lo, hi] = by_cls_member.equal_range({u.cls, u.member});
+        for (auto it = lo; it != hi; ++it) guards.push_back(it->second);
+      } else {
+        auto [lo, hi] = by_member.equal_range(u.member);
+        for (auto it = lo; it != hi; ++it) {
+          if (visible(f, *it->second.file)) guards.push_back(it->second);
+        }
+      }
+      if (guards.empty()) continue;
+      std::vector<std::string> held = u.held;
+      const auto rit = requires_map.find({u.fn_cls, u.fn});
+      if (rit != requires_map.end()) {
+        held.insert(held.end(), rit->second.begin(), rit->second.end());
+      }
+      bool ok = false;
+      for (const auto& g : guards) {
+        if (std::find(held.begin(), held.end(), g.g->mutex) != held.end()) {
+          ok = true;
+          break;
+        }
+      }
+      if (ok) continue;
+      if (!reported.insert({u.line, u.member}).second) continue;
+      if (suppressed(f, u.line, "lock-discipline")) continue;
+      const std::string where =
+          u.fn.empty()
+              ? ""
+              : " in " + (u.fn_cls.empty() ? u.fn : u.fn_cls + "::" + u.fn);
+      out.push_back(
+          {f.path, u.line, "lock-discipline",
+           "member '" + u.member + "' is CELOG_GUARDED_BY('" +
+               guards.front().g->mutex + "') but accessed" + where +
+               " without holding it (lock it, add CELOG_REQUIRES to the "
+               "function, or mark a deliberate protocol "
+               "CELOG_NO_THREAD_SAFETY_ANALYSIS)"});
+    }
+    // Unreferenced mutex members: the lock exists but nothing is declared
+    // to be under it, so neither celint nor clang can check anything.
+    for (const auto& m : f.mutexes) {
+      bool guards_any = false;
+      for (const auto& other : all) {
+        for (const auto& g : other.guarded) {
+          if (g.mutex != m.member) continue;
+          if (g.cls == m.cls || &other == &f) {
+            guards_any = true;
+            break;
+          }
+        }
+        if (guards_any) break;
+      }
+      if (guards_any) continue;
+      if (suppressed(f, m.line, "lock-discipline")) continue;
+      out.push_back(
+          {f.path, m.line, "lock-discipline",
+           "mutex '" + m.member +
+               "' guards no annotated member: add CELOG_GUARDED_BY(" +
+               m.member +
+               ") to the members it protects so celint and clang "
+               "-Wthread-safety can check the discipline"});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  return out;
+}
+
+}  // namespace celint::flow

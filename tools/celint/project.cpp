@@ -1,0 +1,469 @@
+// tools/celint/project.cpp
+//
+// Project-level orchestration of the two-pass flow analysis:
+//   * serialize_facts / deserialize_facts — the versioned text round-trip
+//     behind the --cache store (pass 1 is pure in file content, so a
+//     cached FileFacts is byte-equivalent to re-extraction);
+//   * run_check — walks the tree, lints each file (classic per-file rules
+//     + fact extraction, cached by mtime+size), then joins facts with the
+//     pass-2 families;
+//   * lint_project — the in-memory twin for fixture tests;
+//   * sarif_report — deterministic SARIF 2.1.0 rendering for CI upload.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "celint.hpp"
+#include "flow.hpp"
+#include "lex.hpp"
+
+namespace celint::flow {
+
+namespace {
+
+using lex::starts_with;
+
+std::string enc(const std::string& s) { return s.empty() ? "-" : s; }
+std::string dec(const std::string& s) { return s == "-" ? "" : s; }
+
+std::string enc_held(const std::vector<std::string>& held) {
+  if (held.empty()) return "-";
+  std::string o;
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    if (i != 0) o += ',';
+    o += held[i];
+  }
+  return o;
+}
+
+std::vector<std::string> dec_held(const std::string& s) {
+  std::vector<std::string> v;
+  if (s == "-") return v;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t c = s.find(',', start);
+    if (c == std::string::npos) {
+      v.push_back(s.substr(start));
+      break;
+    }
+    v.push_back(s.substr(start, c - start));
+    start = c + 1;
+  }
+  return v;
+}
+
+/// Reads the rest of `iss` (after the fixed fields) as a message: one
+/// leading space separates it from the previous field.
+std::string rest_of(std::istringstream& iss) {
+  std::string msg;
+  std::getline(iss, msg);
+  if (!msg.empty() && msg.front() == ' ') msg.erase(0, 1);
+  return msg;
+}
+
+}  // namespace
+
+std::string serialize_facts(const FileFacts& f) {
+  std::ostringstream o;
+  o << "celint-facts 1\n";
+  o << "P " << f.path << "\n";
+  o << "S " << (f.in_src ? 1 : 0) << "\n";
+  for (const auto& inc : f.includes) o << "I " << inc << "\n";
+  for (const auto& fl : f.flows) {
+    o << "F " << fl.line << " " << enc(fl.lhs);
+    for (const auto& r : fl.rhs) o << " " << r;
+    o << "\n";
+  }
+  for (const auto& sk : f.sinks) {
+    o << "K " << sk.line << " " << sk.kind << " " << enc(sk.detail);
+    for (const auto& r : sk.rhs) o << " " << r;
+    o << "\n";
+  }
+  for (const auto& d : f.taint_direct) {
+    o << "D " << d.line << " " << d.rule << " " << d.message << "\n";
+  }
+  for (const auto& r : f.result_fields) o << "R " << r << "\n";
+  for (const auto& g : f.guarded) {
+    o << "G " << g.line << " " << enc(g.cls) << " " << g.member << " "
+      << g.mutex << "\n";
+  }
+  for (const auto& m : f.mutexes) {
+    o << "M " << m.line << " " << enc(m.cls) << " " << m.member << "\n";
+  }
+  for (const auto& q : f.requires_decls) {
+    o << "Q " << enc(q.cls) << " " << enc(q.fn) << " " << q.mutex << "\n";
+  }
+  for (const auto& u : f.uses) {
+    o << "U " << u.line << " " << enc(u.cls) << " " << enc(u.fn_cls) << " "
+      << u.member << " " << enc(u.fn) << " " << enc_held(u.held) << "\n";
+  }
+  for (const auto& n : f.nocheck_fns) o << "N " << n << "\n";
+  for (const auto& h : f.hot_hits) {
+    o << "H " << h.line << " " << h.what << "\n";
+  }
+  for (const auto& b : f.meta) {
+    o << "B " << b.line << " " << b.rule << " " << b.message << "\n";
+  }
+  for (const auto& [line, rules] : f.allowed) {
+    for (const auto& r : rules) o << "A " << line << " " << r << "\n";
+  }
+  return o.str();
+}
+
+bool deserialize_facts(std::string_view text, FileFacts* out) {
+  *out = FileFacts{};
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != "celint-facts 1") return false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream iss(line);
+    std::string tag;
+    iss >> tag;
+    if (tag == "P") {
+      out->path = rest_of(iss);
+    } else if (tag == "S") {
+      int v = 0;
+      if (!(iss >> v)) return false;
+      out->in_src = v != 0;
+    } else if (tag == "I") {
+      std::string inc;
+      if (!(iss >> inc)) return false;
+      out->includes.push_back(inc);
+    } else if (tag == "F") {
+      Flow fl;
+      std::string lhs;
+      if (!(iss >> fl.line >> lhs)) return false;
+      fl.lhs = dec(lhs);
+      std::string r;
+      while (iss >> r) fl.rhs.push_back(r);
+      out->flows.push_back(std::move(fl));
+    } else if (tag == "K") {
+      Sink sk;
+      std::string detail;
+      if (!(iss >> sk.line >> sk.kind >> detail)) return false;
+      sk.detail = dec(detail);
+      std::string r;
+      while (iss >> r) sk.rhs.push_back(r);
+      out->sinks.push_back(std::move(sk));
+    } else if (tag == "D" || tag == "B") {
+      Finding fd;
+      if (!(iss >> fd.line >> fd.rule)) return false;
+      fd.message = rest_of(iss);
+      (tag == "D" ? out->taint_direct : out->meta).push_back(std::move(fd));
+    } else if (tag == "R") {
+      std::string r;
+      if (!(iss >> r)) return false;
+      out->result_fields.push_back(r);
+    } else if (tag == "G") {
+      GuardedMember g;
+      std::string cls;
+      if (!(iss >> g.line >> cls >> g.member >> g.mutex)) return false;
+      g.cls = dec(cls);
+      out->guarded.push_back(std::move(g));
+    } else if (tag == "M") {
+      MutexMember m;
+      std::string cls;
+      if (!(iss >> m.line >> cls >> m.member)) return false;
+      m.cls = dec(cls);
+      out->mutexes.push_back(std::move(m));
+    } else if (tag == "Q") {
+      RequiresClause q;
+      std::string cls;
+      std::string fn;
+      if (!(iss >> cls >> fn >> q.mutex)) return false;
+      q.cls = dec(cls);
+      q.fn = dec(fn);
+      out->requires_decls.push_back(std::move(q));
+    } else if (tag == "U") {
+      MemberUse u;
+      std::string cls;
+      std::string fn_cls;
+      std::string fn;
+      std::string held;
+      if (!(iss >> u.line >> cls >> fn_cls >> u.member >> fn >> held)) {
+        return false;
+      }
+      u.cls = dec(cls);
+      u.fn_cls = dec(fn_cls);
+      u.fn = dec(fn);
+      u.held = dec_held(held);
+      out->uses.push_back(std::move(u));
+    } else if (tag == "N") {
+      std::string n;
+      if (!(iss >> n)) return false;
+      out->nocheck_fns.insert(n);
+    } else if (tag == "H") {
+      HotHit h;
+      if (!(iss >> h.line)) return false;
+      h.what = rest_of(iss);
+      out->hot_hits.push_back(std::move(h));
+    } else if (tag == "A") {
+      int ln = 0;
+      std::string rule;
+      if (!(iss >> ln >> rule)) return false;
+      out->allowed[ln].insert(rule);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Finding> flow_findings(const std::vector<FileFacts>& all) {
+  std::vector<Finding> out = taint_findings(all);
+  for (auto& f : lock_findings(all)) out.push_back(std::move(f));
+  for (auto& f : hotpath_findings(all)) out.push_back(std::move(f));
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  return out;
+}
+
+}  // namespace celint::flow
+
+namespace celint {
+
+namespace {
+
+using lex::starts_with;
+
+std::string cache_key(const std::string& rel) {
+  std::string k = rel;
+  for (char& c : k) {
+    if (c == '/' || c == '.') c = '_';
+  }
+  return k + ".facts";
+}
+
+bool load_cache(const std::filesystem::path& cache_file,
+                const std::string& header, const std::string& rel,
+                std::vector<Finding>* findings, flow::FileFacts* facts) {
+  std::ifstream in(cache_file);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line) || line != header) return false;
+  std::string facts_text;
+  bool in_facts = false;
+  while (std::getline(in, line)) {
+    if (!in_facts) {
+      if (line == "FACTS") {
+        in_facts = true;
+        continue;
+      }
+      if (!starts_with(line, "CF ")) return false;
+      std::istringstream iss(line.substr(3));
+      Finding f;
+      if (!(iss >> f.line >> f.rule)) return false;
+      std::getline(iss, f.message);
+      if (!f.message.empty() && f.message.front() == ' ') {
+        f.message.erase(0, 1);
+      }
+      f.file = rel;
+      findings->push_back(std::move(f));
+    } else {
+      facts_text += line;
+      facts_text += '\n';
+    }
+  }
+  return in_facts && flow::deserialize_facts(facts_text, facts) &&
+         facts->path == rel;
+}
+
+void store_cache(const std::filesystem::path& cache_file,
+                 const std::string& header,
+                 const std::vector<Finding>& findings,
+                 const flow::FileFacts& facts) {
+  std::ostringstream o;
+  o << header << "\n";
+  for (const auto& f : findings) {
+    o << "CF " << f.line << " " << f.rule << " " << f.message << "\n";
+  }
+  o << "FACTS\n" << flow::serialize_facts(facts);
+  std::ofstream out(cache_file);
+  out << o.str();
+}
+
+void sort_findings(std::vector<Finding>* all) {
+  std::sort(all->begin(), all->end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+}
+
+std::string json_escape(std::string_view s) {
+  std::string o;
+  o.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        o += "\\\"";
+        break;
+      case '\\':
+        o += "\\\\";
+        break;
+      case '\n':
+        o += "\\n";
+        break;
+      case '\t':
+        o += "\\t";
+        break;
+      case '\r':
+        o += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          o += "\\u00";
+          o += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          o += kHex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          o += c;
+        }
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+std::vector<Finding> lint_project(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  std::vector<Finding> all;
+  std::vector<flow::FileFacts> facts;
+  facts.reserve(files.size());
+  for (const auto& [path, content] : files) {
+    for (auto& f : lint_file(path, content)) all.push_back(std::move(f));
+    facts.push_back(flow::extract_facts(path, content));
+  }
+  for (auto& f : flow::flow_findings(facts)) all.push_back(std::move(f));
+  sort_findings(&all);
+  return all;
+}
+
+std::string sarif_report(const std::vector<Finding>& findings) {
+  std::string o;
+  o += "{\n";
+  o += "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  o += "  \"version\": \"2.1.0\",\n";
+  o += "  \"runs\": [\n";
+  o += "    {\n";
+  o += "      \"tool\": {\n";
+  o += "        \"driver\": {\n";
+  o += "          \"name\": \"celint\",\n";
+  o += "          \"informationUri\": "
+       "\"https://example.invalid/celog/tools/celint\",\n";
+  o += "          \"rules\": [\n";
+  std::vector<std::string> ids = rule_names();
+  ids.push_back("bad-region");
+  ids.push_back("bad-suppression");
+  ids.push_back("unknown-rule");
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    o += "            {\"id\": \"" + ids[i] +
+         "\", \"shortDescription\": {\"text\": \"celint rule " + ids[i] +
+         "\"}}";
+    o += i + 1 < ids.size() ? ",\n" : "\n";
+  }
+  o += "          ]\n";
+  o += "        }\n";
+  o += "      },\n";
+  o += "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    o += "        {\"ruleId\": \"" + json_escape(f.rule) +
+         "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+         json_escape(f.message) +
+         "\"}, \"locations\": [{\"physicalLocation\": "
+         "{\"artifactLocation\": {\"uri\": \"" +
+         json_escape(f.file) +
+         "\", \"uriBaseId\": \"SRCROOT\"}, \"region\": {\"startLine\": " +
+         std::to_string(f.line < 1 ? 1 : f.line) + "}}}]}";
+    o += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  o += "      ]\n";
+  o += "    }\n";
+  o += "  ]\n";
+  o += "}\n";
+  return o;
+}
+
+std::vector<Finding> run_check(const std::string& root,
+                               const std::vector<std::string>& paths,
+                               const std::string& compdb_path,
+                               const std::string& cache_dir) {
+  namespace fs = std::filesystem;
+  std::set<std::string> files;
+  for (auto& f : collect_files(root, paths)) files.insert(std::move(f));
+  if (!compdb_path.empty()) {
+    // The compdb lists every TU the build compiles; keep only those under
+    // the requested paths so `--check src` does not drag in tools/.
+    for (auto& f : compdb_files(compdb_path, root)) {
+      for (const auto& p : paths) {
+        if (f == p || starts_with(f, p + "/")) {
+          files.insert(std::move(f));
+          break;
+        }
+      }
+    }
+  }
+  if (!cache_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(cache_dir, ec);
+  }
+  std::vector<Finding> all;
+  std::vector<flow::FileFacts> facts;
+  for (const auto& rel : files) {
+    const fs::path abs = fs::path(root) / rel;
+    fs::path cache_file;
+    std::string header;
+    if (!cache_dir.empty()) {
+      std::error_code ec;
+      const auto mtime = fs::last_write_time(abs, ec);
+      const std::int64_t mcount =
+          ec ? 0
+             : static_cast<std::int64_t>(mtime.time_since_epoch().count());
+      const auto size = fs::file_size(abs, ec);
+      const std::uintmax_t scount = ec ? 0 : size;
+      std::ostringstream h;
+      h << "celintcache 1 " << mcount << " " << scount;
+      header = h.str();
+      cache_file = fs::path(cache_dir) / cache_key(rel);
+      std::vector<Finding> cached;
+      flow::FileFacts cached_facts;
+      if (load_cache(cache_file, header, rel, &cached, &cached_facts)) {
+        for (auto& f : cached) all.push_back(std::move(f));
+        facts.push_back(std::move(cached_facts));
+        continue;
+      }
+    }
+    std::ifstream in(abs);
+    if (!in) continue;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+    auto fnd = lint_file(rel, content);
+    auto fa = flow::extract_facts(rel, content);
+    if (!cache_dir.empty()) store_cache(cache_file, header, fnd, fa);
+    for (auto& f : fnd) all.push_back(std::move(f));
+    facts.push_back(std::move(fa));
+  }
+  for (auto& f : flow::flow_findings(facts)) all.push_back(std::move(f));
+  sort_findings(&all);
+  return all;
+}
+
+}  // namespace celint

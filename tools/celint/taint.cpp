@@ -1,0 +1,130 @@
+// tools/celint/taint.cpp
+//
+// Pass 2, determinism-taint family: joins per-file dataflow facts into a
+// project-wide fixpoint. Sources are pointer->integer casts ("T" markers
+// injected by pass 1) and the direct findings (pointer-keyed ordered
+// containers, std::hash<T*>). Taint propagates through assignments
+// (v:/m: names, file-local) and call-return edges (f:/c: names, global by
+// bare function name — approximate, like the rest of celint), and a
+// finding fires when a tainted value reaches a *Result field, a perf-JSON
+// writer call, or an ordered container's key position. Findings are
+// scoped to src/ — benches and tools may hash pointers for their own
+// bookkeeping; the determinism contract covers the library.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "celint.hpp"
+#include "flow.hpp"
+#include "lex.hpp"
+
+namespace celint::flow {
+
+namespace {
+
+using lex::starts_with;
+
+bool suppressed(const FileFacts& f, int line, const std::string& rule) {
+  const auto it = f.allowed.find(line);
+  return it != f.allowed.end() && it->second.count(rule) != 0;
+}
+
+}  // namespace
+
+std::vector<Finding> taint_findings(const std::vector<FileFacts>& all) {
+  std::set<std::string> result_fields;
+  for (const auto& f : all) {
+    for (const auto& r : f.result_fields) result_fields.insert(r);
+  }
+  // Fixpoint state: tainted function returns (global, by name) and
+  // tainted value names per file (v:/m: namespace is file-local).
+  std::set<std::string> tainted_fns;
+  std::map<const FileFacts*, std::set<std::string>> local;
+  const auto rhs_tainted = [&](const FileFacts& f,
+                               const std::vector<std::string>& rhs) {
+    const auto lit = local.find(&f);
+    for (const auto& r : rhs) {
+      if (r == "T") return true;
+      if (starts_with(r, "c:") && tainted_fns.count(r.substr(2)) != 0) {
+        return true;
+      }
+      if ((starts_with(r, "v:") || starts_with(r, "m:")) &&
+          lit != local.end() && lit->second.count(r) != 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& f : all) {
+      for (const auto& fl : f.flows) {
+        if (!rhs_tainted(f, fl.rhs)) continue;
+        if (starts_with(fl.lhs, "f:")) {
+          changed = tainted_fns.insert(fl.lhs.substr(2)).second || changed;
+        } else if (!fl.lhs.empty()) {
+          changed = local[&f].insert(fl.lhs).second || changed;
+        }
+      }
+    }
+  }
+  std::vector<Finding> out;
+  for (const auto& f : all) {
+    if (!f.in_src) continue;
+    for (const auto& d : f.taint_direct) {
+      if (suppressed(f, d.line, d.rule)) continue;
+      Finding g = d;
+      g.file = f.path;
+      out.push_back(std::move(g));
+    }
+    for (const auto& fl : f.flows) {
+      if (!starts_with(fl.lhs, "m:")) continue;
+      const std::string field = fl.lhs.substr(2);
+      if (result_fields.count(field) == 0) continue;
+      if (!rhs_tainted(f, fl.rhs)) continue;
+      if (suppressed(f, fl.line, "det-taint")) continue;
+      out.push_back(
+          {f.path, fl.line, "det-taint",
+           "value derived from a pointer address flows into result field '" +
+               field +
+               "': addresses vary across runs and break bit-identical "
+               "SimResults"});
+    }
+    for (const auto& sk : f.sinks) {
+      if (!rhs_tainted(f, sk.rhs)) continue;
+      if (suppressed(f, sk.line, "det-taint")) continue;
+      std::string msg;
+      if (sk.kind == "perf-json") {
+        msg = "pointer-derived value reaches the perf-JSON writer (." +
+              sk.detail +
+              "()): perf records must be address-free to stay byte-stable "
+              "across runs";
+      } else {
+        msg = "pointer-derived key used with ordered container '" +
+              sk.detail +
+              "': iteration order would depend on addresses and leak into "
+              "results";
+      }
+      out.push_back({f.path, sk.line, "det-taint", std::move(msg)});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Finding& a, const Finding& b) {
+                          return a.file == b.file && a.line == b.line &&
+                                 a.rule == b.rule && a.message == b.message;
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace celint::flow
