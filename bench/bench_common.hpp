@@ -54,6 +54,11 @@ struct Options {
   unsigned jobs = 1;
   /// Perf-trajectory JSONL file to append a record to ("" = disabled).
   std::string json_path;
+  /// Graph representation for workload cells. kGenerative simulates
+  /// workloads through their lazy twins (O(pattern + log ranks) resident,
+  /// so --ranks can exceed what a materialized graph fits in memory);
+  /// workloads without a twin keep their materialized builds.
+  core::GraphRep rep = core::GraphRep::kMaterialized;
 };
 
 inline void add_standard_options(Cli& cli) {
@@ -69,6 +74,11 @@ inline void add_standard_options(Cli& cli) {
                  "cell) to this file");
   cli.add_flag("full", "paper scale: ranks=16384, sim-s=30, seeds=8 "
                "(explicit --ranks/--sim-s/--seeds still override)");
+  cli.add_flag("generative",
+               "simulate workloads through their generative (lazy) twins "
+               "where available — resident graph bytes stay "
+               "O(pattern + log ranks), so --ranks can exceed the "
+               "materialized memory ceiling");
 }
 
 /// THE job-count rule, shared by every entry point with a `jobs` knob:
@@ -99,6 +109,8 @@ inline Options read_standard_options(const Cli& cli) {
   const auto jobs = cli.get_int("jobs");
   o.jobs = resolve_jobs(jobs > 0 ? static_cast<unsigned>(jobs) : 0);
   o.json_path = cli.get("json");
+  o.rep = cli.get_flag("generative") ? core::GraphRep::kGenerative
+                                     : core::GraphRep::kMaterialized;
   return o;
 }
 
@@ -140,12 +152,19 @@ class RunnerCache {
   explicit RunnerCache(const Options& options) : options_(options) {}
 
   /// `trace_block` follows WorkloadConfig::trace_block semantics (0 = whole
-  /// machine; systems figures pass core::scaled_trace_block(...)).
-  const core::ExperimentRunner& get(const workloads::Workload& workload,
-                                    goal::Rank ranks,
-                                    goal::Rank trace_block) {
-    const std::string key = workload.name() + "@" + std::to_string(ranks) +
-                            "/" + std::to_string(trace_block);
+  /// machine; systems figures pass core::scaled_trace_block(...)). Under
+  /// GraphRep::kGenerative the runner simulates the workload's lazy twin
+  /// when it has one (and notes the fallback otherwise) — the rep is part
+  /// of the cache key, since the representations carry different jitter
+  /// models and must never share a runner.
+  const core::ExperimentRunner& get(
+      const workloads::Workload& workload, goal::Rank ranks,
+      goal::Rank trace_block,
+      core::GraphRep rep = core::GraphRep::kMaterialized) {
+    const std::string key =
+        workload.name() + "@" + std::to_string(ranks) + "/" +
+        std::to_string(trace_block) +
+        (rep == core::GraphRep::kGenerative ? "/gen" : "");
     std::shared_ptr<Entry> entry;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -169,15 +188,24 @@ class RunnerCache {
           workload.iterations_for(options_.sim_target, min_iters);
       config.seed = 1;
       std::fprintf(stderr,
-                   "[bench] building %s: %d ranks (p2p block %d), %d "
+                   "[bench] building %s%s: %d ranks (p2p block %d), %d "
                    "iterations (~%s simulated)...\n",
-                   workload.name().c_str(), ranks, trace_block,
-                   config.iterations,
+                   workload.name().c_str(),
+                   rep == core::GraphRep::kGenerative ? " (generative)" : "",
+                   ranks, trace_block, config.iterations,
                    format_duration(config.iterations *
                                    workload.iteration_time())
                        .c_str());
-      entry->runner =
-          std::make_unique<core::ExperimentRunner>(workload, config);
+      entry->runner = std::make_unique<core::ExperimentRunner>(
+          workload, config, sim::NetworkParams::cray_xc40(),
+          sim::MatcherKind::kBucketed, rep);
+      if (rep == core::GraphRep::kGenerative &&
+          !entry->runner->generative()) {
+        std::fprintf(stderr,
+                     "[bench] %s has no generative twin; using its "
+                     "materialized build\n",
+                     workload.name().c_str());
+      }
     });
     return *entry->runner;
   }
@@ -207,8 +235,11 @@ inline void print_banner(const char* what, const Options& o) {
   std::printf("== %s ==\n", what);
   std::printf(
       "scale: up to %d simulated ranks (rate-preserving reduction), ~%s "
-      "simulated per run, %d seeds per cell\n\n",
-      o.max_ranks, format_duration(o.sim_target).c_str(), o.seeds);
+      "simulated per run, %d seeds per cell%s\n\n",
+      o.max_ranks, format_duration(o.sim_target).c_str(), o.seeds,
+      o.rep == core::GraphRep::kGenerative
+          ? ", generative graphs where available"
+          : "");
 }
 
 /// Shared driver for Figs. 4 and 5: every application process experiences
@@ -243,8 +274,9 @@ inline void run_systems_figure(
           const auto& sys = systems[i % cols];
           const core::ScaledSystem scale =
               core::scale_system(sys.simulated_nodes, options.max_ranks);
-          const auto& runner =
-              cache.get(w, scale.ranks, core::scaled_trace_block(w, scale));
+          const auto& runner = cache.get(
+              w, scale.ranks, core::scaled_trace_block(w, scale),
+              options.rep);
           const noise::UniformCeNoiseModel noise(
               core::scaled_mtbce(sys, scale), core::cost_model(mode));
           return perf.time_cell(

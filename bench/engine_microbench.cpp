@@ -448,19 +448,10 @@ void scenario_allreduce(const Context& ctx, goal::Rank ranks) {
 /// footprint, reported both as bytes_per_rank (graph + engine state over
 /// ranks; informational) and as its bigger-is-better inverse ranks_per_mib
 /// (floor-gated: a memory regression makes it drop).
-void scenario_scale_config(const Context& ctx, const char* label,
-                           std::vector<goal::Rank> dims, int iters) {
-  goal::StencilSpec spec;
-  spec.dims = std::move(dims);
-  spec.iterations = iters;
-  spec.message_bytes = 1024;
-  spec.compute_ns = 2000;
-  spec.jitter_ns = 500;
-  spec.seed = 1;
-  const goal::GenerativeGraph g(spec);
-  const std::string name = std::string("scale_") + label;
-  std::printf("%s (generative %d-rank stencil, %zu ops)\n", name.c_str(),
-              g.ranks(), g.total_ops());
+void scenario_scale_graph(const Context& ctx, const std::string& name,
+                          const char* what, const goal::GenerativeGraph& g) {
+  std::printf("%s (generative %d-rank %s, %zu ops)\n", name.c_str(),
+              g.ranks(), what, g.total_ops());
   sim::Simulator sim(g, sim::NetworkParams::cray_xc40());
   sim.set_matcher(ctx.matcher);
   sim::RunContext context;
@@ -488,11 +479,48 @@ void scenario_scale_config(const Context& ctx, const char* label,
   report_checksum(ctx, name, checksum);
 }
 
+void scenario_scale_stencil(const Context& ctx, const char* label,
+                            std::vector<goal::Rank> dims, int iters) {
+  goal::StencilSpec spec;
+  spec.dims = std::move(dims);
+  spec.iterations = iters;
+  spec.message_bytes = 1024;
+  spec.compute_ns = 2000;
+  spec.jitter_ns = 500;
+  spec.seed = 1;
+  const goal::GenerativeGraph g(spec);
+  scenario_scale_graph(ctx, std::string("scale_") + label, "stencil", g);
+}
+
+/// The same figure of merit over a real workload pattern: LULESH's
+/// generative twin (two 26-neighbor halos, three imbalanced compute
+/// phases, two allreduces per iteration) decoded rather than materialized.
+/// Exercises the full-links halo decode and the collective-tree arithmetic
+/// the stencil shape never touches.
+void scenario_scale_workload(const Context& ctx, const char* label,
+                             goal::Rank ranks, int iters) {
+  const auto workload = workloads::find_workload("lulesh");
+  workloads::WorkloadConfig config;
+  config.ranks = ranks;
+  config.trace_block = 0;
+  config.iterations = iters;
+  config.seed = 1;
+  const auto g = workload->build_generative(config);
+  scenario_scale_graph(ctx, std::string("scale_lulesh_") + label, "lulesh",
+                       *g);
+}
+
 /// Fixed shapes so floor metric names stay stable: 10K = 20 x 25 x 20,
-/// 100K = 50 x 50 x 40. The smoke preset runs only the 10K shape.
+/// 100K = 50 x 50 x 40; the LULESH cells run the whole machine as one
+/// block at the same rank counts. The smoke preset runs only the 10K
+/// shapes.
 void scenario_scale(const Context& ctx, bool smoke) {
-  scenario_scale_config(ctx, "10k", {20, 25, 20}, 10);
-  if (!smoke) scenario_scale_config(ctx, "100k", {50, 50, 40}, 10);
+  scenario_scale_stencil(ctx, "10k", {20, 25, 20}, 10);
+  scenario_scale_workload(ctx, "10k", 10000, 2);
+  if (!smoke) {
+    scenario_scale_stencil(ctx, "100k", {50, 50, 40}, 10);
+    scenario_scale_workload(ctx, "100k", 100000, 2);
+  }
 }
 
 void scenario_rank_noise(const Context& ctx) {

@@ -150,26 +150,23 @@ goal::Rank scaled_trace_block(const workloads::Workload& workload,
   return std::clamp<goal::Rank>(block, 1, scale.ranks);
 }
 
-namespace {
-
-sim::Simulator make_simulator(const goal::TaskGraph& graph,
-                              sim::NetworkParams net,
-                              sim::MatcherKind matcher) {
-  sim::Simulator simulator(graph, net);
-  simulator.set_matcher(matcher);
-  return simulator;
-}
-
-}  // namespace
-
 ExperimentRunner::ExperimentRunner(const workloads::Workload& workload,
                                    const workloads::WorkloadConfig& config,
                                    sim::NetworkParams net,
-                                   sim::MatcherKind matcher)
-    : graph_(workload.build(config)),
-      simulator_(make_simulator(graph_, net, matcher)),
-      baseline_(simulator_.run_baseline()),
-      sweep_(std::make_unique<SweepState>()) {}
+                                   sim::MatcherKind matcher, GraphRep rep)
+    : sweep_(std::make_unique<SweepState>()) {
+  if (rep == GraphRep::kGenerative) {
+    gen_ = workload.build_generative(config);
+  }
+  if (gen_) {
+    simulator_.emplace(*gen_, net);
+  } else {
+    graph_.emplace(workload.build(config));
+    simulator_.emplace(*graph_, net);
+  }
+  simulator_->set_matcher(matcher);
+  baseline_ = simulator_->run_baseline();
+}
 
 ExperimentRunner::~ExperimentRunner() = default;
 
@@ -182,8 +179,8 @@ sim::SimResult ExperimentRunner::run_once(const noise::NoiseModel& noise,
                                           std::uint64_t seed,
                                           noise::DetourSink* ce_sink) const {
   SweepState::Lease lease(*sweep_);
-  return simulator_.run(noise, seed, *lease.ctx,
-                        noise::RankNoise::kNoHorizon, {}, ce_sink);
+  return simulator_->run(noise, seed, *lease.ctx,
+                         noise::RankNoise::kNoHorizon, {}, ce_sink);
 }
 
 sim::SimResult ExperimentRunner::run_once(const noise::NoiseModel& noise,
@@ -194,7 +191,7 @@ sim::SimResult ExperimentRunner::run_once(const noise::NoiseModel& noise,
       std::min(static_cast<double>(noise::RankNoise::kNoHorizon),
                static_cast<double>(baseline_.makespan) * horizon_factor));
   SweepState::Lease lease(*sweep_);
-  return simulator_.run(noise, seed, *lease.ctx, horizon);
+  return simulator_->run(noise, seed, *lease.ctx, horizon);
 }
 
 SlowdownResult ExperimentRunner::measure(const noise::NoiseModel& noise,
@@ -225,7 +222,7 @@ SlowdownResult ExperimentRunner::measure(const noise::NoiseModel& noise,
     SeedOutcome& o = outcomes[i];
     try {
       const sim::SimResult r =
-          simulator_.run(noise, base_seed + i, ctx, horizon);
+          simulator_->run(noise, base_seed + i, ctx, horizon);
       o.pct = sim::slowdown_percent(baseline_, r);
       o.detours = static_cast<double>(r.detours_charged);
       o.stolen_s = to_seconds(r.noise_stolen);

@@ -17,11 +17,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "core/system_config.hpp"
+#include "goal/generative.hpp"
 #include "goal/task_graph.hpp"
 #include "noise/noise_model.hpp"
 #include "sim/engine.hpp"
+#include "util/error.hpp"
 #include "util/stats.hpp"
 #include "workloads/workload.hpp"
 
@@ -78,6 +81,12 @@ struct SlowdownResult {
   bool no_progress = false;
 };
 
+/// Which graph representation an ExperimentRunner builds and simulates.
+/// kGenerative asks the workload for its lazy slot-program twin
+/// (Workload::build_generative) and falls back to materialization when the
+/// model has none — callers can request generative unconditionally.
+enum class GraphRep : std::uint8_t { kMaterialized, kGenerative };
+
 /// Builds a workload graph once and evaluates noise models against it.
 /// The graph build (the expensive part at scale) is shared by the baseline
 /// and every seeded noisy run.
@@ -90,14 +99,39 @@ class ExperimentRunner {
   ExperimentRunner(const workloads::Workload& workload,
                    const workloads::WorkloadConfig& config,
                    sim::NetworkParams net = sim::NetworkParams::cray_xc40(),
-                   sim::MatcherKind matcher = sim::MatcherKind::kBucketed);
+                   sim::MatcherKind matcher = sim::MatcherKind::kBucketed,
+                   GraphRep rep = GraphRep::kMaterialized);
   ~ExperimentRunner();
 
   ExperimentRunner(const ExperimentRunner&) = delete;
   ExperimentRunner& operator=(const ExperimentRunner&) = delete;
 
   const sim::SimResult& baseline() const { return baseline_; }
-  const goal::TaskGraph& graph() const { return graph_; }
+
+  /// True when this runner simulates the generative representation (the
+  /// requested rep was kGenerative AND the workload had a generative twin).
+  bool generative() const { return gen_.has_value(); }
+
+  /// The materialized task graph; only valid when !generative().
+  const goal::TaskGraph& graph() const {
+    CELOG_ASSERT_MSG(graph_.has_value(),
+                     "graph() on a generative runner; use generative_graph()");
+    return *graph_;
+  }
+
+  /// The generative pattern graph; only valid when generative().
+  const goal::GenerativeGraph& generative_graph() const {
+    CELOG_ASSERT_MSG(gen_.has_value(),
+                     "generative_graph() on a materialized runner");
+    return *gen_;
+  }
+
+  /// Resident footprint of whichever graph representation this runner
+  /// holds — what a memory budget (celogd's RunnerRegistry) should charge.
+  /// KBs for generative runners at any rank count, O(total ops) otherwise.
+  std::size_t graph_resident_bytes() const {
+    return gen_ ? gen_->resident_bytes() : graph_->resident_bytes();
+  }
 
   /// Mean slowdown of `noise` over `seeds` runs (seeds base_seed,
   /// base_seed+1, ...). Each run is bounded by `horizon_factor` x the
@@ -152,8 +186,11 @@ class ExperimentRunner {
   /// a cache, not observable state.
   struct SweepState;
 
-  goal::TaskGraph graph_;
-  sim::Simulator simulator_;
+  // Exactly one of graph_/gen_ holds a value; simulator_ borrows it and is
+  // engaged immediately after in the constructor.
+  std::optional<goal::TaskGraph> graph_;
+  std::optional<goal::GenerativeGraph> gen_;
+  std::optional<sim::Simulator> simulator_;
   sim::SimResult baseline_;
   std::unique_ptr<SweepState> sweep_;
 };

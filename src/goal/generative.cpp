@@ -1,7 +1,9 @@
 #include "goal/generative.hpp"
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,37 +13,136 @@
 
 namespace celog::goal {
 
+bool GenerativeGraph::is_send_role(SlotRole role) {
+  switch (role) {
+    case SlotRole::kHaloSend:
+    case SlotRole::kDissemSend:
+    case SlotRole::kRdFoldSend:
+    case SlotRole::kRdExchangeSend:
+    case SlotRole::kRdReturnSend:
+    case SlotRole::kBcastSend:
+    case SlotRole::kReduceSend:
+      return true;
+    default:
+      return false;
+  }
+}
+
 // celint: hot-path begin -- per-op decode: pure arithmetic, no allocation
 Op GenerativeProgram::op(OpIndex i) const {
   CELOG_ASSERT(i < size_);
-  const auto stride =
-      static_cast<std::uint32_t>(1 + 2 * graph_->neighbors_);
-  const auto iteration = static_cast<std::int32_t>(i / stride);
-  const std::uint32_t pos = i % stride;
-  if (pos == 0) {
-    return Op::calc(graph_->calc_duration(rank_, iteration));
+  const GenerativeGraph& g = *graph_;
+  const GenerativeGraph::Slot& s = g.slots_[i];
+  const Rank p = g.ranks_;
+  using Role = GenerativeGraph::SlotRole;
+  switch (s.role) {
+    case Role::kCalc:
+      return Op::calc(g.calc_duration(s, rank_));
+    case Role::kHaloSend:
+    case Role::kHaloRecv: {
+      const auto& grid =
+          *static_cast<const GenerativeGraph::GridGeom*>(grid_);
+      Rank peer = rank_;
+      for (std::size_t d = 0; d < grid.ndims; ++d) {
+        const Rank o = s.offsets[d];
+        if (o == 0) continue;
+        const Rank e = grid.extents[d];
+        if (e <= 1) return Op::calc(0);  // offset would wrap onto the rank
+        Rank nc = coords_[d] + o;
+        if (g.periodic_) {
+          if (nc >= e) {
+            nc -= e;
+          } else if (nc < 0) {
+            nc += e;
+          }
+        } else if (nc < 0 || nc >= e) {
+          return Op::calc(0);  // open boundary: no neighbour on this side
+        }
+        peer += (nc - coords_[d]) * grid.strides[d];
+      }
+      return s.role == Role::kHaloSend ? Op::send(peer, s.bytes, s.tag)
+                                       : Op::recv(peer, s.bytes, s.tag);
+    }
+    case Role::kDissemSend: {
+      Rank dst = rank_ + s.param;
+      if (dst >= p) dst -= p;
+      return Op::send(dst, s.bytes, s.tag);
+    }
+    case Role::kDissemRecv: {
+      Rank src = rank_ - s.param;
+      if (src < 0) src += p;
+      return Op::recv(src, s.bytes, s.tag);
+    }
+    case Role::kRdFoldSend:
+      if (rank_ < 2 * g.rd_rem_ && (rank_ & 1) != 0) {
+        return Op::send(rank_ - 1, s.bytes, s.tag);
+      }
+      return Op::calc(0);
+    case Role::kRdFoldRecv:
+      if (rank_ < 2 * g.rd_rem_ && (rank_ & 1) == 0) {
+        return Op::recv(rank_ + 1, s.bytes, s.tag);
+      }
+      return Op::calc(0);
+    case Role::kRdExchangeSend:
+    case Role::kRdExchangeRecv: {
+      if (newrank_ < 0) return Op::calc(0);  // folded out of the pof2 core
+      const Rank pn = newrank_ ^ s.param;
+      const Rank partner = pn < g.rd_rem_ ? pn * 2 : pn + g.rd_rem_;
+      return s.role == Role::kRdExchangeSend
+                 ? Op::send(partner, s.bytes, s.tag)
+                 : Op::recv(partner, s.bytes, s.tag);
+    }
+    case Role::kRdReturnSend:
+      if (rank_ < 2 * g.rd_rem_ && (rank_ & 1) == 0) {
+        return Op::send(rank_ + 1, s.bytes, s.tag);
+      }
+      return Op::calc(0);
+    case Role::kRdReturnRecv:
+      if (rank_ < 2 * g.rd_rem_ && (rank_ & 1) != 0) {
+        return Op::recv(rank_ - 1, s.bytes, s.tag);
+      }
+      return Op::calc(0);
+    case Role::kBcastSend:
+    case Role::kBcastRecv:
+    case Role::kReduceSend:
+    case Role::kReduceRecv: {
+      Rank rel = rank_ - s.root;
+      if (rel < 0) rel += p;
+      const Rank m = s.param;
+      const Rank pos = rel % (2 * m);
+      if (s.role == Role::kBcastSend || s.role == Role::kReduceRecv) {
+        // Parent side of the tree edge at this level.
+        if (pos != 0 || rel + m >= p) return Op::calc(0);
+        Rank peer = rel + m + s.root;
+        if (peer >= p) peer -= p;
+        return s.role == Role::kBcastSend ? Op::send(peer, s.bytes, s.tag)
+                                          : Op::recv(peer, s.bytes, s.tag);
+      }
+      // Child side: participates exactly when the level mask is the low
+      // set bit of its root-relative rank.
+      if (pos != m) return Op::calc(0);
+      Rank peer = rel - m + s.root;
+      if (peer >= p) peer -= p;
+      return s.role == Role::kBcastRecv ? Op::recv(peer, s.bytes, s.tag)
+                                        : Op::send(peer, s.bytes, s.tag);
+    }
   }
-  const std::uint32_t j = (pos - 1) >> 1;
-  const Rank peer = peers_[j];
-  if (((pos - 1) & 1u) == 0) {
-    return Op::send(peer, graph_->spec_.message_bytes, 0);
-  }
-  return Op::recv(peer, graph_->spec_.message_bytes, 0);
+  return Op::calc(0);  // unreachable
 }
 // celint: hot-path end
 
-GenerativeGraph::GenerativeGraph(StencilSpec spec) : spec_(std::move(spec)) {
-  if (spec_.dims.empty()) {
+GenerativeGraph::GenerativeGraph(StencilSpec spec) {
+  if (spec.dims.empty()) {
     throw InvalidInputError("stencil spec needs at least one dimension");
   }
-  if (spec_.iterations < 1) {
+  if (spec.iterations < 1) {
     throw InvalidInputError("stencil spec needs at least one iteration");
   }
-  if (spec_.message_bytes < 0 || spec_.compute_ns < 0 || spec_.jitter_ns < 0) {
+  if (spec.message_bytes < 0 || spec.compute_ns < 0 || spec.jitter_ns < 0) {
     throw InvalidInputError("stencil spec sizes must be non-negative");
   }
   std::int64_t ranks = 1;
-  for (const Rank extent : spec_.dims) {
+  for (const Rank extent : spec.dims) {
     if (extent < 1) {
       throw InvalidInputError("stencil dimension extents must be >= 1");
     }
@@ -51,64 +152,199 @@ GenerativeGraph::GenerativeGraph(StencilSpec spec) : spec_(std::move(spec)) {
                               std::to_string(detail::kMaxPackedRank + 1));
     }
   }
-  ranks_ = static_cast<Rank>(ranks);
 
-  // Row-major rank layout, last dimension fastest. Dimensions of extent 1
-  // would wrap onto the rank itself, so they contribute no neighbours.
-  std::size_t active = 0;
-  Rank stride = ranks_;
-  for (const Rank extent : spec_.dims) {
-    stride /= extent;
-    if (extent >= 2) {
-      if (active == active_dims_.size()) {
-        throw InvalidInputError("stencil supports at most 4 dimensions of "
-                                "extent >= 2");
-      }
-      active_dims_[active++] = ActiveDim{extent, stride};
+  // Dimensions of extent 1 would wrap onto the rank itself, so they
+  // contribute no neighbours and drop out of the grid.
+  std::vector<Rank> active;
+  for (const Rank extent : spec.dims) {
+    if (extent >= 2) active.push_back(extent);
+  }
+  if (active.size() > 4) {
+    throw InvalidInputError("stencil supports at most 4 dimensions of "
+                            "extent >= 2");
+  }
+
+  GenerativeBuilder b(static_cast<Rank>(ranks), spec.seed);
+  b.stencil_grid(static_cast<Rank>(ranks), active, {}, /*periodic=*/true);
+  b.begin_body();
+  b.calc(spec.compute_ns, spec.jitter_ns, 0);
+  if (!active.empty()) {
+    // Template order mirrors the historical stencil layout: per active
+    // dimension, send(+d) recv(+d) send(-d) recv(-d).
+    std::vector<GenerativeBuilder::HaloLink> links;
+    links.reserve(2 * active.size());
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      GenerativeBuilder::HaloLink up{};
+      up.offsets[a] = 1;
+      up.bytes = spec.message_bytes;
+      GenerativeBuilder::HaloLink down{};
+      down.offsets[a] = -1;
+      down.bytes = spec.message_bytes;
+      links.push_back(up);
+      links.push_back(down);
+    }
+    b.halo(links);
+  }
+  *this = b.build(spec.iterations);
+  neighbors_ = 2 * active.size();
+  spec_ = std::move(spec);
+}
+
+// celint: hot-path begin -- program views borrow graph storage, no copies
+GenerativeProgram GenerativeGraph::program(Rank rank) const {
+  CELOG_ASSERT(rank >= 0 && rank < ranks_);
+  GenerativeProgram prog;
+  prog.graph_ = this;
+  prog.rank_ = rank;
+  prog.succ_offsets_ = succ_offsets_.data();
+  prog.succ_ = succ_.data();
+  prog.in_degree_ = in_degree_.data();
+  prog.size_ = ops_per_rank_;
+  if (block_ > 0) {
+    const Rank blk = rank / block_;
+    const GridGeom* grid = &full_grid_;
+    Rank base = blk * block_;
+    if (blk >= full_blocks_) {
+      grid = &tail_grid_;
+      base = full_blocks_ * block_;
+    }
+    prog.grid_ = grid;
+    prog.block_base_ = base;
+    const Rank local = rank - base;
+    for (std::size_t d = 0; d < grid->ndims; ++d) {
+      prog.coords_[d] = (local / grid->strides[d]) % grid->extents[d];
     }
   }
-  neighbors_ = 2 * active;
+  const Rank two_rem = 2 * rd_rem_;
+  prog.newrank_ =
+      rank < two_rem ? ((rank & 1) != 0 ? -1 : rank / 2) : rank - rd_rem_;
+  return prog;
+}
+// celint: hot-path end
 
-  // Build the shared per-rank dependency template: every iteration is one
-  // calc followed by a phase of 2 * neighbours mutually independent
-  // send/recv ops; the next calc waits on the whole phase (or, with no
-  // neighbours, directly on the previous calc).
-  const std::size_t per_iter = 1 + 2 * neighbors_;
-  const auto iters = static_cast<std::size_t>(spec_.iterations);
-  ops_per_rank_ = per_iter * iters;
+std::size_t GenerativeGraph::grid_participants(
+    const GridGeom& grid, const std::array<std::int8_t, 4>& offsets,
+    bool periodic) {
+  std::size_t count = 1;
+  for (std::size_t d = 0; d < grid.ndims; ++d) {
+    const Rank e = grid.extents[d];
+    std::size_t valid;
+    if (offsets[d] == 0) {
+      valid = static_cast<std::size_t>(e);
+    } else if (e <= 1) {
+      valid = 0;
+    } else {
+      valid = static_cast<std::size_t>(periodic ? e : e - 1);
+    }
+    count *= valid;
+  }
+  return count;
+}
+
+std::size_t GenerativeGraph::slot_participants(const Slot& slot) const {
+  const auto ranks = static_cast<std::size_t>(ranks_);
+  switch (slot.role) {
+    case SlotRole::kCalc:
+      return ranks;
+    case SlotRole::kHaloSend:
+    case SlotRole::kHaloRecv: {
+      std::size_t per_full = grid_participants(full_grid_, slot.offsets,
+                                               periodic_);
+      std::size_t count =
+          static_cast<std::size_t>(full_blocks_) * per_full;
+      if (tail_ > 0) {
+        count += grid_participants(tail_grid_, slot.offsets, periodic_);
+      }
+      return count;
+    }
+    case SlotRole::kDissemSend:
+    case SlotRole::kDissemRecv:
+      return ranks;
+    case SlotRole::kRdFoldSend:
+    case SlotRole::kRdFoldRecv:
+    case SlotRole::kRdReturnSend:
+    case SlotRole::kRdReturnRecv:
+      return static_cast<std::size_t>(rd_rem_);
+    case SlotRole::kRdExchangeSend:
+    case SlotRole::kRdExchangeRecv:
+      return static_cast<std::size_t>(rd_pof2_);
+    case SlotRole::kBcastSend:
+    case SlotRole::kBcastRecv:
+    case SlotRole::kReduceSend:
+    case SlotRole::kReduceRecv: {
+      // Tree edges at mask m: parents are root-relative multiples of 2m
+      // with a child m below the rank count; one child each.
+      const auto m = static_cast<std::size_t>(slot.param);
+      return (ranks + m - 1) / (2 * m);
+    }
+  }
+  return 0;  // unreachable
+}
+
+void GenerativeGraph::finalize_template(
+    const std::vector<std::vector<Slot>>& prologue,
+    const std::vector<std::vector<Slot>>& body, std::int32_t iterations) {
+  spec_.iterations = iterations;
+  std::size_t pro_slots = 0;
+  std::size_t body_slots = 0;
+  for (const auto& level : prologue) pro_slots += level.size();
+  for (const auto& level : body) body_slots += level.size();
+  const auto iters = static_cast<std::size_t>(iterations);
+  const std::size_t total = pro_slots + body_slots * iters;
+  if (total == 0) {
+    throw InvalidInputError("generative graph has no ops");
+  }
   // Template op indices (and the engine's OpIndex) are 32-bit; cap well
-  // below that so edge counts (< 2 * ops) can never overflow either.
-  if (ops_per_rank_ > (std::size_t{1} << 30)) {
-    throw InvalidInputError("stencil per-rank program too large (" +
-                            std::to_string(ops_per_rank_) + " ops)");
+  // below that so edge counts can never overflow either.
+  if (total > (std::size_t{1} << 30)) {
+    throw InvalidInputError("generative per-rank program too large (" +
+                            std::to_string(total) + " ops)");
   }
-  in_degree_.assign(ops_per_rank_, 0);
-  succ_offsets_.assign(ops_per_rank_ + 1, 0);
-  const std::size_t phase = 2 * neighbors_;
-  edges_per_rank_ = phase == 0 ? iters - 1 : phase * (2 * iters - 1);
+
+  slots_.reserve(total);
+  std::vector<std::uint32_t> level_sizes;
+  level_sizes.reserve(prologue.size() + body.size() * iters);
+  std::int32_t calc_ordinal = 0;
+  const auto append = [&](const std::vector<std::vector<Slot>>& phases) {
+    for (const auto& level : phases) {
+      if (level.empty()) continue;
+      level_sizes.push_back(static_cast<std::uint32_t>(level.size()));
+      for (Slot s : level) {
+        if (s.role == SlotRole::kCalc) s.counter = calc_ordinal++;
+        slots_.push_back(s);
+      }
+    }
+  };
+  append(prologue);
+  for (std::size_t t = 0; t < iters; ++t) append(body);
+  ops_per_rank_ = slots_.size();
+
+  // Complete-bipartite chaining between consecutive levels: every op of a
+  // level depends on every op of the previous one (waitall semantics).
+  std::size_t edges = 0;
+  for (std::size_t li = 0; li + 1 < level_sizes.size(); ++li) {
+    edges += static_cast<std::size_t>(level_sizes[li]) * level_sizes[li + 1];
+  }
+  edges_per_rank_ = edges;
+  in_degree_.reserve(ops_per_rank_);
+  succ_offsets_.reserve(ops_per_rank_ + 1);
   succ_.reserve(edges_per_rank_);
-  for (std::size_t t = 0; t < iters; ++t) {
-    const std::size_t calc = t * per_iter;
-    if (phase == 0) {
-      in_degree_[calc] = t > 0 ? 1 : 0;
-      if (t + 1 < iters) {
-        succ_.push_back(static_cast<OpIndex>(calc + per_iter));
+  succ_offsets_.push_back(0);
+  std::size_t level_base = 0;
+  for (std::size_t li = 0; li < level_sizes.size(); ++li) {
+    const std::size_t size = level_sizes[li];
+    const std::uint32_t prev = li > 0 ? level_sizes[li - 1] : 0;
+    const std::size_t next_base = level_base + size;
+    const std::size_t next_size =
+        li + 1 < level_sizes.size() ? level_sizes[li + 1] : 0;
+    for (std::size_t j = 0; j < size; ++j) {
+      in_degree_.push_back(prev);
+      for (std::size_t k = 0; k < next_size; ++k) {
+        succ_.push_back(static_cast<OpIndex>(next_base + k));
       }
-      succ_offsets_[calc + 1] = static_cast<std::uint32_t>(succ_.size());
-      continue;
+      succ_offsets_.push_back(static_cast<std::uint32_t>(succ_.size()));
     }
-    in_degree_[calc] = t > 0 ? static_cast<std::uint32_t>(phase) : 0;
-    for (std::size_t j = 1; j <= phase; ++j) {
-      succ_.push_back(static_cast<OpIndex>(calc + j));
-    }
-    succ_offsets_[calc + 1] = static_cast<std::uint32_t>(succ_.size());
-    for (std::size_t j = 1; j <= phase; ++j) {
-      in_degree_[calc + j] = 1;
-      if (t + 1 < iters) {
-        succ_.push_back(static_cast<OpIndex>(calc + per_iter));
-      }
-      succ_offsets_[calc + j + 1] = static_cast<std::uint32_t>(succ_.size());
-    }
+    level_base = next_base;
   }
   CELOG_ASSERT(succ_.size() == edges_per_rank_);
 
@@ -119,39 +355,49 @@ GenerativeGraph::GenerativeGraph(StencilSpec spec) : spec_(std::move(spec)) {
     const std::size_t out = succ_offsets_[i + 1] - succ_offsets_[i];
     if (out > 1) surplus_successors_per_rank_ += out - 1;
   }
-}
 
-// celint: hot-path begin -- program views borrow graph storage, no copies
-GenerativeProgram GenerativeGraph::program(Rank rank) const {
-  CELOG_ASSERT(rank >= 0 && rank < ranks_);
-  GenerativeProgram prog;
-  prog.graph_ = this;
-  prog.rank_ = rank;
-  for (std::size_t a = 0; a < neighbors_ / 2; ++a) {
-    const ActiveDim& dim = active_dims_[a];
-    const Rank coord = (rank / dim.stride) % dim.extent;
-    const Rank up = coord + 1 == dim.extent ? 1 - dim.extent : 1;
-    const Rank down = coord == 0 ? dim.extent - 1 : -1;
-    prog.peers_[2 * a] = rank + up * dim.stride;
-    prog.peers_[2 * a + 1] = rank + down * dim.stride;
+  // Closed-form totals: a slot decodes to its real op for its participants
+  // and to an idle calc(0) everywhere else.
+  const auto ranks = static_cast<std::size_t>(ranks_);
+  std::size_t send_slots = 0;
+  for (const Slot& s : slots_) {
+    if (is_send_role(s.role)) ++send_slots;
   }
-  prog.succ_offsets_ = succ_offsets_.data();
-  prog.succ_ = succ_.data();
-  prog.in_degree_ = in_degree_.data();
-  prog.size_ = ops_per_rank_;
-  return prog;
+  send_bytes_.reserve(send_slots);
+  for (const Slot& s : slots_) {
+    if (s.role == SlotRole::kCalc) {
+      calc_ops_ += ranks;
+      continue;
+    }
+    const std::size_t part = slot_participants(s);
+    CELOG_ASSERT(part <= ranks);
+    calc_ops_ += ranks - part;
+    if (is_send_role(s.role)) {
+      send_ops_ += part;
+      total_bytes_sent_ += static_cast<std::int64_t>(part) * s.bytes;
+      send_bytes_.push_back(s.bytes);
+    } else {
+      recv_ops_ += part;
+    }
+  }
 }
-// celint: hot-path end
 
 std::size_t GenerativeGraph::count_ops(OpKind kind) const {
-  const auto iters = static_cast<std::size_t>(spec_.iterations);
-  const auto ranks = static_cast<std::size_t>(ranks_);
-  if (kind == OpKind::kCalc) return ranks * iters;
-  return ranks * iters * neighbors_;  // sends == recvs == neighbours/iter
+  switch (kind) {
+    case OpKind::kCalc:
+      return calc_ops_;
+    case OpKind::kSend:
+      return send_ops_;
+    case OpKind::kRecv:
+      return recv_ops_;
+  }
+  return 0;
 }
 
 std::size_t GenerativeGraph::resident_bytes() const {
-  return succ_offsets_.capacity() * sizeof(std::uint32_t) +
+  return slots_.capacity() * sizeof(Slot) +
+         send_bytes_.capacity() * sizeof(std::int64_t) +
+         succ_offsets_.capacity() * sizeof(std::uint32_t) +
          succ_.capacity() * sizeof(OpIndex) +
          in_degree_.capacity() * sizeof(std::uint32_t) +
          spec_.dims.capacity() * sizeof(Rank);
@@ -176,6 +422,251 @@ TaskGraph GenerativeGraph::materialize() const {
   }
   g.finalize();
   return g;
+}
+
+GenerativeBuilder::GenerativeBuilder(Rank ranks, std::uint64_t seed) {
+  if (ranks < 1) {
+    throw InvalidInputError("generative graph needs at least one rank");
+  }
+  if (static_cast<std::int64_t>(ranks) >
+      static_cast<std::int64_t>(detail::kMaxPackedRank) + 1) {
+    throw InvalidInputError("generative rank count exceeds " +
+                            std::to_string(detail::kMaxPackedRank + 1));
+  }
+  graph_.ranks_ = ranks;
+  graph_.seed_ = seed;
+  graph_.spec_.seed = seed;
+  Rank pof2 = 1;
+  while (pof2 * 2 <= ranks) pof2 *= 2;
+  graph_.rd_pof2_ = pof2;
+  graph_.rd_rem_ = ranks - pof2;
+}
+
+GenerativeGraph::GridGeom GenerativeBuilder::make_grid(
+    std::span<const Rank> dims, Rank expected_product) {
+  if (dims.size() > 4) {
+    throw InvalidInputError("stencil grids support at most 4 dimensions");
+  }
+  GenerativeGraph::GridGeom grid;
+  grid.ndims = dims.size();
+  std::int64_t product = 1;
+  for (const Rank extent : dims) {
+    if (extent < 1) {
+      throw InvalidInputError("stencil dimension extents must be >= 1");
+    }
+    product *= extent;
+  }
+  if (product != expected_product) {
+    throw InvalidInputError("stencil grid dims must multiply to the block "
+                            "size");
+  }
+  Rank stride = expected_product;
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    stride /= dims[d];
+    grid.extents[d] = dims[d];
+    grid.strides[d] = stride;
+  }
+  return grid;
+}
+
+void GenerativeBuilder::stencil_grid(Rank block, std::span<const Rank> dims,
+                                     std::span<const Rank> tail_dims,
+                                     bool periodic) {
+  if (block < 1 || block > graph_.ranks_) {
+    throw InvalidInputError("stencil block must be in [1, ranks]");
+  }
+  graph_.block_ = block;
+  graph_.full_blocks_ = graph_.ranks_ / block;
+  graph_.tail_ = graph_.ranks_ % block;
+  graph_.periodic_ = periodic;
+  graph_.full_grid_ = make_grid(dims, block);
+  if (graph_.tail_ > 0) {
+    graph_.tail_grid_ = make_grid(tail_dims, graph_.tail_);
+  }
+}
+
+void GenerativeBuilder::begin_body() { in_body_ = true; }
+
+void GenerativeBuilder::add_level(std::vector<Slot> slots) {
+  (in_body_ ? body_ : prologue_).push_back(std::move(slots));
+}
+
+void GenerativeBuilder::calc(TimeNs base, TimeNs jitter,
+                             std::int32_t imb_permille) {
+  if (base < 0 || jitter < 0) {
+    throw InvalidInputError("calc durations must be non-negative");
+  }
+  if (imb_permille < 0 || imb_permille > 1000) {
+    throw InvalidInputError("calc imbalance must be in [0, 1000] permille");
+  }
+  Slot s;
+  s.role = SlotRole::kCalc;
+  s.base = base;
+  s.jitter = jitter;
+  s.imb_permille = imb_permille;
+  add_level({s});
+}
+
+void GenerativeBuilder::halo(std::span<const HaloLink> links) {
+  if (graph_.block_ == 0) {
+    throw InvalidInputError("halo requires stencil_grid() first");
+  }
+  if (links.empty()) {
+    throw InvalidInputError("halo needs at least one link");
+  }
+  const std::int32_t tag = next_tag();
+  std::vector<Slot> level;
+  level.reserve(2 * links.size());
+  for (const HaloLink& link : links) {
+    if (link.bytes < 0) {
+      throw InvalidInputError("halo link bytes must be non-negative");
+    }
+    bool nonzero = false;
+    bool mirrored = false;
+    for (std::size_t d = 0; d < link.offsets.size(); ++d) {
+      const int o = link.offsets[d];
+      if (o < -1 || o > 1) {
+        throw InvalidInputError("halo offsets must be in {-1, 0, 1}");
+      }
+      if (o != 0) {
+        if (d >= graph_.full_grid_.ndims) {
+          throw InvalidInputError("halo offset outside the stencil grid");
+        }
+        nonzero = true;
+      }
+    }
+    if (!nonzero) {
+      throw InvalidInputError("halo links need a nonzero offset");
+    }
+    // A recv at offset o is matched by the neighbour's send at -o: require
+    // the mirror link (with equal payload) so every message has a
+    // matching posted recv and the expansion can never deadlock.
+    for (const HaloLink& other : links) {
+      bool mirror = other.bytes == link.bytes;
+      for (std::size_t d = 0; mirror && d < link.offsets.size(); ++d) {
+        mirror = other.offsets[d] == -link.offsets[d];
+      }
+      if (mirror) {
+        mirrored = true;
+        break;
+      }
+    }
+    if (!mirrored) {
+      throw InvalidInputError("halo link lists must be symmetric "
+                              "(every offset needs its mirror)");
+    }
+    Slot send;
+    send.role = SlotRole::kHaloSend;
+    send.offsets = link.offsets;
+    send.bytes = link.bytes;
+    send.tag = tag;
+    Slot recv = send;
+    recv.role = SlotRole::kHaloRecv;
+    level.push_back(send);
+    level.push_back(recv);
+  }
+  add_level(std::move(level));
+}
+
+void GenerativeBuilder::allreduce(std::int64_t bytes) {
+  if (bytes < 0) {
+    throw InvalidInputError("allreduce bytes must be non-negative");
+  }
+  if (graph_.ranks_ < 2) return;
+  const auto pair_level = [&](SlotRole send, SlotRole recv, Rank param) {
+    Slot s;
+    s.role = send;
+    s.bytes = bytes;
+    s.tag = next_tag();
+    s.param = param;
+    Slot r = s;
+    r.role = recv;
+    add_level({s, r});
+  };
+  if (graph_.rd_rem_ > 0) {
+    pair_level(SlotRole::kRdFoldSend, SlotRole::kRdFoldRecv, 0);
+  }
+  for (Rank mask = 1; mask < graph_.rd_pof2_; mask *= 2) {
+    pair_level(SlotRole::kRdExchangeSend, SlotRole::kRdExchangeRecv, mask);
+  }
+  if (graph_.rd_rem_ > 0) {
+    pair_level(SlotRole::kRdReturnSend, SlotRole::kRdReturnRecv, 0);
+  }
+}
+
+void GenerativeBuilder::barrier(std::int64_t bytes) {
+  if (bytes < 0) {
+    throw InvalidInputError("barrier bytes must be non-negative");
+  }
+  if (graph_.ranks_ < 2) return;
+  for (Rank dist = 1; dist < graph_.ranks_; dist *= 2) {
+    Slot s;
+    s.role = SlotRole::kDissemSend;
+    s.bytes = bytes;
+    s.tag = next_tag();
+    s.param = dist;
+    Slot r = s;
+    r.role = SlotRole::kDissemRecv;
+    add_level({s, r});
+  }
+}
+
+void GenerativeBuilder::broadcast(Rank root, std::int64_t bytes) {
+  if (bytes < 0) {
+    throw InvalidInputError("broadcast bytes must be non-negative");
+  }
+  if (root < 0 || root >= graph_.ranks_) {
+    throw InvalidInputError("broadcast root out of range");
+  }
+  if (graph_.ranks_ < 2) return;
+  Rank top = 1;
+  while (top * 2 < graph_.ranks_) top *= 2;
+  for (Rank mask = top; mask >= 1; mask /= 2) {
+    Slot s;
+    s.role = SlotRole::kBcastSend;
+    s.bytes = bytes;
+    s.tag = next_tag();
+    s.param = mask;
+    s.root = root;
+    Slot r = s;
+    r.role = SlotRole::kBcastRecv;
+    add_level({s, r});
+  }
+}
+
+void GenerativeBuilder::reduce(Rank root, std::int64_t bytes) {
+  if (bytes < 0) {
+    throw InvalidInputError("reduce bytes must be non-negative");
+  }
+  if (root < 0 || root >= graph_.ranks_) {
+    throw InvalidInputError("reduce root out of range");
+  }
+  if (graph_.ranks_ < 2) return;
+  Rank top = 1;
+  while (top * 2 < graph_.ranks_) top *= 2;
+  for (Rank mask = 1; mask <= top; mask *= 2) {
+    Slot s;
+    s.role = SlotRole::kReduceSend;
+    s.bytes = bytes;
+    s.tag = next_tag();
+    s.param = mask;
+    s.root = root;
+    Slot r = s;
+    r.role = SlotRole::kReduceRecv;
+    add_level({s, r});
+  }
+}
+
+GenerativeGraph GenerativeBuilder::build(std::int32_t iterations) {
+  if (built_) {
+    throw InvalidInputError("generative builder already built");
+  }
+  if (iterations < 1) {
+    throw InvalidInputError("generative graph needs at least one iteration");
+  }
+  built_ = true;
+  graph_.finalize_template(prologue_, body_, iterations);
+  return std::move(graph_);
 }
 
 }  // namespace celog::goal

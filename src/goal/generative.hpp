@@ -1,28 +1,40 @@
 // celog/goal/generative.hpp
 //
-// Generative (lazy) task graphs: periodic nearest-neighbour patterns whose
-// per-rank programs are *computed* from O(1) pattern parameters instead of
-// materialized op-by-op. A 1M-rank stencil graph occupies a few kilobytes
-// — one shared per-rank dependency template plus the torus geometry — and
-// `program(rank)` decodes any rank's ops on demand, so the simulator can
-// run rank counts that a materialized goal::TaskGraph could never hold.
+// Generative (lazy) task graphs: communication patterns whose per-rank
+// programs are *computed* from O(pattern) parameters instead of
+// materialized op-by-op. A 1M-rank graph occupies kilobytes — one shared
+// per-rank slot template plus the geometry — and `program(rank)` decodes
+// any rank's ops on demand, so the simulator can run rank counts that a
+// materialized goal::TaskGraph could never hold.
 //
-// The pattern family is the d-dimensional periodic torus stencil (ring =
-// 1-D, halo exchange = 2-D/3-D, CG-style sparse patterns are its sparsity
-// structure). Every iteration of every rank runs the same template:
+// The representation is a *slot program*: a sequence of levels, each level
+// a list of slots that are mutually independent, with consecutive levels
+// chained complete-bipartite (every op of level L depends on every op of
+// level L-1 — exactly the waitall semantics SequentialBuilder's
+// begin_phase/end_phase produces). The template is identical for every
+// rank; only op decode is rank-specific. A slot's role determines the
+// closed-form arithmetic mapping (rank, slot, ranks) to an op:
 //
-//   calc(compute + jitter(rank, iter))       // local work, optional jitter
-//   begin_phase                              // mutually independent:
-//     send(+d0) recv(+d0) send(-d0) recv(-d0) ... per torus neighbour
-//   end_phase                                // waitall before next iter
+//   kCalc            base + hashed persistent imbalance + hashed jitter
+//   kHalo{Send,Recv} d-dimensional grid offset within the rank's block
+//                    (periodic torus wrap or open boundary)
+//   kDissem*         dissemination round: peer = rank +- distance (mod p)
+//   kRdFold/Exchange/Return*
+//                    MPICH-style recursive-doubling allreduce: fold the
+//                    non-power-of-two remainder, XOR-partner rounds over
+//                    the power-of-two core, return the folded results
+//   kBcast* kReduce* binomial tree levels keyed by a descending/ascending
+//                    mask; a rank's tree role is the low bit of its
+//                    root-relative rank
 //
-// which is exactly the shape workloads::halo_exchange emits, so the
-// dependency template (in-degrees + successor CSR) is identical for every
-// rank and is built once. Only the peers differ per rank (torus
-// coordinate arithmetic) and optionally the calc durations (counter-based
-// SplitMix64 hash of (seed, rank, iter): O(1) random access, no
-// sequential stream state). All messages use tag 0 so the matcher's
-// (src, tag) key population stays bounded by the neighbour count.
+// Ranks a slot does not apply to (block boundary, folded-out remainder,
+// tree level the rank is not in) decode as calc(0): every rank runs the
+// same template length, so the dependency template (in-degrees + successor
+// CSR) is built once and shared. Calc jitter is a counter-based SplitMix64
+// hash of (seed, rank, calc-ordinal): O(1) random access, no sequential
+// stream state. Tags are assigned once per communication level and reused
+// across iterations, so the matcher's (src, tag) key population stays
+// bounded by the template size.
 //
 // materialize() converts to an ordinary TaskGraph with the identical op
 // and edge layout; the differential tests prove the two representations
@@ -43,6 +55,7 @@
 namespace celog::goal {
 
 class GenerativeGraph;
+class GenerativeBuilder;
 
 /// Pattern parameters for a periodic torus stencil. `dims` of size 1 is a
 /// ring; sizes 2 and 3 are classic halo exchanges. Dimensions of extent 1
@@ -64,7 +77,7 @@ struct StencilSpec {
 /// One rank's program, decoded lazily from the pattern. Mirrors the
 /// goal::RankProgram view API the simulator consumes (size/op/successors/
 /// in_degree/in_degrees); the dependency arrays are the graph's shared
-/// template, only `op()` peers and calc durations are rank-specific.
+/// template, only `op()` decode is rank-specific.
 class GenerativeProgram {
  public:
   GenerativeProgram() = default;
@@ -94,17 +107,25 @@ class GenerativeProgram {
 
   const GenerativeGraph* graph_ = nullptr;
   Rank rank_ = -1;
-  // Torus neighbours of rank_, in template order (+d, -d per active dim).
-  std::array<Rank, 8> peers_{};
+  /// First rank of this rank's stencil block (halo peers are intra-block).
+  Rank block_base_ = 0;
+  /// Recursive-doubling "newrank": position in the power-of-two core, or
+  /// -1 when this rank folds out during the remainder pre-step.
+  Rank newrank_ = -1;
+  /// Grid coordinates of rank_ within its block (halo slots only).
+  std::array<Rank, 4> coords_{};
+  /// Geometry of the rank's block: the full-block grid or the tail grid.
+  const void* grid_ = nullptr;
   const std::uint32_t* succ_offsets_ = nullptr;
   const OpIndex* succ_ = nullptr;
   const std::uint32_t* in_degree_ = nullptr;
   std::size_t size_ = 0;
 };
 
-/// A lazily-generated periodic stencil graph. Structurally equivalent to
-/// the TaskGraph that materialize() returns, but O(pattern) resident
-/// regardless of rank count.
+/// A lazily-generated slot-program graph. Structurally equivalent to the
+/// TaskGraph that materialize() returns, but O(pattern) resident
+/// regardless of rank count. Construct from a StencilSpec (periodic torus
+/// stencil) or compose arbitrary phase sequences with GenerativeBuilder.
 class GenerativeGraph {
  public:
   explicit GenerativeGraph(StencilSpec spec);
@@ -113,10 +134,12 @@ class GenerativeGraph {
   std::int32_t iterations() const { return spec_.iterations; }
   std::int64_t message_bytes() const { return spec_.message_bytes; }
 
-  /// Torus neighbours per rank (uniform): 2 per dimension of extent >= 2.
+  /// Torus neighbours per rank for StencilSpec graphs (uniform): 2 per
+  /// dimension of extent >= 2. Zero for builder-composed graphs.
   std::size_t neighbors() const { return neighbors_; }
 
-  /// Ops in every rank's program: iterations * (1 calc + 2 * neighbours).
+  /// Ops in every rank's program (uniform: non-participating ranks decode
+  /// idle calc(0) slots, keeping the dependency template shared).
   std::size_t ops_per_rank() const { return ops_per_rank_; }
 
   GenerativeProgram program(Rank rank) const;
@@ -127,15 +150,17 @@ class GenerativeGraph {
   std::size_t total_edges() const {
     return static_cast<std::size_t>(ranks_) * edges_per_rank_;
   }
-  std::int64_t total_bytes_sent() const {
-    return static_cast<std::int64_t>(sends_per_rank()) *
-           static_cast<std::int64_t>(ranks_) * spec_.message_bytes;
-  }
+  std::int64_t total_bytes_sent() const { return total_bytes_sent_; }
   std::size_t count_ops(OpKind kind) const;
 
-  /// Sends issued by (and, by torus symmetry, also targeting) each rank.
-  std::size_t sends_per_rank() const {
-    return neighbors_ * static_cast<std::size_t>(spec_.iterations);
+  /// Send slots in the expanded template — an upper bound on sends issued
+  /// by (and, since every slot's destination map is injective, targeting)
+  /// each rank. Exact for StencilSpec graphs.
+  std::size_t sends_per_rank() const { return send_bytes_.size(); }
+  /// Message size of every send slot in the expanded template, in slot
+  /// order. The engine derives its rendezvous-event bound from this.
+  std::span<const std::int64_t> send_slot_bytes() const {
+    return send_bytes_;
   }
   /// Template ops with in-degree zero (event-seeding sources per rank).
   std::size_t sources_per_rank() const { return sources_per_rank_; }
@@ -158,39 +183,206 @@ class GenerativeGraph {
 
  private:
   friend class GenerativeProgram;
+  friend class GenerativeBuilder;
 
-  /// Calc duration for (rank, iteration): base + hashed jitter.
-  TimeNs calc_duration(Rank rank, std::int32_t iteration) const {
-    TimeNs d = spec_.compute_ns;
-    if (spec_.jitter_ns > 0) {
-      constexpr std::uint64_t kRankMix = 0xd6e8feb86659fd93;
-      constexpr std::uint64_t kIterMix = 0x9e3779b97f4a7c15;
-      SplitMix64 h(spec_.seed ^
-                   (static_cast<std::uint64_t>(rank) * kRankMix) ^
-                   (static_cast<std::uint64_t>(iteration) * kIterMix));
-      d += static_cast<TimeNs>(
-          h.next() % (static_cast<std::uint64_t>(spec_.jitter_ns) + 1));
+  /// Roles a slot can decode to; see the file comment for the arithmetic.
+  enum class SlotRole : std::uint8_t {
+    kCalc,
+    kHaloSend,
+    kHaloRecv,
+    kDissemSend,
+    kDissemRecv,
+    kRdFoldSend,
+    kRdFoldRecv,
+    kRdExchangeSend,
+    kRdExchangeRecv,
+    kRdReturnSend,
+    kRdReturnRecv,
+    kBcastSend,
+    kBcastRecv,
+    kReduceSend,
+    kReduceRecv,
+  };
+
+  /// One expanded template op. POD; the whole expanded program is a few
+  /// hundred of these even for multi-phase workloads at 50 iterations.
+  struct Slot {
+    std::int64_t bytes = 0;      ///< message payload (comm roles)
+    TimeNs base = 0;             ///< kCalc: base duration
+    TimeNs jitter = 0;           ///< kCalc: additive hashed jitter bound
+    std::int32_t tag = 0;        ///< comm roles: level tag
+    std::int32_t counter = 0;    ///< kCalc: calc ordinal (jitter hash key)
+    Rank param = 0;              ///< dissem distance / RD or binomial mask
+    Rank root = 0;               ///< binomial tree root
+    std::int32_t imb_permille = 0;  ///< kCalc: persistent imbalance bound
+    std::array<std::int8_t, 4> offsets{};  ///< halo: per-dim grid offsets
+    SlotRole role = SlotRole::kCalc;
+  };
+
+  /// Row-major block geometry for halo slots (last dimension fastest).
+  struct GridGeom {
+    std::array<Rank, 4> extents{};
+    std::array<Rank, 4> strides{};
+    std::size_t ndims = 0;
+  };
+
+  GenerativeGraph() = default;
+
+  /// Calc duration: base, plus a persistent (rank-hashed) imbalance of up
+  /// to +-imb_permille/1000 of base, plus an additive jitter hashed from
+  /// (seed, rank, counter). The StencilSpec path sets imb_permille = 0 and
+  /// counter = iteration, making this bit-identical to the original
+  /// per-(rank, iteration) stencil jitter.
+  TimeNs calc_duration(const Slot& s, Rank rank) const {
+    TimeNs d = s.base;
+    constexpr std::uint64_t kRankMix = 0xd6e8feb86659fd93;
+    constexpr std::uint64_t kIterMix = 0x9e3779b97f4a7c15;
+    if (s.imb_permille > 0) {
+      constexpr std::uint64_t kImbSalt = 0x2545f4914f6cdd1d;
+      SplitMix64 h(seed_ ^ (static_cast<std::uint64_t>(rank) * kRankMix) ^
+                   kImbSalt);
+      const auto span = 2 * static_cast<std::uint64_t>(s.imb_permille) + 1;
+      const auto offset = static_cast<std::int64_t>(h.next() % span) -
+                          s.imb_permille;
+      d += s.base * offset / 1000;
+    }
+    if (s.jitter > 0) {
+      SplitMix64 h(seed_ ^ (static_cast<std::uint64_t>(rank) * kRankMix) ^
+                   (static_cast<std::uint64_t>(s.counter) * kIterMix));
+      d += static_cast<TimeNs>(h.next() %
+                               (static_cast<std::uint64_t>(s.jitter) + 1));
     }
     return d;
   }
 
+  static bool is_send_role(SlotRole role);
+
+  /// Ranks per block for which a halo slot decodes to a real op, closed
+  /// form: the product over dimensions of valid-coordinate counts.
+  static std::size_t grid_participants(const GridGeom& grid,
+                                       const std::array<std::int8_t, 4>& o,
+                                       bool periodic);
+  /// Ranks (of all ranks_) for which `slot` decodes to a real op.
+  std::size_t slot_participants(const Slot& slot) const;
+
+  /// Expands `prologue + iterations * body` into slots_, builds the
+  /// bipartite dependency CSR from the level sizes, and caches the closed
+  /// -form totals. Called by GenerativeBuilder::build.
+  void finalize_template(const std::vector<std::vector<Slot>>& prologue,
+                         const std::vector<std::vector<Slot>>& body,
+                         std::int32_t iterations);
+
   StencilSpec spec_;
   Rank ranks_ = 0;
-  /// Active torus dimensions (extent >= 2): extent and row-major stride.
-  struct ActiveDim {
-    Rank extent;
-    Rank stride;
-  };
-  std::array<ActiveDim, 4> active_dims_{};
+  std::uint64_t seed_ = 0;
   std::size_t neighbors_ = 0;
-  std::size_t ops_per_rank_ = 0;
-  std::size_t edges_per_rank_ = 0;
-  std::size_t sources_per_rank_ = 0;
-  std::size_t surplus_successors_per_rank_ = 0;
+  // Stencil blocking: ranks are tiled into full blocks of block_ ranks
+  // (geometry full_grid_) plus one remainder block of tail_ ranks with its
+  // own geometry tail_grid_ — mirroring workloads::tile_blocks, where the
+  // remainder block gets its own near-cubic dims_create factorization.
+  Rank block_ = 0;
+  Rank full_blocks_ = 0;
+  Rank tail_ = 0;
+  GridGeom full_grid_;
+  GridGeom tail_grid_;
+  bool periodic_ = false;
+  // Recursive-doubling geometry over all ranks: the largest power of two
+  // <= ranks and the folded remainder.
+  Rank rd_pof2_ = 1;
+  Rank rd_rem_ = 0;
+  // The expanded slot template (prologue + iterations * body) and the
+  // message size of every send slot, in slot order.
+  std::vector<Slot> slots_;
+  std::vector<std::int64_t> send_bytes_;
   // Shared per-rank dependency template (CSR over template op indices).
   std::vector<std::uint32_t> succ_offsets_;
   std::vector<OpIndex> succ_;
   std::vector<std::uint32_t> in_degree_;
+  std::size_t ops_per_rank_ = 0;
+  std::size_t edges_per_rank_ = 0;
+  std::size_t sources_per_rank_ = 0;
+  std::size_t surplus_successors_per_rank_ = 0;
+  // Closed-form totals over all ranks (idle slots decode as calcs).
+  std::size_t calc_ops_ = 0;
+  std::size_t send_ops_ = 0;
+  std::size_t recv_ops_ = 0;
+  std::int64_t total_bytes_sent_ = 0;
+};
+
+/// Composes generative graphs phase by phase: calcs, block halo exchanges,
+/// and global collective trees, each decoded per-rank from closed-form
+/// arithmetic. Phases recorded before begin_body() run once as a prologue;
+/// phases after it repeat per iteration. Levels get one tag each, assigned
+/// at record time and reused across iterations.
+class GenerativeBuilder {
+ public:
+  /// One halo link: per-dimension grid offsets (|offset| <= 1) and the
+  /// message payload. Link lists must be symmetric (for every offset o the
+  /// list contains -o with equal bytes): a rank's recv at offset o is
+  /// matched by its neighbour's send at -o.
+  struct HaloLink {
+    std::array<std::int8_t, 4> offsets{};
+    std::int64_t bytes = 0;
+  };
+
+  GenerativeBuilder(Rank ranks, std::uint64_t seed);
+
+  /// Tiles the ranks into blocks of `block` with row-major geometry `dims`
+  /// (product == block); the remainder block of ranks % block gets its own
+  /// geometry `tail_dims` (product == ranks % block) — the same structure
+  /// workloads::tile_blocks gives the remainder. Must be called before
+  /// halo(). Periodic wraps offsets torus-style; open drops them at the
+  /// boundary.
+  void stencil_grid(Rank block, std::span<const Rank> dims,
+                    std::span<const Rank> tail_dims, bool periodic);
+
+  /// Marks the start of the per-iteration body; earlier phases form the
+  /// run-once prologue.
+  void begin_body();
+
+  /// One compute op per rank: base duration, additive hashed jitter in
+  /// [0, jitter], persistent per-rank imbalance of +-imb_permille/1000.
+  void calc(TimeNs base, TimeNs jitter = 0, std::int32_t imb_permille = 0);
+
+  /// One nonblocking halo exchange over the stencil grid: every rank posts
+  /// a send and a recv per link, all mutually independent, waitall after.
+  void halo(std::span<const HaloLink> links);
+
+  /// Recursive-doubling allreduce over all ranks (MPICH Rabenseifner
+  /// small-message algorithm): fold the non-power-of-two remainder,
+  /// log2(pof2) XOR-partner exchange rounds, return the folded results.
+  void allreduce(std::int64_t bytes);
+
+  /// Dissemination barrier over all ranks: ceil(log2(p)) rounds, round k
+  /// sends to rank + 2^k and receives from rank - 2^k (mod p).
+  void barrier(std::int64_t bytes = 1);
+
+  /// Binomial-tree broadcast from `root`: descending mask levels; a rank
+  /// receives at the lowest set bit of its root-relative rank.
+  void broadcast(Rank root, std::int64_t bytes);
+
+  /// Binomial-tree reduce to `root`: the broadcast tree mirrored, masks
+  /// ascending.
+  void reduce(Rank root, std::int64_t bytes);
+
+  /// Expands prologue + iterations * body and finalizes the graph.
+  GenerativeGraph build(std::int32_t iterations);
+
+ private:
+  using Slot = GenerativeGraph::Slot;
+  using SlotRole = GenerativeGraph::SlotRole;
+
+  void add_level(std::vector<Slot> slots);
+  std::int32_t next_tag() { return tag_counter_++; }
+  static GenerativeGraph::GridGeom make_grid(std::span<const Rank> dims,
+                                             Rank expected_product);
+
+  GenerativeGraph graph_;
+  std::vector<std::vector<Slot>> prologue_;
+  std::vector<std::vector<Slot>> body_;
+  bool in_body_ = false;
+  bool built_ = false;
+  std::int32_t tag_counter_ = 0;
 };
 
 }  // namespace celog::goal

@@ -90,14 +90,27 @@ SweepRequest parse_sweep(const std::vector<std::string>& tokens) {
                  "flat per-event cost in microseconds (0 = use --mode)");
   cli.add_option("horizon", "100", "horizon factor over the baseline");
   cli.add_flag("stream-runs", "stream one line per seed before the summary");
+  cli.add_option("rep", "materialized", "materialized | generative");
   parse_with_cli(cli, tokens);
 
   SweepRequest req;
   req.id = cli.get_int("id");
   req.workload = cli.get("workload");
   if (req.workload.empty()) throw ParseError("--workload is required");
+  const std::string rep = cli.get("rep");
+  if (rep == "materialized") {
+    req.rep = core::GraphRep::kMaterialized;
+  } else if (rep == "generative") {
+    req.rep = core::GraphRep::kGenerative;
+  } else {
+    throw ParseError("unknown --rep: " + rep);
+  }
+  // Generative graphs are O(pattern) resident, so they may ask for far
+  // more ranks than a materialized graph the daemon must hold in memory.
+  const std::int64_t rank_cap =
+      req.rep == core::GraphRep::kGenerative ? kMaxGenerativeRanks : kMaxRanks;
   req.ranks =
-      checked_range<goal::Rank>(cli.get_int("ranks"), 1, kMaxRanks, "--ranks");
+      checked_range<goal::Rank>(cli.get_int("ranks"), 1, rank_cap, "--ranks");
   req.sim_s =
       checked_positive(cli.get_double("sim-s"), kMaxSimSeconds, "--sim-s");
   req.seeds = checked_range<int>(cli.get_int("seeds"), 1, kMaxSeeds,

@@ -10,6 +10,7 @@
 //   sweep --id 7 --workload lulesh --ranks 64 --sim-s 0.25 --seeds 4
 //         --seed 1000 --jobs 2 --matcher bucketed --mtbce-ms 10
 //         --mode software [--cost-us 1] [--horizon 100] [--stream-runs]
+//         [--rep generative]
 //   (one line on the wire; wrapped here for width)
 //   ping  --id 3
 //   stats --id 4
@@ -54,7 +55,12 @@ inline constexpr std::size_t kMaxRequestLine = 4096;
 /// Per-request parameter ceilings. The daemon is a shared service: one
 /// request may not ask for a paper-scale simulation that monopolizes the
 /// box for hours. Batch work at larger scales stays in the bench binaries.
+/// Generative-backed sweeps (--rep generative) get a higher rank ceiling:
+/// their graphs are O(pattern + log ranks) resident — kilobytes at 100K
+/// ranks — so the materialized cap would waste the representation; the
+/// simulated-seconds cap still bounds the per-request CPU work.
 inline constexpr std::int64_t kMaxRanks = 4096;
+inline constexpr std::int64_t kMaxGenerativeRanks = 131072;
 inline constexpr std::int64_t kMaxSeeds = 256;
 inline constexpr std::int64_t kMaxJobs = 64;
 inline constexpr double kMaxSimSeconds = 60.0;
@@ -83,6 +89,10 @@ struct SweepRequest {
   double horizon = 100.0;
   /// Stream one "run" line per seed (run_once results) before the summary.
   bool stream_runs = false;
+  /// Graph representation: kGenerative serves the workload's lazy twin
+  /// (rejected for workloads without one — the fallback would silently
+  /// change the jitter model the client asked for).
+  core::GraphRep rep = core::GraphRep::kMaterialized;
 };
 
 struct Request {

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "util/error.hpp"
 #include "util/time.hpp"
 
 namespace celog::server {
@@ -16,16 +17,23 @@ RunnerRegistry::RunnerRegistry(std::size_t max_entries,
       max_graph_bytes_(max_graph_bytes) {}
 
 workloads::WorkloadConfig RunnerRegistry::config_for(
-    const workloads::Workload& w, goal::Rank ranks, double sim_s) {
+    const workloads::Workload& w, goal::Rank ranks, double sim_s,
+    core::GraphRep rep) {
   workloads::WorkloadConfig config;
   config.ranks = ranks;
   config.trace_block = 0;
   // Cover the target simulated time but always span several global
   // synchronizations — the same iteration rule the bench RunnerCache uses,
   // so a served cell and a bench cell of the same shape share arithmetic.
+  // Generative sweeps run at up to kMaxGenerativeRanks, so their iteration
+  // floor is much lower: per-iteration simulation cost scales with ranks,
+  // and the request's sim-s cap is the CPU bound, not the floor.
   const auto syncs_per_iter =
       std::max<TimeNs>(1, w.sync_period() / w.iteration_time());
-  const int min_iters = std::max(20, static_cast<int>(2 * syncs_per_iter));
+  const int min_iters =
+      rep == core::GraphRep::kGenerative
+          ? std::max(4, static_cast<int>(syncs_per_iter))
+          : std::max(20, static_cast<int>(2 * syncs_per_iter));
   config.iterations = w.iterations_for(from_seconds(sim_s), min_iters);
   config.seed = 1;
   return config;
@@ -34,17 +42,25 @@ workloads::WorkloadConfig RunnerRegistry::config_for(
 std::string RunnerRegistry::key_for(const SweepRequest& req) {
   const auto workload = workloads::find_workload(req.workload);
   const workloads::WorkloadConfig config =
-      config_for(*workload, req.ranks, req.sim_s);
+      config_for(*workload, req.ranks, req.sim_s, req.rep);
   return req.workload + "@" + std::to_string(req.ranks) + "/i" +
          std::to_string(config.iterations) + "/" +
-         (req.matcher == sim::MatcherKind::kReference ? "ref" : "bkt");
+         (req.matcher == sim::MatcherKind::kReference ? "ref" : "bkt") +
+         (req.rep == core::GraphRep::kGenerative ? "/gen" : "");
 }
 
 std::shared_ptr<const core::ExperimentRunner> RunnerRegistry::get(
     const SweepRequest& req) {
   // Resolves (and validates) the workload before touching the cache, so an
-  // unknown name never occupies an entry.
+  // unknown name never occupies an entry. A generative request for a
+  // workload without a twin is refused the same way: the runner's
+  // fallback-to-materialized would silently change the jitter model (and
+  // bypass the materialized rank cap).
   const auto workload = workloads::find_workload(req.workload);
+  if (req.rep == core::GraphRep::kGenerative && !workload->has_generative()) {
+    throw InvalidInputError("workload has no generative twin: " +
+                            req.workload);
+  }
   const std::string key = key_for(req);
 
   std::shared_ptr<Entry> entry;
@@ -76,9 +92,10 @@ std::shared_ptr<const core::ExperimentRunner> RunnerRegistry::get(
 
   std::call_once(entry->build_latch, [&] {
     const workloads::WorkloadConfig config =
-        config_for(*workload, req.ranks, req.sim_s);
+        config_for(*workload, req.ranks, req.sim_s, req.rep);
     entry->runner = std::make_shared<const core::ExperimentRunner>(
-        *workload, config, sim::NetworkParams::cray_xc40(), req.matcher);
+        *workload, config, sim::NetworkParams::cray_xc40(), req.matcher,
+        req.rep);
   });
   {
     // Charge the built graph against the byte budget and shed whatever no
@@ -99,7 +116,7 @@ void RunnerRegistry::charge_and_evict_locked(
     // build completing and this charge; evicted entries owe nothing.
     const auto it = cache_.find(keep);
     if (it != cache_.end() && it->second == entry) {
-      entry->charged_bytes = entry->runner->graph().resident_bytes();
+      entry->charged_bytes = entry->runner->graph_resident_bytes();
       stats_.resident_graph_bytes += entry->charged_bytes;
     }
   }

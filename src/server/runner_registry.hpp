@@ -50,16 +50,24 @@ class RunnerRegistry {
                           std::size_t max_graph_bytes = kDefaultMaxGraphBytes);
 
   /// The runner serving `req`, built on first use. Throws
-  /// celog::InvalidInputError for an unknown workload name.
+  /// celog::InvalidInputError for an unknown workload name, or for a
+  /// generative request naming a workload without a generative twin (the
+  /// runner's silent fallback would change the jitter model the client
+  /// asked for, so the daemon refuses instead).
   std::shared_ptr<const core::ExperimentRunner> get(const SweepRequest& req);
 
   /// THE batch-equivalence seam: the exact WorkloadConfig the daemon
-  /// builds for (workload, ranks, sim_s). A batch ExperimentRunner built
-  /// from this config must produce results byte-identical (via the
+  /// builds for (workload, ranks, sim_s, rep). A batch ExperimentRunner
+  /// built from this config must produce results byte-identical (via the
   /// protocol serializers) to the daemon's response for the same request —
-  /// the serve tests construct their expectations through it.
-  static workloads::WorkloadConfig config_for(const workloads::Workload& w,
-                                              goal::Rank ranks, double sim_s);
+  /// the serve tests construct their expectations through it. Generative
+  /// configs use a smaller iteration floor: their simulation cost per
+  /// iteration scales with the full rank count (up to kMaxGenerativeRanks),
+  /// so the materialized floor of 20+ iterations would blow the per-request
+  /// CPU bound that kMaxRanks used to enforce structurally.
+  static workloads::WorkloadConfig config_for(
+      const workloads::Workload& w, goal::Rank ranks, double sim_s,
+      core::GraphRep rep = core::GraphRep::kMaterialized);
 
   /// Cache key for `req` (exposed for tests; iterations are derived, so
   /// distinct sim-s values can legitimately share one runner).
@@ -69,7 +77,11 @@ class RunnerRegistry {
     std::uint64_t hits = 0;
     std::uint64_t builds = 0;
     std::uint64_t evictions = 0;
-    /// Sum of TaskGraph::resident_bytes() over cached built runners.
+    /// Sum of ExperimentRunner::graph_resident_bytes() over cached built
+    /// runners — the true footprint of whichever representation each
+    /// runner holds, so a 100K-rank generative runner charges kilobytes
+    /// and the 1 GiB budget admits exascale sweeps alongside materialized
+    /// ones.
     /// Deterministic for a given request history: graph builds are
     /// deterministic and the accounting is capacity-based, so two
     /// registries fed the same requests report the same value (asserted

@@ -257,18 +257,26 @@ class Run {
     if constexpr (std::is_same_v<Graph, GenerativeGraph>) {
       // Uniform pattern: every rank runs the same template, so every rank
       // is active and one bound — computed from the shared template, not
-      // by scanning ranks() programs — serves all shards. Torus symmetry
-      // makes inbound sends per rank equal outbound sends per rank.
+      // by scanning ranks() programs — serves all shards. Every slot's
+      // destination map is injective (torus offsets, dissemination and
+      // recursive-doubling pairings, binomial tree edges), so each send
+      // slot contributes at most one inbound message per rank; each
+      // rendezvous-sized send slot can additionally have one CTS in
+      // flight back toward the sender.
       active_.resize(static_cast<std::size_t>(ranks));
       for (Rank r = 0; r < ranks; ++r) {
         active_[static_cast<std::size_t>(r)] = r;
         slot_of_[static_cast<std::size_t>(r)] =
             static_cast<std::uint32_t>(r);
       }
-      const bool eager = params_.eager(graph_.message_bytes());
+      const auto send_bytes = graph_.send_slot_bytes();
+      std::size_t rendezvous = 0;
+      for (const std::int64_t bytes : send_bytes) {
+        if (!params_.eager(bytes)) ++rendezvous;
+      }
       uniform_bound = 1 + graph_.sources_per_rank() +
                       graph_.surplus_successors_per_rank() +
-                      graph_.sends_per_rank() * (eager ? 1 : 2);
+                      send_bytes.size() + rendezvous;
     } else {
       bound.assign(static_cast<std::size_t>(ranks), 1);
       std::vector<std::uint8_t> active_flag(static_cast<std::size_t>(ranks),

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -64,7 +65,7 @@ class HpcgWorkload final : public Workload {
         full3d(2 * 1024, 56, 8),
         full3d(512, 16, 8),
     };
-    const std::vector<double> imbalance = ctx.persistent_imbalance(0.02);
+    const std::vector<double> imbalance = ctx.persistent_imbalance(kImbalance);
 
     const auto scaled = [&](TimeNs t) {
       return static_cast<TimeNs>(static_cast<double>(t) *
@@ -90,6 +91,35 @@ class HpcgWorkload final : public Workload {
     return graph;
   }
 
+  bool has_generative() const override { return true; }
+
+  std::optional<goal::GenerativeGraph> build_generative(
+      const WorkloadConfig& config) const override {
+    if (config.iterations < 1) return std::nullopt;
+    goal::GenerativeBuilder b = generative_grid_builder(config);
+    const auto fine_links = generative_full_links_3d(32 * 1024, 832, 8);
+    const std::vector<goal::GenerativeBuilder::HaloLink> mg_links[3] = {
+        generative_full_links_3d(8 * 1024, 208, 8),
+        generative_full_links_3d(2 * 1024, 56, 8),
+        generative_full_links_3d(512, 16, 8),
+    };
+    const auto scaled = [&](TimeNs t) {
+      return static_cast<TimeNs>(static_cast<double>(t) *
+                                 config.compute_scale);
+    };
+    b.begin_body();
+    b.halo(fine_links);
+    generative_compute(b, scaled(kSpmvCompute), kImbalance, kJitter);
+    b.allreduce(8);
+    for (const auto& level : mg_links) {
+      b.halo(level);
+      generative_compute(b, scaled(kMgCompute / 3), kImbalance, kJitter);
+    }
+    b.allreduce(8);
+    generative_compute(b, scaled(kAxpyCompute), kImbalance, kJitter);
+    return b.build(config.iterations);
+  }
+
  private:
   // A full 104^3-rows-per-rank CG+MG iteration is memory-bound and takes
   // ~2 s on a Haswell-class node; the two dot products split it in half.
@@ -97,6 +127,7 @@ class HpcgWorkload final : public Workload {
   static constexpr TimeNs kMgCompute = milliseconds(960);
   static constexpr TimeNs kAxpyCompute = milliseconds(140);
   static constexpr double kJitter = 0.02;
+  static constexpr double kImbalance = 0.02;
 };
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include "workloads/topology.hpp"
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -66,7 +67,7 @@ class LuleshWorkload final : public Workload {
                                    /*face=*/12 * 1024, /*edge=*/768,
                                    /*corner=*/32);
         });
-    const std::vector<double> imbalance = ctx.persistent_imbalance(0.04);
+    const std::vector<double> imbalance = ctx.persistent_imbalance(kImbalance);
 
     const auto scaled = [&](TimeNs t) {
       return static_cast<TimeNs>(static_cast<double>(t) *
@@ -87,11 +88,37 @@ class LuleshWorkload final : public Workload {
     return graph;
   }
 
+  bool has_generative() const override { return true; }
+
+  std::optional<goal::GenerativeGraph> build_generative(
+      const WorkloadConfig& config) const override {
+    if (config.iterations < 1) return std::nullopt;
+    goal::GenerativeBuilder b = generative_grid_builder(config);
+    const auto force_links = generative_full_links_3d(
+        /*face=*/24 * 1024, /*edge=*/1536, /*corner=*/64);
+    const auto position_links = generative_full_links_3d(
+        /*face=*/12 * 1024, /*edge=*/768, /*corner=*/32);
+    const auto scaled = [&](TimeNs t) {
+      return static_cast<TimeNs>(static_cast<double>(t) *
+                                 config.compute_scale);
+    };
+    b.begin_body();
+    generative_compute(b, scaled(kForceCompute), kImbalance, kJitter);
+    b.halo(force_links);
+    generative_compute(b, scaled(kUpdateCompute), kImbalance, kJitter);
+    b.halo(position_links);
+    generative_compute(b, scaled(kElementCompute), kImbalance, kJitter);
+    b.allreduce(8);
+    b.allreduce(8);
+    return b.build(config.iterations);
+  }
+
  private:
   static constexpr TimeNs kForceCompute = milliseconds(9);
   static constexpr TimeNs kUpdateCompute = milliseconds(4);
   static constexpr TimeNs kElementCompute = milliseconds(2);
   static constexpr double kJitter = 0.03;
+  static constexpr double kImbalance = 0.04;
 };
 
 }  // namespace

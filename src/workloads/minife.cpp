@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,7 +53,7 @@ class MinifeWorkload final : public Workload {
     const NeighborLists spmv_halo = faces(14 * 1024);
     // Assembly exchanges shared-node contributions: larger, one-off.
     const NeighborLists assembly_halo = faces(48 * 1024);
-    const std::vector<double> imbalance = ctx.persistent_imbalance(0.03);
+    const std::vector<double> imbalance = ctx.persistent_imbalance(kImbalance);
 
     const auto scaled = [&](TimeNs t) {
       return static_cast<TimeNs>(static_cast<double>(t) *
@@ -75,6 +76,31 @@ class MinifeWorkload final : public Workload {
     return graph;
   }
 
+  bool has_generative() const override { return true; }
+
+  std::optional<goal::GenerativeGraph> build_generative(
+      const WorkloadConfig& config) const override {
+    if (config.iterations < 1) return std::nullopt;
+    goal::GenerativeBuilder b = generative_grid_builder(config);
+    const auto spmv_links = generative_face_links_3d(14 * 1024);
+    const auto assembly_links = generative_face_links_3d(48 * 1024);
+    const auto scaled = [&](TimeNs t) {
+      return static_cast<TimeNs>(static_cast<double>(t) *
+                                 config.compute_scale);
+    };
+    // One-time assembly prologue, then the per-iteration CG body.
+    generative_compute(b, scaled(kAssemblyCompute), kImbalance, kJitter);
+    b.halo(assembly_links);
+    generative_compute(b, scaled(kAssemblyCompute / 4), kImbalance, kJitter);
+    b.begin_body();
+    b.halo(spmv_links);
+    generative_compute(b, scaled(kSpmvCompute), kImbalance, kJitter);
+    b.allreduce(8);
+    generative_compute(b, scaled(kAxpyCompute), kImbalance, kJitter);
+    b.allreduce(8);
+    return b.build(config.iterations);
+  }
+
  private:
   // Weak-scaled implicit FE: a CG iteration over the per-rank brick is
   // ~1.6 s (memory-bound SpMV dominates), two dots split it.
@@ -82,6 +108,7 @@ class MinifeWorkload final : public Workload {
   static constexpr TimeNs kSpmvCompute = milliseconds(1100);
   static constexpr TimeNs kAxpyCompute = milliseconds(500);
   static constexpr double kJitter = 0.02;
+  static constexpr double kImbalance = 0.03;
 };
 
 }  // namespace

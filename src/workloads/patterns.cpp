@@ -1,6 +1,7 @@
 #include "workloads/patterns.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -73,6 +74,75 @@ void halo_exchange(BuildContext& ctx, const NeighborLists& neighbors) {
     }
     b.end_phase();
   }
+}
+
+goal::GenerativeBuilder generative_grid_builder(const WorkloadConfig& config) {
+  goal::GenerativeBuilder builder(config.ranks, config.seed);
+  const Rank block = effective_block(config);
+  const Rank tail = config.ranks % block;
+  const std::array<Rank, kMaxDims> dims = dims_create(block, 3);
+  std::array<Rank, kMaxDims> tail_dims{};
+  if (tail > 0) tail_dims = dims_create(tail, 3);
+  builder.stencil_grid(block, std::span<const Rank>(dims.data(), 3),
+                       std::span<const Rank>(tail_dims.data(), 3),
+                       /*periodic=*/false);
+  return builder;
+}
+
+std::vector<goal::GenerativeBuilder::HaloLink> generative_full_links_3d(
+    std::int64_t face_bytes, std::int64_t edge_bytes,
+    std::int64_t corner_bytes) {
+  std::vector<goal::GenerativeBuilder::HaloLink> links;
+  links.reserve(26);
+  for (int dx = -1; dx <= 1; ++dx) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dz = -1; dz <= 1; ++dz) {
+        const int nonzero = (dx != 0) + (dy != 0) + (dz != 0);
+        if (nonzero == 0) continue;
+        goal::GenerativeBuilder::HaloLink link{};
+        link.offsets[0] = static_cast<std::int8_t>(dx);
+        link.offsets[1] = static_cast<std::int8_t>(dy);
+        link.offsets[2] = static_cast<std::int8_t>(dz);
+        link.bytes = nonzero == 1   ? face_bytes
+                     : nonzero == 2 ? edge_bytes
+                                    : corner_bytes;
+        links.push_back(link);
+      }
+    }
+  }
+  return links;
+}
+
+std::vector<goal::GenerativeBuilder::HaloLink> generative_face_links_3d(
+    std::int64_t face_bytes) {
+  std::vector<goal::GenerativeBuilder::HaloLink> links;
+  links.reserve(6);
+  for (std::size_t d = 0; d < 3; ++d) {
+    for (const int dir : {1, -1}) {
+      goal::GenerativeBuilder::HaloLink link{};
+      link.offsets[d] = static_cast<std::int8_t>(dir);
+      link.bytes = face_bytes;
+      links.push_back(link);
+    }
+  }
+  return links;
+}
+
+void generative_compute(goal::GenerativeBuilder& builder, TimeNs nominal,
+                        double imbalance, double jitter) {
+  CELOG_ASSERT_MSG(nominal >= 0, "compute time must be non-negative");
+  CELOG_ASSERT_MSG(jitter >= 0.0 && jitter < 1.0, "jitter must be in [0, 1)");
+  CELOG_ASSERT_MSG(imbalance >= 0.0 && imbalance < 1.0,
+                   "imbalance must be in [0, 1)");
+  // Additive hashed jitter in [0, 2 * jitter * nominal] centred by
+  // lowering the base: mean nominal, spread +-jitter * nominal — the same
+  // first two moments jittered_compute draws from its RNG stream.
+  const auto jitter_ns =
+      static_cast<TimeNs>(2.0 * jitter * static_cast<double>(nominal));
+  const TimeNs base = nominal - jitter_ns / 2;
+  const auto imb_permille =
+      static_cast<std::int32_t>(imbalance * 1000.0 + 0.5);
+  builder.calc(base, jitter_ns, imb_permille);
 }
 
 }  // namespace celog::workloads

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "collectives/collectives.hpp"
+#include "goal/generative.hpp"
 #include "goal/task_graph.hpp"
 #include "util/rng.hpp"
 #include "workloads/topology.hpp"
@@ -68,5 +69,34 @@ void compute_phase(BuildContext& ctx, TimeNs nominal,
 /// Appends one halo exchange: every rank posts all its sends and recvs as a
 /// nonblocking phase (isend/irecv + waitall), one fresh tag per exchange.
 void halo_exchange(BuildContext& ctx, const NeighborLists& neighbors);
+
+// ---------------------------------------------------------------------------
+// Generative (lazy) twins of the blocks above, for Workload::
+// build_generative(). Same grid structure as the materialized path: the
+// ranks are tiled into trace blocks via effective_block(), full blocks get
+// dims_create(block, 3) and the remainder block gets its own
+// dims_create(ranks % block, 3) — exactly what tile_blocks gives it.
+
+/// A GenerativeBuilder seeded from the config with the 3-D block/tail grid
+/// a generator's tile_blocks(CartGrid(b, 3, open)) call would produce.
+goal::GenerativeBuilder generative_grid_builder(const WorkloadConfig& config);
+
+/// 26-neighbor (faces+edges+corners) halo links, the lazy twin of
+/// full_neighbors_3d: payload by the number of nonzero offsets.
+std::vector<goal::GenerativeBuilder::HaloLink> generative_full_links_3d(
+    std::int64_t face_bytes, std::int64_t edge_bytes,
+    std::int64_t corner_bytes);
+
+/// 6-face halo links, the lazy twin of face_neighbors on a 3-D grid.
+std::vector<goal::GenerativeBuilder::HaloLink> generative_face_links_3d(
+    std::int64_t face_bytes);
+
+/// One compute phase with jittered_compute-compatible statistics: mean
+/// `nominal`, uniform per-calc jitter of +-`jitter` * nominal, and a
+/// persistent per-rank imbalance of +-`imbalance` * nominal — decoded from
+/// counter hashes instead of sequential RNG streams (see
+/// GenerativeGraph::calc_duration).
+void generative_compute(goal::GenerativeBuilder& builder, TimeNs nominal,
+                        double imbalance, double jitter);
 
 }  // namespace celog::workloads

@@ -14,10 +14,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "goal/generative.hpp"
 #include "goal/task_graph.hpp"
 #include "util/time.hpp"
 
@@ -57,6 +59,27 @@ class Workload {
 
   /// Builds and finalizes the task graph.
   virtual goal::TaskGraph build(const WorkloadConfig& config) const = 0;
+
+  /// True when this model has a generative (lazy) twin: build_generative()
+  /// returns a graph instead of nullopt.
+  virtual bool has_generative() const { return false; }
+
+  /// Lazy counterpart of build(): a slot-program goal::GenerativeGraph
+  /// whose per-rank ops are decoded on demand from closed-form arithmetic,
+  /// O(pattern) resident at any rank count — the representation that takes
+  /// the Fig. 4/5 workload grids to 100K+ ranks. Returns nullopt for
+  /// models whose structure is genuinely irregular (SPARC's adaptive
+  /// refinement, recorded-trace replication); callers fall back to
+  /// build(). The generative model's equivalence contract is with its own
+  /// materialize() twin (bit-identical SimResults), not with build():
+  /// build()'s sequential RNG jitter streams cannot be decoded in O(1), so
+  /// generative models use counter-hashed jitter with the same mean and
+  /// spread (see patterns.hpp, generative_compute).
+  virtual std::optional<goal::GenerativeGraph> build_generative(
+      const WorkloadConfig& config) const {
+    static_cast<void>(config);
+    return std::nullopt;
+  }
 
   /// Nominal compute time between consecutive global synchronizations at
   /// compute_scale = 1 — the workload's "sync period", the quantity that

@@ -1,0 +1,351 @@
+// Differential tests of the GenerativeBuilder collective phases and the
+// workload generative twins (Workload::build_generative).
+//
+// The contract under test: a builder-composed GenerativeGraph and its
+// materialize()d twin produce bit-identical SimResults — all seven fields —
+// on every input: every collective phase (dissemination barrier,
+// recursive-doubling allreduce including non-power-of-two rank counts,
+// binomial broadcast/reduce including nonzero roots), composed with calc
+// and halo phases, from 1 to 4096 ranks, under both matchers, with fresh
+// and reused RunContexts, noise-free and under CE noise.
+//
+// The workload twins (LULESH, HPCG, miniFE) are additionally pinned
+// structurally against the materialized build() path: identical send/recv
+// op counts and total bytes on the wire for the same config — including
+// trace_block remainder configs, where both paths must give the remainder
+// block its own dims_create geometry (see DESIGN.md, "Generative workload
+// grids").
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "goal/generative.hpp"
+#include "goal/task_graph.hpp"
+#include "noise/detour.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/run_context.hpp"
+#include "workloads/workload.hpp"
+
+namespace celog {
+namespace {
+
+using goal::GenerativeBuilder;
+using goal::GenerativeGraph;
+using goal::OpKind;
+using goal::Rank;
+using goal::TaskGraph;
+using sim::MatcherKind;
+using sim::NetworkParams;
+using sim::RunContext;
+using sim::SimResult;
+using sim::Simulator;
+
+void expect_identical(const SimResult& a, const SimResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.makespan, b.makespan) << what;
+  EXPECT_EQ(a.rank_finish, b.rank_finish) << what;
+  EXPECT_EQ(a.data_messages, b.data_messages) << what;
+  EXPECT_EQ(a.control_messages, b.control_messages) << what;
+  EXPECT_EQ(a.noise_stolen, b.noise_stolen) << what;
+  EXPECT_EQ(a.detours_charged, b.detours_charged) << what;
+  EXPECT_EQ(a.events_processed, b.events_processed) << what;
+}
+
+/// Baseline + noisy differential of a generative graph against its
+/// materialized twin: both matchers, fresh and reused contexts.
+void expect_twin_identical(const GenerativeGraph& lazy,
+                           const std::string& what) {
+  const TaskGraph dense = lazy.materialize();
+  const noise::UniformCeNoiseModel noise(
+      milliseconds(2),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(50)));
+  RunContext lazy_ctx;
+  RunContext dense_ctx;
+  for (const MatcherKind matcher :
+       {MatcherKind::kBucketed, MatcherKind::kReference}) {
+    Simulator lazy_sim(lazy, NetworkParams::cray_xc40());
+    Simulator dense_sim(dense, NetworkParams::cray_xc40());
+    lazy_sim.set_matcher(matcher);
+    dense_sim.set_matcher(matcher);
+    expect_identical(lazy_sim.run_baseline(), dense_sim.run_baseline(),
+                     what + " baseline");
+    // Reused contexts (the sweep path) against the fresh-context runs.
+    expect_identical(lazy_sim.run_baseline(lazy_ctx),
+                     dense_sim.run_baseline(dense_ctx),
+                     what + " baseline reused-ctx");
+    for (const std::uint64_t seed : {1ull, 2ull}) {
+      expect_identical(lazy_sim.run(noise, seed, lazy_ctx),
+                       dense_sim.run(noise, seed, dense_ctx),
+                       what + " noisy seed=" + std::to_string(seed));
+    }
+  }
+}
+
+/// A whole-machine grid (one block spanning all ranks) for collective-only
+/// compositions; halo() needs a grid even when the test never calls it.
+GenerativeBuilder whole_machine_builder(Rank ranks, std::uint64_t seed) {
+  GenerativeBuilder b(ranks, seed);
+  const std::array<Rank, 1> dims = {ranks};
+  b.stencil_grid(ranks, dims, std::span<const Rank>{}, /*periodic=*/true);
+  return b;
+}
+
+// Dissemination barrier: ceil(log2(p)) rounds, every rank participating.
+TEST(CollectivePhases, BarrierBitIdenticalToMaterialized) {
+  for (const Rank p : {1, 2, 3, 5, 17, 64, 257, 1024}) {
+    GenerativeBuilder b = whole_machine_builder(p, 9);
+    b.begin_body();
+    b.calc(1000, 300);
+    b.barrier();
+    const GenerativeGraph lazy = b.build(3);
+    expect_twin_identical(lazy, "barrier p=" + std::to_string(p));
+  }
+}
+
+// Recursive-doubling allreduce: power-of-two counts skip the fold/return
+// pre- and post-steps entirely; the others fold a remainder in and out.
+TEST(CollectivePhases, AllreduceBitIdenticalToMaterialized) {
+  for (const Rank p : {1, 2, 3, 6, 7, 64, 100, 1000, 4095, 4096}) {
+    GenerativeBuilder b = whole_machine_builder(p, 4);
+    b.begin_body();
+    b.calc(2000, 500);
+    b.allreduce(8);
+    const GenerativeGraph lazy = b.build(2);
+    expect_twin_identical(lazy, "allreduce p=" + std::to_string(p));
+  }
+}
+
+// Binomial broadcast/reduce at zero and nonzero roots (the tree is keyed
+// on root-relative rank, so a nonzero root rotates every role).
+TEST(CollectivePhases, BroadcastReduceBitIdenticalToMaterialized) {
+  for (const Rank p : {1, 2, 5, 16, 31, 100}) {
+    for (const Rank root : {Rank{0}, p / 2, p - 1}) {
+      if (root < 0 || root >= p) continue;
+      GenerativeBuilder b = whole_machine_builder(p, 77);
+      b.begin_body();
+      b.broadcast(root, 4096);
+      b.calc(1500, 200);
+      b.reduce(root, 4096);
+      const GenerativeGraph lazy = b.build(2);
+      expect_twin_identical(lazy, "bcast/reduce p=" + std::to_string(p) +
+                                      " root=" + std::to_string(root));
+    }
+  }
+}
+
+// All phases composed — prologue, imbalanced calcs, halos over a blocked
+// grid with a remainder, and every collective — at rank counts straddling
+// the eager threshold via a rendezvous-sized broadcast.
+TEST(CollectivePhases, ComposedPhasesBitIdenticalToMaterialized) {
+  for (const Rank p : {7, 60, 4096}) {
+    GenerativeBuilder b(p, 21);
+    // Blocks of 12 ranks as a 3x2x2 grid (a {p, 1, 1} line when the
+    // machine is smaller than one block); the remainder (p % 12) gets a
+    // degenerate {tail, 1, 1} line of its own.
+    const Rank block = std::min<Rank>(12, p);
+    const std::array<Rank, 3> dims =
+        block == 12 ? std::array<Rank, 3>{3, 2, 2}
+                    : std::array<Rank, 3>{block, 1, 1};
+    const Rank tail = p % block;
+    const std::array<Rank, 3> tail_dims = {tail, 1, 1};
+    b.stencil_grid(block, dims,
+                   tail > 0 ? std::span<const Rank>(tail_dims)
+                            : std::span<const Rank>{},
+                   /*periodic=*/false);
+    std::vector<GenerativeBuilder::HaloLink> links;
+    for (const int dir : {1, -1}) {
+      GenerativeBuilder::HaloLink link{};
+      link.offsets[0] = static_cast<std::int8_t>(dir);
+      link.bytes = 2048;
+      links.push_back(link);
+    }
+    // Prologue: a broadcast above the 8 KiB eager threshold (rendezvous).
+    b.broadcast(0, 32 * 1024);
+    b.calc(5000, 0, 30);
+    b.begin_body();
+    b.calc(3000, 900, 50);
+    b.halo(links);
+    b.allreduce(8);
+    b.barrier();
+    b.reduce(0, 512);
+    const GenerativeGraph lazy = b.build(2);
+    expect_twin_identical(lazy, "composed p=" + std::to_string(p));
+  }
+}
+
+/// Workload configs the twin tests sweep: whole-machine grids, an exact
+/// cube, and trace_block configs with and without a remainder block.
+std::vector<workloads::WorkloadConfig> twin_configs() {
+  std::vector<workloads::WorkloadConfig> configs;
+  workloads::WorkloadConfig c;
+  c.iterations = 2;
+  c.seed = 5;
+  c.ranks = 1;
+  configs.push_back(c);
+  c.ranks = 27;  // exact 3x3x3 cube
+  configs.push_back(c);
+  c.ranks = 70;  // two 27-rank blocks + a 16-rank remainder block
+  c.trace_block = 27;
+  configs.push_back(c);
+  c.ranks = 100;  // whole-machine non-cubic factorization
+  c.trace_block = 0;
+  configs.push_back(c);
+  return configs;
+}
+
+std::vector<std::string> generative_workload_names() {
+  return {"lulesh", "hpcg", "minife"};
+}
+
+// Each workload's generative graph must be bit-identical to its own
+// materialize() twin on every SimResult field.
+TEST(WorkloadTwins, BitIdenticalToMaterializedTwin) {
+  for (const std::string& name : generative_workload_names()) {
+    const auto workload = workloads::find_workload(name);
+    ASSERT_TRUE(workload->has_generative());
+    for (const workloads::WorkloadConfig& config : twin_configs()) {
+      const std::optional<GenerativeGraph> lazy =
+          workload->build_generative(config);
+      ASSERT_TRUE(lazy.has_value());
+      expect_twin_identical(*lazy, name + " ranks=" +
+                                       std::to_string(config.ranks));
+    }
+  }
+}
+
+// Structural pin against the legacy build() path: the generative twin
+// must put the same sends, recvs, and bytes on the wire as the
+// materialized builder for the same config — including the trace_block
+// remainder config, where both paths must hand the remainder block its
+// own dims_create geometry rather than a truncated full-block grid.
+TEST(WorkloadTwins, WireStructureMatchesLegacyBuild) {
+  for (const std::string& name : generative_workload_names()) {
+    const auto workload = workloads::find_workload(name);
+    for (const workloads::WorkloadConfig& config : twin_configs()) {
+      const std::optional<GenerativeGraph> lazy =
+          workload->build_generative(config);
+      ASSERT_TRUE(lazy.has_value());
+      const TaskGraph legacy = workload->build(config);
+      const std::string what =
+          name + " ranks=" + std::to_string(config.ranks) + " block=" +
+          std::to_string(config.trace_block);
+      EXPECT_EQ(lazy->ranks(), legacy.ranks()) << what;
+      EXPECT_EQ(lazy->count_ops(OpKind::kSend),
+                legacy.count_ops(OpKind::kSend))
+          << what;
+      EXPECT_EQ(lazy->count_ops(OpKind::kRecv),
+                legacy.count_ops(OpKind::kRecv))
+          << what;
+      EXPECT_EQ(lazy->total_bytes_sent(), legacy.total_bytes_sent()) << what;
+    }
+  }
+}
+
+// Closed-form totals must agree with a per-op count of the materialized
+// twin, and the resident footprint must be O(pattern + log ranks): the
+// collective trees deepen logarithmically, everything else is
+// rank-count-independent, so two rank counts sharing a power-of-two core
+// have byte-identical templates.
+TEST(WorkloadTwins, TotalsAndResidentFootprint) {
+  workloads::WorkloadConfig config;
+  config.iterations = 3;
+  config.trace_block = 27;
+  for (const std::string& name : generative_workload_names()) {
+    const auto workload = workloads::find_workload(name);
+    config.ranks = 70;
+    const std::optional<GenerativeGraph> small =
+        workload->build_generative(config);
+    ASSERT_TRUE(small.has_value());
+    const TaskGraph dense = small->materialize();
+    EXPECT_EQ(small->total_ops(), dense.total_ops()) << name;
+    EXPECT_EQ(small->total_bytes_sent(), dense.total_bytes_sent()) << name;
+    for (const OpKind kind : {OpKind::kCalc, OpKind::kSend, OpKind::kRecv}) {
+      EXPECT_EQ(small->count_ops(kind), dense.count_ops(kind)) << name;
+    }
+
+    // 5000 and 8000 ranks share pof2 = 4096, so their collective trees —
+    // and therefore their whole templates — are the same size.
+    config.ranks = 5000;
+    const std::optional<GenerativeGraph> big =
+        workload->build_generative(config);
+    config.ranks = 8000;
+    const std::optional<GenerativeGraph> bigger =
+        workload->build_generative(config);
+    ASSERT_TRUE(big.has_value() && bigger.has_value());
+    EXPECT_EQ(big->resident_bytes(), bigger->resident_bytes()) << name;
+    EXPECT_LT(big->resident_bytes(), std::size_t{256} * 1024) << name;
+  }
+}
+
+// A 100K-rank generative LULESH — the Fig. 5 exascale cell — must be
+// constructible and addressable in kilobytes.
+TEST(WorkloadTwins, HundredThousandRankGraphIsCheap) {
+  workloads::WorkloadConfig config;
+  config.ranks = 100000;
+  config.iterations = 2;
+  config.trace_block = 125;
+  const auto workload = workloads::find_workload("lulesh");
+  const std::optional<GenerativeGraph> lazy =
+      workload->build_generative(config);
+  ASSERT_TRUE(lazy.has_value());
+  EXPECT_EQ(lazy->ranks(), 100000);
+  EXPECT_LT(lazy->resident_bytes(), std::size_t{256} * 1024);
+  EXPECT_GT(lazy->total_ops(), std::size_t{100000} * 100);
+}
+
+// ExperimentRunner's representation seam: a generative runner simulates
+// the lazy graph (baseline identical to the materialized twin's), reports
+// a rank-count-independent footprint, and falls back to build() for
+// workloads without a generative twin.
+TEST(RunnerRep, GenerativeRunnerMatchesTwinAndFallsBack) {
+  const auto lulesh = workloads::find_workload("lulesh");
+  workloads::WorkloadConfig config;
+  config.ranks = 70;
+  config.iterations = 2;
+  config.trace_block = 27;
+
+  const core::ExperimentRunner lazy_runner(
+      *lulesh, config, NetworkParams::cray_xc40(), MatcherKind::kBucketed,
+      core::GraphRep::kGenerative);
+  ASSERT_TRUE(lazy_runner.generative());
+  const TaskGraph dense = lazy_runner.generative_graph().materialize();
+  const Simulator dense_sim(dense, NetworkParams::cray_xc40());
+  expect_identical(lazy_runner.baseline(), dense_sim.run_baseline(),
+                   "runner baseline");
+  EXPECT_EQ(lazy_runner.graph_resident_bytes(),
+            lazy_runner.generative_graph().resident_bytes());
+
+  // Noisy runs through the runner's context free list match a fresh
+  // simulator over the twin.
+  const noise::UniformCeNoiseModel noise(
+      milliseconds(2),
+      std::make_shared<noise::FlatLoggingCost>(microseconds(50)));
+  expect_identical(lazy_runner.run_once(noise, 3), dense_sim.run(noise, 3),
+                   "runner noisy");
+
+  // SPARC has no generative twin: a kGenerative request falls back to the
+  // materialized build and the runner says so.
+  const auto sparc = workloads::find_workload("sparc");
+  ASSERT_FALSE(sparc->has_generative());
+  workloads::WorkloadConfig sparc_config;
+  sparc_config.ranks = 32;
+  sparc_config.iterations = 2;
+  const core::ExperimentRunner fallback(
+      *sparc, sparc_config, NetworkParams::cray_xc40(),
+      MatcherKind::kBucketed, core::GraphRep::kGenerative);
+  EXPECT_FALSE(fallback.generative());
+  EXPECT_EQ(fallback.graph_resident_bytes(),
+            fallback.graph().resident_bytes());
+}
+
+}  // namespace
+}  // namespace celog

@@ -108,6 +108,23 @@ TEST(ParseRequestTest, RejectsUntrustedInput) {
   }
 }
 
+TEST(ParseRequestTest, GenerativeRepRaisesTheRankCap) {
+  const server::Request req = server::parse_request(
+      "sweep --workload lulesh --rep generative --ranks 100000");
+  EXPECT_EQ(req.sweep.rep, core::GraphRep::kGenerative);
+  EXPECT_EQ(req.sweep.ranks, 100000);
+  // The default rep stays materialized with the materialized cap; the
+  // generative cap is finite too, and unknown reps are rejected.
+  const server::Request dflt =
+      server::parse_request("sweep --workload lulesh");
+  EXPECT_EQ(dflt.sweep.rep, core::GraphRep::kMaterialized);
+  EXPECT_THROW(server::parse_request(
+                   "sweep --workload lulesh --rep generative --ranks 200000"),
+               ParseError);
+  EXPECT_THROW(server::parse_request("sweep --workload lulesh --rep lazy"),
+               ParseError);
+}
+
 TEST(PeekRequestIdTest, BestEffortIdExtraction) {
   EXPECT_EQ(server::peek_request_id("bogus --id 7 --x"), 7);
   EXPECT_EQ(server::peek_request_id("bogus --id=9"), 9);
@@ -294,6 +311,39 @@ TEST(RunnerRegistryTest, ConfigForPinsTheBatchSeam) {
   EXPECT_EQ(config.seed, 1u);
 }
 
+TEST(RunnerRegistryTest, GenerativeRunnerChargesTemplateBytes) {
+  // A generative sweep at ranks beyond the materialized cap is admitted,
+  // simulated lazily, and charged at the template's true footprint —
+  // kilobytes — so the byte budget keeps admitting exascale runners.
+  server::RunnerRegistry registry;
+  server::SweepRequest req = small_request("lulesh", 5000);
+  req.rep = core::GraphRep::kGenerative;
+  const auto runner = registry.get(req);
+  EXPECT_TRUE(runner->generative());
+  EXPECT_GT(runner->baseline().makespan, 0);
+  const server::RunnerRegistry::Stats s = registry.stats();
+  EXPECT_EQ(s.resident_graph_bytes, runner->graph_resident_bytes());
+  EXPECT_LT(s.resident_graph_bytes, std::uint64_t{1} << 20);
+
+  // rep is part of the cache key: the materialized runner of an otherwise
+  // identical request is a distinct entry.
+  server::SweepRequest mat = req;
+  mat.rep = core::GraphRep::kMaterialized;
+  EXPECT_NE(server::RunnerRegistry::key_for(req),
+            server::RunnerRegistry::key_for(mat));
+}
+
+TEST(RunnerRegistryTest, GenerativeRequestWithoutTwinThrows) {
+  // SPARC has no generative twin; silently falling back to a materialized
+  // build would change the jitter model (and dodge the rank cap), so the
+  // registry refuses before occupying a cache entry.
+  server::RunnerRegistry registry;
+  server::SweepRequest req = small_request("sparc", 8);
+  req.rep = core::GraphRep::kGenerative;
+  EXPECT_THROW(registry.get(req), InvalidInputError);
+  EXPECT_EQ(registry.stats().builds, 0u);
+}
+
 // --- daemon end-to-end ------------------------------------------------------
 
 class DaemonTest : public ::testing::Test {
@@ -409,6 +459,43 @@ TEST_F(DaemonTest, StreamedRunsMatchBatchRunOnce) {
   EXPECT_EQ(line + "\n",
             server::result_line(
                 12, batch.runner.measure(batch.noise, 2, 77, 100.0, 1)));
+}
+
+TEST_F(DaemonTest, GenerativeSweepBeyondMaterializedCapMatchesBatch) {
+  StartDaemon();
+  const util::ScopedFd fd = Connect();
+  util::LineReader reader(fd.get());
+  // 5000 ranks is above kMaxRanks; only the generative rep admits it. The
+  // served result must still be byte-identical to a batch generative
+  // runner built from the config_for seam with the same rep.
+  ASSERT_TRUE(Send(fd,
+                   "sweep --id 21 --workload lulesh --ranks 5000 "
+                   "--sim-s 0.02 --seeds 2 --seed 55 --jobs 2 --mtbce-ms 10 "
+                   "--mode software --rep generative\n"));
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line));
+
+  const auto workload = workloads::find_workload("lulesh");
+  const core::ExperimentRunner runner(
+      *workload,
+      server::RunnerRegistry::config_for(*workload, 5000, 0.02,
+                                         core::GraphRep::kGenerative),
+      sim::NetworkParams::cray_xc40(), sim::MatcherKind::kBucketed,
+      core::GraphRep::kGenerative);
+  ASSERT_TRUE(runner.generative());
+  const noise::UniformCeNoiseModel noise(
+      from_seconds(10.0 * 1e-3), core::cost_model(core::LoggingMode::kSoftware));
+  const core::SlowdownResult expected = runner.measure(noise, 2, 55, 100.0, 2);
+  EXPECT_EQ(line + "\n", server::result_line(21, expected));
+
+  // The stats scrape reflects the template-sized charge, not a
+  // rank-count-sized graph.
+  ASSERT_TRUE(Send(fd, "stats --id 22\n"));
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_NE(line.find("\"runner_resident_graph_bytes\":" +
+                      std::to_string(runner.graph_resident_bytes())),
+            std::string::npos)
+      << line;
 }
 
 TEST_F(DaemonTest, StreamedNoProgressSeedEmitsMarkerInsteadOfHanging) {
