@@ -1,0 +1,226 @@
+// bench/ablation_fleet — predictive-maintenance campaigns over the fleet
+// memory-health database (src/fleetdb/): what does acting on logged CE
+// history buy, and what does it cost?
+//
+// Four policies drive identical fleets (same campaign seed, same
+// fleet-persistent fault rows) through the same span of fleet time:
+//
+//   none        serve everything — anchors the frontier at maximum UE
+//               exposure and zero capacity lost.
+//   age         replace modules on a staggered service-life clock,
+//               blind to error history (capacity-heavy).
+//   threshold   mcelog-style: offline a row at 64 observed CEs, replace
+//               a module once 3 of its rows are offlined.
+//   cost_model  offline/replace iff UE-risk avoided beats capacity cost
+//               (the RL-paper reward framing).
+//
+// Because fault rows persist across epochs (fleetdb::FleetEpochState),
+// maintenance feeds back into the CE stream: offlined rows stop producing
+// detours, replaced modules re-roll their fault rows. The table shows the
+// per-policy outcome counters — all integers, bit-identical for any
+// --jobs — and the frontier section plots UE-avoided against capacity
+// lost in the cost model's common currency (page=1, dimm=8).
+//
+// The perf metric is fleet-years simulated per CPU-hour for the threshold
+// campaign (graph build + 20 epochs x runs, the full campaign path); the
+// committed floor in perf_floor.json fails the fleet-perf-smoke ctest on
+// a >30% regression.
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fleetdb/campaign.hpp"
+#include "fleetdb/maintenance.hpp"
+#include "fleetdb/memdb.hpp"
+#include "util/table.hpp"
+#include "wall_clock.hpp"
+
+int main(int argc, char** argv) {
+  using namespace celog;
+  Cli cli(
+      "ablation_fleet: maintenance-policy campaigns over the fleet "
+      "memory-health DB (none vs age vs threshold vs cost-model)");
+  cli.add_option("ranks", "32", "fleet nodes (one rank per node)");
+  cli.add_option("epochs", "20",
+                 "campaign epochs (each stands for half a fleet-year)");
+  cli.add_option("runs", "2", "observation runs per epoch");
+  cli.add_option("sim-s", "0.05", "target simulated seconds per run");
+  cli.add_option("seed", "42", "campaign seed (fault placement + runs)");
+  cli.add_option("mtbce-ms", "4",
+                 "per-node mean time between CEs, in milliseconds "
+                 "(accelerated aging: one run window stands for an epoch; "
+                 "4 ms heats a ~50 ms window's rows over several epochs "
+                 "instead of tripping every threshold in epoch one)");
+  cli.add_option("jobs", "0",
+                 "threads across an epoch's runs (0 = all hardware "
+                 "threads; DB and table are identical for any value)");
+  cli.add_option("json", "",
+                 "append a perf-trajectory JSONL record to this file");
+  cli.add_option("check-floor", "",
+                 "flat JSON file of throughput floors; exit 1 if any "
+                 "recorded metric falls >30% below its floor");
+  cli.add_flag("smoke", "CI preset: ranks=16, runs=1, sim-s=0.02 "
+               "(explicit flags still override)");
+  if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
+
+  const bool smoke = cli.get_flag("smoke");
+  const auto value_or = [&cli, smoke](const char* key, double smoke_dflt) {
+    return (!smoke || cli.provided(key)) ? cli.get_double(key) : smoke_dflt;
+  };
+  fleetdb::CampaignConfig config;
+  config.workload = "lammps-crack";
+  config.ranks = static_cast<std::int32_t>(value_or("ranks", 16));
+  config.runs_per_epoch = static_cast<int>(value_or("runs", 1));
+  config.sim_target_s = value_or("sim-s", 0.02);
+  config.campaign_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  config.noise.mtbce = from_seconds(cli.get_double("mtbce-ms") * 1e-3);
+  config.jobs = static_cast<int>(cli.get_int("jobs"));
+  const int epochs = static_cast<int>(cli.get_int("epochs"));
+
+  bench::PerfJson perf(cli.get("json"), "ablation_fleet");
+  const bench::WallTimer total_timer;
+  std::printf("== Ablation: fleet maintenance campaigns ==\n");
+  std::printf(
+      "fleet: %d nodes, %d epochs x %s fleet time, %d run(s)/epoch, "
+      "MTBCE %s/node (accelerated), seed %llu\n\n",
+      config.ranks, epochs, format_duration(config.epoch_span).c_str(),
+      config.runs_per_epoch, format_duration(config.noise.mtbce).c_str(),
+      static_cast<unsigned long long>(config.campaign_seed));
+
+  // The cost model's currency prices every policy's frontier point.
+  const fleetdb::CostModelPolicy::Config currency;
+
+  struct Row {
+    std::string name;
+    fleetdb::CampaignStats stats;
+    fleetdb::MemDbSummary db;
+    double fleet_years = 0.0;
+    double wall_s = 0.0;
+  };
+  std::vector<Row> rows;
+  const auto run_campaign = [&](const char* label,
+                                fleetdb::MaintenancePolicy& policy) {
+    const bench::WallTimer timer;
+    fleetdb::CampaignRunner runner(config, policy);
+    runner.run(epochs);
+    Row row{label, runner.stats(), runner.db().summary(),
+            runner.fleet_years(), timer.seconds()};
+    rows.push_back(std::move(row));
+  };
+
+  {
+    fleetdb::NullMaintenancePolicy none;
+    run_campaign("none", none);
+  }
+  {
+    fleetdb::AgeReplacePolicy age(3 * kYear);
+    run_campaign("age", age);
+  }
+  {
+    fleetdb::ThresholdMaintenancePolicy threshold;
+    run_campaign("threshold", threshold);
+  }
+  {
+    fleetdb::CostModelPolicy cost_model;
+    run_campaign("cost_model", cost_model);
+  }
+
+  // Deterministic outcome table: every column is an integer fold of the
+  // campaign DB, bit-identical for any --jobs value.
+  TextTable table({"policy", "fleet-yrs", "CEs", "suppressed", "UE-exposed",
+                   "UE-avoided", "pages off", "dimms repl", "capacity lost"});
+  for (const Row& row : rows) {
+    const double capacity_lost =
+        static_cast<double>(row.stats.page_offline_epochs) *
+            currency.page_cost +
+        static_cast<double>(row.stats.dimms_replaced) * currency.dimm_cost;
+    char years[32];
+    std::snprintf(years, sizeof(years), "%.1f", row.fleet_years);
+    char lost[32];
+    std::snprintf(lost, sizeof(lost), "%.1f", capacity_lost);
+    table.add_row({row.name, years, std::to_string(row.db.total_ces),
+                   std::to_string(row.db.total_suppressed),
+                   std::to_string(row.stats.ue_exposure_epochs),
+                   std::to_string(row.stats.ue_avoided_epochs),
+                   std::to_string(row.stats.pages_offlined),
+                   std::to_string(row.stats.dimms_replaced), lost});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // The frontier: UE-risk bought off (row-epochs) against capacity spent.
+  // "none" pins one end; a good policy dominates toward the top-left.
+  std::printf("\n-- UE-avoided vs capacity-lost frontier --\n");
+  for (const Row& row : rows) {
+    const double capacity_lost =
+        static_cast<double>(row.stats.page_offline_epochs) *
+            currency.page_cost +
+        static_cast<double>(row.stats.dimms_replaced) * currency.dimm_cost;
+    std::printf("  %-10s avoided %6llu row-epochs   exposed %6llu   cost %8.1f\n",
+                row.name.c_str(),
+                static_cast<unsigned long long>(row.stats.ue_avoided_epochs),
+                static_cast<unsigned long long>(row.stats.ue_exposure_epochs),
+                capacity_lost);
+    perf.metric("fleet_" + row.name + ".ue_avoided_row_epochs",
+                static_cast<double>(row.stats.ue_avoided_epochs));
+    perf.metric("fleet_" + row.name + ".capacity_lost",
+                capacity_lost);
+  }
+
+  // Perf: fleet-years per CPU-hour of the full campaign path (wall time
+  // includes the graph build and baseline — the real cost of a campaign).
+  std::printf("\n");
+  for (const Row& row : rows) {
+    const double cpu_h = row.wall_s / 3600.0;
+    const double years_per_cpu_h =
+        cpu_h > 0.0 ? row.fleet_years / cpu_h : 0.0;
+    std::printf("  %-10s %6.2f s wall   %10.4g fleet-years/CPU-hour\n",
+                row.name.c_str(), row.wall_s, years_per_cpu_h);
+    perf.metric("fleet_" + row.name + ".fleet_years_per_cpu_hour",
+                years_per_cpu_h);
+  }
+  perf.metric("total_wall_s", total_timer.seconds());
+
+  const std::string floor_path = cli.get("check-floor");
+  if (!floor_path.empty()) {
+    // Only this bench's own metrics are checked; engine/serve floors in
+    // the same file are skipped (not recorded here), mirroring
+    // engine_microbench.
+    std::FILE* f = std::fopen(floor_path.c_str(), "r");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open floor file %s\n", floor_path.c_str());
+      return 1;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    int failures = 0;
+    std::size_t pos = 0;
+    while ((pos = text.find('"', pos)) != std::string::npos) {
+      const std::size_t end = text.find('"', pos + 1);
+      if (end == std::string::npos) break;
+      const std::string key = text.substr(pos + 1, end - pos - 1);
+      pos = end + 1;
+      while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) {
+        ++pos;
+      }
+      if (pos >= text.size() || text[pos] != ':') continue;
+      ++pos;
+      double floor = 0.0;
+      if (std::sscanf(text.c_str() + pos, "%lf", &floor) != 1) continue;
+      const double measured = perf.lookup(key);
+      if (measured < 0.0) continue;  // not one of this bench's metrics
+      const bool ok = measured >= 0.7 * floor;
+      std::printf("floor  %-46s %.4g vs floor %.4g  %s\n", key.c_str(),
+                  measured, floor, ok ? "OK" : "FAIL (>30% regression)");
+      if (!ok) ++failures;
+    }
+    if (failures > 0) return 1;
+  }
+  return 0;
+}

@@ -186,12 +186,19 @@ sim::SimResult ExperimentRunner::run_once(const noise::NoiseModel& noise,
 sim::SimResult ExperimentRunner::run_once(const noise::NoiseModel& noise,
                                           std::uint64_t seed,
                                           double horizon_factor) const {
+  return run_once(noise, seed, horizon_factor, nullptr);
+}
+
+sim::SimResult ExperimentRunner::run_once(const noise::NoiseModel& noise,
+                                          std::uint64_t seed,
+                                          double horizon_factor,
+                                          noise::DetourSink* ce_sink) const {
   CELOG_ASSERT_MSG(horizon_factor > 1.0, "horizon must exceed the baseline");
   const auto horizon = static_cast<TimeNs>(
       std::min(static_cast<double>(noise::RankNoise::kNoHorizon),
                static_cast<double>(baseline_.makespan) * horizon_factor));
   SweepState::Lease lease(*sweep_);
-  return simulator_->run(noise, seed, *lease.ctx, horizon);
+  return simulator_->run(noise, seed, *lease.ctx, horizon, {}, ce_sink);
 }
 
 SlowdownResult ExperimentRunner::measure(const noise::NoiseModel& noise,

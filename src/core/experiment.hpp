@@ -180,6 +180,14 @@ class ExperimentRunner {
   sim::SimResult run_once(const noise::NoiseModel& noise, std::uint64_t seed,
                           noise::DetourSink* ce_sink) const;
 
+  /// Horizon-bounded run with a sink attached — the campaign path
+  /// (fleetdb::CampaignRunner): a fleet epoch must both observe its CE
+  /// stream and survive a storm-heavy cell without simulating forever.
+  /// Throws NoProgressError exactly like the sink-free horizon overload.
+  sim::SimResult run_once(const noise::NoiseModel& noise, std::uint64_t seed,
+                          double horizon_factor,
+                          noise::DetourSink* ce_sink) const;
+
  private:
   /// Persistent sweep machinery (pool + context free list); defined in
   /// experiment.cpp. Mutated through const methods behind its own locks —

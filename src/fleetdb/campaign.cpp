@@ -1,0 +1,273 @@
+#include "fleetdb/campaign.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/workload.hpp"
+
+namespace celog::fleetdb {
+
+namespace {
+
+/// Distinct from every salt in fleet_noise.cpp and telemetry: the per-run
+/// engine seeds must not alias the fault-table or slot-hash streams.
+constexpr std::uint64_t kEpochSalt = 0xbf58476d1ce4e5b9ULL;
+constexpr std::uint64_t kRunSalt = 0x2545f4914f6cdd1dULL;
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw ParseError("campaign checkpoint: " + what);
+}
+
+}  // namespace
+
+std::uint64_t CampaignRunner::run_seed(std::uint64_t campaign_seed,
+                                       std::uint64_t epoch, int run) {
+  SplitMix64 h(campaign_seed ^ ((epoch + 1) * kEpochSalt) ^
+               ((static_cast<std::uint64_t>(run) + 1) * kRunSalt));
+  return h.next();
+}
+
+CampaignRunner::CampaignRunner(const CampaignConfig& config,
+                               MaintenancePolicy& policy)
+    : config_(config), policy_(policy) {
+  CELOG_ASSERT_MSG(config_.ranks > 0, "campaign needs at least one rank");
+  CELOG_ASSERT_MSG(config_.runs_per_epoch > 0,
+                   "campaign needs at least one run per epoch");
+  CELOG_ASSERT_MSG(config_.epoch_span > 0, "epoch span must be positive");
+  const auto workload = workloads::find_workload(config_.workload);
+  workloads::WorkloadConfig wc;
+  wc.ranks = config_.ranks;
+  // Same sizing rule as the bench RunnerCache: enough iterations to span
+  // several global synchronizations inside the simulated window.
+  const auto syncs_per_iter = std::max<TimeNs>(
+      1, workload->sync_period() / workload->iteration_time());
+  const int min_iters = std::max(20, static_cast<int>(2 * syncs_per_iter));
+  wc.iterations =
+      workload->iterations_for(from_seconds(config_.sim_target_s), min_iters);
+  wc.seed = 1;
+  runner_ = std::make_unique<core::ExperimentRunner>(*workload, wc);
+  db_.install_fleet(config_.ranks, config_.noise.geometry.dimms,
+                    /*fleet_now=*/0);
+  rebuild_state();
+}
+
+CampaignRunner::~CampaignRunner() = default;
+
+void CampaignRunner::rebuild_state() {
+  state_ = FleetEpochState::build(config_.noise, config_.campaign_seed,
+                                  config_.ranks, db_);
+}
+
+void CampaignRunner::run_epoch() {
+  const FleetCeNoiseModel model(config_.noise, state_);
+  const auto runs = static_cast<std::size_t>(config_.runs_per_epoch);
+  const TimeNs epoch_start = fleet_now_;
+
+  // One MemDb shard per run, folded in index order: runs cover disjoint
+  // observation streams (distinct run seeds), so the merged DB is
+  // bit-identical for every jobs value.
+  std::vector<MemDb> shards(runs);
+  const unsigned hw = util::ThreadPool::hardware_threads();
+  const unsigned want = config_.jobs <= 0
+                            ? hw
+                            : static_cast<unsigned>(config_.jobs);
+  util::ThreadPool pool(std::min<unsigned>(
+      std::max<unsigned>(want, 1), static_cast<unsigned>(runs)));
+  pool.parallel_for_indexed(runs, [&](std::size_t i) {
+    const std::uint64_t seed =
+        run_seed(config_.campaign_seed, epochs_done_, static_cast<int>(i));
+    FleetCollector collector(config_.noise, state_);
+    collector.begin_run(config_.ranks, seed);
+    static_cast<void>(runner_->run_once(model, seed, config_.horizon_factor,
+                                        &collector));
+    collector.fold_into(shards[i], epoch_start);
+  });
+  for (const MemDb& shard : shards) db_.merge(shard);
+  stats_.runs += runs;
+  ++stats_.epochs;
+
+  accrue_epoch_outcomes();
+  fleet_now_ += config_.epoch_span;
+  ++epochs_done_;
+  apply_actions();
+  rebuild_state();
+
+  stats_.total_ces = db_.total_ces();
+  stats_.dimms_replaced = db_.dimms_replaced();
+  stats_.pages_offlined = db_.pages_offlined_total();
+}
+
+void CampaignRunner::run(int epochs) {
+  for (int e = 0; e < epochs; ++e) run_epoch();
+}
+
+void CampaignRunner::accrue_epoch_outcomes() {
+  // Row flags still reflect the state the epoch RAN under (actions apply
+  // after): a hot row that served this epoch was a UE exposure, a hot row
+  // whose page was offlined was a UE avoided, and every offlined page was
+  // an epoch of lost capacity.
+  for (const auto& [key, rec] : db_.rows()) {
+    static_cast<void>(key);
+    const bool hot = rec.ces + rec.suppressed >= config_.ue_risk_ces;
+    if (rec.offlined != 0) {
+      ++stats_.page_offline_epochs;
+      if (hot) ++stats_.ue_avoided_epochs;
+    } else if (hot) {
+      ++stats_.ue_exposure_epochs;
+    }
+  }
+}
+
+void CampaignRunner::apply_actions() {
+  std::vector<MaintenanceAction> actions;
+  const CampaignContext ctx{fleet_now_, epochs_done_ - 1};
+  policy_.decide(db_, ctx, actions);
+  for (const MaintenanceAction& action : actions) {
+    switch (action.kind) {
+      case MaintenanceAction::Kind::kOfflineRow:
+        static_cast<void>(db_.offline_row(action.row, fleet_now_));
+        break;
+      case MaintenanceAction::Kind::kReplaceDimm: {
+        // Replacement removes the module's hot rows from service without
+        // ever offlining them: credit each one epoch of avoided UE risk
+        // (the same one-shot credit an offline would have started earning)
+        // before their records are erased.
+        const DimmKey dk{action.row.node, action.row.dimm};
+        const auto& rows = db_.rows();
+        auto it = std::lower_bound(
+            rows.begin(), rows.end(), RowKey{dk.node, dk.dimm, 0},
+            [](const auto& a, const RowKey& b) { return a.first < b; });
+        for (; it != rows.end() && it->first.node == dk.node &&
+               it->first.dimm == dk.dimm;
+             ++it) {
+          if (it->second.offlined == 0 &&
+              it->second.ces + it->second.suppressed >= config_.ue_risk_ces) {
+            ++stats_.ue_avoided_epochs;
+          }
+        }
+        static_cast<void>(db_.replace_dimm(dk, fleet_now_));
+        break;
+      }
+    }
+  }
+}
+
+std::string CampaignRunner::checkpoint() const {
+  std::string out;
+  out += "celog-campaign 1\n";
+  out += "cursor ";
+  append_u64(out, epochs_done_);
+  out += ' ';
+  append_i64(out, fleet_now_);
+  out += "\nstats ";
+  append_u64(out, stats_.epochs);
+  out += ' ';
+  append_u64(out, stats_.runs);
+  out += ' ';
+  append_u64(out, stats_.total_ces);
+  out += ' ';
+  append_u64(out, stats_.ue_exposure_epochs);
+  out += ' ';
+  append_u64(out, stats_.ue_avoided_epochs);
+  out += ' ';
+  append_u64(out, stats_.page_offline_epochs);
+  out += ' ';
+  append_u64(out, stats_.dimms_replaced);
+  out += ' ';
+  append_u64(out, stats_.pages_offlined);
+  out += '\n';
+  out += db_.serialize();
+  return out;
+}
+
+void CampaignRunner::restore(std::string_view text) {
+  // Header + cursor + stats are the first three lines; everything after is
+  // a MemDb::serialize() dump.
+  std::size_t pos = 0;
+  const auto take_line = [&]() -> std::string {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) fail("truncated before the DB section");
+    std::string line(text.substr(pos, nl - pos));
+    pos = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return line;
+  };
+  if (take_line() != "celog-campaign 1") {
+    fail("expected header 'celog-campaign 1'");
+  }
+  std::uint64_t epochs_done = 0;
+  TimeNs fleet_now = 0;
+  {
+    std::istringstream ss(take_line());
+    std::string kw;
+    ss >> kw >> epochs_done >> fleet_now;
+    if (kw != "cursor" || ss.fail() || fleet_now < 0) {
+      fail("expected 'cursor <epochs_done> <fleet_now>'");
+    }
+  }
+  CampaignStats stats;
+  {
+    std::istringstream ss(take_line());
+    std::string kw;
+    ss >> kw >> stats.epochs >> stats.runs >> stats.total_ces >>
+        stats.ue_exposure_epochs >> stats.ue_avoided_epochs >>
+        stats.page_offline_epochs >> stats.dimms_replaced >>
+        stats.pages_offlined;
+    if (kw != "stats" || ss.fail()) fail("expected 'stats <8 integers>'");
+  }
+  MemDb db = MemDb::deserialize(text.substr(pos));
+  // The constructor's install_fleet registered the full inventory, so the
+  // serialized DB carries it — a shape mismatch means the checkpoint was
+  // taken under a different campaign config.
+  if (db.nodes() != config_.ranks) {
+    fail("checkpoint fleet shape does not match the campaign config");
+  }
+  // All parsed: commit and re-derive everything else.
+  epochs_done_ = epochs_done;
+  fleet_now_ = fleet_now;
+  stats_ = stats;
+  db_ = std::move(db);
+  rebuild_state();
+}
+
+void CampaignRunner::save_checkpoint(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw ParseError("cannot open for writing: " + path);
+  const std::string text = checkpoint();
+  os.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!os) throw ParseError("write failed: " + path);
+}
+
+void CampaignRunner::load_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw ParseError("cannot open: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  restore(buf.str());
+}
+
+}  // namespace celog::fleetdb

@@ -1,0 +1,144 @@
+// celog/fleetdb/campaign.hpp
+//
+// CampaignRunner: drives ExperimentRunner across epochs of fleet time.
+//
+// A campaign simulates years of fleet operation as a sequence of epochs.
+// Each epoch: (1) re-seed per-run streams from the campaign seed, (2) run
+// `runs_per_epoch` simulations in parallel under the epoch's
+// FleetCeNoiseModel, each observed by a FleetCollector, (3) fold each
+// run's observations into a per-run MemDb shard and merge the shards into
+// the campaign DB in run order, (4) advance the fleet clock by the epoch
+// span, accrue UE-exposure/avoidance accounting, (5) let the maintenance
+// policy read the DB and apply its actions, and (6) rebuild the epoch
+// state (fault tables resolve new generations; offlined rows fall silent).
+//
+// Jobs-invariance: every run's engine result and collector tallies are a
+// pure function of (config, epoch, run index); shards are gathered into
+// index-order slots and merged in that order, so the DB after any epoch is
+// bit-identical for --jobs 1/4/hardware (the FleetAggregator argument).
+//
+// Checkpoint/resume: a checkpoint is `celog-campaign 1` + the cursor
+// (epochs done, fleet clock) + the outcome counters + the serialized
+// MemDb. Everything else — the ExperimentRunner, the epoch state, the
+// per-epoch seeds — is re-derived from (config, DB, cursor), so a resumed
+// campaign continues bit-identically to an uninterrupted one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/experiment.hpp"
+#include "fleetdb/fleet_noise.hpp"
+#include "fleetdb/maintenance.hpp"
+#include "fleetdb/memdb.hpp"
+#include "util/time.hpp"
+
+namespace celog::fleetdb {
+
+struct CampaignConfig {
+  /// Workload each run simulates (one run == one epoch's observation
+  /// window under accelerated aging). lammps-crack is the default because
+  /// its minimum graph spans ~50 ms of simulated time — campaign cost is
+  /// (epochs x runs) engine passes, so the shortest paper workload keeps
+  /// 10-fleet-year campaigns in CI budgets; minife's 20-iteration floor
+  /// is ~32 simulated SECONDS per run, three orders of magnitude more CE
+  /// events for the same fleet history.
+  std::string workload = "lammps-crack";
+  std::int32_t ranks = 32;
+  /// Target simulated seconds per run (workload iterations are chosen to
+  /// land near it, like the benches).
+  double sim_target_s = 0.05;
+  std::uint64_t campaign_seed = 42;
+  /// Independent observation runs per epoch.
+  int runs_per_epoch = 2;
+  /// Fleet time one epoch stands for.
+  TimeNs epoch_span = kYear / 2;
+  /// Horizon factor for each run (NoProgressError beyond it).
+  double horizon_factor = 100.0;
+  /// Parallelism across an epoch's runs (0 = hardware threads).
+  int jobs = 1;
+  /// A row whose lifetime CEs + suppressed reach this is "hot": leaving it
+  /// serving for an epoch is a UE exposure; having it offlined instead is
+  /// a UE avoided.
+  std::uint64_t ue_risk_ces = 64;
+  FleetNoiseConfig noise;
+};
+
+/// Cumulative campaign outcomes — the frontier's two axes plus raw
+/// counters. All integers; part of the checkpoint.
+struct CampaignStats {
+  std::uint64_t epochs = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t total_ces = 0;
+  /// Row-epochs a hot row spent serving (UE risk the fleet ate).
+  std::uint64_t ue_exposure_epochs = 0;
+  /// Row-epochs a hot row spent offlined, plus a one-epoch credit per hot
+  /// row removed by replacement (UE risk maintenance bought off).
+  std::uint64_t ue_avoided_epochs = 0;
+  /// Page-epochs of capacity lost to offlining.
+  std::uint64_t page_offline_epochs = 0;
+  std::uint64_t dimms_replaced = 0;
+  std::uint64_t pages_offlined = 0;
+
+  bool operator==(const CampaignStats&) const = default;
+};
+
+class CampaignRunner {
+ public:
+  /// Builds the workload graph once (shared across every epoch). `policy`
+  /// is borrowed and must outlive the runner.
+  CampaignRunner(const CampaignConfig& config, MaintenancePolicy& policy);
+  ~CampaignRunner();
+
+  CampaignRunner(const CampaignRunner&) = delete;
+  CampaignRunner& operator=(const CampaignRunner&) = delete;
+
+  /// Runs one epoch (simulate -> fold -> account -> maintain -> rebuild).
+  void run_epoch();
+
+  /// Runs `epochs` more epochs.
+  void run(int epochs);
+
+  const MemDb& db() const { return db_; }
+  const CampaignStats& stats() const { return stats_; }
+  TimeNs fleet_now() const { return fleet_now_; }
+  std::uint64_t epochs_done() const { return epochs_done_; }
+  /// Fleet years the campaign has covered so far.
+  double fleet_years() const {
+    return static_cast<double>(fleet_now_) / static_cast<double>(kYear);
+  }
+  const CampaignConfig& config() const { return config_; }
+
+  /// Serializes cursor + stats + DB; byte-stable like MemDb::serialize.
+  std::string checkpoint() const;
+  /// Restores cursor + stats + DB from a checkpoint() dump and rebuilds
+  /// the derived state. Throws celog::ParseError on malformed input.
+  void restore(std::string_view text);
+
+  /// File wrappers; throw ParseError on I/O failure.
+  void save_checkpoint(const std::string& path) const;
+  void load_checkpoint(const std::string& path);
+
+  /// The deterministic per-run seed: SplitMix64 over (campaign seed,
+  /// epoch, run) — stateless, so resume needs only the epoch cursor.
+  static std::uint64_t run_seed(std::uint64_t campaign_seed,
+                                std::uint64_t epoch, int run);
+
+ private:
+  void rebuild_state();
+  void accrue_epoch_outcomes();
+  void apply_actions();
+
+  CampaignConfig config_;
+  MaintenancePolicy& policy_;
+  std::unique_ptr<core::ExperimentRunner> runner_;
+  MemDb db_;
+  std::shared_ptr<const FleetEpochState> state_;
+  CampaignStats stats_;
+  TimeNs fleet_now_ = 0;
+  std::uint64_t epochs_done_ = 0;
+};
+
+}  // namespace celog::fleetdb

@@ -1,0 +1,267 @@
+#include "fleetdb/fleet_noise.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace celog::fleetdb {
+
+namespace {
+
+/// Distinct salts for the fleet derivation streams (same decorrelation
+/// shape as telemetry::CeDecoder's, different constants so fleet tables
+/// never alias the per-run telemetry tables or the arrival RNG).
+constexpr std::uint64_t kNodeSalt = 0xa3c59ac2ed1a8a6fULL;
+constexpr std::uint64_t kPlacementSalt = 0x61c8864680b583ebULL;
+constexpr std::uint64_t kGenerationSalt = 0x3c6ef372fe94f82aULL;
+constexpr std::uint64_t kEpochSlotSalt = 0x94d049bb133111ebULL;
+
+std::uint64_t node_key(std::uint64_t campaign_seed, std::int32_t node) {
+  return campaign_seed ^ (static_cast<std::uint64_t>(node) *
+                          std::uint64_t{0xd6e8feb86659fd93ULL});
+}
+
+}  // namespace
+
+std::shared_ptr<const FleetEpochState> FleetEpochState::build(
+    const FleetNoiseConfig& config, std::uint64_t campaign_seed,
+    std::int32_t nodes, const MemDb& db) {
+  CELOG_ASSERT_MSG(nodes > 0, "fleet needs at least one node");
+  CELOG_ASSERT_MSG(config.fault_rows > 0, "need at least one fault row");
+  CELOG_ASSERT_MSG(config.geometry.dimms > 0 && config.geometry.channels > 0 &&
+                       config.geometry.banks > 0 && config.geometry.rows > 0,
+                   "DIMM geometry dimensions must be positive");
+  auto state = std::make_shared<FleetEpochState>();
+  state->nodes_ = nodes;
+  state->fault_rows_ = config.fault_rows;
+  state->slots_.resize(static_cast<std::size_t>(nodes) * config.fault_rows);
+  for (std::int32_t n = 0; n < nodes; ++n) {
+    const std::uint64_t key = node_key(campaign_seed, n) ^ kNodeSalt;
+    for (std::uint32_t s = 0; s < config.fault_rows; ++s) {
+      // Placement (dimm, channel) is generation-independent: the slot
+      // lives on its DIMM for the whole campaign.
+      SplitMix64 place(key ^ ((s + 1) * kPlacementSalt));
+      telemetry::DimmAddress addr;
+      addr.dimm =
+          static_cast<std::uint32_t>(place.next() % config.geometry.dimms);
+      addr.channel =
+          static_cast<std::uint32_t>(place.next() % config.geometry.channels);
+      // (bank, row) mix in the DIMM's current generation: replacing the
+      // module re-rolls exactly the slots living on it.
+      const std::uint32_t gen = db.generation(DimmKey{n, addr.dimm});
+      SplitMix64 cell(key ^ ((s + 1) * kGenerationSalt) ^
+                      ((static_cast<std::uint64_t>(gen) + 1) *
+                       0x9e3779b97f4a7c15ULL));
+      addr.bank =
+          static_cast<std::uint32_t>(cell.next() % config.geometry.banks);
+      addr.row =
+          static_cast<std::uint32_t>(cell.next() % config.geometry.rows);
+      Slot& slot = state->slots_[static_cast<std::size_t>(n) *
+                                     config.fault_rows +
+                                 s];
+      slot.addr = addr;
+      slot.offlined = db.row_offlined(RowKey{n, addr.dimm, addr.row});
+    }
+  }
+  return state;
+}
+
+FleetNodeStream::FleetNodeStream(const FleetNoiseConfig& config,
+                                 std::shared_ptr<const FleetEpochState> state,
+                                 std::int32_t rank, std::uint64_t run_seed)
+    : config_(config), state_(std::move(state)), rank_(rank) {
+  CELOG_ASSERT_MSG(state_ != nullptr, "epoch state required");
+  CELOG_ASSERT_MSG(rank >= 0 && rank < state_->nodes(),
+                   "rank outside the fleet");
+  CELOG_ASSERT_MSG(config_.logged_cost >= 0 &&
+                       config_.storm_decode_cost >= 0 &&
+                       config_.rate_limited_cost >= 0,
+                   "action costs must be nonnegative");
+  slots_.resize(config_.fault_rows);
+  dimms_.resize(config_.geometry.dimms);
+  reseed(run_seed);
+}
+
+void FleetNodeStream::reseed(std::uint64_t run_seed) {
+  // Same stream-key shape as CeDecoder: the per-epoch slot hash decorrelates
+  // across (run_seed, rank) while the TABLE stays fleet-persistent.
+  slot_seed_ = (run_seed ^ (static_cast<std::uint64_t>(rank_) *
+                            std::uint64_t{0xd6e8feb86659fd93ULL})) ^
+               kEpochSlotSalt;
+  slots_.assign(config_.fault_rows, SlotTally{});
+  dimms_.assign(config_.geometry.dimms, DimmTally{});
+  pending_slot_ = 0;
+  charged_total_ = 0;
+  charged_events_ = 0;
+}
+
+bool FleetNodeStream::admit(std::uint64_t physical_index, TimeNs arrival) {
+  const std::uint32_t s = slot_of(physical_index);
+  const FleetEpochState::Slot& slot = state_->slot(rank_, s);
+  static_cast<void>(arrival);
+  if (slot.offlined) {
+    // The page is unmapped: the access never happens, no machine check
+    // fires. Count what the offline action prevented.
+    ++slots_[s].suppressed;
+    return false;
+  }
+  // CE tallies happen at CHARGE time (cost_of_event_at), not here: the
+  // source generates one event ahead of consumption, and an admitted
+  // event the run never pops must not be counted as an observed CE.
+  pending_slot_ = s;
+  return true;
+}
+
+TimeNs FleetNodeStream::cost_of_event_at(std::uint64_t event_index,
+                                         TimeNs arrival) const {
+  static_cast<void>(event_index);
+  const FleetEpochState::Slot& slot = state_->slot(rank_, pending_slot_);
+  SlotTally& tally = slots_[pending_slot_];
+  ++tally.ces;
+  if (tally.ces == 1) tally.first = arrival;
+  tally.last = arrival;
+  DimmTally& dimm = dimms_[slot.addr.dimm];
+  const bool storming = arrival < dimm.storm_until;
+  const bool tripped = dimm.bucket.account(config_.bucket, 1, arrival);
+  TimeNs cost = config_.logged_cost;
+  if (tripped) {
+    ++dimm.trips;
+    dimm.storm_until = arrival + config_.bucket.agetime;
+    cost = config_.storm_decode_cost;
+  } else if (storming) {
+    cost = config_.rate_limited_cost;
+  }
+  charged_total_ += cost;
+  ++charged_events_;
+  return cost;
+}
+
+double FleetNodeStream::mean_cost_ns() const {
+  if (charged_events_ == 0) return static_cast<double>(config_.logged_cost);
+  return static_cast<double>(charged_total_) /
+         static_cast<double>(charged_events_);
+}
+
+FleetDetourSource::FleetDetourSource(
+    const FleetNoiseConfig& config,
+    std::shared_ptr<const FleetEpochState> state, std::int32_t rank,
+    std::uint64_t run_seed)
+    : stream_(config, std::move(state), rank, run_seed),
+      dead_(stream_.state().node_dead(rank)),
+      inner_(config.mtbce, stream_,
+             Xoshiro256::for_stream(run_seed,
+                                    static_cast<std::uint64_t>(rank)),
+             dead_ ? nullptr : &stream_) {}
+
+noise::Detour FleetDetourSource::pop() {
+  CELOG_ASSERT_MSG(!dead_, "pop() on a fully-offlined node's silent stream");
+  return inner_.pop();
+}
+
+bool FleetDetourSource::matches(const FleetNoiseConfig& config,
+                                const FleetEpochState* state,
+                                std::int32_t rank) const {
+  return stream_.rank() == rank && &stream_.state() == state &&
+         stream_.config() == config;
+}
+
+void FleetDetourSource::reseed(std::uint64_t run_seed) {
+  stream_.reseed(run_seed);
+  inner_.reseed(Xoshiro256::for_stream(
+      run_seed, static_cast<std::uint64_t>(stream_.rank())));
+}
+
+FleetCeNoiseModel::FleetCeNoiseModel(
+    const FleetNoiseConfig& config,
+    std::shared_ptr<const FleetEpochState> state)
+    : config_(config), state_(std::move(state)) {
+  CELOG_ASSERT_MSG(config_.mtbce > 0, "MTBCE must be positive");
+  CELOG_ASSERT_MSG(config_.bucket.agetime > 0,
+                   "bucket agetime must be positive");
+  CELOG_ASSERT_MSG(state_ != nullptr, "epoch state required");
+}
+
+std::unique_ptr<noise::DetourSource> FleetCeNoiseModel::make_source(
+    noise::RankId rank, std::uint64_t run_seed) const {
+  return std::make_unique<FleetDetourSource>(config_, state_, rank, run_seed);
+}
+
+bool FleetCeNoiseModel::reseed_source(noise::DetourSource& source,
+                                      noise::RankId rank,
+                                      std::uint64_t run_seed) const {
+  auto* fleet = dynamic_cast<FleetDetourSource*>(&source);
+  if (fleet == nullptr || !fleet->matches(config_, state_.get(), rank)) {
+    return false;
+  }
+  fleet->reseed(run_seed);
+  return true;
+}
+
+FleetCollector::FleetCollector(const FleetNoiseConfig& config,
+                               std::shared_ptr<const FleetEpochState> state)
+    : config_(config), state_(std::move(state)) {
+  CELOG_ASSERT_MSG(state_ != nullptr, "epoch state required");
+}
+
+void FleetCollector::begin_run(std::int32_t ranks, std::uint64_t run_seed) {
+  CELOG_ASSERT_MSG(ranks > 0 && ranks <= state_->nodes(),
+                   "run ranks exceed the fleet");
+  replicas_.resize(static_cast<std::size_t>(ranks));
+  for (std::int32_t r = 0; r < ranks; ++r) {
+    Replica& rep = replicas_[static_cast<std::size_t>(r)];
+    rep.stream = std::make_unique<FleetNodeStream>(config_, state_, r,
+                                                   run_seed);
+    // Mirror the live source's dead-node handling exactly: an unfiltered
+    // generator that is never popped (on_ce never fires for a silent rank).
+    rep.source = std::make_unique<noise::PoissonDetourSource>(
+        config_.mtbce, *rep.stream,
+        Xoshiro256::for_stream(run_seed, static_cast<std::uint64_t>(r)),
+        state_->node_dead(r) ? nullptr : rep.stream.get());
+    rep.consumed = 0;
+  }
+  total_ces_ = 0;
+}
+
+void FleetCollector::on_ce(std::int32_t rank, std::uint64_t index,
+                           TimeNs arrival, TimeNs duration) {
+  CELOG_ASSERT_MSG(rank >= 0 &&
+                       static_cast<std::size_t>(rank) < replicas_.size(),
+                   "on_ce for a rank begin_run never armed");
+  Replica& rep = replicas_[static_cast<std::size_t>(rank)];
+  CELOG_ASSERT_MSG(index == rep.consumed,
+                   "detours must be observed in per-rank stream order");
+  // Advance the replica through the same event: identical classes seeded
+  // identically MUST reproduce the live source's detour exactly.
+  const noise::Detour d = rep.source->pop();
+  CELOG_ASSERT_MSG(d.arrival == arrival && d.duration == duration,
+                   "collector replica diverged from the live source");
+  ++rep.consumed;
+  ++total_ces_;
+}
+
+void FleetCollector::fold_into(MemDb& shard, TimeNs epoch_start) const {
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    const Replica& rep = replicas_[r];
+    if (rep.stream == nullptr) continue;
+    const auto node = static_cast<std::int32_t>(r);
+    for (std::uint32_t s = 0; s < config_.fault_rows; ++s) {
+      const std::uint64_t ces = rep.stream->slot_ces(s);
+      const std::uint64_t suppressed = rep.stream->slot_suppressed(s);
+      if (ces == 0 && suppressed == 0) continue;
+      const telemetry::DimmAddress& addr = state_->slot(node, s).addr;
+      shard.record_ces(RowKey{node, addr.dimm, addr.row}, addr.channel,
+                       addr.bank, ces, suppressed,
+                       epoch_start + rep.stream->slot_first(s),
+                       epoch_start + rep.stream->slot_last(s));
+    }
+    for (std::uint32_t d = 0; d < config_.geometry.dimms; ++d) {
+      const std::uint64_t trips = rep.stream->dimm_trips(d);
+      if (trips > 0) shard.record_dimm(DimmKey{node, d}, 0, trips);
+    }
+  }
+}
+
+}  // namespace celog::fleetdb

@@ -1,0 +1,292 @@
+// celog/fleetdb/fleet_noise.hpp
+//
+// The fleet-persistent CE stream: fault rows that survive across epochs,
+// page offlining that actually silences a row, and module replacement
+// that re-rolls where a DIMM fails.
+//
+// telemetry's CeDecoder derives each rank's fault rows from the RUN seed,
+// so every run fails on fresh rows — right for the paper's single-run
+// ablations, wrong for a fleet: maintenance only makes sense when the same
+// physical rows keep erring across epochs. Here the table is derived from
+// (campaign_seed, node, slot, dimm generation):
+//
+//   * dimm/channel of a slot depend only on (campaign_seed, node, slot) —
+//     the slot stays on its DIMM for the campaign's lifetime;
+//   * bank/row additionally mix in the CURRENT generation of that DIMM
+//     (MemDb::generation), so replacing a module re-rolls exactly the
+//     fault rows living on it and nothing else.
+//
+// Offlining is modeled at the SOURCE: an offlined page is unmapped, the
+// row is never accessed again, so its events produce NO detours (unlike
+// telemetry's in-run kRetired, which still charges the 150 ns hardware
+// correction). FleetNodeStream implements noise::EventFilter to swallow
+// those events while still counting them — the suppressed count is the
+// UE-risk a policy's offline action bought.
+//
+// Determinism: the collector does not mirror the source with lookalike
+// logic — it holds, per rank, an exact REPLICA of the live source (same
+// classes, same seed, same immutable epoch state) and advances it one
+// pop() per observed detour, cross-checking arrival and duration. The two
+// cannot diverge because they are the same code.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fleetdb/memdb.hpp"
+#include "noise/detour.hpp"
+#include "noise/noise_model.hpp"
+#include "noise/rank_noise.hpp"
+#include "telemetry/ce_record.hpp"
+#include "telemetry/leaky_bucket.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace celog::fleetdb {
+
+/// Everything the fleet CE stream needs, shared verbatim by the in-run
+/// sources, the observing collector, and the epoch-state derivation.
+struct FleetNoiseConfig {
+  /// Per-node mean time between CEs. Campaigns run ACCELERATED aging: a
+  /// multi-second run stands for a whole epoch of fleet time, with the
+  /// MTBCE compressed by the same factor — the paper's rate-preserving
+  /// reduction applied to time instead of node count.
+  TimeNs mtbce = 10 * kMillisecond;
+  telemetry::DimmGeometry geometry;
+  /// Fault rows per node (constant across generations; replacement moves
+  /// them, it does not heal the node's propensity to fail).
+  std::uint32_t fault_rows = 4;
+  /// Per-DIMM storm trigger, as in telemetry::AccountingConfig.
+  telemetry::BucketConf bucket{50, kSecond};
+  /// Per-CE costs by action. No page-offline cost appears here: fleet
+  /// offlining happens BETWEEN epochs by policy, never inside a run.
+  TimeNs logged_cost = noise::costs::kMeasuredCmci;
+  TimeNs storm_decode_cost = 10 * kMillisecond;
+  TimeNs rate_limited_cost = noise::costs::kHardwareOnly;
+
+  bool operator==(const FleetNoiseConfig&) const = default;
+};
+
+/// Immutable snapshot of the fleet's physical state for ONE epoch: every
+/// node's fault-row table (generation-resolved addresses) and which of
+/// those rows are offlined. Built between epochs from the MemDb; shared by
+/// the noise model's sources and the collector's replicas via shared_ptr.
+class FleetEpochState {
+ public:
+  struct Slot {
+    telemetry::DimmAddress addr;
+    bool offlined = false;
+  };
+
+  /// Derives the table for `nodes` ranks from (config, campaign_seed) and
+  /// the DB's generations/offline records. Pure function of its inputs:
+  /// checkpoint/resume rebuilds the identical state from the DB alone.
+  static std::shared_ptr<const FleetEpochState> build(
+      const FleetNoiseConfig& config, std::uint64_t campaign_seed,
+      std::int32_t nodes, const MemDb& db);
+
+  std::int32_t nodes() const { return nodes_; }
+  std::uint32_t fault_rows() const { return fault_rows_; }
+
+  const Slot& slot(std::int32_t node, std::uint32_t s) const {
+    return slots_[static_cast<std::size_t>(node) * fault_rows_ + s];
+  }
+
+  /// True when EVERY fault row of `node` is offlined: no mapped faulty
+  /// page remains, so the node generates no machine checks at all. The
+  /// sources must special-case this — a filter that never admits would
+  /// otherwise spin PoissonDetourSource::advance() forever.
+  bool node_dead(std::int32_t node) const {
+    for (std::uint32_t s = 0; s < fault_rows_; ++s) {
+      if (!slot(node, s).offlined) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::int32_t nodes_ = 0;
+  std::uint32_t fault_rows_ = 0;
+  std::vector<Slot> slots_;  ///< node * fault_rows + slot
+};
+
+/// One rank's CE stream logic for one run: event-to-slot decode, offline
+/// suppression (noise::EventFilter) and per-action cost charging with
+/// mcelog bucket storms (noise::LoggingCostModel), plus the per-slot /
+/// per-DIMM tallies a collector folds into a MemDb shard.
+///
+/// The filter sees PHYSICAL event indices (every generated event) and the
+/// cost model sees EMITTED indices (admitted events only); the slot
+/// decoded at admission is handed to the cost path through pending_slot_,
+/// which is safe because PoissonDetourSource calls admit() and
+/// cost_of_event_at() strictly alternately on one thread.
+class FleetNodeStream final : public noise::EventFilter,
+                              public noise::LoggingCostModel {
+ public:
+  FleetNodeStream(const FleetNoiseConfig& config,
+                  std::shared_ptr<const FleetEpochState> state,
+                  std::int32_t rank, std::uint64_t run_seed);
+
+  /// Rearms for a new (run_seed) on the same (state, rank), reusing
+  /// storage — the reseed seam's path.
+  void reseed(std::uint64_t run_seed);
+
+  // EventFilter: decodes the event's slot; swallows offlined rows.
+  bool admit(std::uint64_t physical_index, TimeNs arrival) override;
+
+  // LoggingCostModel: charges the admitted event via the storm automaton.
+  TimeNs cost_of_event(std::uint64_t) const override {
+    return config_.logged_cost;
+  }
+  TimeNs cost_of_event_at(std::uint64_t event_index,
+                          TimeNs arrival) const override;
+  double mean_cost_ns() const override;
+
+  // Tallies (all integer, read by FleetCollector::fold_into).
+  std::uint64_t slot_ces(std::uint32_t s) const { return slots_[s].ces; }
+  std::uint64_t slot_suppressed(std::uint32_t s) const {
+    return slots_[s].suppressed;
+  }
+  TimeNs slot_first(std::uint32_t s) const { return slots_[s].first; }
+  TimeNs slot_last(std::uint32_t s) const { return slots_[s].last; }
+  std::uint64_t dimm_trips(std::uint32_t d) const { return dimms_[d].trips; }
+
+  std::int32_t rank() const { return rank_; }
+  const FleetEpochState& state() const { return *state_; }
+  const FleetNoiseConfig& config() const { return config_; }
+
+ private:
+  struct SlotTally {
+    std::uint64_t ces = 0;
+    std::uint64_t suppressed = 0;
+    TimeNs first = 0;
+    TimeNs last = 0;
+  };
+  struct DimmTally {
+    telemetry::LeakyBucket bucket;
+    TimeNs storm_until = 0;
+    std::uint64_t trips = 0;
+  };
+
+  std::uint32_t slot_of(std::uint64_t physical_index) const {
+    SplitMix64 h(slot_seed_ ^ (physical_index * 0x9e3779b97f4a7c15ULL));
+    return static_cast<std::uint32_t>(h.next() % config_.fault_rows);
+  }
+
+  FleetNoiseConfig config_;
+  std::shared_ptr<const FleetEpochState> state_;
+  std::int32_t rank_ = 0;
+  std::uint64_t slot_seed_ = 0;
+  // Mutable: LoggingCostModel's charging entry point is const (the same
+  // idiom as telemetry::AdaptiveLoggingPolicy); a stream is per-rank
+  // per-run state, never shared across threads.
+  mutable std::vector<SlotTally> slots_;
+  mutable std::vector<DimmTally> dimms_;
+  mutable std::uint32_t pending_slot_ = 0;
+  mutable TimeNs charged_total_ = 0;
+  mutable std::uint64_t charged_events_ = 0;
+};
+
+/// DetourSource for one rank of the fleet: a FleetNodeStream filtering and
+/// costing the standard Poisson arrival stream. Same wrapper shape as
+/// telemetry::AdaptiveDetourSource.
+///
+/// A DEAD node (every fault row offlined — see FleetEpochState::node_dead)
+/// is a silent stream: peek_arrival() is kTimeNever and pop() must not be
+/// called, exactly like NullDetourSource. The inner generator is then built
+/// UNFILTERED so its constructor does not spin looking for an admissible
+/// event; it is never consulted.
+class FleetDetourSource final : public noise::DetourSource {
+ public:
+  FleetDetourSource(const FleetNoiseConfig& config,
+                    std::shared_ptr<const FleetEpochState> state,
+                    std::int32_t rank, std::uint64_t run_seed);
+
+  TimeNs peek_arrival() const override {
+    return dead_ ? kTimeNever : inner_.peek_arrival();
+  }
+  noise::Detour pop() override;
+
+  /// Reseed-seam guard: a source may be recycled only for the same rank
+  /// under the same config AND the same epoch state OBJECT. State identity
+  /// is compared by address, which is sound because the source's
+  /// shared_ptr keeps its state alive — a later epoch's state can never
+  /// be allocated at that address while this source exists. (An owner
+  /// check on the model's address would NOT be sound: the campaign builds
+  /// one stack-local model per epoch in the same frame, so consecutive
+  /// epochs' models alias.)
+  bool matches(const FleetNoiseConfig& config, const FleetEpochState* state,
+               std::int32_t rank) const;
+
+  void reseed(std::uint64_t run_seed);
+
+  const FleetNodeStream& stream() const { return stream_; }
+
+ private:
+  FleetNodeStream stream_;  // must precede inner_ (referenced by it)
+  bool dead_ = false;       // must precede inner_ (selects its filter)
+  noise::PoissonDetourSource inner_;
+};
+
+/// NoiseModel for one epoch of the fleet: every rank draws Poisson CEs on
+/// its generation-resolved fault rows, offlined rows are silent, storms
+/// charge mcelog-style escalating costs.
+class FleetCeNoiseModel final : public noise::NoiseModel {
+ public:
+  FleetCeNoiseModel(const FleetNoiseConfig& config,
+                    std::shared_ptr<const FleetEpochState> state);
+
+  std::unique_ptr<noise::DetourSource> make_source(
+      noise::RankId rank, std::uint64_t run_seed) const override;
+  bool reseed_source(noise::DetourSource& source, noise::RankId rank,
+                     std::uint64_t run_seed) const override;
+
+  const FleetNoiseConfig& config() const { return config_; }
+  const std::shared_ptr<const FleetEpochState>& state() const {
+    return state_;
+  }
+
+ private:
+  FleetNoiseConfig config_;
+  std::shared_ptr<const FleetEpochState> state_;
+};
+
+/// Per-run observer feeding the MemDb: holds an exact replica of every
+/// rank's source and advances it one pop() per consumed detour, verifying
+/// (arrival, duration) agreement. Tallies come from the replicas, so CE
+/// counts cover exactly the consumed prefix of each rank's stream, and
+/// suppressed counts cover every swallowed event generated up to the next
+/// admitted event after that prefix (generation runs one event ahead of
+/// consumption). Both are pure functions of (state, run_seed, consumed
+/// count) — identical for every jobs value.
+class FleetCollector final : public noise::DetourSink {
+ public:
+  FleetCollector(const FleetNoiseConfig& config,
+                 std::shared_ptr<const FleetEpochState> state);
+
+  /// Arms for one run: one replica per rank, rebuilt for `run_seed`.
+  void begin_run(std::int32_t ranks, std::uint64_t run_seed);
+
+  void on_ce(std::int32_t rank, std::uint64_t index, TimeNs arrival,
+             TimeNs duration) override;
+
+  /// Folds this run's observations into a MemDb shard, mapping sim-time
+  /// arrivals to fleet time as epoch_start + arrival.
+  void fold_into(MemDb& shard, TimeNs epoch_start) const;
+
+  std::uint64_t total_ces() const { return total_ces_; }
+
+ private:
+  struct Replica {
+    std::unique_ptr<FleetNodeStream> stream;
+    std::unique_ptr<noise::PoissonDetourSource> source;
+    std::uint64_t consumed = 0;
+  };
+
+  FleetNoiseConfig config_;
+  std::shared_ptr<const FleetEpochState> state_;
+  std::vector<Replica> replicas_;
+  std::uint64_t total_ces_ = 0;
+};
+
+}  // namespace celog::fleetdb

@@ -1,0 +1,144 @@
+#include "fleetdb/maintenance.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace celog::fleetdb {
+
+AgeReplacePolicy::AgeReplacePolicy(TimeNs service_life)
+    : service_life_(service_life) {
+  CELOG_ASSERT_MSG(service_life > 0, "service life must be positive");
+}
+
+TimeNs AgeReplacePolicy::life_of(const DimmKey& key) const {
+  // Deterministic stagger in [0, life/4): hash of the slot identity, no
+  // RNG state involved.
+  SplitMix64 h((static_cast<std::uint64_t>(key.node) << 32) ^ key.dimm ^
+               0x243f6a8885a308d3ULL);
+  const TimeNs window = service_life_ / 4;
+  if (window <= 0) return service_life_;
+  return service_life_ +
+         static_cast<TimeNs>(h.next() % static_cast<std::uint64_t>(window));
+}
+
+void AgeReplacePolicy::decide(const MemDb& db, const CampaignContext& ctx,
+                              std::vector<MaintenanceAction>& out) {
+  for (const auto& [key, rec] : db.dimms()) {
+    if (ctx.fleet_now - rec.installed_at >= life_of(key)) {
+      out.push_back({MaintenanceAction::Kind::kReplaceDimm,
+                     RowKey{key.node, key.dimm, 0}});
+    }
+  }
+}
+
+ThresholdMaintenancePolicy::ThresholdMaintenancePolicy()
+    : ThresholdMaintenancePolicy(Config{}) {}
+
+ThresholdMaintenancePolicy::ThresholdMaintenancePolicy(const Config& config)
+    : config_(config) {
+  CELOG_ASSERT_MSG(config.row_offline_ces > 0,
+                   "row offline threshold must be positive");
+}
+
+void ThresholdMaintenancePolicy::decide(const MemDb& db,
+                                        const CampaignContext& ctx,
+                                        std::vector<MaintenanceAction>& out) {
+  static_cast<void>(ctx);
+  // Pass 1: offline rows over threshold. Track per-DIMM offlined counts
+  // INCLUDING the offline actions emitted this pass, so a burst that
+  // offlines the k-th row triggers the replacement in the same decision
+  // round — mcelog's triggers compose the same way.
+  DimmKey current{-1, 0};
+  std::uint32_t offlined_on_current = 0;
+  std::size_t first_action_on_current = 0;
+  const auto close_dimm = [&]() {
+    if (current.node < 0) return;
+    const bool rows_trip = config_.dimm_replace_offlined_rows > 0 &&
+                           offlined_on_current >=
+                               config_.dimm_replace_offlined_rows;
+    const DimmRec* rec = db.find_dimm(current);
+    const bool ces_trip = config_.dimm_replace_ces > 0 && rec != nullptr &&
+                          rec->ces >= config_.dimm_replace_ces;
+    if (rows_trip || ces_trip) {
+      // Replacement supersedes this round's offline actions on the module
+      // (its rows are erased anyway): drop them and emit the replace.
+      out.resize(first_action_on_current);
+      out.push_back({MaintenanceAction::Kind::kReplaceDimm,
+                     RowKey{current.node, current.dimm, 0}});
+    }
+  };
+  for (const auto& [key, rec] : db.rows()) {
+    const DimmKey dk{key.node, key.dimm};
+    if (current.node < 0 || dk != current) {
+      close_dimm();
+      current = dk;
+      offlined_on_current = 0;
+      first_action_on_current = out.size();
+    }
+    if (rec.offlined != 0) {
+      ++offlined_on_current;
+      continue;
+    }
+    if (rec.ces >= config_.row_offline_ces) {
+      out.push_back({MaintenanceAction::Kind::kOfflineRow, key});
+      ++offlined_on_current;
+    }
+  }
+  close_dimm();
+}
+
+CostModelPolicy::CostModelPolicy() : CostModelPolicy(Config{}) {}
+
+CostModelPolicy::CostModelPolicy(const Config& config) : config_(config) {
+  CELOG_ASSERT_MSG(config.risk_scale > 0.0, "risk scale must be positive");
+  CELOG_ASSERT_MSG(config.ue_weight >= 0.0 && config.page_cost >= 0.0 &&
+                       config.dimm_cost >= 0.0,
+                   "costs must be nonnegative");
+}
+
+void CostModelPolicy::decide(const MemDb& db, const CampaignContext& ctx,
+                             std::vector<MaintenanceAction>& out) {
+  static_cast<void>(ctx);
+  // Per-row UE risk: pure function of the row's integer history.
+  const auto p_ue = [this](const RowRec& rec) {
+    const double exposure =
+        static_cast<double>(rec.ces + rec.suppressed) / config_.risk_scale;
+    return 1.0 - std::exp(-exposure);
+  };
+  DimmKey current{-1, 0};
+  double serve_risk = 0.0;  // in-order fold over one module's serving rows
+  std::size_t first_action_on_current = 0;
+  const auto close_dimm = [&]() {
+    if (current.node < 0) return;
+    if (serve_risk * config_.ue_weight > config_.dimm_cost) {
+      out.resize(first_action_on_current);
+      out.push_back({MaintenanceAction::Kind::kReplaceDimm,
+                     RowKey{current.node, current.dimm, 0}});
+    }
+  };
+  for (const auto& [key, rec] : db.rows()) {
+    const DimmKey dk{key.node, key.dimm};
+    if (current.node < 0 || dk != current) {
+      close_dimm();
+      current = dk;
+      serve_risk = 0.0;
+      first_action_on_current = out.size();
+    }
+    if (rec.offlined != 0) continue;
+    const double risk = p_ue(rec);
+    if (risk * config_.ue_weight > config_.page_cost) {
+      out.push_back({MaintenanceAction::Kind::kOfflineRow, key});
+      // An offlined row stops serving: it no longer contributes to the
+      // module's residual serve-risk.
+      continue;
+    }
+    serve_risk += risk;
+  }
+  close_dimm();
+}
+
+}  // namespace celog::fleetdb

@@ -1,0 +1,136 @@
+// celog/fleetdb/maintenance.hpp
+//
+// Maintenance policies: the decision layer that reads the MemDb between
+// epochs and emits page-offline / DIMM-replace actions — celog's analogue
+// of mcelog's trigger scripts (trigger.c, page.c's offline thresholds,
+// dimm.c's replacement advice), plus the cost-model framing from the RL
+// DRAM-mitigation paper (PAPERS.md): offline-vs-serve scored as UE-risk
+// avoided against capacity lost.
+//
+// Determinism: decide() walks the DB's sorted records and emits actions in
+// that order; every score is a pure per-record function (no cross-record
+// accumulation except explicit in-order folds), so two identical DBs
+// produce identical action lists on any platform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleetdb/memdb.hpp"
+#include "util/time.hpp"
+
+namespace celog::fleetdb {
+
+struct MaintenanceAction {
+  enum class Kind : std::uint8_t { kOfflineRow, kReplaceDimm };
+  Kind kind = Kind::kOfflineRow;
+  /// For kReplaceDimm, `row.row` is ignored.
+  RowKey row;
+};
+
+/// What a policy may know beyond the DB.
+struct CampaignContext {
+  TimeNs fleet_now = 0;    ///< fleet clock AFTER the epoch being closed
+  std::uint64_t epoch = 0; ///< index of the epoch just folded
+};
+
+class MaintenancePolicy {
+ public:
+  virtual ~MaintenancePolicy() = default;
+  virtual const char* name() const = 0;
+  /// Appends actions to `out` (not cleared) in deterministic order.
+  virtual void decide(const MemDb& db, const CampaignContext& ctx,
+                      std::vector<MaintenanceAction>& out) = 0;
+};
+
+/// Serve-everything baseline: never intervenes. Anchors the frontier at
+/// (max UE exposure, zero capacity lost).
+class NullMaintenancePolicy final : public MaintenancePolicy {
+ public:
+  const char* name() const override { return "none"; }
+  void decide(const MemDb&, const CampaignContext&,
+              std::vector<MaintenanceAction>&) override {}
+};
+
+/// Age-based replacement: swap every module after a service life,
+/// staggered per slot (a deterministic hash spreads replacements over a
+/// quarter-life window so the fleet never cliff-replaces in one epoch).
+/// Blind to error history — the capacity-heavy end of the frontier.
+class AgeReplacePolicy final : public MaintenancePolicy {
+ public:
+  explicit AgeReplacePolicy(TimeNs service_life);
+
+  const char* name() const override { return "age"; }
+  void decide(const MemDb& db, const CampaignContext& ctx,
+              std::vector<MaintenanceAction>& out) override;
+
+  /// The slot's personal deadline: service_life plus its stagger offset.
+  TimeNs life_of(const DimmKey& key) const;
+
+ private:
+  TimeNs service_life_;
+};
+
+/// mcelog-style thresholds: offline a row once its observed CEs reach
+/// `row_offline_ces` (page.c's offline trigger), replace a module once
+/// enough of its rows are offlined or its CE total crosses a cap
+/// (dimm.c's replacement advice).
+class ThresholdMaintenancePolicy final : public MaintenancePolicy {
+ public:
+  struct Config {
+    std::uint32_t row_offline_ces = 64;
+    /// Offlined rows on one module that trigger replacement; 0 disables.
+    std::uint32_t dimm_replace_offlined_rows = 3;
+    /// CE total on one module that triggers replacement; 0 disables.
+    std::uint64_t dimm_replace_ces = 0;
+  };
+
+  ThresholdMaintenancePolicy();  ///< the Config defaults
+  explicit ThresholdMaintenancePolicy(const Config& config);
+
+  const char* name() const override { return "threshold"; }
+  void decide(const MemDb& db, const CampaignContext& ctx,
+              std::vector<MaintenanceAction>& out) override;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+/// Cost-model policy (RL-paper reward framing): every action is taken iff
+/// its reward — UE-risk avoided minus capacity cost — is positive.
+///
+///   p_ue(row)   = 1 - exp(-(ces + suppressed) / risk_scale)
+///   offline iff p_ue * ue_weight            > page_cost
+///   replace iff sum_rows(p_ue) * ue_weight  > dimm_cost   (rows summed in
+///                                            sorted order, serve-state
+///                                            rows only)
+///
+/// The per-record doubles are pure functions of integer state (exp of a
+/// ratio of integers), never accumulated across threads, so decisions are
+/// bit-stable.
+class CostModelPolicy final : public MaintenancePolicy {
+ public:
+  struct Config {
+    double risk_scale = 64.0; ///< CEs at which UE risk reaches 1 - 1/e
+    double ue_weight = 4.0;   ///< penalty of one likely-UE row left serving
+    double page_cost = 1.0;   ///< capacity cost of offlining one page
+    double dimm_cost = 8.0;   ///< capacity+labor cost of one replacement
+  };
+
+  CostModelPolicy();  ///< the Config defaults
+  explicit CostModelPolicy(const Config& config);
+
+  const char* name() const override { return "cost_model"; }
+  void decide(const MemDb& db, const CampaignContext& ctx,
+              std::vector<MaintenanceAction>& out) override;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace celog::fleetdb

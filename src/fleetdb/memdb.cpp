@@ -1,0 +1,397 @@
+#include "fleetdb/memdb.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace celog::fleetdb {
+
+namespace {
+
+bool key_less_dimm(const std::pair<DimmKey, DimmRec>& a, const DimmKey& b) {
+  return a.first < b;
+}
+
+bool key_less_row(const std::pair<RowKey, RowRec>& a, const RowKey& b) {
+  return a.first < b;
+}
+
+TimeNs min_nonzero(TimeNs a, TimeNs b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  return std::min(a, b);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+[[noreturn]] void fail(std::size_t lineno, const std::string& what) {
+  throw ParseError("memdb line " + std::to_string(lineno) + ": " + what);
+}
+
+}  // namespace
+
+DimmRec& MemDb::dimm_at(const DimmKey& key) {
+  auto it = std::lower_bound(dimms_.begin(), dimms_.end(), key,
+                             key_less_dimm);
+  if (it == dimms_.end() || it->first != key) {
+    it = dimms_.insert(it, {key, DimmRec{}});
+  }
+  return it->second;
+}
+
+RowRec& MemDb::row_at(const RowKey& key) {
+  auto it = std::lower_bound(rows_.begin(), rows_.end(), key, key_less_row);
+  if (it == rows_.end() || it->first != key) {
+    it = rows_.insert(it, {key, RowRec{}});
+  }
+  return it->second;
+}
+
+void MemDb::install_fleet(std::int32_t nodes, std::uint32_t dimms_per_node,
+                          TimeNs fleet_now) {
+  CELOG_ASSERT_MSG(nodes > 0 && dimms_per_node > 0,
+                   "fleet shape must be positive");
+  nodes_ = std::max(nodes_, nodes);
+  for (std::int32_t n = 0; n < nodes; ++n) {
+    for (std::uint32_t d = 0; d < dimms_per_node; ++d) {
+      DimmRec& rec = dimm_at(DimmKey{n, d});
+      rec.installed_at = fleet_now;
+    }
+  }
+}
+
+void MemDb::record_ces(const RowKey& key, std::uint32_t channel,
+                       std::uint32_t bank, std::uint64_t ces,
+                       std::uint64_t suppressed, TimeNs first_seen,
+                       TimeNs last_seen) {
+  if (ces == 0 && suppressed == 0) return;
+  nodes_ = std::max(nodes_, key.node + 1);
+  RowRec& rec = row_at(key);
+  if (rec.ces == 0 && rec.suppressed == 0) {
+    rec.channel = channel;
+    rec.bank = bank;
+  }
+  rec.ces += ces;
+  rec.suppressed += suppressed;
+  if (ces > 0) {
+    rec.first_seen = min_nonzero(rec.first_seen, first_seen);
+    rec.last_seen = std::max(rec.last_seen, last_seen);
+  }
+  total_ces_ += ces;
+  total_suppressed_ += suppressed;
+  dimm_at(DimmKey{key.node, key.dimm}).ces += ces;
+}
+
+void MemDb::record_dimm(const DimmKey& key, std::uint64_t ces,
+                        std::uint64_t trips) {
+  if (ces == 0 && trips == 0) return;
+  nodes_ = std::max(nodes_, key.node + 1);
+  DimmRec& rec = dimm_at(key);
+  rec.ces += ces;
+  rec.trips += trips;
+  total_ces_ += ces;
+  bucket_trips_ += trips;
+}
+
+bool MemDb::offline_row(const RowKey& key, TimeNs fleet_now) {
+  auto it = std::lower_bound(rows_.begin(), rows_.end(), key, key_less_row);
+  if (it == rows_.end() || it->first != key) return false;
+  if (it->second.offlined != 0) return false;
+  it->second.offlined = 1;
+  it->second.offlined_at = fleet_now;
+  ++pages_offlined_total_;
+  return true;
+}
+
+bool MemDb::replace_dimm(const DimmKey& key, TimeNs fleet_now) {
+  auto it = std::lower_bound(dimms_.begin(), dimms_.end(), key,
+                             key_less_dimm);
+  if (it == dimms_.end() || it->first != key) return false;
+  DimmRec& rec = it->second;
+  ++rec.generation;
+  rec.installed_at = fleet_now;
+  rec.ces = 0;
+  rec.trips = 0;
+  ++dimms_replaced_;
+  // A new module has no history: drop every row record of this slot.
+  const RowKey lo{key.node, key.dimm, 0};
+  const RowKey hi{key.node, key.dimm + 1, 0};
+  const auto first =
+      std::lower_bound(rows_.begin(), rows_.end(), lo, key_less_row);
+  const auto last =
+      std::lower_bound(rows_.begin(), rows_.end(), hi, key_less_row);
+  rows_.erase(first, last);
+  return true;
+}
+
+void MemDb::merge(const MemDb& other) {
+  nodes_ = std::max(nodes_, other.nodes_);
+  total_ces_ += other.total_ces_;
+  total_suppressed_ += other.total_suppressed_;
+  bucket_trips_ += other.bucket_trips_;
+  pages_offlined_total_ += other.pages_offlined_total_;
+  dimms_replaced_ += other.dimms_replaced_;
+  for (const auto& [key, rec] : other.dimms_) {
+    DimmRec& mine = dimm_at(key);
+    mine.generation = std::max(mine.generation, rec.generation);
+    mine.installed_at = std::max(mine.installed_at, rec.installed_at);
+    mine.ces += rec.ces;
+    mine.trips += rec.trips;
+  }
+  for (const auto& [key, rec] : other.rows_) {
+    RowRec& mine = row_at(key);
+    if (mine.ces == 0 && mine.suppressed == 0) {
+      mine.channel = rec.channel;
+      mine.bank = rec.bank;
+    }
+    mine.ces += rec.ces;
+    mine.suppressed += rec.suppressed;
+    mine.first_seen = min_nonzero(mine.first_seen, rec.first_seen);
+    mine.last_seen = std::max(mine.last_seen, rec.last_seen);
+    if (rec.offlined != 0) {
+      if (mine.offlined != 0) {
+        mine.offlined_at = min_nonzero(mine.offlined_at, rec.offlined_at);
+      } else {
+        mine.offlined = 1;
+        mine.offlined_at = rec.offlined_at;
+      }
+    }
+  }
+}
+
+const DimmRec* MemDb::find_dimm(const DimmKey& key) const {
+  const auto it = std::lower_bound(dimms_.begin(), dimms_.end(), key,
+                                   key_less_dimm);
+  if (it == dimms_.end() || it->first != key) return nullptr;
+  return &it->second;
+}
+
+const RowRec* MemDb::find_row(const RowKey& key) const {
+  const auto it =
+      std::lower_bound(rows_.begin(), rows_.end(), key, key_less_row);
+  if (it == rows_.end() || it->first != key) return nullptr;
+  return &it->second;
+}
+
+std::uint32_t MemDb::generation(const DimmKey& key) const {
+  const DimmRec* rec = find_dimm(key);
+  return rec == nullptr ? 0 : rec->generation;
+}
+
+bool MemDb::row_offlined(const RowKey& key) const {
+  const RowRec* rec = find_row(key);
+  return rec != nullptr && rec->offlined != 0;
+}
+
+MemDbSummary MemDb::summary() const {
+  MemDbSummary s;
+  s.nodes = nodes_;
+  s.dimms_tracked = dimms_.size();
+  s.rows_tracked = rows_.size();
+  for (const auto& [key, rec] : rows_) {
+    static_cast<void>(key);
+    if (rec.offlined != 0) ++s.pages_offlined;
+  }
+  s.pages_offlined_total = pages_offlined_total_;
+  s.dimms_replaced = dimms_replaced_;
+  s.total_ces = total_ces_;
+  s.total_suppressed = total_suppressed_;
+  s.bucket_trips = bucket_trips_;
+  return s;
+}
+
+std::string MemDb::serialize() const {
+  std::string out;
+  out.reserve(64 + 48 * dimms_.size() + 96 * rows_.size());
+  out += "celog-memdb 1\n";
+  out += "nodes ";
+  append_i64(out, nodes_);
+  out += "\ncounters ";
+  append_u64(out, total_ces_);
+  out += ' ';
+  append_u64(out, total_suppressed_);
+  out += ' ';
+  append_u64(out, bucket_trips_);
+  out += ' ';
+  append_u64(out, pages_offlined_total_);
+  out += ' ';
+  append_u64(out, dimms_replaced_);
+  out += "\ndimms ";
+  append_u64(out, dimms_.size());
+  out += '\n';
+  for (const auto& [key, rec] : dimms_) {
+    out += "d ";
+    append_i64(out, key.node);
+    out += ' ';
+    append_u64(out, key.dimm);
+    out += ' ';
+    append_u64(out, rec.generation);
+    out += ' ';
+    append_i64(out, rec.installed_at);
+    out += ' ';
+    append_u64(out, rec.ces);
+    out += ' ';
+    append_u64(out, rec.trips);
+    out += '\n';
+  }
+  out += "rows ";
+  append_u64(out, rows_.size());
+  out += '\n';
+  for (const auto& [key, rec] : rows_) {
+    out += "r ";
+    append_i64(out, key.node);
+    out += ' ';
+    append_u64(out, key.dimm);
+    out += ' ';
+    append_u64(out, key.row);
+    out += ' ';
+    append_u64(out, rec.channel);
+    out += ' ';
+    append_u64(out, rec.bank);
+    out += ' ';
+    append_u64(out, rec.ces);
+    out += ' ';
+    append_u64(out, rec.suppressed);
+    out += ' ';
+    append_i64(out, rec.first_seen);
+    out += ' ';
+    append_i64(out, rec.last_seen);
+    out += ' ';
+    append_u64(out, rec.offlined);
+    out += ' ';
+    append_i64(out, rec.offlined_at);
+    out += '\n';
+  }
+  out += "end\n";
+  return out;
+}
+
+MemDb MemDb::deserialize(std::string_view text) {
+  std::istringstream is{std::string(text)};
+  std::string line;
+  std::size_t lineno = 0;
+  const auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      ++lineno;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      return true;
+    }
+    return false;
+  };
+
+  MemDb db;
+  if (!next_line() || line != "celog-memdb 1") {
+    fail(lineno, "expected header 'celog-memdb 1'");
+  }
+  if (!next_line()) fail(lineno, "missing 'nodes' line");
+  {
+    std::istringstream ss(line);
+    std::string kw;
+    std::int64_t nodes = -1;
+    ss >> kw >> nodes;
+    if (kw != "nodes" || ss.fail() || nodes < 0 ||
+        nodes > std::int64_t{1} << 31) {
+      fail(lineno, "expected 'nodes <n>'");
+    }
+    db.nodes_ = static_cast<std::int32_t>(nodes);
+  }
+  if (!next_line()) fail(lineno, "missing 'counters' line");
+  {
+    std::istringstream ss(line);
+    std::string kw;
+    ss >> kw >> db.total_ces_ >> db.total_suppressed_ >> db.bucket_trips_ >>
+        db.pages_offlined_total_ >> db.dimms_replaced_;
+    if (kw != "counters" || ss.fail()) {
+      fail(lineno, "expected 'counters <5 integers>'");
+    }
+  }
+  if (!next_line()) fail(lineno, "missing 'dimms' line");
+  std::uint64_t dimm_count = 0;
+  {
+    std::istringstream ss(line);
+    std::string kw;
+    ss >> kw >> dimm_count;
+    if (kw != "dimms" || ss.fail()) fail(lineno, "expected 'dimms <n>'");
+  }
+  db.dimms_.reserve(dimm_count);
+  for (std::uint64_t i = 0; i < dimm_count; ++i) {
+    if (!next_line()) fail(lineno, "missing dimm record");
+    std::istringstream ss(line);
+    std::string kw;
+    DimmKey key;
+    DimmRec rec;
+    ss >> kw >> key.node >> key.dimm >> rec.generation >> rec.installed_at >>
+        rec.ces >> rec.trips;
+    if (kw != "d" || ss.fail()) fail(lineno, "bad dimm record");
+    if (!db.dimms_.empty() && !(db.dimms_.back().first < key)) {
+      fail(lineno, "dimm records out of order");
+    }
+    db.dimms_.emplace_back(key, rec);
+  }
+  if (!next_line()) fail(lineno, "missing 'rows' line");
+  std::uint64_t row_count = 0;
+  {
+    std::istringstream ss(line);
+    std::string kw;
+    ss >> kw >> row_count;
+    if (kw != "rows" || ss.fail()) fail(lineno, "expected 'rows <n>'");
+  }
+  db.rows_.reserve(row_count);
+  for (std::uint64_t i = 0; i < row_count; ++i) {
+    if (!next_line()) fail(lineno, "missing row record");
+    std::istringstream ss(line);
+    std::string kw;
+    RowKey key;
+    RowRec rec;
+    std::uint32_t offlined = 0;
+    ss >> kw >> key.node >> key.dimm >> key.row >> rec.channel >> rec.bank >>
+        rec.ces >> rec.suppressed >> rec.first_seen >> rec.last_seen >>
+        offlined >> rec.offlined_at;
+    if (kw != "r" || ss.fail() || offlined > 1) fail(lineno, "bad row record");
+    rec.offlined = static_cast<std::uint8_t>(offlined);
+    if (!db.rows_.empty() && !(db.rows_.back().first < key)) {
+      fail(lineno, "row records out of order");
+    }
+    db.rows_.emplace_back(key, rec);
+  }
+  if (!next_line() || line != "end") fail(lineno, "missing 'end' trailer");
+  return db;
+}
+
+void MemDb::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw ParseError("cannot open for writing: " + path);
+  const std::string text = serialize();
+  os.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!os) throw ParseError("write failed: " + path);
+}
+
+MemDb MemDb::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw ParseError("cannot open: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return deserialize(buf.str());
+}
+
+}  // namespace celog::fleetdb

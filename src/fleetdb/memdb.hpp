@@ -1,0 +1,201 @@
+// celog/fleetdb/memdb.hpp
+//
+// MemDb: the fleet memory-health database — celog's analogue of mcelog's
+// persistent DIMM/page store (memdb.c, dimm.c, page.c).
+//
+// A MemDb accumulates per-DIMM and per-row CE history across a *campaign*:
+// a sequence of simulated runs standing for years of fleet time. It is the
+// state the maintenance policies (fleetdb/maintenance.hpp) read and mutate
+// between epochs: rows get their pages offlined, worn DIMMs get replaced
+// (erasing their row history and bumping a generation counter that
+// re-derives the module's fault rows — a new module fails differently).
+//
+// Determinism contract:
+//   * All state is integer (counts, TimeNs stamps, flags). Records live in
+//     vectors sorted by key, so iteration order is the key order — never
+//     hash order (celint unordered-iter).
+//   * serialize() is byte-stable: versioned text header, records emitted
+//     in sorted key order, integers framed with PRId64/PRIu64 — the same
+//     discipline as trace_io's GOAL format. load(serialize()) round-trips
+//     exactly, and two DBs with equal state serialize to equal bytes.
+//   * merge() folds DISJOINT observation shards (one per parallel run of
+//     an epoch) with associative, commutative per-field ops (add / min /
+//     max / or), so a chunked parallel fold gathered in index order is
+//     bit-identical to the serial fold for every --jobs value — the same
+//     argument as telemetry::FleetAggregator.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace celog::fleetdb {
+
+/// Key of one tracked (node, dimm, row) — mcelog keys pages the same way.
+/// `row` is the synthetic row id from telemetry::DimmAddress; channel/bank
+/// are attributes, not key parts (the ISSUE-level schema), so two fault
+/// rows that collide on (dimm, row) share one record.
+struct RowKey {
+  std::int32_t node = 0;
+  std::uint32_t dimm = 0;
+  std::uint32_t row = 0;
+
+  auto operator<=>(const RowKey&) const = default;
+};
+
+/// Health history of one tracked row.
+struct RowRec {
+  std::uint32_t channel = 0;  ///< decode attribute of the first observer
+  std::uint32_t bank = 0;     ///< decode attribute of the first observer
+  std::uint64_t ces = 0;      ///< CEs observed (detours actually produced)
+  /// CEs the row WOULD have produced after its page was offlined — the
+  /// events the source suppressed. This is the UE-risk-avoided currency.
+  std::uint64_t suppressed = 0;
+  TimeNs first_seen = 0;  ///< fleet time of first observed CE (0 = none)
+  TimeNs last_seen = 0;   ///< fleet time of last observed CE
+  std::uint8_t offlined = 0;
+  TimeNs offlined_at = 0;
+};
+
+/// Key of one DIMM slot in the fleet.
+struct DimmKey {
+  std::int32_t node = 0;
+  std::uint32_t dimm = 0;
+
+  auto operator<=>(const DimmKey&) const = default;
+};
+
+/// Health history of the module CURRENTLY in one DIMM slot. Replacement
+/// resets the per-module fields and bumps `generation`.
+struct DimmRec {
+  /// Replacements ever performed at this slot; also the salt that
+  /// re-derives the module's fault rows (fleet_noise.hpp), so a new
+  /// module fails on new rows.
+  std::uint32_t generation = 0;
+  TimeNs installed_at = 0;  ///< fleet time the current module went in
+  std::uint64_t ces = 0;    ///< CEs observed on the current module
+  std::uint64_t trips = 0;  ///< leaky-bucket storms on the current module
+};
+
+/// Integer summary for the celogd `memdb` verb and the bench banner.
+struct MemDbSummary {
+  std::int64_t nodes = 0;
+  std::uint64_t dimms_tracked = 0;
+  std::uint64_t rows_tracked = 0;
+  std::uint64_t pages_offlined = 0;        ///< currently offlined rows
+  std::uint64_t pages_offlined_total = 0;  ///< ever offlined (survives replacement)
+  std::uint64_t dimms_replaced = 0;
+  std::uint64_t total_ces = 0;
+  std::uint64_t total_suppressed = 0;
+  std::uint64_t bucket_trips = 0;
+};
+
+class MemDb {
+ public:
+  /// Registers every DIMM slot of a `nodes` x `dimms_per_node` fleet with
+  /// an install stamp of `fleet_now`. Gives age-based policies a complete
+  /// inventory — a DIMM that never logged a CE still wears out.
+  void install_fleet(std::int32_t nodes, std::uint32_t dimms_per_node,
+                     TimeNs fleet_now);
+
+  // --- observation entry points (shard building) ---------------------------
+
+  /// Folds one run's observations of a row: `ces` detours produced,
+  /// `suppressed` events swallowed by an offlined page, first/last observed
+  /// arrival in FLEET time (ignored when ces == 0). channel/bank stick on
+  /// first observation.
+  void record_ces(const RowKey& key, std::uint32_t channel,
+                  std::uint32_t bank, std::uint64_t ces,
+                  std::uint64_t suppressed, TimeNs first_seen,
+                  TimeNs last_seen);
+
+  /// Folds one run's leaky-bucket storm count for a DIMM (CEs are added by
+  /// record_ces via the row records; this carries only the trip count).
+  void record_dimm(const DimmKey& key, std::uint64_t ces,
+                   std::uint64_t trips);
+
+  // --- maintenance actions --------------------------------------------------
+
+  /// Offlines a row's page at `fleet_now`. Returns false (no-op) when the
+  /// row is untracked or already offlined — policies may re-decide.
+  bool offline_row(const RowKey& key, TimeNs fleet_now);
+
+  /// Replaces the module in a DIMM slot at `fleet_now`: erases every row
+  /// record of that slot (a new module has no history), resets the
+  /// per-module counters, and bumps the generation. Returns false when the
+  /// slot is untracked.
+  bool replace_dimm(const DimmKey& key, TimeNs fleet_now);
+
+  // --- merge ----------------------------------------------------------------
+
+  /// Folds a DISJOINT observation shard (or another DB over disjoint
+  /// observations). Per-field ops are associative and commutative:
+  /// counters add; first_seen/installed-min, last_seen-max; offlined ORs
+  /// (offlined_at takes the earliest nonzero); generation takes the max —
+  /// an observation shard carries generation 0 and never disturbs the
+  /// fold target's. Any grouping of shards folds to identical bytes.
+  void merge(const MemDb& other);
+
+  // --- serialization --------------------------------------------------------
+
+  /// Byte-stable text dump: `celog-memdb 1` header, counters line, then
+  /// dimm and row records in sorted key order. load(serialize())
+  /// round-trips to identical bytes.
+  std::string serialize() const;
+
+  /// Parses a serialize() dump. Throws celog::ParseError on any malformed,
+  /// out-of-order, or truncated input.
+  static MemDb deserialize(std::string_view text);
+
+  /// File convenience wrappers; throw ParseError when the file cannot be
+  /// opened or written.
+  void save(const std::string& path) const;
+  static MemDb load(const std::string& path);
+
+  // --- queries --------------------------------------------------------------
+
+  std::int32_t nodes() const { return nodes_; }
+  const std::vector<std::pair<DimmKey, DimmRec>>& dimms() const {
+    return dimms_;
+  }
+  const std::vector<std::pair<RowKey, RowRec>>& rows() const { return rows_; }
+
+  /// nullptr when untracked.
+  const DimmRec* find_dimm(const DimmKey& key) const;
+  const RowRec* find_row(const RowKey& key) const;
+
+  /// Generation of a DIMM slot (0 when untracked — a fresh module).
+  std::uint32_t generation(const DimmKey& key) const;
+  bool row_offlined(const RowKey& key) const;
+
+  std::uint64_t total_ces() const { return total_ces_; }
+  std::uint64_t total_suppressed() const { return total_suppressed_; }
+  std::uint64_t bucket_trips() const { return bucket_trips_; }
+  std::uint64_t pages_offlined_total() const { return pages_offlined_total_; }
+  std::uint64_t dimms_replaced() const { return dimms_replaced_; }
+
+  MemDbSummary summary() const;
+
+ private:
+  DimmRec& dimm_at(const DimmKey& key);
+  RowRec& row_at(const RowKey& key);
+
+  std::int32_t nodes_ = 0;
+  // Sorted by key; lookup is binary search, insertion keeps order. Fleet
+  // scale here is modest (nodes x a handful of fault rows), so ordered
+  // vectors beat node-based maps on both determinism clarity and locality.
+  std::vector<std::pair<DimmKey, DimmRec>> dimms_;
+  std::vector<std::pair<RowKey, RowRec>> rows_;
+  std::uint64_t total_ces_ = 0;
+  std::uint64_t total_suppressed_ = 0;
+  std::uint64_t bucket_trips_ = 0;
+  std::uint64_t pages_offlined_total_ = 0;
+  std::uint64_t dimms_replaced_ = 0;
+};
+
+}  // namespace celog::fleetdb

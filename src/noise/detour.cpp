@@ -43,23 +43,40 @@ Detour NullDetourSource::pop() {
 PoissonDetourSource::PoissonDetourSource(TimeNs mtbce,
                                          const LoggingCostModel& cost,
                                          Xoshiro256 rng)
-    : mtbce_(mtbce), cost_(cost), rng_(rng) {
+    : PoissonDetourSource(mtbce, cost, rng, nullptr) {}
+
+PoissonDetourSource::PoissonDetourSource(TimeNs mtbce,
+                                         const LoggingCostModel& cost,
+                                         Xoshiro256 rng, EventFilter* filter)
+    : mtbce_(mtbce), cost_(cost), filter_(filter), rng_(rng) {
   CELOG_ASSERT_MSG(mtbce > 0, "MTBCE must be positive");
-  next_arrival_ = sample_exponential(rng_, mtbce_);
+  advance();
+}
+
+void PoissonDetourSource::advance() {
+  // Every generated event draws its gap first, so admitted arrivals are a
+  // subsequence of the unfiltered stream's (EventFilter's contract).
+  for (;;) {
+    next_arrival_ += sample_exponential(rng_, mtbce_);
+    const std::uint64_t idx = physical_index_++;
+    if (filter_ == nullptr || filter_->admit(idx, next_arrival_)) return;
+  }
 }
 
 Detour PoissonDetourSource::pop() {
   const Detour d{next_arrival_,
                  cost_.cost_of_event_at(event_index_, next_arrival_)};
   ++event_index_;
-  next_arrival_ += sample_exponential(rng_, mtbce_);
+  advance();
   return d;
 }
 
 void PoissonDetourSource::reseed(Xoshiro256 rng) {
   rng_ = rng;
   event_index_ = 0;
-  next_arrival_ = sample_exponential(rng_, mtbce_);
+  physical_index_ = 0;
+  next_arrival_ = 0;
+  advance();
 }
 
 TraceDetourSource::TraceDetourSource(std::vector<Detour> detours)

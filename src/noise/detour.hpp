@@ -120,6 +120,28 @@ inline constexpr TimeNs kMeasuredFirmwareDecode = 500 * kMillisecond;
 inline constexpr std::uint64_t kMeasuredFirmwareThreshold = 10;
 }  // namespace costs
 
+/// Event-admission hook for generated detour streams: decides whether the
+/// `physical_index`-th generated event actually produces a detour. The
+/// fleet layer uses this to model page offlining at the SOURCE — a row
+/// whose page has been unmapped produces no machine checks at all, so its
+/// events must vanish from the stream rather than be charged a zero cost
+/// (a zero-cost detour would still perturb busy-period bookkeeping).
+///
+/// Contract: admit() is called exactly once per generated event, with
+/// physical indices 0, 1, 2, ... and nondecreasing arrivals — the same
+/// stream discipline as LoggingCostModel::cost_of_event_at. Because the
+/// generator still draws the event's arrival gap before asking, the
+/// admitted events' arrivals are an exact SUBSEQUENCE of the unfiltered
+/// stream's: suppression never shifts the survivors (the differential the
+/// fleet tests pin). Admission may be stateful (it is the natural place to
+/// tally suppressed events) but must be a pure function of the call
+/// sequence so replicas agree.
+class EventFilter {
+ public:
+  virtual ~EventFilter() = default;
+  virtual bool admit(std::uint64_t physical_index, TimeNs arrival) = 0;
+};
+
 /// Abstract stream of detours for one rank, in nondecreasing arrival order.
 class DetourSource {
  public:
@@ -150,10 +172,24 @@ class PoissonDetourSource final : public DetourSource {
   PoissonDetourSource(TimeNs mtbce, const LoggingCostModel& cost,
                       Xoshiro256 rng);
 
+  /// Filtered stream: every generated event is offered to `filter` (not
+  /// owned, must outlive the source; nullptr admits everything) and only
+  /// admitted events become detours. The cost model sees EMITTED indices
+  /// 0, 1, 2, ... (its documented contract); the filter sees PHYSICAL
+  /// indices, so a filter keyed on the physical stream composes with any
+  /// cost model. With a null filter this is bit-identical to the
+  /// two-argument stream: the same RNG draws in the same order.
+  PoissonDetourSource(TimeNs mtbce, const LoggingCostModel& cost,
+                      Xoshiro256 rng, EventFilter* filter);
+
   TimeNs peek_arrival() const override { return next_arrival_; }
   Detour pop() override;
 
   std::uint64_t events_emitted() const { return event_index_; }
+  /// Events generated, admitted or not (== events_emitted() when
+  /// unfiltered; counts the NEXT pending event's draw too, since arrivals
+  /// are generated one ahead of consumption).
+  std::uint64_t events_generated() const { return physical_index_; }
 
   /// True when this source draws from exactly this (mtbce, cost-model)
   /// pair — the reseed seam's guard that a recycled source reproduces what
@@ -170,11 +206,17 @@ class PoissonDetourSource final : public DetourSource {
   void reseed(Xoshiro256 rng);
 
  private:
+  /// Draws arrivals until the filter admits one (or immediately when
+  /// unfiltered); leaves it in next_arrival_ as the pending event.
+  void advance();
+
   TimeNs mtbce_;
   const LoggingCostModel& cost_;
+  EventFilter* filter_ = nullptr;
   Xoshiro256 rng_;
-  TimeNs next_arrival_;
+  TimeNs next_arrival_ = 0;
   std::uint64_t event_index_ = 0;
+  std::uint64_t physical_index_ = 0;
 };
 
 /// Replays a fixed detour list (e.g. a measured selfish trace). Detours must

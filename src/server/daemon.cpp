@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/logging_mode.hpp"
+#include "fleetdb/memdb.hpp"
 #include "noise/detour.hpp"
 #include "noise/noise_model.hpp"
 #include "util/error.hpp"
@@ -333,6 +334,9 @@ void Daemon::handle_line(const std::shared_ptr<Connection>& conn,
     case Verb::kStats:
       enqueue_output(*conn, stats_line(req.sweep.id));
       return;
+    case Verb::kMemdb:
+      enqueue_output(*conn, memdb_response(req.sweep.id));
+      return;
     case Verb::kSweep:
       break;
   }
@@ -523,6 +527,22 @@ std::string Daemon::stats_line(std::int64_t id) const {
   field("runner_resident_graph_bytes", rs.resident_graph_bytes);
   out += "}\n";
   return out;
+}
+
+std::string Daemon::memdb_response(std::int64_t id) {
+  if (config_.memdb_path.empty()) {
+    return error_line(id, "no-memdb",
+                      "daemon was started without a fleet DB (--memdb)");
+  }
+  if (!memdb_loaded_) {
+    try {
+      memdb_summary_ = fleetdb::MemDb::load(config_.memdb_path).summary();
+    } catch (const ParseError& e) {
+      return error_line(id, "memdb-error", e.what());
+    }
+    memdb_loaded_ = true;
+  }
+  return memdb_line(id, memdb_summary_);
 }
 
 }  // namespace celog::server

@@ -61,6 +61,11 @@ struct DaemonConfig {
   /// Ceiling on a request's --jobs (the daemon, not the client, owns the
   /// box's thread budget).
   int jobs_cap = 8;
+  /// Path of a fleetdb::MemDb dump served by the `memdb` verb ("" =
+  /// unconfigured; the verb answers a "no-memdb" error). Loaded lazily on
+  /// the first request and cached — the daemon serves a snapshot, not a
+  /// live view, so the response bytes for one daemon lifetime are stable.
+  std::string memdb_path;
 };
 
 class Daemon {
@@ -146,6 +151,9 @@ class Daemon {
   void wake();
 
   std::string stats_line(std::int64_t id) const;
+  /// Response for the `memdb` verb (loop thread only; caches the summary
+  /// after the first successful load).
+  std::string memdb_response(std::int64_t id);
 
   DaemonConfig config_;
   std::vector<util::ScopedFd> listeners_;
@@ -156,6 +164,8 @@ class Daemon {
   // Loop-thread-only.
   std::vector<std::shared_ptr<Connection>> conns_;
   bool draining_ = false;
+  bool memdb_loaded_ = false;
+  fleetdb::MemDbSummary memdb_summary_;
 
   // Request queue (loop -> workers). Mutable: const observers
   // (drain_complete, stats_line) read the depth under the lock.

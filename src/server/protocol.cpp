@@ -194,6 +194,9 @@ Request parse_request(std::string_view line) {
   } else if (tokens[0] == "stats") {
     req.verb = Verb::kStats;
     req.sweep.id = parse_bare_id(tokens);
+  } else if (tokens[0] == "memdb") {
+    req.verb = Verb::kMemdb;
+    req.sweep.id = parse_bare_id(tokens);
   } else {
     throw ParseError("unknown verb: " + tokens[0]);
   }
@@ -305,6 +308,30 @@ std::string result_line(std::int64_t id, const core::SlowdownResult& r) {
   out += format_double(r.mean_stolen_s);
   out += ",\"no_progress\":";
   out += r.no_progress ? "true" : "false";
+  out += "}\n";
+  return out;
+}
+
+std::string memdb_line(std::int64_t id, const fleetdb::MemDbSummary& s) {
+  std::string out = line_head(id, "memdb");
+  out += ",\"nodes\":";
+  append_i64(out, s.nodes);
+  out += ",\"dimms_tracked\":";
+  append_u64(out, s.dimms_tracked);
+  out += ",\"rows_tracked\":";
+  append_u64(out, s.rows_tracked);
+  out += ",\"pages_offlined\":";
+  append_u64(out, s.pages_offlined);
+  out += ",\"pages_offlined_total\":";
+  append_u64(out, s.pages_offlined_total);
+  out += ",\"dimms_replaced\":";
+  append_u64(out, s.dimms_replaced);
+  out += ",\"total_ces\":";
+  append_u64(out, s.total_ces);
+  out += ",\"total_suppressed\":";
+  append_u64(out, s.total_suppressed);
+  out += ",\"bucket_trips\":";
+  append_u64(out, s.bucket_trips);
   out += "}\n";
   return out;
 }

@@ -14,6 +14,7 @@
 //   (one line on the wire; wrapped here for width)
 //   ping  --id 3
 //   stats --id 4
+//   memdb --id 5
 //
 // Every response line is one JSON object tagged with the request id and an
 // "event" discriminator:
@@ -22,6 +23,7 @@
 //   {"id":7,"event":"result",...}   the SlowdownResult summary (terminal)
 //   {"id":3,"event":"pong"}         (terminal)
 //   {"id":4,"event":"stats",...}    (terminal)
+//   {"id":5,"event":"memdb",...}    (terminal)
 //   {"id":7,"event":"error","code":"...","message":"..."}  (terminal)
 //
 // DETERMINISM CONTRACT FOR SERVED RESULTS (see DESIGN.md, "Sweep
@@ -41,6 +43,7 @@
 #include <string_view>
 
 #include "core/experiment.hpp"
+#include "fleetdb/memdb.hpp"
 #include "goal/task_graph.hpp"
 #include "sim/engine.hpp"
 
@@ -65,7 +68,7 @@ inline constexpr std::int64_t kMaxSeeds = 256;
 inline constexpr std::int64_t kMaxJobs = 64;
 inline constexpr double kMaxSimSeconds = 60.0;
 
-enum class Verb : std::uint8_t { kSweep, kPing, kStats };
+enum class Verb : std::uint8_t { kSweep, kPing, kStats, kMemdb };
 
 /// A parsed sweep request. Defaults mirror the bench CLI defaults.
 struct SweepRequest {
@@ -134,6 +137,10 @@ std::string run_line(std::int64_t id, std::uint64_t seed,
 /// unbounded, a no-progress cell would pin a daemon worker forever.
 std::string run_no_progress_line(std::int64_t id, std::uint64_t seed);
 std::string result_line(std::int64_t id, const core::SlowdownResult& r);
+/// The fleet DB summary served by the `memdb` verb: all-integer fields in
+/// a fixed order, so the line is trivially byte-stable for a given DB (the
+/// serve tests pin the exact bytes).
+std::string memdb_line(std::int64_t id, const fleetdb::MemDbSummary& s);
 
 /// FNV-1a over rank_finish (exposed for tests/benches that recompute it).
 std::uint64_t rank_finish_digest(const sim::SimResult& r);

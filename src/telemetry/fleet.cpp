@@ -45,6 +45,13 @@ void FleetAggregator::add(const RunSummary& run) {
 }
 
 void FleetAggregator::merge(const FleetAggregator& other) {
+  // Config equality implies identical histogram shapes; checking it here
+  // gives a fleet-level error message before Histogram::merge's own
+  // shape check would fire on the first histogram.
+  if (!(config_ == other.config_)) {
+    throw Error("FleetAggregator::merge: aggregators built under different "
+                "FleetConfigs cannot be folded");
+  }
   runs_ += other.runs_;
   total_ces_ += other.total_ces_;
   for (std::size_t a = 0; a < action_totals_.size(); ++a) {

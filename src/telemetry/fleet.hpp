@@ -38,6 +38,8 @@ struct FleetConfig {
   double max_ces_per_dimm = 4096.0;
   double max_trips_per_dimm = 64.0;
   double max_rows_per_run = 256.0;
+
+  bool operator==(const FleetConfig&) const = default;
 };
 
 class FleetAggregator {
@@ -47,8 +49,11 @@ class FleetAggregator {
   /// Streaming entry point: folds one run's summary into the fleet view.
   void add(const RunSummary& run);
 
-  /// Merges a partial aggregator (same FleetConfig required). Exact:
-  /// add-then-merge in any grouping equals one serial add sequence.
+  /// Merges a partial aggregator. Exact: add-then-merge in any grouping
+  /// equals one serial add sequence. Both aggregators must share one
+  /// FleetConfig; a mismatch throws celog::Error in every build — folding
+  /// histograms binned under different configs would silently corrupt the
+  /// fleet distributions.
   void merge(const FleetAggregator& other);
 
   /// Deterministic parallel fold over `runs`: contiguous chunks build

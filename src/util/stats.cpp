@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "util/error.hpp"
 
 namespace celog {
 
@@ -93,9 +96,18 @@ std::size_t Histogram::bin_count(std::size_t i) const {
 }
 
 void Histogram::merge(const Histogram& other) {
-  CELOG_ASSERT_MSG(lo_ == other.lo_ && hi_ == other.hi_ &&
-                       counts_.size() == other.counts_.size(),
-                   "can only merge histograms with identical binning");
+  // Folding differently binned histograms silently misattributes mass, so
+  // this is an Error in EVERY build, not a debug assert: merge() feeds
+  // fleet aggregation, where a shape mismatch means two shards were built
+  // under different configs and the whole fold is meaningless.
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    throw Error("Histogram::merge: incompatible binning ([" +
+                std::to_string(lo_) + ", " + std::to_string(hi_) + ") x " +
+                std::to_string(counts_.size()) + " bins vs [" +
+                std::to_string(other.lo_) + ", " + std::to_string(other.hi_) +
+                ") x " + std::to_string(other.counts_.size()) + ")");
+  }
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts_[i] += other.counts_[i];
   }

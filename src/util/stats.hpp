@@ -69,8 +69,9 @@ class Histogram {
 
   /// Merges another histogram's counts into this one (parallel
   /// reduction-friendly, like RunningStats::merge). Both histograms must
-  /// share the same [lo, hi) range and bin count — merging differently
-  /// shaped histograms is a contract violation, not a rebinning.
+  /// share the same [lo, hi) range and bin count; a mismatch throws
+  /// celog::Error in every build — merging differently shaped histograms
+  /// would silently misattribute mass, never a rebinning.
   void merge(const Histogram& other);
 
  private:

@@ -807,6 +807,22 @@ TEST(CelintRepoScan, ServerSubsystemScansClean) {
   EXPECT_GE(files.size(), 6u) << "scan should see the server subsystem";
 }
 
+TEST(CelintRepoScan, FleetDbSubsystemScansClean) {
+  // Fleet-campaign gate, pinned separately from the whole-src scan: the
+  // fleetdb subsystem merges shards across threads and serializes fleet
+  // history byte-stably, so it must hold the determinism contract — no
+  // wall clocks, no unseeded RNG, no unordered iteration, no float
+  // accumulation in mergeable state.
+  const auto findings = celint::run_check(CELINT_SOURCE_DIR, {"src/fleetdb"});
+  for (const auto& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+  const auto files = celint::collect_files(CELINT_SOURCE_DIR,
+                                           {"src/fleetdb"});
+  EXPECT_GE(files.size(), 8u) << "scan should see the fleetdb subsystem";
+}
+
 TEST(CelintRepoScan, GraphSubsystemScansClean) {
   // ISSUE-7 gate, pinned separately from the whole-src scan: the arena/SoA
   // task-graph layer and the generative (lazy) pattern seam sit under every

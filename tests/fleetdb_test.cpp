@@ -1,0 +1,303 @@
+// Fleet memory-health database + maintenance campaigns (label: fleet; also
+// run by the tsan CI job). The load-bearing cases pin the subsystem's three
+// contracts: MemDb serialization is byte-stable and merge is associative
+// (any shard grouping folds to identical bytes), campaigns are bit-identical
+// for every --jobs value and across checkpoint/resume, and page offlining
+// suppresses detours at the SOURCE — admitted arrivals are an exact
+// subsequence of the unfiltered stream, and a fully-offlined node falls
+// silent instead of spinning the generator.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fleetdb/campaign.hpp"
+#include "fleetdb/fleet_noise.hpp"
+#include "fleetdb/maintenance.hpp"
+#include "fleetdb/memdb.hpp"
+#include "noise/detour.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace celog::fleetdb {
+namespace {
+
+/// Small deterministic DB with every record type populated.
+MemDb sample_db() {
+  MemDb db;
+  db.install_fleet(/*nodes=*/3, /*dimms_per_node=*/2, /*fleet_now=*/0);
+  db.record_ces(RowKey{0, 0, 11}, /*channel=*/1, /*bank=*/3, /*ces=*/70,
+                /*suppressed=*/5, /*first_seen=*/100, /*last_seen=*/900);
+  db.record_ces(RowKey{0, 1, 7}, 0, 0, 3, 0, 50, 60);
+  db.record_ces(RowKey{2, 1, 99}, 2, 1, 64, 12, 400, 800);
+  db.record_dimm(DimmKey{0, 0}, 0, /*trips=*/2);
+  db.offline_row(RowKey{0, 0, 11}, /*fleet_now=*/1000);
+  db.replace_dimm(DimmKey{2, 1}, /*fleet_now=*/2000);
+  return db;
+}
+
+TEST(MemDb, SerializeRoundTripsToIdenticalBytes) {
+  const MemDb db = sample_db();
+  const std::string bytes = db.serialize();
+  const MemDb back = MemDb::deserialize(bytes);
+  EXPECT_EQ(back.serialize(), bytes);
+  EXPECT_EQ(back.nodes(), db.nodes());
+  EXPECT_EQ(back.total_ces(), db.total_ces());
+  EXPECT_EQ(back.generation(DimmKey{2, 1}), 1u);
+  EXPECT_TRUE(back.row_offlined(RowKey{0, 0, 11}));
+}
+
+TEST(MemDb, FileRoundTrip) {
+  char tmpl[] = "/tmp/celog-fleetdb-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+  const std::string path = dir + "/fleet.memdb";
+  const MemDb db = sample_db();
+  db.save(path);
+  EXPECT_EQ(MemDb::load(path).serialize(), db.serialize());
+  ::unlink(path.c_str());
+  ::rmdir(dir.c_str());
+  EXPECT_THROW(MemDb::load(path), ParseError);
+}
+
+TEST(MemDb, DeserializeRejectsMalformedInput) {
+  const std::string good = sample_db().serialize();
+  EXPECT_THROW(MemDb::deserialize("celog-memdb 999\n"), ParseError);
+  EXPECT_THROW(MemDb::deserialize(""), ParseError);
+  // Truncation anywhere before the end marker is an error, not a partial DB.
+  EXPECT_THROW(MemDb::deserialize(
+                   std::string_view(good).substr(0, good.size() / 2)),
+               ParseError);
+}
+
+TEST(MemDb, MergeIsAssociativeAcrossGroupings) {
+  // Three overlapping observation shards; every parenthesization and the
+  // serial fold must serialize to identical bytes.
+  const auto shard = [](std::uint64_t i) {
+    MemDb s;
+    const auto t = static_cast<TimeNs>(i + 1);
+    s.record_ces(RowKey{0, 0, 11}, 1, 3, 10 + i, i, 100 * t, 200 * t);
+    s.record_ces(RowKey{1, 0, static_cast<std::uint32_t>(20 + i)}, 0, 0,
+                 5, 0, 10, 20);
+    s.record_dimm(DimmKey{0, 0}, 0, i);
+    return s;
+  };
+  MemDb base = sample_db();
+
+  MemDb left_assoc = base;  // ((base + s0) + s1) + s2
+  for (std::uint64_t i = 0; i < 3; ++i) left_assoc.merge(shard(i));
+
+  MemDb right_assoc = base;  // base + (s0 + (s1 + s2))
+  MemDb s12 = shard(1);
+  s12.merge(shard(2));
+  MemDb s012 = shard(0);
+  s012.merge(s12);
+  right_assoc.merge(s012);
+
+  EXPECT_EQ(left_assoc.serialize(), right_assoc.serialize());
+
+  MemDb pairwise = base;  // (base + (s0 + s1)) + s2
+  MemDb s01 = shard(0);
+  s01.merge(shard(1));
+  pairwise.merge(s01);
+  pairwise.merge(shard(2));
+  EXPECT_EQ(pairwise.serialize(), left_assoc.serialize());
+}
+
+/// Campaign config small enough for CI yet spanning 10 fleet-years.
+CampaignConfig test_config(int runs_per_epoch = 2) {
+  CampaignConfig config;
+  config.workload = "lammps-crack";
+  config.ranks = 8;
+  config.sim_target_s = 0.02;
+  config.campaign_seed = 42;
+  config.runs_per_epoch = runs_per_epoch;
+  config.noise.mtbce = 4 * kMillisecond;
+  return config;
+}
+
+TEST(Campaign, DbIsByteIdenticalForEveryJobsValue) {
+  // The acceptance contract: 20 epochs x half a year = 10 fleet-years, and
+  // the checkpoint (cursor + stats + DB) is bit-identical for --jobs
+  // 1/4/hardware.
+  std::string first;
+  for (const int jobs : {1, 4, 0}) {
+    CampaignConfig config = test_config(/*runs_per_epoch=*/3);
+    config.jobs = jobs;
+    ThresholdMaintenancePolicy policy;
+    CampaignRunner runner(config, policy);
+    runner.run(20);
+    EXPECT_GE(runner.fleet_years(), 10.0);
+    if (first.empty()) {
+      first = runner.checkpoint();
+      // The campaign must actually have observed and acted on something.
+      EXPECT_GT(runner.db().total_ces(), 0u);
+      EXPECT_GT(runner.db().summary().pages_offlined, 0u);
+    } else {
+      EXPECT_EQ(runner.checkpoint(), first) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(Campaign, ResumeFromCheckpointIsBitIdentical) {
+  // For every policy: 7 epochs + checkpoint + restore into a FRESH runner
+  // + 13 epochs must equal 20 uninterrupted epochs, to the byte.
+  const auto make_policy = [](int which) -> std::unique_ptr<MaintenancePolicy> {
+    switch (which) {
+      case 0: return std::make_unique<NullMaintenancePolicy>();
+      case 1: return std::make_unique<AgeReplacePolicy>(3 * kYear);
+      case 2: return std::make_unique<ThresholdMaintenancePolicy>();
+      default: return std::make_unique<CostModelPolicy>();
+    }
+  };
+  for (int which = 0; which < 4; ++which) {
+    const CampaignConfig config = test_config();
+    const auto straight_policy = make_policy(which);
+    CampaignRunner straight(config, *straight_policy);
+    straight.run(20);
+
+    const auto interrupted_policy = make_policy(which);
+    CampaignRunner interrupted(config, *interrupted_policy);
+    interrupted.run(7);
+    const std::string checkpoint = interrupted.checkpoint();
+
+    const auto resumed_policy = make_policy(which);
+    CampaignRunner resumed(config, *resumed_policy);
+    resumed.restore(checkpoint);
+    EXPECT_EQ(resumed.epochs_done(), 7u);
+    resumed.run(13);
+
+    EXPECT_EQ(resumed.checkpoint(), straight.checkpoint())
+        << "policy " << resumed.config().workload << " #" << which;
+    EXPECT_TRUE(resumed.stats() == straight.stats()) << "policy #" << which;
+  }
+}
+
+TEST(Campaign, RestoreRejectsMalformedAndMismatchedCheckpoints) {
+  const CampaignConfig config = test_config();
+  NullMaintenancePolicy policy;
+  CampaignRunner runner(config, policy);
+  runner.run(2);
+  const std::string checkpoint = runner.checkpoint();
+
+  CampaignRunner target(config, policy);
+  EXPECT_THROW(target.restore("not a checkpoint"), ParseError);
+  EXPECT_THROW(target.restore("celog-campaign 1\ncursor x y\n"), ParseError);
+
+  // A checkpoint from a different fleet shape must be refused, not half-
+  // applied.
+  CampaignConfig narrow = config;
+  narrow.ranks = 4;
+  NullMaintenancePolicy narrow_policy;
+  CampaignRunner mismatched(narrow, narrow_policy);
+  EXPECT_THROW(mismatched.restore(checkpoint), ParseError);
+
+  // The failed restores left `target` usable: a valid one still lands.
+  target.restore(checkpoint);
+  EXPECT_EQ(target.checkpoint(), checkpoint);
+}
+
+TEST(FleetNoise, OfflinedRowArrivalsAreASubsequenceDifferential) {
+  // The EventFilter contract, pinned differentially: offlining one row
+  // removes exactly that row's events — every surviving arrival appears in
+  // the unfiltered stream at the same time, and the swallowed events are
+  // tallied as suppressed rather than charged.
+  CampaignConfig config = test_config();
+  MemDb db;
+  db.install_fleet(config.ranks, config.noise.geometry.dimms, 0);
+  const auto clean =
+      FleetEpochState::build(config.noise, config.campaign_seed,
+                             config.ranks, db);
+  const std::uint64_t seed = 777;
+  FleetNodeStream clean_stream(config.noise, clean, /*rank=*/0, seed);
+  noise::PoissonDetourSource clean_src(config.noise.mtbce, clean_stream,
+                                       Xoshiro256::for_stream(seed, 0),
+                                       &clean_stream);
+  std::vector<TimeNs> clean_arrivals;
+  for (int i = 0; i < 400; ++i) clean_arrivals.push_back(clean_src.pop().arrival);
+
+  // Offline slot 0's row (track it first: offline_row no-ops on untracked).
+  const telemetry::DimmAddress& addr = clean->slot(0, 0).addr;
+  const RowKey key{0, addr.dimm, addr.row};
+  db.record_ces(key, addr.channel, addr.bank, 1, 0, 1, 1);
+  ASSERT_TRUE(db.offline_row(key, /*fleet_now=*/1));
+  const auto offlined =
+      FleetEpochState::build(config.noise, config.campaign_seed,
+                             config.ranks, db);
+  ASSERT_TRUE(offlined->slot(0, 0).offlined);
+
+  FleetNodeStream off_stream(config.noise, offlined, 0, seed);
+  noise::PoissonDetourSource off_src(config.noise.mtbce, off_stream,
+                                     Xoshiro256::for_stream(seed, 0),
+                                     &off_stream);
+  std::size_t cursor = 0;
+  std::size_t survivors = 0;
+  while (off_src.peek_arrival() <= clean_arrivals.back()) {
+    const TimeNs arrival = off_src.pop().arrival;
+    while (cursor < clean_arrivals.size() &&
+           clean_arrivals[cursor] != arrival) {
+      ++cursor;
+    }
+    ASSERT_LT(cursor, clean_arrivals.size())
+        << "arrival " << arrival << " not in the unfiltered stream";
+    ++cursor;
+    ++survivors;
+  }
+  EXPECT_LT(survivors, clean_arrivals.size());  // something was removed
+  EXPECT_GT(survivors, 0u);                     // but not everything
+  EXPECT_EQ(off_stream.slot_ces(0), 0u);
+  EXPECT_GT(off_stream.slot_suppressed(0), 0u);
+  EXPECT_GT(clean_stream.slot_ces(0), 0u);
+}
+
+TEST(FleetNoise, FullyOfflinedNodeIsSilentNotSpinning) {
+  // Regression pin for the generator hazard: a filter that never admits
+  // must become a kTimeNever stream, not an infinite advance() loop.
+  CampaignConfig config = test_config();
+  MemDb db;
+  db.install_fleet(config.ranks, config.noise.geometry.dimms, 0);
+  auto state = FleetEpochState::build(config.noise, config.campaign_seed,
+                                      config.ranks, db);
+  for (std::uint32_t s = 0; s < config.noise.fault_rows; ++s) {
+    const telemetry::DimmAddress& addr = state->slot(0, s).addr;
+    const RowKey key{0, addr.dimm, addr.row};
+    db.record_ces(key, addr.channel, addr.bank, 1, 0, 1, 1);
+    db.offline_row(key, 1);
+  }
+  state = FleetEpochState::build(config.noise, config.campaign_seed,
+                                 config.ranks, db);
+  ASSERT_TRUE(state->node_dead(0));
+  ASSERT_FALSE(state->node_dead(1));
+
+  const FleetCeNoiseModel model(config.noise, state);
+  const auto silent = model.make_source(0, /*run_seed=*/5);
+  EXPECT_EQ(silent->peek_arrival(), kTimeNever);
+  const auto live = model.make_source(1, 5);
+  EXPECT_NE(live->peek_arrival(), kTimeNever);
+}
+
+TEST(Campaign, AggressiveOffliningRunsToCompletion) {
+  // End-to-end version of the dead-node pin: at a hot CE rate the
+  // threshold policy darkens the whole fleet within a few epochs; later
+  // epochs must still run (silent sources) instead of hanging.
+  CampaignConfig config = test_config(/*runs_per_epoch=*/1);
+  config.ranks = 4;
+  config.noise.mtbce = 1 * kMillisecond;
+  ThresholdMaintenancePolicy policy;
+  CampaignRunner runner(config, policy);
+  runner.run(6);
+  EXPECT_EQ(runner.stats().epochs, 6u);
+  EXPECT_GT(runner.db().summary().pages_offlined, 0u);
+  // Offlined rows actually fell silent: page-offline epochs accrued.
+  EXPECT_GT(runner.stats().page_offline_epochs, 0u);
+}
+
+}  // namespace
+}  // namespace celog::fleetdb

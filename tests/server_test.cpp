@@ -22,6 +22,7 @@
 
 #include "core/experiment.hpp"
 #include "core/logging_mode.hpp"
+#include "fleetdb/memdb.hpp"
 #include "noise/noise_model.hpp"
 #include "server/daemon.hpp"
 #include "server/protocol.hpp"
@@ -623,6 +624,81 @@ TEST_F(DaemonTest, MidStreamDisconnectAbandonsRequestAndDaemonSurvives) {
   std::string line;
   ASSERT_TRUE(reader2.read_line(line));
   EXPECT_EQ(line + "\n", server::pong_line(10));
+}
+
+TEST_F(DaemonTest, MemdbVerbWithoutDbIsAnError) {
+  StartDaemon();
+  const util::ScopedFd fd = Connect();
+  util::LineReader reader(fd.get());
+  ASSERT_TRUE(Send(fd, "memdb --id 7\n"));
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_EQ(line + "\n",
+            server::error_line(7, "no-memdb",
+                               "daemon was started without a fleet DB "
+                               "(--memdb)"));
+}
+
+TEST_F(DaemonTest, MemdbVerbServesByteStableSummary) {
+  // Build a tiny fleet DB on disk, then pin the served line to the
+  // protocol serialization of that DB's summary — byte-identical, and
+  // stable across repeated requests (the daemon caches the snapshot).
+  char tmpl[] = "/tmp/celog-memdb-test-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string db_dir = tmpl;
+  const std::string db_path = db_dir + "/fleet.memdb";
+  fleetdb::MemDb db;
+  db.install_fleet(/*nodes=*/2, /*dimms_per_node=*/2, /*fleet_now=*/0);
+  db.record_ces(fleetdb::RowKey{0, 0, 11}, /*channel=*/1, /*bank=*/3,
+                /*ces=*/70, /*suppressed=*/5, /*first_seen=*/100,
+                /*last_seen=*/900);
+  db.record_ces(fleetdb::RowKey{1, 1, 42}, 0, 2, 9, 0, 200, 300);
+  db.record_dimm(fleetdb::DimmKey{0, 0}, 0, /*trips=*/2);
+  ASSERT_TRUE(db.offline_row(fleetdb::RowKey{0, 0, 11}, /*fleet_now=*/1000));
+  db.save(db_path);
+
+  server::DaemonConfig config;
+  config.memdb_path = db_path;
+  StartDaemon(config);
+  const util::ScopedFd fd = Connect();
+  util::LineReader reader(fd.get());
+  const std::string expected = server::memdb_line(9, db.summary());
+  ASSERT_TRUE(Send(fd, "memdb --id 9\n"));
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_EQ(line + "\n", expected);
+  // The response carries the observed counters, not zeros.
+  EXPECT_NE(line.find("\"total_ces\":79"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"pages_offlined\":1"), std::string::npos) << line;
+
+  // Cached snapshot: deleting the file does not change later responses.
+  ASSERT_EQ(::unlink(db_path.c_str()), 0);
+  ASSERT_TRUE(Send(fd, "memdb --id 10\n"));
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_EQ(line + "\n", server::memdb_line(10, db.summary()));
+  ::rmdir(db_dir.c_str());
+}
+
+TEST_F(DaemonTest, MemdbVerbReportsUnreadableDb) {
+  char tmpl[] = "/tmp/celog-memdb-bad-XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string db_dir = tmpl;
+  server::DaemonConfig config;
+  config.memdb_path = db_dir + "/missing.memdb";
+  StartDaemon(config);
+  const util::ScopedFd fd = Connect();
+  util::LineReader reader(fd.get());
+  ASSERT_TRUE(Send(fd, "memdb --id 12\n"));
+  std::string line;
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_NE(line.find("\"id\":12"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"event\":\"error\""), std::string::npos) << line;
+  EXPECT_NE(line.find("memdb-error"), std::string::npos) << line;
+  // The connection stays usable after the error.
+  ASSERT_TRUE(Send(fd, "ping --id 13\n"));
+  ASSERT_TRUE(reader.read_line(line));
+  EXPECT_EQ(line + "\n", server::pong_line(13));
+  ::rmdir(db_dir.c_str());
 }
 
 TEST_F(DaemonTest, DrainCompletesInflightRequestBeforeExit) {

@@ -9,6 +9,7 @@
 
 #include "telemetry/collector.hpp"
 #include "telemetry/fleet.hpp"
+#include "util/error.hpp"
 #include "util/time.hpp"
 
 namespace celog::telemetry {
@@ -89,6 +90,33 @@ TEST(FleetAggregator, MergeEqualsSerialFold) {
   for (std::size_t i = 9; i < fleet.size(); ++i) right.add(fleet[i]);
   left.merge(right);
   EXPECT_EQ(left.to_json(), serial.to_json());
+}
+
+TEST(FleetAggregator, MergeThrowsAcrossConfigsInEveryBuild) {
+  // Aggregators built under different FleetConfigs bin differently, so the
+  // fold is meaningless; the guard is celog::Error in all builds, and the
+  // failed merge must leave the target untouched.
+  FleetConfig narrow;
+  narrow.bins = 8;
+  FleetAggregator left{narrow};
+  left.add(synthetic_summary(2));
+  const std::string before = left.to_json();
+  FleetAggregator right;  // default config: different bin count
+  right.add(synthetic_summary(3));
+  EXPECT_THROW(left.merge(right), Error);
+  EXPECT_EQ(left.to_json(), before);
+}
+
+TEST(FleetAggregator, MergeAcceptsEqualConfigs) {
+  FleetConfig config;
+  config.bins = 8;
+  FleetAggregator left{config};
+  FleetAggregator right{config};
+  left.add(synthetic_summary(1));
+  right.add(synthetic_summary(2));
+  left.merge(right);
+  EXPECT_EQ(left.runs(), 2u);
+  EXPECT_EQ(left.total_ces(), 4u * 1u + 4u * 2u);
 }
 
 TEST(FleetAggregator, AggregateIsJobCountInvariant) {

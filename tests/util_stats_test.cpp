@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace celog {
 namespace {
 
@@ -76,6 +78,35 @@ TEST(RunningStats, MergeWithEmpty) {
   target.merge(a);
   EXPECT_EQ(target.count(), 2u);
   EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(Histogram, MergeAddsCountsForMatchingShapes) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(1.0);
+  a.add(-1.0);
+  b.add(1.5);
+  b.add(99.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.bin_count(0), 2u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+}
+
+TEST(Histogram, MergeThrowsOnShapeMismatchInEveryBuild) {
+  // Shape mismatches throw celog::Error unconditionally (not a debug-only
+  // assert): folding differently binned histograms would silently
+  // misattribute mass in release fleet aggregation.
+  Histogram base(0.0, 10.0, 5);
+  Histogram bins(0.0, 10.0, 6);
+  Histogram lo(1.0, 10.0, 5);
+  Histogram hi(0.0, 12.0, 5);
+  EXPECT_THROW(base.merge(bins), Error);
+  EXPECT_THROW(base.merge(lo), Error);
+  EXPECT_THROW(base.merge(hi), Error);
+  // The failed merge must not have mutated the target.
+  EXPECT_EQ(base.total(), 0u);
 }
 
 TEST(Percentile, MedianAndExtremes) {

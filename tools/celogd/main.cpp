@@ -49,6 +49,8 @@ int main(int argc, char** argv) {
   cli.add_option("max-queue", "64", "admitted-but-not-started request cap");
   cli.add_option("max-connections", "64", "concurrent client cap");
   cli.add_option("jobs-cap", "8", "ceiling on a request's --jobs");
+  cli.add_option("memdb", "",
+                 "fleet memory-health DB dump served by the memdb verb");
   if (!cli.parse(argc, argv)) return cli.error().empty() ? 0 : 2;
 
   try {
@@ -85,6 +87,7 @@ int main(int argc, char** argv) {
     config.max_connections =
         static_cast<std::size_t>(cli.get_int("max-connections"));
     config.jobs_cap = static_cast<int>(cli.get_int("jobs-cap"));
+    config.memdb_path = cli.get("memdb");
 
     celog::server::Daemon daemon(std::move(listeners), config);
     g_drain_fd = daemon.drain_fd();
